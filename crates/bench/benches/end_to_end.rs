@@ -1,0 +1,34 @@
+//! Criterion macro-benchmark: full pipeline (optimize + distributed
+//! execution with simulated SHIPs) on a small populated deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoqp_bench::experiments::setup::engine_with_policies;
+use geoqp_core::OptimizerMode;
+use geoqp_tpch::policy_gen::{generate_policies, PolicyTemplate};
+use std::sync::Arc;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let sf = 0.002;
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(sf));
+    geoqp_tpch::populate(&catalog, sf, 2021).unwrap();
+    let policies =
+        generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let engine = engine_with_policies(Arc::clone(&catalog), policies);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for query in ["Q3", "Q5", "Q10"] {
+        let plan = geoqp_tpch::query_by_name(&catalog, query).unwrap();
+        group.bench_with_input(BenchmarkId::new("compliant", query), &plan, |b, plan| {
+            b.iter(|| {
+                let opt = engine
+                    .optimize(plan, OptimizerMode::Compliant, None)
+                    .unwrap();
+                engine.execute(&opt.physical).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmark: optimization time per TPC-H query, both
+//! optimizers (the measurement behind Figures 6(b)–6(f)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoqp_bench::experiments::setup::engine_with_policies;
+use geoqp_core::OptimizerMode;
+use geoqp_tpch::policy_gen::{generate_policies, PolicyTemplate};
+use std::sync::Arc;
+
+fn bench_optimization(c: &mut Criterion) {
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(10.0));
+    let policies =
+        generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let engine = engine_with_policies(Arc::clone(&catalog), policies);
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(20);
+    for query in ["Q2", "Q3", "Q5", "Q9", "Q10"] {
+        let plan = geoqp_tpch::query_by_name(&catalog, query).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("compliant", query),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    engine
+                        .optimize(plan, OptimizerMode::Compliant, None)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("traditional", query),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    engine
+                        .optimize(plan, OptimizerMode::Traditional, None)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimization);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmark: Algorithm 1 (policy evaluation) throughput
+//! as the expression count grows — the per-call cost behind Figure 7's η
+//! scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoqp_plan::descriptor::describe_local;
+use geoqp_policy::PolicyEvaluator;
+use geoqp_tpch::policy_gen::{generate_policies, PolicyTemplate};
+use geoqp_tpch::queries::scan;
+use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
+
+fn bench_policy_eval(c: &mut Criterion) {
+    let catalog = geoqp_tpch::paper_catalog(10.0);
+    // A masked customer projection and a grouped lineitem aggregate — the
+    // two descriptor shapes AR4 evaluates most often.
+    let projection = scan(&catalog, "customer")
+        .unwrap()
+        .filter(ScalarExpr::col("c_acctbal").gt(ScalarExpr::lit(0.0)))
+        .unwrap()
+        .project_columns(&["c_custkey", "c_name", "c_mktsegment"])
+        .unwrap()
+        .build();
+    let aggregate = scan(&catalog, "lineitem")
+        .unwrap()
+        .aggregate(
+            &["l_orderkey"],
+            vec![AggCall::new(
+                AggFunc::Sum,
+                ScalarExpr::col("l_extendedprice")
+                    .mul(ScalarExpr::lit(1i64).sub(ScalarExpr::col("l_discount"))),
+                "rev",
+            )],
+        )
+        .unwrap()
+        .build();
+    let proj_q = describe_local(&projection).unwrap();
+    let agg_q = describe_local(&aggregate).unwrap();
+
+    let mut group = c.benchmark_group("policy_eval");
+    for n in [10usize, 50, 100, 200] {
+        let policies =
+            generate_policies(&catalog, PolicyTemplate::CRA, n, 2021).unwrap();
+        let universe = catalog.locations().clone();
+        group.bench_with_input(BenchmarkId::new("projection", n), &n, |b, _| {
+            let ev = PolicyEvaluator::new(&policies, &universe);
+            b.iter(|| ev.evaluate(&proj_q))
+        });
+        group.bench_with_input(BenchmarkId::new("aggregate", n), &n, |b, _| {
+            let ev = PolicyEvaluator::new(&policies, &universe);
+            b.iter(|| ev.evaluate(&agg_q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_eval);
+criterion_main!(benches);

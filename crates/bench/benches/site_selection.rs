@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark: Algorithm 2 (site selection DP) as the
+//! location count grows — the phase-2 cost reported alongside Figures
+//! 7(d,e) and 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoqp_bench::experiments::setup::engine_with_policies;
+use geoqp_common::{Location, LocationPattern, LocationSet};
+use geoqp_core::{select_sites, OptimizerMode};
+use geoqp_net::NetworkTopology;
+use geoqp_tpch::policy_gen::star_policies_with_destinations;
+use std::sync::Arc;
+
+fn bench_site_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("site_selection");
+    for n in [5usize, 10, 20] {
+        let mut catalog = geoqp_tpch::paper_catalog(10.0);
+        for i in 6..=n.max(5) {
+            catalog.add_location(Location::new(format!("L{i}")));
+        }
+        let catalog = Arc::new(catalog);
+        let to = LocationPattern::Set(LocationSet::from_iter(
+            (1..=n).map(|i| format!("L{i}")),
+        ));
+        let policies = star_policies_with_destinations(&catalog, to).unwrap();
+        let engine = engine_with_policies(Arc::clone(&catalog), policies);
+        let plan = geoqp_tpch::query_by_name(&catalog, "Q5").unwrap();
+        let annotated = engine
+            .optimize(&plan, OptimizerMode::Compliant, None)
+            .unwrap()
+            .annotated;
+        let topo = NetworkTopology::paper_wan();
+        group.bench_with_input(BenchmarkId::new("q5", n), &n, |b, _| {
+            b.iter(|| select_sites(&annotated, &topo, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_site_selection);
+criterion_main!(benches);

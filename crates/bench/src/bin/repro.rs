@@ -1,0 +1,338 @@
+//! Reproduce every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!   repro                # everything
+//!   repro --figure 6a    # one artifact: table1|table2|table3|5a|5bcde|
+//!                        # 6a|6b|6c|6d|6e|6f|6g|6h|7abc|7de|8ab
+//!   repro --quick        # fewer runs / fewer ad-hoc queries
+
+use geoqp_bench::experiments::{ablation, effectiveness, overhead, quality, scalability};
+use geoqp_bench::experiments::overhead::OverheadCase;
+use geoqp_common::LocationSet;
+use geoqp_plan::descriptor::describe_local;
+use geoqp_policy::PolicyEvaluator;
+use geoqp_tpch::policy_gen::PolicyTemplate;
+
+const SEED: u64 = 2021;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let figure = args
+        .iter()
+        .position(|a| a == "--figure")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_ascii_lowercase());
+    let runs = if quick { 3 } else { 7 };
+    let adhoc_n = if quick { 80 } else { 400 };
+
+    let want = |name: &str| figure.as_deref().is_none_or(|f| f == name);
+
+    if want("table1") {
+        table1();
+    }
+    if want("table2") {
+        table2();
+    }
+    if want("table3") {
+        table3();
+    }
+    if want("5a") {
+        fig5a();
+    }
+    if want("5bcde") {
+        fig5bcde();
+    }
+    if want("6a") {
+        fig6a(adhoc_n);
+    }
+    for (id, case) in [
+        ("6b", OverheadCase::NoRestrictions),
+        ("6c", OverheadCase::Template(PolicyTemplate::T)),
+        ("6d", OverheadCase::Template(PolicyTemplate::C)),
+        ("6e", OverheadCase::Template(PolicyTemplate::CR)),
+        ("6f", OverheadCase::Template(PolicyTemplate::CRA)),
+    ] {
+        if want(id) {
+            fig6_overhead(id, case, runs);
+        }
+    }
+    if want("6g") {
+        fig6_quality("6g", PolicyTemplate::C, quick);
+    }
+    if want("6h") {
+        fig6_quality("6h", PolicyTemplate::CR, quick);
+    }
+    if want("7abc") {
+        fig7abc(runs);
+    }
+    if want("7de") {
+        fig7de(runs);
+    }
+    if want("8ab") {
+        fig8ab(runs);
+    }
+    if want("ablation") {
+        ablations(quick);
+    }
+}
+
+fn ablations(_quick: bool) {
+    header("Extension E1/E2: rejections over delivery-constrained revenue rollups (CR+A, result at L1)");
+    println!("  {:24} {:>8} {:>9}", "configuration", "planned", "rejected");
+    for (name, c) in ablation::rejection_ablation(SEED) {
+        println!("  {:24} {:>8} {:>9}", name, c.planned, c.rejected);
+    }
+    header("Extension E3: total-cost vs response-time site selection (CR+A)");
+    println!(
+        "  {:6} {:>14} {:>16} {:>10}",
+        "query", "total-cost ms", "resp-time ms", "placement"
+    );
+    for r in ablation::objective_comparison(SEED) {
+        println!(
+            "  {:6} {:>14.1} {:>16.1} {:>10}",
+            r.query,
+            r.total_cost_ms,
+            r.response_time_ms,
+            if r.placements_differ { "differs" } else { "same" }
+        );
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Table 1: the worked policy-evaluation example.
+fn table1() {
+    use geoqp_common::{DataType, Field, Location, LocationPattern, Schema, TableRef};
+    use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
+    use geoqp_plan::PlanBuilder;
+    use geoqp_policy::{PolicyCatalog, PolicyExpression, ShipAttrs};
+
+    header("Table 1: policy evaluation on T(A..G)");
+    let schema = Schema::new(
+        ["a", "b", "c", "d", "e", "f", "g"]
+            .iter()
+            .map(|n| {
+                Field::new(
+                    *n,
+                    if *n == "c" || *n == "e" {
+                        DataType::Str
+                    } else if *n == "f" || *n == "g" {
+                        DataType::Float64
+                    } else {
+                        DataType::Int64
+                    },
+                )
+            })
+            .collect(),
+    )
+    .unwrap();
+    let t = TableRef::bare("t");
+    let locs = |names: &[&str]| {
+        LocationPattern::Set(LocationSet::from_iter(names.iter().copied()))
+    };
+    let mut cat = PolicyCatalog::new();
+    let exprs = [
+        PolicyExpression::basic(t.clone(), ShipAttrs::list(["a", "b", "c"]), locs(&["l2", "l3"]), None),
+        PolicyExpression::basic(t.clone(), ShipAttrs::list(["a", "b"]), locs(&["l1", "l2", "l3", "l4"]), None),
+        PolicyExpression::basic(
+            t.clone(),
+            ShipAttrs::list(["a", "d"]),
+            locs(&["l1", "l3"]),
+            Some(ScalarExpr::col("b").gt(ScalarExpr::lit(10i64))),
+        ),
+        PolicyExpression::aggregate(
+            t.clone(),
+            ShipAttrs::list(["f", "g"]),
+            [AggFunc::Sum, AggFunc::Avg],
+            ["e".to_string(), "c".to_string()],
+            locs(&["l1", "l2"]),
+            None,
+        ),
+    ];
+    for e in exprs {
+        println!("  e{}: {e}", cat.len() + 1);
+        cat.register(e, &schema).unwrap();
+    }
+    let universe = LocationSet::from_iter(["l1", "l2", "l3", "l4"]);
+    let scan = || PlanBuilder::scan(t.clone(), Location::new("l0"), schema.clone());
+    let q1 = scan()
+        .filter(ScalarExpr::col("b").gt(ScalarExpr::lit(15i64)))
+        .unwrap()
+        .project_columns(&["a", "c", "d"])
+        .unwrap()
+        .build();
+    let q2 = scan()
+        .aggregate(
+            &["c"],
+            vec![AggCall::new(
+                AggFunc::Sum,
+                ScalarExpr::col("f").mul(ScalarExpr::lit(1i64).sub(ScalarExpr::col("g"))),
+                "s",
+            )],
+        )
+        .unwrap()
+        .build();
+    let ev = PolicyEvaluator::new(&cat, &universe);
+    for (name, q) in [("q1 = Π_{A,C,D}(σ_{B>15}(T))", &q1), ("q2 = Γ_{C; SUM(F*(1-G))}(T)", &q2)] {
+        let d = describe_local(q).unwrap();
+        let result = ev.evaluate(&d);
+        println!("  𝒜({name}) = {result}   (η so far: {})", ev.eta());
+    }
+}
+
+/// Table 2: the TPC-H distribution.
+fn table2() {
+    header("Table 2: TPC-H table distribution among five locations");
+    for (loc, db, tables) in geoqp_tpch::distribution::DISTRIBUTION {
+        println!("  {loc}  {db}  {}", tables.join(", "));
+    }
+}
+
+/// Table 3: the policy-expression snippet, parsed and re-rendered.
+fn table3() {
+    header("Table 3: snippet of expressions based on TPC-H data");
+    let catalog = geoqp_tpch::paper_catalog(10.0);
+    let cat = geoqp_tpch::table3_policies(&catalog).unwrap();
+    for e in cat.expressions() {
+        println!("  e{}: {}", e.id + 1, e.expr);
+    }
+}
+
+fn fig5a() {
+    header("Figure 5(a): QEPs produced by the traditional query optimizer (C / NC)");
+    let cells = effectiveness::tpch_matrix(SEED);
+    let queries = ["Q2", "Q3", "Q5", "Q8", "Q9", "Q10"];
+    println!("  {:8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "set", "Q2", "Q3", "Q5", "Q8", "Q9", "Q10");
+    for template in ["T", "C", "CR", "CR+A"] {
+        let mut row = format!("  {:8}", template);
+        for q in queries {
+            let cell = cells
+                .iter()
+                .find(|c| c.query == q && c.template.name() == template)
+                .unwrap();
+            row.push_str(&format!(" {:>6}", cell.traditional.label()));
+        }
+        println!("{row}");
+    }
+    println!("  (compliant optimizer, same grid:)");
+    for template in ["T", "C", "CR", "CR+A"] {
+        let mut row = format!("  {:8}", template);
+        for q in queries {
+            let cell = cells
+                .iter()
+                .find(|c| c.query == q && c.template.name() == template)
+                .unwrap();
+            row.push_str(&format!(" {:>6}", cell.compliant.label()));
+        }
+        println!("{row}");
+    }
+}
+
+fn fig5bcde() {
+    header("Figure 5(b–e): plan excerpts for Q2 (CR) and Q3 (CR+A)");
+    for (title, body) in effectiveness::plan_excerpts(SEED) {
+        println!("\n  -- {title} --");
+        for line in body.lines() {
+            println!("  {line}");
+        }
+    }
+}
+
+fn fig6a(n: usize) {
+    header("Figure 6(a): effectiveness on ad-hoc queries");
+    println!(
+        "  {:14} {:>8} {:>12} {:>12}",
+        "template", "queries", "traditional", "compliant"
+    );
+    for r in effectiveness::adhoc_effectiveness(n, SEED) {
+        println!(
+            "  {:14} {:>8} {:>12.2} {:>12.2}",
+            format!("{}({})", r.template.name(), r.expressions),
+            r.queries,
+            r.traditional_fraction,
+            r.compliant_fraction
+        );
+    }
+}
+
+fn fig6_overhead(id: &str, case: OverheadCase, runs: usize) {
+    header(&format!(
+        "Figure {id}: optimization time, {} (avg of {runs} runs, ms)",
+        case.label()
+    ));
+    println!(
+        "  {:6} {:>14} {:>14} {:>8} {:>8}",
+        "query", "traditional", "compliant", "ratio", "η"
+    );
+    for r in overhead::measure(case, runs, SEED) {
+        println!(
+            "  {:6} {:>9.2}±{:<4.2} {:>9.2}±{:<4.2} {:>8.2} {:>8}",
+            r.query,
+            r.traditional.mean_ms,
+            r.traditional.stderr_ms,
+            r.compliant.mean_ms,
+            r.compliant.stderr_ms,
+            r.compliant.mean_ms / r.traditional.mean_ms.max(1e-9),
+            r.eta
+        );
+    }
+}
+
+fn fig6_quality(id: &str, template: PolicyTemplate, quick: bool) {
+    let sf = if quick { 0.002 } else { 0.01 };
+    header(&format!(
+        "Figure {id}: scaled execution (shipping) cost, {} set, SF {sf}",
+        template.name()
+    ));
+    println!(
+        "  {:6} {:>6} {:>14} {:>14} {:>8} {:>6}",
+        "query", "trad", "trad cost ms", "compl cost ms", "scaled", "plan"
+    );
+    for r in quality::measure(template, sf, SEED) {
+        println!(
+            "  {:6} {:>6} {:>14.1} {:>14.1} {:>8.2} {:>6}",
+            r.query,
+            if r.traditional_compliant { "C" } else { "NC" },
+            r.traditional_cost_ms,
+            r.compliant_cost_ms,
+            r.scaled,
+            if r.same_plan { "=" } else { "≠" }
+        );
+    }
+}
+
+fn fig7abc(runs: usize) {
+    header("Figure 7(a–c): optimization time vs #policy expressions (CR+A)");
+    for q in ["Q2", "Q3", "Q10"] {
+        println!("  {q}:");
+        println!("    {:>6} {:>12} {:>8}", "#expr", "time ms", "η");
+        for p in scalability::expression_sweep(q, runs, SEED) {
+            println!("    {:>6} {:>12.2} {:>8}", p.x, p.mean_ms, p.eta);
+        }
+    }
+}
+
+fn fig7de(runs: usize) {
+    header("Figure 7(d–e): optimization time vs #table locations (CR+A)");
+    for q in ["Q3", "Q10"] {
+        println!("  {q}:");
+        println!("    {:>6} {:>12} {:>14}", "#locs", "time ms", "site-sel ms");
+        for p in scalability::location_sweep(q, runs, SEED) {
+            println!("    {:>6} {:>12.2} {:>14.3}", p.x, p.mean_ms, p.phase2_ms);
+        }
+    }
+}
+
+fn fig8ab(runs: usize) {
+    header("Figure 8(a–b): optimization time vs #to-locations per expression");
+    for q in ["Q2", "Q3"] {
+        println!("  {q}:");
+        println!("    {:>6} {:>12} {:>14}", "#locs", "time ms", "site-sel ms");
+        for p in scalability::to_location_sweep(q, runs) {
+            println!("    {:>6} {:>12.2} {:>14.3}", p.x, p.mean_ms, p.phase2_ms);
+        }
+    }
+}

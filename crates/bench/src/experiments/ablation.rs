@@ -1,0 +1,194 @@
+//! Ablation experiments for the design choices DESIGN.md calls out.
+//!
+//! These are *extensions* beyond the paper's figures, probing two claims
+//! the paper makes qualitatively:
+//!
+//! * **E1 — rule completeness (Section 6.4):** without the
+//!   aggregation-pushdown rule, masking-by-aggregation plans (Figure 1(b))
+//!   are unreachable and affected queries get rejected.
+//! * **E2 — traits as interesting properties (Section 6.1):** keeping only
+//!   the cheapest candidate per memo group (frontier cap 1) discards the
+//!   costlier-but-better-annotated alternatives and loses compliant plans.
+//! * **E3 — alternative cost model (Section 3.3 discussion):** the site
+//!   selector under a response-time objective (parallel transfers, max
+//!   instead of sum).
+
+use crate::experiments::setup::{engine_with_policies, OPT_SF};
+use geoqp_core::{Objective, OptimizerMode, OptimizerOptions};
+use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
+use geoqp_plan::LogicalPlan;
+use geoqp_storage::Catalog;
+use geoqp_tpch::policy_gen::{generate_policies, PolicyTemplate};
+use geoqp_tpch::queries::{all_queries, scan};
+use std::sync::Arc;
+
+/// Outcome counts for one optimizer configuration over a workload.
+#[derive(Debug, Default)]
+pub struct AblationCounts {
+    /// Queries planned and audited compliant.
+    pub planned: usize,
+    /// Queries rejected.
+    pub rejected: usize,
+}
+
+/// Build the delivery-constrained workload: lineitem-revenue rollups of
+/// the shape the e5-style aggregate grant covers (SUM over extendedprice /
+/// discount, inner grouping ⊆ {l_orderkey, l_suppkey}), joined against
+/// orders and/or customer, with the result demanded at L1. Raw revenue
+/// columns cannot reach L1 (the ship-date window is not implied), so a
+/// compliant plan exists *only* via aggregation pushdown.
+fn delivery_constrained_queries(catalog: &Catalog) -> Vec<(String, Arc<LogicalPlan>)> {
+    let mut out: Vec<(String, Arc<LogicalPlan>)> = Vec::new();
+    let revenue = || {
+        ScalarExpr::col("l_extendedprice")
+            .mul(ScalarExpr::lit(1i64).sub(ScalarExpr::col("l_discount")))
+    };
+    let agg_cols: [(&str, Box<dyn Fn() -> ScalarExpr>); 3] = [
+        ("revenue", Box::new(revenue)),
+        ("extprice", Box::new(|| ScalarExpr::col("l_extendedprice"))),
+        ("discount", Box::new(|| ScalarExpr::col("l_discount"))),
+    ];
+    for (label, arg) in &agg_cols {
+        // orders ⋈ lineitem, grouped by an orders attribute.
+        for group in ["o_custkey", "o_orderdate", "o_orderkey"] {
+            let plan = scan(catalog, "orders")
+                .unwrap()
+                .join(scan(catalog, "lineitem").unwrap(), vec![("o_orderkey", "l_orderkey")])
+                .unwrap()
+                .aggregate(&[group], vec![AggCall::new(AggFunc::Sum, arg(), "s")])
+                .unwrap()
+                .build();
+            out.push((format!("sum({label}) by {group}"), plan));
+        }
+        // customer ⋈ orders ⋈ lineitem by market segment.
+        let plan = scan(catalog, "customer")
+            .unwrap()
+            .join(scan(catalog, "orders").unwrap(), vec![("c_custkey", "o_custkey")])
+            .unwrap()
+            .join(scan(catalog, "lineitem").unwrap(), vec![("o_orderkey", "l_orderkey")])
+            .unwrap()
+            .aggregate(&["c_mktsegment"], vec![AggCall::new(AggFunc::Sum, arg(), "s")])
+            .unwrap()
+            .build();
+        out.push((format!("sum({label}) by c_mktsegment"), plan));
+    }
+    // A non-reducing rollup: grouping by (o_custkey, l_suppkey) forces the
+    // pushed-down partial aggregate to group by (l_suppkey, l_orderkey),
+    // which reduces nothing — so the compliance-carrying candidate is
+    // strictly *costlier* than the raw plan in phase 1's cost model. Only
+    // a Pareto frontier keeps it alive (extension E2).
+    let plan = scan(catalog, "orders")
+        .unwrap()
+        .join(scan(catalog, "lineitem").unwrap(), vec![("o_orderkey", "l_orderkey")])
+        .unwrap()
+        .aggregate(
+            &["o_custkey", "l_suppkey"],
+            vec![AggCall::new(
+                AggFunc::Sum,
+                ScalarExpr::col("l_extendedprice"),
+                "s",
+            )],
+        )
+        .unwrap()
+        .build();
+    out.push(("sum(extprice) by o_custkey, l_suppkey (non-reducing)".into(), plan));
+    out
+}
+
+/// E1/E2: rejection counts over the delivery-constrained workload.
+pub fn rejection_ablation(seed: u64) -> Vec<(&'static str, AblationCounts)> {
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(OPT_SF));
+    let policies = generate_policies(&catalog, PolicyTemplate::CRA, 10, seed).unwrap();
+    let engine = engine_with_policies(Arc::clone(&catalog), policies);
+    let queries = delivery_constrained_queries(&catalog);
+
+    let configs: Vec<(&'static str, OptimizerOptions)> = vec![
+        ("full optimizer", OptimizerOptions::default()),
+        (
+            "no aggregate pushdown",
+            OptimizerOptions {
+                disable_aggregate_pushdown: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "frontier cap = 1",
+            OptimizerOptions {
+                frontier_cap: Some(1),
+                ..Default::default()
+            },
+        ),
+    ];
+    let mut out = Vec::new();
+    for (name, opts) in configs {
+        let mut counts = AblationCounts::default();
+        for (_label, plan) in &queries {
+            match engine.optimize_opts(
+                plan,
+                OptimizerMode::Compliant,
+                Some(geoqp_common::Location::new("L1")),
+                &opts,
+            ) {
+                Ok(opt) => {
+                    engine
+                        .audit(&opt.physical)
+                        .expect("compliant mode must stay sound under ablations");
+                    counts.planned += 1;
+                }
+                Err(_) => counts.rejected += 1,
+            }
+        }
+        out.push((name, counts));
+    }
+    out
+}
+
+/// E3: total-cost vs response-time placement on the six TPC-H queries
+/// (estimated shipping metrics from the site selector).
+#[derive(Debug)]
+pub struct ObjectiveRow {
+    /// Query name.
+    pub query: &'static str,
+    /// Estimated cost under the total-cost objective (its own metric).
+    pub total_cost_ms: f64,
+    /// Estimated critical path under the response-time objective.
+    pub response_time_ms: f64,
+    /// Whether the two placements differ.
+    pub placements_differ: bool,
+}
+
+/// Run E3.
+pub fn objective_comparison(seed: u64) -> Vec<ObjectiveRow> {
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(OPT_SF));
+    let policies = generate_policies(&catalog, PolicyTemplate::CRA, 10, seed).unwrap();
+    let engine = engine_with_policies(Arc::clone(&catalog), policies);
+    let mut out = Vec::new();
+    for (query, plan) in all_queries(&catalog).unwrap() {
+        let total = engine
+            .optimize_opts(
+                &plan,
+                OptimizerMode::Compliant,
+                None,
+                &OptimizerOptions::default(),
+            )
+            .unwrap();
+        let rt = engine
+            .optimize_opts(
+                &plan,
+                OptimizerMode::Compliant,
+                None,
+                &OptimizerOptions {
+                    objective: Objective::ResponseTime,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        out.push(ObjectiveRow {
+            query,
+            total_cost_ms: total.stats.est_ship_cost_ms,
+            response_time_ms: rt.stats.est_ship_cost_ms,
+            placements_differ: total.physical != rt.physical,
+        });
+    }
+    out
+}

@@ -1,0 +1,210 @@
+//! Effectiveness experiments: Figure 5(a) (TPC-H queries × template sets),
+//! Figure 6(a) (400 ad-hoc queries), and the Figure 5(b–e) plan excerpts.
+
+use crate::experiments::setup::{engine_with_policies, OPT_SF};
+use geoqp_core::{Engine, OptimizerMode};
+use geoqp_tpch::adhoc::generate_adhoc;
+use geoqp_tpch::policy_gen::{generate_policies, PolicyTemplate};
+use geoqp_tpch::queries::all_queries;
+use std::sync::Arc;
+
+/// Compliance verdict for one optimized plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Plan found and it passes the Definition-1 audit.
+    Compliant,
+    /// Plan found but it violates a policy.
+    NonCompliant,
+    /// The optimizer rejected the query (compliant mode only).
+    Rejected,
+}
+
+impl Verdict {
+    /// The paper's C / NC labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Compliant => "C",
+            Verdict::NonCompliant => "NC",
+            Verdict::Rejected => "rej",
+        }
+    }
+}
+
+/// One cell of the Figure 5(a) matrix.
+#[derive(Debug)]
+pub struct MatrixCell {
+    /// Query name.
+    pub query: &'static str,
+    /// Template set.
+    pub template: PolicyTemplate,
+    /// Verdict of the traditional optimizer's plan.
+    pub traditional: Verdict,
+    /// Verdict of the compliant optimizer's plan.
+    pub compliant: Verdict,
+}
+
+/// Optimize a plan in a mode and audit it.
+pub fn verdict_for(
+    engine: &Engine,
+    plan: &Arc<geoqp_plan::LogicalPlan>,
+    mode: OptimizerMode,
+) -> Verdict {
+    match engine.optimize(plan, mode, None) {
+        Err(_) => Verdict::Rejected,
+        Ok(opt) => {
+            if engine.audit(&opt.physical).is_ok() {
+                Verdict::Compliant
+            } else {
+                Verdict::NonCompliant
+            }
+        }
+    }
+}
+
+/// Figure 5(a): both optimizers on the six TPC-H queries under each
+/// template set.
+pub fn tpch_matrix(seed: u64) -> Vec<MatrixCell> {
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(OPT_SF));
+    let mut out = Vec::new();
+    for template in [
+        PolicyTemplate::T,
+        PolicyTemplate::C,
+        PolicyTemplate::CR,
+        PolicyTemplate::CRA,
+    ] {
+        let policies =
+            generate_policies(&catalog, template, template.base_count(), seed).unwrap();
+        let engine = engine_with_policies(Arc::clone(&catalog), policies);
+        for (query, plan) in all_queries(&catalog).unwrap() {
+            out.push(MatrixCell {
+                query,
+                template,
+                traditional: verdict_for(&engine, &plan, OptimizerMode::Traditional),
+                compliant: verdict_for(&engine, &plan, OptimizerMode::Compliant),
+            });
+        }
+    }
+    out
+}
+
+/// One template's ad-hoc effectiveness numbers (Figure 6(a)).
+#[derive(Debug)]
+pub struct AdhocResult {
+    /// Template set.
+    pub template: PolicyTemplate,
+    /// Expression count used.
+    pub expressions: usize,
+    /// Queries evaluated.
+    pub queries: usize,
+    /// Fraction of queries for which the *traditional* plan was compliant.
+    pub traditional_fraction: f64,
+    /// Fraction for the compliant optimizer (the paper finds 1.0).
+    pub compliant_fraction: f64,
+}
+
+/// Figure 6(a): ad-hoc queries split evenly across the four template
+/// sets — T with its 8 base expressions, the others with 50 expressions,
+/// matching the paper's setup (the paper uses 400 queries in total).
+pub fn adhoc_effectiveness(total_queries: usize, seed: u64) -> Vec<AdhocResult> {
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(OPT_SF));
+    let per_group = total_queries / 4;
+    let mut out = Vec::new();
+    for (i, template) in [
+        PolicyTemplate::T,
+        PolicyTemplate::C,
+        PolicyTemplate::CR,
+        PolicyTemplate::CRA,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let n_expr = match template {
+            PolicyTemplate::T => 8,
+            _ => 50,
+        };
+        let policies = generate_policies(&catalog, template, n_expr, seed).unwrap();
+        let engine = engine_with_policies(Arc::clone(&catalog), policies);
+        let queries = generate_adhoc(&catalog, per_group, seed.wrapping_add(i as u64)).unwrap();
+        // The engine is shareable (immutable catalogs, atomic counters);
+        // fan the per-query optimizations out over worker threads.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4);
+        let chunk = queries.len().div_ceil(workers);
+        let (trad_ok, comp_ok) = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for part in queries.chunks(chunk.max(1)) {
+                let engine = &engine;
+                handles.push(scope.spawn(move |_| {
+                    let mut t = 0usize;
+                    let mut c = 0usize;
+                    for q in part {
+                        if verdict_for(engine, &q.plan, OptimizerMode::Traditional)
+                            == Verdict::Compliant
+                        {
+                            t += 1;
+                        }
+                        if verdict_for(engine, &q.plan, OptimizerMode::Compliant)
+                            == Verdict::Compliant
+                        {
+                            c += 1;
+                        }
+                    }
+                    (t, c)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .fold((0, 0), |(a, b), (t, c)| (a + t, b + c))
+        })
+        .expect("scope");
+        out.push(AdhocResult {
+            template,
+            expressions: n_expr,
+            queries: per_group,
+            traditional_fraction: trad_ok as f64 / per_group as f64,
+            compliant_fraction: comp_ok as f64 / per_group as f64,
+        });
+    }
+    out
+}
+
+/// Figure 5(b–e): the Q2 (under CR) and Q3 (under CR+A) plan excerpts for
+/// both optimizers, rendered as located physical plans.
+pub fn plan_excerpts(seed: u64) -> Vec<(String, String)> {
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(OPT_SF));
+    let mut out = Vec::new();
+    let cases = [("Q2", PolicyTemplate::CR), ("Q3", PolicyTemplate::CRA)];
+    for (query, template) in cases {
+        let policies =
+            generate_policies(&catalog, template, template.base_count(), seed).unwrap();
+        let engine = engine_with_policies(Arc::clone(&catalog), policies);
+        let plan = geoqp_tpch::query_by_name(&catalog, query).unwrap();
+        for mode in [OptimizerMode::Traditional, OptimizerMode::Compliant] {
+            let title = format!(
+                "{query} under {} — {} optimizer",
+                template.name(),
+                match mode {
+                    OptimizerMode::Traditional => "traditional",
+                    OptimizerMode::Compliant => "compliant",
+                }
+            );
+            let body = match engine.optimize(&plan, mode, None) {
+                Err(e) => format!("<{e}>"),
+                Ok(opt) => {
+                    let audit = match engine.audit(&opt.physical) {
+                        Ok(()) => "COMPLIANT".to_string(),
+                        Err(e) => format!("NON-COMPLIANT: {e}"),
+                    };
+                    format!(
+                        "{}[audit: {audit}]",
+                        geoqp_plan::display::display_physical(&opt.physical)
+                    )
+                }
+            };
+            out.push((title, body));
+        }
+    }
+    out
+}

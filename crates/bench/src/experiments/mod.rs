@@ -1,0 +1,10 @@
+//! Experiment implementations, one module per paper artifact family.
+
+pub mod ablation;
+pub mod effectiveness;
+pub mod overhead;
+pub mod quality;
+pub mod scalability;
+pub mod setup;
+
+pub use setup::engine_with_policies;

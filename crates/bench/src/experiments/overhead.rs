@@ -1,0 +1,110 @@
+//! Optimization-overhead experiments: Figures 6(b)–6(f).
+//!
+//! Measures optimization time (phase 1 + phase 2) for the six TPC-H
+//! queries under the traditional and compliant optimizers, for the
+//! no-restriction set (minimal overhead, Figure 6(b)) and the four
+//! template sets (Figures 6(c)–6(f)). Each measurement is repeated
+//! (the paper uses seven runs) and reported as mean ± standard error.
+
+use crate::experiments::setup::{engine_with_policies, OPT_SF};
+use geoqp_core::OptimizerMode;
+use geoqp_policy::PolicyCatalog;
+use geoqp_tpch::policy_gen::{generate_policies, no_restriction_policies, PolicyTemplate};
+use geoqp_tpch::queries::all_queries;
+use std::sync::Arc;
+
+/// Mean and standard error over repeated runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Mean, ms.
+    pub mean_ms: f64,
+    /// Standard error, ms.
+    pub stderr_ms: f64,
+}
+
+impl Timing {
+    fn from_samples(samples: &[f64]) -> Timing {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (n - 1.0).max(1.0);
+        Timing {
+            mean_ms: mean,
+            stderr_ms: (var / n).sqrt(),
+        }
+    }
+}
+
+/// One row of a Figure 6(b)–(f) chart.
+#[derive(Debug)]
+pub struct OverheadRow {
+    /// Query name.
+    pub query: &'static str,
+    /// Traditional optimizer timing.
+    pub traditional: Timing,
+    /// Compliant optimizer timing.
+    pub compliant: Timing,
+    /// η observed during the compliant runs (constant across runs).
+    pub eta: u64,
+}
+
+/// Policy-set selector for the overhead experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverheadCase {
+    /// Figure 6(b): eight `ship * from t to *` expressions.
+    NoRestrictions,
+    /// Figures 6(c)–(f).
+    Template(PolicyTemplate),
+}
+
+impl OverheadCase {
+    /// Chart label.
+    pub fn label(&self) -> String {
+        match self {
+            OverheadCase::NoRestrictions => "no restrictions (8)".into(),
+            OverheadCase::Template(t) => {
+                format!("{} ({})", t.name(), t.base_count())
+            }
+        }
+    }
+
+    fn policies(&self, catalog: &geoqp_storage::Catalog, seed: u64) -> PolicyCatalog {
+        match self {
+            OverheadCase::NoRestrictions => no_restriction_policies(catalog).unwrap(),
+            OverheadCase::Template(t) => {
+                generate_policies(catalog, *t, t.base_count(), seed).unwrap()
+            }
+        }
+    }
+}
+
+/// Run one overhead experiment: all six queries, `runs` repetitions.
+pub fn measure(case: OverheadCase, runs: usize, seed: u64) -> Vec<OverheadRow> {
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(OPT_SF));
+    let policies = case.policies(&catalog, seed);
+    let engine = engine_with_policies(Arc::clone(&catalog), policies);
+    let mut out = Vec::new();
+    for (query, plan) in all_queries(&catalog).unwrap() {
+        let mut trad = Vec::with_capacity(runs);
+        let mut comp = Vec::with_capacity(runs);
+        let mut eta = 0;
+        for _ in 0..runs {
+            let t = engine
+                .optimize(&plan, OptimizerMode::Traditional, None)
+                .expect("traditional optimization");
+            trad.push(t.stats.total_ms);
+            let c = engine
+                .optimize(&plan, OptimizerMode::Compliant, None)
+                .expect("compliant optimization");
+            comp.push(c.stats.total_ms);
+            eta = c.stats.eta;
+        }
+        out.push(OverheadRow {
+            query,
+            traditional: Timing::from_samples(&trad),
+            compliant: Timing::from_samples(&comp),
+            eta,
+        });
+    }
+    out
+}

@@ -1,0 +1,133 @@
+//! Scalability experiments: Figures 7(a)–(c) (#policy expressions),
+//! 7(d)–(e) (#table locations), and 8(a)–(b) (#to-locations per
+//! expression).
+
+use crate::experiments::setup::{engine_with_policies, OPT_SF};
+use geoqp_common::{Location, LocationPattern, LocationSet};
+use geoqp_core::OptimizerMode;
+use geoqp_tpch::policy_gen::{
+    generate_policies, star_policies_with_destinations, PolicyTemplate,
+};
+use geoqp_tpch::queries::query_by_name;
+use std::sync::Arc;
+
+/// One measurement point of a scalability sweep.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// The x-axis value (#expressions, #locations, ...).
+    pub x: usize,
+    /// Mean optimization time over the runs, ms.
+    pub mean_ms: f64,
+    /// η — policy expressions considered (Figure 7's bar annotations).
+    pub eta: u64,
+    /// Phase-2 (site selection) share of the time, ms.
+    pub phase2_ms: f64,
+}
+
+fn sweep_mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Figure 7(a–c): optimization time of a query under CR+A with 12, 25,
+/// 50, and 100 policy expressions.
+pub fn expression_sweep(query: &str, runs: usize, seed: u64) -> Vec<SweepPoint> {
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(OPT_SF));
+    let plan = query_by_name(&catalog, query).unwrap();
+    let mut out = Vec::new();
+    for n in [12usize, 25, 50, 100] {
+        let policies =
+            generate_policies(&catalog, PolicyTemplate::CRA, n, seed).unwrap();
+        let engine = engine_with_policies(Arc::clone(&catalog), policies);
+        let mut times = Vec::new();
+        let mut eta = 0;
+        let mut p2 = Vec::new();
+        for _ in 0..runs {
+            let o = engine
+                .optimize(&plan, OptimizerMode::Compliant, None)
+                .expect("optimize");
+            times.push(o.stats.total_ms);
+            p2.push(o.stats.phase2_ms);
+            eta = o.stats.eta;
+        }
+        out.push(SweepPoint {
+            x: n,
+            mean_ms: sweep_mean(&times),
+            eta,
+            phase2_ms: sweep_mean(&p2),
+        });
+    }
+    out
+}
+
+/// Figure 7(d–e): optimization time of Q3/Q10 with Customer and Orders
+/// partitioned over 1–5 locations (1 = the standard Table 2 layout).
+pub fn location_sweep(query: &str, runs: usize, seed: u64) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for n in 1usize..=5 {
+        let catalog = Arc::new(if n == 1 {
+            geoqp_tpch::paper_catalog(OPT_SF)
+        } else {
+            geoqp_tpch::paper_catalog_partitioned(OPT_SF, n).unwrap()
+        });
+        let policies =
+            generate_policies(&catalog, PolicyTemplate::CRA, 10, seed).unwrap();
+        let engine = engine_with_policies(Arc::clone(&catalog), policies);
+        let plan = query_by_name(&catalog, query).unwrap();
+        let mut times = Vec::new();
+        let mut eta = 0;
+        let mut p2 = Vec::new();
+        for _ in 0..runs {
+            let o = engine
+                .optimize(&plan, OptimizerMode::Compliant, None)
+                .expect("optimize");
+            times.push(o.stats.total_ms);
+            p2.push(o.stats.phase2_ms);
+            eta = o.stats.eta;
+        }
+        out.push(SweepPoint {
+            x: n,
+            mean_ms: sweep_mean(&times),
+            eta,
+            phase2_ms: sweep_mean(&p2),
+        });
+    }
+    out
+}
+
+/// Figure 8(a–b): optimization time of Q2/Q3 with eight
+/// `ship * from t to L1..Ln` expressions as `n` grows from 3 to 20.
+/// Locations beyond L5 are registered as extra (dataless) sites.
+pub fn to_location_sweep(query: &str, runs: usize) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for n in [3usize, 5, 10, 15, 20] {
+        let mut catalog = geoqp_tpch::paper_catalog(OPT_SF);
+        for i in 6..=n.max(5) {
+            catalog.add_location(Location::new(format!("L{i}")));
+        }
+        let catalog = Arc::new(catalog);
+        let to = LocationPattern::Set(LocationSet::from_iter(
+            (1..=n).map(|i| format!("L{i}")),
+        ));
+        let policies = star_policies_with_destinations(&catalog, to).unwrap();
+        let engine = engine_with_policies(Arc::clone(&catalog), policies);
+        let plan = query_by_name(&catalog, query).unwrap();
+        let mut times = Vec::new();
+        let mut p2 = Vec::new();
+        let mut eta = 0;
+        for _ in 0..runs {
+            let o = engine
+                .optimize(&plan, OptimizerMode::Compliant, None)
+                .expect("optimize");
+            times.push(o.stats.total_ms);
+            p2.push(o.stats.phase2_ms);
+            eta = o.stats.eta;
+        }
+        out.push(SweepPoint {
+            x: n,
+            mean_ms: sweep_mean(&times),
+            eta,
+            phase2_ms: sweep_mean(&p2),
+        });
+    }
+    out
+}

@@ -1,0 +1,9 @@
+//! # geoqp-bench
+//!
+//! The experiment harness reproducing every table and figure of the
+//! paper's evaluation (Section 7). See `src/bin/repro.rs` for the runner
+//! and the `benches/` directory for criterion micro-benchmarks.
+
+pub mod experiments;
+
+pub use experiments::setup;

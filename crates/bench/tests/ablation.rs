@@ -1,0 +1,54 @@
+//! The ablation claims, pinned as tests:
+//!
+//! * E1 — without the aggregation-pushdown rule, every delivery-constrained
+//!   revenue rollup is rejected (Section 6.4's completeness argument);
+//! * E2 — a frontier cap of 1 (cheapest-only, no Pareto diversity) loses at
+//!   least the non-reducing rollup;
+//! * E3 — the response-time objective never reports a longer critical path
+//!   than the total-cost objective's total.
+
+use geoqp_bench::experiments::ablation;
+
+#[test]
+fn rule_and_frontier_ablations_behave_as_documented() {
+    let results = ablation::rejection_ablation(2021);
+    let by_name = |n: &str| {
+        results
+            .iter()
+            .find(|(name, _)| *name == n)
+            .map(|(_, c)| c)
+            .unwrap()
+    };
+    let full = by_name("full optimizer");
+    assert_eq!(full.rejected, 0, "full optimizer must plan everything");
+    assert!(full.planned >= 10);
+
+    let no_push = by_name("no aggregate pushdown");
+    assert_eq!(
+        no_push.planned, 0,
+        "without eager aggregation no rollup can reach L1"
+    );
+
+    let cap1 = by_name("frontier cap = 1");
+    assert!(
+        cap1.rejected >= 1,
+        "cheapest-only pruning must lose the non-reducing rollup"
+    );
+    assert!(
+        cap1.planned >= full.planned - 2,
+        "cap-1 should still plan the reducing rollups"
+    );
+}
+
+#[test]
+fn response_time_is_bounded_by_total_cost() {
+    for r in ablation::objective_comparison(2021) {
+        assert!(
+            r.response_time_ms <= r.total_cost_ms + 1e-6,
+            "{}: critical path {} exceeds total {}",
+            r.query,
+            r.response_time_ms,
+            r.total_cost_ms
+        );
+    }
+}

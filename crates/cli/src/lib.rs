@@ -1,0 +1,523 @@
+//! The `geoqp` shell: a line-oriented front end over the compliant query
+//! processing engine. All state and command handling lives here so that
+//! the shell is fully testable without a terminal.
+
+use geoqp_common::{GeoError, Location, Result, Rows, TableRef};
+use geoqp_core::{Engine, OptimizerMode};
+use geoqp_net::NetworkTopology;
+use geoqp_policy::{expand_denials, PolicyCatalog};
+use geoqp_storage::Catalog;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Shell state: the loaded deployment plus session settings.
+pub struct Shell {
+    engine: Option<Engine>,
+    mode: OptimizerMode,
+    result_location: Option<Location>,
+}
+
+impl Default for Shell {
+    fn default() -> Shell {
+        Shell::new()
+    }
+}
+
+impl Shell {
+    /// A shell with no deployment loaded.
+    pub fn new() -> Shell {
+        Shell {
+            engine: None,
+            mode: OptimizerMode::Compliant,
+            result_location: None,
+        }
+    }
+
+    /// Execute one input line (a `\command` or SQL) and return the text to
+    /// print.
+    pub fn run_command(&mut self, line: &str) -> Result<String> {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix('\\') {
+            self.meta_command(rest)
+        } else {
+            self.sql(line)
+        }
+    }
+
+    fn engine(&self) -> Result<&Engine> {
+        self.engine
+            .as_ref()
+            .ok_or_else(|| GeoError::Execution("no deployment loaded; try \\demo carco".into()))
+    }
+
+    fn meta_command(&mut self, rest: &str) -> Result<String> {
+        let mut parts = rest.splitn(2, ' ');
+        let cmd = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("").trim();
+        match cmd {
+            "help" | "h" => Ok(HELP.to_string()),
+            "demo" => self.load_demo(arg),
+            "tables" => self.tables(),
+            "locations" => {
+                let eng = self.engine()?;
+                Ok(format!("{}\n", eng.catalog().locations()))
+            }
+            "policies" => {
+                let eng = self.engine()?;
+                let mut out = String::new();
+                for e in eng.policies().expressions() {
+                    let _ = writeln!(out, "{e}");
+                }
+                if eng.policies().is_empty() {
+                    out.push_str("(no policies — nothing may leave its site)\n");
+                }
+                Ok(out)
+            }
+            "policy" => self.add_policy(arg),
+            "deny" => self.add_denial(arg),
+            "mode" => {
+                self.mode = match arg {
+                    "compliant" => OptimizerMode::Compliant,
+                    "traditional" => OptimizerMode::Traditional,
+                    other => {
+                        return Err(GeoError::Execution(format!(
+                            "unknown mode `{other}` (compliant|traditional)"
+                        )))
+                    }
+                };
+                Ok(format!("optimizer mode: {arg}\n"))
+            }
+            "at" => {
+                if arg.is_empty() || arg == "anywhere" {
+                    self.result_location = None;
+                    Ok("result location: optimizer's choice\n".to_string())
+                } else {
+                    self.result_location = Some(Location::new(arg));
+                    Ok(format!("result location: {arg}\n"))
+                }
+            }
+            "explain" => self.explain(arg),
+            other => Err(GeoError::Execution(format!(
+                "unknown command `\\{other}`; try \\help"
+            ))),
+        }
+    }
+
+    fn load_demo(&mut self, which: &str) -> Result<String> {
+        let mut parts = which.split_whitespace();
+        let name = parts.next().unwrap_or("carco");
+        match name {
+            "carco" => {
+                self.engine = Some(demo::carco()?);
+                Ok("loaded CarCo demo: customer@N, orders@E, supply@A with P_N/P_E/P_A\n"
+                    .to_string())
+            }
+            "tpch" => {
+                let sf: f64 = parts
+                    .next()
+                    .map(|s| s.parse().unwrap_or(0.002))
+                    .unwrap_or(0.002);
+                self.engine = Some(demo::tpch(sf)?);
+                Ok(format!(
+                    "loaded TPC-H demo at SF {sf}: Table 2 distribution over L1–L5, CR+A policies\n"
+                ))
+            }
+            other => Err(GeoError::Execution(format!(
+                "unknown demo `{other}` (carco|tpch [sf])"
+            ))),
+        }
+    }
+
+    fn tables(&self) -> Result<String> {
+        let eng = self.engine()?;
+        let mut out = String::new();
+        for db in eng.catalog().databases() {
+            let _ = writeln!(out, "{} @ {}", db.name, db.location);
+            for t in db.tables() {
+                let rows = t
+                    .data()
+                    .map(|d| format!("{} rows", d.row_count()))
+                    .unwrap_or_else(|| format!("~{} rows (stats only)", t.stats.row_count));
+                let _ = writeln!(out, "  {} {} — {rows}", t.table.table, t.schema);
+            }
+        }
+        Ok(out)
+    }
+
+    fn add_policy(&mut self, text: &str) -> Result<String> {
+        let expr = geoqp_parser::parse_policy(text)?;
+        let eng = self.engine()?;
+        let entries = eng.catalog().resolve(&expr.table);
+        let entry = entries
+            .first()
+            .ok_or_else(|| GeoError::Policy(format!("unknown table `{}`", expr.table)))?;
+        // Policies are registered into a rebuilt catalog (the engine holds
+        // them immutably).
+        let mut policies = PolicyCatalog::new();
+        for e in eng.policies().expressions() {
+            let sch = eng
+                .catalog()
+                .resolve(&e.expr.table)
+                .first()
+                .map(|t| t.schema.as_ref().clone())
+                .ok_or_else(|| GeoError::Policy("stale policy table".into()))?;
+            policies.register(e.expr.clone(), &sch)?;
+        }
+        policies.register(expr, &entry.schema)?;
+        self.swap_policies(policies)?;
+        Ok("policy registered\n".to_string())
+    }
+
+    fn add_denial(&mut self, text: &str) -> Result<String> {
+        let full = format!("deny {text}");
+        let denial = geoqp_parser::parse_denial(if text.starts_with("deny") {
+            text
+        } else {
+            &full
+        })?;
+        let eng = self.engine()?;
+        let entries = eng.catalog().resolve(&denial.table);
+        let entry = entries
+            .first()
+            .ok_or_else(|| GeoError::Policy(format!("unknown table `{}`", denial.table)))?;
+        let grants = expand_denials(
+            &TableRef::bare(&denial.table.table),
+            &entry.schema,
+            &[denial],
+            eng.catalog().locations(),
+        )?;
+        let mut policies = PolicyCatalog::new();
+        for e in eng.policies().expressions() {
+            let sch = eng
+                .catalog()
+                .resolve(&e.expr.table)
+                .first()
+                .map(|t| t.schema.as_ref().clone())
+                .ok_or_else(|| GeoError::Policy("stale policy table".into()))?;
+            policies.register(e.expr.clone(), &sch)?;
+        }
+        let mut out = String::new();
+        for g in grants {
+            let _ = writeln!(out, "expanded grant: {g}");
+            policies.register(g, &entry.schema)?;
+        }
+        self.swap_policies(policies)?;
+        Ok(out)
+    }
+
+    fn swap_policies(&mut self, policies: PolicyCatalog) -> Result<()> {
+        let eng = self.engine()?;
+        let catalog = Arc::clone(eng.catalog());
+        let topology = eng.topology().clone();
+        self.engine = Some(Engine::new(catalog, Arc::new(policies), topology));
+        Ok(())
+    }
+
+    fn explain(&mut self, sql: &str) -> Result<String> {
+        let eng = self.engine()?;
+        let optimized = eng.optimize_sql(sql, self.mode, self.result_location.clone())?;
+        let mut out = String::new();
+        let _ = writeln!(out, "annotated plan (ℰ = execution trait, 𝒮 = shipping trait):");
+        out.push_str(&geoqp_core::explain::display_annotated(&optimized.annotated));
+        let _ = writeln!(out, "\nphysical plan (result at {}):", optimized.result_location);
+        out.push_str(&geoqp_plan::display::display_physical(&optimized.physical));
+        let audit = match eng.audit(&optimized.physical) {
+            Ok(()) => "compliant".to_string(),
+            Err(e) => format!("NON-COMPLIANT — {e}"),
+        };
+        let _ = writeln!(
+            out,
+            "\naudit: {audit}\noptimized in {:.2} ms (η = {}, {} memo groups)",
+            optimized.stats.total_ms, optimized.stats.eta, optimized.stats.memo_groups
+        );
+        Ok(out)
+    }
+
+    fn sql(&mut self, sql: &str) -> Result<String> {
+        let eng = self.engine()?;
+        let (optimized, result) = eng.run_sql(sql, self.mode, self.result_location.clone())?;
+        let mut out = render_rows(&result.rows, &optimized.physical.schema.names());
+        let audit = match eng.audit(&optimized.physical) {
+            Ok(()) => "compliant",
+            Err(_) => "NON-COMPLIANT",
+        };
+        let _ = writeln!(
+            out,
+            "({} rows at {}; {} transfers, {} bytes, {:.1} ms simulated WAN; plan {audit})",
+            result.rows.len(),
+            optimized.result_location,
+            result.transfers.transfer_count(),
+            result.transfers.total_bytes(),
+            result.transfers.total_cost_ms(),
+        );
+        Ok(out)
+    }
+}
+
+/// Render rows as an aligned text table (capped at 40 rows).
+pub fn render_rows(rows: &Rows, columns: &[&str]) -> String {
+    const MAX: usize = 40;
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(rows.len().min(MAX) + 1);
+    cells.push(columns.iter().map(|c| c.to_string()).collect());
+    for row in rows.iter().take(MAX) {
+        cells.push(row.iter().map(|v| v.to_string()).collect());
+    }
+    let ncols = columns.len();
+    let mut widths = vec![0usize; ncols];
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in cells.iter().enumerate() {
+        for (i, c) in row.iter().enumerate() {
+            let _ = write!(out, "{:width$}  ", c, width = widths[i]);
+        }
+        out.push('\n');
+        if ri == 0 {
+            for w in &widths {
+                let _ = write!(out, "{}  ", "-".repeat(*w));
+            }
+            out.push('\n');
+        }
+    }
+    if rows.len() > MAX {
+        let _ = writeln!(out, "… {} more rows", rows.len() - MAX);
+    }
+    out
+}
+
+const HELP: &str = "\
+commands:
+  \\demo carco | tpch [sf]   load a demo deployment
+  \\tables                   list databases and tables
+  \\locations                list sites
+  \\policies                 list dataflow policies
+  \\policy <expression>      register: ship <attrs> from <t> to <locs> …
+  \\deny <expression>        register a denial (closed-world expansion)
+  \\mode compliant|traditional
+  \\at <location>|anywhere   pin the result location
+  \\explain <sql>            show annotated + physical plan
+  \\quit                     exit
+anything else is executed as SQL\n";
+
+mod demo {
+    use super::*;
+    use geoqp_common::{DataType, Field, LocationSet, Schema, Value};
+    use geoqp_storage::{Table, TableStats};
+
+    /// The paper's running example, with a little data.
+    pub fn carco() -> Result<Engine> {
+        let mut catalog = Catalog::new();
+        catalog.add_database("db-n", Location::new("N"))?;
+        catalog.add_database("db-e", Location::new("E"))?;
+        catalog.add_database("db-a", Location::new("A"))?;
+        let customer = catalog.add_table(
+            "db-n",
+            "customer",
+            Schema::new(vec![
+                Field::new("c_custkey", DataType::Int64),
+                Field::new("c_name", DataType::Str),
+                Field::new("c_acctbal", DataType::Float64),
+            ])?,
+            TableStats::new(3, 40.0),
+        )?;
+        let orders = catalog.add_table(
+            "db-e",
+            "orders",
+            Schema::new(vec![
+                Field::new("o_custkey", DataType::Int64),
+                Field::new("o_ordkey", DataType::Int64),
+                Field::new("o_totprice", DataType::Float64),
+            ])?,
+            TableStats::new(4, 24.0),
+        )?;
+        let supply = catalog.add_table(
+            "db-a",
+            "supply",
+            Schema::new(vec![
+                Field::new("s_ordkey", DataType::Int64),
+                Field::new("s_quantity", DataType::Int64),
+            ])?,
+            TableStats::new(6, 16.0),
+        )?;
+        customer.set_data(Table::new(
+            Arc::clone(&customer.schema),
+            vec![
+                vec![Value::Int64(1), Value::str("alice"), Value::Float64(120.0)],
+                vec![Value::Int64(2), Value::str("bob"), Value::Float64(75.5)],
+                vec![Value::Int64(3), Value::str("carol"), Value::Float64(310.0)],
+            ],
+        )?)?;
+        orders.set_data(Table::new(
+            Arc::clone(&orders.schema),
+            vec![
+                vec![Value::Int64(1), Value::Int64(10), Value::Float64(55.0)],
+                vec![Value::Int64(2), Value::Int64(11), Value::Float64(25.0)],
+                vec![Value::Int64(3), Value::Int64(12), Value::Float64(90.0)],
+                vec![Value::Int64(1), Value::Int64(13), Value::Float64(42.0)],
+            ],
+        )?)?;
+        supply.set_data(Table::new(
+            Arc::clone(&supply.schema),
+            vec![
+                vec![Value::Int64(10), Value::Int64(5)],
+                vec![Value::Int64(11), Value::Int64(9)],
+                vec![Value::Int64(12), Value::Int64(4)],
+                vec![Value::Int64(12), Value::Int64(2)],
+                vec![Value::Int64(13), Value::Int64(7)],
+                vec![Value::Int64(10), Value::Int64(1)],
+            ],
+        )?)?;
+        let mut policies = PolicyCatalog::new();
+        for text in [
+            "ship c_custkey, c_name from db-n.customer to *",
+            "ship o_totprice as aggregates sum from db-e.orders to A group by o_custkey, o_ordkey",
+            "ship o_custkey, o_ordkey from db-e.orders to N, A",
+            "ship s_quantity as aggregates sum from db-a.supply to E group by s_ordkey",
+        ] {
+            let e = geoqp_parser::parse_policy(text)?;
+            let entry = catalog.resolve_one(&e.table)?;
+            policies.register(e, &entry.schema)?;
+        }
+        let topo =
+            NetworkTopology::uniform(LocationSet::from_iter(["N", "E", "A"]), 120.0, 100.0);
+        Ok(Engine::new(Arc::new(catalog), Arc::new(policies), topo))
+    }
+
+    /// The paper's evaluation deployment, populated at a small scale.
+    pub fn tpch(sf: f64) -> Result<Engine> {
+        let catalog = Arc::new(geoqp_tpch::paper_catalog(sf));
+        geoqp_tpch::populate(&catalog, sf, 7)?;
+        let policies = geoqp_tpch::generate_policies(
+            &catalog,
+            geoqp_tpch::PolicyTemplate::CRA,
+            10,
+            2021,
+        )?;
+        Ok(Engine::new(
+            catalog,
+            Arc::new(policies),
+            NetworkTopology::paper_wan(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carco_session_end_to_end() {
+        let mut sh = Shell::new();
+        assert!(sh.run_command("SELECT 1 FROM x").is_err(), "no deployment yet");
+        sh.run_command("\\demo carco").unwrap();
+        let out = sh.run_command("\\tables").unwrap();
+        assert!(out.contains("customer"));
+        assert!(out.contains("db-a @ A"));
+
+        let out = sh
+            .run_command(
+                "SELECT c_name, SUM(o_totprice) AS total FROM customer, orders \
+                 WHERE c_custkey = o_custkey GROUP BY c_name ORDER BY c_name",
+            )
+            .unwrap();
+        assert!(out.contains("alice"), "{out}");
+        assert!(out.contains("plan compliant"));
+
+        // Raw account balances cannot leave N: pin the result to E.
+        sh.run_command("\\at E").unwrap();
+        let err = sh
+            .run_command("SELECT c_name, c_acctbal FROM customer")
+            .unwrap_err();
+        assert_eq!(err.kind(), "rejected");
+        sh.run_command("\\at N").unwrap();
+        assert!(sh
+            .run_command("SELECT c_name, c_acctbal FROM customer")
+            .is_ok());
+    }
+
+    #[test]
+    fn explain_and_modes() {
+        let mut sh = Shell::new();
+        sh.run_command("\\demo carco").unwrap();
+        let out = sh
+            .run_command("\\explain SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey")
+            .unwrap();
+        assert!(out.contains("ℰ="));
+        assert!(out.contains("audit: compliant"));
+        sh.run_command("\\mode traditional").unwrap();
+        let out = sh
+            .run_command("\\explain SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey")
+            .unwrap();
+        assert!(out.contains("physical plan"));
+    }
+
+    #[test]
+    fn policies_can_be_added_live() {
+        let mut sh = Shell::new();
+        sh.run_command("\\demo carco").unwrap();
+        // acctbal is not shippable...
+        sh.run_command("\\at E").unwrap();
+        assert!(sh
+            .run_command("SELECT c_acctbal FROM customer")
+            .is_err());
+        // ...until a policy grants it.
+        sh.run_command("\\policy ship c_acctbal from customer to E")
+            .unwrap();
+        let out = sh.run_command("SELECT c_acctbal FROM customer").unwrap();
+        assert!(out.contains("rows at E"));
+        let listed = sh.run_command("\\policies").unwrap();
+        assert!(listed.contains("c_acctbal"));
+    }
+
+    #[test]
+    fn denials_expand_in_session() {
+        let mut sh = Shell::new();
+        sh.run_command("\\demo carco").unwrap();
+        let out = sh
+            .run_command("\\deny ship c_acctbal from customer to *")
+            .unwrap();
+        assert!(out.contains("expanded grant"), "{out}");
+        // The expansion grants everything else everywhere, so the name
+        // now flows freely...
+        sh.run_command("\\at A").unwrap();
+        assert!(sh.run_command("SELECT c_name FROM customer").is_ok());
+        // ...but balances still do not.
+        assert!(sh.run_command("SELECT c_acctbal FROM customer").is_err());
+    }
+
+    #[test]
+    fn tpch_demo_loads_and_answers() {
+        let mut sh = Shell::new();
+        sh.run_command("\\demo tpch 0.001").unwrap();
+        let out = sh
+            .run_command(
+                "SELECT n_name, COUNT(s_suppkey) AS n FROM nation, supplier \
+                 WHERE n_nationkey = s_nationkey GROUP BY n_name ORDER BY n DESC LIMIT 3",
+            )
+            .unwrap();
+        assert!(out.contains("rows at"), "{out}");
+    }
+
+    #[test]
+    fn unknown_commands_and_bad_sql_error_cleanly() {
+        let mut sh = Shell::new();
+        sh.run_command("\\demo carco").unwrap();
+        assert!(sh.run_command("\\frobnicate").is_err());
+        assert!(sh.run_command("SELEKT oops").is_err());
+        assert!(sh.run_command("\\mode sideways").is_err());
+        assert!(sh.run_command("\\demo nope").is_err());
+    }
+
+    #[test]
+    fn row_rendering_aligns_and_caps() {
+        let rows: Rows = (0..50)
+            .map(|i| vec![geoqp_common::Value::Int64(i), geoqp_common::Value::str("x")])
+            .collect();
+        let out = render_rows(&rows, &["id", "v"]);
+        assert!(out.contains("… 10 more rows"));
+        assert!(out.lines().next().unwrap().starts_with("id"));
+    }
+}

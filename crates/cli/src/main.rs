@@ -1,0 +1,56 @@
+//! `geoqp` — an interactive shell for compliant geo-distributed query
+//! processing.
+//!
+//! ```bash
+//! cargo run -p geoqp-cli --bin geoqp-shell        # starts with \demo carco
+//! echo 'SELECT ...' | cargo run -p geoqp-cli --bin geoqp-shell -- --demo tpch
+//! ```
+
+use geoqp_cli::Shell;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let demo = args
+        .iter()
+        .position(|a| a == "--demo")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("carco");
+
+    let mut shell = Shell::new();
+    match shell.run_command(&format!("\\demo {demo}")) {
+        Ok(out) => print!("{out}"),
+        Err(e) => eprintln!("error: {e}"),
+    }
+    println!("type SQL, \\help for commands, \\quit to exit");
+
+    let stdin = io::stdin();
+    let interactive = args.iter().all(|a| a != "--batch");
+    loop {
+        if interactive {
+            print!("geoqp> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\quit" || line == "\\q" {
+            break;
+        }
+        match shell.run_command(line) {
+            Ok(out) => print!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Workspace-wide error type.
+//!
+//! All crates in the workspace surface failures through [`GeoError`]. The
+//! variants mirror the pipeline stages of the paper's architecture (Figure 2):
+//! parsing, planning, policy handling, optimization, site selection, and
+//! execution. The [`GeoError::QueryRejected`] variant corresponds to the
+//! optimizer's *reject* outcome — a query for which no compliant execution
+//! plan exists in the explored search space.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = GeoError> = std::result::Result<T, E>;
+
+/// The error type shared by every `geoqp` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeoError {
+    /// Lexing or parsing a SQL query or policy expression failed.
+    Parse(String),
+    /// Building or validating a logical plan failed (unknown column, type
+    /// mismatch, ambiguous name, ...).
+    Plan(String),
+    /// A policy expression is malformed or references unknown schema objects.
+    Policy(String),
+    /// The optimizer failed internally (exhausted budget, broken invariant).
+    Optimize(String),
+    /// The optimizer proved that no compliant plan exists in its search space
+    /// and rejected the query (Section 6.2: "otherwise, it rejects the
+    /// query").
+    QueryRejected(String),
+    /// A storage-layer failure (unknown table/database, arity mismatch).
+    Storage(String),
+    /// A runtime failure while executing a physical plan.
+    Execution(String),
+    /// A compliance audit found a dataflow-policy violation in a plan
+    /// (used by the Definition-1 checker, never by the compliant optimizer
+    /// itself — see Theorem 1).
+    NonCompliant(String),
+    /// The feature is out of the supported dialect/algebra subset.
+    Unsupported(String),
+}
+
+impl GeoError {
+    /// Short machine-readable category label, handy for test assertions and
+    /// experiment summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GeoError::Parse(_) => "parse",
+            GeoError::Plan(_) => "plan",
+            GeoError::Policy(_) => "policy",
+            GeoError::Optimize(_) => "optimize",
+            GeoError::QueryRejected(_) => "rejected",
+            GeoError::Storage(_) => "storage",
+            GeoError::Execution(_) => "execution",
+            GeoError::NonCompliant(_) => "non-compliant",
+            GeoError::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            GeoError::Parse(m)
+            | GeoError::Plan(m)
+            | GeoError::Policy(m)
+            | GeoError::Optimize(m)
+            | GeoError::QueryRejected(m)
+            | GeoError::Storage(m)
+            | GeoError::Execution(m)
+            | GeoError::NonCompliant(m)
+            | GeoError::Unsupported(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = GeoError::QueryRejected("no compliant plan for Q5".into());
+        assert_eq!(e.to_string(), "rejected error: no compliant plan for Q5");
+        assert_eq!(e.kind(), "rejected");
+        assert_eq!(e.message(), "no compliant plan for Q5");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GeoError::Parse("x".into()),
+            GeoError::Parse("x".into())
+        );
+        assert_ne!(
+            GeoError::Parse("x".into()),
+            GeoError::Plan("x".into())
+        );
+    }
+
+    #[test]
+    fn every_variant_has_a_distinct_kind() {
+        let variants = [
+            GeoError::Parse(String::new()),
+            GeoError::Plan(String::new()),
+            GeoError::Policy(String::new()),
+            GeoError::Optimize(String::new()),
+            GeoError::QueryRejected(String::new()),
+            GeoError::Storage(String::new()),
+            GeoError::Execution(String::new()),
+            GeoError::NonCompliant(String::new()),
+            GeoError::Unsupported(String::new()),
+        ];
+        let mut kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), variants.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! # geoqp-common
+//!
+//! Shared foundation types for the `geoqp` workspace — the Rust reproduction
+//! of *Compliant Geo-distributed Query Processing* (SIGMOD 2021).
+//!
+//! This crate defines:
+//!
+//! * [`Value`] and [`DataType`] — the dynamic value model used by the
+//!   expression evaluator, executor, and network serializer,
+//! * [`Schema`] / [`Field`] — relational schemas with name-based lookup,
+//! * [`Location`], [`LocationSet`], and [`LocationPattern`] — geographic or
+//!   institutional sites, the *execution/shipping trait* carriers of the
+//!   paper's Section 6,
+//! * [`TableRef`] — a `database.table` reference tying a table to a site,
+//! * [`GeoError`] / [`Result`] — the workspace-wide error type.
+//!
+//! Everything here is deliberately dependency-light so that every other crate
+//! in the workspace can build on it.
+
+pub mod error;
+pub mod location;
+pub mod row;
+pub mod schema;
+pub mod table_ref;
+pub mod types;
+pub mod value;
+
+pub use error::{GeoError, Result};
+pub use location::{Location, LocationPattern, LocationSet};
+pub use row::{Row, Rows};
+pub use schema::{Field, Schema};
+pub use table_ref::TableRef;
+pub use types::DataType;
+pub use value::Value;

@@ -1,0 +1,285 @@
+//! Geographic / institutional locations and sets thereof.
+//!
+//! Locations are the carriers of the paper's compliance machinery: each table
+//! lives at a location, each policy expression names *to*-locations, and the
+//! optimizer derives per-operator **execution traits** and **shipping
+//! traits** as sets of locations (Section 6.1).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single geo-distributed site ("Europe", "L3", "db-asia", ...).
+///
+/// Cheap to clone (reference-counted name) and totally ordered so that it can
+/// live in the sorted sets used for trait computations.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Location(Arc<str>);
+
+impl Location {
+    /// Create a location from its name.
+    pub fn new(name: impl AsRef<str>) -> Location {
+        Location(Arc::from(name.as_ref()))
+    }
+
+    /// The location's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Location {
+    fn from(s: &str) -> Location {
+        Location::new(s)
+    }
+}
+
+impl From<String> for Location {
+    fn from(s: String) -> Location {
+        Location::new(s)
+    }
+}
+
+/// An ordered set of locations.
+///
+/// Used for execution traits `ℰ_n`, shipping traits `𝒮_n`, per-attribute
+/// legal-location sets `L_a` in Algorithm 1, and policy *to*-lists. The
+/// set operations here are exactly the ones whose cost the paper's Figure 8
+/// experiment measures, so they are implemented directly over sorted sets
+/// rather than hidden behind bitmap interning.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LocationSet(BTreeSet<Location>);
+
+impl LocationSet {
+    /// The empty set.
+    pub fn new() -> LocationSet {
+        LocationSet(BTreeSet::new())
+    }
+
+    /// A singleton set.
+    pub fn singleton(l: Location) -> LocationSet {
+        let mut s = BTreeSet::new();
+        s.insert(l);
+        LocationSet(s)
+    }
+
+    /// Build from anything yielding locations.
+    pub fn from_iter<I, L>(iter: I) -> LocationSet
+    where
+        I: IntoIterator<Item = L>,
+        L: Into<Location>,
+    {
+        LocationSet(iter.into_iter().map(Into::into).collect())
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty — an empty execution trait means "cannot be legally
+    /// executed anywhere", which the compliance cost function prices at ∞.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, l: &Location) -> bool {
+        self.0.contains(l)
+    }
+
+    /// Insert a location; returns true if newly added.
+    pub fn insert(&mut self, l: Location) -> bool {
+        self.0.insert(l)
+    }
+
+    /// Set intersection (used by annotation rule AR2 and Algorithm 1's final
+    /// per-attribute intersection).
+    pub fn intersect(&self, other: &LocationSet) -> LocationSet {
+        LocationSet(self.0.intersection(&other.0).cloned().collect())
+    }
+
+    /// Set union (used by annotation rules AR3/AR4 and Algorithm 1's
+    /// per-attribute accumulation).
+    pub fn union(&self, other: &LocationSet) -> LocationSet {
+        LocationSet(self.0.union(&other.0).cloned().collect())
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &LocationSet) {
+        for l in &other.0 {
+            self.0.insert(l.clone());
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &LocationSet) {
+        self.0.retain(|l| other.contains(l));
+    }
+
+    /// Subset test.
+    pub fn is_subset(&self, other: &LocationSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// True when superset of `other`.
+    pub fn is_superset(&self, other: &LocationSet) -> bool {
+        self.0.is_superset(&other.0)
+    }
+
+    /// Iterate in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Location> {
+        self.0.iter()
+    }
+
+    /// An arbitrary (smallest) element, if any.
+    pub fn first(&self) -> Option<&Location> {
+        self.0.iter().next()
+    }
+}
+
+impl FromIterator<Location> for LocationSet {
+    fn from_iter<I: IntoIterator<Item = Location>>(iter: I) -> LocationSet {
+        LocationSet(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a LocationSet {
+    type Item = &'a Location;
+    type IntoIter = std::collections::btree_set::Iter<'a, Location>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for LocationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A location list as written in a policy expression's `to` clause:
+/// either `*` ("all known locations") or an explicit list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocationPattern {
+    /// `to *`: every location registered in the deployment.
+    Star,
+    /// `to l1, l2, ...`: exactly these locations.
+    Set(LocationSet),
+}
+
+impl LocationPattern {
+    /// Resolve the pattern against the deployment's universe of locations.
+    pub fn resolve(&self, universe: &LocationSet) -> LocationSet {
+        match self {
+            LocationPattern::Star => universe.clone(),
+            LocationPattern::Set(s) => s.clone(),
+        }
+    }
+
+    /// Membership under a given universe.
+    pub fn allows(&self, l: &Location, universe: &LocationSet) -> bool {
+        match self {
+            LocationPattern::Star => universe.contains(l),
+            LocationPattern::Set(s) => s.contains(l),
+        }
+    }
+}
+
+impl fmt::Display for LocationPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocationPattern::Star => f.write_str("*"),
+            LocationPattern::Set(s) => {
+                let names: Vec<_> = s.iter().map(Location::name).collect();
+                f.write_str(&names.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(names: &[&str]) -> LocationSet {
+        LocationSet::from_iter(names.iter().copied())
+    }
+
+    #[test]
+    fn basic_ops() {
+        let eu_asia = set(&["Europe", "Asia"]);
+        let asia_na = set(&["Asia", "NorthAmerica"]);
+        assert_eq!(eu_asia.intersect(&asia_na), set(&["Asia"]));
+        assert_eq!(
+            eu_asia.union(&asia_na),
+            set(&["Europe", "Asia", "NorthAmerica"])
+        );
+        assert!(eu_asia.contains(&Location::new("Europe")));
+        assert!(!eu_asia.contains(&Location::new("NorthAmerica")));
+    }
+
+    #[test]
+    fn in_place_ops_match_pure_ops() {
+        let a = set(&["x", "y", "z"]);
+        let b = set(&["y", "z", "w"]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, a.union(&b));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i, a.intersect(&b));
+    }
+
+    #[test]
+    fn empty_set_semantics() {
+        let empty = LocationSet::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.intersect(&set(&["a"])), empty);
+        assert_eq!(empty.union(&set(&["a"])), set(&["a"]));
+    }
+
+    #[test]
+    fn subset_relations() {
+        assert!(set(&["a"]).is_subset(&set(&["a", "b"])));
+        assert!(set(&["a", "b"]).is_superset(&set(&["a"])));
+        assert!(LocationSet::new().is_subset(&LocationSet::new()));
+    }
+
+    #[test]
+    fn star_pattern_resolves_to_universe() {
+        let universe = set(&["L1", "L2", "L3"]);
+        assert_eq!(LocationPattern::Star.resolve(&universe), universe);
+        let explicit = LocationPattern::Set(set(&["L2"]));
+        assert_eq!(explicit.resolve(&universe), set(&["L2"]));
+        assert!(LocationPattern::Star.allows(&Location::new("L1"), &universe));
+        assert!(!LocationPattern::Star.allows(&Location::new("L9"), &universe));
+    }
+
+    #[test]
+    fn display_is_sorted() {
+        assert_eq!(set(&["b", "a"]).to_string(), "{a, b}");
+        assert_eq!(LocationPattern::Star.to_string(), "*");
+    }
+
+    #[test]
+    fn ordering_is_stable_for_iteration() {
+        let s = set(&["L3", "L1", "L2"]);
+        let names: Vec<_> = s.iter().map(Location::name).collect();
+        assert_eq!(names, vec!["L1", "L2", "L3"]);
+    }
+}

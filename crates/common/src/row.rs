@@ -1,0 +1,179 @@
+//! Rows and row batches.
+
+use crate::value::Value;
+
+/// A single tuple: one value per schema field, in schema order.
+pub type Row = Vec<Value>;
+
+/// A materialized batch of rows — the unit that flows between operators in
+/// the local executor and across SHIP operators in the distributed engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Rows {
+    rows: Vec<Row>,
+}
+
+impl Rows {
+    /// Empty batch.
+    pub fn new() -> Rows {
+        Rows { rows: Vec::new() }
+    }
+
+    /// From a vector of rows.
+    pub fn from_rows(rows: Vec<Row>) -> Rows {
+        Rows { rows }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Borrow the rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    /// Exact serialized size of the batch under [`Value::encode_into`]'s
+    /// encoding, plus a fixed 8-byte batch header. This is the byte count
+    /// the network simulator charges for a SHIP of this batch.
+    pub fn encoded_size(&self) -> usize {
+        8 + self
+            .rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(Value::estimated_exact_width)
+            .sum::<usize>()
+    }
+
+    /// Serialize all rows into a byte buffer (8-byte row-count header, then
+    /// each row's values back to back). The distributed engine ships these
+    /// bytes and re-decodes them at the receiving site, so the simulated
+    /// transfer volume is the real volume.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_size());
+        buf.extend_from_slice(&(self.rows.len() as u64).to_le_bytes());
+        for row in &self.rows {
+            for v in row {
+                v.encode_into(&mut buf);
+            }
+        }
+        buf
+    }
+
+    /// Decode a buffer produced by [`Rows::encode`], given the row arity.
+    pub fn decode(buf: &[u8], arity: usize) -> Option<Rows> {
+        let header: [u8; 8] = buf.get(..8)?.try_into().ok()?;
+        let n = u64::from_le_bytes(header) as usize;
+        let mut pos = 8;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let (v, used) = Value::decode_from(&buf[pos..])?;
+                pos += used;
+                row.push(v);
+            }
+            rows.push(row);
+        }
+        (pos == buf.len()).then_some(Rows { rows })
+    }
+}
+
+impl Value {
+    /// Exact width of this value under the wire encoding (tag byte included).
+    pub fn estimated_exact_width(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 2,
+            Value::Int64(_) | Value::Float64(_) => 9,
+            Value::Date(_) => 5,
+            Value::Str(s) => 5 + s.len(),
+        }
+    }
+}
+
+impl FromIterator<Row> for Rows {
+    fn from_iter<I: IntoIterator<Item = Row>>(iter: I) -> Rows {
+        Rows {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Rows {
+    type Item = Row;
+    type IntoIter = std::vec::IntoIter<Row>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Rows {
+        Rows::from_rows(vec![
+            vec![Value::Int64(1), Value::str("alice"), Value::Float64(10.5)],
+            vec![Value::Int64(2), Value::Null, Value::Float64(-3.25)],
+        ])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let rows = sample();
+        let buf = rows.encode();
+        assert_eq!(buf.len(), rows.encoded_size());
+        let back = Rows::decode(&buf, 3).expect("decode");
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut buf = sample().encode();
+        buf.push(0xFF);
+        assert!(Rows::decode(&buf, 3).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let buf = sample().encode();
+        assert!(Rows::decode(&buf[..buf.len() - 1], 3).is_none());
+    }
+
+    #[test]
+    fn empty_batch_is_header_only() {
+        let rows = Rows::new();
+        assert!(rows.is_empty());
+        let buf = rows.encode();
+        assert_eq!(buf.len(), 8);
+        assert_eq!(Rows::decode(&buf, 5).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let rows: Rows = (0..3).map(|i| vec![Value::Int64(i)]).collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.rows()[2][0], Value::Int64(2));
+    }
+}

@@ -1,0 +1,97 @@
+//! Qualified table references.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `database.table` reference.
+///
+/// Following the paper's model (Section 3), each location houses exactly one
+/// database, so the database component also identifies the site the table is
+/// stored at. Policy expressions reference tables as `db-2.partsupp`
+/// (Table 3), and unqualified references resolve against the global schema.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableRef {
+    /// Owning database, e.g. `db-1`. `None` for references against the
+    /// global schema that are resolved later.
+    pub database: Option<String>,
+    /// Table name, lower-cased at construction for case-insensitive SQL.
+    pub table: String,
+}
+
+impl TableRef {
+    /// An unqualified reference (`customer`).
+    pub fn bare(table: impl AsRef<str>) -> TableRef {
+        TableRef {
+            database: None,
+            table: table.as_ref().to_ascii_lowercase(),
+        }
+    }
+
+    /// A qualified reference (`db-1.customer`).
+    pub fn qualified(database: impl AsRef<str>, table: impl AsRef<str>) -> TableRef {
+        TableRef {
+            database: Some(database.as_ref().to_ascii_lowercase()),
+            table: table.as_ref().to_ascii_lowercase(),
+        }
+    }
+
+    /// Parse `db.table` or `table`.
+    pub fn parse(s: &str) -> TableRef {
+        match s.split_once('.') {
+            Some((db, t)) => TableRef::qualified(db, t),
+            None => TableRef::bare(s),
+        }
+    }
+
+    /// Whether this reference matches another, treating a missing database
+    /// qualifier as a wildcard.
+    pub fn matches(&self, other: &TableRef) -> bool {
+        if self.table != other.table {
+            return false;
+        }
+        match (&self.database, &other.database) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.database {
+            Some(db) => write!(f, "{db}.{}", self.table),
+            None => f.write_str(&self.table),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_qualified_and_bare() {
+        assert_eq!(
+            TableRef::parse("db-2.PartSupp"),
+            TableRef::qualified("db-2", "partsupp")
+        );
+        assert_eq!(TableRef::parse("Customer"), TableRef::bare("customer"));
+    }
+
+    #[test]
+    fn matching_treats_missing_db_as_wildcard() {
+        let q = TableRef::qualified("db-1", "customer");
+        let b = TableRef::bare("customer");
+        assert!(b.matches(&q));
+        assert!(q.matches(&b));
+        assert!(q.matches(&q));
+        assert!(!q.matches(&TableRef::qualified("db-2", "customer")));
+        assert!(!b.matches(&TableRef::bare("orders")));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(TableRef::parse("db-1.customer").to_string(), "db-1.customer");
+        assert_eq!(TableRef::parse("orders").to_string(), "orders");
+    }
+}

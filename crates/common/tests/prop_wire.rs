@@ -1,0 +1,109 @@
+//! Property tests for the wire format and value ordering laws.
+
+use geoqp_common::{value::civil_from_days, value::days_from_civil, Row, Rows, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int64),
+        any::<f64>().prop_map(Value::Float64),
+        ".{0,24}".prop_map(Value::str),
+        (-200_000i32..200_000).prop_map(Value::Date),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    proptest::collection::vec(arb_value(), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value survives the wire encoding bit-for-bit (floats by
+    /// total order, i.e. NaN payloads included).
+    #[test]
+    fn value_round_trips(v in arb_value()) {
+        let mut buf = Vec::new();
+        let n = v.encode_into(&mut buf);
+        prop_assert_eq!(n, buf.len());
+        let (back, used) = Value::decode_from(&buf).expect("decode");
+        prop_assert_eq!(used, n);
+        prop_assert_eq!(back.total_cmp(&v), Ordering::Equal);
+    }
+
+    /// Batches round trip, and encoded_size is exact.
+    #[test]
+    fn batch_round_trips(rows in proptest::collection::vec(arb_row(), 0..12)) {
+        // Give every row the arity of the first (mixed arity is invalid).
+        let arity = rows.first().map(Vec::len).unwrap_or(0);
+        let rows: Vec<Row> = rows
+            .into_iter()
+            .map(|mut r| {
+                r.resize(arity, Value::Null);
+                r
+            })
+            .collect();
+        let batch = Rows::from_rows(rows);
+        let buf = batch.encode();
+        prop_assert_eq!(buf.len(), batch.encoded_size());
+        let back = Rows::decode(&buf, arity).expect("decode");
+        prop_assert_eq!(back.len(), batch.len());
+        for (a, b) in back.iter().zip(batch.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(x.total_cmp(y), Ordering::Equal);
+            }
+        }
+    }
+
+    /// Truncated buffers never decode (no panics, no partial reads).
+    #[test]
+    fn truncation_is_detected(rows in proptest::collection::vec(arb_row(), 1..6), cut in 1usize..16) {
+        let arity = rows[0].len();
+        let rows: Vec<Row> = rows
+            .into_iter()
+            .map(|mut r| {
+                r.resize(arity, Value::Null);
+                r
+            })
+            .collect();
+        let batch = Rows::from_rows(rows);
+        let buf = batch.encode();
+        if cut < buf.len() {
+            let truncated = &buf[..buf.len() - cut];
+            prop_assert!(Rows::decode(truncated, arity).is_none());
+        }
+    }
+
+    /// total_cmp is a total order: antisymmetric and transitive on samples.
+    #[test]
+    fn total_cmp_laws(a in arb_value(), b in arb_value(), c in arb_value()) {
+        // Antisymmetry.
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Transitivity (≤).
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+        // Hash consistency with equality.
+        if a.total_cmp(&b) == Ordering::Equal {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    /// Date conversion is a bijection over a wide range.
+    #[test]
+    fn civil_date_bijection(days in -200_000i32..200_000) {
+        let (y, m, d) = civil_from_days(days);
+        prop_assert_eq!(days_from_civil(y, m, d), days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+}

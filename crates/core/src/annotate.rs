@@ -1,0 +1,649 @@
+//! The **plan annotator** — phase 1 of the two-phase optimizer
+//! (Section 6.2).
+//!
+//! After logical exploration, physical candidates are derived bottom-up
+//! over the memo. Each candidate carries the paper's two new logical
+//! properties:
+//!
+//! * **execution trait** `ℰ_n` — where the operator may legally execute,
+//! * **shipping trait** `𝒮_n` — where its output may legally be shipped,
+//!
+//! derived by the annotation rules of Section 6.1:
+//!
+//! * **AR1**: a tablescan's `ℰ` is the table's source location;
+//! * **AR2**: `ℰ_n ⊇ ⋂_{n' ∈ in(n)} 𝒮_{n'}`;
+//! * **AR3**: `𝒮_n ⊇ ℰ_n`;
+//! * **AR4**: `𝒮_n ⊇ 𝒜(Q_n, D, P_D)` when `Q_n` is a local query over a
+//!   single database (the policy evaluator's domain).
+//!
+//! The compliance-based cost function assigns infinite cost to operators
+//! with an empty execution trait; bottom-up, such candidates can never be
+//! completed into an executable plan (single-database subplans always
+//! retain their home location), so they are dropped outright. Per group a
+//! **Pareto frontier** over `(cost, ℰ, 𝒮)` is kept — the "geo-locations as
+//! interesting properties" of the paper: a cheaper plan may not shadow a
+//! costlier one that alone carries the traits a parent needs.
+
+use crate::cost::{estimate, local_op_cost, OpKind, PlanStats};
+use crate::memo::{build_plan, GroupId, MExpr, MOp, Memo};
+use geoqp_common::{GeoError, Location, LocationSet, Result, Schema};
+use geoqp_plan::descriptor::describe_local;
+use geoqp_plan::logical::LogicalPlan;
+use geoqp_policy::PolicyEvaluator;
+use geoqp_storage::Catalog;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Default upper bound on a group's Pareto frontier; beyond it the
+/// cheapest candidates win (generous — frontiers are typically tiny).
+pub const DEFAULT_MAX_FRONTIER: usize = 32;
+
+/// One physical candidate of a group.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The operator (1:1 logical→physical mapping in this engine).
+    pub op: MOp,
+    /// `(child group, candidate index within that group's frontier)`.
+    pub children: Vec<(GroupId, usize)>,
+    /// Phase-1 (location-agnostic) cost of the whole subtree.
+    pub cost: f64,
+    /// Execution trait `ℰ`.
+    pub exec: LocationSet,
+    /// Shipping trait `𝒮`.
+    pub ship: LocationSet,
+    /// The concrete logical plan of this candidate (feeds AR4 and the
+    /// compliance checker).
+    pub logical: Arc<LogicalPlan>,
+}
+
+/// An extracted, annotated operator tree — the "annotated QEP" phase 1
+/// hands to the site selector.
+#[derive(Debug, Clone)]
+pub struct AnnotatedNode {
+    /// Operator.
+    pub op: MOp,
+    /// Output schema.
+    pub schema: Arc<Schema>,
+    /// Execution trait.
+    pub exec: LocationSet,
+    /// Shipping trait.
+    pub ship: LocationSet,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated output row width (bytes).
+    pub width: f64,
+    /// Children.
+    pub children: Vec<AnnotatedNode>,
+}
+
+impl AnnotatedNode {
+    /// Count operators.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(AnnotatedNode::node_count).sum::<usize>()
+    }
+
+    /// Estimated output bytes.
+    pub fn bytes(&self) -> f64 {
+        self.rows * self.width
+    }
+}
+
+/// Whether compliance machinery is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotateMode {
+    /// Derive traits via AR1–AR4 and drop un-annotatable candidates.
+    Compliant,
+    /// Traditional baseline: every operator may run anywhere (scans stay
+    /// pinned to their table's site), policies are ignored.
+    Traditional,
+}
+
+/// Phase-1 annotator.
+pub struct Annotator<'a> {
+    catalog: &'a Catalog,
+    evaluator: &'a PolicyEvaluator<'a>,
+    mode: AnnotateMode,
+    frontier_cap: usize,
+}
+
+impl<'a> Annotator<'a> {
+    /// Create an annotator.
+    pub fn new(
+        catalog: &'a Catalog,
+        evaluator: &'a PolicyEvaluator<'a>,
+        mode: AnnotateMode,
+    ) -> Annotator<'a> {
+        Annotator {
+            catalog,
+            evaluator,
+            mode,
+            frontier_cap: DEFAULT_MAX_FRONTIER,
+        }
+    }
+
+    /// Override the per-group Pareto frontier bound. A cap of 1 degrades
+    /// the optimizer to "cheapest plan only" — the ablation showing why
+    /// the paper treats geo-locations as interesting properties.
+    pub fn with_frontier_cap(mut self, cap: usize) -> Annotator<'a> {
+        self.frontier_cap = cap.max(1);
+        self
+    }
+
+    /// Compute every group's Pareto frontier, bottom-up over the memo.
+    pub fn annotate(&self, memo: &Memo) -> Result<Frontiers> {
+        let topo = topo_order(memo)?;
+        let mut frontiers: Vec<Vec<Candidate>> = vec![Vec::new(); memo.group_count()];
+        let mut stats: Vec<Option<PlanStats>> = vec![None; memo.group_count()];
+
+        for gid in topo.order {
+            let group = memo.group(gid);
+            let gstats = estimate(&group.repr, self.catalog);
+            let mut cands: Vec<Candidate> = Vec::new();
+            for (ei, expr) in group.exprs.iter().enumerate() {
+                if topo.skipped.contains(&(gid.0, ei)) {
+                    continue;
+                }
+                self.expand_expr(
+                    memo,
+                    expr,
+                    &gstats,
+                    &frontiers,
+                    &stats,
+                    &mut cands,
+                )?;
+            }
+            pareto_prune(&mut cands, self.frontier_cap);
+            frontiers[gid.0] = cands;
+            stats[gid.0] = Some(gstats);
+        }
+        Ok(Frontiers { frontiers, stats })
+    }
+
+    fn expand_expr(
+        &self,
+        _memo: &Memo,
+        expr: &MExpr,
+        gstats: &PlanStats,
+        frontiers: &[Vec<Candidate>],
+        stats: &[Option<PlanStats>],
+        out: &mut Vec<Candidate>,
+    ) -> Result<()> {
+        // Gather child frontiers; an empty child frontier kills the expr.
+        let child_frontiers: Vec<&[Candidate]> = expr
+            .children
+            .iter()
+            .map(|c| frontiers[c.0].as_slice())
+            .collect();
+        if child_frontiers.iter().any(|f| f.is_empty()) && !expr.children.is_empty() {
+            return Ok(());
+        }
+        let child_stats: Vec<&PlanStats> = expr
+            .children
+            .iter()
+            .map(|c| stats[c.0].as_ref().expect("topological order"))
+            .collect();
+
+        let kind = match &expr.op {
+            MOp::Scan { .. } => OpKind::Scan,
+            MOp::Filter { .. } => OpKind::Filter,
+            MOp::Project { .. } => OpKind::Project,
+            MOp::Join { .. } => OpKind::Join,
+            MOp::Aggregate { .. } => OpKind::Aggregate,
+            MOp::Union => OpKind::Union,
+            MOp::Sort { .. } => OpKind::Sort,
+            MOp::Limit { .. } => OpKind::Limit,
+        };
+        let op_cost = local_op_cost(kind, &child_stats, gstats.rows);
+
+        // Leaf.
+        if expr.children.is_empty() {
+            let MOp::Scan { location, .. } = &expr.op else {
+                return Err(GeoError::Optimize("non-scan leaf".into()));
+            };
+            let exec = LocationSet::singleton(location.clone()); // AR1
+            let logical = build_plan(&expr.op, vec![])?;
+            let ship = self.ship_trait(&exec, &logical);
+            out.push(Candidate {
+                op: expr.op.clone(),
+                children: vec![],
+                cost: op_cost,
+                exec,
+                ship,
+                logical,
+            });
+            return Ok(());
+        }
+
+        // Cross product of child candidates.
+        let mut combo = vec![0usize; expr.children.len()];
+        loop {
+            let picked: Vec<&Candidate> = combo
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| &child_frontiers[i][j])
+                .collect();
+
+            // AR2: ℰ = ⋂ children 𝒮 (universe in traditional mode).
+            let exec = match self.mode {
+                AnnotateMode::Traditional => self.evaluator.universe().clone(),
+                AnnotateMode::Compliant => {
+                    let mut e = picked[0].ship.clone();
+                    for p in &picked[1..] {
+                        e.intersect_with(&p.ship);
+                    }
+                    e
+                }
+            };
+            if !exec.is_empty() {
+                let cost =
+                    op_cost + picked.iter().map(|p| p.cost).sum::<f64>();
+                let children: Vec<(GroupId, usize)> = expr
+                    .children
+                    .iter()
+                    .zip(&combo)
+                    .map(|(g, j)| (*g, *j))
+                    .collect();
+                let logical = build_plan(
+                    &expr.op,
+                    picked.iter().map(|p| Arc::clone(&p.logical)).collect(),
+                )?;
+                let ship = self.ship_trait(&exec, &logical);
+                out.push(Candidate {
+                    op: expr.op.clone(),
+                    children,
+                    cost,
+                    exec,
+                    ship,
+                    logical,
+                });
+            }
+
+            // Advance the mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == combo.len() {
+                    return Ok(());
+                }
+                combo[i] += 1;
+                if combo[i] < child_frontiers[i].len() {
+                    break;
+                }
+                combo[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// AR3 + AR4.
+    fn ship_trait(&self, exec: &LocationSet, logical: &Arc<LogicalPlan>) -> LocationSet {
+        match self.mode {
+            AnnotateMode::Traditional => self.evaluator.universe().clone(),
+            AnnotateMode::Compliant => {
+                let mut ship = exec.clone(); // AR3
+                if let Some(local) = describe_local(logical) {
+                    ship.union_with(&self.evaluator.evaluate(&local)); // AR4
+                }
+                ship
+            }
+        }
+    }
+}
+
+/// The annotator's output: per-group Pareto frontiers plus statistics.
+pub struct Frontiers {
+    frontiers: Vec<Vec<Candidate>>,
+    stats: Vec<Option<PlanStats>>,
+}
+
+impl Frontiers {
+    /// The Pareto frontier of a group.
+    pub fn of(&self, g: GroupId) -> &[Candidate] {
+        &self.frontiers[g.0]
+    }
+
+    /// Pick the best root candidate: minimum cost, optionally requiring
+    /// the result to be shippable to `result_location`. `None` when the
+    /// group has no viable candidate — the query is rejected.
+    pub fn best_root(
+        &self,
+        root: GroupId,
+        result_location: Option<&Location>,
+    ) -> Option<&Candidate> {
+        self.frontiers[root.0]
+            .iter()
+            .filter(|c| match result_location {
+                None => true,
+                Some(l) => c.ship.contains(l),
+            })
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+    }
+
+    /// Extract the annotated operator tree rooted at a candidate.
+    pub fn extract(&self, memo: &Memo, cand: &Candidate) -> AnnotatedNode {
+        let children: Vec<AnnotatedNode> = cand
+            .children
+            .iter()
+            .map(|(g, j)| self.extract(memo, &self.frontiers[g.0][*j]))
+            .collect();
+        let (schema, rows, width) = {
+            let logical = &cand.logical;
+            let schema = logical.schema_ref();
+            // Stats for this node come from the logical estimate of its
+            // own subtree (group stats are keyed by group, but the
+            // candidate knows its schema; rows/width from group stats of
+            // its children are already folded into cost — here we estimate
+            // for phase 2's byte pricing).
+            (schema, 0.0, 0.0)
+        };
+        let mut node = AnnotatedNode {
+            op: cand.op.clone(),
+            schema,
+            exec: cand.exec.clone(),
+            ship: cand.ship.clone(),
+            rows,
+            width,
+            children,
+        };
+        // rows/width are refilled by the caller via `fill_stats`.
+        node.width = node.schema.estimated_row_width() as f64;
+        node
+    }
+
+    /// Group statistics.
+    pub fn stats_of(&self, g: GroupId) -> Option<&PlanStats> {
+        self.stats[g.0].as_ref()
+    }
+}
+
+/// Fill in row estimates for an extracted tree by re-estimating each
+/// node's logical content against the catalog.
+pub fn fill_stats(node: &mut AnnotatedNode, logical: &Arc<LogicalPlan>, catalog: &Catalog) {
+    let s = estimate(logical, catalog);
+    node.rows = s.rows;
+    node.width = s.width;
+    let child_plans: Vec<&Arc<LogicalPlan>> = logical.children();
+    for (child, plan) in node.children.iter_mut().zip(child_plans) {
+        fill_stats(child, plan, catalog);
+    }
+}
+
+/// Pareto pruning: drop candidates dominated in (cost, ℰ, 𝒮).
+fn pareto_prune(cands: &mut Vec<Candidate>, cap: usize) {
+    cands.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    let mut kept: Vec<Candidate> = Vec::new();
+    'outer: for c in cands.drain(..) {
+        for k in &kept {
+            // kept entries have cost ≤ c.cost by sort order.
+            if k.ship.is_superset(&c.ship) && k.exec.is_superset(&c.exec) {
+                continue 'outer;
+            }
+        }
+        if kept.len() < cap {
+            kept.push(c);
+        }
+    }
+    *cands = kept;
+}
+
+/// Topological order of groups (children before parents).
+fn topo_order(memo: &Memo) -> Result<TopoOrder> {
+    let n = memo.group_count();
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = visiting, 2 = done
+    let mut order = Vec::with_capacity(n);
+    let mut skipped: HashSet<(usize, usize)> = HashSet::new();
+    // Iterative DFS to avoid stack overflows on deep memos. Back-edges
+    // (cycles introduced by cross-group expression duplication during
+    // exploration) mark the offending expression as skipped instead of
+    // failing: the originally inserted plan is always acyclic, so every
+    // group keeps at least its structural derivation.
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start] = 1;
+        while let Some(&mut (g, ref mut ci)) = stack.last_mut() {
+            // Flattened (expr index, child group) pairs of g.
+            let children: Vec<(usize, usize)> = memo
+                .group(GroupId(g))
+                .exprs
+                .iter()
+                .enumerate()
+                .flat_map(|(ei, e)| e.children.iter().map(move |c| (ei, c.0)))
+                .collect();
+            if *ci < children.len() {
+                let (ei, c) = children[*ci];
+                *ci += 1;
+                match state[c] {
+                    0 => {
+                        state[c] = 1;
+                        stack.push((c, 0));
+                    }
+                    1 => {
+                        // Back-edge: this expression would close a cycle.
+                        skipped.insert((g, ei));
+                    }
+                    _ => {}
+                }
+            } else {
+                state[g] = 2;
+                order.push(GroupId(g));
+                stack.pop();
+            }
+        }
+    }
+    Ok(TopoOrder { order, skipped })
+}
+
+/// Bottom-up processing order with cycle-breaking skip set.
+struct TopoOrder {
+    order: Vec<GroupId>,
+    /// `(group, expr index)` pairs excluded from candidate expansion.
+    skipped: HashSet<(usize, usize)>,
+}
+
+/// Deduplicated child-group edges and frontier sizes, for diagnostics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AnnotateStats {
+    /// Total candidates across all frontiers.
+    pub candidates: usize,
+}
+
+impl Frontiers {
+    /// Diagnostics.
+    pub fn stats(&self) -> AnnotateStats {
+        AnnotateStats {
+            candidates: self.frontiers.iter().map(Vec::len).sum(),
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn _assert_traits() {
+    fn is_send<T: Send>() {}
+    is_send::<HashMap<usize, usize>>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memo::Memo;
+    use geoqp_common::{DataType, Field, LocationPattern, TableRef};
+    use geoqp_expr::ScalarExpr;
+    use geoqp_plan::PlanBuilder;
+    use geoqp_policy::{PolicyCatalog, PolicyExpression, ShipAttrs};
+    use geoqp_storage::TableStats;
+
+    fn deployment() -> (Catalog, PolicyCatalog) {
+        let mut catalog = Catalog::new();
+        catalog.add_database("db-n", Location::new("N")).unwrap();
+        catalog.add_database("db-e", Location::new("E")).unwrap();
+        let cust = geoqp_common::Schema::new(vec![
+            Field::new("c_k", DataType::Int64),
+            Field::new("c_name", DataType::Str),
+            Field::new("c_secret", DataType::Str),
+        ])
+        .unwrap();
+        let ord = geoqp_common::Schema::new(vec![
+            Field::new("o_k", DataType::Int64),
+            Field::new("o_price", DataType::Float64),
+        ])
+        .unwrap();
+        catalog
+            .add_table("db-n", "cust", cust.clone(), TableStats::new(100, 30.0))
+            .unwrap();
+        catalog
+            .add_table("db-e", "ord", ord.clone(), TableStats::new(1000, 17.0))
+            .unwrap();
+        let mut policies = PolicyCatalog::new();
+        policies
+            .register(
+                PolicyExpression::basic(
+                    TableRef::bare("cust"),
+                    ShipAttrs::list(["c_k", "c_name"]),
+                    LocationPattern::Star,
+                    None,
+                ),
+                &cust,
+            )
+            .unwrap();
+        policies
+            .register(
+                PolicyExpression::basic(
+                    TableRef::bare("ord"),
+                    ShipAttrs::Star,
+                    LocationPattern::Star,
+                    None,
+                ),
+                &ord,
+            )
+            .unwrap();
+        (catalog, policies)
+    }
+
+    fn scan(catalog: &Catalog, t: &str) -> PlanBuilder {
+        let e = catalog.resolve_one(&TableRef::bare(t)).unwrap();
+        PlanBuilder::scan(e.table.clone(), e.location.clone(), e.schema.as_ref().clone())
+    }
+
+    #[test]
+    fn ar1_pins_scans_and_ar3_ar4_extend_shipping() {
+        let (catalog, policies) = deployment();
+        let universe = catalog.locations().clone();
+        let evaluator = PolicyEvaluator::new(&policies, &universe);
+        let annotator = Annotator::new(&catalog, &evaluator, AnnotateMode::Compliant);
+
+        // Masked customer projection: AR1 → ℰ = {N}; AR3 ∪ AR4 → 𝒮 = {N, E}.
+        let plan = scan(&catalog, "cust")
+            .project_columns(&["c_k", "c_name"])
+            .unwrap()
+            .build();
+        let mut memo = Memo::new();
+        let root = memo.copy_in(&plan).unwrap();
+        let frontiers = annotator.annotate(&memo).unwrap();
+        let cands = frontiers.of(root);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].exec, LocationSet::singleton(Location::new("N")));
+        assert_eq!(cands[0].ship, LocationSet::from_iter(["N", "E"]));
+
+        // The raw scan (with c_secret) ships nowhere beyond home.
+        let raw = scan(&catalog, "cust").build();
+        let mut memo = Memo::new();
+        let root = memo.copy_in(&raw).unwrap();
+        let frontiers = annotator.annotate(&memo).unwrap();
+        assert_eq!(
+            frontiers.of(root)[0].ship,
+            LocationSet::singleton(Location::new("N"))
+        );
+    }
+
+    #[test]
+    fn ar2_intersects_children_shipping_traits() {
+        let (catalog, policies) = deployment();
+        let universe = catalog.locations().clone();
+        let evaluator = PolicyEvaluator::new(&policies, &universe);
+        let annotator = Annotator::new(&catalog, &evaluator, AnnotateMode::Compliant);
+
+        // Join of masked customer ({N,E}) with orders ({N,E}): ℰ = {N, E}.
+        let plan = scan(&catalog, "cust")
+            .project_columns(&["c_k", "c_name"])
+            .unwrap()
+            .join(scan(&catalog, "ord"), vec![("c_k", "o_k")])
+            .unwrap()
+            .build();
+        let mut memo = Memo::new();
+        let root = memo.copy_in(&plan).unwrap();
+        let frontiers = annotator.annotate(&memo).unwrap();
+        assert_eq!(
+            frontiers.of(root)[0].exec,
+            LocationSet::from_iter(["N", "E"])
+        );
+
+        // Join with the raw customer ({N}): ℰ collapses to {N}.
+        let plan = scan(&catalog, "cust")
+            .join(scan(&catalog, "ord"), vec![("c_k", "o_k")])
+            .unwrap()
+            .build();
+        let mut memo = Memo::new();
+        let root = memo.copy_in(&plan).unwrap();
+        let frontiers = annotator.annotate(&memo).unwrap();
+        assert_eq!(
+            frontiers.of(root)[0].exec,
+            LocationSet::singleton(Location::new("N"))
+        );
+    }
+
+    #[test]
+    fn traditional_mode_grants_everything_but_pins_scans() {
+        let (catalog, policies) = deployment();
+        let universe = catalog.locations().clone();
+        let evaluator = PolicyEvaluator::new(&policies, &universe);
+        let annotator = Annotator::new(&catalog, &evaluator, AnnotateMode::Traditional);
+        let plan = scan(&catalog, "cust")
+            .join(scan(&catalog, "ord"), vec![("c_k", "o_k")])
+            .unwrap()
+            .build();
+        let mut memo = Memo::new();
+        let root = memo.copy_in(&plan).unwrap();
+        let frontiers = annotator.annotate(&memo).unwrap();
+        assert_eq!(frontiers.of(root)[0].exec, universe);
+        // Scans stay pinned regardless of mode.
+        let leaf = memo
+            .groups()
+            .iter()
+            .find(|g| matches!(g.exprs[0].op, crate::memo::MOp::Scan { .. }))
+            .unwrap();
+        assert_eq!(frontiers.of(leaf.id)[0].exec.len(), 1);
+    }
+
+    #[test]
+    fn pareto_prune_keeps_trait_diverse_candidates() {
+        let mk = |cost: f64, ship: &[&str]| Candidate {
+            op: crate::memo::MOp::Union,
+            children: vec![],
+            cost,
+            exec: LocationSet::from_iter(ship.iter().copied()),
+            ship: LocationSet::from_iter(ship.iter().copied()),
+            logical: Arc::new(geoqp_plan::LogicalPlan::scan(
+                geoqp_common::TableRef::bare("x"),
+                Location::new("X"),
+                geoqp_common::Schema::empty(),
+            )),
+        };
+        // Cheap-narrow, costly-wide, dominated-costly-narrow.
+        let mut cands = vec![
+            mk(10.0, &["A"]),
+            mk(20.0, &["A", "B"]),
+            mk(30.0, &["A"]),
+        ];
+        pareto_prune(&mut cands, 32);
+        assert_eq!(cands.len(), 2, "dominated candidate must drop");
+        assert!(cands.iter().any(|c| c.cost == 10.0));
+        assert!(cands.iter().any(|c| c.cost == 20.0));
+        // Cap of 1 keeps only the cheapest.
+        let mut cands = vec![mk(10.0, &["A"]), mk(20.0, &["A", "B"])];
+        pareto_prune(&mut cands, 1);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].cost, 10.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! Cardinality estimation and the phase-1 cost model.
+//!
+//! Phase 1 of the two-phase optimizer costs plans as if all tables were
+//! local (Section 6: "cost functions are based on input cardinalities");
+//! data-shipping costs enter only in phase 2. The estimator is a standard
+//! textbook one: per-column NDVs from base-table statistics, independence
+//! across predicates, containment for equi-joins.
+
+use geoqp_common::Value;
+use geoqp_expr::{BinaryOp, ScalarExpr};
+use geoqp_plan::logical::LogicalPlan;
+use geoqp_storage::Catalog;
+use std::collections::BTreeMap;
+
+/// Estimated statistics for a plan node's output.
+#[derive(Debug, Clone)]
+pub struct PlanStats {
+    /// Row count.
+    pub rows: f64,
+    /// Average row width in bytes.
+    pub width: f64,
+    /// Per-column distinct-value estimates.
+    pub ndv: BTreeMap<String, f64>,
+}
+
+impl PlanStats {
+    fn ndv_of(&self, col: &str) -> f64 {
+        self.ndv
+            .get(col)
+            .copied()
+            .unwrap_or((self.rows / 10.0).max(1.0))
+            .min(self.rows.max(1.0))
+    }
+
+    /// Estimated output bytes (what phase 2 prices per SHIP).
+    pub fn bytes(&self) -> f64 {
+        self.rows * self.width
+    }
+}
+
+/// Estimate the statistics of a logical plan against catalog base stats.
+pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> PlanStats {
+    match plan {
+        LogicalPlan::TableScan { table, schema, .. } => {
+            let (rows, mut ndv_src) = match catalog.resolve_one(table) {
+                Ok(entry) => {
+                    let nd: BTreeMap<String, f64> = schema
+                        .fields()
+                        .iter()
+                        .map(|f| (f.name.clone(), entry.stats.ndv_of(&f.name) as f64))
+                        .collect();
+                    (entry.stats.row_count as f64, nd)
+                }
+                Err(_) => (1000.0, BTreeMap::new()),
+            };
+            for f in schema.fields() {
+                ndv_src
+                    .entry(f.name.clone())
+                    .or_insert((1000.0f64 / 10.0).max(1.0));
+            }
+            PlanStats {
+                rows,
+                width: schema.estimated_row_width() as f64,
+                ndv: ndv_src,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut s = estimate(input, catalog);
+            let sel = selectivity(predicate, &s);
+            s.rows = (s.rows * sel).max(1.0);
+            cap_ndv(&mut s);
+            s
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let s = estimate(input, catalog);
+            let mut ndv = BTreeMap::new();
+            for (e, name) in exprs {
+                let n = match e.as_column() {
+                    Some(c) => s.ndv_of(c),
+                    None => s.rows,
+                };
+                ndv.insert(name.clone(), n.min(s.rows.max(1.0)));
+            }
+            PlanStats {
+                rows: s.rows,
+                width: plan.schema().estimated_row_width() as f64,
+                ndv,
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            filter,
+            ..
+        } => {
+            let l = estimate(left, catalog);
+            let r = estimate(right, catalog);
+            let mut rows = l.rows * r.rows;
+            for (lk, rk) in on {
+                let d = l.ndv_of(lk).max(r.ndv_of(rk)).max(1.0);
+                rows /= d;
+            }
+            let mut s = PlanStats {
+                rows: rows.max(1.0),
+                width: plan.schema().estimated_row_width() as f64,
+                ndv: l
+                    .ndv
+                    .into_iter()
+                    .chain(r.ndv)
+                    .collect(),
+            };
+            if let Some(f) = filter {
+                s.rows = (s.rows * selectivity(f, &s)).max(1.0);
+            }
+            cap_ndv(&mut s);
+            s
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            let s = estimate(input, catalog);
+            let mut groups = 1.0f64;
+            for g in group_by {
+                groups *= s.ndv_of(g);
+            }
+            let rows = groups.min(s.rows).max(1.0);
+            let mut ndv = BTreeMap::new();
+            for f in plan.schema().fields() {
+                let n = if group_by.contains(&f.name) {
+                    s.ndv_of(&f.name)
+                } else {
+                    rows
+                };
+                ndv.insert(f.name.clone(), n.min(rows));
+            }
+            PlanStats {
+                rows,
+                width: plan.schema().estimated_row_width() as f64,
+                ndv,
+            }
+        }
+        LogicalPlan::Union { inputs, .. } => {
+            let parts: Vec<PlanStats> = inputs.iter().map(|i| estimate(i, catalog)).collect();
+            let rows: f64 = parts.iter().map(|p| p.rows).sum();
+            let mut ndv = BTreeMap::new();
+            for p in &parts {
+                for (c, n) in &p.ndv {
+                    let e = ndv.entry(c.clone()).or_insert(0.0);
+                    *e += n;
+                }
+            }
+            for n in ndv.values_mut() {
+                *n = n.min(rows.max(1.0));
+            }
+            PlanStats {
+                rows: rows.max(1.0),
+                width: plan.schema().estimated_row_width() as f64,
+                ndv,
+            }
+        }
+        LogicalPlan::Sort { input, .. } => estimate(input, catalog),
+        LogicalPlan::Limit { input, fetch } => {
+            let mut s = estimate(input, catalog);
+            s.rows = s.rows.min(*fetch as f64).max(1.0);
+            cap_ndv(&mut s);
+            s
+        }
+    }
+}
+
+fn cap_ndv(s: &mut PlanStats) {
+    let rows = s.rows.max(1.0);
+    for n in s.ndv.values_mut() {
+        *n = n.min(rows);
+    }
+}
+
+/// Heuristic selectivity of a predicate over input statistics.
+pub fn selectivity(pred: &ScalarExpr, stats: &PlanStats) -> f64 {
+    match pred {
+        ScalarExpr::Binary { op, lhs, rhs } => match op {
+            BinaryOp::And => {
+                selectivity(lhs, stats) * selectivity(rhs, stats)
+            }
+            BinaryOp::Or => {
+                let a = selectivity(lhs, stats);
+                let b = selectivity(rhs, stats);
+                (a + b - a * b).clamp(0.0, 1.0)
+            }
+            BinaryOp::Eq => match (lhs.as_column(), rhs.as_literal()) {
+                (Some(c), Some(_)) => 1.0 / stats.ndv_of(c).max(1.0),
+                _ => match (lhs.as_column(), rhs.as_column()) {
+                    (Some(a), Some(b)) => {
+                        1.0 / stats.ndv_of(a).max(stats.ndv_of(b)).max(1.0)
+                    }
+                    _ => 0.1,
+                },
+            },
+            BinaryOp::NotEq => 0.9,
+            BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => 0.3,
+            _ => 1.0,
+        },
+        ScalarExpr::Unary {
+            op: geoqp_expr::UnaryOp::Not,
+            expr,
+        } => (1.0 - selectivity(expr, stats)).clamp(0.01, 1.0),
+        ScalarExpr::Like { negated, .. } => {
+            if *negated {
+                0.75
+            } else {
+                0.25
+            }
+        }
+        ScalarExpr::InList { expr, list, negated } => {
+            let base = match expr.as_column() {
+                Some(c) => (list.len() as f64 / stats.ndv_of(c).max(1.0)).min(1.0),
+                None => 0.2,
+            };
+            if *negated {
+                (1.0 - base).clamp(0.01, 1.0)
+            } else {
+                base
+            }
+        }
+        ScalarExpr::Between { negated, .. } => {
+            if *negated {
+                0.75
+            } else {
+                0.25
+            }
+        }
+        ScalarExpr::IsNull { negated, .. } => {
+            if *negated {
+                0.95
+            } else {
+                0.05
+            }
+        }
+        ScalarExpr::Literal(Value::Bool(true)) => 1.0,
+        ScalarExpr::Literal(Value::Bool(false)) => 0.0,
+        _ => 0.5,
+    }
+}
+
+/// Phase-1 local cost of one operator, given its input/output cardinalities
+/// (child subtree costs are added by the caller).
+pub fn local_op_cost(plan_kind: OpKind, inputs: &[&PlanStats], out_rows: f64) -> f64 {
+    match plan_kind {
+        OpKind::Scan => out_rows,
+        OpKind::Filter => inputs[0].rows,
+        OpKind::Project => inputs[0].rows * 0.8,
+        OpKind::Join => 1.2 * (inputs[0].rows + inputs[1].rows) + out_rows,
+        OpKind::Aggregate => 1.5 * inputs[0].rows + out_rows,
+        OpKind::Sort => {
+            let n = inputs[0].rows.max(2.0);
+            n * n.log2()
+        }
+        OpKind::Union => inputs.iter().map(|s| s.rows).sum(),
+        OpKind::Limit => out_rows,
+    }
+}
+
+/// Operator kinds for costing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Table scan.
+    Scan,
+    /// Filter.
+    Filter,
+    /// Projection.
+    Project,
+    /// Hash join.
+    Join,
+    /// Hash aggregation.
+    Aggregate,
+    /// Sort.
+    Sort,
+    /// Union.
+    Union,
+    /// Limit.
+    Limit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_common::{DataType, Field, Location, Schema, TableRef};
+    use geoqp_plan::PlanBuilder;
+    use geoqp_storage::TableStats;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_database("db-1", Location::new("L1")).unwrap();
+        c.add_database("db-2", Location::new("L2")).unwrap();
+        c.add_table(
+            "db-1",
+            "customer",
+            Schema::new(vec![
+                Field::new("c_custkey", DataType::Int64),
+                Field::new("c_mktseg", DataType::Str),
+            ])
+            .unwrap(),
+            TableStats::new(1500, 30.0)
+                .with_ndv("c_custkey", 1500)
+                .with_ndv("c_mktseg", 5),
+        )
+        .unwrap();
+        c.add_table(
+            "db-2",
+            "orders",
+            Schema::new(vec![
+                Field::new("o_orderkey", DataType::Int64),
+                Field::new("o_custkey", DataType::Int64),
+            ])
+            .unwrap(),
+            TableStats::new(15000, 16.0)
+                .with_ndv("o_orderkey", 15000)
+                .with_ndv("o_custkey", 1000),
+        )
+        .unwrap();
+        c
+    }
+
+    fn customer(c: &Catalog) -> PlanBuilder {
+        let e = c.resolve_one(&TableRef::bare("customer")).unwrap();
+        PlanBuilder::scan(e.table.clone(), e.location.clone(), e.schema.as_ref().clone())
+    }
+
+    fn orders(c: &Catalog) -> PlanBuilder {
+        let e = c.resolve_one(&TableRef::bare("orders")).unwrap();
+        PlanBuilder::scan(e.table.clone(), e.location.clone(), e.schema.as_ref().clone())
+    }
+
+    #[test]
+    fn scan_uses_catalog_stats() {
+        let c = catalog();
+        let s = estimate(&customer(&c).build(), &c);
+        assert_eq!(s.rows, 1500.0);
+        assert_eq!(s.ndv["c_mktseg"], 5.0);
+    }
+
+    #[test]
+    fn equality_filter_uses_ndv() {
+        let c = catalog();
+        let plan = customer(&c)
+            .filter(ScalarExpr::col("c_mktseg").eq(ScalarExpr::lit("BUILDING")))
+            .unwrap()
+            .build();
+        let s = estimate(&plan, &c);
+        assert_eq!(s.rows, 300.0); // 1500 / 5
+    }
+
+    #[test]
+    fn pk_fk_join_estimates_child_cardinality() {
+        let c = catalog();
+        let plan = customer(&c)
+            .join(orders(&c), vec![("c_custkey", "o_custkey")])
+            .unwrap()
+            .build();
+        let s = estimate(&plan, &c);
+        // 1500 × 15000 / max(1500, 1000) = 15000.
+        assert_eq!(s.rows, 15000.0);
+    }
+
+    #[test]
+    fn aggregate_rows_bounded_by_group_ndv() {
+        let c = catalog();
+        let plan = customer(&c)
+            .aggregate(
+                &["c_mktseg"],
+                vec![geoqp_expr::AggCall::count_star("n")],
+            )
+            .unwrap()
+            .build();
+        let s = estimate(&plan, &c);
+        assert_eq!(s.rows, 5.0);
+    }
+
+    #[test]
+    fn limit_caps_rows() {
+        let c = catalog();
+        let plan = customer(&c).limit(7).build();
+        assert_eq!(estimate(&plan, &c).rows, 7.0);
+    }
+
+    #[test]
+    fn selectivity_combinators() {
+        let c = catalog();
+        let s = estimate(&customer(&c).build(), &c);
+        let eq = ScalarExpr::col("c_mktseg").eq(ScalarExpr::lit("X"));
+        let rng = ScalarExpr::col("c_custkey").gt(ScalarExpr::lit(10i64));
+        assert!((selectivity(&eq, &s) - 0.2).abs() < 1e-9);
+        assert!((selectivity(&rng, &s) - 0.3).abs() < 1e-9);
+        let and = eq.clone().and(rng.clone());
+        assert!((selectivity(&and, &s) - 0.06).abs() < 1e-9);
+        let or = eq.or(rng);
+        assert!((selectivity(&or, &s) - (0.2 + 0.3 - 0.06)).abs() < 1e-9);
+    }
+}

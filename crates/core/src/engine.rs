@@ -1,0 +1,266 @@
+//! The compliant query processing engine (Figure 2's architecture):
+//! policy catalog + compliance-based optimizer + query executor over
+//! simulated geo-distributed sites.
+
+use crate::annotate::{fill_stats, AnnotateMode, AnnotatedNode, Annotator};
+use crate::compliance::check_compliance;
+use crate::distributed::{CatalogSource, SimShip};
+use crate::memo::Memo;
+use crate::rules::{default_rules, explore};
+use crate::site_selector::{select_sites_with, Objective};
+use geoqp_common::{GeoError, Location, Result, Rows};
+use geoqp_net::{NetworkTopology, TransferLog};
+use geoqp_plan::logical::LogicalPlan;
+use geoqp_plan::PhysicalPlan;
+use geoqp_policy::{PolicyCatalog, PolicyEvaluator};
+use geoqp_storage::Catalog;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which optimizer to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerMode {
+    /// The paper's compliance-based optimizer (annotation rules + Pareto
+    /// traits + compliant site selection).
+    Compliant,
+    /// The traditional cost-based baseline: same search engine and cost
+    /// model, policies ignored, every site legal (Section 7.1's baseline).
+    Traditional,
+}
+
+/// Knobs for [`Engine::optimize_opts`]: the placement objective plus two
+/// ablation switches used by the experiment harness.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizerOptions {
+    /// Phase-2 placement objective.
+    pub objective: Objective,
+    /// Ablation: drop the eager-aggregation rule (Section 6.4's
+    /// completeness discussion — masking-by-aggregation plans become
+    /// unreachable and affected queries are rejected).
+    pub disable_aggregate_pushdown: bool,
+    /// Ablation: cap each memo group's Pareto frontier; `Some(1)` keeps
+    /// only the cheapest candidate, discarding trait diversity.
+    pub frontier_cap: Option<usize>,
+}
+
+/// Timing and search-space measurements for one optimization run.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeStats {
+    /// Phase-1 (plan annotator) time, ms.
+    pub phase1_ms: f64,
+    /// Phase-2 (site selector) time, ms.
+    pub phase2_ms: f64,
+    /// Total optimization time, ms.
+    pub total_ms: f64,
+    /// Memo groups after exploration.
+    pub memo_groups: usize,
+    /// Memo expressions after exploration.
+    pub memo_exprs: usize,
+    /// Physical candidates across all frontiers.
+    pub candidates: usize,
+    /// `η` — expressions passing overlap + implication in Algorithm 1
+    /// (the paper's Figure 7 measure).
+    pub eta: u64,
+    /// Policy-evaluator invocations.
+    pub policy_invocations: u64,
+    /// Phase-2 estimated shipping cost, ms.
+    pub est_ship_cost_ms: f64,
+}
+
+/// A fully optimized query.
+#[derive(Debug)]
+pub struct OptimizedQuery {
+    /// Located physical plan with explicit SHIPs.
+    pub physical: Arc<PhysicalPlan>,
+    /// The annotated plan phase 1 produced (Figure 4-style traits).
+    pub annotated: AnnotatedNode,
+    /// Measurements.
+    pub stats: OptimizeStats,
+    /// Where the result materializes.
+    pub result_location: Location,
+}
+
+/// The result of executing a distributed plan.
+#[derive(Debug)]
+pub struct ExecutionResult {
+    /// The result rows (at the plan's result location).
+    pub rows: Rows,
+    /// Every cross-site transfer performed, with exact bytes and
+    /// simulated cost under the message cost model.
+    pub transfers: TransferLog,
+}
+
+/// The engine: catalog, policies, and network.
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    policies: Arc<PolicyCatalog>,
+    topology: NetworkTopology,
+}
+
+impl Engine {
+    /// Assemble an engine.
+    pub fn new(
+        catalog: Arc<Catalog>,
+        policies: Arc<PolicyCatalog>,
+        topology: NetworkTopology,
+    ) -> Engine {
+        Engine {
+            catalog,
+            policies,
+            topology,
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The policy catalog.
+    pub fn policies(&self) -> &Arc<PolicyCatalog> {
+        &self.policies
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &NetworkTopology {
+        &self.topology
+    }
+
+    /// Optimize a logical plan. With [`OptimizerMode::Compliant`], the
+    /// returned plan is guaranteed compliant (Theorem 1); a legal-plan-free
+    /// search space yields [`GeoError::QueryRejected`]. With
+    /// [`OptimizerMode::Traditional`], policies are ignored entirely —
+    /// the experiment harness audits those plans afterwards.
+    pub fn optimize(
+        &self,
+        plan: &Arc<LogicalPlan>,
+        mode: OptimizerMode,
+        result_location: Option<Location>,
+    ) -> Result<OptimizedQuery> {
+        self.optimize_opts(plan, mode, result_location, &OptimizerOptions::default())
+    }
+
+    /// [`Engine::optimize`] with explicit [`OptimizerOptions`].
+    pub fn optimize_opts(
+        &self,
+        plan: &Arc<LogicalPlan>,
+        mode: OptimizerMode,
+        result_location: Option<Location>,
+        options: &OptimizerOptions,
+    ) -> Result<OptimizedQuery> {
+        let t_start = Instant::now();
+
+        // Phase 1: normalize (dominating rewrites), explore, annotate.
+        let normalized = crate::normalize::normalize_plan(plan)?;
+        let mut memo = Memo::new();
+        let root = memo.copy_in(&normalized)?;
+        let mut rules = default_rules();
+        if options.disable_aggregate_pushdown {
+            rules.retain(|r| r.name() != "AggregateJoinPushdown");
+        }
+        explore(&mut memo, &rules)?;
+
+        let universe = self.catalog.locations();
+        let evaluator = PolicyEvaluator::new(&self.policies, universe);
+        let annotate_mode = match mode {
+            OptimizerMode::Compliant => AnnotateMode::Compliant,
+            OptimizerMode::Traditional => AnnotateMode::Traditional,
+        };
+        let mut annotator = Annotator::new(&self.catalog, &evaluator, annotate_mode);
+        if let Some(cap) = options.frontier_cap {
+            annotator = annotator.with_frontier_cap(cap);
+        }
+        let frontiers = annotator.annotate(&memo)?;
+
+        let best = frontiers
+            .best_root(root, result_location.as_ref())
+            .ok_or_else(|| {
+                GeoError::QueryRejected(
+                    "no compliant execution plan exists in the explored search space"
+                        .into(),
+                )
+            })?
+            .clone();
+        let mut annotated = frontiers.extract(&memo, &best);
+        fill_stats(&mut annotated, &best.logical, &self.catalog);
+        let phase1_ms = t_start.elapsed().as_secs_f64() * 1e3;
+
+        // Phase 2: site selection.
+        let t2 = Instant::now();
+        let sited = select_sites_with(
+            &annotated,
+            &self.topology,
+            result_location.as_ref(),
+            options.objective,
+        )?;
+        let phase2_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        if mode == OptimizerMode::Compliant {
+            // Theorem 1 safety net: the emitted plan must audit clean.
+            debug_assert!(
+                check_compliance(&sited.physical, &evaluator, &self.catalog).is_ok(),
+                "Theorem 1 violated: compliant optimizer emitted a non-compliant plan"
+            );
+        }
+
+        Ok(OptimizedQuery {
+            physical: sited.physical,
+            annotated,
+            result_location: sited.result_location,
+            stats: OptimizeStats {
+                phase1_ms,
+                phase2_ms,
+                total_ms: phase1_ms + phase2_ms,
+                memo_groups: memo.group_count(),
+                memo_exprs: memo.expr_count(),
+                candidates: frontiers.stats().candidates,
+                eta: evaluator.eta(),
+                policy_invocations: evaluator.invocations(),
+                est_ship_cost_ms: sited.est_ship_cost_ms,
+            },
+        })
+    }
+
+    /// Audit a physical plan against the policies (Definition 1).
+    pub fn audit(&self, plan: &PhysicalPlan) -> Result<()> {
+        let universe = self.catalog.locations();
+        let evaluator = PolicyEvaluator::new(&self.policies, universe);
+        check_compliance(plan, &evaluator, &self.catalog)
+    }
+
+    /// Execute a located physical plan over the per-site databases,
+    /// simulating every SHIP with real byte accounting.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecutionResult> {
+        let source = CatalogSource::new(&self.catalog);
+        let mut ship = SimShip::new(&self.topology);
+        let rows = geoqp_exec::execute(plan, &source, &mut ship)?;
+        Ok(ExecutionResult {
+            rows,
+            transfers: ship.into_log(),
+        })
+    }
+
+    /// Parse, lower, and optimize a SQL query in one step.
+    pub fn optimize_sql(
+        &self,
+        sql: &str,
+        mode: OptimizerMode,
+        result_location: Option<Location>,
+    ) -> Result<OptimizedQuery> {
+        let ast = geoqp_parser::parse_query(sql)?;
+        let plan = geoqp_parser::lower_query(&ast, &self.catalog)?;
+        self.optimize(&plan, mode, result_location)
+    }
+
+    /// Parse, lower, optimize, execute: the full pipeline of Figure 2.
+    pub fn run_sql(
+        &self,
+        sql: &str,
+        mode: OptimizerMode,
+        result_location: Option<Location>,
+    ) -> Result<(OptimizedQuery, ExecutionResult)> {
+        let optimized = self.optimize_sql(sql, mode, result_location)?;
+        let result = self.execute(&optimized.physical)?;
+        Ok((optimized, result))
+    }
+}

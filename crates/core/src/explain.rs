@@ -1,0 +1,60 @@
+//! EXPLAIN-style rendering of annotated plans, in the spirit of the
+//! paper's Figure 4: every operator with its execution trait `ℰ` and
+//! shipping trait `𝒮`.
+
+use crate::annotate::AnnotatedNode;
+use crate::memo::MOp;
+use std::fmt::Write as _;
+
+/// Render an annotated plan with traits.
+pub fn display_annotated(node: &AnnotatedNode) -> String {
+    let mut out = String::new();
+    fmt(node, 0, &mut out);
+    out
+}
+
+fn fmt(node: &AnnotatedNode, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let label = match &node.op {
+        MOp::Scan { table, location, .. } => format!("Scan {table} @ {location}"),
+        MOp::Filter { predicate } => format!("Filter {predicate}"),
+        MOp::Project { exprs } => {
+            let cols: Vec<String> = exprs
+                .iter()
+                .map(|(e, n)| {
+                    if e.as_column() == Some(n.as_str()) {
+                        n.clone()
+                    } else {
+                        format!("{e} AS {n}")
+                    }
+                })
+                .collect();
+            format!("Project {}", cols.join(", "))
+        }
+        MOp::Join { on, .. } => {
+            let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+            format!("Join {}", keys.join(" AND "))
+        }
+        MOp::Aggregate { group_by, aggs } => {
+            let a: Vec<String> = aggs.iter().map(|x| x.to_string()).collect();
+            format!("Aggregate [{}] [{}]", group_by.join(", "), a.join(", "))
+        }
+        MOp::Union => "Union".to_string(),
+        MOp::Sort { keys } => {
+            let k: Vec<String> = keys
+                .iter()
+                .map(|s| format!("{}{}", s.column, if s.descending { " DESC" } else { "" }))
+                .collect();
+            format!("Sort {}", k.join(", "))
+        }
+        MOp::Limit { fetch } => format!("Limit {fetch}"),
+    };
+    let _ = writeln!(
+        out,
+        "{pad}{label}   ℰ={} 𝒮={} rows≈{:.0}",
+        node.exec, node.ship, node.rows
+    );
+    for c in &node.children {
+        fmt(c, depth + 1, out);
+    }
+}

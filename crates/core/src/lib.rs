@@ -1,0 +1,43 @@
+//! # geoqp-core
+//!
+//! The paper's primary contribution: a **compliance-based query optimizer**
+//! for geo-distributed query processing, plus the engine that executes its
+//! plans over simulated sites.
+//!
+//! The optimizer follows Section 6's two-phase design:
+//!
+//! 1. **Plan annotator** (phase 1): a Volcano-style memo optimizer. Logical
+//!    alternatives are enumerated by transformation rules (join
+//!    commutativity/associativity, filter pushdown, projection pushdown,
+//!    **aggregation pushdown past joins** — the rule Section 6.4 identifies
+//!    as necessary for completeness). Physical candidates are derived
+//!    bottom-up; each candidate carries the two new logical properties of
+//!    Section 6.1 — the **execution trait** `ℰ_n` and **shipping trait**
+//!    `𝒮_n` — derived by annotation rules AR1–AR4. The compliance-based
+//!    cost function prices any operator with an empty execution trait at
+//!    infinity, which here manifests as dropping the candidate. Per memo
+//!    group a Pareto frontier over (cost, traits) is kept, treating
+//!    geo-locations as *interesting properties*.
+//! 2. **Site selector** (phase 2): Algorithm 2 — memoized dynamic
+//!    programming over `(operator, location ∈ ℰ)` using the `α + β·b`
+//!    message cost model, emitting explicit SHIP operators.
+//!
+//! [`compliance`] provides the independent Definition-1 checker used both to
+//! validate Theorem 1 (the optimizer never emits a non-compliant plan) and
+//! to audit the traditional baseline's plans in the experiments.
+
+pub mod annotate;
+pub mod compliance;
+pub mod cost;
+pub mod distributed;
+pub mod engine;
+pub mod explain;
+pub mod memo;
+pub mod normalize;
+pub mod rules;
+pub mod site_selector;
+
+pub use annotate::{AnnotatedNode, Annotator};
+pub use compliance::check_compliance;
+pub use engine::{Engine, ExecutionResult, OptimizeStats, OptimizedQuery, OptimizerMode, OptimizerOptions};
+pub use site_selector::{select_sites, select_sites_with, Objective};

@@ -1,0 +1,586 @@
+//! The memo: groups of equivalent logical expressions.
+//!
+//! A classic Volcano/Cascades memo specialized for this optimizer: groups
+//! hold logical multi-expressions (`MExpr`) whose children are group ids.
+//! Full logical subtrees are deduplicated on insertion via a plan index, so
+//! transformation rules that re-derive a known subtree reconnect to its
+//! existing group instead of growing the memo.
+
+use geoqp_common::{GeoError, Location, Result, Schema, TableRef};
+use geoqp_expr::{AggCall, ScalarExpr};
+use geoqp_plan::logical::{LogicalPlan, SortKey};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A group identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub usize);
+
+/// The operator of a logical multi-expression (children factored out into
+/// group ids).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MOp {
+    /// Leaf scan.
+    Scan {
+        /// The table.
+        table: TableRef,
+        /// Its site.
+        location: Location,
+        /// Its schema.
+        schema: Arc<Schema>,
+    },
+    /// Filter.
+    Filter {
+        /// The predicate.
+        predicate: ScalarExpr,
+    },
+    /// Projection.
+    Project {
+        /// `(expr, name)` pairs.
+        exprs: Vec<(ScalarExpr, String)>,
+    },
+    /// Inner equi-join.
+    Join {
+        /// Key pairs.
+        on: Vec<(String, String)>,
+        /// Residual condition.
+        filter: Option<ScalarExpr>,
+    },
+    /// Aggregation.
+    Aggregate {
+        /// Group columns.
+        group_by: Vec<String>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+    },
+    /// Bag union.
+    Union,
+    /// Sort.
+    Sort {
+        /// Sort keys.
+        keys: Vec<SortKey>,
+    },
+    /// Limit.
+    Limit {
+        /// Row budget.
+        fetch: usize,
+    },
+}
+
+impl MOp {
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MOp::Scan { .. } => "Scan",
+            MOp::Filter { .. } => "Filter",
+            MOp::Project { .. } => "Project",
+            MOp::Join { .. } => "Join",
+            MOp::Aggregate { .. } => "Aggregate",
+            MOp::Union => "Union",
+            MOp::Sort { .. } => "Sort",
+            MOp::Limit { .. } => "Limit",
+        }
+    }
+}
+
+/// A logical multi-expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MExpr {
+    /// Operator.
+    pub op: MOp,
+    /// Child groups, in order.
+    pub children: Vec<GroupId>,
+}
+
+/// One equivalence class of logical expressions.
+#[derive(Debug)]
+pub struct Group {
+    /// This group's id.
+    pub id: GroupId,
+    /// The equivalent expressions.
+    pub exprs: Vec<MExpr>,
+    /// Output schema shared by all expressions.
+    pub schema: Arc<Schema>,
+    /// A representative logical plan (the one first inserted), used for
+    /// cardinality estimation.
+    pub repr: Arc<LogicalPlan>,
+}
+
+/// The memo.
+#[derive(Debug, Default)]
+pub struct Memo {
+    groups: Vec<Group>,
+    /// Dedup of (expr) → group containing it.
+    expr_index: HashMap<MExpr, GroupId>,
+    /// Dedup of full logical subtrees → group, keyed by a shape-erased
+    /// fingerprint: join-tree *structure* is flattened away (leaves in
+    /// order, key/filter sets sorted), so every re-association of the same
+    /// join block maps to one group. Without this, an n-way chain creates
+    /// a group per parenthesization (Catalan growth).
+    plan_index: HashMap<String, GroupId>,
+    /// Total expressions (memo-size budget).
+    expr_count: usize,
+}
+
+/// Hard cap on memo expressions; exceeding it aborts optimization with an
+/// `Optimize` error rather than consuming unbounded memory.
+pub const MAX_MEMO_EXPRS: usize = 400_000;
+
+impl Memo {
+    /// Empty memo.
+    pub fn new() -> Memo {
+        Memo::default()
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// A group by id.
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.0]
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of expressions across all groups.
+    pub fn expr_count(&self) -> usize {
+        self.expr_count
+    }
+
+    /// Insert a full logical plan, returning its group. Identical subtrees
+    /// share groups.
+    pub fn copy_in(&mut self, plan: &Arc<LogicalPlan>) -> Result<GroupId> {
+        let key = fingerprint(plan);
+        if let Some(g) = self.plan_index.get(&key) {
+            return Ok(*g);
+        }
+        let children: Vec<GroupId> = plan
+            .children()
+            .iter()
+            .map(|c| self.copy_in(c))
+            .collect::<Result<_>>()?;
+        let op = op_of(plan);
+        let expr = MExpr { op, children };
+        let gid = match self.expr_index.get(&expr) {
+            Some(g) => *g,
+            None => {
+                let gid = self.new_group(plan.schema_ref(), Arc::clone(plan));
+                self.add_expr_to_group(gid, expr)?;
+                gid
+            }
+        };
+        self.plan_index.insert(key, gid);
+        Ok(gid)
+    }
+
+    /// Add an expression to an existing group (rule output). Returns true
+    /// when the expression is new to the group.
+    pub fn add_expr(&mut self, group: GroupId, expr: MExpr) -> Result<bool> {
+        // Self-references would create cycles; rules never need them.
+        if expr.children.contains(&group) {
+            return Ok(false);
+        }
+        if let Some(existing) = self.expr_index.get(&expr) {
+            // Already known somewhere. If it is in this group, nothing to
+            // do; if elsewhere, we skip rather than merge groups — parents
+            // referencing either group still see equivalent plans.
+            let _ = existing;
+            if self.groups[group.0].exprs.contains(&expr) {
+                return Ok(false);
+            }
+            if *self.expr_index.get(&expr).unwrap() != group {
+                // Record it in this group too (cheap duplication instead of
+                // group merging).
+                self.groups[group.0].exprs.push(expr);
+                self.expr_count += 1;
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        self.add_expr_to_group(group, expr)?;
+        Ok(true)
+    }
+
+    /// Create a fresh group seeded by a rule-produced expression whose
+    /// representative plan is `repr`.
+    pub fn add_group_with_expr(&mut self, repr: Arc<LogicalPlan>, expr: MExpr) -> Result<GroupId> {
+        let key = fingerprint(&repr);
+        if let Some(g) = self.plan_index.get(&key) {
+            // The subtree is already known (possibly via a different join
+            // shape): reuse its group and record the expression there.
+            let gid = *g;
+            let _ = self.add_expr(gid, expr);
+            return Ok(gid);
+        }
+        let gid = self.new_group(repr.schema_ref(), Arc::clone(&repr));
+        self.add_expr_to_group(gid, expr)?;
+        self.plan_index.insert(key, gid);
+        Ok(gid)
+    }
+
+    fn new_group(&mut self, schema: Arc<Schema>, repr: Arc<LogicalPlan>) -> GroupId {
+        let id = GroupId(self.groups.len());
+        self.groups.push(Group {
+            id,
+            exprs: Vec::new(),
+            schema,
+            repr,
+        });
+        id
+    }
+
+    fn add_expr_to_group(&mut self, gid: GroupId, expr: MExpr) -> Result<()> {
+        if self.expr_count >= MAX_MEMO_EXPRS {
+            return Err(GeoError::Optimize(format!(
+                "memo budget exhausted ({MAX_MEMO_EXPRS} expressions)"
+            )));
+        }
+        self.expr_index.insert(expr.clone(), gid);
+        self.groups[gid.0].exprs.push(expr);
+        self.expr_count += 1;
+        Ok(())
+    }
+
+    /// Reconstruct a concrete logical plan for an expression, using each
+    /// child group's representative. Used to build representatives for
+    /// rule-produced subtrees.
+    pub fn repr_plan_of(&self, expr: &MExpr) -> Result<Arc<LogicalPlan>> {
+        let children: Vec<Arc<LogicalPlan>> = expr
+            .children
+            .iter()
+            .map(|g| Arc::clone(&self.group(*g).repr))
+            .collect();
+        build_plan(&expr.op, children)
+    }
+}
+
+/// A canonical, join-shape-erased serialization of a logical plan, used as
+/// the memo's group-identity key. Maximal blocks of inner equi-joins are
+/// flattened to `(leaf fingerprints in order, sorted key pairs, sorted
+/// residual conjuncts)`; every other operator serializes structurally.
+/// Leaf *order* is kept (output column order is part of a group's schema),
+/// so only re-associations — not permutations — unify.
+pub fn fingerprint(plan: &LogicalPlan) -> String {
+    use std::fmt::Write as _;
+    fn flatten<'a>(
+        plan: &'a LogicalPlan,
+        leaves: &mut Vec<&'a LogicalPlan>,
+        keys: &mut Vec<String>,
+        filters: &mut Vec<String>,
+    ) {
+        match plan {
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                filter,
+                ..
+            } => {
+                flatten(left, leaves, keys, filters);
+                flatten(right, leaves, keys, filters);
+                for (l, r) in on {
+                    keys.push(format!("{l}={r}"));
+                }
+                if let Some(f) = filter {
+                    for c in geoqp_expr::split_conjunction(f) {
+                        filters.push(c.to_string());
+                    }
+                }
+            }
+            other => leaves.push(other),
+        }
+    }
+    match plan {
+        LogicalPlan::Join { .. } => {
+            let mut leaves = Vec::new();
+            let mut keys = Vec::new();
+            let mut filters = Vec::new();
+            flatten(plan, &mut leaves, &mut keys, &mut filters);
+            keys.sort();
+            keys.dedup();
+            filters.sort();
+            filters.dedup();
+            let mut out = String::from("J[");
+            for l in leaves {
+                let _ = write!(out, "{};", fingerprint(l));
+            }
+            let _ = write!(out, "|{}|{}]", keys.join(","), filters.join(","));
+            out
+        }
+        LogicalPlan::TableScan {
+            table, location, ..
+        } => format!("S[{table}@{location}]"),
+        LogicalPlan::Filter { input, predicate } => {
+            format!("F[{}|{}]", predicate, fingerprint(input))
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let mut out = String::from("P[");
+            for (e, n) in exprs {
+                let _ = write!(out, "{e} as {n},");
+            }
+            let _ = write!(out, "|{}]", fingerprint(input));
+            out
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let a: Vec<String> = aggs.iter().map(|c| c.to_string()).collect();
+            format!(
+                "A[{}|{}|{}]",
+                group_by.join(","),
+                a.join(","),
+                fingerprint(input)
+            )
+        }
+        LogicalPlan::Union { inputs, .. } => {
+            let parts: Vec<String> = inputs.iter().map(|i| fingerprint(i)).collect();
+            format!("U[{}]", parts.join(";"))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let k: Vec<String> = keys
+                .iter()
+                .map(|s| format!("{}{}", s.column, if s.descending { "-" } else { "+" }))
+                .collect();
+            format!("O[{}|{}]", k.join(","), fingerprint(input))
+        }
+        LogicalPlan::Limit { input, fetch } => {
+            format!("L[{fetch}|{}]", fingerprint(input))
+        }
+    }
+}
+
+/// Canonicalize an operator so that semantically identical derivations
+/// deduplicate: join key pairs are sorted, and predicates are rebuilt from
+/// sorted, deduplicated conjuncts. Without this, rule chains that conjoin
+/// the same conditions in different orders explode the memo.
+pub fn canon_op(op: MOp) -> MOp {
+    match op {
+        MOp::Join { mut on, filter } => {
+            on.sort();
+            on.dedup();
+            MOp::Join {
+                on,
+                filter: filter.map(canon_pred),
+            }
+        }
+        MOp::Filter { predicate } => MOp::Filter {
+            predicate: canon_pred(predicate),
+        },
+        other => other,
+    }
+}
+
+/// Sort and deduplicate the conjuncts of a predicate.
+pub fn canon_pred(p: geoqp_expr::ScalarExpr) -> geoqp_expr::ScalarExpr {
+    let mut parts: Vec<(String, geoqp_expr::ScalarExpr)> = geoqp_expr::split_conjunction(&p)
+        .into_iter()
+        .map(|c| (c.to_string(), c.clone()))
+        .collect();
+    parts.sort_by(|a, b| a.0.cmp(&b.0));
+    parts.dedup_by(|a, b| a.0 == b.0);
+    geoqp_expr::conjoin(parts.into_iter().map(|(_, c)| c)).expect("non-empty conjunction")
+}
+
+/// Extract the memo operator from a plan node.
+pub fn op_of(plan: &LogicalPlan) -> MOp {
+    match plan {
+        LogicalPlan::TableScan {
+            table,
+            location,
+            schema,
+        } => MOp::Scan {
+            table: table.clone(),
+            location: location.clone(),
+            schema: Arc::clone(schema),
+        },
+        LogicalPlan::Filter { predicate, .. } => MOp::Filter {
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { exprs, .. } => MOp::Project {
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Join { on, filter, .. } => MOp::Join {
+            on: on.clone(),
+            filter: filter.clone(),
+        },
+        LogicalPlan::Aggregate {
+            group_by, aggs, ..
+        } => MOp::Aggregate {
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Union { .. } => MOp::Union,
+        LogicalPlan::Sort { keys, .. } => MOp::Sort { keys: keys.clone() },
+        LogicalPlan::Limit { fetch, .. } => MOp::Limit { fetch: *fetch },
+    }
+}
+
+/// Build a concrete plan node from an operator and child plans.
+pub fn build_plan(op: &MOp, mut children: Vec<Arc<LogicalPlan>>) -> Result<Arc<LogicalPlan>> {
+    let plan = match op {
+        MOp::Scan {
+            table,
+            location,
+            schema,
+        } => LogicalPlan::TableScan {
+            table: table.clone(),
+            location: location.clone(),
+            schema: Arc::clone(schema),
+        },
+        MOp::Filter { predicate } => {
+            LogicalPlan::filter(children.pop().unwrap(), predicate.clone())?
+        }
+        MOp::Project { exprs } => LogicalPlan::project(children.pop().unwrap(), exprs.clone())?,
+        MOp::Join { on, filter } => {
+            let right = children.pop().unwrap();
+            let left = children.pop().unwrap();
+            LogicalPlan::join(left, right, on.clone(), filter.clone())?
+        }
+        MOp::Aggregate { group_by, aggs } => {
+            LogicalPlan::aggregate(children.pop().unwrap(), group_by.clone(), aggs.clone())?
+        }
+        MOp::Union => LogicalPlan::union(children)?,
+        MOp::Sort { keys } => LogicalPlan::sort(children.pop().unwrap(), keys.clone())?,
+        MOp::Limit { fetch } => LogicalPlan::limit(children.pop().unwrap(), *fetch),
+    };
+    Ok(Arc::new(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_common::{DataType, Field};
+    use geoqp_plan::PlanBuilder;
+
+    fn scan(name: &str, loc: &str) -> PlanBuilder {
+        PlanBuilder::scan(
+            TableRef::bare(name),
+            Location::new(loc),
+            Schema::new(vec![
+                Field::new(format!("{name}_k"), DataType::Int64),
+                Field::new(format!("{name}_v"), DataType::Str),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn copy_in_dedups_shared_subtrees() {
+        let a = scan("a", "X").build();
+        let j = PlanBuilder::from_plan(Arc::clone(&a))
+            .join(scan("b", "Y"), vec![("a_k", "b_k")])
+            .unwrap()
+            .build();
+        let mut memo = Memo::new();
+        let g1 = memo.copy_in(&j).unwrap();
+        assert_eq!(memo.group_count(), 3);
+        // Re-inserting the same tree hits the plan index.
+        let g2 = memo.copy_in(&j).unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(memo.group_count(), 3);
+        // Inserting a sub-tree lands in its existing group.
+        let ga = memo.copy_in(&a).unwrap();
+        assert_eq!(memo.group(ga).exprs.len(), 1);
+    }
+
+    #[test]
+    fn add_expr_rejects_self_reference() {
+        let a = scan("a", "X").build();
+        let mut memo = Memo::new();
+        let g = memo.copy_in(&a).unwrap();
+        let self_ref = MExpr {
+            op: MOp::Limit { fetch: 1 },
+            children: vec![g],
+        };
+        // Same group as child → refused.
+        assert!(!memo.add_expr(g, self_ref).unwrap());
+    }
+
+    #[test]
+    fn repr_plan_round_trip() {
+        let j = scan("a", "X")
+            .join(scan("b", "Y"), vec![("a_k", "b_k")])
+            .unwrap()
+            .build();
+        let mut memo = Memo::new();
+        let g = memo.copy_in(&j).unwrap();
+        let expr = memo.group(g).exprs[0].clone();
+        let plan = memo.repr_plan_of(&expr).unwrap();
+        assert_eq!(plan, j);
+    }
+
+    #[test]
+    fn duplicate_expr_in_same_group_is_ignored() {
+        let a = scan("a", "X").build();
+        let f = PlanBuilder::from_plan(a)
+            .filter(ScalarExpr::col("a_k").gt(ScalarExpr::lit(0i64)))
+            .unwrap()
+            .build();
+        let mut memo = Memo::new();
+        let g = memo.copy_in(&f).unwrap();
+        let expr = memo.group(g).exprs[0].clone();
+        assert!(!memo.add_expr(g, expr).unwrap());
+        assert_eq!(memo.group(g).exprs.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod canon_tests {
+    use super::*;
+    use geoqp_expr::ScalarExpr;
+
+    #[test]
+    fn canon_pred_sorts_and_dedups_conjuncts() {
+        let a = ScalarExpr::col("x").gt(ScalarExpr::lit(1i64));
+        let b = ScalarExpr::col("y").lt(ScalarExpr::lit(2i64));
+        let p1 = canon_pred(a.clone().and(b.clone()));
+        let p2 = canon_pred(b.clone().and(a.clone()));
+        assert_eq!(p1, p2, "conjunct order must not matter");
+        let p3 = canon_pred(a.clone().and(a.clone()).and(b.clone()));
+        assert_eq!(p3, p1, "duplicate conjuncts must collapse");
+        // Disjunctions are atoms for canonicalization purposes.
+        let d = a.clone().or(b.clone());
+        assert_eq!(canon_pred(d.clone()), d);
+    }
+
+    #[test]
+    fn canon_op_sorts_join_keys() {
+        let j1 = canon_op(MOp::Join {
+            on: vec![("b".into(), "y".into()), ("a".into(), "x".into())],
+            filter: None,
+        });
+        let j2 = canon_op(MOp::Join {
+            on: vec![("a".into(), "x".into()), ("b".into(), "y".into())],
+            filter: None,
+        });
+        assert_eq!(j1, j2);
+        let j3 = canon_op(MOp::Join {
+            on: vec![
+                ("a".into(), "x".into()),
+                ("a".into(), "x".into()),
+                ("b".into(), "y".into()),
+            ],
+            filter: None,
+        });
+        assert_eq!(j3, j1, "duplicate key pairs must collapse");
+    }
+
+    #[test]
+    fn canon_op_leaves_other_ops_alone() {
+        let p = MOp::Project {
+            exprs: vec![
+                (ScalarExpr::col("b"), "b".into()),
+                (ScalarExpr::col("a"), "a".into()),
+            ],
+        };
+        assert_eq!(canon_op(p.clone()), p, "projection order is semantic");
+    }
+}

@@ -1,0 +1,538 @@
+//! Deterministic plan normalization, run once before memo exploration.
+//!
+//! Two rewrites that are *always* at least as good — for the phase-1 cost
+//! model and for compliance — are applied exhaustively up front rather
+//! than explored as alternatives:
+//!
+//! * **filter pushdown**: moving a conjunct toward its source strengthens
+//!   the local query's predicate `P_q`, which can only make more policy
+//!   expressions applicable under the implication test (and never fewer),
+//!   while reducing cardinalities;
+//! * **column pruning** (projection pushdown): dropping unused columns
+//!   shrinks the accessed-attribute set `A_q`, which can only grow the
+//!   legal-location sets Algorithm 1 derives — these are exactly the
+//!   paper's "masking via projection" operators (Figure 1(b), operator 2).
+//!
+//! Keeping dominated alternatives out of the memo leaves exploration to
+//! the transformations where real trade-offs exist: join re-association /
+//! exchange and aggregation pushdown past joins.
+
+use geoqp_common::{Result, Schema};
+use geoqp_expr::{conjoin, ScalarExpr};
+use geoqp_plan::logical::LogicalPlan;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Normalize a plan: push filters down, prune columns, merge trivial
+/// projections. Semantics-preserving.
+pub fn normalize_plan(plan: &Arc<LogicalPlan>) -> Result<Arc<LogicalPlan>> {
+    let filtered = push_filters(plan, Vec::new())?;
+    let required: BTreeSet<String> = filtered
+        .schema()
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let pruned = prune(&filtered, &required)?;
+    let simplified = simplify_projects(&pruned)?;
+    // Pruning lets supersets flow through joins; restore the original
+    // output shape if it drifted.
+    if simplified.schema() == plan.schema() {
+        Ok(simplified)
+    } else {
+        let names = plan.schema().names();
+        Ok(Arc::new(LogicalPlan::project_columns(simplified, &names)?))
+    }
+}
+
+/// Substitute projection outputs into an expression.
+fn substitute(expr: &ScalarExpr, map: &BTreeMap<String, ScalarExpr>) -> ScalarExpr {
+    match expr {
+        ScalarExpr::Column(n) => map.get(n).cloned().unwrap_or_else(|| expr.clone()),
+        ScalarExpr::Literal(_) => expr.clone(),
+        ScalarExpr::Binary { op, lhs, rhs } => ScalarExpr::Binary {
+            op: *op,
+            lhs: Box::new(substitute(lhs, map)),
+            rhs: Box::new(substitute(rhs, map)),
+        },
+        ScalarExpr::Unary { op, expr } => ScalarExpr::Unary {
+            op: *op,
+            expr: Box::new(substitute(expr, map)),
+        },
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => ScalarExpr::Like {
+            expr: Box::new(substitute(expr, map)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => ScalarExpr::InList {
+            expr: Box::new(substitute(expr, map)),
+            list: list.clone(),
+            negated: *negated,
+        },
+        ScalarExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => ScalarExpr::Between {
+            expr: Box::new(substitute(expr, map)),
+            low: Box::new(substitute(low, map)),
+            high: Box::new(substitute(high, map)),
+            negated: *negated,
+        },
+        ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+            expr: Box::new(substitute(expr, map)),
+            negated: *negated,
+        },
+    }
+}
+
+/// Push a set of incoming conjuncts (over the node's output schema) as far
+/// down as possible; returns a plan equivalent to
+/// `σ_{∧incoming}(plan)`.
+fn push_filters(
+    plan: &Arc<LogicalPlan>,
+    incoming: Vec<ScalarExpr>,
+) -> Result<Arc<LogicalPlan>> {
+    match plan.as_ref() {
+        LogicalPlan::Filter { input, predicate } => {
+            let mut preds = incoming;
+            preds.extend(
+                geoqp_expr::split_conjunction(predicate)
+                    .into_iter()
+                    .cloned(),
+            );
+            push_filters(input, preds)
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let map: BTreeMap<String, ScalarExpr> = exprs
+                .iter()
+                .map(|(e, n)| (n.clone(), e.clone()))
+                .collect();
+            let below: Vec<ScalarExpr> =
+                incoming.iter().map(|p| substitute(p, &map)).collect();
+            let child = push_filters(input, below)?;
+            Ok(Arc::new(LogicalPlan::project(child, exprs.clone())?))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            filter,
+            ..
+        } => {
+            let lcols: BTreeSet<String> =
+                left.schema().names().iter().map(|s| s.to_string()).collect();
+            let rcols: BTreeSet<String> =
+                right.schema().names().iter().map(|s| s.to_string()).collect();
+            let mut lparts = Vec::new();
+            let mut rparts = Vec::new();
+            let mut residual = Vec::new();
+            let mut all = incoming;
+            if let Some(f) = filter {
+                all.extend(geoqp_expr::split_conjunction(f).into_iter().cloned());
+            }
+            for c in all {
+                let cols = c.referenced_columns();
+                if cols.is_subset(&lcols) {
+                    lparts.push(c);
+                } else if cols.is_subset(&rcols) {
+                    rparts.push(c);
+                } else {
+                    residual.push(c);
+                }
+            }
+            let new_left = push_filters(left, lparts)?;
+            let new_right = push_filters(right, rparts)?;
+            Ok(Arc::new(LogicalPlan::join(
+                new_left,
+                new_right,
+                on.clone(),
+                conjoin(residual),
+            )?))
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let gset: BTreeSet<String> = group_by.iter().cloned().collect();
+            let (push, stay): (Vec<_>, Vec<_>) = incoming
+                .into_iter()
+                .partition(|p| p.referenced_columns().is_subset(&gset));
+            let child = push_filters(input, push)?;
+            let agg = Arc::new(LogicalPlan::aggregate(
+                child,
+                group_by.clone(),
+                aggs.clone(),
+            )?);
+            wrap_filter(agg, stay)
+        }
+        LogicalPlan::Union { inputs, .. } => {
+            let new_inputs: Vec<Arc<LogicalPlan>> = inputs
+                .iter()
+                .map(|i| push_filters(i, incoming.clone()))
+                .collect::<Result<_>>()?;
+            Ok(Arc::new(LogicalPlan::union(new_inputs)?))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child = push_filters(input, incoming)?;
+            Ok(Arc::new(LogicalPlan::sort(child, keys.clone())?))
+        }
+        // Filters do not commute with LIMIT.
+        LogicalPlan::Limit { input, fetch } => {
+            let child = push_filters(input, Vec::new())?;
+            wrap_filter(Arc::new(LogicalPlan::limit(child, *fetch)), incoming)
+        }
+        LogicalPlan::TableScan { .. } => wrap_filter(Arc::clone(plan), incoming),
+    }
+}
+
+fn wrap_filter(plan: Arc<LogicalPlan>, preds: Vec<ScalarExpr>) -> Result<Arc<LogicalPlan>> {
+    match conjoin(preds) {
+        None => Ok(plan),
+        Some(p) => Ok(Arc::new(LogicalPlan::filter(plan, p)?)),
+    }
+}
+
+/// Prune unused columns top-down. `required` is the set of output columns
+/// the parent needs; the returned plan's schema is a superset of it (the
+/// parent wraps with a projection when an exact shape is needed).
+fn prune(plan: &Arc<LogicalPlan>, required: &BTreeSet<String>) -> Result<Arc<LogicalPlan>> {
+    match plan.as_ref() {
+        LogicalPlan::TableScan { schema, .. } => {
+            let keep: Vec<&str> = schema
+                .names()
+                .into_iter()
+                .filter(|c| required.contains(*c))
+                .collect();
+            if keep.len() == schema.len() || keep.is_empty() {
+                Ok(Arc::clone(plan))
+            } else {
+                Ok(Arc::new(LogicalPlan::project_columns(
+                    Arc::clone(plan),
+                    &keep,
+                )?))
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut need = required.clone();
+            need.extend(predicate.referenced_columns());
+            let child = prune(input, &need)?;
+            Ok(Arc::new(LogicalPlan::filter(child, predicate.clone())?))
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            // Keep only required output expressions (all when the parent
+            // requires everything).
+            let kept: Vec<(ScalarExpr, String)> = exprs
+                .iter()
+                .filter(|(_, n)| required.contains(n))
+                .cloned()
+                .collect();
+            let kept = if kept.is_empty() { exprs.clone() } else { kept };
+            let mut need = BTreeSet::new();
+            for (e, _) in &kept {
+                need.extend(e.referenced_columns());
+            }
+            let child = prune(input, &need)?;
+            Ok(Arc::new(LogicalPlan::project(child, kept)?))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            filter,
+            ..
+        } => {
+            let mut need = required.clone();
+            for (l, r) in on {
+                need.insert(l.clone());
+                need.insert(r.clone());
+            }
+            if let Some(f) = filter {
+                need.extend(f.referenced_columns());
+            }
+            let lneed: BTreeSet<String> = left
+                .schema()
+                .names()
+                .iter()
+                .filter(|c| need.contains(**c))
+                .map(|s| s.to_string())
+                .collect();
+            let rneed: BTreeSet<String> = right
+                .schema()
+                .names()
+                .iter()
+                .filter(|c| need.contains(**c))
+                .map(|s| s.to_string())
+                .collect();
+            // Children may return supersets (e.g. nested joins keep their
+            // own key columns); extra already-accessed columns are
+            // harmless for both cost and compliance, and wrapping a join
+            // in a projection here would hide the Join-over-Join pattern
+            // from the re-association rules.
+            let new_left = prune(left, &lneed)?;
+            let new_right = prune(right, &rneed)?;
+            Ok(Arc::new(LogicalPlan::join(
+                new_left,
+                new_right,
+                on.clone(),
+                filter.clone(),
+            )?))
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let mut need: BTreeSet<String> = group_by.iter().cloned().collect();
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    need.extend(arg.referenced_columns());
+                }
+            }
+            let child = prune(input, &need)?;
+            Ok(Arc::new(LogicalPlan::aggregate(
+                child,
+                group_by.clone(),
+                aggs.clone(),
+            )?))
+        }
+        LogicalPlan::Union { inputs, .. } => {
+            // Branch schemas must stay identical: prune all with the same
+            // requirement, then shape all to it.
+            let shaped: Vec<Arc<LogicalPlan>> = inputs
+                .iter()
+                .map(|i| shape(prune(i, required)?, required))
+                .collect::<Result<_>>()?;
+            Ok(Arc::new(LogicalPlan::union(shaped)?))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut need = required.clone();
+            for k in keys {
+                need.insert(k.column.clone());
+            }
+            let child = prune(input, &need)?;
+            Ok(Arc::new(LogicalPlan::sort(child, keys.clone())?))
+        }
+        LogicalPlan::Limit { input, fetch } => {
+            let child = prune(input, required)?;
+            Ok(Arc::new(LogicalPlan::limit(child, *fetch)))
+        }
+    }
+}
+
+/// Wrap with a projection so that the plan outputs exactly the columns in
+/// `want` (schema order), unless it already does.
+fn shape(plan: Arc<LogicalPlan>, want: &BTreeSet<String>) -> Result<Arc<LogicalPlan>> {
+    let keep: Vec<String> = plan
+        .schema()
+        .names()
+        .iter()
+        .filter(|c| want.contains(**c))
+        .map(|s| s.to_string())
+        .collect();
+    if keep.len() == plan.schema().len() || keep.is_empty() {
+        return Ok(plan);
+    }
+    let refs: Vec<&str> = keep.iter().map(String::as_str).collect();
+    Ok(Arc::new(LogicalPlan::project_columns(plan, &refs)?))
+}
+
+/// Merge adjacent projections and drop identity projections.
+fn simplify_projects(plan: &Arc<LogicalPlan>) -> Result<Arc<LogicalPlan>> {
+    let children: Vec<Arc<LogicalPlan>> = plan
+        .children()
+        .iter()
+        .map(|c| simplify_projects(c))
+        .collect::<Result<_>>()?;
+    let rebuilt = Arc::new(plan.with_children(children)?);
+    if let LogicalPlan::Project { input, exprs, .. } = rebuilt.as_ref() {
+        // Identity projection?
+        if is_identity(exprs, input.schema()) {
+            return Ok(Arc::clone(input));
+        }
+        // Merge Project(Project(x)).
+        if let LogicalPlan::Project {
+            input: inner_input,
+            exprs: inner_exprs,
+            ..
+        } = input.as_ref()
+        {
+            let map: BTreeMap<String, ScalarExpr> = inner_exprs
+                .iter()
+                .map(|(e, n)| (n.clone(), e.clone()))
+                .collect();
+            let merged: Vec<(ScalarExpr, String)> = exprs
+                .iter()
+                .map(|(e, n)| (substitute(e, &map), n.clone()))
+                .collect();
+            if is_identity(&merged, inner_input.schema()) {
+                return Ok(Arc::clone(inner_input));
+            }
+            return Ok(Arc::new(LogicalPlan::project(
+                Arc::clone(inner_input),
+                merged,
+            )?));
+        }
+    }
+    Ok(rebuilt)
+}
+
+fn is_identity(exprs: &[(ScalarExpr, String)], input: &Schema) -> bool {
+    exprs.len() == input.len()
+        && exprs.iter().zip(input.names()).all(|((e, n), c)| {
+            e.as_column() == Some(c) && n == c
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_common::{DataType, Field, Location, TableRef};
+    use geoqp_plan::PlanBuilder;
+
+    fn scan(name: &str, loc: &str, cols: &[&str]) -> PlanBuilder {
+        PlanBuilder::scan(
+            TableRef::bare(name),
+            Location::new(loc),
+            Schema::new(cols.iter().map(|c| Field::new(*c, DataType::Int64)).collect())
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn filters_sink_to_scans() {
+        let plan = scan("a", "X", &["a_k", "a_v"])
+            .join(scan("b", "Y", &["b_k", "b_v"]), vec![("a_k", "b_k")])
+            .unwrap()
+            .filter(
+                ScalarExpr::col("a_v")
+                    .gt(ScalarExpr::lit(1i64))
+                    .and(ScalarExpr::col("b_v").lt(ScalarExpr::lit(9i64))),
+            )
+            .unwrap()
+            .build();
+        let n = normalize_plan(&plan).unwrap();
+        // Top must be the join; both sides filtered.
+        let LogicalPlan::Join { left, right, .. } = n.as_ref() else {
+            panic!("expected join at top, got {}", n.name());
+        };
+        assert!(matches!(left.as_ref(), LogicalPlan::Filter { .. }));
+        assert!(matches!(right.as_ref(), LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn cross_side_conjunct_becomes_join_residual() {
+        let plan = scan("a", "X", &["a_k", "a_v"])
+            .join(scan("b", "Y", &["b_k", "b_v"]), vec![("a_k", "b_k")])
+            .unwrap()
+            .filter(ScalarExpr::col("a_v").lt(ScalarExpr::col("b_v")))
+            .unwrap()
+            .build();
+        let n = normalize_plan(&plan).unwrap();
+        let LogicalPlan::Join { filter, .. } = n.as_ref() else {
+            panic!("expected join at top");
+        };
+        assert!(filter.is_some());
+    }
+
+    #[test]
+    fn columns_prune_below_join() {
+        let plan = scan("a", "X", &["a_k", "a_v", "a_unused"])
+            .join(scan("b", "Y", &["b_k", "b_v"]), vec![("a_k", "b_k")])
+            .unwrap()
+            .project_columns(&["a_v", "b_v"])
+            .unwrap()
+            .build();
+        let n = normalize_plan(&plan).unwrap();
+        let mut saw_pruned_scan_side = false;
+        n.visit(&mut |p| {
+            if let LogicalPlan::Project { exprs, input, .. } = p {
+                if matches!(input.as_ref(), LogicalPlan::TableScan { .. }) {
+                    let names: Vec<&str> = exprs.iter().map(|(_, s)| s.as_str()).collect();
+                    if names == vec!["a_k", "a_v"] {
+                        saw_pruned_scan_side = true;
+                    }
+                }
+            }
+        });
+        assert!(saw_pruned_scan_side, "a_unused not pruned:\n{}",
+            geoqp_plan::display::display_logical(&n));
+    }
+
+    #[test]
+    fn filters_do_not_cross_limit() {
+        let plan = scan("a", "X", &["a_k"])
+            .limit(5)
+            .filter(ScalarExpr::col("a_k").gt(ScalarExpr::lit(0i64)))
+            .unwrap()
+            .build();
+        let n = normalize_plan(&plan).unwrap();
+        assert!(matches!(n.as_ref(), LogicalPlan::Filter { .. }));
+        let LogicalPlan::Filter { input, .. } = n.as_ref() else {
+            unreachable!()
+        };
+        assert!(matches!(input.as_ref(), LogicalPlan::Limit { .. }));
+    }
+
+    #[test]
+    fn identity_projects_vanish() {
+        let plan = scan("a", "X", &["a_k", "a_v"])
+            .project_columns(&["a_k", "a_v"])
+            .unwrap()
+            .project_columns(&["a_k", "a_v"])
+            .unwrap()
+            .build();
+        let n = normalize_plan(&plan).unwrap();
+        assert!(matches!(n.as_ref(), LogicalPlan::TableScan { .. }));
+    }
+
+    #[test]
+    fn schema_is_preserved() {
+        let plan = scan("a", "X", &["a_k", "a_v", "a_w"])
+            .join(scan("b", "Y", &["b_k", "b_v"]), vec![("a_k", "b_k")])
+            .unwrap()
+            .filter(ScalarExpr::col("a_w").gt(ScalarExpr::lit(3i64)))
+            .unwrap()
+            .project_columns(&["a_v", "b_v"])
+            .unwrap()
+            .build();
+        let n = normalize_plan(&plan).unwrap();
+        assert_eq!(n.schema(), plan.schema());
+    }
+
+    #[test]
+    fn filter_substitutes_through_projection() {
+        let plan = scan("a", "X", &["a_k"])
+            .project(vec![(
+                ScalarExpr::col("a_k").add(ScalarExpr::lit(1i64)),
+                "k1".into(),
+            )])
+            .unwrap()
+            .filter(ScalarExpr::col("k1").gt(ScalarExpr::lit(10i64)))
+            .unwrap()
+            .build();
+        let n = normalize_plan(&plan).unwrap();
+        // The filter lands below the projection, over (a_k + 1) > 10.
+        let mut filter_below = false;
+        n.visit(&mut |p| {
+            if let LogicalPlan::Filter { predicate, .. } = p {
+                if predicate.to_string().contains("a_k + 1") {
+                    filter_below = true;
+                }
+            }
+        });
+        assert!(filter_below, "{}", geoqp_plan::display::display_logical(&n));
+    }
+}

@@ -1,0 +1,20 @@
+//! # geoqp-exec
+//!
+//! The local execution engine: a recursive interpreter for located
+//! [`PhysicalPlan`](geoqp_plan::PhysicalPlan) trees.
+//!
+//! The engine is parameterized by two capabilities supplied by the caller:
+//!
+//! * a [`DataSource`] that materializes base-table scans at a site, and
+//! * a [`ShipHandler`] invoked for every SHIP operator, which is where the
+//!   distributed engine (in `geoqp-core`) serializes rows, charges the
+//!   network simulator, and enforces runtime compliance accounting.
+//!
+//! Operators implemented: scan, filter, project, hash equi-join with
+//! residual filters, hash aggregation (SUM/AVG/MIN/MAX/COUNT with SQL null
+//! semantics), sort, limit, union, ship.
+
+pub mod aggregate;
+pub mod executor;
+
+pub use executor::{execute, DataSource, LocalShip, MapSource, ShipHandler};

@@ -1,0 +1,189 @@
+//! Aggregate functions and aggregate calls.
+
+use crate::expr::ScalarExpr;
+use geoqp_common::{DataType, GeoError, Result, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The aggregation functions supported by queries and by the `as aggregates`
+/// clause of aggregate policy expressions (paper Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `COUNT`
+    Count,
+}
+
+impl AggFunc {
+    /// Parse a function name, case-insensitively.
+    pub fn parse(s: &str) -> Option<AggFunc> {
+        match s.to_ascii_lowercase().as_str() {
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "count" => Some(AggFunc::Count),
+            _ => None,
+        }
+    }
+
+    /// Result type given the input type.
+    pub fn result_type(self, input: DataType) -> Result<DataType> {
+        match self {
+            AggFunc::Count => Ok(DataType::Int64),
+            AggFunc::Sum => {
+                if input.is_numeric() {
+                    Ok(input)
+                } else {
+                    Err(GeoError::Plan(format!("SUM requires numeric input, got {input}")))
+                }
+            }
+            AggFunc::Avg => {
+                if input.is_numeric() {
+                    Ok(DataType::Float64)
+                } else {
+                    Err(GeoError::Plan(format!("AVG requires numeric input, got {input}")))
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if input.is_ordered() {
+                    Ok(input)
+                } else {
+                    Err(GeoError::Plan(format!(
+                        "MIN/MAX require ordered input, got {input}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Count => "COUNT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An aggregate call `FUNC(arg)` with an output alias, as it appears in an
+/// `Aggregate` plan node. `COUNT(*)` is modelled with
+/// `arg = None`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AggCall {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument expression; `None` means `COUNT(*)`.
+    pub arg: Option<ScalarExpr>,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggCall {
+    /// `FUNC(expr) AS alias`
+    pub fn new(func: AggFunc, arg: ScalarExpr, alias: impl Into<String>) -> AggCall {
+        AggCall {
+            func,
+            arg: Some(arg),
+            alias: alias.into(),
+        }
+    }
+
+    /// `COUNT(*) AS alias`
+    pub fn count_star(alias: impl Into<String>) -> AggCall {
+        AggCall {
+            func: AggFunc::Count,
+            arg: None,
+            alias: alias.into(),
+        }
+    }
+
+    /// Result type against an input schema.
+    pub fn result_type(&self, schema: &Schema) -> Result<DataType> {
+        match &self.arg {
+            None => Ok(DataType::Int64),
+            Some(e) => self.func.result_type(e.data_type(schema)?),
+        }
+    }
+
+    /// The single column this call aggregates, when its argument is a bare
+    /// column reference — the case the policy evaluator's attribute-wise
+    /// matching reasons about (`f_a` in Algorithm 1).
+    pub fn aggregated_column(&self) -> Option<&str> {
+        self.arg.as_ref().and_then(ScalarExpr::as_column)
+    }
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            None => write!(f, "{}(*) AS {}", self.func, self.alias),
+            Some(e) => write!(f, "{}({e}) AS {}", self.func, self.alias),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_common::Field;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(AggFunc::parse("SUM"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::parse("avg"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("median"), None);
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(
+            AggFunc::Sum.result_type(DataType::Int64).unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(
+            AggFunc::Avg.result_type(DataType::Int64).unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(
+            AggFunc::Min.result_type(DataType::Str).unwrap(),
+            DataType::Str
+        );
+        assert_eq!(
+            AggFunc::Count.result_type(DataType::Str).unwrap(),
+            DataType::Int64
+        );
+        assert!(AggFunc::Sum.result_type(DataType::Str).is_err());
+        assert!(AggFunc::Min.result_type(DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn call_result_type_and_column() {
+        let schema = Schema::new(vec![Field::new("qty", DataType::Int64)]).unwrap();
+        let call = AggCall::new(AggFunc::Sum, ScalarExpr::col("qty"), "total");
+        assert_eq!(call.result_type(&schema).unwrap(), DataType::Int64);
+        assert_eq!(call.aggregated_column(), Some("qty"));
+        let star = AggCall::count_star("n");
+        assert_eq!(star.result_type(&schema).unwrap(), DataType::Int64);
+        assert_eq!(star.aggregated_column(), None);
+    }
+
+    #[test]
+    fn display() {
+        let call = AggCall::new(AggFunc::Sum, ScalarExpr::col("q"), "sq");
+        assert_eq!(call.to_string(), "SUM(q) AS sq");
+        assert_eq!(AggCall::count_star("n").to_string(), "COUNT(*) AS n");
+    }
+}

@@ -1,0 +1,619 @@
+//! The scalar expression tree.
+
+use geoqp_common::{DataType, GeoError, Result, Schema, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinaryOp {
+    /// True for `=`, `<>`, `<`, `<=`, `>`, `>=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    /// True for `+`, `-`, `*`, `/`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div
+        )
+    }
+
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> BinaryOp {
+        match self {
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            other => other,
+        }
+    }
+
+    /// The logical negation of a comparison (`<` ⇔ `>=`).
+    pub fn negate_comparison(self) -> Option<BinaryOp> {
+        Some(match self {
+            BinaryOp::Eq => BinaryOp::NotEq,
+            BinaryOp::NotEq => BinaryOp::Eq,
+            BinaryOp::Lt => BinaryOp::GtEq,
+            BinaryOp::LtEq => BinaryOp::Gt,
+            BinaryOp::Gt => BinaryOp::LtEq,
+            BinaryOp::GtEq => BinaryOp::Lt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// Logical `NOT`.
+    Not,
+    /// Numeric negation.
+    Neg,
+}
+
+/// A scalar expression over named columns.
+///
+/// Columns are referenced by name and resolved against the input schema at
+/// bind time ([`crate::eval::bind`]). Names stay stable under the plan
+/// rewrites the optimizer performs, which keeps transformation rules simple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarExpr {
+    /// A column reference by name.
+    Column(String),
+    /// A constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<ScalarExpr>,
+        /// Right operand.
+        rhs: Box<ScalarExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<ScalarExpr>,
+    },
+    /// SQL `LIKE` with `%`/`_` wildcards.
+    Like {
+        /// The matched expression (string-typed).
+        expr: Box<ScalarExpr>,
+        /// The pattern literal.
+        pattern: String,
+        /// `NOT LIKE` when true.
+        negated: bool,
+    },
+    /// SQL `IN (v1, v2, ...)` over constant lists.
+    InList {
+        /// The tested expression.
+        expr: Box<ScalarExpr>,
+        /// Constant candidates.
+        list: Vec<Value>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
+    /// SQL `BETWEEN low AND high` (inclusive).
+    Between {
+        /// The tested expression.
+        expr: Box<ScalarExpr>,
+        /// Lower bound.
+        low: Box<ScalarExpr>,
+        /// Upper bound.
+        high: Box<ScalarExpr>,
+        /// `NOT BETWEEN` when true.
+        negated: bool,
+    },
+    /// `IS NULL` / `IS NOT NULL`.
+    IsNull {
+        /// The tested expression.
+        expr: Box<ScalarExpr>,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+}
+
+impl ScalarExpr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Column(name.into())
+    }
+
+    /// Literal constant.
+    pub fn lit(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Literal(v.into())
+    }
+
+    /// Build a binary expression.
+    pub fn binary(op: BinaryOp, lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `self = rhs`
+    pub fn eq(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::Eq, self, rhs)
+    }
+    /// `self <> rhs`
+    pub fn not_eq(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::NotEq, self, rhs)
+    }
+    /// `self < rhs`
+    pub fn lt(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::Lt, self, rhs)
+    }
+    /// `self <= rhs`
+    pub fn lt_eq(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::LtEq, self, rhs)
+    }
+    /// `self > rhs`
+    pub fn gt(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::Gt, self, rhs)
+    }
+    /// `self >= rhs`
+    pub fn gt_eq(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::GtEq, self, rhs)
+    }
+    /// `self AND rhs`
+    pub fn and(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::And, self, rhs)
+    }
+    /// `self OR rhs`
+    pub fn or(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::Or, self, rhs)
+    }
+    /// `self + rhs`
+    pub fn add(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::Add, self, rhs)
+    }
+    /// `self - rhs`
+    pub fn sub(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::Sub, self, rhs)
+    }
+    /// `self * rhs`
+    pub fn mul(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::Mul, self, rhs)
+    }
+    /// `self / rhs`
+    pub fn div(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::binary(BinaryOp::Div, self, rhs)
+    }
+    /// `NOT self`
+    pub fn not(self) -> ScalarExpr {
+        ScalarExpr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(self),
+        }
+    }
+    /// `self LIKE pattern`
+    pub fn like(self, pattern: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Like {
+            expr: Box::new(self),
+            pattern: pattern.into(),
+            negated: false,
+        }
+    }
+    /// `self NOT LIKE pattern`
+    pub fn not_like(self, pattern: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Like {
+            expr: Box::new(self),
+            pattern: pattern.into(),
+            negated: true,
+        }
+    }
+    /// `self IN (list...)`
+    pub fn in_list(self, list: Vec<Value>) -> ScalarExpr {
+        ScalarExpr::InList {
+            expr: Box::new(self),
+            list,
+            negated: false,
+        }
+    }
+    /// `self BETWEEN low AND high`
+    pub fn between(self, low: ScalarExpr, high: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Between {
+            expr: Box::new(self),
+            low: Box::new(low),
+            high: Box::new(high),
+            negated: false,
+        }
+    }
+    /// `self IS NULL`
+    pub fn is_null(self) -> ScalarExpr {
+        ScalarExpr::IsNull {
+            expr: Box::new(self),
+            negated: false,
+        }
+    }
+
+    /// The column name, when the expression is a bare column reference.
+    pub fn as_column(&self) -> Option<&str> {
+        match self {
+            ScalarExpr::Column(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The constant, when the expression is a literal.
+    pub fn as_literal(&self) -> Option<&Value> {
+        match self {
+            ScalarExpr::Literal(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Collect the set of column names referenced anywhere in the tree.
+    pub fn referenced_columns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            ScalarExpr::Column(n) => {
+                out.insert(n.clone());
+            }
+            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                lhs.collect_columns(out);
+                rhs.collect_columns(out);
+            }
+            ScalarExpr::Unary { expr, .. }
+            | ScalarExpr::Like { expr, .. }
+            | ScalarExpr::InList { expr, .. }
+            | ScalarExpr::IsNull { expr, .. } => expr.collect_columns(out),
+            ScalarExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+        }
+    }
+
+    /// Rewrite every column reference through `f` (used when pushing
+    /// expressions through projections that rename columns).
+    pub fn rename_columns(&self, f: &impl Fn(&str) -> String) -> ScalarExpr {
+        match self {
+            ScalarExpr::Column(n) => ScalarExpr::Column(f(n)),
+            ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            ScalarExpr::Binary { op, lhs, rhs } => ScalarExpr::Binary {
+                op: *op,
+                lhs: Box::new(lhs.rename_columns(f)),
+                rhs: Box::new(rhs.rename_columns(f)),
+            },
+            ScalarExpr::Unary { op, expr } => ScalarExpr::Unary {
+                op: *op,
+                expr: Box::new(expr.rename_columns(f)),
+            },
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => ScalarExpr::Like {
+                expr: Box::new(expr.rename_columns(f)),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => ScalarExpr::InList {
+                expr: Box::new(expr.rename_columns(f)),
+                list: list.clone(),
+                negated: *negated,
+            },
+            ScalarExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => ScalarExpr::Between {
+                expr: Box::new(expr.rename_columns(f)),
+                low: Box::new(low.rename_columns(f)),
+                high: Box::new(high.rename_columns(f)),
+                negated: *negated,
+            },
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.rename_columns(f)),
+                negated: *negated,
+            },
+        }
+    }
+
+    /// Derive the result type against an input schema, validating column
+    /// references and operand types along the way.
+    pub fn data_type(&self, schema: &Schema) -> Result<DataType> {
+        match self {
+            ScalarExpr::Column(n) => {
+                let f = schema
+                    .field_by_name(n)
+                    .ok_or_else(|| GeoError::Plan(format!("unknown column `{n}`")))?;
+                Ok(f.data_type)
+            }
+            // A NULL literal types as Int64 by convention; evaluation is
+            // unaffected because NULL propagates dynamically.
+            ScalarExpr::Literal(v) => Ok(v.data_type().unwrap_or(DataType::Int64)),
+            ScalarExpr::Binary { op, lhs, rhs } => {
+                let lt = lhs.data_type(schema)?;
+                let rt = rhs.data_type(schema)?;
+                if op.is_arithmetic() {
+                    lt.arithmetic_result(rt).ok_or_else(|| {
+                        GeoError::Plan(format!("cannot apply {op} to {lt} and {rt}"))
+                    })
+                } else if op.is_comparison() {
+                    if lt.comparable_with(rt) {
+                        Ok(DataType::Bool)
+                    } else {
+                        Err(GeoError::Plan(format!(
+                            "cannot compare {lt} with {rt} (in {self})"
+                        )))
+                    }
+                } else {
+                    // AND / OR
+                    if lt == DataType::Bool && rt == DataType::Bool {
+                        Ok(DataType::Bool)
+                    } else {
+                        Err(GeoError::Plan(format!(
+                            "{op} requires boolean operands, got {lt} and {rt}"
+                        )))
+                    }
+                }
+            }
+            ScalarExpr::Unary { op, expr } => {
+                let t = expr.data_type(schema)?;
+                match op {
+                    UnaryOp::Not if t == DataType::Bool => Ok(DataType::Bool),
+                    UnaryOp::Neg if t.is_numeric() => Ok(t),
+                    _ => Err(GeoError::Plan(format!("cannot apply {op:?} to {t}"))),
+                }
+            }
+            ScalarExpr::Like { expr, .. } => {
+                let t = expr.data_type(schema)?;
+                if t == DataType::Str {
+                    Ok(DataType::Bool)
+                } else {
+                    Err(GeoError::Plan(format!("LIKE requires VARCHAR, got {t}")))
+                }
+            }
+            ScalarExpr::InList { expr, .. } => {
+                expr.data_type(schema)?;
+                Ok(DataType::Bool)
+            }
+            ScalarExpr::Between {
+                expr, low, high, ..
+            } => {
+                let t = expr.data_type(schema)?;
+                let lt = low.data_type(schema)?;
+                let ht = high.data_type(schema)?;
+                if t.comparable_with(lt) && t.comparable_with(ht) {
+                    Ok(DataType::Bool)
+                } else {
+                    Err(GeoError::Plan(format!(
+                        "BETWEEN bounds incomparable with operand: {t} vs {lt}/{ht}"
+                    )))
+                }
+            }
+            ScalarExpr::IsNull { expr, .. } => {
+                expr.data_type(schema)?;
+                Ok(DataType::Bool)
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Column(n) => f.write_str(n),
+            ScalarExpr::Literal(v) => write!(f, "{v}"),
+            ScalarExpr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            ScalarExpr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "NOT ({expr})"),
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+            },
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}LIKE '{pattern}')",
+                if *negated { "NOT " } else { "" }
+            ),
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "))")
+            }
+            ScalarExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            ScalarExpr::IsNull { expr, negated } => write!(
+                f,
+                "({expr} IS {}NULL)",
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_common::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Float64),
+            Field::new("s", DataType::Str),
+            Field::new("d", DataType::Date),
+            Field::new("flag", DataType::Bool),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn referenced_columns_deduplicates() {
+        let e = ScalarExpr::col("a")
+            .gt(ScalarExpr::lit(5i64))
+            .and(ScalarExpr::col("a").lt(ScalarExpr::col("b")));
+        let cols = e.referenced_columns();
+        assert_eq!(
+            cols.into_iter().collect::<Vec<_>>(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+
+    #[test]
+    fn type_derivation_arithmetic_promotion() {
+        let s = schema();
+        let e = ScalarExpr::col("a").add(ScalarExpr::col("b"));
+        assert_eq!(e.data_type(&s).unwrap(), DataType::Float64);
+        let e = ScalarExpr::col("a").mul(ScalarExpr::lit(2i64));
+        assert_eq!(e.data_type(&s).unwrap(), DataType::Int64);
+    }
+
+    #[test]
+    fn type_derivation_rejects_bad_operands() {
+        let s = schema();
+        assert!(ScalarExpr::col("s")
+            .add(ScalarExpr::lit(1i64))
+            .data_type(&s)
+            .is_err());
+        assert!(ScalarExpr::col("a")
+            .and(ScalarExpr::col("flag"))
+            .data_type(&s)
+            .is_err());
+        assert!(ScalarExpr::col("a").like("%x%").data_type(&s).is_err());
+        assert!(ScalarExpr::col("nope").data_type(&s).is_err());
+    }
+
+    #[test]
+    fn comparisons_type_as_bool() {
+        let s = schema();
+        assert_eq!(
+            ScalarExpr::col("d")
+                .lt(ScalarExpr::lit(Value::date(1995, 1, 1)))
+                .data_type(&s)
+                .unwrap(),
+            DataType::Bool
+        );
+        assert_eq!(
+            ScalarExpr::col("s").like("A%").data_type(&s).unwrap(),
+            DataType::Bool
+        );
+    }
+
+    #[test]
+    fn rename_columns_rewrites_all_references() {
+        let e = ScalarExpr::col("x").gt(ScalarExpr::col("y").add(ScalarExpr::lit(1i64)));
+        let renamed = e.rename_columns(&|n| format!("t_{n}"));
+        assert_eq!(
+            renamed.referenced_columns().into_iter().collect::<Vec<_>>(),
+            vec!["t_x".to_string(), "t_y".to_string()]
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = ScalarExpr::col("size")
+            .gt(ScalarExpr::lit(40i64))
+            .or(ScalarExpr::col("type").like("%COPPER%"));
+        assert_eq!(e.to_string(), "((size > 40) OR (type LIKE '%COPPER%'))");
+    }
+
+    #[test]
+    fn op_flip_and_negate() {
+        assert_eq!(BinaryOp::Lt.flip(), BinaryOp::Gt);
+        assert_eq!(BinaryOp::GtEq.flip(), BinaryOp::LtEq);
+        assert_eq!(BinaryOp::Eq.flip(), BinaryOp::Eq);
+        assert_eq!(BinaryOp::Lt.negate_comparison(), Some(BinaryOp::GtEq));
+        assert_eq!(BinaryOp::And.negate_comparison(), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! SQL `LIKE` pattern matching.
+
+/// Match `text` against a SQL `LIKE` pattern where `%` matches any sequence
+/// (including empty) and `_` matches exactly one character. Matching is
+/// case-sensitive, as in standard SQL.
+///
+/// Implemented with the classic two-pointer greedy algorithm with
+/// backtracking over the last `%`, which runs in O(n·m) worst case but
+/// linear time on typical patterns.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<usize> = None;
+    let mut star_ti = 0usize;
+
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_ti = ti;
+            pi += 1;
+        } else if let Some(sp) = star {
+            // Backtrack: let the last % absorb one more character.
+            pi = sp + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// True when the pattern contains no wildcards, i.e. behaves as equality.
+pub fn is_exact_pattern(pattern: &str) -> bool {
+    !pattern.contains('%') && !pattern.contains('_')
+}
+
+/// If the pattern is a pure prefix pattern (`abc%`), return the prefix.
+pub fn prefix_of_pattern(pattern: &str) -> Option<&str> {
+    let stripped = pattern.strip_suffix('%')?;
+    is_exact_pattern(stripped).then_some(stripped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_matches_any_run() {
+        assert!(like_match("%COPPER%", "STANDARD POLISHED COPPER"));
+        assert!(like_match("%COPPER%", "COPPER"));
+        assert!(!like_match("%COPPER%", "STANDARD POLISHED BRASS"));
+    }
+
+    #[test]
+    fn underscore_matches_one() {
+        assert!(like_match("A_C", "ABC"));
+        assert!(!like_match("A_C", "AC"));
+        assert!(!like_match("A_C", "ABBC"));
+    }
+
+    #[test]
+    fn prefix_patterns() {
+        assert!(like_match("A%", "Anna"));
+        assert!(like_match("A%", "A"));
+        assert!(!like_match("A%", "banana"));
+    }
+
+    #[test]
+    fn exact_when_no_wildcards() {
+        assert!(like_match("hello", "hello"));
+        assert!(!like_match("hello", "hello!"));
+        assert!(is_exact_pattern("hello"));
+        assert!(!is_exact_pattern("he%o"));
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("%", ""));
+        assert!(!like_match("_", ""));
+        assert!(!like_match("", "x"));
+    }
+
+    #[test]
+    fn backtracking_patterns() {
+        assert!(like_match("%a%b%", "xaxxbx"));
+        assert!(like_match("%ab%ab%", "abab"));
+        assert!(!like_match("%ab%ab%", "ab"));
+        assert!(like_match("a%%%b", "ab"));
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        assert_eq!(prefix_of_pattern("PROMO%"), Some("PROMO"));
+        assert_eq!(prefix_of_pattern("%PROMO"), None);
+        assert_eq!(prefix_of_pattern("PRO_O%"), None);
+        assert_eq!(prefix_of_pattern("exact"), None);
+    }
+}

@@ -1,0 +1,221 @@
+//! Predicate normalization for the implication prover.
+//!
+//! Rewrites a predicate into negation normal form (NNF) with a few
+//! desugarings that make implication reasoning uniform:
+//!
+//! * `NOT` is pushed down to atoms (De Morgan), absorbed into comparison
+//!   operators and the `negated` flags of `LIKE`/`IN`/`BETWEEN`/`IS NULL`,
+//! * `BETWEEN lo AND hi` with literal bounds becomes `x >= lo AND x <= hi`
+//!   (and its negation the matching disjunction),
+//! * comparisons are oriented so that a bare column sits on the left-hand
+//!   side whenever the other operand is a literal (`5 < a` → `a > 5`).
+
+use crate::expr::{BinaryOp, ScalarExpr, UnaryOp};
+
+/// Normalize a predicate to NNF with desugared BETWEEN and oriented
+/// comparisons. The result is semantically equivalent to the input.
+pub fn normalize(pred: &ScalarExpr) -> ScalarExpr {
+    nnf(pred, false)
+}
+
+fn nnf(e: &ScalarExpr, negate: bool) -> ScalarExpr {
+    match e {
+        ScalarExpr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => nnf(expr, !negate),
+        ScalarExpr::Binary { op, lhs, rhs } => match op {
+            BinaryOp::And => {
+                let l = nnf(lhs, negate);
+                let r = nnf(rhs, negate);
+                if negate {
+                    l.or(r)
+                } else {
+                    l.and(r)
+                }
+            }
+            BinaryOp::Or => {
+                let l = nnf(lhs, negate);
+                let r = nnf(rhs, negate);
+                if negate {
+                    l.and(r)
+                } else {
+                    l.or(r)
+                }
+            }
+            op if op.is_comparison() => {
+                let op = if negate {
+                    // Negating a comparison is only sound for non-null
+                    // operands; the prover treats NULL-satisfying rows as
+                    // not satisfying either predicate, which keeps this
+                    // rewrite sound for implication purposes.
+                    op.negate_comparison().expect("comparison")
+                } else {
+                    *op
+                };
+                orient(op, nnf(lhs, false), nnf(rhs, false))
+            }
+            // Arithmetic below a negation cannot appear (NOT applies to
+            // booleans); just rebuild.
+            _ => {
+                let rebuilt = ScalarExpr::binary(*op, nnf(lhs, false), nnf(rhs, false));
+                wrap_not(rebuilt, negate)
+            }
+        },
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => ScalarExpr::Like {
+            expr: Box::new(nnf(expr, false)),
+            pattern: pattern.clone(),
+            negated: *negated != negate,
+        },
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => ScalarExpr::InList {
+            expr: Box::new(nnf(expr, false)),
+            list: list.clone(),
+            negated: *negated != negate,
+        },
+        ScalarExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let x = nnf(expr, false);
+            let lo = nnf(low, false);
+            let hi = nnf(high, false);
+            let effective_neg = *negated != negate;
+            if effective_neg {
+                x.clone().lt(lo).or(x.gt(hi))
+            } else {
+                x.clone().gt_eq(lo).and(x.lt_eq(hi))
+            }
+        }
+        ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+            expr: Box::new(nnf(expr, false)),
+            negated: *negated != negate,
+        },
+        ScalarExpr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => wrap_not(
+            ScalarExpr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(nnf(expr, false)),
+            },
+            negate,
+        ),
+        ScalarExpr::Column(_) | ScalarExpr::Literal(_) => wrap_not(e.clone(), negate),
+    }
+}
+
+/// Orient comparisons canonically: `lit op col` becomes
+/// `col flipped-op lit`, and column–column comparisons put the
+/// lexicographically smaller column on the left (so `a = b` and `b = a`
+/// normalize identically — the syntactic-membership fallback of the
+/// implication prover relies on this for join atoms).
+fn orient(op: BinaryOp, lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+    if lhs.as_literal().is_some() && rhs.as_column().is_some() {
+        return ScalarExpr::binary(op.flip(), rhs, lhs);
+    }
+    if let (Some(a), Some(b)) = (lhs.as_column(), rhs.as_column()) {
+        if a > b {
+            return ScalarExpr::binary(op.flip(), rhs, lhs);
+        }
+    }
+    ScalarExpr::binary(op, lhs, rhs)
+}
+
+fn wrap_not(e: ScalarExpr, negate: bool) -> ScalarExpr {
+    if negate {
+        // NOT of a boolean literal folds immediately.
+        if let ScalarExpr::Literal(geoqp_common::Value::Bool(b)) = &e {
+            return ScalarExpr::lit(!*b);
+        }
+        e.not()
+    } else {
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_common::Value;
+
+    #[test]
+    fn double_negation_cancels() {
+        let p = ScalarExpr::col("a").gt(ScalarExpr::lit(5i64)).not().not();
+        assert_eq!(normalize(&p), ScalarExpr::col("a").gt(ScalarExpr::lit(5i64)));
+    }
+
+    #[test]
+    fn de_morgan() {
+        let p = ScalarExpr::col("a")
+            .gt(ScalarExpr::lit(1i64))
+            .and(ScalarExpr::col("b").lt(ScalarExpr::lit(2i64)))
+            .not();
+        let expected = ScalarExpr::col("a")
+            .lt_eq(ScalarExpr::lit(1i64))
+            .or(ScalarExpr::col("b").gt_eq(ScalarExpr::lit(2i64)));
+        assert_eq!(normalize(&p), expected);
+    }
+
+    #[test]
+    fn between_desugars() {
+        let p = ScalarExpr::col("x").between(ScalarExpr::lit(1i64), ScalarExpr::lit(9i64));
+        let expected = ScalarExpr::col("x")
+            .gt_eq(ScalarExpr::lit(1i64))
+            .and(ScalarExpr::col("x").lt_eq(ScalarExpr::lit(9i64)));
+        assert_eq!(normalize(&p), expected);
+
+        let np = p.not();
+        let expected = ScalarExpr::col("x")
+            .lt(ScalarExpr::lit(1i64))
+            .or(ScalarExpr::col("x").gt(ScalarExpr::lit(9i64)));
+        assert_eq!(normalize(&np), expected);
+    }
+
+    #[test]
+    fn not_like_toggles_flag() {
+        let p = ScalarExpr::col("s").like("A%").not();
+        assert_eq!(normalize(&p), ScalarExpr::col("s").not_like("A%"));
+    }
+
+    #[test]
+    fn literal_comparisons_orient_column_left() {
+        let p = ScalarExpr::lit(5i64).lt(ScalarExpr::col("a"));
+        assert_eq!(normalize(&p), ScalarExpr::col("a").gt(ScalarExpr::lit(5i64)));
+    }
+
+    #[test]
+    fn column_column_comparisons_orient_lexicographically() {
+        let p = ScalarExpr::col("zz").eq(ScalarExpr::col("aa"));
+        assert_eq!(normalize(&p), ScalarExpr::col("aa").eq(ScalarExpr::col("zz")));
+        let p = ScalarExpr::col("zz").lt(ScalarExpr::col("aa"));
+        assert_eq!(normalize(&p), ScalarExpr::col("aa").gt(ScalarExpr::col("zz")));
+        // Already ordered: untouched.
+        let p = ScalarExpr::col("aa").lt_eq(ScalarExpr::col("zz"));
+        assert_eq!(normalize(&p), p);
+    }
+
+    #[test]
+    fn not_of_bool_literal_folds() {
+        let p = ScalarExpr::lit(true).not();
+        assert_eq!(normalize(&p), ScalarExpr::lit(Value::Bool(false)));
+    }
+
+    #[test]
+    fn not_in_toggles() {
+        let p = ScalarExpr::col("a").in_list(vec![Value::Int64(1)]).not();
+        match normalize(&p) {
+            ScalarExpr::InList { negated, .. } => assert!(negated),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+}

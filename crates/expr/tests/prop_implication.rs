@@ -1,0 +1,142 @@
+//! Property-based soundness tests for the implication prover and the
+//! expression evaluator.
+//!
+//! The key invariant (paper Section 5): the implication test must be
+//! *sound* — whenever `implies(P, Q)` returns true, every row that
+//! satisfies `P` (evaluates to TRUE) must also satisfy `Q`. Incompleteness
+//! (returning false for a true implication) is acceptable; unsoundness
+//! would let the policy evaluator approve illegal shipments.
+
+use geoqp_common::{DataType, Field, Row, Schema, Value};
+use geoqp_expr::eval::eval_once;
+use geoqp_expr::normalize::normalize;
+use geoqp_expr::{implies, ScalarExpr};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("a", DataType::Int64),
+        Field::new("b", DataType::Int64),
+        Field::new("s", DataType::Str),
+    ])
+    .unwrap()
+}
+
+/// A random atomic predicate over columns a, b (ints) and s (string).
+fn arb_atom() -> impl Strategy<Value = ScalarExpr> {
+    let int_col = prop_oneof![Just("a"), Just("b")];
+    let cmp = (int_col, -5i64..=5, 0u8..6).prop_map(|(c, v, op)| {
+        let col = ScalarExpr::col(c);
+        let lit = ScalarExpr::lit(v);
+        match op {
+            0 => col.eq(lit),
+            1 => col.not_eq(lit),
+            2 => col.lt(lit),
+            3 => col.lt_eq(lit),
+            4 => col.gt(lit),
+            _ => col.gt_eq(lit),
+        }
+    });
+    let strings = prop_oneof![
+        Just("alpha".to_string()),
+        Just("alps".to_string()),
+        Just("beta".to_string()),
+        Just("al%".to_string()),
+        Just("%a".to_string()),
+        Just("a_p%".to_string()),
+    ];
+    let like = (strings, any::<bool>()).prop_map(|(p, neg)| ScalarExpr::Like {
+        expr: Box::new(ScalarExpr::col("s")),
+        pattern: p,
+        negated: neg,
+    });
+    let inlist = (
+        proptest::collection::vec(-3i64..=3, 1..4),
+        any::<bool>(),
+    )
+        .prop_map(|(vs, neg)| ScalarExpr::InList {
+            expr: Box::new(ScalarExpr::col("a")),
+            list: vs.into_iter().map(Value::Int64).collect(),
+            negated: neg,
+        });
+    let between = (-5i64..=0, 0i64..=5).prop_map(|(lo, hi)| {
+        ScalarExpr::col("b").between(ScalarExpr::lit(lo), ScalarExpr::lit(hi))
+    });
+    prop_oneof![4 => cmp, 2 => like, 1 => inlist, 1 => between]
+}
+
+/// Random predicates combining atoms with AND/OR/NOT, depth-limited.
+fn arb_pred() -> impl Strategy<Value = ScalarExpr> {
+    arb_atom().prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+/// Random rows over the test schema.
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        -6i64..=6,
+        -6i64..=6,
+        prop_oneof![
+            Just("alpha".to_string()),
+            Just("alps".to_string()),
+            Just("beta".to_string()),
+            Just("appa".to_string()),
+            Just("".to_string()),
+        ],
+    )
+        .prop_map(|(a, b, s)| vec![Value::Int64(a), Value::Int64(b), Value::str(s)])
+}
+
+fn satisfies(pred: &ScalarExpr, row: &Row) -> bool {
+    eval_once(pred, row, &schema())
+        .map(|v| v.is_true())
+        .unwrap_or(false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Soundness: implies(P, Q) = true ⇒ no row satisfies P but not Q.
+    #[test]
+    fn implication_is_sound(p in arb_pred(), q in arb_pred(), rows in proptest::collection::vec(arb_row(), 32)) {
+        if implies(&p, &q) {
+            for row in &rows {
+                prop_assert!(
+                    !(satisfies(&p, row) && !satisfies(&q, row)),
+                    "unsound: row {:?} satisfies P={p} but not Q={q}", row
+                );
+            }
+        }
+    }
+
+    /// Normalization preserves filter semantics (TRUE stays TRUE,
+    /// non-TRUE stays non-TRUE).
+    #[test]
+    fn normalization_preserves_semantics(p in arb_pred(), row in arb_row()) {
+        let n = normalize(&p);
+        prop_assert_eq!(satisfies(&p, &row), satisfies(&n, &row), "normalize changed {} vs {}", p, n);
+    }
+
+    /// Every predicate implies itself.
+    #[test]
+    fn implication_is_reflexive(p in arb_pred()) {
+        prop_assert!(implies(&p, &p));
+    }
+
+    /// P AND X implies P.
+    #[test]
+    fn conjunct_weakening(p in arb_atom(), x in arb_atom()) {
+        prop_assert!(implies(&p.clone().and(x), &p));
+    }
+
+    /// P implies P OR X.
+    #[test]
+    fn disjunct_strengthening(p in arb_atom(), x in arb_atom()) {
+        prop_assert!(implies(&p.clone(), &p.or(x)));
+    }
+}

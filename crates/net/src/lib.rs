@@ -1,0 +1,18 @@
+//! # geoqp-net
+//!
+//! The geo-distributed network substrate: a **message cost model** and a
+//! transfer simulator.
+//!
+//! The paper (Section 7.4) simulates a WAN in which shipping `b` bytes from
+//! site `i` to site `j` costs `α_ij + β_ij · b`, with `α` obtained from
+//! ping round-trips and `β` from measured transfer throughput. This crate
+//! reproduces that model with a configurable [`NetworkTopology`] (including
+//! a built-in five-region WAN matching the paper's Europe / Africa / Asia /
+//! North America / Middle East setup) and a [`TransferLog`] that records
+//! every simulated SHIP with its real byte volume.
+
+pub mod sim;
+pub mod topology;
+
+pub use sim::{TransferLog, TransferRecord};
+pub use topology::NetworkTopology;

@@ -1,0 +1,113 @@
+//! Transfer accounting for simulated SHIP operators.
+
+use crate::topology::NetworkTopology;
+use geoqp_common::Location;
+
+/// One recorded cross-site transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRecord {
+    /// Source site.
+    pub from: Location,
+    /// Destination site.
+    pub to: Location,
+    /// Exact serialized bytes moved.
+    pub bytes: u64,
+    /// Rows moved.
+    pub rows: u64,
+    /// Simulated cost in ms under the message cost model.
+    pub cost_ms: f64,
+}
+
+/// Accumulates every SHIP performed while executing a distributed plan.
+/// The totals here are the "execution cost that arises from shipping
+/// intermediate query data between geo-distributed sites" that the paper's
+/// plan-quality experiment (Figures 6(g), 6(h)) reports.
+#[derive(Debug, Default)]
+pub struct TransferLog {
+    records: Vec<TransferRecord>,
+}
+
+impl TransferLog {
+    /// Empty log.
+    pub fn new() -> TransferLog {
+        TransferLog::default()
+    }
+
+    /// Record a transfer, computing its cost under `topology`.
+    pub fn record(
+        &mut self,
+        topology: &NetworkTopology,
+        from: &Location,
+        to: &Location,
+        bytes: u64,
+        rows: u64,
+    ) -> f64 {
+        let cost_ms = topology.ship_cost_ms(from, to, bytes as f64);
+        self.records.push(TransferRecord {
+            from: from.clone(),
+            to: to.clone(),
+            bytes,
+            rows,
+            cost_ms,
+        });
+        cost_ms
+    }
+
+    /// All records, in execution order.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+
+    /// Number of SHIPs performed.
+    pub fn transfer_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total bytes moved across sites.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Total rows moved across sites.
+    pub fn total_rows(&self) -> u64 {
+        self.records.iter().map(|r| r.rows).sum()
+    }
+
+    /// Total simulated shipping cost in ms.
+    pub fn total_cost_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.cost_ms).sum()
+    }
+
+    /// Clear the log.
+    pub fn reset(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_totals() {
+        let topo = NetworkTopology::paper_wan();
+        let mut log = TransferLog::new();
+        let c1 = log.record(&topo, &Location::new("L1"), &Location::new("L3"), 1000, 10);
+        let c2 = log.record(&topo, &Location::new("L4"), &Location::new("L1"), 2000, 20);
+        assert_eq!(log.transfer_count(), 2);
+        assert_eq!(log.total_bytes(), 3000);
+        assert_eq!(log.total_rows(), 30);
+        assert!((log.total_cost_ms() - (c1 + c2)).abs() < 1e-9);
+        log.reset();
+        assert_eq!(log.transfer_count(), 0);
+        assert_eq!(log.total_cost_ms(), 0.0);
+    }
+
+    #[test]
+    fn intra_site_record_is_free() {
+        let topo = NetworkTopology::paper_wan();
+        let mut log = TransferLog::new();
+        let c = log.record(&topo, &Location::new("L1"), &Location::new("L1"), 1000, 10);
+        assert_eq!(c, 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Abstract syntax for parsed queries.
+//!
+//! Scalar expressions reuse [`ScalarExpr`] directly, with possibly-qualified
+//! column references encoded as `"alias.column"` strings; lowering resolves
+//! them against the catalog. Aggregate calls may only appear at the top
+//! level of select items, which is where the paper's query class needs them.
+
+use geoqp_common::TableRef;
+use geoqp_expr::{AggFunc, ScalarExpr};
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `SELECT *`
+    Star,
+    /// A scalar expression with an optional alias.
+    Scalar {
+        /// The expression.
+        expr: ScalarExpr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// An aggregate call `FUNC(expr)` / `COUNT(*)` with an optional alias.
+    Agg {
+        /// The function.
+        func: AggFunc,
+        /// Argument; `None` for `COUNT(*)`.
+        arg: Option<ScalarExpr>,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// One item of the `FROM` list (comma joins; join predicates live in
+/// `WHERE`, as in the paper's example queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// The referenced table (`db.table` or bare).
+    pub table: TableRef,
+    /// Optional alias (`Customer AS C` or `Customer C`).
+    pub alias: Option<String>,
+}
+
+/// A parsed `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAst {
+    /// Select list.
+    pub select: Vec<SelectItem>,
+    /// From list.
+    pub from: Vec<FromItem>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<ScalarExpr>,
+    /// `GROUP BY` columns (possibly qualified).
+    pub group_by: Vec<String>,
+    /// `ORDER BY` columns with descending flags.
+    pub order_by: Vec<(String, bool)>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+}

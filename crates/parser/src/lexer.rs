@@ -1,0 +1,236 @@
+//! The lexer.
+
+use crate::token::Token;
+use geoqp_common::{GeoError, Result};
+
+/// Tokenize an input string. Identifiers may contain letters, digits, `_`,
+/// and `-` (so `db-1` lexes as one identifier, as the paper's Table 3
+/// writes database names).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(GeoError::Parse(format!("unexpected `!` at offset {i}")));
+                }
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::LtEq);
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            return Err(GeoError::Parse("unterminated string literal".into()))
+                        }
+                        Some('\'') => {
+                            if chars.get(i + 1) == Some(&'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '-' => {
+                // `-` between identifier characters belongs to the
+                // identifier (`db-1`); otherwise it is the minus operator.
+                let prev_is_ident = matches!(out.last(), Some(Token::Ident(_)));
+                let next_is_ident_char =
+                    chars.get(i + 1).is_some_and(|c| c.is_alphanumeric() || *c == '_');
+                let no_space_before = i > 0 && !chars[i - 1].is_whitespace();
+                if prev_is_ident && next_is_ident_char && no_space_before {
+                    // Append to the previous identifier.
+                    if let Some(Token::Ident(s)) = out.last_mut() {
+                        s.push('-');
+                        i += 1;
+                        while i < chars.len()
+                            && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+                        {
+                            s.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            d if d.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit());
+                if is_float {
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|e| GeoError::Parse(format!("bad float `{text}`: {e}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let text: String = chars[start..i].iter().collect();
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|e| GeoError::Parse(format!("bad integer `{text}`: {e}")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            a if a.is_alphabetic() || a == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(GeoError::Parse(format!(
+                    "unexpected character `{other}` at offset {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query_tokens() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a >= 10.5").unwrap();
+        assert_eq!(toks.len(), 10);
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[9], Token::Float(10.5));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn db_dash_identifiers() {
+        let toks = tokenize("from db-5.nation to L3, L4").unwrap();
+        assert_eq!(toks[1], Token::Ident("db-5".into()));
+        assert_eq!(toks[2], Token::Dot);
+        assert_eq!(toks[3], Token::Ident("nation".into()));
+    }
+
+    #[test]
+    fn minus_is_operator_between_numbers() {
+        let toks = tokenize("1 - 2").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Minus, Token::Int(2)]);
+        // a - b with spaces: subtraction of columns.
+        let toks = tokenize("a - b").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1], Token::Minus);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("<> != <= >= < >").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::NotEq,
+                Token::NotEq,
+                Token::LtEq,
+                Token::GtEq,
+                Token::Lt,
+                Token::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

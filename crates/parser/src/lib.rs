@@ -1,0 +1,23 @@
+//! # geoqp-parser
+//!
+//! A hand-written lexer and recursive-descent parser for
+//!
+//! * the SQL subset the paper's queries use (`SELECT`–`FROM`–`WHERE`–
+//!   `GROUP BY`–`ORDER BY`–`LIMIT` with comma joins, aliases, aggregates,
+//!   `LIKE` / `IN` / `BETWEEN` predicates, and date literals), and
+//! * the **policy expression** statements of Section 4
+//!   (`SHIP … [AS AGGREGATES …] FROM … TO … [WHERE …] [GROUP BY …]`).
+//!
+//! [`lowering`] turns a parsed query into a validated
+//! [`LogicalPlan`](geoqp_plan::LogicalPlan) against a
+//! [`Catalog`](geoqp_storage::Catalog), qualifying ambiguous columns and
+//! rewriting partitioned tables into unions of their site partitions.
+
+pub mod ast;
+pub mod lexer;
+pub mod lowering;
+pub mod parser;
+pub mod token;
+
+pub use lowering::lower_query;
+pub use parser::{parse_denial, parse_policy, parse_query};

@@ -1,0 +1,138 @@
+//! Property tests: policy expressions and denials round-trip through their
+//! `Display` rendering and the parser, and the SQL expression
+//! sub-grammar's precedence matches the constructed trees.
+
+use geoqp_common::{LocationPattern, LocationSet, TableRef, Value};
+use geoqp_expr::{AggFunc, ScalarExpr};
+use geoqp_parser::{parse_denial, parse_policy, parse_query};
+use geoqp_policy::{DenyExpression, PolicyExpression, ShipAttrs};
+use proptest::prelude::*;
+
+const ATTRS: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+const LOCS: [&str; 4] = ["apex", "bern", "cairo", "delhi"];
+
+fn arb_predicate() -> impl Strategy<Value = ScalarExpr> {
+    let atom = (0usize..ATTRS.len(), -99i64..99, 0u8..4).prop_map(|(c, v, op)| {
+        let col = ScalarExpr::col(ATTRS[c]);
+        let lit = ScalarExpr::lit(v);
+        match op {
+            0 => col.eq(lit),
+            1 => col.gt(lit),
+            2 => col.lt_eq(lit),
+            _ => col.like(format!("%p{v}%")),
+        }
+    });
+    atom.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.or(b)),
+        ]
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyExpression> {
+    let attrs = prop_oneof![
+        Just(ShipAttrs::Star),
+        proptest::sample::subsequence(ATTRS.to_vec(), 1..=ATTRS.len())
+            .prop_map(ShipAttrs::list),
+    ];
+    let to = prop_oneof![
+        Just(LocationPattern::Star),
+        proptest::sample::subsequence(LOCS.to_vec(), 1..=LOCS.len())
+            .prop_map(|l| LocationPattern::Set(LocationSet::from_iter(l))),
+    ];
+    let pred = proptest::option::of(arb_predicate());
+    let agg = proptest::option::of((
+        proptest::sample::subsequence(
+            vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max, AggFunc::Count],
+            1..=3,
+        ),
+        proptest::sample::subsequence(ATTRS.to_vec(), 0..=2),
+    ));
+    (attrs, to, pred, agg).prop_map(|(attrs, to, pred, agg)| match agg {
+        None => PolicyExpression::basic(TableRef::bare("t"), attrs, to, pred),
+        Some((funcs, groups)) => PolicyExpression::aggregate(
+            TableRef::bare("t"),
+            attrs,
+            funcs,
+            groups.into_iter().map(str::to_string),
+            to,
+            pred,
+        ),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn policy_display_parses_back(e in arb_policy()) {
+        let text = e.to_string();
+        let back = parse_policy(&text)
+            .unwrap_or_else(|err| panic!("`{text}` failed to parse: {err}"));
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn denial_display_parses_back(
+        attrs in prop_oneof![
+            Just(ShipAttrs::Star),
+            proptest::sample::subsequence(ATTRS.to_vec(), 1..=3).prop_map(ShipAttrs::list)
+        ],
+        pred in proptest::option::of(arb_predicate()),
+    ) {
+        let d = DenyExpression::new(
+            TableRef::bare("t"),
+            attrs,
+            LocationPattern::Star,
+            pred,
+        );
+        let back = parse_denial(&d.to_string()).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    /// WHERE-clause expressions survive a print → parse cycle.
+    #[test]
+    fn where_clause_round_trips(p in arb_predicate()) {
+        let sql = format!("SELECT alpha FROM t WHERE {p}");
+        let ast = parse_query(&sql).unwrap();
+        prop_assert_eq!(ast.where_clause.unwrap(), p);
+    }
+}
+
+#[test]
+fn precedence_matches_construction() {
+    // a AND b OR c parses as (a AND b) OR c.
+    let q = parse_query("SELECT x FROM t WHERE a = 1 AND b = 2 OR c = 3").unwrap();
+    let expected = ScalarExpr::col("a")
+        .eq(ScalarExpr::lit(1i64))
+        .and(ScalarExpr::col("b").eq(ScalarExpr::lit(2i64)))
+        .or(ScalarExpr::col("c").eq(ScalarExpr::lit(3i64)));
+    assert_eq!(q.where_clause.unwrap(), expected);
+
+    // Arithmetic binds tighter than comparison; * tighter than +.
+    let q = parse_query("SELECT x FROM t WHERE a + b * 2 > 10").unwrap();
+    let expected = ScalarExpr::col("a")
+        .add(ScalarExpr::col("b").mul(ScalarExpr::lit(2i64)))
+        .gt(ScalarExpr::lit(10i64));
+    assert_eq!(q.where_clause.unwrap(), expected);
+
+    // NOT binds tighter than AND.
+    let q = parse_query("SELECT x FROM t WHERE NOT a = 1 AND b = 2").unwrap();
+    let expected = ScalarExpr::col("a")
+        .eq(ScalarExpr::lit(1i64))
+        .not()
+        .and(ScalarExpr::col("b").eq(ScalarExpr::lit(2i64)));
+    assert_eq!(q.where_clause.unwrap(), expected);
+}
+
+#[test]
+fn string_literals_round_trip_with_escapes() {
+    let q = parse_query("SELECT x FROM t WHERE s = 'it''s a test'").unwrap();
+    match q.where_clause.unwrap() {
+        ScalarExpr::Binary { rhs, .. } => {
+            assert_eq!(*rhs, ScalarExpr::lit(Value::str("it's a test")));
+        }
+        other => panic!("unexpected {other}"),
+    }
+}

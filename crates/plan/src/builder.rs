@@ -1,0 +1,216 @@
+//! A fluent, validating builder for logical plans.
+
+use crate::logical::{LogicalPlan, SortKey};
+use geoqp_common::{Location, Result, Schema, TableRef};
+use geoqp_expr::{AggCall, ScalarExpr};
+use std::sync::Arc;
+
+/// Fluent builder over [`LogicalPlan`]. Each step validates eagerly, so an
+/// invalid query fails at construction with a precise message rather than
+/// at execution.
+///
+/// ```
+/// use geoqp_common::{DataType, Field, Location, Schema, TableRef};
+/// use geoqp_expr::ScalarExpr;
+/// use geoqp_plan::PlanBuilder;
+///
+/// let schema = Schema::new(vec![
+///     Field::new("custkey", DataType::Int64),
+///     Field::new("name", DataType::Str),
+/// ]).unwrap();
+/// let plan = PlanBuilder::scan(TableRef::bare("customer"), Location::new("EU"), schema)
+///     .filter(ScalarExpr::col("custkey").gt(ScalarExpr::lit(10i64))).unwrap()
+///     .project_columns(&["name"]).unwrap()
+///     .build();
+/// assert_eq!(plan.schema().names(), vec!["name"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    plan: Arc<LogicalPlan>,
+}
+
+impl PlanBuilder {
+    /// Start from an existing plan.
+    pub fn from_plan(plan: Arc<LogicalPlan>) -> PlanBuilder {
+        PlanBuilder { plan }
+    }
+
+    /// Start from a table scan.
+    pub fn scan(table: TableRef, location: Location, schema: Schema) -> PlanBuilder {
+        PlanBuilder {
+            plan: Arc::new(LogicalPlan::scan(table, location, schema)),
+        }
+    }
+
+    /// Add a filter.
+    pub fn filter(self, predicate: ScalarExpr) -> Result<PlanBuilder> {
+        Ok(PlanBuilder {
+            plan: Arc::new(LogicalPlan::filter(self.plan, predicate)?),
+        })
+    }
+
+    /// Add a projection of arbitrary expressions.
+    pub fn project(self, exprs: Vec<(ScalarExpr, String)>) -> Result<PlanBuilder> {
+        Ok(PlanBuilder {
+            plan: Arc::new(LogicalPlan::project(self.plan, exprs)?),
+        })
+    }
+
+    /// Add a projection of bare columns.
+    pub fn project_columns(self, columns: &[&str]) -> Result<PlanBuilder> {
+        Ok(PlanBuilder {
+            plan: Arc::new(LogicalPlan::project_columns(self.plan, columns)?),
+        })
+    }
+
+    /// Join with another plan on equi-key pairs.
+    pub fn join(self, right: PlanBuilder, on: Vec<(&str, &str)>) -> Result<PlanBuilder> {
+        self.join_with_filter(right, on, None)
+    }
+
+    /// Join with equi-keys plus a residual filter.
+    pub fn join_with_filter(
+        self,
+        right: PlanBuilder,
+        on: Vec<(&str, &str)>,
+        filter: Option<ScalarExpr>,
+    ) -> Result<PlanBuilder> {
+        let on = on
+            .into_iter()
+            .map(|(l, r)| (l.to_string(), r.to_string()))
+            .collect();
+        Ok(PlanBuilder {
+            plan: Arc::new(LogicalPlan::join(self.plan, right.plan, on, filter)?),
+        })
+    }
+
+    /// Add a grouped aggregation.
+    pub fn aggregate(self, group_by: &[&str], aggs: Vec<AggCall>) -> Result<PlanBuilder> {
+        Ok(PlanBuilder {
+            plan: Arc::new(LogicalPlan::aggregate(
+                self.plan,
+                group_by.iter().map(|s| s.to_string()).collect(),
+                aggs,
+            )?),
+        })
+    }
+
+    /// Union with other plans.
+    pub fn union(self, others: Vec<PlanBuilder>) -> Result<PlanBuilder> {
+        let mut inputs = vec![self.plan];
+        inputs.extend(others.into_iter().map(|b| b.plan));
+        Ok(PlanBuilder {
+            plan: Arc::new(LogicalPlan::union(inputs)?),
+        })
+    }
+
+    /// Add a sort.
+    pub fn sort(self, keys: Vec<SortKey>) -> Result<PlanBuilder> {
+        Ok(PlanBuilder {
+            plan: Arc::new(LogicalPlan::sort(self.plan, keys)?),
+        })
+    }
+
+    /// Add a limit.
+    pub fn limit(self, fetch: usize) -> PlanBuilder {
+        PlanBuilder {
+            plan: Arc::new(LogicalPlan::limit(self.plan, fetch)),
+        }
+    }
+
+    /// Current output schema.
+    pub fn schema(&self) -> &Schema {
+        self.plan.schema()
+    }
+
+    /// Finish, returning the shared plan.
+    pub fn build(self) -> Arc<LogicalPlan> {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_common::{DataType, Field};
+    use geoqp_expr::AggFunc;
+
+    fn scan(name: &str, loc: &str, cols: &[(&str, DataType)]) -> PlanBuilder {
+        PlanBuilder::scan(
+            TableRef::bare(name),
+            Location::new(loc),
+            Schema::new(
+                cols.iter()
+                    .map(|(n, t)| Field::new(*n, *t))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn three_way_join_pipeline() {
+        // The running example Q_ex from the paper's Section 2.
+        let customer = scan(
+            "customer",
+            "N",
+            &[
+                ("c_custkey", DataType::Int64),
+                ("c_name", DataType::Str),
+                ("c_acctbal", DataType::Float64),
+            ],
+        );
+        let orders = scan(
+            "orders",
+            "E",
+            &[
+                ("o_custkey", DataType::Int64),
+                ("o_ordkey", DataType::Int64),
+                ("o_totprice", DataType::Float64),
+            ],
+        );
+        let supply = scan(
+            "supply",
+            "A",
+            &[
+                ("s_ordkey", DataType::Int64),
+                ("s_quantity", DataType::Int64),
+            ],
+        );
+        let plan = customer
+            .join(orders, vec![("c_custkey", "o_custkey")])
+            .unwrap()
+            .join(supply, vec![("o_ordkey", "s_ordkey")])
+            .unwrap()
+            .aggregate(
+                &["c_name"],
+                vec![
+                    AggCall::new(AggFunc::Sum, ScalarExpr::col("o_totprice"), "sum_price"),
+                    AggCall::new(AggFunc::Sum, ScalarExpr::col("s_quantity"), "sum_qty"),
+                ],
+            )
+            .unwrap()
+            .build();
+        assert_eq!(plan.schema().names(), vec!["c_name", "sum_price", "sum_qty"]);
+        assert_eq!(plan.join_count(), 2);
+        assert_eq!(plan.source_locations().len(), 3);
+    }
+
+    #[test]
+    fn builder_surfaces_validation_errors() {
+        let c = scan("t", "X", &[("a", DataType::Int64)]);
+        assert!(c.clone().filter(ScalarExpr::col("a")).is_err());
+        assert!(c.clone().project_columns(&["zz"]).is_err());
+        assert!(c
+            .aggregate(&["a"], vec![])
+            .is_err());
+    }
+
+    #[test]
+    fn union_of_partitions() {
+        let p1 = scan("t", "L1", &[("a", DataType::Int64)]);
+        let p2 = scan("t", "L2", &[("a", DataType::Int64)]);
+        let u = p1.union(vec![p2]).unwrap().build();
+        assert_eq!(u.source_locations().len(), 2);
+    }
+}

@@ -1,0 +1,641 @@
+//! Extraction of *local query descriptors* from single-database subplans.
+//!
+//! Algorithm 1 (paper Section 5) evaluates a policy catalog against a query
+//! summary consisting of the output attributes `A_q`, the predicate `P_q`,
+//! and — for aggregation queries — the grouping attributes `G_q` and the
+//! aggregate function `f_a` per aggregated attribute. This module derives
+//! that summary from a logical subplan whose scans all read the same
+//! database (equivalently, the same location, since the paper assumes one
+//! database per location).
+//!
+//! Extraction is **conservative**: any shape the summary language cannot
+//! express (HAVING-style filters over aggregates, aggregates of aggregates,
+//! expressions over aggregate results, `COUNT(*)`, multi-database inputs)
+//! yields `None`, which the policy evaluator treats as "cannot be shipped
+//! anywhere". A failed description can therefore never cause an illegal
+//! shipment — it can only make the optimizer more restrictive.
+
+use crate::logical::LogicalPlan;
+use geoqp_common::{Location, TableRef};
+use geoqp_expr::{AggFunc, ScalarExpr};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What the output of a local query looks like, attribute-wise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputShape {
+    /// A select–project query: these base attributes appear in the output.
+    Plain {
+        /// `A_q`.
+        attrs: BTreeSet<String>,
+    },
+    /// An aggregation query.
+    Aggregated {
+        /// `G_q` — the base attributes the query groups by.
+        group_attrs: BTreeSet<String>,
+        /// Base attributes appearing inside aggregate arguments, with the
+        /// aggregate function applied to each (`f_a`). Attributes that were
+        /// grouped *and* survive to the output appear in
+        /// [`OutputShape::Aggregated::group_attrs`] and in `A_q` but not
+        /// here.
+        agg_attrs: BTreeMap<String, AggFunc>,
+        /// Group attributes that actually appear in the output (a grouped
+        /// attribute may be projected away above the aggregation).
+        output_group_attrs: BTreeSet<String>,
+    },
+}
+
+impl OutputShape {
+    /// `A_q`: every base attribute appearing in the query's output
+    /// expressions.
+    pub fn output_attrs(&self) -> BTreeSet<String> {
+        match self {
+            OutputShape::Plain { attrs } => attrs.clone(),
+            OutputShape::Aggregated {
+                agg_attrs,
+                output_group_attrs,
+                ..
+            } => {
+                let mut out = output_group_attrs.clone();
+                out.extend(agg_attrs.keys().cloned());
+                out
+            }
+        }
+    }
+
+    /// True for aggregation queries.
+    pub fn is_aggregated(&self) -> bool {
+        matches!(self, OutputShape::Aggregated { .. })
+    }
+}
+
+/// The `(tables, location, P_q, A_q/G_q/f_a)` summary of a single-database
+/// subplan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalQuery {
+    /// Base tables read (multi-table local queries arise when one site
+    /// hosts several tables, e.g. Customer and Orders at L1 in Table 2).
+    pub tables: BTreeSet<TableRef>,
+    /// The single source location.
+    pub location: Location,
+    /// `P_q` expressed over base attributes (filters plus join conditions).
+    pub predicate: Option<ScalarExpr>,
+    /// Output shape.
+    pub output: OutputShape,
+}
+
+/// Where an output column of the walked subplan comes from.
+#[derive(Debug, Clone)]
+enum Origin {
+    /// A (possibly renamed) base attribute.
+    Base(String),
+    /// Computed from these base attributes, pre-aggregation.
+    Derived(BTreeSet<String>),
+    /// The result of an aggregate call over these base attributes.
+    AggResult {
+        attrs: BTreeSet<String>,
+        func: AggFunc,
+    },
+}
+
+impl Origin {
+    fn base_attrs(&self) -> BTreeSet<String> {
+        match self {
+            Origin::Base(b) => std::iter::once(b.clone()).collect(),
+            Origin::Derived(s) => s.clone(),
+            Origin::AggResult { attrs, .. } => attrs.clone(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct State {
+    tables: BTreeSet<TableRef>,
+    location: Location,
+    cols: BTreeMap<String, Origin>,
+    predicate: Option<ScalarExpr>,
+    agg: Option<AggState>,
+}
+
+#[derive(Debug, Clone)]
+struct AggState {
+    group_attrs: BTreeSet<String>,
+}
+
+/// Derive the local-query descriptor of a subplan, or `None` when the
+/// subplan is not a describable single-database query.
+pub fn describe_local(plan: &LogicalPlan) -> Option<LocalQuery> {
+    let state = walk(plan)?;
+    let output = match &state.agg {
+        None => {
+            let mut attrs = BTreeSet::new();
+            for origin in state.cols.values() {
+                attrs.extend(origin.base_attrs());
+            }
+            OutputShape::Plain { attrs }
+        }
+        Some(agg) => {
+            let mut output_group_attrs = BTreeSet::new();
+            let mut out_agg_attrs: BTreeMap<String, AggFunc> = BTreeMap::new();
+            for origin in state.cols.values() {
+                match origin {
+                    Origin::Base(b) => {
+                        output_group_attrs.insert(b.clone());
+                    }
+                    Origin::AggResult { attrs, func } => {
+                        for a in attrs {
+                            out_agg_attrs.insert(a.clone(), *func);
+                        }
+                    }
+                    // Derived post-aggregation origins are rejected during
+                    // the walk; pre-aggregation derived columns can only
+                    // survive as aggregate inputs.
+                    Origin::Derived(_) => return None,
+                }
+            }
+            OutputShape::Aggregated {
+                group_attrs: agg.group_attrs.clone(),
+                agg_attrs: out_agg_attrs,
+                output_group_attrs,
+            }
+        }
+    };
+    Some(LocalQuery {
+        tables: state.tables,
+        location: state.location,
+        predicate: state.predicate,
+        output,
+    })
+}
+
+fn walk(plan: &LogicalPlan) -> Option<State> {
+    match plan {
+        LogicalPlan::TableScan {
+            table,
+            location,
+            schema,
+        } => {
+            let cols = schema
+                .fields()
+                .iter()
+                .map(|f| (f.name.clone(), Origin::Base(f.name.clone())))
+                .collect();
+            Some(State {
+                tables: std::iter::once(table.clone()).collect(),
+                location: location.clone(),
+                cols,
+                predicate: None,
+                agg: None,
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut state = walk(input)?;
+            if state.agg.is_some() {
+                // HAVING-style filter over aggregates: not expressible.
+                return None;
+            }
+            let rewritten = rewrite_to_base(predicate, &state.cols)?;
+            state.predicate = match state.predicate.take() {
+                None => Some(rewritten),
+                Some(p) => Some(p.and(rewritten)),
+            };
+            Some(state)
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let state = walk(input)?;
+            let mut cols = BTreeMap::new();
+            for (e, name) in exprs {
+                let origin = match e {
+                    ScalarExpr::Column(c) => state.cols.get(c)?.clone(),
+                    complex => {
+                        let mut attrs = BTreeSet::new();
+                        for c in complex.referenced_columns() {
+                            match state.cols.get(&c)? {
+                                Origin::Base(b) => {
+                                    attrs.insert(b.clone());
+                                }
+                                Origin::Derived(s) => attrs.extend(s.iter().cloned()),
+                                // Expressions over aggregate results are
+                                // outside the summary language.
+                                Origin::AggResult { .. } => return None,
+                            }
+                        }
+                        Origin::Derived(attrs)
+                    }
+                };
+                cols.insert(name.clone(), origin);
+            }
+            Some(State { cols, ..state })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let state = walk(input)?;
+            if state.agg.is_some() {
+                return None; // aggregate of aggregate
+            }
+            let mut group_attrs = BTreeSet::new();
+            let mut cols = BTreeMap::new();
+            for g in group_by {
+                match state.cols.get(g)? {
+                    Origin::Base(b) => {
+                        group_attrs.insert(b.clone());
+                        cols.insert(g.clone(), Origin::Base(b.clone()));
+                    }
+                    // Grouping by a derived expression is not expressible.
+                    _ => return None,
+                }
+            }
+            let mut agg_funcs: BTreeMap<String, AggFunc> = BTreeMap::new();
+            for call in aggs {
+                let arg = call.arg.as_ref()?; // COUNT(*) is not expressible
+                let mut attrs = BTreeSet::new();
+                for c in arg.referenced_columns() {
+                    match state.cols.get(&c)? {
+                        Origin::Base(b) => {
+                            attrs.insert(b.clone());
+                        }
+                        Origin::Derived(s) => attrs.extend(s.iter().cloned()),
+                        Origin::AggResult { .. } => return None,
+                    }
+                }
+                for a in &attrs {
+                    match agg_funcs.get(a) {
+                        // The paper assumes one aggregate function per
+                        // attribute (Section 5, footnote 5).
+                        Some(f) if *f != call.func => return None,
+                        _ => {
+                            agg_funcs.insert(a.clone(), call.func);
+                        }
+                    }
+                }
+                cols.insert(
+                    call.alias.clone(),
+                    Origin::AggResult {
+                        attrs,
+                        func: call.func,
+                    },
+                );
+            }
+            Some(State {
+                cols,
+                agg: Some(AggState { group_attrs }),
+                ..state
+            })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            filter,
+            ..
+        } => {
+            let l = walk(left)?;
+            let r = walk(right)?;
+            if l.location != r.location || l.agg.is_some() || r.agg.is_some() {
+                // Cross-database joins are never local queries; joins above
+                // aggregations are outside the summary language.
+                return None;
+            }
+            let mut cols = l.cols;
+            for (name, origin) in r.cols {
+                cols.insert(name, origin);
+            }
+            let mut predicate = match (l.predicate, r.predicate) {
+                (None, None) => None,
+                (Some(p), None) | (None, Some(p)) => Some(p),
+                (Some(a), Some(b)) => Some(a.and(b)),
+            };
+            // Join keys become equality atoms over base attributes
+            // (footnote 4: multi-table policy expressions carry the join
+            // predicate in their WHERE clause).
+            for (lk, rk) in on {
+                let la = base_of(&cols, lk)?;
+                let ra = base_of(&cols, rk)?;
+                let atom = ScalarExpr::col(la).eq(ScalarExpr::col(ra));
+                predicate = Some(match predicate {
+                    None => atom,
+                    Some(p) => p.and(atom),
+                });
+            }
+            if let Some(f) = filter {
+                let rewritten = rewrite_to_base(f, &cols)?;
+                predicate = Some(match predicate {
+                    None => rewritten,
+                    Some(p) => p.and(rewritten),
+                });
+            }
+            let mut tables = l.tables;
+            tables.extend(r.tables);
+            Some(State {
+                tables,
+                location: l.location,
+                cols,
+                predicate,
+                agg: None,
+            })
+        }
+        // Sorting never changes which data is shipped; limiting only ships
+        // a subset of legal rows. Both are sound pass-throughs.
+        LogicalPlan::Sort { input, .. } | LogicalPlan::Limit { input, .. } => walk(input),
+        LogicalPlan::Union { .. } => None,
+    }
+}
+
+/// Resolve an output column to its base attribute, requiring identity
+/// provenance.
+fn base_of(cols: &BTreeMap<String, Origin>, name: &str) -> Option<String> {
+    match cols.get(name)? {
+        Origin::Base(b) => Some(b.clone()),
+        _ => None,
+    }
+}
+
+/// Rewrite a predicate so that every column reference names a base
+/// attribute; fails when any referenced column is derived or aggregated.
+fn rewrite_to_base(
+    pred: &ScalarExpr,
+    cols: &BTreeMap<String, Origin>,
+) -> Option<ScalarExpr> {
+    for c in pred.referenced_columns() {
+        match cols.get(&c)? {
+            Origin::Base(_) => {}
+            _ => return None,
+        }
+    }
+    Some(pred.rename_columns(&|n| match cols.get(n) {
+        Some(Origin::Base(b)) => b.clone(),
+        _ => n.to_string(), // unreachable: checked above
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use geoqp_common::{DataType, Field, Schema};
+    use geoqp_expr::AggCall;
+    use std::sync::Arc;
+
+    fn customer() -> PlanBuilder {
+        PlanBuilder::scan(
+            TableRef::qualified("db-n", "customer"),
+            Location::new("N"),
+            Schema::new(vec![
+                Field::new("custkey", DataType::Int64),
+                Field::new("name", DataType::Str),
+                Field::new("acctbal", DataType::Float64),
+                Field::new("mktseg", DataType::Str),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn orders_at_n() -> PlanBuilder {
+        PlanBuilder::scan(
+            TableRef::qualified("db-n", "orders"),
+            Location::new("N"),
+            Schema::new(vec![
+                Field::new("o_custkey", DataType::Int64),
+                Field::new("o_totprice", DataType::Float64),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn plain_select_project() {
+        // Π_{c,n}(σ_{mktseg='commercial'}(C))
+        let plan = customer()
+            .filter(ScalarExpr::col("mktseg").eq(ScalarExpr::lit("commercial")))
+            .unwrap()
+            .project_columns(&["custkey", "name"])
+            .unwrap()
+            .build();
+        let d = describe_local(&plan).expect("describable");
+        assert_eq!(d.location, Location::new("N"));
+        assert_eq!(
+            d.output,
+            OutputShape::Plain {
+                attrs: ["custkey", "name"].iter().map(|s| s.to_string()).collect()
+            }
+        );
+        assert!(d.predicate.is_some());
+    }
+
+    #[test]
+    fn renamed_columns_resolve_to_base() {
+        let plan = customer()
+            .project(vec![(ScalarExpr::col("name"), "customer_name".into())])
+            .unwrap()
+            .filter(ScalarExpr::col("customer_name").like("A%"))
+            .unwrap()
+            .build();
+        let d = describe_local(&plan).unwrap();
+        assert_eq!(
+            d.output.output_attrs().into_iter().collect::<Vec<_>>(),
+            vec!["name".to_string()]
+        );
+        // Predicate is rewritten over the base attribute.
+        assert_eq!(
+            d.predicate.unwrap().to_string(),
+            "(name LIKE 'A%')"
+        );
+    }
+
+    #[test]
+    fn aggregation_shape() {
+        // Γ_{mktseg; sum(acctbal)}(C)
+        let plan = customer()
+            .aggregate(
+                &["mktseg"],
+                vec![AggCall::new(
+                    AggFunc::Sum,
+                    ScalarExpr::col("acctbal"),
+                    "total",
+                )],
+            )
+            .unwrap()
+            .build();
+        let d = describe_local(&plan).unwrap();
+        match d.output {
+            OutputShape::Aggregated {
+                group_attrs,
+                agg_attrs,
+                output_group_attrs,
+            } => {
+                assert_eq!(group_attrs.iter().collect::<Vec<_>>(), vec!["mktseg"]);
+                assert_eq!(output_group_attrs, group_attrs);
+                assert_eq!(agg_attrs.get("acctbal"), Some(&AggFunc::Sum));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_over_expression_attributes() {
+        // Γ_{C; sum(F*(1-G))}(T) — Table 1's q2: both F and G carry SUM.
+        let t = PlanBuilder::scan(
+            TableRef::bare("t"),
+            Location::new("X"),
+            Schema::new(vec![
+                Field::new("c", DataType::Str),
+                Field::new("f", DataType::Float64),
+                Field::new("g", DataType::Float64),
+            ])
+            .unwrap(),
+        );
+        let plan = t
+            .aggregate(
+                &["c"],
+                vec![AggCall::new(
+                    AggFunc::Sum,
+                    ScalarExpr::col("f")
+                        .mul(ScalarExpr::lit(1i64).sub(ScalarExpr::col("g"))),
+                    "revenue",
+                )],
+            )
+            .unwrap()
+            .build();
+        let d = describe_local(&plan).unwrap();
+        match d.output {
+            OutputShape::Aggregated { agg_attrs, .. } => {
+                assert_eq!(agg_attrs.get("f"), Some(&AggFunc::Sum));
+                assert_eq!(agg_attrs.get("g"), Some(&AggFunc::Sum));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_is_not_describable() {
+        let plan = customer()
+            .aggregate(&["mktseg"], vec![AggCall::count_star("n")])
+            .unwrap()
+            .build();
+        assert!(describe_local(&plan).is_none());
+    }
+
+    #[test]
+    fn same_site_join_is_local() {
+        let plan = customer()
+            .join(orders_at_n(), vec![("custkey", "o_custkey")])
+            .unwrap()
+            .project_columns(&["name", "o_totprice"])
+            .unwrap()
+            .build();
+        let d = describe_local(&plan).unwrap();
+        assert_eq!(d.tables.len(), 2);
+        // Join key equality lands in the predicate.
+        assert!(d.predicate.unwrap().to_string().contains("custkey = o_custkey"));
+    }
+
+    #[test]
+    fn cross_site_join_is_not_local() {
+        let orders_e = PlanBuilder::scan(
+            TableRef::qualified("db-e", "orders"),
+            Location::new("E"),
+            Schema::new(vec![
+                Field::new("o_custkey", DataType::Int64),
+                Field::new("o_totprice", DataType::Float64),
+            ])
+            .unwrap(),
+        );
+        let plan = customer()
+            .join(orders_e, vec![("custkey", "o_custkey")])
+            .unwrap()
+            .build();
+        assert!(describe_local(&plan).is_none());
+    }
+
+    #[test]
+    fn having_filter_is_not_describable() {
+        let agg = customer()
+            .aggregate(
+                &["mktseg"],
+                vec![AggCall::new(
+                    AggFunc::Sum,
+                    ScalarExpr::col("acctbal"),
+                    "total",
+                )],
+            )
+            .unwrap();
+        let plan = agg
+            .filter(ScalarExpr::col("total").gt(ScalarExpr::lit(100i64)))
+            .unwrap()
+            .build();
+        assert!(describe_local(&plan).is_none());
+    }
+
+    #[test]
+    fn projection_after_aggregate_drops_group_attr() {
+        let plan = customer()
+            .aggregate(
+                &["mktseg"],
+                vec![AggCall::new(
+                    AggFunc::Sum,
+                    ScalarExpr::col("acctbal"),
+                    "total",
+                )],
+            )
+            .unwrap()
+            .project_columns(&["total"])
+            .unwrap()
+            .build();
+        let d = describe_local(&plan).unwrap();
+        match d.output {
+            OutputShape::Aggregated {
+                group_attrs,
+                output_group_attrs,
+                agg_attrs,
+            } => {
+                assert!(output_group_attrs.is_empty());
+                assert_eq!(group_attrs.len(), 1);
+                assert!(agg_attrs.contains_key("acctbal"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_projection_collects_attrs() {
+        let plan = customer()
+            .project(vec![(
+                ScalarExpr::col("acctbal").mul(ScalarExpr::lit(2i64)),
+                "double_bal".into(),
+            )])
+            .unwrap()
+            .build();
+        let d = describe_local(&plan).unwrap();
+        assert_eq!(
+            d.output.output_attrs().into_iter().collect::<Vec<_>>(),
+            vec!["acctbal".to_string()]
+        );
+    }
+
+    #[test]
+    fn sort_limit_pass_through() {
+        let plan = customer()
+            .project_columns(&["name"])
+            .unwrap()
+            .sort(vec![crate::logical::SortKey::asc("name")])
+            .unwrap()
+            .limit(5)
+            .build();
+        let d = describe_local(&plan).unwrap();
+        assert_eq!(
+            d.output.output_attrs().into_iter().collect::<Vec<_>>(),
+            vec!["name".to_string()]
+        );
+    }
+
+    #[test]
+    fn union_not_describable() {
+        let a = customer().build();
+        let b = customer().build();
+        let u = Arc::new(LogicalPlan::union(vec![a, b]).unwrap());
+        assert!(describe_local(&u).is_none());
+    }
+}

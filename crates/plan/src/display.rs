@@ -1,0 +1,191 @@
+//! Indented tree rendering of logical and physical plans, in the style of
+//! the paper's QEP figures (Figure 1, Figure 5).
+
+use crate::logical::LogicalPlan;
+use crate::physical::{PhysOp, PhysicalPlan};
+use std::fmt::Write as _;
+
+/// Render a logical plan as an indented tree.
+pub fn display_logical(plan: &LogicalPlan) -> String {
+    let mut out = String::new();
+    fmt_logical(plan, 0, &mut out);
+    out
+}
+
+fn fmt_logical(plan: &LogicalPlan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match plan {
+        LogicalPlan::TableScan {
+            table, location, ..
+        } => {
+            let _ = writeln!(out, "{pad}TableScan: {table} @ {location}");
+        }
+        LogicalPlan::Filter { predicate, .. } => {
+            let _ = writeln!(out, "{pad}Filter: {predicate}");
+        }
+        LogicalPlan::Project { exprs, .. } => {
+            let items: Vec<String> = exprs
+                .iter()
+                .map(|(e, n)| {
+                    if e.as_column() == Some(n.as_str()) {
+                        n.clone()
+                    } else {
+                        format!("{e} AS {n}")
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{pad}Project: {}", items.join(", "));
+        }
+        LogicalPlan::Join { on, filter, .. } => {
+            let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+            let extra = filter
+                .as_ref()
+                .map(|f| format!(" AND {f}"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "{pad}Join: {}{extra}", keys.join(", "));
+        }
+        LogicalPlan::Aggregate {
+            group_by, aggs, ..
+        } => {
+            let aggs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "{pad}Aggregate: group=[{}] aggs=[{}]",
+                group_by.join(", "),
+                aggs.join(", ")
+            );
+        }
+        LogicalPlan::Union { .. } => {
+            let _ = writeln!(out, "{pad}Union");
+        }
+        LogicalPlan::Sort { keys, .. } => {
+            let keys: Vec<String> = keys
+                .iter()
+                .map(|k| {
+                    format!("{}{}", k.column, if k.descending { " DESC" } else { "" })
+                })
+                .collect();
+            let _ = writeln!(out, "{pad}Sort: {}", keys.join(", "));
+        }
+        LogicalPlan::Limit { fetch, .. } => {
+            let _ = writeln!(out, "{pad}Limit: {fetch}");
+        }
+    }
+    for c in plan.children() {
+        fmt_logical(c, depth + 1, out);
+    }
+}
+
+/// Render a located physical plan as an indented tree; SHIP operators show
+/// `from → to` like the paper's `SHIP_{N→E}` notation.
+pub fn display_physical(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    fmt_physical(plan, 0, &mut out);
+    out
+}
+
+fn fmt_physical(plan: &PhysicalPlan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let loc = &plan.location;
+    match &plan.op {
+        PhysOp::Scan { table } => {
+            let _ = writeln!(out, "{pad}Scan: {table} @ {loc}");
+        }
+        PhysOp::Filter { predicate } => {
+            let _ = writeln!(out, "{pad}Filter: {predicate} @ {loc}");
+        }
+        PhysOp::Project { exprs } => {
+            let items: Vec<String> = exprs
+                .iter()
+                .map(|(e, n)| {
+                    if e.as_column() == Some(n.as_str()) {
+                        n.clone()
+                    } else {
+                        format!("{e} AS {n}")
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{pad}Project: {} @ {loc}", items.join(", "));
+        }
+        PhysOp::HashJoin {
+            left_keys,
+            right_keys,
+            filter,
+        } => {
+            let keys: Vec<String> = left_keys
+                .iter()
+                .zip(right_keys)
+                .map(|(l, r)| format!("{l} = {r}"))
+                .collect();
+            let extra = filter
+                .as_ref()
+                .map(|f| format!(" AND {f}"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "{pad}HashJoin: {}{extra} @ {loc}", keys.join(", "));
+        }
+        PhysOp::HashAggregate { group_by, aggs } => {
+            let aggs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "{pad}HashAggregate: group=[{}] aggs=[{}] @ {loc}",
+                group_by.join(", "),
+                aggs.join(", ")
+            );
+        }
+        PhysOp::Sort { keys } => {
+            let keys: Vec<String> = keys
+                .iter()
+                .map(|k| {
+                    format!("{}{}", k.column, if k.descending { " DESC" } else { "" })
+                })
+                .collect();
+            let _ = writeln!(out, "{pad}Sort: {} @ {loc}", keys.join(", "));
+        }
+        PhysOp::Limit { fetch } => {
+            let _ = writeln!(out, "{pad}Limit: {fetch} @ {loc}");
+        }
+        PhysOp::Union => {
+            let _ = writeln!(out, "{pad}Union @ {loc}");
+        }
+        PhysOp::Ship => {
+            let from = &plan.inputs[0].location;
+            let _ = writeln!(out, "{pad}Ship: {from} → {loc}");
+        }
+    }
+    for c in &plan.inputs {
+        fmt_physical(c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use geoqp_common::{DataType, Field, Location, Schema, TableRef};
+    use geoqp_expr::ScalarExpr;
+
+    #[test]
+    fn logical_rendering_contains_operators() {
+        let plan = PlanBuilder::scan(
+            TableRef::bare("customer"),
+            Location::new("N"),
+            Schema::new(vec![
+                Field::new("custkey", DataType::Int64),
+                Field::new("name", DataType::Str),
+            ])
+            .unwrap(),
+        )
+        .filter(ScalarExpr::col("custkey").gt(ScalarExpr::lit(5i64)))
+        .unwrap()
+        .project_columns(&["name"])
+        .unwrap()
+        .build();
+        let s = display_logical(&plan);
+        assert!(s.contains("Project: name"));
+        assert!(s.contains("Filter: (custkey > 5)"));
+        assert!(s.contains("TableScan: customer @ N"));
+        // Deeper operators are indented further.
+        let proj_line = s.lines().next().unwrap();
+        assert!(proj_line.starts_with("Project"));
+    }
+}

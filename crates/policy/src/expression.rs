@@ -1,0 +1,340 @@
+//! The policy expression model.
+
+use geoqp_common::{GeoError, LocationPattern, Result, Schema, TableRef};
+use geoqp_expr::{AggFunc, ScalarExpr};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The `ship` attribute list: `*` or an explicit list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShipAttrs {
+    /// `ship *` — every column of the table.
+    Star,
+    /// `ship a, b, c`.
+    List(BTreeSet<String>),
+}
+
+impl ShipAttrs {
+    /// Build from attribute names.
+    pub fn list<I, S>(attrs: I) -> ShipAttrs
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        ShipAttrs::List(
+            attrs
+                .into_iter()
+                .map(|s| s.as_ref().to_ascii_lowercase())
+                .collect(),
+        )
+    }
+}
+
+/// Whether the expression is basic (Select–Project, Section 4.1) or
+/// aggregate (Select–Project–GroupBy, Section 4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// A basic expression: the listed cells may be shipped as-is.
+    Basic,
+    /// An aggregate expression: the listed attributes may only be shipped
+    /// aggregated by one of `functions`, grouped by any subset of
+    /// `group_by` (including the empty subset).
+    Aggregate {
+        /// `F_e` — the allowed aggregation functions.
+        functions: BTreeSet<AggFunc>,
+        /// `G_e` — the allowed grouping attributes.
+        group_by: BTreeSet<String>,
+    },
+}
+
+/// A single dataflow policy expression:
+///
+/// ```text
+/// ship <attrs> [as aggregates <funcs>] from <table> to <locations>
+///      [where <condition>] [group by <attrs>]
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyExpression {
+    /// The governed table (qualified as `db.table` or bare).
+    pub table: TableRef,
+    /// Additional governed tables for multi-table expressions (paper
+    /// footnote 4: "one can specify a policy expression over more than one
+    /// base table. In this case, the condition list in the where clause of
+    /// the expression must contain the join predicate"). Empty for the
+    /// common single-table case.
+    #[serde(default)]
+    pub joined_tables: Vec<TableRef>,
+    /// `A_e` — the ship attribute list.
+    pub attrs: ShipAttrs,
+    /// `L_e` — the destinations the cells may be shipped to.
+    pub to: LocationPattern,
+    /// `P_e` — the optional row condition.
+    pub predicate: Option<ScalarExpr>,
+    /// Basic or aggregate.
+    pub kind: PolicyKind,
+}
+
+impl PolicyExpression {
+    /// A basic expression.
+    pub fn basic(
+        table: TableRef,
+        attrs: ShipAttrs,
+        to: LocationPattern,
+        predicate: Option<ScalarExpr>,
+    ) -> PolicyExpression {
+        PolicyExpression {
+            table,
+            joined_tables: Vec::new(),
+            attrs,
+            to,
+            predicate,
+            kind: PolicyKind::Basic,
+        }
+    }
+
+    /// Extend the expression to govern additional joined tables
+    /// (footnote 4). The `where` clause is expected to carry the join
+    /// predicate; the registration schema must cover all tables' columns.
+    pub fn with_joined_tables(
+        mut self,
+        tables: impl IntoIterator<Item = TableRef>,
+    ) -> PolicyExpression {
+        self.joined_tables = tables.into_iter().collect();
+        self
+    }
+
+    /// All governed tables (primary first).
+    pub fn tables(&self) -> impl Iterator<Item = &TableRef> {
+        std::iter::once(&self.table).chain(self.joined_tables.iter())
+    }
+
+    /// An aggregate expression.
+    pub fn aggregate(
+        table: TableRef,
+        attrs: ShipAttrs,
+        functions: impl IntoIterator<Item = AggFunc>,
+        group_by: impl IntoIterator<Item = String>,
+        to: LocationPattern,
+        predicate: Option<ScalarExpr>,
+    ) -> PolicyExpression {
+        PolicyExpression {
+            table,
+            joined_tables: Vec::new(),
+            attrs,
+            to,
+            predicate,
+            kind: PolicyKind::Aggregate {
+                functions: functions.into_iter().collect(),
+                group_by: group_by
+                    .into_iter()
+                    .map(|s| s.to_ascii_lowercase())
+                    .collect(),
+            },
+        }
+    }
+
+    /// Validate against the governed table's schema and expand `ship *`
+    /// into the full attribute set. Returns the explicit `A_e`.
+    pub fn validate(&self, schema: &Schema) -> Result<BTreeSet<String>> {
+        let attrs = match &self.attrs {
+            ShipAttrs::Star => schema
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect::<BTreeSet<_>>(),
+            ShipAttrs::List(list) => {
+                for a in list {
+                    if schema.index_of(a).is_none() {
+                        return Err(GeoError::Policy(format!(
+                            "ship attribute `{a}` not in table `{}`",
+                            self.table
+                        )));
+                    }
+                }
+                list.clone()
+            }
+        };
+        if let Some(p) = &self.predicate {
+            for c in p.referenced_columns() {
+                if schema.index_of(&c).is_none() {
+                    return Err(GeoError::Policy(format!(
+                        "predicate column `{c}` not in table `{}`",
+                        self.table
+                    )));
+                }
+            }
+        }
+        if let PolicyKind::Aggregate {
+            functions,
+            group_by,
+        } = &self.kind
+        {
+            if functions.is_empty() {
+                return Err(GeoError::Policy(
+                    "aggregate expression needs at least one function".into(),
+                ));
+            }
+            for g in group_by {
+                if schema.index_of(g).is_none() {
+                    return Err(GeoError::Policy(format!(
+                        "group-by attribute `{g}` not in table `{}`",
+                        self.table
+                    )));
+                }
+            }
+        }
+        Ok(attrs)
+    }
+}
+
+impl fmt::Display for PolicyExpression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ship ")?;
+        match &self.attrs {
+            ShipAttrs::Star => write!(f, "*")?,
+            ShipAttrs::List(list) => {
+                write!(
+                    f,
+                    "{}",
+                    list.iter().cloned().collect::<Vec<_>>().join(", ")
+                )?;
+            }
+        }
+        if let PolicyKind::Aggregate { functions, .. } = &self.kind {
+            let fs: Vec<String> = functions.iter().map(|x| x.to_string()).collect();
+            write!(f, " as aggregates {}", fs.join(", "))?;
+        }
+        write!(f, " from {}", self.table)?;
+        for t in &self.joined_tables {
+            write!(f, ", {t}")?;
+        }
+        write!(f, " to {}", self.to)?;
+        if let Some(p) = &self.predicate {
+            write!(f, " where {p}")?;
+        }
+        if let PolicyKind::Aggregate { group_by, .. } = &self.kind {
+            if !group_by.is_empty() {
+                write!(
+                    f,
+                    " group by {}",
+                    group_by.iter().cloned().collect::<Vec<_>>().join(", ")
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_common::{DataType, Field, LocationSet};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("custkey", DataType::Int64),
+            Field::new("name", DataType::Str),
+            Field::new("acctbal", DataType::Float64),
+            Field::new("mktseg", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn to(locs: &[&str]) -> LocationPattern {
+        LocationPattern::Set(LocationSet::from_iter(locs.iter().copied()))
+    }
+
+    #[test]
+    fn star_expands_to_all_attrs() {
+        let e = PolicyExpression::basic(
+            TableRef::bare("customer"),
+            ShipAttrs::Star,
+            LocationPattern::Star,
+            None,
+        );
+        let attrs = e.validate(&schema()).unwrap();
+        assert_eq!(attrs.len(), 4);
+    }
+
+    #[test]
+    fn validation_catches_unknown_attrs() {
+        let e = PolicyExpression::basic(
+            TableRef::bare("customer"),
+            ShipAttrs::list(["ghost"]),
+            LocationPattern::Star,
+            None,
+        );
+        assert!(e.validate(&schema()).is_err());
+
+        let e = PolicyExpression::basic(
+            TableRef::bare("customer"),
+            ShipAttrs::list(["name"]),
+            LocationPattern::Star,
+            Some(ScalarExpr::col("ghost").gt(ScalarExpr::lit(1i64))),
+        );
+        assert!(e.validate(&schema()).is_err());
+
+        let e = PolicyExpression::aggregate(
+            TableRef::bare("customer"),
+            ShipAttrs::list(["acctbal"]),
+            [AggFunc::Sum],
+            ["ghost".to_string()],
+            LocationPattern::Star,
+            None,
+        );
+        assert!(e.validate(&schema()).is_err());
+
+        let e = PolicyExpression::aggregate(
+            TableRef::bare("customer"),
+            ShipAttrs::list(["acctbal"]),
+            [],
+            [],
+            LocationPattern::Star,
+            None,
+        );
+        assert!(e.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_paper_examples() {
+        // Example 1, first expression.
+        let e = PolicyExpression::basic(
+            TableRef::bare("customer"),
+            ShipAttrs::list(["custkey", "name"]),
+            to(&["Asia", "Europe"]),
+            None,
+        );
+        assert_eq!(
+            e.to_string(),
+            "ship custkey, name from customer to Asia, Europe"
+        );
+
+        // Example 2.
+        let e = PolicyExpression::aggregate(
+            TableRef::bare("customer"),
+            ShipAttrs::list(["acctbal"]),
+            [AggFunc::Sum, AggFunc::Avg],
+            ["mktseg".to_string(), "region".to_string()],
+            LocationPattern::Star,
+            None,
+        );
+        assert_eq!(
+            e.to_string(),
+            "ship acctbal as aggregates SUM, AVG from customer to * group by mktseg, region"
+        );
+    }
+
+    #[test]
+    fn attrs_are_case_insensitive() {
+        let e = PolicyExpression::basic(
+            TableRef::bare("customer"),
+            ShipAttrs::list(["Name", "MKTSEG"]),
+            LocationPattern::Star,
+            None,
+        );
+        let attrs = e.validate(&schema()).unwrap();
+        assert!(attrs.contains("name"));
+        assert!(attrs.contains("mktseg"));
+    }
+}

@@ -1,0 +1,433 @@
+//! Negative policy expressions and their closed-world expansion.
+//!
+//! The paper's disclosure model (Section 4) is conservative: nothing ships
+//! unless some expression allows it. It notes that "in some cases negative
+//! instances, i.e., specifying what is *not* allowed, may be more
+//! convenient. This can be handled by an additional preprocessing step
+//! under a closed world assumption." This module implements that step.
+//!
+//! A [`DenyExpression`] states that certain cells must **not** reach
+//! certain locations:
+//!
+//! ```text
+//! deny ship <attrs|*> from <table> to <locations|*> [where <condition>]
+//! ```
+//!
+//! [`expand_denials`] turns a set of denials for one table into ordinary
+//! positive [`PolicyExpression`]s under the closed world assumption:
+//! per destination, every attribute not named by a denial is granted
+//! outright, and an attribute denied only for rows satisfying `φ` is
+//! granted for rows satisfying `¬φ` (so a query predicate must *imply the
+//! complement* for the grant to apply — exactly the sound direction).
+
+use crate::expression::{PolicyExpression, ShipAttrs};
+use geoqp_common::{
+    GeoError, Location, LocationPattern, LocationSet, Result, Schema, TableRef,
+};
+use geoqp_expr::ScalarExpr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A negative ("deny") dataflow statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenyExpression {
+    /// The governed table.
+    pub table: TableRef,
+    /// Attributes whose shipment is denied (`*` = all).
+    pub attrs: ShipAttrs,
+    /// Destinations the denial applies to (`*` = everywhere off-site).
+    pub to: LocationPattern,
+    /// Optional row scope: only rows satisfying this predicate are denied.
+    /// `None` denies the attribute for all rows.
+    pub predicate: Option<ScalarExpr>,
+}
+
+impl DenyExpression {
+    /// Construct a denial.
+    pub fn new(
+        table: TableRef,
+        attrs: ShipAttrs,
+        to: LocationPattern,
+        predicate: Option<ScalarExpr>,
+    ) -> DenyExpression {
+        DenyExpression {
+            table,
+            attrs,
+            to,
+            predicate,
+        }
+    }
+
+    /// Validate against the table schema, returning the explicit denied
+    /// attribute set.
+    pub fn validate(&self, schema: &Schema) -> Result<BTreeSet<String>> {
+        let attrs = match &self.attrs {
+            ShipAttrs::Star => schema
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect::<BTreeSet<_>>(),
+            ShipAttrs::List(list) => {
+                for a in list {
+                    if schema.index_of(a).is_none() {
+                        return Err(GeoError::Policy(format!(
+                            "denied attribute `{a}` not in table `{}`",
+                            self.table
+                        )));
+                    }
+                }
+                list.clone()
+            }
+        };
+        if let Some(p) = &self.predicate {
+            for c in p.referenced_columns() {
+                if schema.index_of(&c).is_none() {
+                    return Err(GeoError::Policy(format!(
+                        "denial predicate column `{c}` not in table `{}`",
+                        self.table
+                    )));
+                }
+            }
+        }
+        Ok(attrs)
+    }
+}
+
+impl std::fmt::Display for DenyExpression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deny ship ")?;
+        match &self.attrs {
+            ShipAttrs::Star => write!(f, "*")?,
+            ShipAttrs::List(list) => write!(
+                f,
+                "{}",
+                list.iter().cloned().collect::<Vec<_>>().join(", ")
+            )?,
+        }
+        write!(f, " from {} to {}", self.table, self.to)?;
+        if let Some(p) = &self.predicate {
+            write!(f, " where {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Expand a table's denials into positive policy expressions under the
+/// closed world assumption.
+///
+/// For each destination `l` in `universe`:
+///
+/// * attributes denied unconditionally for `l` are simply omitted;
+/// * attributes denied only for rows satisfying `φ₁, φ₂, …` are granted
+///   `where ¬φ₁ ∧ ¬φ₂ ∧ …`;
+/// * everything else is granted outright.
+///
+/// Destinations with identical outcomes are merged into one expression, so
+/// the output stays compact.
+pub fn expand_denials(
+    table: &TableRef,
+    schema: &Schema,
+    denials: &[DenyExpression],
+    universe: &LocationSet,
+) -> Result<Vec<PolicyExpression>> {
+    for d in denials {
+        if !d.table.matches(table) {
+            return Err(GeoError::Policy(format!(
+                "denial for `{}` passed to expansion of `{}`",
+                d.table, table
+            )));
+        }
+        d.validate(schema)?;
+    }
+    let all_attrs: Vec<String> = schema.fields().iter().map(|f| f.name.clone()).collect();
+
+    // Per destination, compute (fully denied attrs, conditionally denied
+    // attr → denial predicates), then merge destinations with identical
+    // outcomes via a string signature.
+    let mut grants: Vec<PolicyExpression> = Vec::new();
+    let mut grouped: BTreeMap<String, (Vec<Location>, Vec<PolicyExpression>)> = BTreeMap::new();
+
+    for l in universe.iter() {
+        let mut full: BTreeSet<String> = BTreeSet::new();
+        let mut cond: BTreeMap<String, Vec<ScalarExpr>> = BTreeMap::new();
+        for d in denials {
+            if !d.to.allows(l, universe) {
+                continue;
+            }
+            let denied = d.validate(schema)?;
+            match &d.predicate {
+                None => full.extend(denied),
+                Some(p) => {
+                    for a in denied {
+                        cond.entry(a).or_default().push(p.clone());
+                    }
+                }
+            }
+        }
+        // Attributes free to ship to l.
+        let free: Vec<String> = all_attrs
+            .iter()
+            .filter(|a| !full.contains(*a) && !cond.contains_key(*a))
+            .cloned()
+            .collect();
+        // Conditionally denied attrs, grouped by their guard (¬φ₁ ∧ ¬φ₂…).
+        let mut by_guard: BTreeMap<String, (ScalarExpr, Vec<String>)> = BTreeMap::new();
+        for (a, preds) in &cond {
+            if full.contains(a) {
+                continue;
+            }
+            let guard = preds
+                .iter()
+                .cloned()
+                .map(ScalarExpr::not)
+                .reduce(ScalarExpr::and)
+                .expect("non-empty");
+            by_guard
+                .entry(guard.to_string())
+                .or_insert_with(|| (guard, Vec::new()))
+                .1
+                .push(a.clone());
+        }
+
+        // Signature for grouping identical destinations.
+        let mut sig = format!("free:{}", free.join(","));
+        let mut per_loc: Vec<PolicyExpression> = Vec::new();
+        if !free.is_empty() {
+            per_loc.push(PolicyExpression::basic(
+                table.clone(),
+                ShipAttrs::list(free.iter().map(String::as_str)),
+                LocationPattern::Set(LocationSet::singleton(l.clone())),
+                None,
+            ));
+        }
+        for (key, (guard, attrs)) in by_guard {
+            sig.push_str(&format!(";guard[{key}]:{}", attrs.join(",")));
+            per_loc.push(PolicyExpression::basic(
+                table.clone(),
+                ShipAttrs::list(attrs.iter().map(String::as_str)),
+                LocationPattern::Set(LocationSet::singleton(l.clone())),
+                Some(guard),
+            ));
+        }
+        let entry = grouped.entry(sig).or_insert_with(|| (Vec::new(), per_loc));
+        entry.0.push(l.clone());
+    }
+
+    // Merge destination groups.
+    for (_, (locs, exprs)) in grouped {
+        let to = LocationPattern::Set(locs.into_iter().collect());
+        for mut e in exprs {
+            e.to = to.clone();
+            grants.push(e);
+        }
+    }
+    Ok(grants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::PolicyCatalog;
+    use geoqp_common::{DataType, Field};
+    use geoqp_expr::ScalarExpr;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Str),
+            Field::new("salary", DataType::Float64),
+            Field::new("dept", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn universe() -> LocationSet {
+        LocationSet::from_iter(["A", "B", "C"])
+    }
+
+    fn register_all(exprs: Vec<PolicyExpression>) -> PolicyCatalog {
+        let s = schema();
+        let mut cat = PolicyCatalog::new();
+        for e in exprs {
+            cat.register(e, &s).unwrap();
+        }
+        cat
+    }
+
+    /// Helper: evaluate a plain projection of `attrs` with optional pred.
+    fn legal_for(
+        cat: &PolicyCatalog,
+        uni: &LocationSet,
+        attrs: &[&str],
+        pred: Option<ScalarExpr>,
+    ) -> LocationSet {
+        use geoqp_plan::descriptor::describe_local;
+        use geoqp_plan::PlanBuilder;
+        let mut b = PlanBuilder::scan(
+            TableRef::bare("emp"),
+            geoqp_common::Location::new("HOME"),
+            schema(),
+        );
+        if let Some(p) = pred {
+            b = b.filter(p).unwrap();
+        }
+        let plan = b.project_columns(attrs).unwrap().build();
+        let q = describe_local(&plan).unwrap();
+        crate::evaluator::PolicyEvaluator::new(cat, uni).evaluate(&q)
+    }
+
+    #[test]
+    fn unconditional_denial_blocks_attr_everywhere_it_names() {
+        // Salaries may not go to B or C; everything else is free.
+        let denials = vec![DenyExpression::new(
+            TableRef::bare("emp"),
+            ShipAttrs::list(["salary"]),
+            LocationPattern::Set(LocationSet::from_iter(["B", "C"])),
+            None,
+        )];
+        let grants =
+            expand_denials(&TableRef::bare("emp"), &schema(), &denials, &universe()).unwrap();
+        let cat = register_all(grants);
+        let uni = universe();
+
+        assert_eq!(
+            legal_for(&cat, &uni, &["name"], None),
+            uni,
+            "undenied attrs are free everywhere"
+        );
+        assert_eq!(
+            legal_for(&cat, &uni, &["salary"], None),
+            LocationSet::from_iter(["A"]),
+            "salary only reaches A"
+        );
+        assert_eq!(
+            legal_for(&cat, &uni, &["name", "salary"], None),
+            LocationSet::from_iter(["A"])
+        );
+    }
+
+    #[test]
+    fn conditional_denial_requires_complement_implication() {
+        // Engineering rows may not leave at all (deny … to * where dept).
+        let denials = vec![DenyExpression::new(
+            TableRef::bare("emp"),
+            ShipAttrs::Star,
+            LocationPattern::Star,
+            Some(ScalarExpr::col("dept").eq(ScalarExpr::lit("engineering"))),
+        )];
+        let grants =
+            expand_denials(&TableRef::bare("emp"), &schema(), &denials, &universe()).unwrap();
+        let cat = register_all(grants);
+        let uni = universe();
+
+        // Without a predicate nothing can be proven out of engineering.
+        assert!(legal_for(&cat, &uni, &["name"], None).is_empty());
+        // Explicitly excluding engineering unlocks everything.
+        let p = ScalarExpr::col("dept").not_eq(ScalarExpr::lit("engineering"));
+        assert_eq!(legal_for(&cat, &uni, &["name"], Some(p.clone())), uni);
+        // A different department value implies the complement too.
+        let p2 = ScalarExpr::col("dept").eq(ScalarExpr::lit("sales"));
+        assert_eq!(legal_for(&cat, &uni, &["name", "id"], Some(p2)), uni);
+        // Selecting engineering rows is blocked.
+        let p3 = ScalarExpr::col("dept").eq(ScalarExpr::lit("engineering"));
+        assert!(legal_for(&cat, &uni, &["name"], Some(p3)).is_empty());
+        let _ = p;
+    }
+
+    #[test]
+    fn no_denials_means_everything_ships_everywhere() {
+        let grants =
+            expand_denials(&TableRef::bare("emp"), &schema(), &[], &universe()).unwrap();
+        // One merged expression covering all attrs and all destinations.
+        assert_eq!(grants.len(), 1);
+        let cat = register_all(grants);
+        let uni = universe();
+        assert_eq!(legal_for(&cat, &uni, &["id", "name", "salary", "dept"], None), uni);
+    }
+
+    #[test]
+    fn destinations_with_identical_outcomes_merge() {
+        let denials = vec![DenyExpression::new(
+            TableRef::bare("emp"),
+            ShipAttrs::list(["salary"]),
+            LocationPattern::Set(LocationSet::from_iter(["B", "C"])),
+            None,
+        )];
+        let grants =
+            expand_denials(&TableRef::bare("emp"), &schema(), &denials, &universe()).unwrap();
+        // Two groups: {A} (everything) and {B, C} (everything but salary).
+        assert_eq!(grants.len(), 2);
+        assert!(grants
+            .iter()
+            .any(|g| g.to.to_string() == "B, C"));
+    }
+
+    #[test]
+    fn overlapping_conditional_denials_conjoin_complements() {
+        let denials = vec![
+            DenyExpression::new(
+                TableRef::bare("emp"),
+                ShipAttrs::list(["salary"]),
+                LocationPattern::Star,
+                Some(ScalarExpr::col("salary").gt(ScalarExpr::lit(100000.0))),
+            ),
+            DenyExpression::new(
+                TableRef::bare("emp"),
+                ShipAttrs::list(["salary"]),
+                LocationPattern::Star,
+                Some(ScalarExpr::col("dept").eq(ScalarExpr::lit("executive"))),
+            ),
+        ];
+        let grants =
+            expand_denials(&TableRef::bare("emp"), &schema(), &denials, &universe()).unwrap();
+        let cat = register_all(grants);
+        let uni = universe();
+        // Must exclude BOTH denied regions.
+        let ok = ScalarExpr::col("salary")
+            .lt_eq(ScalarExpr::lit(100000.0))
+            .and(ScalarExpr::col("dept").eq(ScalarExpr::lit("sales")));
+        assert_eq!(legal_for(&cat, &uni, &["salary"], Some(ok)), uni);
+        let only_one = ScalarExpr::col("salary").lt_eq(ScalarExpr::lit(100000.0));
+        assert!(legal_for(&cat, &uni, &["salary"], Some(only_one)).is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_unknown_attrs() {
+        let d = DenyExpression::new(
+            TableRef::bare("emp"),
+            ShipAttrs::list(["ghost"]),
+            LocationPattern::Star,
+            None,
+        );
+        assert!(d.validate(&schema()).is_err());
+        assert!(
+            expand_denials(&TableRef::bare("emp"), &schema(), &[d], &universe()).is_err()
+        );
+        let wrong_table = DenyExpression::new(
+            TableRef::bare("other"),
+            ShipAttrs::Star,
+            LocationPattern::Star,
+            None,
+        );
+        assert!(expand_denials(
+            &TableRef::bare("emp"),
+            &schema(),
+            &[wrong_table],
+            &universe()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn display_reads_naturally() {
+        let d = DenyExpression::new(
+            TableRef::bare("emp"),
+            ShipAttrs::list(["salary"]),
+            LocationPattern::Star,
+            Some(ScalarExpr::col("dept").eq(ScalarExpr::lit("executive"))),
+        );
+        assert_eq!(
+            d.to_string(),
+            "deny ship salary from emp to * where (dept = 'executive')"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Table statistics for cost estimation.
+
+use std::collections::BTreeMap;
+
+/// Optimizer-facing statistics for one table.
+///
+/// Phase 1 of the two-phase optimizer costs plans from input cardinalities
+/// alone (paper Section 6: "cost functions are based on input
+/// cardinalities"); phase 2 additionally needs byte widths to price SHIP
+/// operators under the `α + β·b` message cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Estimated (or exact) row count.
+    pub row_count: u64,
+    /// Average serialized row width in bytes.
+    pub avg_row_bytes: f64,
+    /// Number of distinct values per column, where known. Drives equi-join
+    /// and equality-predicate selectivity estimates.
+    pub ndv: BTreeMap<String, u64>,
+}
+
+impl TableStats {
+    /// Stats with a row count and width, no per-column detail.
+    pub fn new(row_count: u64, avg_row_bytes: f64) -> TableStats {
+        TableStats {
+            row_count,
+            avg_row_bytes,
+            ndv: BTreeMap::new(),
+        }
+    }
+
+    /// Add a distinct-value count for a column.
+    pub fn with_ndv(mut self, column: impl Into<String>, ndv: u64) -> TableStats {
+        self.ndv.insert(column.into(), ndv);
+        self
+    }
+
+    /// Distinct values of a column, defaulting to a 10% heuristic when
+    /// unknown (clamped to at least 1).
+    pub fn ndv_of(&self, column: &str) -> u64 {
+        self.ndv
+            .get(column)
+            .copied()
+            .unwrap_or_else(|| (self.row_count / 10).max(1))
+    }
+
+    /// Total estimated bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.row_count as f64 * self.avg_row_bytes
+    }
+}
+
+impl Default for TableStats {
+    fn default() -> TableStats {
+        TableStats::new(1000, 64.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndv_defaults_to_heuristic() {
+        let s = TableStats::new(1000, 32.0).with_ndv("id", 1000);
+        assert_eq!(s.ndv_of("id"), 1000);
+        assert_eq!(s.ndv_of("other"), 100);
+        let tiny = TableStats::new(5, 8.0);
+        assert_eq!(tiny.ndv_of("x"), 1);
+    }
+
+    #[test]
+    fn totals() {
+        let s = TableStats::new(100, 10.0);
+        assert_eq!(s.total_bytes(), 1000.0);
+    }
+}

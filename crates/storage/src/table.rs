@@ -1,0 +1,106 @@
+//! Row-oriented in-memory tables.
+
+use geoqp_common::{GeoError, Result, Row, Rows, Schema};
+use std::sync::Arc;
+
+/// A materialized table: a schema and its rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Arc<Schema>,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn empty(schema: Arc<Schema>) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Create a table from rows, validating arity against the schema.
+    pub fn new(schema: Arc<Schema>, rows: Vec<Row>) -> Result<Table> {
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != schema.len() {
+                return Err(GeoError::Storage(format!(
+                    "row {i} has {} values, schema has {} columns",
+                    r.len(),
+                    schema.len()
+                )));
+            }
+        }
+        Ok(Table { schema, rows })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Borrow the rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Append a row, validating arity.
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(GeoError::Storage(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Copy all rows into a batch.
+    pub fn to_rows(&self) -> Rows {
+        Rows::from_rows(self.rows.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_common::{DataType, Field, Value};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("name", DataType::Str),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let err = Table::new(schema(), vec![vec![Value::Int64(1)]]).unwrap_err();
+        assert_eq!(err.kind(), "storage");
+        let mut t = Table::empty(schema());
+        assert!(t.push(vec![Value::Int64(1), Value::str("x")]).is_ok());
+        assert!(t.push(vec![Value::Int64(1)]).is_err());
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn to_rows_copies_data() {
+        let t = Table::new(
+            schema(),
+            vec![vec![Value::Int64(7), Value::str("seven")]],
+        )
+        .unwrap();
+        let rows = t.to_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows.rows()[0][1], Value::str("seven"));
+    }
+}

@@ -1,0 +1,331 @@
+//! The ad-hoc query generator of Section 7.1.
+//!
+//! "Our query generator creates an ad-hoc query by randomly selecting a
+//! table and joining in additional tables using the PK–FK relationship. It
+//! chooses joining tables in a way that they span over two or more
+//! locations. It then randomly selects output columns and generates query
+//! predicates. For aggregation queries, it randomly chooses grouping as
+//! well as aggregation attributes." — 55% of queries reference two
+//! tables, 35% three, 10% four; about 30% aggregate; ~4 output columns and
+//! 3–4 predicates on average.
+
+use crate::policy_gen;
+use crate::queries::scan;
+use geoqp_common::{Result, TableRef, Value};
+use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
+use geoqp_plan::logical::LogicalPlan;
+use geoqp_storage::Catalog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// PK–FK edges of the TPC-H schema: `(left table, left key, right table,
+/// right key)`.
+const FK_EDGES: [(&str, &str, &str, &str); 9] = [
+    ("customer", "c_custkey", "orders", "o_custkey"),
+    ("orders", "o_orderkey", "lineitem", "l_orderkey"),
+    ("part", "p_partkey", "partsupp", "ps_partkey"),
+    ("supplier", "s_suppkey", "partsupp", "ps_suppkey"),
+    ("part", "p_partkey", "lineitem", "l_partkey"),
+    ("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+    ("nation", "n_nationkey", "customer", "c_nationkey"),
+    ("nation", "n_nationkey", "supplier", "s_nationkey"),
+    ("region", "r_regionkey", "nation", "n_regionkey"),
+];
+
+/// Columns an ad-hoc query may output or filter on, per table — the
+/// "analytically relevant" pool the base policy sets also cover, so that
+/// every generated query keeps at least one compliant plan.
+fn column_pool(table: &str) -> &'static [&'static str] {
+    policy_gen::needed_columns_public(table)
+}
+
+/// Low-cardinality grouping candidates per table.
+fn group_pool(table: &str) -> &'static [&'static str] {
+    match table {
+        "customer" => &["c_mktsegment", "c_nationkey"],
+        "orders" => &["o_orderdate", "o_custkey"],
+        "lineitem" => &["l_returnflag", "l_suppkey"],
+        "supplier" => &["s_nationkey"],
+        "part" => &["p_mfgr", "p_size"],
+        "partsupp" => &["ps_partkey"],
+        "nation" => &["n_name", "n_regionkey"],
+        "region" => &["r_name"],
+        _ => &[],
+    }
+}
+
+/// Numeric aggregation candidates per table.
+fn agg_pool(table: &str) -> &'static [&'static str] {
+    match table {
+        "customer" => &["c_acctbal"],
+        "orders" => &["o_shippriority"],
+        "lineitem" => &["l_quantity", "l_extendedprice", "l_discount"],
+        "supplier" => &["s_acctbal"],
+        "part" => &["p_size"],
+        "partsupp" => &["ps_supplycost", "ps_availqty"],
+        _ => &[],
+    }
+}
+
+/// A generated ad-hoc query with its descriptive stats.
+#[derive(Debug, Clone)]
+pub struct AdhocQuery {
+    /// Sequence number.
+    pub id: usize,
+    /// The logical plan.
+    pub plan: Arc<LogicalPlan>,
+    /// Tables referenced.
+    pub tables: Vec<&'static str>,
+    /// Whether the query aggregates.
+    pub aggregated: bool,
+}
+
+/// Generate `n` ad-hoc queries against the catalog, deterministically from
+/// `seed`.
+pub fn generate_adhoc(catalog: &Catalog, n: usize, seed: u64) -> Result<Vec<AdhocQuery>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAD0C);
+    let mut out = Vec::with_capacity(n);
+    let mut id = 0;
+    while out.len() < n {
+        // 55% two tables, 35% three, 10% four — the target is fixed across
+        // retries so that rejected single-location combinations do not
+        // skew the distribution.
+        let roll: f64 = rng.gen();
+        let n_tables = if roll < 0.55 {
+            2
+        } else if roll < 0.90 {
+            3
+        } else {
+            4
+        };
+        loop {
+            if let Some(q) = try_generate(catalog, &mut rng, id, n_tables)? {
+                out.push(q);
+                id += 1;
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn try_generate(
+    catalog: &Catalog,
+    rng: &mut StdRng,
+    id: usize,
+    n_tables: usize,
+) -> Result<Option<AdhocQuery>> {
+
+    // Random connected subgraph over the FK edges.
+    const ALL: [&str; 8] = [
+        "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+    ];
+    let mut tables: Vec<&'static str> = vec![ALL[rng.gen_range(0..ALL.len())]];
+    let mut edges: Vec<(&str, &str, &str, &str)> = Vec::new();
+    for _ in 0..32 {
+        if tables.len() == n_tables {
+            break;
+        }
+        let candidates: Vec<_> = FK_EDGES
+            .iter()
+            .filter(|(lt, _, rt, _)| {
+                tables.contains(lt) != tables.contains(rt) // exactly one end inside
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let e = candidates[rng.gen_range(0..candidates.len())];
+        let newcomer = if tables.contains(&e.0) { e.2 } else { e.0 };
+        tables.push(newcomer);
+        edges.push(*e);
+    }
+    if tables.len() != n_tables {
+        return Ok(None);
+    }
+
+    // Must span ≥ 2 locations.
+    let locations: BTreeSet<_> = tables
+        .iter()
+        .flat_map(|t| catalog.resolve(&TableRef::bare(t)))
+        .map(|e| e.location.clone())
+        .collect();
+    if locations.len() < 2 {
+        return Ok(None);
+    }
+
+    // Build the join tree: start at the first table, attach via edges.
+    let mut builder = scan(catalog, tables[0])?;
+    let mut joined: Vec<&str> = vec![tables[0]];
+    let mut pending = edges.clone();
+    while !pending.is_empty() {
+        let pos = pending.iter().position(|(lt, _, rt, _)| {
+            joined.contains(lt) != joined.contains(rt)
+        });
+        let Some(pos) = pos else { break };
+        let (lt, lk, rt, rk) = pending.remove(pos);
+        let (new_table, on) = if joined.contains(&lt) {
+            (rt, vec![(lk, rk)])
+        } else {
+            (lt, vec![(rk, lk)])
+        };
+        builder = builder.join(scan(catalog, new_table)?, on)?;
+        joined.push(new_table);
+    }
+
+    // Predicates: 1–4, drawn per referenced table.
+    let n_preds = rng.gen_range(1..=4usize);
+    for _ in 0..n_preds {
+        let t = tables[rng.gen_range(0..tables.len())];
+        if let Some(p) = query_predicate(rng, t) {
+            builder = builder.filter(p)?;
+        }
+    }
+
+    // ~30% aggregation queries.
+    let aggregated = rng.gen_bool(0.3);
+    let builder = if aggregated {
+        let group_candidates: Vec<&str> = tables
+            .iter()
+            .flat_map(|t| group_pool(t).iter().copied())
+            .collect();
+        let agg_candidates: Vec<&str> = tables
+            .iter()
+            .flat_map(|t| agg_pool(t).iter().copied())
+            .collect();
+        if group_candidates.is_empty() || agg_candidates.is_empty() {
+            return Ok(None);
+        }
+        let mut groups: Vec<&str> = Vec::new();
+        for _ in 0..rng.gen_range(1..=2usize) {
+            let g = group_candidates[rng.gen_range(0..group_candidates.len())];
+            if !groups.contains(&g) {
+                groups.push(g);
+            }
+        }
+        let mut calls = Vec::new();
+        let funcs = [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+        for (i, _) in (0..rng.gen_range(1..=2usize)).enumerate() {
+            let col = agg_candidates[rng.gen_range(0..agg_candidates.len())];
+            let f = funcs[rng.gen_range(0..funcs.len())];
+            calls.push(AggCall::new(f, ScalarExpr::col(col), format!("agg_{i}")));
+        }
+        builder.aggregate(&groups, calls)?
+    } else {
+        // Random output columns (~4).
+        let pool: Vec<&str> = tables
+            .iter()
+            .flat_map(|t| column_pool(t).iter().copied())
+            .collect();
+        let mut cols: Vec<&str> = Vec::new();
+        for _ in 0..rng.gen_range(3..=5usize) {
+            let c = pool[rng.gen_range(0..pool.len())];
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        builder.project_columns(&cols)?
+    };
+
+    Ok(Some(AdhocQuery {
+        id,
+        plan: builder.build(),
+        tables,
+        aggregated,
+    }))
+}
+
+/// A random query predicate over a table, restricted to the covered
+/// column pool.
+fn query_predicate(rng: &mut StdRng, table: &str) -> Option<ScalarExpr> {
+    let col = ScalarExpr::col;
+    let pick = rng.gen_range(0..3u8);
+    Some(match table {
+        "customer" => match pick {
+            0 => col("c_mktsegment").eq(ScalarExpr::lit(
+                crate::text::SEGMENTS[rng.gen_range(0..crate::text::SEGMENTS.len())],
+            )),
+            1 => col("c_acctbal").gt(ScalarExpr::lit(rng.gen_range(-500..5000) as f64)),
+            _ => col("c_nationkey").lt(ScalarExpr::lit(rng.gen_range(5..25) as i64)),
+        },
+        "orders" => match pick {
+            0 => col("o_orderdate").gt(ScalarExpr::lit(Value::date(
+                rng.gen_range(1992..1998),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28),
+            ))),
+            1 => col("o_orderdate").lt(ScalarExpr::lit(Value::date(
+                rng.gen_range(1993..1999),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28),
+            ))),
+            _ => col("o_shippriority").eq(ScalarExpr::lit(0i64)),
+        },
+        "lineitem" => match pick {
+            0 => col("l_quantity").lt(ScalarExpr::lit(rng.gen_range(10..50) as i64)),
+            1 => col("l_returnflag").eq(ScalarExpr::lit("R")),
+            _ => col("l_shipdate").gt(ScalarExpr::lit(Value::date(
+                rng.gen_range(1995..1998),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28),
+            ))),
+        },
+        "supplier" => col("s_acctbal").gt(ScalarExpr::lit(rng.gen_range(-500..5000) as f64)),
+        "part" => match pick {
+            0 => col("p_size").gt(ScalarExpr::lit(rng.gen_range(1..45) as i64)),
+            1 => col("p_type").like(format!(
+                "%{}%",
+                crate::text::TYPE_SYLLABLE_3[rng.gen_range(0..crate::text::TYPE_SYLLABLE_3.len())]
+            )),
+            _ => col("p_size").lt(ScalarExpr::lit(rng.gen_range(10..50) as i64)),
+        },
+        "partsupp" => col("ps_availqty").gt(ScalarExpr::lit(rng.gen_range(100..5000) as i64)),
+        "nation" => col("n_regionkey").eq(ScalarExpr::lit(rng.gen_range(0..5) as i64)),
+        "region" => col("r_name").eq(ScalarExpr::lit(
+            crate::text::REGIONS[rng.gen_range(0..crate::text::REGIONS.len())],
+        )),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::paper_catalog;
+
+    #[test]
+    fn generates_requested_count_deterministically() {
+        let c = paper_catalog(1.0);
+        let qs = generate_adhoc(&c, 50, 11).unwrap();
+        assert_eq!(qs.len(), 50);
+        let qs2 = generate_adhoc(&c, 50, 11).unwrap();
+        for (a, b) in qs.iter().zip(&qs2) {
+            assert_eq!(a.plan, b.plan);
+        }
+    }
+
+    #[test]
+    fn table_count_distribution_roughly_matches() {
+        let c = paper_catalog(1.0);
+        let qs = generate_adhoc(&c, 300, 3).unwrap();
+        let two = qs.iter().filter(|q| q.tables.len() == 2).count() as f64 / 300.0;
+        let three = qs.iter().filter(|q| q.tables.len() == 3).count() as f64 / 300.0;
+        let four = qs.iter().filter(|q| q.tables.len() == 4).count() as f64 / 300.0;
+        assert!((0.40..0.70).contains(&two), "two-table share {two}");
+        assert!((0.20..0.50).contains(&three), "three-table share {three}");
+        assert!((0.02..0.20).contains(&four), "four-table share {four}");
+        let agg = qs.iter().filter(|q| q.aggregated).count() as f64 / 300.0;
+        assert!((0.18..0.45).contains(&agg), "aggregate share {agg}");
+    }
+
+    #[test]
+    fn queries_span_multiple_locations_and_validate() {
+        let c = paper_catalog(1.0);
+        for q in generate_adhoc(&c, 100, 5).unwrap() {
+            assert!(q.plan.source_locations().len() >= 2, "query {}", q.id);
+            assert!(q.plan.join_count() >= 1);
+        }
+    }
+}

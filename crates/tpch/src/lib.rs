@@ -1,0 +1,32 @@
+//! # geoqp-tpch
+//!
+//! The TPC-H substrate of the paper's evaluation (Section 7):
+//!
+//! * [`schema`] — the eight TPC-H table schemas with cardinalities and
+//!   per-column NDV statistics at a given scale factor,
+//! * [`gen`] — a deterministic, seeded dbgen-style data generator
+//!   preserving PK–FK integrity and the value distributions the evaluated
+//!   queries' predicates touch,
+//! * [`distribution`] — the geo-distribution of Table 2 (five locations
+//!   L1–L5) and the Section 7.5 variant with Customer/Orders partitioned
+//!   across sites,
+//! * [`queries`] — the six evaluated TPC-H queries (Q2, Q3, Q5, Q8, Q9,
+//!   Q10) as logical plans,
+//! * [`adhoc`] — the random query generator of Section 7.1 (PK–FK joins
+//!   spanning several locations, 55%/35%/10% two/three/four tables, ~30%
+//!   aggregation queries),
+//! * [`policy_gen`] — policy-expression generators for the four template
+//!   sets T, C, CR, and CR+A, including the exact Table 3 snippet.
+
+pub mod adhoc;
+pub mod distribution;
+pub mod gen;
+pub mod policy_gen;
+pub mod queries;
+pub mod schema;
+pub mod sql;
+pub mod text;
+
+pub use distribution::{paper_catalog, paper_catalog_partitioned, populate};
+pub use policy_gen::{generate_policies, table3_policies, PolicyTemplate};
+pub use queries::{all_queries, query_by_name};

@@ -1,0 +1,464 @@
+//! Policy-expression generators for the evaluation's four template sets
+//! (Section 7.1): **T** (whole tables), **C** (column lists), **CR**
+//! (columns + row conditions), and **CR+A** (CR plus aggregate
+//! expressions).
+//!
+//! Each generated set consists of a crafted base — designed, like the
+//! paper's, so that *every* evaluated query retains at least one compliant
+//! plan — plus deterministic random filler expressions up to the requested
+//! count. Filler only ever *adds* permissions (the disclosure model is
+//! additive), so the compliant-plan guarantee is preserved at any size.
+
+use crate::schema::schema_of;
+use geoqp_common::{GeoError, LocationPattern, LocationSet, Result, TableRef, Value};
+use geoqp_expr::{AggFunc, ScalarExpr};
+use geoqp_policy::{PolicyCatalog, PolicyExpression, ShipAttrs};
+use geoqp_storage::Catalog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four expression templates of Section 7.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyTemplate {
+    /// `ship * from t to locations` — whole-table restrictions.
+    T,
+    /// `ship attrs from t to locations` — column restrictions.
+    C,
+    /// C plus `where condition` — column + row restrictions.
+    CR,
+    /// CR plus aggregate expressions.
+    CRA,
+}
+
+impl PolicyTemplate {
+    /// Display name as the paper writes it.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyTemplate::T => "T",
+            PolicyTemplate::C => "C",
+            PolicyTemplate::CR => "CR",
+            PolicyTemplate::CRA => "CR+A",
+        }
+    }
+
+    /// The paper's base set size (8 for T, 10 otherwise).
+    pub fn base_count(self) -> usize {
+        match self {
+            PolicyTemplate::T => 8,
+            _ => 10,
+        }
+    }
+}
+
+/// The columns each evaluated query reads, per table — the base sets grant
+/// exactly these so that every query keeps a compliant plan.
+pub(crate) fn needed_columns(table: &str) -> &'static [&'static str] {
+    match table {
+        "customer" => &[
+            "c_custkey", "c_nationkey", "c_mktsegment", "c_name", "c_acctbal", "c_phone",
+            "c_address",
+        ],
+        "orders" => &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+        "lineitem" => &[
+            "l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount",
+            "l_quantity", "l_shipdate", "l_returnflag",
+        ],
+        "supplier" => &[
+            "s_suppkey", "s_nationkey", "s_acctbal", "s_name", "s_address", "s_phone",
+        ],
+        "part" => &["p_partkey", "p_size", "p_type", "p_name", "p_mfgr"],
+        "partsupp" => &["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"],
+        "nation" => &["n_nationkey", "n_name", "n_regionkey"],
+        "region" => &["r_regionkey", "r_name"],
+        _ => &[],
+    }
+}
+
+/// The base destination lists: unrestricted for the small/dimension
+/// tables, pinched for the big fact-side tables so that compliance
+/// actually binds (this is what makes the traditional baseline violate).
+fn base_destinations(table: &str, template: PolicyTemplate) -> LocationPattern {
+    // Every grant includes L4 (the lineitem site), so any combination of
+    // tables can legally meet there — the compliant-plan guarantee — while
+    // movement toward other sites binds and trips the baseline.
+    match table {
+        "customer" => LocationPattern::Set(LocationSet::from_iter(["L1", "L3", "L4", "L5"])),
+        "orders" => LocationPattern::Set(LocationSet::from_iter(["L1", "L3", "L4"])),
+        "supplier" => LocationPattern::Set(LocationSet::from_iter(["L2", "L3", "L4"])),
+        "lineitem" => LocationPattern::Set(LocationSet::from_iter(["L1", "L3", "L4"])),
+        // In the row-restricted sets, part is governed by the e4-style
+        // condition instead of a destination pinch (its grant then points
+        // at L4, like Table 3's e4).
+        "part" => match template {
+            PolicyTemplate::CR | PolicyTemplate::CRA => {
+                LocationPattern::Set(LocationSet::from_iter(["L4"]))
+            }
+            _ => LocationPattern::Set(LocationSet::from_iter(["L3", "L4"])),
+        },
+        "partsupp" => LocationPattern::Set(LocationSet::from_iter(["L2", "L3", "L4"])),
+        "nation" | "region" => {
+            LocationPattern::Set(LocationSet::from_iter(["L1", "L3", "L4", "L5"]))
+        }
+        _ => LocationPattern::Star,
+    }
+}
+
+fn register(cat: &mut PolicyCatalog, catalog: &Catalog, e: PolicyExpression) -> Result<()> {
+    let entries = catalog.resolve(&e.table);
+    let entry = entries
+        .first()
+        .ok_or_else(|| GeoError::Policy(format!("unknown table `{}`", e.table)))?;
+    cat.register(e, &entry.schema)?;
+    Ok(())
+}
+
+/// The exact Table 3 snippet (e1–e5).
+pub fn table3_policies(catalog: &Catalog) -> Result<PolicyCatalog> {
+    let mut cat = PolicyCatalog::new();
+    let texts = [
+        "ship * from db-5.nation to *",
+        "ship * from db-5.region to *",
+        "ship ps_partkey, ps_suppkey, ps_supplycost from db-2.partsupp to L3, L4",
+        "ship p_partkey, p_mfgr, p_size, p_type, p_name from db-3.part to L4 \
+         where p_size > 40 OR p_type LIKE '%COPPER%'",
+        "ship l_extendedprice, l_discount as aggregates sum from db-4.lineitem to L1 \
+         group by l_suppkey, l_orderkey",
+    ];
+    for t in texts {
+        let e = geoqp_parser::parse_policy(t)?;
+        register(&mut cat, catalog, e)?;
+    }
+    Ok(cat)
+}
+
+/// Eight `ship * from t to *` expressions — the no-restriction policy set
+/// behind the minimal-overhead experiment (Figure 6(b)).
+pub fn no_restriction_policies(catalog: &Catalog) -> Result<PolicyCatalog> {
+    star_policies_with_destinations(catalog, LocationPattern::Star)
+}
+
+/// Eight `ship * from t to <destinations>` expressions with an explicit
+/// destination pattern — used by the #to-locations scalability experiment
+/// (Figure 8).
+pub fn star_policies_with_destinations(
+    catalog: &Catalog,
+    to: LocationPattern,
+) -> Result<PolicyCatalog> {
+    let mut cat = PolicyCatalog::new();
+    for t in crate::schema::TABLES {
+        register(
+            &mut cat,
+            catalog,
+            PolicyExpression::basic(TableRef::bare(t), ShipAttrs::Star, to.clone(), None),
+        )?;
+    }
+    Ok(cat)
+}
+
+/// Generate a policy set for a template with `count` expressions (at least
+/// the template's base count), deterministically from `seed`.
+pub fn generate_policies(
+    catalog: &Catalog,
+    template: PolicyTemplate,
+    count: usize,
+    seed: u64,
+) -> Result<PolicyCatalog> {
+    let mut cat = PolicyCatalog::new();
+    base_set(&mut cat, catalog, template)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    while cat.len() < count.max(cat.len()) {
+        let e = filler_expression(&mut rng, template);
+        register(&mut cat, catalog, e)?;
+    }
+    Ok(cat)
+}
+
+fn base_set(
+    cat: &mut PolicyCatalog,
+    catalog: &Catalog,
+    template: PolicyTemplate,
+) -> Result<()> {
+    for table in crate::schema::TABLES {
+        let attrs = match template {
+            PolicyTemplate::T => ShipAttrs::Star,
+            _ => ShipAttrs::list(needed_columns(table)),
+        };
+        // Row restrictions bind on the two tables the paper's Table 3
+        // restricts: part (the e4-style disjunction) and lineitem
+        // (a ship-date window).
+        let predicate = match template {
+            PolicyTemplate::CR | PolicyTemplate::CRA => match table {
+                "part" => Some(
+                    ScalarExpr::col("p_size")
+                        .gt(ScalarExpr::lit(40i64))
+                        .or(ScalarExpr::col("p_type").like("%COPPER%")),
+                ),
+                "lineitem" => Some(
+                    // A window Q3's own ship-date predicate does NOT
+                    // imply, so raw line items stay at their site in the
+                    // evaluated queries (Figure 5(d/e)'s setup).
+                    ScalarExpr::col("l_shipdate").gt(ScalarExpr::lit(Value::date(1995, 6, 30))),
+                ),
+                _ => None,
+            },
+            _ => None,
+        };
+        register(
+            cat,
+            catalog,
+            PolicyExpression::basic(
+                TableRef::bare(table),
+                attrs,
+                base_destinations(table, template),
+                predicate,
+            ),
+        )?;
+    }
+    // Column/row templates have 10 base expressions: add two more grants.
+    match template {
+        PolicyTemplate::T => {}
+        PolicyTemplate::C => {
+            register(
+                cat,
+                catalog,
+                PolicyExpression::basic(
+                    TableRef::bare("customer"),
+                    ShipAttrs::list(["c_mktsegment", "c_nationkey"]),
+                    LocationPattern::Star,
+                    None,
+                ),
+            )?;
+            register(
+                cat,
+                catalog,
+                PolicyExpression::basic(
+                    TableRef::bare("supplier"),
+                    ShipAttrs::list(["s_name", "s_nationkey"]),
+                    LocationPattern::Star,
+                    None,
+                ),
+            )?;
+        }
+        PolicyTemplate::CR | PolicyTemplate::CRA => {
+            // An unconditioned lineitem grant confined to the fact-side
+            // sites keeps part⋈lineitem work feasible at L3 even when the
+            // conditioned expressions do not apply; raw lineitem still
+            // cannot reach L1 without the ship-date window binding.
+            register(
+                cat,
+                catalog,
+                PolicyExpression::basic(
+                    TableRef::bare("lineitem"),
+                    ShipAttrs::list(needed_columns("lineitem")),
+                    LocationPattern::Set(LocationSet::from_iter(["L3", "L4"])),
+                    None,
+                ),
+            )?;
+            if template == PolicyTemplate::CRA {
+                // The e5-style lineitem aggregate (enables the
+                // Figure 5(e) aggregation pushdown toward L1).
+                register(
+                    cat,
+                    catalog,
+                    PolicyExpression::aggregate(
+                        TableRef::bare("lineitem"),
+                        ShipAttrs::list(["l_extendedprice", "l_discount"]),
+                        [AggFunc::Sum],
+                        ["l_orderkey".to_string(), "l_suppkey".to_string()],
+                        LocationPattern::Set(LocationSet::from_iter(["L1"])),
+                        None,
+                    ),
+                )?;
+            } else {
+                register(
+                    cat,
+                    catalog,
+                    PolicyExpression::basic(
+                        TableRef::bare("customer"),
+                        ShipAttrs::list(["c_mktsegment", "c_nationkey"]),
+                        LocationPattern::Star,
+                        None,
+                    ),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A random additive filler expression.
+fn filler_expression(rng: &mut StdRng, template: PolicyTemplate) -> PolicyExpression {
+    let tables = crate::schema::TABLES;
+    let table = tables[rng.gen_range(0..tables.len())];
+    let schema = schema_of(table);
+    let all: Vec<&str> = schema.names();
+    let n_attrs = rng.gen_range(1..=3.min(all.len()));
+    let mut attrs: Vec<&str> = Vec::new();
+    for _ in 0..n_attrs {
+        let c = all[rng.gen_range(0..all.len())];
+        if !attrs.contains(&c) {
+            attrs.push(c);
+        }
+    }
+    let n_locs = rng.gen_range(1..=3usize);
+    let locs: Vec<String> = (0..n_locs)
+        .map(|_| format!("L{}", rng.gen_range(1..=5)))
+        .collect();
+    let to = LocationPattern::Set(LocationSet::from_iter(locs));
+
+    let predicate = if matches!(template, PolicyTemplate::CR | PolicyTemplate::CRA)
+        && rng.gen_bool(0.5)
+    {
+        random_predicate(rng, table)
+    } else {
+        None
+    };
+
+    if template == PolicyTemplate::CRA && rng.gen_bool(0.3) {
+        if let Some((agg_col, group_col)) = aggregatable(table) {
+            return PolicyExpression::aggregate(
+                TableRef::bare(table),
+                ShipAttrs::list([agg_col]),
+                [AggFunc::Sum, AggFunc::Avg],
+                [group_col.to_string()],
+                to,
+                predicate,
+            );
+        }
+    }
+    PolicyExpression::basic(TableRef::bare(table), ShipAttrs::list(attrs), to, predicate)
+}
+
+/// The property-file analog: which column of a table can be aggregated,
+/// grouped by which key.
+fn aggregatable(table: &str) -> Option<(&'static str, &'static str)> {
+    match table {
+        "customer" => Some(("c_acctbal", "c_nationkey")),
+        "supplier" => Some(("s_acctbal", "s_nationkey")),
+        "orders" => Some(("o_totalprice", "o_custkey")),
+        "lineitem" => Some(("l_quantity", "l_orderkey")),
+        "partsupp" => Some(("ps_availqty", "ps_partkey")),
+        "part" => Some(("p_retailprice", "p_mfgr")),
+        _ => None,
+    }
+}
+
+/// A random row condition over a table (the range/LIKE pools of the
+/// property file).
+fn random_predicate(rng: &mut StdRng, table: &str) -> Option<ScalarExpr> {
+    let e = match table {
+        "customer" => ScalarExpr::col("c_acctbal").gt(ScalarExpr::lit(
+            rng.gen_range(-500..5000) as f64,
+        )),
+        "supplier" => ScalarExpr::col("s_acctbal").gt(ScalarExpr::lit(
+            rng.gen_range(-500..5000) as f64,
+        )),
+        "orders" => ScalarExpr::col("o_orderdate").gt(ScalarExpr::lit(Value::date(
+            rng.gen_range(1992..1998),
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28),
+        ))),
+        "lineitem" => ScalarExpr::col("l_quantity").lt(ScalarExpr::lit(
+            rng.gen_range(10..50) as i64,
+        )),
+        "part" => ScalarExpr::col("p_size").gt(ScalarExpr::lit(rng.gen_range(1..45) as i64)),
+        "partsupp" => ScalarExpr::col("ps_availqty").gt(ScalarExpr::lit(
+            rng.gen_range(100..5000) as i64,
+        )),
+        _ => return None,
+    };
+    Some(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::paper_catalog;
+    use geoqp_policy::PolicyKind;
+
+    #[test]
+    fn table3_snippet_registers() {
+        let c = paper_catalog(1.0);
+        let cat = table3_policies(&c).unwrap();
+        assert_eq!(cat.len(), 5);
+        let (basic, agg) = cat.kind_counts();
+        assert_eq!(basic, 4);
+        assert_eq!(agg, 1);
+    }
+
+    #[test]
+    fn base_counts_match_paper() {
+        let c = paper_catalog(1.0);
+        for (t, n) in [
+            (PolicyTemplate::T, 8),
+            (PolicyTemplate::C, 10),
+            (PolicyTemplate::CR, 10),
+            (PolicyTemplate::CRA, 10),
+        ] {
+            let cat = generate_policies(&c, t, t.base_count(), 1).unwrap();
+            assert_eq!(cat.len(), n, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_scales() {
+        let c = paper_catalog(1.0);
+        let a = generate_policies(&c, PolicyTemplate::CRA, 50, 9).unwrap();
+        let b = generate_policies(&c, PolicyTemplate::CRA, 50, 9).unwrap();
+        assert_eq!(a.len(), 50);
+        assert_eq!(
+            a.expressions()
+                .iter()
+                .map(|e| e.expr.to_string())
+                .collect::<Vec<_>>(),
+            b.expressions()
+                .iter()
+                .map(|e| e.expr.to_string())
+                .collect::<Vec<_>>()
+        );
+        let big = generate_policies(&c, PolicyTemplate::CRA, 100, 9).unwrap();
+        assert_eq!(big.len(), 100);
+    }
+
+    #[test]
+    fn cr_template_has_row_conditions() {
+        let c = paper_catalog(1.0);
+        let cat = generate_policies(&c, PolicyTemplate::CR, 10, 1).unwrap();
+        let with_pred = cat
+            .expressions()
+            .iter()
+            .filter(|e| e.expr.predicate.is_some())
+            .count();
+        assert!(with_pred >= 2, "part and lineitem carry conditions");
+        assert!(cat
+            .expressions()
+            .iter()
+            .all(|e| matches!(e.expr.kind, PolicyKind::Basic)));
+    }
+
+    #[test]
+    fn cra_template_has_aggregates() {
+        let c = paper_catalog(1.0);
+        let cat = generate_policies(&c, PolicyTemplate::CRA, 10, 1).unwrap();
+        let (_, agg) = cat.kind_counts();
+        assert!(agg >= 1);
+    }
+
+    #[test]
+    fn no_restriction_set_is_all_stars() {
+        let c = paper_catalog(1.0);
+        let cat = no_restriction_policies(&c).unwrap();
+        assert_eq!(cat.len(), 8);
+        for e in cat.expressions() {
+            assert_eq!(e.expr.to, LocationPattern::Star);
+            assert_eq!(e.expr.attrs, ShipAttrs::Star);
+        }
+    }
+}
+
+
+/// Public view of the per-table covered-column pool (used by the ad-hoc
+/// query generator so that generated queries stay within granted columns).
+pub fn needed_columns_public(table: &str) -> &'static [&'static str] {
+    needed_columns(table)
+}

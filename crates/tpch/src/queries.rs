@@ -1,0 +1,363 @@
+//! The six TPC-H queries of the paper's evaluation (Section 7.1): Q2, Q3,
+//! Q5, Q8, Q9, Q10, as logical plans against a geo-distributed catalog.
+//!
+//! Query complexity in joins `j` (the paper's measure): Q3 j=2, Q10 j=3,
+//! Q5/Q9 j=5, Q8 j=7, and Q2 j=8 after decorrelating its MIN-supplycost
+//! subquery into a join with a grouped aggregate (the paper reports j=13
+//! for Q2 on Calcite's expansion; the structure — a doubled
+//! partsupp/supplier/nation/region chain — is the same).
+//!
+//! Faithfulness notes: Q8's per-year CASE market share and Q9's
+//! EXTRACT(year) grouping are replaced by nation-level grouping (this
+//! engine has no CASE/EXTRACT); join structure, predicates, and aggregate
+//! arguments follow the TPC-H definitions.
+
+use geoqp_common::{GeoError, Result, TableRef, Value};
+use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
+use geoqp_plan::logical::{LogicalPlan, SortKey};
+use geoqp_plan::PlanBuilder;
+use geoqp_storage::Catalog;
+use std::sync::Arc;
+
+fn col(n: &str) -> ScalarExpr {
+    ScalarExpr::col(n)
+}
+fn lit(v: impl Into<Value>) -> ScalarExpr {
+    ScalarExpr::lit(v)
+}
+fn date(y: i32, m: u32, d: u32) -> ScalarExpr {
+    ScalarExpr::lit(Value::date(y, m, d))
+}
+
+/// Scan a table by bare name, building a union over site partitions when
+/// the table is distributed (Section 7.5).
+pub fn scan(catalog: &Catalog, table: &str) -> Result<PlanBuilder> {
+    let entries = catalog.resolve(&TableRef::bare(table));
+    match entries.len() {
+        0 => Err(GeoError::Plan(format!("table `{table}` not in catalog"))),
+        1 => {
+            let e = &entries[0];
+            Ok(PlanBuilder::scan(
+                e.table.clone(),
+                e.location.clone(),
+                e.schema.as_ref().clone(),
+            ))
+        }
+        _ => {
+            let mut parts = entries.iter().map(|e| {
+                PlanBuilder::scan(
+                    e.table.clone(),
+                    e.location.clone(),
+                    e.schema.as_ref().clone(),
+                )
+            });
+            let first = parts.next().unwrap();
+            first.union(parts.collect())
+        }
+    }
+}
+
+/// The revenue expression `l_extendedprice * (1 - l_discount)`.
+fn revenue_expr() -> ScalarExpr {
+    col("l_extendedprice").mul(lit(1i64).sub(col("l_discount")))
+}
+
+/// TPC-H Q1 — pricing summary report (single-site; not part of the
+/// paper's evaluated set, provided for library completeness).
+pub fn q1(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
+    let disc_price = revenue_expr();
+    let charge = revenue_expr().mul(lit(1i64).add(col("l_tax")));
+    let plan = scan(catalog, "lineitem")?
+        .filter(col("l_shipdate").lt_eq(date(1998, 9, 2)))?
+        .aggregate(
+            &["l_returnflag", "l_linestatus"],
+            vec![
+                AggCall::new(AggFunc::Sum, col("l_quantity"), "sum_qty"),
+                AggCall::new(AggFunc::Sum, col("l_extendedprice"), "sum_base_price"),
+                AggCall::new(AggFunc::Sum, disc_price, "sum_disc_price"),
+                AggCall::new(AggFunc::Sum, charge, "sum_charge"),
+                AggCall::new(AggFunc::Avg, col("l_quantity"), "avg_qty"),
+                AggCall::new(AggFunc::Avg, col("l_extendedprice"), "avg_price"),
+                AggCall::new(AggFunc::Avg, col("l_discount"), "avg_disc"),
+                AggCall::count_star("count_order"),
+            ],
+        )?
+        .sort(vec![SortKey::asc("l_returnflag"), SortKey::asc("l_linestatus")])?;
+    Ok(plan.build())
+}
+
+/// TPC-H Q6 — forecasting revenue change (single-site; library
+/// completeness).
+pub fn q6(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
+    let plan = scan(catalog, "lineitem")?
+        .filter(
+            col("l_shipdate")
+                .gt_eq(date(1994, 1, 1))
+                .and(col("l_shipdate").lt(date(1995, 1, 1)))
+                .and(col("l_discount").between(ScalarExpr::lit(0.05), ScalarExpr::lit(0.07)))
+                .and(col("l_quantity").lt(lit(24i64))),
+        )?
+        .aggregate(
+            &[],
+            vec![AggCall::new(
+                AggFunc::Sum,
+                col("l_extendedprice").mul(col("l_discount")),
+                "revenue",
+            )],
+        )?;
+    Ok(plan.build())
+}
+
+/// TPC-H Q2 — minimum-cost supplier, decorrelated.
+pub fn q2(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
+    // Inner: min supply cost per part among European suppliers.
+    let inner = scan(catalog, "partsupp")?
+        .join(scan(catalog, "supplier")?, vec![("ps_suppkey", "s_suppkey")])?
+        .join(scan(catalog, "nation")?, vec![("s_nationkey", "n_nationkey")])?
+        .join(scan(catalog, "region")?, vec![("n_regionkey", "r_regionkey")])?
+        .filter(col("r_name").eq(lit("EUROPE")))?
+        .aggregate(
+            &["ps_partkey"],
+            vec![AggCall::new(AggFunc::Min, col("ps_supplycost"), "mc_cost")],
+        )?
+        .project(vec![
+            (col("ps_partkey"), "mc_partkey".into()),
+            (col("mc_cost"), "mc_cost".into()),
+        ])?;
+
+    // Outer: part–partsupp–supplier–nation–region chain in Europe.
+    let plan = scan(catalog, "part")?
+        .filter(
+            col("p_size")
+                .eq(lit(15i64))
+                .and(col("p_type").like("%BRASS")),
+        )?
+        .join(scan(catalog, "partsupp")?, vec![("p_partkey", "ps_partkey")])?
+        .join(scan(catalog, "supplier")?, vec![("ps_suppkey", "s_suppkey")])?
+        .join(scan(catalog, "nation")?, vec![("s_nationkey", "n_nationkey")])?
+        .join(scan(catalog, "region")?, vec![("n_regionkey", "r_regionkey")])?
+        .filter(col("r_name").eq(lit("EUROPE")))?
+        .join(
+            inner,
+            vec![("p_partkey", "mc_partkey"), ("ps_supplycost", "mc_cost")],
+        )?
+        .project_columns(&[
+            "s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone",
+        ])?
+        .sort(vec![
+            SortKey::desc("s_acctbal"),
+            SortKey::asc("n_name"),
+            SortKey::asc("s_name"),
+            SortKey::asc("p_partkey"),
+        ])?
+        .limit(100);
+    Ok(plan.build())
+}
+
+/// TPC-H Q3 — shipping-priority revenue.
+pub fn q3(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
+    let plan = scan(catalog, "customer")?
+        .filter(col("c_mktsegment").eq(lit("BUILDING")))?
+        .join(scan(catalog, "orders")?, vec![("c_custkey", "o_custkey")])?
+        .filter(col("o_orderdate").lt(date(1995, 3, 15)))?
+        .join(scan(catalog, "lineitem")?, vec![("o_orderkey", "l_orderkey")])?
+        .filter(col("l_shipdate").gt(date(1995, 3, 15)))?
+        .aggregate(
+            &["l_orderkey", "o_orderdate", "o_shippriority"],
+            vec![AggCall::new(AggFunc::Sum, revenue_expr(), "revenue")],
+        )?
+        .sort(vec![SortKey::desc("revenue"), SortKey::asc("o_orderdate")])?
+        .limit(10);
+    Ok(plan.build())
+}
+
+/// TPC-H Q5 — local-supplier volume.
+pub fn q5(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
+    let plan = scan(catalog, "customer")?
+        .join(scan(catalog, "orders")?, vec![("c_custkey", "o_custkey")])?
+        .filter(
+            col("o_orderdate")
+                .gt_eq(date(1994, 1, 1))
+                .and(col("o_orderdate").lt(date(1995, 1, 1))),
+        )?
+        .join(scan(catalog, "lineitem")?, vec![("o_orderkey", "l_orderkey")])?
+        .join(
+            scan(catalog, "supplier")?,
+            vec![("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")],
+        )?
+        .join(scan(catalog, "nation")?, vec![("s_nationkey", "n_nationkey")])?
+        .join(scan(catalog, "region")?, vec![("n_regionkey", "r_regionkey")])?
+        .filter(col("r_name").eq(lit("ASIA")))?
+        .aggregate(
+            &["n_name"],
+            vec![AggCall::new(AggFunc::Sum, revenue_expr(), "revenue")],
+        )?
+        .sort(vec![SortKey::desc("revenue")])?;
+    Ok(plan.build())
+}
+
+/// TPC-H Q8 — national market share (nation-level volume variant).
+pub fn q8(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
+    // Supplier-side nation, renamed to avoid clashing with the customer's
+    // nation in the join schema.
+    let supp_nation = scan(catalog, "nation")?.project(vec![
+        (col("n_nationkey"), "n2_nationkey".into()),
+        (col("n_name"), "n2_name".into()),
+    ])?;
+    let plan = scan(catalog, "part")?
+        .filter(col("p_type").eq(lit("ECONOMY ANODIZED STEEL")))?
+        .join(scan(catalog, "lineitem")?, vec![("p_partkey", "l_partkey")])?
+        .join(scan(catalog, "supplier")?, vec![("l_suppkey", "s_suppkey")])?
+        .join(scan(catalog, "orders")?, vec![("l_orderkey", "o_orderkey")])?
+        .filter(col("o_orderdate").between(date(1995, 1, 1), date(1996, 12, 31)))?
+        .join(scan(catalog, "customer")?, vec![("o_custkey", "c_custkey")])?
+        .join(scan(catalog, "nation")?, vec![("c_nationkey", "n_nationkey")])?
+        .join(scan(catalog, "region")?, vec![("n_regionkey", "r_regionkey")])?
+        .filter(col("r_name").eq(lit("AMERICA")))?
+        .join(supp_nation, vec![("s_nationkey", "n2_nationkey")])?
+        .aggregate(
+            &["n2_name"],
+            vec![AggCall::new(AggFunc::Sum, revenue_expr(), "volume")],
+        )?
+        .sort(vec![SortKey::asc("n2_name")])?;
+    Ok(plan.build())
+}
+
+/// TPC-H Q9 — product-type profit (nation-level variant).
+pub fn q9(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
+    let profit = revenue_expr().sub(col("ps_supplycost").mul(col("l_quantity")));
+    let plan = scan(catalog, "part")?
+        .filter(col("p_name").like("%green%"))?
+        .join(scan(catalog, "partsupp")?, vec![("p_partkey", "ps_partkey")])?
+        .join(
+            scan(catalog, "lineitem")?,
+            vec![("ps_partkey", "l_partkey"), ("ps_suppkey", "l_suppkey")],
+        )?
+        .join(scan(catalog, "supplier")?, vec![("l_suppkey", "s_suppkey")])?
+        .join(scan(catalog, "orders")?, vec![("l_orderkey", "o_orderkey")])?
+        .join(scan(catalog, "nation")?, vec![("s_nationkey", "n_nationkey")])?
+        .aggregate(
+            &["n_name"],
+            vec![AggCall::new(AggFunc::Sum, profit, "sum_profit")],
+        )?
+        .sort(vec![SortKey::asc("n_name")])?;
+    Ok(plan.build())
+}
+
+/// TPC-H Q10 — returned-item reporting.
+pub fn q10(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
+    let plan = scan(catalog, "customer")?
+        .join(scan(catalog, "orders")?, vec![("c_custkey", "o_custkey")])?
+        .filter(
+            col("o_orderdate")
+                .gt_eq(date(1993, 10, 1))
+                .and(col("o_orderdate").lt(date(1994, 1, 1))),
+        )?
+        .join(scan(catalog, "lineitem")?, vec![("o_orderkey", "l_orderkey")])?
+        .filter(col("l_returnflag").eq(lit("R")))?
+        .join(scan(catalog, "nation")?, vec![("c_nationkey", "n_nationkey")])?
+        .aggregate(
+            &["c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address"],
+            vec![AggCall::new(AggFunc::Sum, revenue_expr(), "revenue")],
+        )?
+        .sort(vec![SortKey::desc("revenue")])?
+        .limit(20);
+    Ok(plan.build())
+}
+
+/// All evaluated queries in the paper's order, as `(name, plan)` pairs.
+pub fn all_queries(catalog: &Catalog) -> Result<Vec<(&'static str, Arc<LogicalPlan>)>> {
+    Ok(vec![
+        ("Q2", q2(catalog)?),
+        ("Q3", q3(catalog)?),
+        ("Q5", q5(catalog)?),
+        ("Q8", q8(catalog)?),
+        ("Q9", q9(catalog)?),
+        ("Q10", q10(catalog)?),
+    ])
+}
+
+/// Look up one query by name (`"Q3"` etc.).
+pub fn query_by_name(catalog: &Catalog, name: &str) -> Result<Arc<LogicalPlan>> {
+    match name.to_ascii_uppercase().as_str() {
+        "Q1" => q1(catalog),
+        "Q6" => q6(catalog),
+        "Q2" => q2(catalog),
+        "Q3" => q3(catalog),
+        "Q5" => q5(catalog),
+        "Q8" => q8(catalog),
+        "Q9" => q9(catalog),
+        "Q10" => q10(catalog),
+        other => Err(GeoError::Plan(format!("unknown TPC-H query `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::paper_catalog;
+
+    #[test]
+    fn join_counts_match_complexity_classes() {
+        let c = paper_catalog(10.0);
+        let expected = [
+            ("Q2", 8),
+            ("Q3", 2),
+            ("Q5", 5),
+            ("Q8", 7),
+            ("Q9", 5),
+            ("Q10", 3),
+        ];
+        for (name, j) in expected {
+            let plan = query_by_name(&c, name).unwrap();
+            assert_eq!(plan.join_count(), j, "{name} join count");
+        }
+    }
+
+    #[test]
+    fn queries_span_multiple_locations() {
+        let c = paper_catalog(10.0);
+        for (name, plan) in all_queries(&c).unwrap() {
+            assert!(
+                plan.source_locations().len() >= 2,
+                "{name} touches {} locations",
+                plan.source_locations().len()
+            );
+        }
+    }
+
+    #[test]
+    fn queries_build_on_partitioned_catalog() {
+        let c = crate::distribution::paper_catalog_partitioned(1.0, 3).unwrap();
+        for (name, plan) in all_queries(&c).unwrap() {
+            let mut unions = 0;
+            plan.visit(&mut |p| {
+                if matches!(p, LogicalPlan::Union { .. }) {
+                    unions += 1;
+                }
+            });
+            if ["Q3", "Q5", "Q8", "Q10"].contains(&name) {
+                assert!(unions >= 1, "{name} should union partitions");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_query_is_an_error() {
+        let c = paper_catalog(1.0);
+        assert!(query_by_name(&c, "Q99").is_err());
+    }
+
+    #[test]
+    fn q1_and_q6_are_single_site() {
+        let c = paper_catalog(1.0);
+        for name in ["Q1", "Q6"] {
+            let plan = query_by_name(&c, name).unwrap();
+            assert_eq!(plan.join_count(), 0, "{name}");
+            assert_eq!(plan.source_locations().len(), 1, "{name}");
+        }
+        // They are not part of the paper's evaluated set.
+        let names: Vec<&str> = all_queries(&c).unwrap().iter().map(|(n, _)| *n).collect();
+        assert!(!names.contains(&"Q1"));
+    }
+}

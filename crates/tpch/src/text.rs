@@ -1,0 +1,112 @@
+//! TPC-H text pools: the fixed vocabularies dbgen draws strings from.
+
+/// The five regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 nations with their region indices (TPC-H specification order).
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Market segments.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Order priorities.
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Ship instructions.
+pub const SHIP_INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// Containers (two-word combinations).
+pub const CONTAINER_SIZES: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// Container kinds.
+pub const CONTAINER_KINDS: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Type syllables (p_type = one of each: 6 × 5 × 5 = 150 types).
+pub const TYPE_SYLLABLE_1: [&str; 6] =
+    ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Second syllable.
+pub const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// Third syllable.
+pub const TYPE_SYLLABLE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// Part-name color words (p_name = 5 of these).
+pub const COLORS: [&str; 20] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cream", "green",
+];
+
+/// A deterministic pseudo-comment of bounded length.
+pub fn comment(seed: u64, max_words: usize) -> String {
+    const WORDS: [&str; 12] = [
+        "carefully", "final", "deposits", "sleep", "quickly", "ironic", "requests", "haggle",
+        "furiously", "pending", "accounts", "bold",
+    ];
+    let n = (seed as usize % max_words.max(1)) + 1;
+    let mut out = String::new();
+    let mut s = seed;
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        out.push_str(WORDS[(s >> 33) as usize % WORDS.len()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_have_spec_sizes() {
+        assert_eq!(REGIONS.len(), 5);
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(
+            TYPE_SYLLABLE_1.len() * TYPE_SYLLABLE_2.len() * TYPE_SYLLABLE_3.len(),
+            150
+        );
+        assert!(NATIONS.iter().all(|(_, r)| *r < REGIONS.len()));
+    }
+
+    #[test]
+    fn comments_are_deterministic_and_bounded() {
+        assert_eq!(comment(42, 5), comment(42, 5));
+        for s in 0..50 {
+            let c = comment(s, 4);
+            assert!(c.split(' ').count() <= 4);
+            assert!(!c.is_empty());
+        }
+    }
+}

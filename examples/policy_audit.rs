@@ -1,0 +1,178 @@
+//! Policy authoring and auditing walkthrough.
+//!
+//! ```bash
+//! cargo run --example policy_audit
+//! ```
+//!
+//! Shows the pieces a data officer and an engine operator interact with:
+//! parsing policy expressions (Section 4), evaluating them against local
+//! queries with Algorithm 1 (Section 5), and auditing hand-built physical
+//! plans with the Definition-1 checker — including catching a plan that
+//! smuggles restricted data through an intermediate site.
+
+use geoqp::core::compliance::check_compliance;
+use geoqp::plan::descriptor::describe_local;
+use geoqp::plan::{PhysOp, PhysicalPlan};
+use geoqp::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    // One table of patient data in Germany; sites in France and Japan.
+    let mut catalog = Catalog::new();
+    catalog.add_database("db-de", Location::new("DE"))?;
+    catalog.add_location(Location::new("FR"));
+    catalog.add_location(Location::new("JP"));
+    let patients = catalog.add_table(
+        "db-de",
+        "patients",
+        Schema::new(vec![
+            Field::new("p_id", DataType::Int64),
+            Field::new("p_age", DataType::Int64),
+            Field::new("p_diagnosis", DataType::Str),
+            Field::new("p_region", DataType::Str),
+        ])?,
+        TableStats::new(10_000, 64.0),
+    )?;
+
+    // The officer's policies: adult cohort statistics may go to the EU
+    // partner; only aggregated ages may go to Japan.
+    let mut policies = PolicyCatalog::new();
+    for text in [
+        "ship p_id, p_age, p_region from patients to FR where p_age >= 18",
+        "ship p_age as aggregates avg, count from patients to FR, JP group by p_region",
+    ] {
+        let e = geoqp::parser::parse_policy(text)?;
+        policies.register(e, &patients.schema)?;
+        println!("registered: {text}");
+    }
+
+    // ---- Algorithm 1 by hand -----------------------------------------
+    let universe = catalog.locations().clone();
+    let evaluator = PolicyEvaluator::new(&policies, &universe);
+    let scan = || {
+        PlanBuilder::scan(
+            TableRef::bare("patients"),
+            Location::new("DE"),
+            patients.schema.as_ref().clone(),
+        )
+    };
+
+    let adult_ids = scan()
+        .filter(ScalarExpr::col("p_age").gt_eq(ScalarExpr::lit(21i64)))?
+        .project_columns(&["p_id", "p_region"])?
+        .build();
+    let avg_age = scan()
+        .aggregate(
+            &["p_region"],
+            vec![AggCall::new(AggFunc::Avg, ScalarExpr::col("p_age"), "avg_age")],
+        )?
+        .build();
+    let raw_diagnosis = scan().project_columns(&["p_diagnosis"])?.build();
+
+    for (what, plan) in [
+        ("ids+regions of patients ≥ 21", &adult_ids),
+        ("average age per region", &avg_age),
+        ("raw diagnoses", &raw_diagnosis),
+    ] {
+        let q = describe_local(plan).expect("single-site query");
+        println!("𝒜({what}) = {}", evaluator.evaluate_with_home(&q));
+    }
+
+    // ---- Definition-1 audits ------------------------------------------
+    let scan_phys = Arc::new(PhysicalPlan::new(
+        PhysOp::Scan {
+            table: patients.table.clone(),
+        },
+        Arc::clone(&patients.schema),
+        Location::new("DE"),
+        vec![],
+    )?);
+
+    // Legal: masked + filtered, then shipped to France.
+    let masked = Arc::new(PhysicalPlan::new(
+        PhysOp::Filter {
+            predicate: ScalarExpr::col("p_age").gt_eq(ScalarExpr::lit(18i64)),
+        },
+        Arc::clone(&patients.schema),
+        Location::new("DE"),
+        vec![Arc::clone(&scan_phys)],
+    )?);
+    let masked = Arc::new(PhysicalPlan::new(
+        PhysOp::Project {
+            exprs: vec![
+                (ScalarExpr::col("p_id"), "p_id".into()),
+                (ScalarExpr::col("p_region"), "p_region".into()),
+            ],
+        },
+        Arc::new(Schema::new(vec![
+            Field::new("p_id", DataType::Int64),
+            Field::new("p_region", DataType::Str),
+        ])?),
+        Location::new("DE"),
+        vec![masked],
+    )?);
+    let legal = PhysicalPlan::ship(masked, Location::new("FR"));
+    println!(
+        "\naudit(masked cohort → FR): {:?}",
+        check_compliance(&legal, &evaluator, &catalog).map(|_| "compliant")
+    );
+
+    // Illegal: raw table shipped to France, even via a projection at the
+    // destination — the SHIP itself is the violation.
+    let smuggle = PhysicalPlan::ship(scan_phys, Location::new("FR"));
+    let smuggle = Arc::new(PhysicalPlan::new(
+        PhysOp::Project {
+            exprs: vec![(ScalarExpr::col("p_id"), "p_id".into())],
+        },
+        Arc::new(Schema::new(vec![Field::new("p_id", DataType::Int64)])?),
+        Location::new("FR"),
+        vec![smuggle],
+    )?);
+    match check_compliance(&smuggle, &evaluator, &catalog) {
+        Err(e) => println!("audit(raw table → FR, projected there): {e}"),
+        Ok(()) => println!("audit unexpectedly passed!"),
+    }
+
+    // ---- negative policies (closed-world expansion) --------------------
+    // The officer can also write what must NOT happen; `expand_denials`
+    // turns denials into ordinary grants under the closed world assumption.
+    println!("
+negative policies:");
+    let denials = vec![
+        geoqp::parser::parse_denial("deny ship p_diagnosis from patients to *")?,
+        geoqp::parser::parse_denial(
+            "deny ship * from patients to JP where p_age < 18",
+        )?,
+    ];
+    for d in &denials {
+        println!("  {d}");
+    }
+    let grants = geoqp::policy::expand_denials(
+        &TableRef::bare("patients"),
+        &patients.schema,
+        &denials,
+        &universe,
+    )?;
+    println!("expanded into {} grant(s):", grants.len());
+    let mut neg_catalog = PolicyCatalog::new();
+    for g in grants {
+        println!("  {g}");
+        neg_catalog.register(g, &patients.schema)?;
+    }
+    let neg_eval = PolicyEvaluator::new(&neg_catalog, &universe);
+    let adult_ages = scan()
+        .filter(ScalarExpr::col("p_age").gt_eq(ScalarExpr::lit(18i64)))?
+        .project_columns(&["p_id", "p_age"])?
+        .build();
+    let q = describe_local(&adult_ages).expect("single-site query");
+    println!(
+        "𝒜(ids+ages of adults, under denials) = {}",
+        neg_eval.evaluate_with_home(&q)
+    );
+    let q = describe_local(&raw_diagnosis).expect("single-site query");
+    println!(
+        "𝒜(raw diagnoses, under denials) = {}",
+        neg_eval.evaluate_with_home(&q)
+    );
+    Ok(())
+}

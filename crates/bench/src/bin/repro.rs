@@ -6,7 +6,7 @@
 //!                        # 6a|6b|6c|6d|6e|6f|6g|6h|7abc|7de|8ab
 //!   repro --quick        # fewer runs / fewer ad-hoc queries
 
-use geoqp_bench::experiments::{ablation, effectiveness, overhead, quality, scalability};
+use geoqp_bench::experiments::{ablation, effectiveness, failover, overhead, quality, scalability};
 use geoqp_bench::experiments::overhead::OverheadCase;
 use geoqp_common::LocationSet;
 use geoqp_plan::descriptor::describe_local;
@@ -74,6 +74,23 @@ fn main() {
     }
     if want("ablation") {
         ablations(quick);
+    }
+    if want("failover") {
+        failover_matrix();
+    }
+}
+
+fn failover_matrix() {
+    header("Extension E4: single-site crashes — compliant failover matrix (CR+A)");
+    println!("  {:6} {:>8} {:>14} {:>7}", "query", "crashed", "outcome", "faults");
+    for cell in failover::crash_matrix(SEED) {
+        println!(
+            "  {:6} {:>8} {:>14} {:>7}",
+            cell.query,
+            cell.crashed.to_string(),
+            cell.outcome.label(),
+            cell.faults
+        );
     }
 }
 

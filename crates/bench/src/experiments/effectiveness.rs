@@ -131,11 +131,11 @@ pub fn adhoc_effectiveness(total_queries: usize, seed: u64) -> Vec<AdhocResult> 
             .map(|n| n.get().min(8))
             .unwrap_or(4);
         let chunk = queries.len().div_ceil(workers);
-        let (trad_ok, comp_ok) = crossbeam::thread::scope(|scope| {
+        let (trad_ok, comp_ok) = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for part in queries.chunks(chunk.max(1)) {
                 let engine = &engine;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut t = 0usize;
                     let mut c = 0usize;
                     for q in part {
@@ -157,8 +157,7 @@ pub fn adhoc_effectiveness(total_queries: usize, seed: u64) -> Vec<AdhocResult> 
                 .into_iter()
                 .map(|h| h.join().expect("worker"))
                 .fold((0, 0), |(a, b), (t, c)| (a + t, b + c))
-        })
-        .expect("scope");
+        });
         out.push(AdhocResult {
             template,
             expressions: n_expr,

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod effectiveness;
+pub mod failover;
 pub mod overhead;
 pub mod quality;
 pub mod scalability;

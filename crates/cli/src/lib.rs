@@ -4,7 +4,8 @@
 
 use geoqp_common::{GeoError, Location, Result, Rows, TableRef};
 use geoqp_core::{Engine, OptimizerMode};
-use geoqp_net::NetworkTopology;
+use geoqp_exec::RetryPolicy;
+use geoqp_net::{FaultPlan, NetworkTopology};
 use geoqp_policy::{expand_denials, PolicyCatalog};
 use geoqp_storage::Catalog;
 use std::fmt::Write as _;
@@ -15,6 +16,7 @@ pub struct Shell {
     engine: Option<Engine>,
     mode: OptimizerMode,
     result_location: Option<Location>,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for Shell {
@@ -30,6 +32,7 @@ impl Shell {
             engine: None,
             mode: OptimizerMode::Compliant,
             result_location: None,
+            faults: None,
         }
     }
 
@@ -97,6 +100,7 @@ impl Shell {
                 }
             }
             "explain" => self.explain(arg),
+            "faults" => self.set_faults(arg),
             other => Err(GeoError::Execution(format!(
                 "unknown command `\\{other}`; try \\help"
             ))),
@@ -213,6 +217,38 @@ impl Shell {
         Ok(())
     }
 
+    /// `\faults` shows the active plan, `\faults off` clears it, anything
+    /// else is parsed as a fault spec (`crash:L2; flaky:L1-L3:0.5@..8`),
+    /// optionally with a leading `seed=N;` element.
+    fn set_faults(&mut self, arg: &str) -> Result<String> {
+        if arg.is_empty() {
+            return Ok(match &self.faults {
+                None => "faults: off\n".to_string(),
+                Some(f) => format!("faults: active (seed {})\n", f.seed()),
+            });
+        }
+        if arg == "off" {
+            self.faults = None;
+            return Ok("faults: off\n".to_string());
+        }
+        let mut seed = 42u64;
+        let spec: Vec<&str> = arg
+            .split(';')
+            .map(str::trim)
+            .filter(|part| {
+                if let Some(s) = part.strip_prefix("seed=") {
+                    seed = s.trim().parse().unwrap_or(42);
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        let plan = FaultPlan::parse(&spec.join(";"), seed).map_err(GeoError::Execution)?;
+        self.faults = Some(plan);
+        Ok(format!("faults: active (seed {seed})\n"))
+    }
+
     fn explain(&mut self, sql: &str) -> Result<String> {
         let eng = self.engine()?;
         let optimized = eng.optimize_sql(sql, self.mode, self.result_location.clone())?;
@@ -235,6 +271,42 @@ impl Shell {
 
     fn sql(&mut self, sql: &str) -> Result<String> {
         let eng = self.engine()?;
+        if let Some(faults) = &self.faults {
+            // Each query replays the fault schedule from step 0, so a
+            // given seed + spec is deterministic per statement.
+            faults.reset_clock();
+            let (optimized, result) = eng.run_sql_resilient(
+                sql,
+                self.mode,
+                self.result_location.clone(),
+                faults,
+                &RetryPolicy::default(),
+                4,
+            )?;
+            let mut out = render_rows(&result.rows, &result.physical.schema.names());
+            let audit = match eng.audit(&result.physical) {
+                Ok(()) => "compliant",
+                Err(_) => "NON-COMPLIANT",
+            };
+            let _ = writeln!(
+                out,
+                "({} rows at {}; {} transfers, {} bytes, {:.1} ms simulated WAN; \
+                 {} faults, {} replans, excluded {}; plan {audit})",
+                result.rows.len(),
+                optimized.result_location,
+                result.transfers.transfer_count(),
+                result.transfers.total_bytes(),
+                result.transfers.total_cost_ms(),
+                result.transfers.fault_count(),
+                result.replans,
+                if result.excluded.is_empty() {
+                    "∅".to_string()
+                } else {
+                    result.excluded.to_string()
+                },
+            );
+            return Ok(out);
+        }
         let (optimized, result) = eng.run_sql(sql, self.mode, self.result_location.clone())?;
         let mut out = render_rows(&result.rows, &optimized.physical.schema.names());
         let audit = match eng.audit(&optimized.physical) {
@@ -299,6 +371,9 @@ commands:
   \\mode compliant|traditional
   \\at <location>|anywhere   pin the result location
   \\explain <sql>            show annotated + physical plan
+  \\faults <spec>|off        inject faults: crash:L2; drop:L1-L3@2..5;
+                            flaky:L1-L2:0.3; delay:L1-L4:50ms;
+                            partition:L1,L2@..9; seed=N
   \\quit                     exit
 anything else is executed as SQL\n";
 
@@ -499,6 +574,28 @@ mod tests {
             )
             .unwrap();
         assert!(out.contains("rows at"), "{out}");
+    }
+
+    #[test]
+    fn faults_inject_and_failover_in_session() {
+        let mut sh = Shell::new();
+        sh.run_command("\\demo carco").unwrap();
+        assert_eq!(sh.run_command("\\faults").unwrap(), "faults: off\n");
+
+        // A transient crash of A: retries ride out the window.
+        let out = sh
+            .run_command("\\faults seed=7; crash:A@0..2")
+            .unwrap();
+        assert!(out.contains("seed 7"), "{out}");
+        let out = sh
+            .run_command("SELECT c_name FROM customer ORDER BY c_name")
+            .unwrap();
+        assert!(out.contains("alice"), "{out}");
+        assert!(out.contains("plan compliant"), "{out}");
+
+        sh.run_command("\\faults off").unwrap();
+        assert_eq!(sh.run_command("\\faults").unwrap(), "faults: off\n");
+        assert!(sh.run_command("\\faults crash:").is_err(), "malformed spec");
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! ```bash
 //! cargo run -p geoqp-cli --bin geoqp-shell        # starts with \demo carco
 //! echo 'SELECT ...' | cargo run -p geoqp-cli --bin geoqp-shell -- --demo tpch
+//! # inject deterministic faults (see \help for the spec grammar):
+//! ... -- --demo tpch --faults 'seed=7; crash:L2@0..6; flaky:L1-L3:0.2'
 //! ```
 
 use geoqp_cli::Shell;
@@ -22,6 +24,16 @@ fn main() {
     match shell.run_command(&format!("\\demo {demo}")) {
         Ok(out) => print!("{out}"),
         Err(e) => eprintln!("error: {e}"),
+    }
+    if let Some(spec) = args
+        .iter()
+        .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1))
+    {
+        match shell.run_command(&format!("\\faults {spec}")) {
+            Ok(out) => print!("{out}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
     }
     println!("type SQL, \\help for commands, \\quit to exit");
 

@@ -7,10 +7,58 @@
 //! optimizer's *reject* outcome — a query for which no compliant execution
 //! plan exists in the explored search space.
 
+use crate::location::Location;
 use std::fmt;
 
 /// Workspace-wide result alias.
 pub type Result<T, E = GeoError> = std::result::Result<T, E>;
+
+/// Details of a site/link availability failure — the typed payload of
+/// [`GeoError::SiteUnavailable`]. Produced by the fault-injecting network
+/// simulator and consumed by the engine's failover re-planner, which needs
+/// to know *which* site to exclude from the execution traits and whether
+/// retrying could help at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unavailable {
+    /// The site that should be excluded from execution traits when
+    /// re-planning (for link failures: the unreachable destination).
+    pub site: Option<Location>,
+    /// The failing link, when the failure was observed on a transfer.
+    pub link: Option<(Location, Location)>,
+    /// Whether the failure is transient (a retry with backoff may
+    /// succeed) or permanent (the site is down; re-plan around it).
+    pub transient: bool,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Unavailable {
+    /// Availability failure of a whole site (crash window).
+    pub fn site_down(site: Location, message: impl Into<String>) -> Unavailable {
+        Unavailable {
+            site: Some(site),
+            link: None,
+            transient: false,
+            message: message.into(),
+        }
+    }
+
+    /// Availability failure of one link; the destination is what the
+    /// re-planner excludes if the failure persists.
+    pub fn link_down(
+        from: Location,
+        to: Location,
+        transient: bool,
+        message: impl Into<String>,
+    ) -> Unavailable {
+        Unavailable {
+            site: Some(to.clone()),
+            link: Some((from, to)),
+            transient,
+            message: message.into(),
+        }
+    }
+}
 
 /// The error type shared by every `geoqp` crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +86,11 @@ pub enum GeoError {
     NonCompliant(String),
     /// The feature is out of the supported dialect/algebra subset.
     Unsupported(String),
+    /// A site or link was unavailable while executing a distributed plan
+    /// (injected fault or outage). Carries the failed site/link and
+    /// whether the failure is transient, so the engine's failover path
+    /// can decide between retrying and compliant re-planning.
+    SiteUnavailable(Unavailable),
 }
 
 impl GeoError {
@@ -54,6 +107,43 @@ impl GeoError {
             GeoError::Execution(_) => "execution",
             GeoError::NonCompliant(_) => "non-compliant",
             GeoError::Unsupported(_) => "unsupported",
+            GeoError::SiteUnavailable(_) => "unavailable",
+        }
+    }
+
+    /// Convenience constructor for a crashed-site error.
+    pub fn site_down(site: Location, message: impl Into<String>) -> GeoError {
+        GeoError::SiteUnavailable(Unavailable::site_down(site, message))
+    }
+
+    /// Convenience constructor for a failed-link error.
+    pub fn link_down(
+        from: Location,
+        to: Location,
+        transient: bool,
+        message: impl Into<String>,
+    ) -> GeoError {
+        GeoError::SiteUnavailable(Unavailable::link_down(from, to, transient, message))
+    }
+
+    /// Whether retrying (with backoff) may clear this error.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, GeoError::SiteUnavailable(u) if u.transient)
+    }
+
+    /// The site an availability failure points at, if any.
+    pub fn failed_site(&self) -> Option<&Location> {
+        match self {
+            GeoError::SiteUnavailable(u) => u.site.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The link an availability failure was observed on, if any.
+    pub fn failed_link(&self) -> Option<(&Location, &Location)> {
+        match self {
+            GeoError::SiteUnavailable(u) => u.link.as_ref().map(|(a, b)| (a, b)),
+            _ => None,
         }
     }
 
@@ -69,6 +159,7 @@ impl GeoError {
             | GeoError::Execution(m)
             | GeoError::NonCompliant(m)
             | GeoError::Unsupported(m) => m,
+            GeoError::SiteUnavailable(u) => &u.message,
         }
     }
 }
@@ -117,10 +208,46 @@ mod tests {
             GeoError::Execution(String::new()),
             GeoError::NonCompliant(String::new()),
             GeoError::Unsupported(String::new()),
+            GeoError::SiteUnavailable(Unavailable::site_down(
+                Location::new("L1"),
+                String::new(),
+            )),
         ];
         let mut kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), variants.len());
+    }
+
+    #[test]
+    fn unavailable_carries_site_link_and_transience() {
+        let crash = GeoError::site_down(Location::new("L2"), "L2 crashed");
+        assert_eq!(crash.kind(), "unavailable");
+        assert!(!crash.is_transient());
+        assert_eq!(crash.failed_site(), Some(&Location::new("L2")));
+        assert_eq!(crash.failed_link(), None);
+        assert_eq!(crash.message(), "L2 crashed");
+
+        let drop = GeoError::link_down(
+            Location::new("L1"),
+            Location::new("L3"),
+            true,
+            "L1->L3 dropped",
+        );
+        assert!(drop.is_transient());
+        assert_eq!(
+            drop.failed_link(),
+            Some((&Location::new("L1"), &Location::new("L3")))
+        );
+        // For a link failure, the excluded site is the destination.
+        assert_eq!(drop.failed_site(), Some(&Location::new("L3")));
+    }
+
+    #[test]
+    fn non_availability_errors_have_no_fault_details() {
+        let e = GeoError::Execution("boom".into());
+        assert!(!e.is_transient());
+        assert_eq!(e.failed_site(), None);
+        assert_eq!(e.failed_link(), None);
     }
 }

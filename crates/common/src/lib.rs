@@ -25,7 +25,7 @@ pub mod table_ref;
 pub mod types;
 pub mod value;
 
-pub use error::{GeoError, Result};
+pub use error::{GeoError, Result, Unavailable};
 pub use location::{Location, LocationPattern, LocationSet};
 pub use row::{Row, Rows};
 pub use schema::{Field, Schema};

@@ -86,6 +86,38 @@ impl AnnotatedNode {
     pub fn bytes(&self) -> f64 {
         self.rows * self.width
     }
+
+    /// A copy of the tree with `dead` sites removed from every execution
+    /// trait — the input to failover re-planning (re-running Algorithm 2
+    /// around crashed sites). Shipping traits are left untouched: they
+    /// encode what the *policies* permit, which an outage does not change.
+    /// Returns `None` when some operator's execution trait empties — no
+    /// compliant placement survives the loss of those sites.
+    pub fn excluding_sites(&self, dead: &LocationSet) -> Option<AnnotatedNode> {
+        let exec: LocationSet = self
+            .exec
+            .iter()
+            .filter(|l| !dead.contains(l))
+            .cloned()
+            .collect();
+        if exec.is_empty() {
+            return None;
+        }
+        let children = self
+            .children
+            .iter()
+            .map(|c| c.excluding_sites(dead))
+            .collect::<Option<Vec<_>>>()?;
+        Some(AnnotatedNode {
+            op: self.op.clone(),
+            schema: Arc::clone(&self.schema),
+            exec,
+            ship: self.ship.clone(),
+            rows: self.rows,
+            width: self.width,
+            children,
+        })
+    }
 }
 
 /// Whether compliance machinery is active.

@@ -1,26 +1,61 @@
 //! Distributed execution plumbing: a catalog-backed data source and a
-//! network-simulating SHIP handler.
+//! network-simulating SHIP handler, both optionally consulting a
+//! [`FaultPlan`] so availability faults surface as typed
+//! [`GeoError::SiteUnavailable`] errors during execution.
 
-use geoqp_common::{GeoError, Location, Result, Rows, Schema, TableRef};
-use geoqp_exec::{DataSource, ShipHandler};
-use geoqp_net::{NetworkTopology, TransferLog};
+use geoqp_common::{GeoError, Location, Result, Rows, Schema, TableRef, Unavailable};
+use geoqp_exec::{DataSource, RetryPolicy, ShipHandler};
+use geoqp_net::{FaultPlan, FaultVerdict, NetworkTopology, TransferLog};
 use geoqp_storage::Catalog;
 use std::sync::Arc;
 
-/// Scans base tables from the per-site databases of a [`Catalog`].
+/// Scans base tables from the per-site databases of a [`Catalog`]. With
+/// faults attached, every scan attempt consults the fault plan's crash
+/// windows under the retry policy before touching the data.
 pub struct CatalogSource<'a> {
     catalog: &'a Catalog,
+    faults: Option<&'a FaultPlan>,
+    retry: RetryPolicy,
 }
 
 impl<'a> CatalogSource<'a> {
     /// Create a source over the catalog.
     pub fn new(catalog: &'a Catalog) -> CatalogSource<'a> {
-        CatalogSource { catalog }
+        CatalogSource {
+            catalog,
+            faults: None,
+            retry: RetryPolicy::none(),
+        }
+    }
+
+    /// Attach a fault plan and retry policy.
+    pub fn with_faults(mut self, faults: &'a FaultPlan, retry: RetryPolicy) -> CatalogSource<'a> {
+        self.faults = Some(faults);
+        self.retry = retry;
+        self
     }
 }
 
 impl DataSource for CatalogSource<'_> {
     fn scan(&self, table: &TableRef, location: &Location) -> Result<Rows> {
+        if let Some(faults) = self.faults {
+            // Each attempt consumes one logical step; a bounded crash
+            // window counts as transient, so a retry can outlast it.
+            self.retry.run(|_| {
+                let step = faults.tick();
+                match faults.site_down_until(location, step) {
+                    None => Ok(()),
+                    Some(end) => Err(GeoError::SiteUnavailable(Unavailable {
+                        site: Some(location.clone()),
+                        link: None,
+                        transient: end != u64::MAX,
+                        message: format!(
+                            "scan of {table} failed: site {location} is down at step {step}"
+                        ),
+                    })),
+                }
+            })?;
+        }
         let entries = self.catalog.resolve(table);
         let entry = entries
             .iter()
@@ -41,9 +76,17 @@ impl DataSource for CatalogSource<'_> {
 /// Serializes every shipped batch to bytes, charges the network simulator
 /// for the exact volume, and decodes the batch on "arrival" — so the
 /// simulated WAN carries real byte counts, not estimates.
+///
+/// With faults attached, every transfer attempt consults the
+/// [`FaultPlan`] at the next logical step: drops are retried under the
+/// [`RetryPolicy`] with simulated exponential backoff (charged to the
+/// transfer's cost), and an exhausted budget or permanent fault surfaces
+/// as [`GeoError::SiteUnavailable`] with the failing link identified.
 pub struct SimShip<'a> {
     topology: &'a NetworkTopology,
     log: TransferLog,
+    faults: Option<&'a FaultPlan>,
+    retry: RetryPolicy,
 }
 
 impl<'a> SimShip<'a> {
@@ -52,7 +95,16 @@ impl<'a> SimShip<'a> {
         SimShip {
             topology,
             log: TransferLog::new(),
+            faults: None,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Attach a fault plan and retry policy.
+    pub fn with_faults(mut self, faults: &'a FaultPlan, retry: RetryPolicy) -> SimShip<'a> {
+        self.faults = Some(faults);
+        self.retry = retry;
+        self
     }
 
     /// Take the accumulated transfer log.
@@ -75,12 +127,43 @@ impl ShipHandler for SimShip<'_> {
         schema: &Schema,
     ) -> Result<Rows> {
         let encoded = rows.encode();
-        self.log.record(
+        let (attempts, extra_ms) = match self.faults {
+            None => (1, 0.0),
+            Some(faults) => {
+                let log = &mut self.log;
+                let delivered = self.retry.run(|_| {
+                    let step = faults.tick();
+                    match faults.check_transfer(from, to, step) {
+                        FaultVerdict::Deliver { extra_delay_ms } => Ok(extra_delay_ms),
+                        FaultVerdict::Drop {
+                            transient,
+                            culprit,
+                            reason,
+                        } => {
+                            log.record_fault(step, from, to, reason.clone());
+                            Err(GeoError::SiteUnavailable(Unavailable {
+                                // A crashed endpoint is what re-planning
+                                // must exclude; for pure link/partition
+                                // faults, route away from the destination.
+                                site: culprit.or_else(|| Some(to.clone())),
+                                link: Some((from.clone(), to.clone())),
+                                transient,
+                                message: reason,
+                            }))
+                        }
+                    }
+                })?;
+                (delivered.attempts, delivered.value + delivered.backoff_ms)
+            }
+        };
+        self.log.record_delivery(
             self.topology,
             from,
             to,
             encoded.len() as u64,
             rows.len() as u64,
+            attempts,
+            extra_ms,
         );
         Rows::decode(&encoded, schema.len()).ok_or_else(|| {
             GeoError::Execution("wire corruption: batch failed to decode".into())

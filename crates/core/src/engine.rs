@@ -8,8 +8,9 @@ use crate::distributed::{CatalogSource, SimShip};
 use crate::memo::Memo;
 use crate::rules::{default_rules, explore};
 use crate::site_selector::{select_sites_with, Objective};
-use geoqp_common::{GeoError, Location, Result, Rows};
-use geoqp_net::{NetworkTopology, TransferLog};
+use geoqp_common::{GeoError, Location, LocationSet, Result, Rows};
+use geoqp_exec::RetryPolicy;
+use geoqp_net::{FaultPlan, NetworkTopology, TransferLog};
 use geoqp_plan::logical::LogicalPlan;
 use geoqp_plan::PhysicalPlan;
 use geoqp_policy::{PolicyCatalog, PolicyEvaluator};
@@ -88,6 +89,22 @@ pub struct ExecutionResult {
     /// Every cross-site transfer performed, with exact bytes and
     /// simulated cost under the message cost model.
     pub transfers: TransferLog,
+}
+
+/// The result of a fault-tolerant execution with compliant failover.
+#[derive(Debug)]
+pub struct ResilientResult {
+    /// The result rows (at the plan's result location).
+    pub rows: Rows,
+    /// Every transfer and dropped attempt across all execution tries.
+    pub transfers: TransferLog,
+    /// How many times the engine re-ran site selection around a failure.
+    pub replans: usize,
+    /// Sites excluded from execution traits during failover.
+    pub excluded: LocationSet,
+    /// The plan that finally completed (the original one when
+    /// `replans == 0`).
+    pub physical: Arc<PhysicalPlan>,
 }
 
 /// The engine: catalog, policies, and network.
@@ -240,6 +257,113 @@ impl Engine {
         })
     }
 
+    /// Execute a plan with fault injection active but no failover: a
+    /// single try under `faults`, transient errors retried per `retry`.
+    pub fn execute_with_faults(
+        &self,
+        plan: &PhysicalPlan,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+    ) -> Result<ExecutionResult> {
+        let (outcome, transfers) = self.try_execute_with_faults(plan, faults, retry);
+        outcome.map(|rows| ExecutionResult { rows, transfers })
+    }
+
+    /// One execution try under faults, returning the transfer log even on
+    /// failure (dropped attempts are evidence the failover path reports).
+    fn try_execute_with_faults(
+        &self,
+        plan: &PhysicalPlan,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+    ) -> (Result<Rows>, TransferLog) {
+        let source = CatalogSource::new(&self.catalog).with_faults(faults, retry.clone());
+        let mut ship = SimShip::new(&self.topology).with_faults(faults, retry.clone());
+        let outcome = geoqp_exec::execute(plan, &source, &mut ship);
+        (outcome, ship.into_log())
+    }
+
+    /// Execute with fault injection *and* compliant failover re-planning.
+    ///
+    /// When an execution attempt dies on a [`GeoError::SiteUnavailable`]
+    /// that survived its retry budget, the failed site is excluded from
+    /// every execution trait `ℰ_n` of the annotated plan, Algorithm 2
+    /// site selection is re-run over what remains, the new placement is
+    /// re-verified against Definition 1 by the compliance checker, and
+    /// execution resumes on the new plan — up to `max_replans` times.
+    ///
+    /// The failover path never falls back to a non-compliant placement:
+    /// if no operator placement survives the failure, the typed policy
+    /// error ([`GeoError::QueryRejected`]) is returned instead.
+    pub fn execute_resilient(
+        &self,
+        optimized: &OptimizedQuery,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+        max_replans: usize,
+    ) -> Result<ResilientResult> {
+        let universe = self.catalog.locations();
+        let evaluator = PolicyEvaluator::new(&self.policies, universe);
+        let mut physical = Arc::clone(&optimized.physical);
+        let mut excluded = LocationSet::new();
+        let mut replans = 0usize;
+        let mut transfers = TransferLog::new();
+        loop {
+            let (attempt, log) = self.try_execute_with_faults(&physical, faults, retry);
+            transfers.absorb(log);
+            match attempt {
+                Ok(rows) => {
+                    return Ok(ResilientResult {
+                        rows,
+                        transfers,
+                        replans,
+                        excluded,
+                        physical,
+                    });
+                }
+                Err(e) => {
+                    let Some(site) = e.failed_site().cloned() else {
+                        // Not an availability failure; nothing to re-plan
+                        // around.
+                        return Err(e);
+                    };
+                    if replans >= max_replans {
+                        return Err(e);
+                    }
+                    if site == optimized.result_location {
+                        return Err(GeoError::QueryRejected(format!(
+                            "result site {site} is unavailable; no compliant \
+                             failover can deliver the result there"
+                        )));
+                    }
+                    excluded.insert(site.clone());
+                    replans += 1;
+
+                    // Re-run Algorithm 2 with the failed sites excluded
+                    // from every execution trait.
+                    let annotated =
+                        optimized.annotated.excluding_sites(&excluded).ok_or_else(|| {
+                            GeoError::QueryRejected(format!(
+                                "no compliant placement survives the failure of {excluded}: \
+                                 an operator's execution trait became empty"
+                            ))
+                        })?;
+                    let sited = select_sites_with(
+                        &annotated,
+                        &self.topology,
+                        Some(&optimized.result_location),
+                        Objective::TotalCost,
+                    )?;
+                    // Definition-1 audit of the failover placement; a
+                    // violation here would be a Theorem-1 bug, and must
+                    // surface as an error, never execute silently.
+                    check_compliance(&sited.physical, &evaluator, &self.catalog)?;
+                    physical = sited.physical;
+                }
+            }
+        }
+    }
+
     /// Parse, lower, and optimize a SQL query in one step.
     pub fn optimize_sql(
         &self,
@@ -261,6 +385,21 @@ impl Engine {
     ) -> Result<(OptimizedQuery, ExecutionResult)> {
         let optimized = self.optimize_sql(sql, mode, result_location)?;
         let result = self.execute(&optimized.physical)?;
+        Ok((optimized, result))
+    }
+
+    /// The full pipeline under fault injection with compliant failover.
+    pub fn run_sql_resilient(
+        &self,
+        sql: &str,
+        mode: OptimizerMode,
+        result_location: Option<Location>,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+        max_replans: usize,
+    ) -> Result<(OptimizedQuery, ResilientResult)> {
+        let optimized = self.optimize_sql(sql, mode, result_location)?;
+        let result = self.execute_resilient(&optimized, faults, retry, max_replans)?;
         Ok((optimized, result))
     }
 }

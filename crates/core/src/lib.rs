@@ -25,6 +25,13 @@
 //! [`compliance`] provides the independent Definition-1 checker used both to
 //! validate Theorem 1 (the optimizer never emits a non-compliant plan) and
 //! to audit the traditional baseline's plans in the experiments.
+//!
+//! [`engine::Engine::execute_resilient`] adds fault tolerance on top: when
+//! a site dies mid-query (simulated by a `geoqp-net` fault plan), the
+//! engine re-runs phase 2 with the dead site excluded from every execution
+//! trait and re-verifies the placement against Definition 1 before
+//! resuming — failures degrade into typed errors, never into
+//! non-compliant dataflows.
 
 pub mod annotate;
 pub mod compliance;
@@ -39,5 +46,8 @@ pub mod site_selector;
 
 pub use annotate::{AnnotatedNode, Annotator};
 pub use compliance::check_compliance;
-pub use engine::{Engine, ExecutionResult, OptimizeStats, OptimizedQuery, OptimizerMode, OptimizerOptions};
+pub use engine::{
+    Engine, ExecutionResult, OptimizeStats, OptimizedQuery, OptimizerMode, OptimizerOptions,
+    ResilientResult,
+};
 pub use site_selector::{select_sites, select_sites_with, Objective};

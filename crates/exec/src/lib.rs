@@ -13,8 +13,15 @@
 //! Operators implemented: scan, filter, project, hash equi-join with
 //! residual filters, hash aggregation (SUM/AVG/MIN/MAX/COUNT with SQL null
 //! semantics), sort, limit, union, ship.
+//!
+//! SHIP and scan operations can additionally run under a [`RetryPolicy`]
+//! with simulated exponential backoff, so transient site/link faults are
+//! absorbed and permanent ones surface as typed
+//! [`GeoError::SiteUnavailable`](geoqp_common::GeoError) errors.
 
 pub mod aggregate;
 pub mod executor;
+pub mod retry;
 
 pub use executor::{execute, DataSource, LocalShip, MapSource, ShipHandler};
+pub use retry::{Retried, RetryPolicy, RetryingShip, RetryingSource};

@@ -1,0 +1,316 @@
+//! Retry with simulated exponential backoff for SHIP and scan operations.
+//!
+//! Distributed operators fail in two ways the engine must distinguish: a
+//! *transient* fault (a dropped packet, a healing partition) that a retry
+//! can outlast, and a *permanent* one (a crashed site) that only
+//! re-planning can route around. [`RetryPolicy`] drives the first kind: it
+//! re-invokes the operation with exponentially growing backoff until the
+//! attempt budget or timeout is exhausted, then surfaces the last typed
+//! error — which carries the failing link — unchanged.
+//!
+//! Backoff here is *simulated*: no thread sleeps. The accumulated backoff
+//! milliseconds are returned so the network simulator can charge them to
+//! the transfer's cost, keeping test runs instant and deterministic.
+
+use geoqp_common::{Location, Result, Rows, Schema, TableRef};
+#[cfg(test)]
+use geoqp_common::GeoError;
+
+use crate::executor::{DataSource, ShipHandler};
+
+/// Attempt budget and backoff schedule for retryable operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts, including the first (`1` = never retry).
+    pub max_attempts: u32,
+    /// Simulated backoff before the second attempt, ms.
+    pub base_backoff_ms: f64,
+    /// Backoff growth factor per further attempt.
+    pub multiplier: f64,
+    /// Simulated time budget: once cumulative backoff would exceed this,
+    /// the operation gives up even with attempts remaining.
+    pub timeout_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 10 ms → 20 ms → 40 ms backoff, no timeout.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 10.0,
+            multiplier: 2.0,
+            timeout_ms: f64::INFINITY,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0.0,
+            multiplier: 1.0,
+            timeout_ms: f64::INFINITY,
+        }
+    }
+
+    /// Simulated backoff taken *before* `attempt` (1-based; the first
+    /// attempt waits nothing, the second waits the base, and so on).
+    pub fn backoff_before_ms(&self, attempt: u32) -> f64 {
+        if attempt <= 1 {
+            0.0
+        } else {
+            self.base_backoff_ms * self.multiplier.powi(attempt as i32 - 2)
+        }
+    }
+
+    /// Run `op` under this policy. `op` receives the 1-based attempt
+    /// number. Transient errors ([`GeoError::is_transient`]) are retried
+    /// until the budget or timeout runs out; every other error — and the
+    /// final transient one — is returned as-is, typed link/site details
+    /// intact.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> Result<T>) -> Result<Retried<T>> {
+        assert!(self.max_attempts >= 1, "retry policy needs at least one attempt");
+        let mut backoff_ms = 0.0;
+        let mut attempt = 1;
+        loop {
+            match op(attempt) {
+                Ok(value) => {
+                    return Ok(Retried {
+                        value,
+                        attempts: attempt,
+                        backoff_ms,
+                    })
+                }
+                Err(e) => {
+                    let next_backoff = self.backoff_before_ms(attempt + 1);
+                    let budget_left = attempt < self.max_attempts
+                        && backoff_ms + next_backoff <= self.timeout_ms;
+                    if !e.is_transient() || !budget_left {
+                        return Err(e);
+                    }
+                    backoff_ms += next_backoff;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A successful retried operation: the value plus what it cost to get.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retried<T> {
+    /// The operation's result.
+    pub value: T,
+    /// Attempts taken (1 = first try).
+    pub attempts: u32,
+    /// Total simulated backoff spent, ms.
+    pub backoff_ms: f64,
+}
+
+/// A [`ShipHandler`] decorator that retries transient failures of the
+/// inner handler under a [`RetryPolicy`].
+pub struct RetryingShip<H> {
+    inner: H,
+    policy: RetryPolicy,
+}
+
+impl<H> RetryingShip<H> {
+    /// Wrap `inner` with `policy`.
+    pub fn new(inner: H, policy: RetryPolicy) -> RetryingShip<H> {
+        RetryingShip { inner, policy }
+    }
+
+    /// Unwrap the inner handler.
+    pub fn into_inner(self) -> H {
+        self.inner
+    }
+}
+
+impl<H: ShipHandler> ShipHandler for RetryingShip<H> {
+    fn ship(
+        &mut self,
+        from: &Location,
+        to: &Location,
+        rows: Rows,
+        schema: &Schema,
+    ) -> Result<Rows> {
+        let inner = &mut self.inner;
+        self.policy
+            .run(|_| inner.ship(from, to, rows.clone(), schema))
+            .map(|r| r.value)
+    }
+}
+
+/// A [`DataSource`] decorator that retries transient scan failures.
+pub struct RetryingSource<S> {
+    inner: S,
+    policy: RetryPolicy,
+}
+
+impl<S> RetryingSource<S> {
+    /// Wrap `inner` with `policy`.
+    pub fn new(inner: S, policy: RetryPolicy) -> RetryingSource<S> {
+        RetryingSource { inner, policy }
+    }
+}
+
+impl<S: DataSource> DataSource for RetryingSource<S> {
+    fn scan(&self, table: &TableRef, location: &Location) -> Result<Rows> {
+        self.policy
+            .run(|_| self.inner.scan(table, location))
+            .map(|r| r.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_common::Location;
+
+    fn transient(n: u32) -> GeoError {
+        GeoError::link_down(
+            Location::new("L1"),
+            Location::new("L3"),
+            true,
+            format!("drop at attempt {n}"),
+        )
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_from_the_second_attempt() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_before_ms(1), 0.0);
+        assert_eq!(p.backoff_before_ms(2), 10.0);
+        assert_eq!(p.backoff_before_ms(3), 20.0);
+        assert_eq!(p.backoff_before_ms(4), 40.0);
+    }
+
+    #[test]
+    fn transient_failures_under_the_budget_succeed() {
+        let p = RetryPolicy::default();
+        let mut calls = 0;
+        let out = p
+            .run(|attempt| {
+                calls += 1;
+                if attempt < 3 {
+                    Err(transient(attempt))
+                } else {
+                    Ok(attempt)
+                }
+            })
+            .unwrap();
+        assert_eq!(calls, 3);
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.value, 3);
+        assert_eq!(out.backoff_ms, 30.0); // 10 + 20
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_the_typed_error_with_the_link() {
+        let p = RetryPolicy::default();
+        let err = p.run::<()>(|attempt| Err(transient(attempt))).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert!(err.is_transient());
+        assert_eq!(
+            err.failed_link(),
+            Some((&Location::new("L1"), &Location::new("L3")))
+        );
+        // The error is the budget's last attempt.
+        assert_eq!(err.message(), "drop at attempt 4");
+    }
+
+    #[test]
+    fn permanent_errors_are_never_retried() {
+        let p = RetryPolicy::default();
+        let mut calls = 0;
+        let err = p
+            .run::<()>(|_| {
+                calls += 1;
+                Err(GeoError::site_down(Location::new("L2"), "crashed"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 1);
+        assert!(!err.is_transient());
+        assert_eq!(err.failed_site(), Some(&Location::new("L2")));
+    }
+
+    #[test]
+    fn non_availability_errors_pass_straight_through() {
+        let p = RetryPolicy::default();
+        let mut calls = 0;
+        let err = p
+            .run::<()>(|_| {
+                calls += 1;
+                Err(GeoError::Execution("logic bug".into()))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 1);
+        assert_eq!(err.kind(), "execution");
+    }
+
+    #[test]
+    fn timeout_caps_the_backoff_budget() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_ms: 10.0,
+            multiplier: 2.0,
+            timeout_ms: 35.0, // room for 10 + 20, not for +40 more
+        };
+        let mut calls = 0;
+        let err = p
+            .run::<()>(|attempt| {
+                calls += 1;
+                Err(transient(attempt))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 3);
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn retrying_ship_recovers_a_flaky_handler() {
+        struct Flaky {
+            failures_left: u32,
+        }
+        impl ShipHandler for Flaky {
+            fn ship(
+                &mut self,
+                from: &Location,
+                to: &Location,
+                rows: Rows,
+                _schema: &Schema,
+            ) -> Result<Rows> {
+                if self.failures_left > 0 {
+                    self.failures_left -= 1;
+                    Err(GeoError::link_down(from.clone(), to.clone(), true, "drop"))
+                } else {
+                    Ok(rows)
+                }
+            }
+        }
+        let schema = geoqp_common::Schema::new(vec![geoqp_common::Field::new(
+            "x",
+            geoqp_common::DataType::Int64,
+        )])
+        .unwrap();
+        let rows = Rows::from_rows(vec![vec![geoqp_common::Value::Int64(7)]]);
+
+        let mut ok = RetryingShip::new(Flaky { failures_left: 2 }, RetryPolicy::default());
+        let shipped = ok
+            .ship(&Location::new("A"), &Location::new("B"), rows.clone(), &schema)
+            .unwrap();
+        assert_eq!(shipped, rows);
+
+        let mut dead = RetryingShip::new(Flaky { failures_left: 99 }, RetryPolicy::default());
+        let err = dead
+            .ship(&Location::new("A"), &Location::new("B"), rows, &schema)
+            .unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert_eq!(
+            err.failed_link(),
+            Some((&Location::new("A"), &Location::new("B")))
+        );
+    }
+}

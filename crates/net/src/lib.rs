@@ -11,8 +11,16 @@
 //! North America / Middle East setup) and a [`TransferLog`] that records
 //! every simulated SHIP with its real byte volume.
 
+//!
+//! The simulator can also inject faults: a deterministic, seedable
+//! [`FaultPlan`] schedules per-link drops/delays/partitions and per-site
+//! crash windows over a logical step clock, and the [`TransferLog`] records
+//! both deliveries (with their attempt counts) and dropped attempts.
+
+pub mod fault;
 pub mod sim;
 pub mod topology;
 
-pub use sim::{TransferLog, TransferRecord};
+pub use fault::{FaultPlan, FaultVerdict, StepWindow};
+pub use sim::{FaultEvent, TransferLog, TransferRecord};
 pub use topology::NetworkTopology;

@@ -14,17 +14,34 @@ pub struct TransferRecord {
     pub bytes: u64,
     /// Rows moved.
     pub rows: u64,
-    /// Simulated cost in ms under the message cost model.
+    /// Simulated cost in ms under the message cost model, including any
+    /// injected delay and retry backoff spent getting the batch through.
     pub cost_ms: f64,
+    /// Attempts it took to deliver the batch (1 = first try).
+    pub attempts: u32,
+}
+
+/// One dropped transfer attempt, recorded when fault injection is active.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Logical step of the failed attempt.
+    pub step: u64,
+    /// Source site of the attempt.
+    pub from: Location,
+    /// Destination site of the attempt.
+    pub to: Location,
+    /// Why the attempt failed.
+    pub reason: String,
 }
 
 /// Accumulates every SHIP performed while executing a distributed plan.
 /// The totals here are the "execution cost that arises from shipping
 /// intermediate query data between geo-distributed sites" that the paper's
 /// plan-quality experiment (Figures 6(g), 6(h)) reports.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct TransferLog {
     records: Vec<TransferRecord>,
+    faults: Vec<FaultEvent>,
 }
 
 impl TransferLog {
@@ -33,7 +50,7 @@ impl TransferLog {
         TransferLog::default()
     }
 
-    /// Record a transfer, computing its cost under `topology`.
+    /// Record a first-try transfer, computing its cost under `topology`.
     pub fn record(
         &mut self,
         topology: &NetworkTopology,
@@ -42,15 +59,42 @@ impl TransferLog {
         bytes: u64,
         rows: u64,
     ) -> f64 {
-        let cost_ms = topology.ship_cost_ms(from, to, bytes as f64);
+        self.record_delivery(topology, from, to, bytes, rows, 1, 0.0)
+    }
+
+    /// Record a delivered transfer that took `attempts` tries, adding
+    /// `extra_ms` of injected delay plus retry backoff to its cost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_delivery(
+        &mut self,
+        topology: &NetworkTopology,
+        from: &Location,
+        to: &Location,
+        bytes: u64,
+        rows: u64,
+        attempts: u32,
+        extra_ms: f64,
+    ) -> f64 {
+        let cost_ms = topology.ship_cost_ms(from, to, bytes as f64) + extra_ms;
         self.records.push(TransferRecord {
             from: from.clone(),
             to: to.clone(),
             bytes,
             rows,
             cost_ms,
+            attempts,
         });
         cost_ms
+    }
+
+    /// Record a dropped transfer attempt.
+    pub fn record_fault(&mut self, step: u64, from: &Location, to: &Location, reason: String) {
+        self.faults.push(FaultEvent {
+            step,
+            from: from.clone(),
+            to: to.clone(),
+            reason,
+        });
     }
 
     /// All records, in execution order.
@@ -78,9 +122,27 @@ impl TransferLog {
         self.records.iter().map(|r| r.cost_ms).sum()
     }
 
+    /// All dropped attempts, in execution order.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.faults
+    }
+
+    /// Number of dropped attempts.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Append another log's records and fault events (used when a failed
+    /// execution's transfers are folded into its failover's log).
+    pub fn absorb(&mut self, other: TransferLog) {
+        self.records.extend(other.records);
+        self.faults.extend(other.faults);
+    }
+
     /// Clear the log.
     pub fn reset(&mut self) {
         self.records.clear();
+        self.faults.clear();
     }
 }
 
@@ -101,6 +163,30 @@ mod tests {
         log.reset();
         assert_eq!(log.transfer_count(), 0);
         assert_eq!(log.total_cost_ms(), 0.0);
+    }
+
+    #[test]
+    fn deliveries_carry_attempts_and_extra_cost() {
+        let topo = NetworkTopology::paper_wan();
+        let mut log = TransferLog::new();
+        let base = log.record(&topo, &Location::new("L1"), &Location::new("L3"), 1000, 10);
+        log.record_fault(5, &Location::new("L1"), &Location::new("L3"), "drop".into());
+        let retried = log.record_delivery(
+            &topo,
+            &Location::new("L1"),
+            &Location::new("L3"),
+            1000,
+            10,
+            3,
+            40.0,
+        );
+        assert_eq!(log.records()[0].attempts, 1);
+        assert_eq!(log.records()[1].attempts, 3);
+        assert!((retried - (base + 40.0)).abs() < 1e-9);
+        assert_eq!(log.fault_count(), 1);
+        assert_eq!(log.fault_events()[0].step, 5);
+        log.reset();
+        assert_eq!(log.fault_count(), 0);
     }
 
     #[test]

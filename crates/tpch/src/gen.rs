@@ -186,7 +186,7 @@ fn orders(sf: f64, seed: u64) -> Vec<Row> {
     let mut rng = rng_for("orders", seed);
     (1..=n as i64)
         .map(|k| {
-            let status = ["F", "O", "P"][rng.gen_range(0..3)];
+            let status = ["F", "O", "P"][rng.gen_range(0..3usize)];
             vec![
                 Value::Int64(k),
                 Value::Int64(rng.gen_range(1..=n_cust.max(1))),

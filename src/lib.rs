@@ -99,9 +99,12 @@ pub mod prelude {
         DataType, Field, GeoError, Location, LocationPattern, LocationSet, Result, Row, Rows,
         Schema, TableRef, Value,
     };
-    pub use geoqp_core::{Engine, ExecutionResult, OptimizedQuery, OptimizerMode};
+    pub use geoqp_core::{
+        Engine, ExecutionResult, OptimizedQuery, OptimizerMode, ResilientResult,
+    };
+    pub use geoqp_exec::RetryPolicy;
     pub use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
-    pub use geoqp_net::NetworkTopology;
+    pub use geoqp_net::{FaultPlan, NetworkTopology, StepWindow, TransferLog};
     pub use geoqp_plan::{LogicalPlan, PlanBuilder};
     pub use geoqp_policy::{PolicyCatalog, PolicyExpression, PolicyEvaluator, ShipAttrs};
     pub use geoqp_storage::{Catalog, Table, TableStats};

@@ -1,0 +1,299 @@
+//! Fault injection and compliant failover, end to end.
+//!
+//! The acceptance scenario of this suite: a TPC-H query runs while a
+//! site crashes. The engine must either complete the query through a
+//! re-planned, compliance-verified placement that avoids the dead site,
+//! or surface a typed error — never a silent non-compliant answer. All
+//! fault schedules are driven by a seedable [`FaultPlan`], so every run
+//! here replays deterministically.
+
+use geoqp::prelude::*;
+use geoqp::tpch;
+use geoqp::tpch::policy_gen::PolicyTemplate;
+use std::sync::Arc;
+
+const SF: f64 = 0.002;
+
+fn engine() -> Engine {
+    let catalog = Arc::new(tpch::paper_catalog(SF));
+    tpch::populate(&catalog, SF, 7).unwrap();
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    Engine::new(catalog, Arc::new(policies), NetworkTopology::paper_wan())
+}
+
+/// Rows in a canonical order, so results from differently-placed (but
+/// semantically equal) plans compare as multisets.
+fn canonical(rows: &Rows) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}
+
+/// The acceptance criterion: Q3 under a permanent crash of each site in
+/// the paper's deployment. Every run either completes — with the answer
+/// of the fault-free run, through a placement that passes the
+/// Definition-1 audit and never touches the dead site — or returns a
+/// typed error.
+#[test]
+fn tpch_query_survives_single_site_crash_or_fails_typed() {
+    let eng = engine();
+    let plan = tpch::query_by_name(eng.catalog(), "Q3").unwrap();
+    let opt = eng.optimize(&plan, OptimizerMode::Compliant, None).unwrap();
+    let baseline = eng.execute(&opt.physical).unwrap();
+
+    let mut survived = 0;
+    let mut refused = 0;
+    for site in ["L1", "L2", "L3", "L4", "L5"] {
+        let faults = FaultPlan::parse(&format!("crash:{site}"), 11).unwrap();
+        match eng.execute_resilient(&opt, &faults, &RetryPolicy::default(), 5) {
+            Ok(res) => {
+                assert_eq!(
+                    canonical(&res.rows),
+                    canonical(&baseline.rows),
+                    "failover changed the answer (crashed {site})"
+                );
+                eng.audit(&res.physical)
+                    .expect("failover placement must pass the Definition-1 audit");
+                let dead = Location::new(site);
+                for t in res.transfers.records() {
+                    assert!(
+                        t.from != dead && t.to != dead,
+                        "a delivery touched the crashed site {site}"
+                    );
+                }
+                if res.replans > 0 {
+                    assert!(
+                        res.excluded.contains(&dead),
+                        "re-planning did not exclude the crashed site {site}"
+                    );
+                }
+                survived += 1;
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e.kind(), "rejected" | "unavailable"),
+                    "crash of {site} surfaced an untyped failure: {e}"
+                );
+                refused += 1;
+            }
+        }
+    }
+    // Q3 reads customer/orders (L1) and lineitem (L4): those crashes are
+    // unsurvivable with single-homed tables and must refuse; the other
+    // three sites must not take the query down with them.
+    assert!(refused >= 2, "crashing a base-table site must refuse");
+    assert!(survived >= 3, "crashes of unused sites must be survived");
+}
+
+/// Identical fault seeds replay identically: same rows, and a
+/// byte-identical transfer log (deliveries, attempts, simulated costs,
+/// and fault events all included).
+#[test]
+fn same_fault_seed_replays_identically() {
+    let eng = engine();
+    let plan = tpch::query_by_name(eng.catalog(), "Q5").unwrap();
+    let opt = eng.optimize(&plan, OptimizerMode::Compliant, None).unwrap();
+    let spec = "flaky:L1-L3:0.5; flaky:L2-L4:0.3; delay:L1-L2:25ms; crash:L5@0..2";
+
+    let run = |seed: u64| {
+        let faults = FaultPlan::parse(spec, seed).unwrap();
+        eng.execute_resilient(&opt, &faults, &RetryPolicy::default(), 5)
+            .expect("bounded faults under a generous retry budget")
+    };
+
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.rows, b.rows, "same seed, different answers");
+    assert_eq!(a.transfers, b.transfers, "same seed, different transfer logs");
+    assert_eq!(a.replans, b.replans);
+
+    // A different seed flips different flaky-link coins: the schedule is
+    // a function of the seed, not of ambient state.
+    let c = run(8);
+    assert_eq!(a.rows, c.rows, "the answer never depends on the seed");
+    assert!(
+        a.transfers != c.transfers || a.transfers.fault_count() == 0,
+        "seeds 7 and 8 produced identical fault schedules — suspicious"
+    );
+}
+
+/// A bounded crash window is transient: the retry loop rides it out
+/// without ever re-planning.
+#[test]
+fn transient_crash_window_is_ridden_out_by_retries() {
+    let eng = engine();
+    let plan = tpch::query_by_name(eng.catalog(), "Q10").unwrap();
+    let opt = eng.optimize(&plan, OptimizerMode::Compliant, None).unwrap();
+    let faults = FaultPlan::parse("crash:L2@0..2", 3).unwrap();
+    let res = eng
+        .execute_resilient(&opt, &faults, &RetryPolicy::default(), 5)
+        .expect("a two-step outage is inside the default retry budget");
+    assert_eq!(res.replans, 0, "retries should absorb a transient window");
+    assert!(res.excluded.is_empty());
+}
+
+/// If the site that must hold the result dies permanently, no compliant
+/// failover exists: the engine refuses with a typed rejection instead of
+/// delivering the answer elsewhere.
+#[test]
+fn permanent_crash_of_result_site_is_a_typed_rejection() {
+    let eng = engine();
+    let plan = tpch::query_by_name(eng.catalog(), "Q3").unwrap();
+    let opt = eng
+        .optimize(&plan, OptimizerMode::Compliant, None)
+        .unwrap();
+    let result_site = opt.result_location.clone();
+    let faults = FaultPlan::new(1).with_crash(result_site.clone(), StepWindow::ALWAYS);
+    let err = eng
+        .execute_resilient(&opt, &faults, &RetryPolicy::default(), 5)
+        .unwrap_err();
+    assert_eq!(err.kind(), "rejected", "got: {err}");
+    assert!(
+        err.message().contains(&result_site.to_string()),
+        "the rejection should name the dead result site: {err}"
+    );
+}
+
+/// A genuine failover: the join runs at a relay site C whose execution
+/// trait also admits D. When C dies permanently, re-running Algorithm 2
+/// with C excluded moves the join to D, the placement re-passes the
+/// Definition-1 audit, and the query completes with the same answer.
+#[test]
+fn failover_replans_to_an_alternate_compliant_site() {
+    use geoqp::net::topology::Link;
+    use geoqp::storage::Table;
+
+    let mut catalog = Catalog::new();
+    for (db, loc) in [("db-a", "A"), ("db-b", "B"), ("db-c", "C"), ("db-d", "D")] {
+        catalog.add_database(db, Location::new(loc)).unwrap();
+    }
+    let t1 = catalog
+        .add_table(
+            "db-a",
+            "t1",
+            Schema::new(vec![
+                Field::new("u_id", DataType::Int64),
+                Field::new("u_val", DataType::Str),
+            ])
+            .unwrap(),
+            TableStats::new(2, 16.0),
+        )
+        .unwrap();
+    let t2 = catalog
+        .add_table(
+            "db-b",
+            "t2",
+            Schema::new(vec![
+                Field::new("v_id", DataType::Int64),
+                Field::new("v_val", DataType::Int64),
+            ])
+            .unwrap(),
+            TableStats::new(2, 16.0),
+        )
+        .unwrap();
+    t1.set_data(
+        Table::new(
+            Arc::clone(&t1.schema),
+            vec![
+                vec![Value::Int64(1), Value::str("x")],
+                vec![Value::Int64(2), Value::str("y")],
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    t2.set_data(
+        Table::new(
+            Arc::clone(&t2.schema),
+            vec![
+                vec![Value::Int64(1), Value::Int64(10)],
+                vec![Value::Int64(3), Value::Int64(30)],
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+
+    // Both tables may go to the relay C or the result site D.
+    let mut policies = PolicyCatalog::new();
+    for (text, table) in [
+        ("ship * from t1 to C, D", "t1"),
+        ("ship * from t2 to C, D", "t2"),
+    ] {
+        let expr = geoqp::parser::parse_policy(text).unwrap();
+        let entry = catalog.resolve_one(&TableRef::bare(table)).unwrap();
+        policies.register(expr, &entry.schema).unwrap();
+    }
+
+    // Direct links into D are brutally expensive, so the cheapest
+    // compliant plan joins at C and ships only the result to D.
+    let mut topo =
+        NetworkTopology::uniform(LocationSet::from_iter(["A", "B", "C", "D"]), 50.0, 100.0);
+    let dear = Link {
+        alpha_ms: 1e7,
+        beta_ms_per_byte: 1.0,
+    };
+    for from in ["A", "B"] {
+        topo.set_link(Location::new(from), Location::new("D"), dear);
+    }
+    let eng = Engine::new(Arc::new(catalog), Arc::new(policies), topo);
+
+    let sql = "SELECT u_val, v_val FROM t1, t2 WHERE u_id = v_id";
+    let opt = eng
+        .optimize_sql(sql, OptimizerMode::Compliant, Some(Location::new("D")))
+        .unwrap();
+    let baseline = eng.execute(&opt.physical).unwrap();
+    assert_eq!(baseline.rows.len(), 1);
+    assert!(
+        baseline
+            .transfers
+            .records()
+            .iter()
+            .any(|t| t.to == Location::new("C")),
+        "premise broken: the fault-free plan should relay through C"
+    );
+
+    let faults = FaultPlan::new(9).with_crash("C", StepWindow::ALWAYS);
+    let res = eng
+        .execute_resilient(&opt, &faults, &RetryPolicy::default(), 3)
+        .expect("a compliant alternative placement at D exists");
+    assert_eq!(res.replans, 1, "exactly one re-plan should be needed");
+    assert!(res.excluded.contains(&Location::new("C")));
+    assert_eq!(canonical(&res.rows), canonical(&baseline.rows));
+    eng.audit(&res.physical).expect("failover placement audits clean");
+    for t in res.transfers.records() {
+        assert!(
+            t.from != Location::new("C") && t.to != Location::new("C"),
+            "a delivery touched the crashed relay C"
+        );
+    }
+}
+
+/// Exhausting the retry budget on a permanently dead link surfaces the
+/// typed `SiteUnavailable` naming the failing link when no failover
+/// remains (max_replans = 0 forbids re-planning).
+#[test]
+fn exhausted_retries_surface_the_failing_link() {
+    let eng = engine();
+    let plan = tpch::query_by_name(eng.catalog(), "Q3").unwrap();
+    let opt = eng.optimize(&plan, OptimizerMode::Compliant, None).unwrap();
+    // Fault-free run to learn which links the plan actually uses.
+    let baseline = eng.execute(&opt.physical).unwrap();
+    let Some(t0) = baseline.transfers.records().first().cloned() else {
+        panic!("Q3's compliant plan should ship at least once");
+    };
+    let faults = FaultPlan::new(5).with_drop(
+        t0.from.clone(),
+        t0.to.clone(),
+        StepWindow::ALWAYS,
+    );
+    let err = eng
+        .execute_resilient(&opt, &faults, &RetryPolicy::default(), 0)
+        .unwrap_err();
+    assert_eq!(err.kind(), "unavailable", "got: {err}");
+    assert_eq!(
+        err.failed_link(),
+        Some((&t0.from, &t0.to)),
+        "the error must identify the dead link"
+    );
+}

@@ -1,0 +1,126 @@
+//! Compliance invariants under fault injection, as properties.
+//!
+//! For every (query, crashed site, seed) case: kill the site and run the
+//! query with failover enabled. The engine must either complete —
+//! through a placement that passes the independent Definition-1 audit,
+//! whose deliveries never touch the dead site and never reach a site
+//! outside the annotated plan's execution/shipping traits — or refuse
+//! with a *typed* error. No case may produce an untyped failure or a
+//! silently non-compliant dataflow.
+
+use geoqp::core::AnnotatedNode;
+use geoqp::prelude::*;
+use geoqp::tpch;
+use geoqp::tpch::policy_gen::PolicyTemplate;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
+
+const SF: f64 = 0.001;
+const QUERIES: [&str; 6] = ["Q2", "Q3", "Q5", "Q8", "Q9", "Q10"];
+const SITES: [&str; 5] = ["L1", "L2", "L3", "L4", "L5"];
+
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let catalog = Arc::new(tpch::paper_catalog(SF));
+        tpch::populate(&catalog, SF, 7).unwrap();
+        let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+        Engine::new(catalog, Arc::new(policies), NetworkTopology::paper_wan())
+    })
+}
+
+/// Every site any intermediate may legally occupy: the union of the
+/// execution and shipping traits over the whole annotated plan.
+fn legal_sites(node: &AnnotatedNode, into: &mut BTreeSet<Location>) {
+    into.extend(node.exec.iter().cloned());
+    into.extend(node.ship.iter().cloned());
+    for child in &node.children {
+        legal_sites(child, into);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn killing_any_single_site_is_compliant_or_typed(
+        qi in 0usize..6,
+        si in 0usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let eng = engine();
+        let query = QUERIES[qi];
+        let dead = Location::new(SITES[si]);
+        let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+        // A query rejected before any fault is vacuously fine. (The
+        // offline proptest stand-in runs cases in a plain loop, so use
+        // `if let`, not an early `return`, to skip a case.)
+        if let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) {
+        let mut legal = BTreeSet::new();
+        legal_sites(&opt.annotated, &mut legal);
+
+        let faults = FaultPlan::new(seed).with_crash(dead.clone(), StepWindow::ALWAYS);
+        match eng.execute_resilient(&opt, &faults, &RetryPolicy::default(), 5) {
+            Ok(res) => {
+                // The placement that answered is compliance-verified…
+                eng.audit(&res.physical).expect("final placement must audit clean");
+                for t in res.transfers.records() {
+                    // …its deliveries never touch the corpse…
+                    prop_assert!(
+                        t.from != dead && t.to != dead,
+                        "{query}: delivery {}→{} touched crashed {dead}",
+                        t.from, t.to
+                    );
+                    // …and intermediates never land outside the traits
+                    // the annotator derived from the policies.
+                    prop_assert!(
+                        legal.contains(&t.to),
+                        "{query}: delivery into {} which is outside every \
+                         execution/shipping trait of the plan", t.to
+                    );
+                    prop_assert!(
+                        legal.contains(&t.from),
+                        "{query}: delivery out of {} which is outside every \
+                         execution/shipping trait of the plan", t.from
+                    );
+                }
+            }
+            Err(e) => {
+                prop_assert!(
+                    matches!(e.kind(), "rejected" | "unavailable"),
+                    "{query} under crash of {dead}: untyped failure {e}"
+                );
+            }
+        }
+        }
+    }
+
+    /// Flaky links and bounded outages (transient by construction) never
+    /// change the answer: retries and failover are semantically
+    /// invisible; only availability errors may escape.
+    #[test]
+    fn transient_chaos_never_corrupts_answers(
+        qi in 0usize..6,
+        seed in 0u64..1_000_000,
+        prob in 0.0f64..0.6,
+    ) {
+        let eng = engine();
+        let query = QUERIES[qi];
+        let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+        if let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) {
+        let baseline = eng.execute(&opt.physical).unwrap();
+        let spec = format!(
+            "flaky:L1-L4:{prob}; flaky:L2-L5:{prob}; crash:L3@1..3; delay:L1-L2:40ms"
+        );
+        let faults = FaultPlan::parse(&spec, seed).unwrap();
+        match eng.execute_resilient(&opt, &faults, &RetryPolicy::default(), 5) {
+            Ok(res) => prop_assert_eq!(&res.rows, &baseline.rows),
+            Err(e) => prop_assert!(
+                matches!(e.kind(), "rejected" | "unavailable"),
+                "untyped failure under transient chaos: {e}"
+            ),
+        }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Golden-plan regression snapshots.
+//!
+//! The annotated plan (with its AR1–AR4 execution/shipping traits) and
+//! the sited physical plan for each of the six evaluated TPC-H queries,
+//! under the CR+A template set, are pinned as text snapshots in
+//! `tests/golden/`. Any optimizer change that silently re-places an
+//! operator, widens/narrows a trait, or re-shapes a plan shows up as a
+//! readable diff here.
+//!
+//! Refresh after an intentional change with:
+//! `UPDATE_GOLDEN=1 cargo test --test golden_plans`
+
+use geoqp::prelude::*;
+use geoqp::tpch;
+use geoqp::tpch::policy_gen::PolicyTemplate;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SF: f64 = 0.002;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn snapshot(eng: &Engine, query: &str) -> String {
+    let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+    match eng.optimize(&plan, OptimizerMode::Compliant, None) {
+        Err(e) => format!("{query}: rejected ({e})\n"),
+        Ok(opt) => format!(
+            "{query}: result at {}\n\nannotated plan (ℰ = execution trait, 𝒮 = shipping trait):\n{}\nphysical plan:\n{}",
+            opt.result_location,
+            geoqp::core::explain::display_annotated(&opt.annotated),
+            geoqp::plan::display::display_physical(&opt.physical),
+        ),
+    }
+}
+
+#[test]
+fn annotated_and_physical_plans_match_their_snapshots() {
+    let catalog = Arc::new(tpch::paper_catalog(SF));
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let eng = Engine::new(catalog, Arc::new(policies), NetworkTopology::paper_wan());
+
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+
+    let mut diffs = Vec::new();
+    for query in ["Q2", "Q3", "Q5", "Q8", "Q9", "Q10"] {
+        let got = snapshot(&eng, query);
+        let path = dir.join(format!("{query}.txt"));
+        if update {
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing snapshot {}; run UPDATE_GOLDEN=1 cargo test --test golden_plans",
+                path.display()
+            )
+        });
+        if got != want {
+            diffs.push(format!(
+                "--- {query}: snapshot drift ---\nexpected:\n{want}\ngot:\n{got}"
+            ));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "plan snapshots drifted (UPDATE_GOLDEN=1 refreshes intentional changes):\n{}",
+        diffs.join("\n")
+    );
+}
+
+/// The snapshots themselves must be deterministic: two optimizations in
+/// the same process produce byte-identical renderings.
+#[test]
+fn snapshots_are_deterministic() {
+    let catalog = Arc::new(tpch::paper_catalog(SF));
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let eng = Engine::new(catalog, Arc::new(policies), NetworkTopology::paper_wan());
+    for query in ["Q2", "Q5", "Q10"] {
+        assert_eq!(
+            snapshot(&eng, query),
+            snapshot(&eng, query),
+            "{query}: non-deterministic plan rendering"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Optional-value strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option<T>` from an inner strategy.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Lean toward Some so the inner strategy gets exercised, while
+        // keeping None common enough to cover the absent path.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `None` or a value drawn from `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants_in_bounds() {
+        let mut rng = TestRng::from_seed(31);
+        let s = of(0i64..10);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..400 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!((0..10).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 200, "some = {some}");
+        assert!(none > 40, "none = {none}");
+    }
+}

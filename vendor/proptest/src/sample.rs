@@ -1,0 +1,71 @@
+//! Sampling strategies (`proptest::sample::subsequence`).
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing order-preserving subsequences of a base vector.
+#[derive(Debug, Clone)]
+pub struct Subsequence<T: Clone> {
+    base: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.base.len();
+        let want = self.size.pick(rng).min(n);
+        // Floyd's algorithm for a uniform k-subset, then emit in order.
+        let mut chosen = vec![false; n];
+        for j in (n - want)..n {
+            let t = rng.below((j + 1) as u64) as usize;
+            if chosen[t] {
+                chosen[j] = true;
+            } else {
+                chosen[t] = true;
+            }
+        }
+        self.base
+            .iter()
+            .zip(&chosen)
+            .filter(|(_, &c)| c)
+            .map(|(v, _)| v.clone())
+            .collect()
+    }
+}
+
+/// A random subsequence of `base` whose length falls in `size`
+/// (clamped to the base length), preserving element order.
+pub fn subsequence<T: Clone>(
+    base: Vec<T>,
+    size: impl Into<SizeRange>,
+) -> Subsequence<T> {
+    Subsequence {
+        base,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsequences_preserve_order_and_bounds() {
+        let mut rng = TestRng::from_seed(11);
+        let s = subsequence(vec![1, 2, 3, 4, 5], 1..=3);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?} out of order");
+        }
+    }
+
+    #[test]
+    fn oversized_request_clamps_to_full_set() {
+        let mut rng = TestRng::from_seed(12);
+        let s = subsequence(vec!["a", "b"], 2..=2);
+        assert_eq!(s.generate(&mut rng), vec!["a", "b"]);
+    }
+}

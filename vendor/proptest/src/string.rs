@@ -1,0 +1,167 @@
+//! String strategies: `&str` patterns as in proptest.
+//!
+//! Real proptest interprets a `&str` strategy as a full regex. This stub
+//! implements the small subset the workspace's tests use: a sequence of
+//! atoms (`.`, a character class `[...]`, or a literal character, each
+//! optionally escaped) with optional `{a,b}`, `*`, `+`, or `?`
+//! quantifiers. `.` draws from printable ASCII plus a few multi-byte
+//! characters so UTF-8 boundaries get exercised.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Any,
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Characters `.` can produce. Mostly printable ASCII with a multi-byte
+/// tail so encoders see 2-, 3-, and 4-byte UTF-8.
+const DOT_EXTRAS: [char; 6] = ['é', 'λ', '中', '—', '🙂', 'ß'];
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i)
+                        .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().expect("bad quantifier"),
+                            b.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Any => {
+            if rng.below(8) == 0 {
+                DOT_EXTRAS[rng.below(DOT_EXTRAS.len() as u64) as usize]
+            } else {
+                char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+            }
+        }
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            let span = (hi as u32).saturating_sub(lo as u32) + 1;
+            char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap_or(lo)
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(self) {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..n {
+                out.push(gen_char(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_quantifier_bounds_length() {
+        let mut rng = TestRng::from_seed(21);
+        for _ in 0..300 {
+            let s = ".{0,24}".generate(&mut rng);
+            let n = s.chars().count();
+            assert!(n <= 24, "{n} chars: {s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_classes() {
+        let mut rng = TestRng::from_seed(22);
+        let s = "ab[0-9]c?".generate(&mut rng);
+        assert!(s.starts_with("ab"));
+        let digit = s.chars().nth(2).unwrap();
+        assert!(digit.is_ascii_digit());
+    }
+}

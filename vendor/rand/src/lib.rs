@@ -1,0 +1,288 @@
+//! Offline stand-in for `rand`, implementing the subset the workspace
+//! uses: a seedable deterministic generator (`rngs::StdRng`), integer
+//! `gen_range` over `Range`/`RangeInclusive`, `gen_bool`, and `gen` for
+//! the common scalar types.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — the same
+//! construction the real `rand` crate documents for seeding — so streams
+//! are deterministic, well distributed, and stable across runs and
+//! platforms. (The exact streams differ from the real `StdRng`, which is
+//! fine: everything in this workspace that consumes randomness treats the
+//! seed as an opaque reproducibility handle.)
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG capability: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniform random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (via splitmix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Build from OS entropy — the stub derives it from the system clock.
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E3779B97F4A7C15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// Values producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Sample one value from the full/unit distribution.
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut dyn RngCore) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for i64 {
+    fn sample(rng: &mut dyn RngCore) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut dyn RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut dyn RngCore) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample uniformly from the range. Panics when empty.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Rejection-free-enough uniform integer in `[0, span)` (Lemire-style
+/// widening multiply; the tiny modulo bias of plain `% span` is avoided).
+fn uniform_below(rng: &mut dyn RngCore, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // 128-bit widening of a 64-bit word covers every span the workspace
+    // uses; for spans above 2^64 fall back to masking.
+    if span <= u64::MAX as u128 {
+        let span64 = span as u64;
+        let threshold = span64.wrapping_neg() % span64;
+        loop {
+            let x = rng.next_u64();
+            let wide = (x as u128) * (span64 as u128);
+            if (wide as u64) >= threshold {
+                return wide >> 64;
+            }
+        }
+    } else {
+        // The only span above u64::MAX a 64-bit range can produce is
+        // exactly 2^64 (a full-width inclusive range), where every raw
+        // word is already uniform.
+        debug_assert!(span == (u64::MAX as u128) + 1);
+        rng.next_u64() as u128
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let off = uniform_below(rng, span) as i128;
+                ((self.start as i128) + off) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let off = uniform_below(rng, span) as i128;
+                ((lo as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample from the type's standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand`'s
+    /// ChaCha-based `StdRng`; same trait surface, different stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> StdRng {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the workspace treats SmallRng and StdRng identically.
+    pub type SmallRng = StdRng;
+}
+
+/// A default-seeded convenience generator, mirroring `rand::thread_rng`.
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&x));
+            let y = rng.gen_range(0usize..7);
+            assert!(y < 7);
+            let z: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_width_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = rng.gen_range(i64::MIN..i64::MAX);
+        assert!(x < i64::MAX);
+        let y = rng.gen_range(u64::MIN..=u64::MAX);
+        let _ = y;
+    }
+}

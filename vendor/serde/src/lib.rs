@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! The geoqp workspace never serializes through serde's data model — the
+//! wire format is implemented directly in `geoqp-common::row`. The derives
+//! exist on types for API documentation and downstream compatibility, so
+//! this stub only provides the trait names and re-exports the no-op derive
+//! macros. It carries the same feature names (`derive`, `rc`, ...) that the
+//! real crate accepts so existing manifests keep working unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirrors `serde::ser` far enough for `use serde::ser::Serialize` paths.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirrors `serde::de` far enough for `use serde::de::Deserialize` paths.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

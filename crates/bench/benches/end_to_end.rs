@@ -11,8 +11,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     let sf = 0.002;
     let catalog = Arc::new(geoqp_tpch::paper_catalog(sf));
     geoqp_tpch::populate(&catalog, sf, 2021).unwrap();
-    let policies =
-        generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let policies = generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
     let engine = engine_with_policies(Arc::clone(&catalog), policies);
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);

@@ -9,35 +9,26 @@ use std::sync::Arc;
 
 fn bench_optimization(c: &mut Criterion) {
     let catalog = Arc::new(geoqp_tpch::paper_catalog(10.0));
-    let policies =
-        generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let policies = generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
     let engine = engine_with_policies(Arc::clone(&catalog), policies);
     let mut group = c.benchmark_group("optimize");
     group.sample_size(20);
     for query in ["Q2", "Q3", "Q5", "Q9", "Q10"] {
         let plan = geoqp_tpch::query_by_name(&catalog, query).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("compliant", query),
-            &plan,
-            |b, plan| {
-                b.iter(|| {
-                    engine
-                        .optimize(plan, OptimizerMode::Compliant, None)
-                        .unwrap()
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("traditional", query),
-            &plan,
-            |b, plan| {
-                b.iter(|| {
-                    engine
-                        .optimize(plan, OptimizerMode::Traditional, None)
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("compliant", query), &plan, |b, plan| {
+            b.iter(|| {
+                engine
+                    .optimize(plan, OptimizerMode::Compliant, None)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("traditional", query), &plan, |b, plan| {
+            b.iter(|| {
+                engine
+                    .optimize(plan, OptimizerMode::Traditional, None)
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 }

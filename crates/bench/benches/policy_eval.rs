@@ -3,11 +3,11 @@
 //! scaling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
 use geoqp_plan::descriptor::describe_local;
 use geoqp_policy::PolicyEvaluator;
 use geoqp_tpch::policy_gen::{generate_policies, PolicyTemplate};
 use geoqp_tpch::queries::scan;
-use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
 
 fn bench_policy_eval(c: &mut Criterion) {
     let catalog = geoqp_tpch::paper_catalog(10.0);
@@ -38,8 +38,7 @@ fn bench_policy_eval(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("policy_eval");
     for n in [10usize, 50, 100, 200] {
-        let policies =
-            generate_policies(&catalog, PolicyTemplate::CRA, n, 2021).unwrap();
+        let policies = generate_policies(&catalog, PolicyTemplate::CRA, n, 2021).unwrap();
         let universe = catalog.locations().clone();
         group.bench_with_input(BenchmarkId::new("projection", n), &n, |b, _| {
             let ev = PolicyEvaluator::new(&policies, &universe);

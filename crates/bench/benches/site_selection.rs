@@ -18,9 +18,7 @@ fn bench_site_selection(c: &mut Criterion) {
             catalog.add_location(Location::new(format!("L{i}")));
         }
         let catalog = Arc::new(catalog);
-        let to = LocationPattern::Set(LocationSet::from_iter(
-            (1..=n).map(|i| format!("L{i}")),
-        ));
+        let to = LocationPattern::Set(LocationSet::from_iter((1..=n).map(|i| format!("L{i}"))));
         let policies = star_policies_with_destinations(&catalog, to).unwrap();
         let engine = engine_with_policies(Arc::clone(&catalog), policies);
         let plan = geoqp_tpch::query_by_name(&catalog, "Q5").unwrap();

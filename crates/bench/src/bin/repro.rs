@@ -3,11 +3,14 @@
 //! Usage:
 //!   repro                # everything
 //!   repro --figure 6a    # one artifact: table1|table2|table3|5a|5bcde|
-//!                        # 6a|6b|6c|6d|6e|6f|6g|6h|7abc|7de|8ab
+//!                        # 6a|6b|6c|6d|6e|6f|6g|6h|7abc|7de|8ab|
+//!                        # ablation|failover|scaleup
 //!   repro --quick        # fewer runs / fewer ad-hoc queries
 
-use geoqp_bench::experiments::{ablation, effectiveness, failover, overhead, quality, scalability};
 use geoqp_bench::experiments::overhead::OverheadCase;
+use geoqp_bench::experiments::{
+    ablation, effectiveness, failover, overhead, quality, scalability, scaleup,
+};
 use geoqp_common::LocationSet;
 use geoqp_plan::descriptor::describe_local;
 use geoqp_policy::PolicyEvaluator;
@@ -78,11 +81,43 @@ fn main() {
     if want("failover") {
         failover_matrix();
     }
+    if want("scaleup") {
+        scaleup_figure();
+    }
+}
+
+fn scaleup_figure() {
+    header("Extension E5: sequential vs pipelined runtime (CR+A, simulated WAN ms)");
+    println!(
+        "  {:6} {:>6} {:>6} {:>12} {:>14} {:>13} {:>8} {:>6}",
+        "query", "ships", "rows", "bytes", "sequential ms", "pipelined ms", "speedup", "rows="
+    );
+    for r in scaleup::measure(SEED) {
+        assert_eq!(
+            r.bytes_sequential, r.bytes_parallel,
+            "{}: runtimes shipped different bytes",
+            r.query
+        );
+        println!(
+            "  {:6} {:>6} {:>6} {:>12} {:>14.1} {:>13.1} {:>7.2}x {:>6}",
+            r.query,
+            r.ship_edges,
+            r.rows,
+            r.bytes_sequential,
+            r.sequential_ms,
+            r.parallel_ms,
+            r.speedup,
+            if r.rows_match { "yes" } else { "NO" }
+        );
+    }
 }
 
 fn failover_matrix() {
     header("Extension E4: single-site crashes — compliant failover matrix (CR+A)");
-    println!("  {:6} {:>8} {:>14} {:>7}", "query", "crashed", "outcome", "faults");
+    println!(
+        "  {:6} {:>8} {:>14} {:>7}",
+        "query", "crashed", "outcome", "faults"
+    );
     for cell in failover::crash_matrix(SEED) {
         println!(
             "  {:6} {:>8} {:>14} {:>7}",
@@ -96,7 +131,10 @@ fn failover_matrix() {
 
 fn ablations(_quick: bool) {
     header("Extension E1/E2: rejections over delivery-constrained revenue rollups (CR+A, result at L1)");
-    println!("  {:24} {:>8} {:>9}", "configuration", "planned", "rejected");
+    println!(
+        "  {:24} {:>8} {:>9}",
+        "configuration", "planned", "rejected"
+    );
     for (name, c) in ablation::rejection_ablation(SEED) {
         println!("  {:24} {:>8} {:>9}", name, c.planned, c.rejected);
     }
@@ -111,7 +149,11 @@ fn ablations(_quick: bool) {
             r.query,
             r.total_cost_ms,
             r.response_time_ms,
-            if r.placements_differ { "differs" } else { "same" }
+            if r.placements_differ {
+                "differs"
+            } else {
+                "same"
+            }
         );
     }
 }
@@ -147,13 +189,21 @@ fn table1() {
     )
     .unwrap();
     let t = TableRef::bare("t");
-    let locs = |names: &[&str]| {
-        LocationPattern::Set(LocationSet::from_iter(names.iter().copied()))
-    };
+    let locs = |names: &[&str]| LocationPattern::Set(LocationSet::from_iter(names.iter().copied()));
     let mut cat = PolicyCatalog::new();
     let exprs = [
-        PolicyExpression::basic(t.clone(), ShipAttrs::list(["a", "b", "c"]), locs(&["l2", "l3"]), None),
-        PolicyExpression::basic(t.clone(), ShipAttrs::list(["a", "b"]), locs(&["l1", "l2", "l3", "l4"]), None),
+        PolicyExpression::basic(
+            t.clone(),
+            ShipAttrs::list(["a", "b", "c"]),
+            locs(&["l2", "l3"]),
+            None,
+        ),
+        PolicyExpression::basic(
+            t.clone(),
+            ShipAttrs::list(["a", "b"]),
+            locs(&["l1", "l2", "l3", "l4"]),
+            None,
+        ),
         PolicyExpression::basic(
             t.clone(),
             ShipAttrs::list(["a", "d"]),
@@ -193,7 +243,10 @@ fn table1() {
         .unwrap()
         .build();
     let ev = PolicyEvaluator::new(&cat, &universe);
-    for (name, q) in [("q1 = Π_{A,C,D}(σ_{B>15}(T))", &q1), ("q2 = Γ_{C; SUM(F*(1-G))}(T)", &q2)] {
+    for (name, q) in [
+        ("q1 = Π_{A,C,D}(σ_{B>15}(T))", &q1),
+        ("q2 = Γ_{C; SUM(F*(1-G))}(T)", &q2),
+    ] {
         let d = describe_local(q).unwrap();
         let result = ev.evaluate(&d);
         println!("  𝒜({name}) = {result}   (η so far: {})", ev.eta());
@@ -222,7 +275,10 @@ fn fig5a() {
     header("Figure 5(a): QEPs produced by the traditional query optimizer (C / NC)");
     let cells = effectiveness::tpch_matrix(SEED);
     let queries = ["Q2", "Q3", "Q5", "Q8", "Q9", "Q10"];
-    println!("  {:8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "set", "Q2", "Q3", "Q5", "Q8", "Q9", "Q10");
+    println!(
+        "  {:8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "set", "Q2", "Q3", "Q5", "Q8", "Q9", "Q10"
+    );
     for template in ["T", "C", "CR", "CR+A"] {
         let mut row = format!("  {:8}", template);
         for q in queries {

@@ -43,7 +43,8 @@ fn delivery_constrained_queries(catalog: &Catalog) -> Vec<(String, Arc<LogicalPl
         ScalarExpr::col("l_extendedprice")
             .mul(ScalarExpr::lit(1i64).sub(ScalarExpr::col("l_discount")))
     };
-    let agg_cols: [(&str, Box<dyn Fn() -> ScalarExpr>); 3] = [
+    type AggArg = Box<dyn Fn() -> ScalarExpr>;
+    let agg_cols: [(&str, AggArg); 3] = [
         ("revenue", Box::new(revenue)),
         ("extprice", Box::new(|| ScalarExpr::col("l_extendedprice"))),
         ("discount", Box::new(|| ScalarExpr::col("l_discount"))),
@@ -53,7 +54,10 @@ fn delivery_constrained_queries(catalog: &Catalog) -> Vec<(String, Arc<LogicalPl
         for group in ["o_custkey", "o_orderdate", "o_orderkey"] {
             let plan = scan(catalog, "orders")
                 .unwrap()
-                .join(scan(catalog, "lineitem").unwrap(), vec![("o_orderkey", "l_orderkey")])
+                .join(
+                    scan(catalog, "lineitem").unwrap(),
+                    vec![("o_orderkey", "l_orderkey")],
+                )
                 .unwrap()
                 .aggregate(&[group], vec![AggCall::new(AggFunc::Sum, arg(), "s")])
                 .unwrap()
@@ -63,11 +67,20 @@ fn delivery_constrained_queries(catalog: &Catalog) -> Vec<(String, Arc<LogicalPl
         // customer ⋈ orders ⋈ lineitem by market segment.
         let plan = scan(catalog, "customer")
             .unwrap()
-            .join(scan(catalog, "orders").unwrap(), vec![("c_custkey", "o_custkey")])
+            .join(
+                scan(catalog, "orders").unwrap(),
+                vec![("c_custkey", "o_custkey")],
+            )
             .unwrap()
-            .join(scan(catalog, "lineitem").unwrap(), vec![("o_orderkey", "l_orderkey")])
+            .join(
+                scan(catalog, "lineitem").unwrap(),
+                vec![("o_orderkey", "l_orderkey")],
+            )
             .unwrap()
-            .aggregate(&["c_mktsegment"], vec![AggCall::new(AggFunc::Sum, arg(), "s")])
+            .aggregate(
+                &["c_mktsegment"],
+                vec![AggCall::new(AggFunc::Sum, arg(), "s")],
+            )
             .unwrap()
             .build();
         out.push((format!("sum({label}) by c_mktsegment"), plan));
@@ -79,7 +92,10 @@ fn delivery_constrained_queries(catalog: &Catalog) -> Vec<(String, Arc<LogicalPl
     // a Pareto frontier keeps it alive (extension E2).
     let plan = scan(catalog, "orders")
         .unwrap()
-        .join(scan(catalog, "lineitem").unwrap(), vec![("o_orderkey", "l_orderkey")])
+        .join(
+            scan(catalog, "lineitem").unwrap(),
+            vec![("o_orderkey", "l_orderkey")],
+        )
         .unwrap()
         .aggregate(
             &["o_custkey", "l_suppkey"],
@@ -91,7 +107,10 @@ fn delivery_constrained_queries(catalog: &Catalog) -> Vec<(String, Arc<LogicalPl
         )
         .unwrap()
         .build();
-    out.push(("sum(extprice) by o_custkey, l_suppkey (non-reducing)".into(), plan));
+    out.push((
+        "sum(extprice) by o_custkey, l_suppkey (non-reducing)".into(),
+        plan,
+    ));
     out
 }
 

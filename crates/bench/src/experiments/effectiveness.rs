@@ -72,8 +72,7 @@ pub fn tpch_matrix(seed: u64) -> Vec<MatrixCell> {
         PolicyTemplate::CR,
         PolicyTemplate::CRA,
     ] {
-        let policies =
-            generate_policies(&catalog, template, template.base_count(), seed).unwrap();
+        let policies = generate_policies(&catalog, template, template.base_count(), seed).unwrap();
         let engine = engine_with_policies(Arc::clone(&catalog), policies);
         for (query, plan) in all_queries(&catalog).unwrap() {
             out.push(MatrixCell {
@@ -176,8 +175,7 @@ pub fn plan_excerpts(seed: u64) -> Vec<(String, String)> {
     let mut out = Vec::new();
     let cases = [("Q2", PolicyTemplate::CR), ("Q3", PolicyTemplate::CRA)];
     for (query, template) in cases {
-        let policies =
-            generate_policies(&catalog, template, template.base_count(), seed).unwrap();
+        let policies = generate_policies(&catalog, template, template.base_count(), seed).unwrap();
         let engine = engine_with_policies(Arc::clone(&catalog), policies);
         let plan = geoqp_tpch::query_by_name(&catalog, query).unwrap();
         for mode in [OptimizerMode::Traditional, OptimizerMode::Compliant] {

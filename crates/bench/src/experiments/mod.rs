@@ -6,6 +6,7 @@ pub mod failover;
 pub mod overhead;
 pub mod quality;
 pub mod scalability;
+pub mod scaleup;
 pub mod setup;
 
 pub use setup::engine_with_policies;

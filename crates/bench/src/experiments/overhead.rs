@@ -26,8 +26,7 @@ impl Timing {
     fn from_samples(samples: &[f64]) -> Timing {
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (n - 1.0).max(1.0);
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
         Timing {
             mean_ms: mean,
             stderr_ms: (var / n).sqrt(),

@@ -38,8 +38,7 @@ pub struct QualityRow {
 pub fn measure(template: PolicyTemplate, sf: f64, seed: u64) -> Vec<QualityRow> {
     let catalog = Arc::new(geoqp_tpch::paper_catalog(sf));
     geoqp_tpch::populate(&catalog, sf, seed).expect("populate");
-    let policies =
-        generate_policies(&catalog, template, template.base_count(), seed).unwrap();
+    let policies = generate_policies(&catalog, template, template.base_count(), seed).unwrap();
     let engine = engine_with_policies(Arc::clone(&catalog), policies);
 
     let mut out = Vec::new();
@@ -92,7 +91,6 @@ fn sorted(rows: &geoqp_common::Rows) -> Vec<geoqp_common::Row> {
 pub fn engine_for(template: PolicyTemplate, sf: f64, seed: u64) -> Engine {
     let catalog = Arc::new(geoqp_tpch::paper_catalog(sf));
     geoqp_tpch::populate(&catalog, sf, seed).expect("populate");
-    let policies =
-        generate_policies(&catalog, template, template.base_count(), seed).unwrap();
+    let policies = generate_policies(&catalog, template, template.base_count(), seed).unwrap();
     engine_with_policies(catalog, policies)
 }

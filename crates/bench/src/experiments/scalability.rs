@@ -5,9 +5,7 @@
 use crate::experiments::setup::{engine_with_policies, OPT_SF};
 use geoqp_common::{Location, LocationPattern, LocationSet};
 use geoqp_core::OptimizerMode;
-use geoqp_tpch::policy_gen::{
-    generate_policies, star_policies_with_destinations, PolicyTemplate,
-};
+use geoqp_tpch::policy_gen::{generate_policies, star_policies_with_destinations, PolicyTemplate};
 use geoqp_tpch::queries::query_by_name;
 use std::sync::Arc;
 
@@ -35,8 +33,7 @@ pub fn expression_sweep(query: &str, runs: usize, seed: u64) -> Vec<SweepPoint> 
     let plan = query_by_name(&catalog, query).unwrap();
     let mut out = Vec::new();
     for n in [12usize, 25, 50, 100] {
-        let policies =
-            generate_policies(&catalog, PolicyTemplate::CRA, n, seed).unwrap();
+        let policies = generate_policies(&catalog, PolicyTemplate::CRA, n, seed).unwrap();
         let engine = engine_with_policies(Arc::clone(&catalog), policies);
         let mut times = Vec::new();
         let mut eta = 0;
@@ -69,8 +66,7 @@ pub fn location_sweep(query: &str, runs: usize, seed: u64) -> Vec<SweepPoint> {
         } else {
             geoqp_tpch::paper_catalog_partitioned(OPT_SF, n).unwrap()
         });
-        let policies =
-            generate_policies(&catalog, PolicyTemplate::CRA, 10, seed).unwrap();
+        let policies = generate_policies(&catalog, PolicyTemplate::CRA, 10, seed).unwrap();
         let engine = engine_with_policies(Arc::clone(&catalog), policies);
         let plan = query_by_name(&catalog, query).unwrap();
         let mut times = Vec::new();
@@ -105,9 +101,7 @@ pub fn to_location_sweep(query: &str, runs: usize) -> Vec<SweepPoint> {
             catalog.add_location(Location::new(format!("L{i}")));
         }
         let catalog = Arc::new(catalog);
-        let to = LocationPattern::Set(LocationSet::from_iter(
-            (1..=n).map(|i| format!("L{i}")),
-        ));
+        let to = LocationPattern::Set(LocationSet::from_iter((1..=n).map(|i| format!("L{i}"))));
         let policies = star_policies_with_destinations(&catalog, to).unwrap();
         let engine = engine_with_policies(Arc::clone(&catalog), policies);
         let plan = query_by_name(&catalog, query).unwrap();

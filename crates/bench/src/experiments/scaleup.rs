@@ -1,0 +1,134 @@
+//! Pipelined scale-up experiment: sequential vs concurrent runtime.
+//!
+//! Every TPC-H query is optimized once (compliant mode) and executed
+//! twice over the Table 2 deployment — on the sequential engine and on
+//! the concurrent pipelined runtime (`geoqp-runtime`). The two runtimes
+//! ship exactly the same bytes over exactly the same SHIP edges and
+//! return the same row multiset; what changes is the simulated wall
+//! clock. The sequential engine pays the *sum* of all transfer costs,
+//! while the pipelined runtime pays the *critical path*: fragments on
+//! different sites stream batches concurrently, so independent SHIP
+//! edges overlap.
+
+use crate::experiments::setup::{engine_with_policies, EXEC_SF};
+use geoqp_common::Rows;
+use geoqp_core::OptimizerMode;
+use geoqp_tpch::policy_gen::{generate_policies, PolicyTemplate};
+use geoqp_tpch::queries::all_queries;
+use std::sync::Arc;
+
+/// One query's sequential-vs-pipelined comparison.
+#[derive(Debug)]
+pub struct ScaleupRow {
+    /// Query name.
+    pub query: &'static str,
+    /// Number of SHIP edges (= exchange edges = extra worker threads).
+    pub ship_edges: usize,
+    /// Result cardinality (identical across runtimes by construction;
+    /// asserted via `rows_match`).
+    pub rows: usize,
+    /// Total bytes shipped by the sequential engine.
+    pub bytes_sequential: u64,
+    /// Total bytes shipped by the pipelined runtime.
+    pub bytes_parallel: u64,
+    /// Sequential completion: the sum of every transfer's simulated cost.
+    pub sequential_ms: f64,
+    /// Pipelined completion: the critical path through the fragment DAG.
+    pub parallel_ms: f64,
+    /// `sequential_ms / parallel_ms` (1.0 = no overlap to exploit).
+    pub speedup: f64,
+    /// Whether the two runtimes returned identical row multisets.
+    pub rows_match: bool,
+}
+
+/// Order-insensitive row-multiset equality.
+fn same_multiset(a: &Rows, b: &Rows) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let key = |rows: &Rows| {
+        let mut k: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\u{1f}")
+            })
+            .collect();
+        k.sort_unstable();
+        k
+    };
+    key(a) == key(b)
+}
+
+/// Run every TPC-H query on both runtimes and compare.
+pub fn measure(seed: u64) -> Vec<ScaleupRow> {
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(EXEC_SF));
+    geoqp_tpch::populate(&catalog, EXEC_SF, seed).expect("populate");
+    let policies =
+        generate_policies(&catalog, PolicyTemplate::CRA, 10, seed).expect("policy generation");
+    let engine = engine_with_policies(Arc::clone(&catalog), policies);
+
+    let mut out = Vec::new();
+    for (query, plan) in all_queries(&catalog).expect("queries") {
+        let Ok(optimized) = engine.optimize(&plan, OptimizerMode::Compliant, None) else {
+            continue; // rejected under this policy set; nothing to execute
+        };
+        let sequential = engine.execute(&optimized.physical).expect("sequential");
+        let parallel = engine
+            .execute_parallel(&optimized.physical)
+            .expect("parallel");
+        let sequential_ms = sequential.transfers.total_cost_ms();
+        let parallel_ms = parallel.metrics.completion_ms;
+        out.push(ScaleupRow {
+            query,
+            ship_edges: optimized.physical.ship_count(),
+            rows: sequential.rows.len(),
+            bytes_sequential: sequential.transfers.total_bytes(),
+            bytes_parallel: parallel.transfers.total_bytes(),
+            sequential_ms,
+            parallel_ms,
+            speedup: if parallel_ms > 0.0 {
+                sequential_ms / parallel_ms
+            } else {
+                1.0
+            },
+            rows_match: same_multiset(&sequential.rows, &parallel.rows),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelining_overlaps_without_changing_results() {
+        let rows = measure(2021);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.rows_match, "{}: row multisets diverged", r.query);
+            assert_eq!(
+                r.bytes_sequential, r.bytes_parallel,
+                "{}: shipped bytes diverged",
+                r.query
+            );
+            assert!(
+                r.parallel_ms <= r.sequential_ms + 1e-6,
+                "{}: pipelined completion {} exceeds sequential {}",
+                r.query,
+                r.parallel_ms,
+                r.sequential_ms
+            );
+        }
+        // The acceptance bar: at least one multi-site query genuinely
+        // overlaps its transfers.
+        assert!(
+            rows.iter()
+                .any(|r| r.ship_edges >= 2 && r.speedup > 1.0 + 1e-9),
+            "no multi-site query beat the sequential runtime: {rows:?}"
+        );
+    }
+}

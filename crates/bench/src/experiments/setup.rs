@@ -20,12 +20,7 @@ pub fn engine_with_policies(catalog: Arc<Catalog>, policies: PolicyCatalog) -> E
 }
 
 /// Engine over the paper catalog with a generated template set.
-pub fn engine_for_template(
-    sf: f64,
-    template: PolicyTemplate,
-    count: usize,
-    seed: u64,
-) -> Engine {
+pub fn engine_for_template(sf: f64, template: PolicyTemplate, count: usize, seed: u64) -> Engine {
     let catalog = Arc::new(geoqp_tpch::paper_catalog(sf));
     let policies = generate_policies(&catalog, template, count, seed).expect("policy generation");
     engine_with_policies(catalog, policies)

@@ -3,7 +3,7 @@
 //! the shell is fully testable without a terminal.
 
 use geoqp_common::{GeoError, Location, Result, Rows, TableRef};
-use geoqp_core::{Engine, OptimizerMode};
+use geoqp_core::{Engine, OptimizerMode, RuntimeMetrics, RuntimeMode};
 use geoqp_exec::RetryPolicy;
 use geoqp_net::{FaultPlan, NetworkTopology};
 use geoqp_policy::{expand_denials, PolicyCatalog};
@@ -15,8 +15,10 @@ use std::sync::Arc;
 pub struct Shell {
     engine: Option<Engine>,
     mode: OptimizerMode,
+    runtime: RuntimeMode,
     result_location: Option<Location>,
     faults: Option<FaultPlan>,
+    last_metrics: Option<RuntimeMetrics>,
 }
 
 impl Default for Shell {
@@ -31,8 +33,10 @@ impl Shell {
         Shell {
             engine: None,
             mode: OptimizerMode::Compliant,
+            runtime: RuntimeMode::Sequential,
             result_location: None,
             faults: None,
+            last_metrics: None,
         }
     }
 
@@ -99,6 +103,31 @@ impl Shell {
                     Ok(format!("result location: {arg}\n"))
                 }
             }
+            "runtime" => {
+                self.runtime = match arg {
+                    "" => {
+                        let current = match self.runtime {
+                            RuntimeMode::Sequential => "sequential",
+                            RuntimeMode::Parallel => "parallel",
+                        };
+                        return Ok(format!("runtime: {current}\n"));
+                    }
+                    "sequential" => RuntimeMode::Sequential,
+                    "parallel" => RuntimeMode::Parallel,
+                    other => {
+                        return Err(GeoError::Execution(format!(
+                            "unknown runtime `{other}` (parallel|sequential)"
+                        )))
+                    }
+                };
+                Ok(format!("runtime: {arg}\n"))
+            }
+            "metrics" => match &self.last_metrics {
+                Some(m) => Ok(format!("{m}")),
+                None => {
+                    Ok("no runtime metrics yet; run a query with \\runtime parallel\n".to_string())
+                }
+            },
             "explain" => self.explain(arg),
             "faults" => self.set_faults(arg),
             other => Err(GeoError::Execution(format!(
@@ -113,8 +142,10 @@ impl Shell {
         match name {
             "carco" => {
                 self.engine = Some(demo::carco()?);
-                Ok("loaded CarCo demo: customer@N, orders@E, supply@A with P_N/P_E/P_A\n"
-                    .to_string())
+                Ok(
+                    "loaded CarCo demo: customer@N, orders@E, supply@A with P_N/P_E/P_A\n"
+                        .to_string(),
+                )
             }
             "tpch" => {
                 let sf: f64 = parts
@@ -253,9 +284,18 @@ impl Shell {
         let eng = self.engine()?;
         let optimized = eng.optimize_sql(sql, self.mode, self.result_location.clone())?;
         let mut out = String::new();
-        let _ = writeln!(out, "annotated plan (ℰ = execution trait, 𝒮 = shipping trait):");
-        out.push_str(&geoqp_core::explain::display_annotated(&optimized.annotated));
-        let _ = writeln!(out, "\nphysical plan (result at {}):", optimized.result_location);
+        let _ = writeln!(
+            out,
+            "annotated plan (ℰ = execution trait, 𝒮 = shipping trait):"
+        );
+        out.push_str(&geoqp_core::explain::display_annotated(
+            &optimized.annotated,
+        ));
+        let _ = writeln!(
+            out,
+            "\nphysical plan (result at {}):",
+            optimized.result_location
+        );
         out.push_str(&geoqp_plan::display::display_physical(&optimized.physical));
         let audit = match eng.audit(&optimized.physical) {
             Ok(()) => "compliant".to_string(),
@@ -270,6 +310,13 @@ impl Shell {
     }
 
     fn sql(&mut self, sql: &str) -> Result<String> {
+        match self.runtime {
+            RuntimeMode::Sequential => self.sql_sequential(sql),
+            RuntimeMode::Parallel => self.sql_parallel(sql),
+        }
+    }
+
+    fn sql_sequential(&mut self, sql: &str) -> Result<String> {
         let eng = self.engine()?;
         if let Some(faults) = &self.faults {
             // Each query replays the fault schedule from step 0, so a
@@ -324,6 +371,68 @@ impl Shell {
         );
         Ok(out)
     }
+
+    fn sql_parallel(&mut self, sql: &str) -> Result<String> {
+        let eng = self.engine()?;
+        if let Some(faults) = &self.faults {
+            faults.reset_clock();
+            let (optimized, result, metrics) = eng.run_sql_resilient_parallel(
+                sql,
+                self.mode,
+                self.result_location.clone(),
+                faults,
+                &RetryPolicy::default(),
+                4,
+            )?;
+            let mut out = render_rows(&result.rows, &result.physical.schema.names());
+            let audit = match eng.audit(&result.physical) {
+                Ok(()) => "compliant",
+                Err(_) => "NON-COMPLIANT",
+            };
+            let _ = writeln!(
+                out,
+                "({} rows at {}; {} transfers, {} bytes; pipelined completion \
+                 {:.1} ms of {:.1} ms network; {} faults, {} replans, excluded {}; \
+                 plan {audit}; \\metrics for detail)",
+                result.rows.len(),
+                optimized.result_location,
+                result.transfers.transfer_count(),
+                result.transfers.total_bytes(),
+                metrics.completion_ms,
+                metrics.network_ms,
+                result.transfers.fault_count(),
+                result.replans,
+                if result.excluded.is_empty() {
+                    "∅".to_string()
+                } else {
+                    result.excluded.to_string()
+                },
+            );
+            self.last_metrics = Some(metrics);
+            return Ok(out);
+        }
+        let (optimized, result) =
+            eng.run_sql_parallel(sql, self.mode, self.result_location.clone())?;
+        let mut out = render_rows(&result.rows, &optimized.physical.schema.names());
+        let audit = match eng.audit(&optimized.physical) {
+            Ok(()) => "compliant",
+            Err(_) => "NON-COMPLIANT",
+        };
+        let _ = writeln!(
+            out,
+            "({} rows at {}; {} transfers, {} bytes; pipelined completion {:.1} ms \
+             of {:.1} ms network ({:.2}x overlap); plan {audit}; \\metrics for detail)",
+            result.rows.len(),
+            optimized.result_location,
+            result.transfers.transfer_count(),
+            result.transfers.total_bytes(),
+            result.metrics.completion_ms,
+            result.metrics.network_ms,
+            result.metrics.overlap_speedup(),
+        );
+        self.last_metrics = Some(result.metrics);
+        Ok(out)
+    }
 }
 
 /// Render rows as an aligned text table (capped at 40 rows).
@@ -369,6 +478,9 @@ commands:
   \\policy <expression>      register: ship <attrs> from <t> to <locs> …
   \\deny <expression>        register a denial (closed-world expansion)
   \\mode compliant|traditional
+  \\runtime parallel|sequential
+                            choose the execution runtime (default sequential)
+  \\metrics                  per-site/per-edge metrics of the last parallel query
   \\at <location>|anywhere   pin the result location
   \\explain <sql>            show annotated + physical plan
   \\faults <spec>|off        inject faults: crash:L2; drop:L1-L3@2..5;
@@ -456,8 +568,7 @@ mod demo {
             let entry = catalog.resolve_one(&e.table)?;
             policies.register(e, &entry.schema)?;
         }
-        let topo =
-            NetworkTopology::uniform(LocationSet::from_iter(["N", "E", "A"]), 120.0, 100.0);
+        let topo = NetworkTopology::uniform(LocationSet::from_iter(["N", "E", "A"]), 120.0, 100.0);
         Ok(Engine::new(Arc::new(catalog), Arc::new(policies), topo))
     }
 
@@ -465,12 +576,8 @@ mod demo {
     pub fn tpch(sf: f64) -> Result<Engine> {
         let catalog = Arc::new(geoqp_tpch::paper_catalog(sf));
         geoqp_tpch::populate(&catalog, sf, 7)?;
-        let policies = geoqp_tpch::generate_policies(
-            &catalog,
-            geoqp_tpch::PolicyTemplate::CRA,
-            10,
-            2021,
-        )?;
+        let policies =
+            geoqp_tpch::generate_policies(&catalog, geoqp_tpch::PolicyTemplate::CRA, 10, 2021)?;
         Ok(Engine::new(
             catalog,
             Arc::new(policies),
@@ -486,7 +593,10 @@ mod tests {
     #[test]
     fn carco_session_end_to_end() {
         let mut sh = Shell::new();
-        assert!(sh.run_command("SELECT 1 FROM x").is_err(), "no deployment yet");
+        assert!(
+            sh.run_command("SELECT 1 FROM x").is_err(),
+            "no deployment yet"
+        );
         sh.run_command("\\demo carco").unwrap();
         let out = sh.run_command("\\tables").unwrap();
         assert!(out.contains("customer"));
@@ -518,13 +628,17 @@ mod tests {
         let mut sh = Shell::new();
         sh.run_command("\\demo carco").unwrap();
         let out = sh
-            .run_command("\\explain SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey")
+            .run_command(
+                "\\explain SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey",
+            )
             .unwrap();
         assert!(out.contains("ℰ="));
         assert!(out.contains("audit: compliant"));
         sh.run_command("\\mode traditional").unwrap();
         let out = sh
-            .run_command("\\explain SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey")
+            .run_command(
+                "\\explain SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey",
+            )
             .unwrap();
         assert!(out.contains("physical plan"));
     }
@@ -535,9 +649,7 @@ mod tests {
         sh.run_command("\\demo carco").unwrap();
         // acctbal is not shippable...
         sh.run_command("\\at E").unwrap();
-        assert!(sh
-            .run_command("SELECT c_acctbal FROM customer")
-            .is_err());
+        assert!(sh.run_command("SELECT c_acctbal FROM customer").is_err());
         // ...until a policy grants it.
         sh.run_command("\\policy ship c_acctbal from customer to E")
             .unwrap();
@@ -583,9 +695,7 @@ mod tests {
         assert_eq!(sh.run_command("\\faults").unwrap(), "faults: off\n");
 
         // A transient crash of A: retries ride out the window.
-        let out = sh
-            .run_command("\\faults seed=7; crash:A@0..2")
-            .unwrap();
+        let out = sh.run_command("\\faults seed=7; crash:A@0..2").unwrap();
         assert!(out.contains("seed 7"), "{out}");
         let out = sh
             .run_command("SELECT c_name FROM customer ORDER BY c_name")
@@ -596,6 +706,69 @@ mod tests {
         sh.run_command("\\faults off").unwrap();
         assert_eq!(sh.run_command("\\faults").unwrap(), "faults: off\n");
         assert!(sh.run_command("\\faults crash:").is_err(), "malformed spec");
+    }
+
+    #[test]
+    fn parallel_runtime_session_with_metrics() {
+        let mut sh = Shell::new();
+        sh.run_command("\\demo carco").unwrap();
+        assert_eq!(
+            sh.run_command("\\runtime").unwrap(),
+            "runtime: sequential\n"
+        );
+        let out = sh.run_command("\\metrics").unwrap();
+        assert!(out.contains("no runtime metrics yet"), "{out}");
+
+        sh.run_command("\\runtime parallel").unwrap();
+        let sql = "SELECT c_name, SUM(o_totprice) AS total FROM customer, orders \
+                   WHERE c_custkey = o_custkey GROUP BY c_name ORDER BY c_name";
+        let seq = {
+            let mut s = Shell::new();
+            s.run_command("\\demo carco").unwrap();
+            s.run_command(sql).unwrap()
+        };
+        let par = sh.run_command(sql).unwrap();
+        assert!(par.contains("alice"), "{par}");
+        assert!(par.contains("pipelined completion"), "{par}");
+        assert!(par.contains("plan compliant"), "{par}");
+        // Same rows and same shipped bytes as the sequential runtime.
+        let rows_of = |out: &str| {
+            out.lines()
+                .take_while(|l| !l.starts_with('('))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows_of(&par), rows_of(&seq));
+        let bytes_of = |out: &str| {
+            let tail = out
+                .lines()
+                .find(|l| l.starts_with('('))
+                .unwrap()
+                .to_string();
+            let idx = tail.find(" bytes").unwrap();
+            tail[..idx]
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert_eq!(bytes_of(&par), bytes_of(&seq));
+
+        let metrics = sh.run_command("\\metrics").unwrap();
+        assert!(metrics.contains("completion"), "{metrics}");
+        assert!(metrics.contains("site"), "{metrics}");
+
+        // Faults + parallel runtime: transient crash rides out on retries.
+        sh.run_command("\\faults seed=7; crash:A@0..2").unwrap();
+        let out = sh
+            .run_command("SELECT c_name FROM customer ORDER BY c_name")
+            .unwrap();
+        assert!(out.contains("alice"), "{out}");
+        assert!(out.contains("plan compliant"), "{out}");
+
+        sh.run_command("\\runtime sequential").unwrap();
+        assert!(sh.run_command("\\runtime sideways").is_err());
     }
 
     #[test]

@@ -186,14 +186,8 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            GeoError::Parse("x".into()),
-            GeoError::Parse("x".into())
-        );
-        assert_ne!(
-            GeoError::Parse("x".into()),
-            GeoError::Plan("x".into())
-        );
+        assert_eq!(GeoError::Parse("x".into()), GeoError::Parse("x".into()));
+        assert_ne!(GeoError::Parse("x".into()), GeoError::Plan("x".into()));
     }
 
     #[test]
@@ -208,10 +202,7 @@ mod tests {
             GeoError::Execution(String::new()),
             GeoError::NonCompliant(String::new()),
             GeoError::Unsupported(String::new()),
-            GeoError::SiteUnavailable(Unavailable::site_down(
-                Location::new("L1"),
-                String::new(),
-            )),
+            GeoError::SiteUnavailable(Unavailable::site_down(Location::new("L1"), String::new())),
         ];
         let mut kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
         kinds.sort_unstable();

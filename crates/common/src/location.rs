@@ -71,6 +71,9 @@ impl LocationSet {
     }
 
     /// Build from anything yielding locations.
+    ///
+    /// Unlike `FromIterator::from_iter`, this also accepts `&str` items.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I, L>(iter: I) -> LocationSet
     where
         I: IntoIterator<Item = L>,

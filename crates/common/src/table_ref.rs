@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn display_round_trip() {
-        assert_eq!(TableRef::parse("db-1.customer").to_string(), "db-1.customer");
+        assert_eq!(
+            TableRef::parse("db-1.customer").to_string(),
+            "db-1.customer"
+        );
         assert_eq!(TableRef::parse("orders").to_string(), "orders");
     }
 }

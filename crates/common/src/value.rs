@@ -409,7 +409,7 @@ mod tests {
 
     #[test]
     fn total_order_ranks() {
-        let mut vs = vec![
+        let mut vs = [
             Value::str("z"),
             Value::Date(0),
             Value::Float64(0.5),

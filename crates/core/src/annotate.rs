@@ -79,7 +79,11 @@ pub struct AnnotatedNode {
 impl AnnotatedNode {
     /// Count operators.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(AnnotatedNode::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(AnnotatedNode::node_count)
+            .sum::<usize>()
     }
 
     /// Estimated output bytes.
@@ -175,14 +179,7 @@ impl<'a> Annotator<'a> {
                 if topo.skipped.contains(&(gid.0, ei)) {
                     continue;
                 }
-                self.expand_expr(
-                    memo,
-                    expr,
-                    &gstats,
-                    &frontiers,
-                    &stats,
-                    &mut cands,
-                )?;
+                self.expand_expr(memo, expr, &gstats, &frontiers, &stats, &mut cands)?;
             }
             pareto_prune(&mut cands, self.frontier_cap);
             frontiers[gid.0] = cands;
@@ -267,8 +264,7 @@ impl<'a> Annotator<'a> {
                 }
             };
             if !exec.is_empty() {
-                let cost =
-                    op_cost + picked.iter().map(|p| p.cost).sum::<f64>();
+                let cost = op_cost + picked.iter().map(|p| p.cost).sum::<f64>();
                 let children: Vec<(GroupId, usize)> = expr
                     .children
                     .iter()
@@ -351,6 +347,7 @@ impl Frontiers {
     }
 
     /// Extract the annotated operator tree rooted at a candidate.
+    #[allow(clippy::only_used_in_recursion)]
     pub fn extract(&self, memo: &Memo, cand: &Candidate) -> AnnotatedNode {
         let children: Vec<AnnotatedNode> = cand
             .children
@@ -501,7 +498,6 @@ mod tests {
     use super::*;
     use crate::memo::Memo;
     use geoqp_common::{DataType, Field, LocationPattern, TableRef};
-    use geoqp_expr::ScalarExpr;
     use geoqp_plan::PlanBuilder;
     use geoqp_policy::{PolicyCatalog, PolicyExpression, ShipAttrs};
     use geoqp_storage::TableStats;
@@ -555,7 +551,11 @@ mod tests {
 
     fn scan(catalog: &Catalog, t: &str) -> PlanBuilder {
         let e = catalog.resolve_one(&TableRef::bare(t)).unwrap();
-        PlanBuilder::scan(e.table.clone(), e.location.clone(), e.schema.as_ref().clone())
+        PlanBuilder::scan(
+            e.table.clone(),
+            e.location.clone(),
+            e.schema.as_ref().clone(),
+        )
     }
 
     #[test]
@@ -663,11 +663,7 @@ mod tests {
             )),
         };
         // Cheap-narrow, costly-wide, dominated-costly-narrow.
-        let mut cands = vec![
-            mk(10.0, &["A"]),
-            mk(20.0, &["A", "B"]),
-            mk(30.0, &["A"]),
-        ];
+        let mut cands = vec![mk(10.0, &["A"]), mk(20.0, &["A", "B"]), mk(30.0, &["A"])];
         pareto_prune(&mut cands, 32);
         assert_eq!(cands.len(), 2, "dominated candidate must drop");
         assert!(cands.iter().any(|c| c.cost == 10.0));

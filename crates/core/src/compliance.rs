@@ -17,12 +17,12 @@
 //! Figures 5(a), 6(g), and 6(h).
 
 use geoqp_common::{GeoError, LocationSet, Result};
-use geoqp_expr::AggCall;
 use geoqp_plan::descriptor::describe_local;
 use geoqp_plan::logical::LogicalPlan;
 use geoqp_plan::{PhysOp, PhysicalPlan};
 use geoqp_policy::PolicyEvaluator;
 use geoqp_storage::Catalog;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Audit a located physical plan against the dataflow policies. Returns
@@ -33,7 +33,47 @@ pub fn check_compliance(
     evaluator: &PolicyEvaluator<'_>,
     catalog: &Catalog,
 ) -> Result<()> {
-    walk(plan, evaluator, catalog).map(|_| ())
+    walk(plan, evaluator, catalog, true, &mut HashMap::new()).map(|_| ())
+}
+
+/// Derive the shipping trait `𝒮` of every SHIP's *input*, in pre-order
+/// SHIP order — the per-edge audit sets the parallel runtime checks each
+/// batch against before it leaves the producer site.
+///
+/// The derivation is **lenient**: Definition-1 violations do not abort it
+/// (a traditional-optimizer plan may be non-compliant), so the offending
+/// edge is caught at execution time by the runtime's per-batch audit
+/// rather than here. Only structural failures (an unresolvable or
+/// misplaced tablescan) are errors.
+pub fn ship_traits(
+    plan: &PhysicalPlan,
+    evaluator: &PolicyEvaluator<'_>,
+    catalog: &Catalog,
+) -> Result<Vec<LocationSet>> {
+    let mut by_node = HashMap::new();
+    walk(plan, evaluator, catalog, false, &mut by_node)?;
+    let mut out = Vec::new();
+    collect_preorder(plan, &by_node, &mut out);
+    Ok(out)
+}
+
+fn collect_preorder(
+    plan: &PhysicalPlan,
+    by_node: &HashMap<usize, LocationSet>,
+    out: &mut Vec<LocationSet>,
+) {
+    if matches!(plan.op, PhysOp::Ship) {
+        if let Some(s) = by_node.get(&node_key(plan)) {
+            out.push(s.clone());
+        }
+    }
+    for c in &plan.inputs {
+        collect_preorder(c, by_node, out);
+    }
+}
+
+fn node_key(p: &PhysicalPlan) -> usize {
+    p as *const PhysicalPlan as usize
 }
 
 /// Bottom-up result: the subtree's shipping trait and its logical content.
@@ -46,6 +86,8 @@ fn walk(
     plan: &PhysicalPlan,
     evaluator: &PolicyEvaluator<'_>,
     catalog: &Catalog,
+    strict: bool,
+    ships: &mut HashMap<usize, LocationSet>,
 ) -> Result<Derived> {
     match &plan.op {
         PhysOp::Scan { table } => {
@@ -69,8 +111,9 @@ fn walk(
             Ok(Derived { ship, logical })
         }
         PhysOp::Ship => {
-            let input = walk(&plan.inputs[0], evaluator, catalog)?;
-            if !input.ship.contains(&plan.location) {
+            let input = walk(&plan.inputs[0], evaluator, catalog, strict, ships)?;
+            ships.insert(node_key(plan), input.ship.clone());
+            if strict && !input.ship.contains(&plan.location) {
                 return Err(GeoError::NonCompliant(format!(
                     "SHIP {} → {} violates dataflow policies (legal: {})",
                     plan.inputs[0].location, plan.location, input.ship
@@ -84,7 +127,7 @@ fn walk(
             let children: Vec<Derived> = plan
                 .inputs
                 .iter()
-                .map(|c| walk(c, evaluator, catalog))
+                .map(|c| walk(c, evaluator, catalog, strict, ships))
                 .collect::<Result<_>>()?;
             // Condition c2 via AR2: the operator's location must be legal
             // for every input.
@@ -92,7 +135,7 @@ fn walk(
             for c in &children[1..] {
                 exec.intersect_with(&c.ship);
             }
-            if !exec.contains(&plan.location) {
+            if strict && !exec.contains(&plan.location) {
                 return Err(GeoError::NonCompliant(format!(
                     "{} executes at {} outside its derived execution trait {}",
                     other.name(),
@@ -132,9 +175,7 @@ fn rebuild_logical(op: &PhysOp, mut children: Vec<Arc<LogicalPlan>>) -> Result<A
         PhysOp::Filter { predicate } => {
             LogicalPlan::filter(children.pop().unwrap(), predicate.clone())?
         }
-        PhysOp::Project { exprs } => {
-            LogicalPlan::project(children.pop().unwrap(), exprs.clone())?
-        }
+        PhysOp::Project { exprs } => LogicalPlan::project(children.pop().unwrap(), exprs.clone())?,
         PhysOp::HashJoin {
             left_keys,
             right_keys,
@@ -149,11 +190,9 @@ fn rebuild_logical(op: &PhysOp, mut children: Vec<Arc<LogicalPlan>>) -> Result<A
                 .collect();
             LogicalPlan::join(left, right, on, filter.clone())?
         }
-        PhysOp::HashAggregate { group_by, aggs } => LogicalPlan::aggregate(
-            children.pop().unwrap(),
-            group_by.clone(),
-            aggs.to_vec(),
-        )?,
+        PhysOp::HashAggregate { group_by, aggs } => {
+            LogicalPlan::aggregate(children.pop().unwrap(), group_by.clone(), aggs.to_vec())?
+        }
         PhysOp::Sort { keys } => LogicalPlan::sort(children.pop().unwrap(), keys.clone())?,
         PhysOp::Limit { fetch } => LogicalPlan::limit(children.pop().unwrap(), *fetch),
         PhysOp::Union => LogicalPlan::union(children)?,

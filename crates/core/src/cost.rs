@@ -104,11 +104,7 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> PlanStats {
             let mut s = PlanStats {
                 rows: rows.max(1.0),
                 width: plan.schema().estimated_row_width() as f64,
-                ndv: l
-                    .ndv
-                    .into_iter()
-                    .chain(r.ndv)
-                    .collect(),
+                ndv: l.ndv.into_iter().chain(r.ndv).collect(),
             };
             if let Some(f) = filter {
                 s.rows = (s.rows * selectivity(f, &s)).max(1.0);
@@ -180,9 +176,7 @@ fn cap_ndv(s: &mut PlanStats) {
 pub fn selectivity(pred: &ScalarExpr, stats: &PlanStats) -> f64 {
     match pred {
         ScalarExpr::Binary { op, lhs, rhs } => match op {
-            BinaryOp::And => {
-                selectivity(lhs, stats) * selectivity(rhs, stats)
-            }
+            BinaryOp::And => selectivity(lhs, stats) * selectivity(rhs, stats),
             BinaryOp::Or => {
                 let a = selectivity(lhs, stats);
                 let b = selectivity(rhs, stats);
@@ -191,9 +185,7 @@ pub fn selectivity(pred: &ScalarExpr, stats: &PlanStats) -> f64 {
             BinaryOp::Eq => match (lhs.as_column(), rhs.as_literal()) {
                 (Some(c), Some(_)) => 1.0 / stats.ndv_of(c).max(1.0),
                 _ => match (lhs.as_column(), rhs.as_column()) {
-                    (Some(a), Some(b)) => {
-                        1.0 / stats.ndv_of(a).max(stats.ndv_of(b)).max(1.0)
-                    }
+                    (Some(a), Some(b)) => 1.0 / stats.ndv_of(a).max(stats.ndv_of(b)).max(1.0),
                     _ => 0.1,
                 },
             },
@@ -212,7 +204,11 @@ pub fn selectivity(pred: &ScalarExpr, stats: &PlanStats) -> f64 {
                 0.25
             }
         }
-        ScalarExpr::InList { expr, list, negated } => {
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let base = match expr.as_column() {
                 Some(c) => (list.len() as f64 / stats.ndv_of(c).max(1.0)).min(1.0),
                 None => 0.2,
@@ -324,12 +320,20 @@ mod tests {
 
     fn customer(c: &Catalog) -> PlanBuilder {
         let e = c.resolve_one(&TableRef::bare("customer")).unwrap();
-        PlanBuilder::scan(e.table.clone(), e.location.clone(), e.schema.as_ref().clone())
+        PlanBuilder::scan(
+            e.table.clone(),
+            e.location.clone(),
+            e.schema.as_ref().clone(),
+        )
     }
 
     fn orders(c: &Catalog) -> PlanBuilder {
         let e = c.resolve_one(&TableRef::bare("orders")).unwrap();
-        PlanBuilder::scan(e.table.clone(), e.location.clone(), e.schema.as_ref().clone())
+        PlanBuilder::scan(
+            e.table.clone(),
+            e.location.clone(),
+            e.schema.as_ref().clone(),
+        )
     }
 
     #[test]
@@ -367,10 +371,7 @@ mod tests {
     fn aggregate_rows_bounded_by_group_ndv() {
         let c = catalog();
         let plan = customer(&c)
-            .aggregate(
-                &["c_mktseg"],
-                vec![geoqp_expr::AggCall::count_star("n")],
-            )
+            .aggregate(&["c_mktseg"], vec![geoqp_expr::AggCall::count_star("n")])
             .unwrap()
             .build();
         let s = estimate(&plan, &c);

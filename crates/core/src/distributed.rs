@@ -60,9 +60,7 @@ impl DataSource for CatalogSource<'_> {
         let entry = entries
             .iter()
             .find(|e| e.location == *location)
-            .ok_or_else(|| {
-                GeoError::Execution(format!("no table {table} at {location}"))
-            })?;
+            .ok_or_else(|| GeoError::Execution(format!("no table {table} at {location}")))?;
         let data = entry.data().ok_or_else(|| {
             GeoError::Execution(format!(
                 "table {table} at {location} has no materialized data; \
@@ -127,14 +125,14 @@ impl ShipHandler for SimShip<'_> {
         schema: &Schema,
     ) -> Result<Rows> {
         let encoded = rows.encode();
-        let (attempts, extra_ms) = match self.faults {
-            None => (1, 0.0),
+        let (attempts, extra_ms, step) = match self.faults {
+            None => (1, 0.0, 0),
             Some(faults) => {
                 let log = &mut self.log;
                 let delivered = self.retry.run(|_| {
                     let step = faults.tick();
                     match faults.check_transfer(from, to, step) {
-                        FaultVerdict::Deliver { extra_delay_ms } => Ok(extra_delay_ms),
+                        FaultVerdict::Deliver { extra_delay_ms } => Ok((extra_delay_ms, step)),
                         FaultVerdict::Drop {
                             transient,
                             culprit,
@@ -153,7 +151,12 @@ impl ShipHandler for SimShip<'_> {
                         }
                     }
                 })?;
-                (delivered.attempts, delivered.value + delivered.backoff_ms)
+                let (extra_delay_ms, step) = delivered.value;
+                (
+                    delivered.attempts,
+                    extra_delay_ms + delivered.backoff_ms,
+                    step,
+                )
             }
         };
         self.log.record_delivery(
@@ -164,10 +167,10 @@ impl ShipHandler for SimShip<'_> {
             rows.len() as u64,
             attempts,
             extra_ms,
+            step,
         );
-        Rows::decode(&encoded, schema.len()).ok_or_else(|| {
-            GeoError::Execution("wire corruption: batch failed to decode".into())
-        })
+        Rows::decode(&encoded, schema.len())
+            .ok_or_else(|| GeoError::Execution("wire corruption: batch failed to decode".into()))
     }
 }
 

@@ -3,7 +3,7 @@
 //! simulated geo-distributed sites.
 
 use crate::annotate::{fill_stats, AnnotateMode, AnnotatedNode, Annotator};
-use crate::compliance::check_compliance;
+use crate::compliance::{check_compliance, ship_traits};
 use crate::distributed::{CatalogSource, SimShip};
 use crate::memo::Memo;
 use crate::rules::{default_rules, explore};
@@ -14,9 +14,23 @@ use geoqp_net::{FaultPlan, NetworkTopology, TransferLog};
 use geoqp_plan::logical::LogicalPlan;
 use geoqp_plan::PhysicalPlan;
 use geoqp_policy::{PolicyCatalog, PolicyEvaluator};
+use geoqp_runtime::{Runtime, RuntimeConfig, RuntimeMetrics};
 use geoqp_storage::Catalog;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Which executor runs a located plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeMode {
+    /// The single-threaded recursive interpreter: sites take turns, each
+    /// SHIP moves one monolithic batch.
+    #[default]
+    Sequential,
+    /// The concurrent pipelined runtime (`geoqp-runtime`): one worker
+    /// thread per plan fragment, streaming bounded-batch exchanges at
+    /// SHIP boundaries, per-batch Definition-1 audit.
+    Parallel,
+}
 
 /// Which optimizer to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +103,18 @@ pub struct ExecutionResult {
     /// Every cross-site transfer performed, with exact bytes and
     /// simulated cost under the message cost model.
     pub transfers: TransferLog,
+}
+
+/// The result of executing a distributed plan on the parallel runtime.
+#[derive(Debug)]
+pub struct ParallelResult {
+    /// The result rows (at the plan's result location).
+    pub rows: Rows,
+    /// Every exchange batch delivered (and every dropped attempt), in
+    /// the canonical normalized order.
+    pub transfers: TransferLog,
+    /// Per-site and per-exchange observability for the run.
+    pub metrics: RuntimeMetrics,
 }
 
 /// The result of a fault-tolerant execution with compliant failover.
@@ -193,8 +219,7 @@ impl Engine {
             .best_root(root, result_location.as_ref())
             .ok_or_else(|| {
                 GeoError::QueryRejected(
-                    "no compliant execution plan exists in the explored search space"
-                        .into(),
+                    "no compliant execution plan exists in the explored search space".into(),
                 )
             })?
             .clone();
@@ -283,6 +308,48 @@ impl Engine {
         (outcome, ship.into_log())
     }
 
+    /// The per-SHIP-edge shipping traits the parallel runtime audits each
+    /// batch against (pre-order).
+    fn ship_audits(&self, plan: &PhysicalPlan) -> Result<Vec<LocationSet>> {
+        let universe = self.catalog.locations();
+        let evaluator = PolicyEvaluator::new(&self.policies, universe);
+        ship_traits(plan, &evaluator, &self.catalog)
+    }
+
+    /// Execute a located plan on the concurrent pipelined runtime: one
+    /// worker thread per plan fragment, streaming bounded-batch exchanges
+    /// at SHIP edges, and the Definition-1 audit enforced on every batch.
+    ///
+    /// Row results, shipped bytes, and total network cost are identical
+    /// to [`Engine::execute`]; simulated completion time is the pipelined
+    /// critical path instead of the sequential sum.
+    pub fn execute_parallel(&self, plan: &PhysicalPlan) -> Result<ParallelResult> {
+        self.execute_parallel_opts(plan, None, &RetryPolicy::none(), &RuntimeConfig::default())
+    }
+
+    /// [`Engine::execute_parallel`] with fault injection and explicit
+    /// exchange configuration.
+    pub fn execute_parallel_opts(
+        &self,
+        plan: &PhysicalPlan,
+        faults: Option<&FaultPlan>,
+        retry: &RetryPolicy,
+        config: &RuntimeConfig,
+    ) -> Result<ParallelResult> {
+        let audits = self.ship_audits(plan)?;
+        let source = CatalogSource::new(&self.catalog);
+        let mut runtime = Runtime::new(&self.topology).with_config(config.clone());
+        if let Some(faults) = faults {
+            runtime = runtime.with_faults(faults, retry.clone());
+        }
+        let out = runtime.run(plan, &source, Some(&audits))?;
+        Ok(ParallelResult {
+            rows: out.rows,
+            transfers: out.transfers,
+            metrics: out.metrics,
+        })
+    }
+
     /// Execute with fault injection *and* compliant failover re-planning.
     ///
     /// When an execution attempt dies on a [`GeoError::SiteUnavailable`]
@@ -302,6 +369,53 @@ impl Engine {
         retry: &RetryPolicy,
         max_replans: usize,
     ) -> Result<ResilientResult> {
+        self.resilient_loop(optimized, max_replans, |physical| {
+            self.try_execute_with_faults(physical, faults, retry)
+        })
+    }
+
+    /// [`Engine::execute_resilient`] on the parallel runtime: each failover
+    /// attempt runs concurrently and pipelined, and the metrics of the
+    /// attempt that completed are returned alongside the result.
+    pub fn execute_resilient_parallel(
+        &self,
+        optimized: &OptimizedQuery,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+        max_replans: usize,
+        config: &RuntimeConfig,
+    ) -> Result<(ResilientResult, RuntimeMetrics)> {
+        let mut metrics = None;
+        let result = self.resilient_loop(optimized, max_replans, |physical| {
+            let audits = match self.ship_audits(physical) {
+                Ok(a) => a,
+                Err(e) => return (Err(e), TransferLog::new()),
+            };
+            let source = CatalogSource::new(&self.catalog);
+            let runtime = Runtime::new(&self.topology)
+                .with_faults(faults, retry.clone())
+                .with_config(config.clone());
+            let (outcome, log) = runtime.try_run(physical, &source, Some(&audits));
+            (
+                outcome.map(|(rows, m)| {
+                    metrics = Some(m);
+                    rows
+                }),
+                log,
+            )
+        })?;
+        let metrics = metrics.expect("a successful parallel attempt recorded its metrics");
+        Ok((result, metrics))
+    }
+
+    /// The shared failover skeleton: try, exclude the failed site, re-run
+    /// Algorithm 2, re-audit, repeat.
+    fn resilient_loop(
+        &self,
+        optimized: &OptimizedQuery,
+        max_replans: usize,
+        mut try_once: impl FnMut(&PhysicalPlan) -> (Result<Rows>, TransferLog),
+    ) -> Result<ResilientResult> {
         let universe = self.catalog.locations();
         let evaluator = PolicyEvaluator::new(&self.policies, universe);
         let mut physical = Arc::clone(&optimized.physical);
@@ -309,7 +423,7 @@ impl Engine {
         let mut replans = 0usize;
         let mut transfers = TransferLog::new();
         loop {
-            let (attempt, log) = self.try_execute_with_faults(&physical, faults, retry);
+            let (attempt, log) = try_once(&physical);
             transfers.absorb(log);
             match attempt {
                 Ok(rows) => {
@@ -342,12 +456,15 @@ impl Engine {
                     // Re-run Algorithm 2 with the failed sites excluded
                     // from every execution trait.
                     let annotated =
-                        optimized.annotated.excluding_sites(&excluded).ok_or_else(|| {
-                            GeoError::QueryRejected(format!(
-                                "no compliant placement survives the failure of {excluded}: \
+                        optimized
+                            .annotated
+                            .excluding_sites(&excluded)
+                            .ok_or_else(|| {
+                                GeoError::QueryRejected(format!(
+                                    "no compliant placement survives the failure of {excluded}: \
                                  an operator's execution trait became empty"
-                            ))
-                        })?;
+                                ))
+                            })?;
                     let sited = select_sites_with(
                         &annotated,
                         &self.topology,
@@ -386,6 +503,40 @@ impl Engine {
         let optimized = self.optimize_sql(sql, mode, result_location)?;
         let result = self.execute(&optimized.physical)?;
         Ok((optimized, result))
+    }
+
+    /// Parse, lower, optimize, and execute on the chosen runtime.
+    pub fn run_sql_parallel(
+        &self,
+        sql: &str,
+        mode: OptimizerMode,
+        result_location: Option<Location>,
+    ) -> Result<(OptimizedQuery, ParallelResult)> {
+        let optimized = self.optimize_sql(sql, mode, result_location)?;
+        let result = self.execute_parallel(&optimized.physical)?;
+        Ok((optimized, result))
+    }
+
+    /// The full pipeline under fault injection with compliant failover on
+    /// the parallel runtime.
+    pub fn run_sql_resilient_parallel(
+        &self,
+        sql: &str,
+        mode: OptimizerMode,
+        result_location: Option<Location>,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+        max_replans: usize,
+    ) -> Result<(OptimizedQuery, ResilientResult, RuntimeMetrics)> {
+        let optimized = self.optimize_sql(sql, mode, result_location)?;
+        let (result, metrics) = self.execute_resilient_parallel(
+            &optimized,
+            faults,
+            retry,
+            max_replans,
+            &RuntimeConfig::default(),
+        )?;
+        Ok((optimized, result, metrics))
     }
 
     /// The full pipeline under fault injection with compliant failover.

@@ -16,7 +16,9 @@ pub fn display_annotated(node: &AnnotatedNode) -> String {
 fn fmt(node: &AnnotatedNode, depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
     let label = match &node.op {
-        MOp::Scan { table, location, .. } => format!("Scan {table} @ {location}"),
+        MOp::Scan {
+            table, location, ..
+        } => format!("Scan {table} @ {location}"),
         MOp::Filter { predicate } => format!("Filter {predicate}"),
         MOp::Project { exprs } => {
             let cols: Vec<String> = exprs

@@ -45,9 +45,14 @@ pub mod rules;
 pub mod site_selector;
 
 pub use annotate::{AnnotatedNode, Annotator};
-pub use compliance::check_compliance;
+pub use compliance::{check_compliance, ship_traits};
 pub use engine::{
     Engine, ExecutionResult, OptimizeStats, OptimizedQuery, OptimizerMode, OptimizerOptions,
-    ResilientResult,
+    ParallelResult, ResilientResult, RuntimeMode,
 };
 pub use site_selector::{select_sites, select_sites_with, Objective};
+
+// The parallel runtime's knobs and metrics, re-exported so front ends can
+// configure [`Engine::execute_parallel_opts`] and render `\metrics` without
+// depending on `geoqp-runtime` directly.
+pub use geoqp_runtime::{RuntimeConfig, RuntimeMetrics};

@@ -411,9 +411,7 @@ pub fn op_of(plan: &LogicalPlan) -> MOp {
             on: on.clone(),
             filter: filter.clone(),
         },
-        LogicalPlan::Aggregate {
-            group_by, aggs, ..
-        } => MOp::Aggregate {
+        LogicalPlan::Aggregate { group_by, aggs, .. } => MOp::Aggregate {
             group_by: group_by.clone(),
             aggs: aggs.clone(),
         },

@@ -98,10 +98,7 @@ fn substitute(expr: &ScalarExpr, map: &BTreeMap<String, ScalarExpr>) -> ScalarEx
 /// Push a set of incoming conjuncts (over the node's output schema) as far
 /// down as possible; returns a plan equivalent to
 /// `σ_{∧incoming}(plan)`.
-fn push_filters(
-    plan: &Arc<LogicalPlan>,
-    incoming: Vec<ScalarExpr>,
-) -> Result<Arc<LogicalPlan>> {
+fn push_filters(plan: &Arc<LogicalPlan>, incoming: Vec<ScalarExpr>) -> Result<Arc<LogicalPlan>> {
     match plan.as_ref() {
         LogicalPlan::Filter { input, predicate } => {
             let mut preds = incoming;
@@ -113,12 +110,9 @@ fn push_filters(
             push_filters(input, preds)
         }
         LogicalPlan::Project { input, exprs, .. } => {
-            let map: BTreeMap<String, ScalarExpr> = exprs
-                .iter()
-                .map(|(e, n)| (n.clone(), e.clone()))
-                .collect();
-            let below: Vec<ScalarExpr> =
-                incoming.iter().map(|p| substitute(p, &map)).collect();
+            let map: BTreeMap<String, ScalarExpr> =
+                exprs.iter().map(|(e, n)| (n.clone(), e.clone())).collect();
+            let below: Vec<ScalarExpr> = incoming.iter().map(|p| substitute(p, &map)).collect();
             let child = push_filters(input, below)?;
             Ok(Arc::new(LogicalPlan::project(child, exprs.clone())?))
         }
@@ -129,10 +123,18 @@ fn push_filters(
             filter,
             ..
         } => {
-            let lcols: BTreeSet<String> =
-                left.schema().names().iter().map(|s| s.to_string()).collect();
-            let rcols: BTreeSet<String> =
-                right.schema().names().iter().map(|s| s.to_string()).collect();
+            let lcols: BTreeSet<String> = left
+                .schema()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let rcols: BTreeSet<String> = right
+                .schema()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             let mut lparts = Vec::new();
             let mut rparts = Vec::new();
             let mut residual = Vec::new();
@@ -391,9 +393,10 @@ fn simplify_projects(plan: &Arc<LogicalPlan>) -> Result<Arc<LogicalPlan>> {
 
 fn is_identity(exprs: &[(ScalarExpr, String)], input: &Schema) -> bool {
     exprs.len() == input.len()
-        && exprs.iter().zip(input.names()).all(|((e, n), c)| {
-            e.as_column() == Some(c) && n == c
-        })
+        && exprs
+            .iter()
+            .zip(input.names())
+            .all(|((e, n), c)| e.as_column() == Some(c) && n == c)
 }
 
 #[cfg(test)]
@@ -406,8 +409,12 @@ mod tests {
         PlanBuilder::scan(
             TableRef::bare(name),
             Location::new(loc),
-            Schema::new(cols.iter().map(|c| Field::new(*c, DataType::Int64)).collect())
-                .unwrap(),
+            Schema::new(
+                cols.iter()
+                    .map(|c| Field::new(*c, DataType::Int64))
+                    .collect(),
+            )
+            .unwrap(),
         )
     }
 
@@ -467,8 +474,11 @@ mod tests {
                 }
             }
         });
-        assert!(saw_pruned_scan_side, "a_unused not pruned:\n{}",
-            geoqp_plan::display::display_logical(&n));
+        assert!(
+            saw_pruned_scan_side,
+            "a_unused not pruned:\n{}",
+            geoqp_plan::display::display_logical(&n)
+        );
     }
 
     #[test]

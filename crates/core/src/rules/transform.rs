@@ -11,9 +11,7 @@
 use crate::memo::{GroupId, MExpr, MOp, Memo};
 use crate::rules::TransformRule;
 use geoqp_common::Result;
-use geoqp_expr::{
-    conjoin, predicate::partition_conjuncts, AggCall, AggFunc, ScalarExpr,
-};
+use geoqp_expr::{conjoin, predicate::partition_conjuncts, AggCall, AggFunc, ScalarExpr};
 use std::collections::{BTreeMap, BTreeSet};
 
 // --------------------------------------------------------------- helpers
@@ -148,19 +146,15 @@ impl TransformRule for FilterPushdown {
                         continue;
                     }
                     let new_l = match conjoin(lparts) {
-                        Some(p) => make_group(
-                            memo,
-                            MOp::Filter { predicate: p },
-                            vec![ce.children[0]],
-                        )?,
+                        Some(p) => {
+                            make_group(memo, MOp::Filter { predicate: p }, vec![ce.children[0]])?
+                        }
                         None => ce.children[0],
                     };
                     let new_r = match conjoin(rparts) {
-                        Some(p) => make_group(
-                            memo,
-                            MOp::Filter { predicate: p },
-                            vec![ce.children[1]],
-                        )?,
+                        Some(p) => {
+                            make_group(memo, MOp::Filter { predicate: p }, vec![ce.children[1]])?
+                        }
                         None => ce.children[1],
                     };
                     let join_op = MOp::Join {
@@ -182,16 +176,11 @@ impl TransformRule for FilterPushdown {
                     }
                 }
                 MOp::Project { exprs } => {
-                    let map: BTreeMap<String, ScalarExpr> = exprs
-                        .iter()
-                        .map(|(e, n)| (n.clone(), e.clone()))
-                        .collect();
+                    let map: BTreeMap<String, ScalarExpr> =
+                        exprs.iter().map(|(e, n)| (n.clone(), e.clone())).collect();
                     let inner = substitute(predicate, &map);
-                    let fg = make_group(
-                        memo,
-                        MOp::Filter { predicate: inner },
-                        vec![ce.children[0]],
-                    )?;
+                    let fg =
+                        make_group(memo, MOp::Filter { predicate: inner }, vec![ce.children[0]])?;
                     out.push(MExpr {
                         op: MOp::Project {
                             exprs: exprs.clone(),
@@ -218,10 +207,7 @@ impl TransformRule for FilterPushdown {
                 MOp::Aggregate { group_by, aggs } => {
                     // Push only predicates over grouping columns.
                     let gset: BTreeSet<String> = group_by.iter().cloned().collect();
-                    if predicate
-                        .referenced_columns()
-                        .is_subset(&gset)
-                    {
+                    if predicate.referenced_columns().is_subset(&gset) {
                         let fg = make_group(
                             memo,
                             MOp::Filter {
@@ -276,10 +262,8 @@ impl TransformRule for ProjectMerge {
         let mut out = Vec::new();
         for ce in memo.group(child).exprs.clone() {
             if let MOp::Project { exprs: inner } = &ce.op {
-                let map: BTreeMap<String, ScalarExpr> = inner
-                    .iter()
-                    .map(|(e, n)| (n.clone(), e.clone()))
-                    .collect();
+                let map: BTreeMap<String, ScalarExpr> =
+                    inner.iter().map(|(e, n)| (n.clone(), e.clone())).collect();
                 let merged: Vec<(ScalarExpr, String)> = exprs
                     .iter()
                     .map(|(e, n)| (substitute(e, &map), n.clone()))
@@ -469,12 +453,12 @@ impl TransformRule for AggregateInputPrune {
 
 // ---------------------------------------------------------- join algebra
 
+/// Equi-join keys as `(left column, right column)` pairs.
+type JoinKeys = Vec<(String, String)>;
+
 /// Split join keys `(l, r)` of an outer join by which side of a nested
 /// join their left columns come from.
-fn split_keys(
-    on: &[(String, String)],
-    first: &BTreeSet<String>,
-) -> (Vec<(String, String)>, Vec<(String, String)>) {
+fn split_keys(on: &[(String, String)], first: &BTreeSet<String>) -> (JoinKeys, JoinKeys) {
     let mut in_first = Vec::new();
     let mut rest = Vec::new();
     for (l, r) in on {
@@ -550,12 +534,12 @@ impl TransformRule for JoinAssocLeft {
             // New outer: A ⋈ inner on (on_inner ++ keys_a).
             let mut on_new = on_inner.clone();
             on_new.extend(keys_a);
-            let filter_new = match (f_outer.clone(), f_move, f_stay) {
-                (a, b, c) => {
-                    let parts: Vec<ScalarExpr> =
-                        [a, b, c].into_iter().flatten().collect();
-                    conjoin(parts)
-                }
+            let filter_new = {
+                let parts: Vec<ScalarExpr> = [f_outer.clone(), f_move, f_stay]
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                conjoin(parts)
             };
             out.push(MExpr {
                 op: MOp::Join {
@@ -633,8 +617,7 @@ impl TransformRule for JoinAssocRight {
             // New outer: inner ⋈ C on (on_inner ++ keys_ac).
             let mut on_new = on_inner.clone();
             on_new.extend(keys_ac);
-            let parts: Vec<ScalarExpr> =
-                [f_outer.clone(), f_stay].into_iter().flatten().collect();
+            let parts: Vec<ScalarExpr> = [f_outer.clone(), f_stay].into_iter().flatten().collect();
             out.push(MExpr {
                 op: MOp::Join {
                     on: on_new,
@@ -745,6 +728,7 @@ impl TransformRule for JoinExchange {
 pub struct AggregateJoinPushdown;
 
 impl AggregateJoinPushdown {
+    #[allow(clippy::too_many_arguments)]
     fn try_push(
         &self,
         memo: &mut Memo,
@@ -835,11 +819,7 @@ impl AggregateJoinPushdown {
             // local-query descriptor stays expressible and AR4 can still
             // evaluate policies over the pre-aggregated side. Group
             // cardinalities are disclosed by any grouped aggregate anyway.
-            inner_aggs.push(AggCall::new(
-                AggFunc::Sum,
-                ScalarExpr::lit(1i64),
-                &cnt_name,
-            ));
+            inner_aggs.push(AggCall::new(AggFunc::Sum, ScalarExpr::lit(1i64), &cnt_name));
         }
         let inner_agg_g = make_group(
             memo,
@@ -893,9 +873,7 @@ impl AggregateJoinPushdown {
                         arg: Some(arg.clone().mul(ScalarExpr::col(cnt_name.clone()))),
                         alias: a.alias.clone(),
                     }),
-                    (Some(_), AggFunc::Min) | (Some(_), AggFunc::Max) => {
-                        outer_aggs.push(a.clone())
-                    }
+                    (Some(_), AggFunc::Min) | (Some(_), AggFunc::Max) => outer_aggs.push(a.clone()),
                     _ => unreachable!("classified above"),
                 }
             }
@@ -947,14 +925,10 @@ impl TransformRule for AggregateJoinPushdown {
                 continue;
             }
             let tag = group.0;
-            if let Some(e) =
-                self.try_push(memo, group_by, aggs, on, false, &ce.children, tag)?
-            {
+            if let Some(e) = self.try_push(memo, group_by, aggs, on, false, &ce.children, tag)? {
                 out.push(e);
             }
-            if let Some(e) =
-                self.try_push(memo, group_by, aggs, on, true, &ce.children, tag)?
-            {
+            if let Some(e) = self.try_push(memo, group_by, aggs, on, true, &ce.children, tag)? {
                 out.push(e);
             }
         }
@@ -1035,7 +1009,10 @@ mod tests {
             .iter()
             .filter(|e| matches!(e.op, MOp::Join { .. }))
             .count();
-        assert!(join_exprs >= 2, "expected associativity alternative, got {join_exprs}");
+        assert!(
+            join_exprs >= 2,
+            "expected associativity alternative, got {join_exprs}"
+        );
     }
 
     #[test]
@@ -1144,7 +1121,11 @@ mod tests {
             let this_key = format!("t{i}_k");
             b = b
                 .join(
-                    scan(&format!("t{i}"), &format!("L{i}"), &[&this_key, &format!("t{i}_n")]),
+                    scan(
+                        &format!("t{i}"),
+                        &format!("L{i}"),
+                        &[&this_key, &format!("t{i}_n")],
+                    ),
                     vec![(prev_link.as_str(), this_key.as_str())],
                 )
                 .unwrap();

@@ -178,9 +178,8 @@ fn assign(
                 best = Some((l2.clone(), c));
             }
         }
-        let (child_loc, _) = best.ok_or_else(|| {
-            GeoError::QueryRejected("child has empty execution trait".into())
-        })?;
+        let (child_loc, _) =
+            best.ok_or_else(|| GeoError::QueryRejected("child has empty execution trait".into()))?;
         let built = assign(child, &child_loc, topology, ids, memo, objective)?;
         phys_children.push(PhysicalPlan::ship(built, l.clone()));
     }
@@ -305,8 +304,7 @@ mod tests {
     #[test]
     fn result_location_charges_the_final_ship() {
         let plan = join(&["A", "B"], vec![leaf("A", 1000.0), leaf("B", 10.0)], 500.0);
-        let sited =
-            select_sites(&plan, &per_byte_topology(), Some(&loc("C"))).unwrap();
+        let sited = select_sites(&plan, &per_byte_topology(), Some(&loc("C"))).unwrap();
         assert_eq!(sited.result_location, loc("C"));
         // 10×10 bytes B→A plus 500×10 bytes A→C.
         assert!((sited.est_ship_cost_ms - (100.0 + 5000.0)).abs() < 1e-9);
@@ -316,7 +314,11 @@ mod tests {
     #[test]
     fn dp_matches_brute_force_on_a_two_level_tree() {
         // Join of (join of A,B) with C, middle join placeable anywhere.
-        let inner = join(&["A", "B", "C"], vec![leaf("A", 50.0), leaf("B", 70.0)], 30.0);
+        let inner = join(
+            &["A", "B", "C"],
+            vec![leaf("A", 50.0), leaf("B", 70.0)],
+            30.0,
+        );
         let outer = join(&["A", "B", "C"], vec![inner, leaf("C", 90.0)], 10.0);
         let topo = per_byte_topology();
         let sited = select_sites(&outer, &topo, None).unwrap();
@@ -348,7 +350,11 @@ mod tests {
         // running at C ships both in parallel (critical path 1000) — same
         // as the best sequential path, but crucially the *costs differ*
         // between objectives on asymmetric inputs:
-        let plan = join(&["A", "B", "C"], vec![leaf("A", 100.0), leaf("B", 60.0)], 10.0);
+        let plan = join(
+            &["A", "B", "C"],
+            vec![leaf("A", 100.0), leaf("B", 60.0)],
+            10.0,
+        );
         let topo = per_byte_topology();
         let total = select_sites_with(&plan, &topo, None, Objective::TotalCost).unwrap();
         let rt = select_sites_with(&plan, &topo, None, Objective::ResponseTime).unwrap();

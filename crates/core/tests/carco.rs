@@ -163,10 +163,7 @@ const Q_EX: &str = "SELECT c_name, SUM(o_totprice) AS sum_price, SUM(s_quantity)
 /// The hand-computed SQL answer over the test data (note SUM(o_totprice)
 /// is inflated by supply multiplicity, per standard join semantics).
 fn expected() -> Vec<(String, f64, i64)> {
-    vec![
-        ("alice".into(), 130.0, 14),
-        ("bob".into(), 40.0, 4),
-    ]
+    vec![("alice".into(), 130.0, 14), ("bob".into(), 40.0, 4)]
 }
 
 fn check_rows(rows: &geoqp_common::Rows) {
@@ -187,7 +184,8 @@ fn compliant_plan_is_found_audited_and_correct() {
         .unwrap();
 
     // Theorem 1: the emitted plan audits clean.
-    eng.audit(&opt.physical).expect("compliant plan must pass the Definition-1 audit");
+    eng.audit(&opt.physical)
+        .expect("compliant plan must pass the Definition-1 audit");
     assert_eq!(opt.result_location, Location::new("E"));
 
     // Semantics preserved.

@@ -57,8 +57,7 @@ fn engine() -> Engine {
     )
 }
 
-const SQL: &str =
-    "SELECT x_v, y_v, z_v FROM tx, ty, tz WHERE x_k = y_k AND y_k = z_k";
+const SQL: &str = "SELECT x_v, y_v, z_v FROM tx, ty, tz WHERE x_k = y_k AND y_k = z_k";
 
 #[test]
 fn both_objectives_produce_sound_equal_results() {

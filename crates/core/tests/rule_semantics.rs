@@ -7,9 +7,7 @@
 //! plan): here each root-group candidate is extracted, placed, executed,
 //! and compared.
 
-use geoqp_common::{
-    DataType, Field, Location, LocationSet, Row, Rows, Schema, TableRef, Value,
-};
+use geoqp_common::{DataType, Field, Location, LocationSet, Row, Rows, Schema, TableRef, Value};
 use geoqp_core::annotate::{fill_stats, AnnotateMode, Annotator};
 use geoqp_core::memo::Memo;
 use geoqp_core::normalize::normalize_plan;
@@ -68,7 +66,11 @@ fn fixture() -> Fixture {
 
 fn scan(f: &Fixture, t: &str) -> PlanBuilder {
     let e = f.catalog.resolve_one(&TableRef::bare(t)).unwrap();
-    PlanBuilder::scan(e.table.clone(), e.location.clone(), e.schema.as_ref().clone())
+    PlanBuilder::scan(
+        e.table.clone(),
+        e.location.clone(),
+        e.schema.as_ref().clone(),
+    )
 }
 
 fn canonical(rows: Rows) -> Vec<Row> {
@@ -101,10 +103,7 @@ fn assert_all_candidates_agree(f: &Fixture, plan: Arc<LogicalPlan>) {
     let topo = NetworkTopology::uniform(universe, 1.0, 1000.0);
 
     let candidates = frontiers.of(root);
-    assert!(
-        candidates.len() >= 1,
-        "no candidates for root group"
-    );
+    assert!(!candidates.is_empty(), "no candidates for root group");
     let mut reference: Option<Vec<Row>> = None;
     let mut distinct_shapes = 0;
     for cand in candidates {

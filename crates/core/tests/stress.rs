@@ -4,8 +4,8 @@
 use geoqp_common::{DataType, Field, Location, LocationSet, Schema, TableRef};
 use geoqp_core::{Engine, OptimizerMode};
 use geoqp_net::NetworkTopology;
-use geoqp_policy::{PolicyCatalog, PolicyExpression, ShipAttrs};
 use geoqp_plan::PlanBuilder;
+use geoqp_policy::{PolicyCatalog, PolicyExpression, ShipAttrs};
 use geoqp_storage::{Catalog, TableStats};
 use std::sync::Arc;
 
@@ -24,7 +24,12 @@ fn chain_engine(n: usize) -> (Engine, Arc<geoqp_plan::LogicalPlan>) {
         ])
         .unwrap();
         let entry = catalog
-            .add_table(&db, format!("t{i}"), schema.clone(), TableStats::new(1000 + i as u64 * 100, 27.0))
+            .add_table(
+                &db,
+                format!("t{i}"),
+                schema.clone(),
+                TableStats::new(1000 + i as u64 * 100, 27.0),
+            )
             .unwrap();
         policies
             .register(
@@ -37,11 +42,7 @@ fn chain_engine(n: usize) -> (Engine, Arc<geoqp_plan::LogicalPlan>) {
                 &entry.schema,
             )
             .unwrap();
-        builders.push(PlanBuilder::scan(
-            entry.table.clone(),
-            loc,
-            schema,
-        ));
+        builders.push(PlanBuilder::scan(entry.table.clone(), loc, schema));
     }
     let mut iter = builders.into_iter();
     let mut acc = iter.next().unwrap();
@@ -51,8 +52,7 @@ fn chain_engine(n: usize) -> (Engine, Arc<geoqp_plan::LogicalPlan>) {
         acc = acc.join(b, vec![(lk.as_str(), rk.as_str())]).unwrap();
     }
     let plan = acc.build();
-    let universe: LocationSet =
-        LocationSet::from_iter((0..n).map(|i| format!("S{i}")));
+    let universe: LocationSet = LocationSet::from_iter((0..n).map(|i| format!("S{i}")));
     let engine = Engine::new(
         Arc::new(catalog),
         Arc::new(policies),
@@ -104,8 +104,7 @@ fn wide_union_over_many_partitions() {
     // One logical table partitioned over 5 sites, unioned and aggregated.
     let catalog = Arc::new(geoqp_tpch::paper_catalog_partitioned(0.01, 5).unwrap());
     let policies =
-        geoqp_tpch::generate_policies(&catalog, geoqp_tpch::PolicyTemplate::CRA, 10, 1)
-            .unwrap();
+        geoqp_tpch::generate_policies(&catalog, geoqp_tpch::PolicyTemplate::CRA, 10, 1).unwrap();
     let engine = Engine::new(
         Arc::clone(&catalog),
         Arc::new(policies),

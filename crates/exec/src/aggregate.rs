@@ -55,8 +55,14 @@ impl BoundAgg {
     /// A fresh accumulator for this call.
     pub fn new_acc(&self) -> Accumulator {
         match self.func {
-            AggFunc::Sum if self.int_sum => Accumulator::SumInt { sum: 0, seen: false },
-            AggFunc::Sum => Accumulator::SumFloat { sum: 0.0, seen: false },
+            AggFunc::Sum if self.int_sum => Accumulator::SumInt {
+                sum: 0,
+                seen: false,
+            },
+            AggFunc::Sum => Accumulator::SumFloat {
+                sum: 0.0,
+                seen: false,
+            },
             AggFunc::Avg => Accumulator::Avg { sum: 0.0, n: 0 },
             AggFunc::Min => Accumulator::Min(None),
             AggFunc::Max => Accumulator::Max(None),
@@ -100,9 +106,9 @@ impl BoundAgg {
                     if v.is_null() {
                         return Ok(());
                     }
-                    let f = v.as_f64().ok_or_else(|| {
-                        GeoError::Execution(format!("SUM got non-numeric {v}"))
-                    })?;
+                    let f = v
+                        .as_f64()
+                        .ok_or_else(|| GeoError::Execution(format!("SUM got non-numeric {v}")))?;
                     *sum += f;
                     *seen = true;
                 }
@@ -112,9 +118,9 @@ impl BoundAgg {
                     if v.is_null() {
                         return Ok(());
                     }
-                    let f = v.as_f64().ok_or_else(|| {
-                        GeoError::Execution(format!("AVG got non-numeric {v}"))
-                    })?;
+                    let f = v
+                        .as_f64()
+                        .ok_or_else(|| GeoError::Execution(format!("AVG got non-numeric {v}")))?;
                     *sum += f;
                     *n += 1;
                 }
@@ -210,7 +216,10 @@ mod tests {
     fn sum_skips_nulls_and_nulls_on_empty() {
         let agg = bound(AggFunc::Sum, false);
         assert_eq!(
-            run(&agg, &[Value::Float64(1.5), Value::Null, Value::Float64(2.5)]),
+            run(
+                &agg,
+                &[Value::Float64(1.5), Value::Null, Value::Float64(2.5)]
+            ),
             Value::Float64(4.0)
         );
         assert_eq!(run(&agg, &[Value::Null]), Value::Null);
@@ -221,7 +230,10 @@ mod tests {
     fn avg_divides_by_non_null_count() {
         let agg = bound(AggFunc::Avg, false);
         assert_eq!(
-            run(&agg, &[Value::Float64(2.0), Value::Null, Value::Float64(4.0)]),
+            run(
+                &agg,
+                &[Value::Float64(2.0), Value::Null, Value::Float64(4.0)]
+            ),
             Value::Float64(3.0)
         );
         assert_eq!(run(&agg, &[]), Value::Null);

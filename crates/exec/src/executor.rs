@@ -1,9 +1,7 @@
 //! The recursive physical-plan interpreter.
 
 use crate::aggregate::BoundAgg;
-use geoqp_common::{
-    DataType, GeoError, Location, Result, Row, Rows, Schema, TableRef, Value,
-};
+use geoqp_common::{DataType, GeoError, Location, Result, Row, Rows, Schema, TableRef, Value};
 use geoqp_expr::{bind, BoundExpr};
 use geoqp_plan::{PhysOp, PhysicalPlan, SortKey};
 use std::collections::HashMap;
@@ -21,13 +19,8 @@ pub trait DataSource {
 pub trait ShipHandler {
     /// Transfer `rows` (with `schema`) from `from` to `to`, returning the
     /// rows as they arrive at the destination.
-    fn ship(
-        &mut self,
-        from: &Location,
-        to: &Location,
-        rows: Rows,
-        schema: &Schema,
-    ) -> Result<Rows>;
+    fn ship(&mut self, from: &Location, to: &Location, rows: Rows, schema: &Schema)
+        -> Result<Rows>;
 }
 
 /// A ship handler that moves rows without cost accounting — useful for
@@ -47,6 +40,28 @@ impl ShipHandler for LocalShip {
     }
 }
 
+/// Intercepts plan nodes that are evaluated *outside* the current
+/// interpreter — the concurrent runtime's fragment boundaries. Before
+/// recursing into any node, the interpreter asks the exchange whether the
+/// node's rows are supplied externally (a SHIP whose producer subtree runs
+/// on another site's worker thread); if so, the returned rows are used and
+/// the subtree below is never visited here.
+pub trait ExchangeSource {
+    /// The externally produced rows for `node`, or `None` when the node is
+    /// local to this interpreter.
+    fn fetch(&self, node: &PhysicalPlan) -> Option<Result<Rows>>;
+}
+
+/// The trivial exchange: every node is local.
+#[derive(Debug, Default)]
+pub struct NoExchange;
+
+impl ExchangeSource for NoExchange {
+    fn fetch(&self, _node: &PhysicalPlan) -> Option<Result<Rows>> {
+        None
+    }
+}
+
 /// Execute a located physical plan, returning the result rows at the root
 /// operator's location.
 pub fn execute(
@@ -54,11 +69,26 @@ pub fn execute(
     source: &dyn DataSource,
     ship: &mut dyn ShipHandler,
 ) -> Result<Rows> {
+    execute_fragment(plan, source, ship, &NoExchange)
+}
+
+/// [`execute`] with fragment boundaries: nodes claimed by `exchange` are
+/// not interpreted here — their rows come from the exchange (produced by
+/// another site's worker in the concurrent runtime).
+pub fn execute_fragment(
+    plan: &PhysicalPlan,
+    source: &dyn DataSource,
+    ship: &mut dyn ShipHandler,
+    exchange: &dyn ExchangeSource,
+) -> Result<Rows> {
+    if let Some(rows) = exchange.fetch(plan) {
+        return rows;
+    }
     match &plan.op {
         PhysOp::Scan { table } => source.scan(table, &plan.location),
         PhysOp::Filter { predicate } => {
             let input = &plan.inputs[0];
-            let rows = execute(input, source, ship)?;
+            let rows = execute_fragment(input, source, ship, exchange)?;
             let bound = bind(predicate, &input.schema)?;
             let mut out = Rows::new();
             for row in rows {
@@ -70,7 +100,7 @@ pub fn execute(
         }
         PhysOp::Project { exprs } => {
             let input = &plan.inputs[0];
-            let rows = execute(input, source, ship)?;
+            let rows = execute_fragment(input, source, ship, exchange)?;
             let bound: Vec<BoundExpr> = exprs
                 .iter()
                 .map(|(e, _)| bind(e, &input.schema))
@@ -89,13 +119,21 @@ pub fn execute(
             left_keys,
             right_keys,
             filter,
-        } => execute_hash_join(plan, left_keys, right_keys, filter.as_ref(), source, ship),
+        } => execute_hash_join(
+            plan,
+            left_keys,
+            right_keys,
+            filter.as_ref(),
+            source,
+            ship,
+            exchange,
+        ),
         PhysOp::HashAggregate { group_by, aggs } => {
-            execute_hash_aggregate(plan, group_by, aggs, source, ship)
+            execute_hash_aggregate(plan, group_by, aggs, source, ship, exchange)
         }
         PhysOp::Sort { keys } => {
             let input = &plan.inputs[0];
-            let rows = execute(input, source, ship)?;
+            let rows = execute_fragment(input, source, ship, exchange)?;
             let mut rows = rows.into_rows();
             let indices: Vec<(usize, bool)> = keys
                 .iter()
@@ -114,7 +152,7 @@ pub fn execute(
             Ok(Rows::from_rows(rows))
         }
         PhysOp::Limit { fetch } => {
-            let rows = execute(&plan.inputs[0], source, ship)?;
+            let rows = execute_fragment(&plan.inputs[0], source, ship, exchange)?;
             let mut rows = rows.into_rows();
             rows.truncate(*fetch);
             Ok(Rows::from_rows(rows))
@@ -122,7 +160,7 @@ pub fn execute(
         PhysOp::Union => {
             let mut out = Rows::new();
             for input in &plan.inputs {
-                for row in execute(input, source, ship)? {
+                for row in execute_fragment(input, source, ship, exchange)? {
                     out.push(row);
                 }
             }
@@ -130,12 +168,13 @@ pub fn execute(
         }
         PhysOp::Ship => {
             let input = &plan.inputs[0];
-            let rows = execute(input, source, ship)?;
+            let rows = execute_fragment(input, source, ship, exchange)?;
             ship.ship(&input.location, &plan.location, rows, &input.schema)
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_hash_join(
     plan: &PhysicalPlan,
     left_keys: &[String],
@@ -143,10 +182,11 @@ fn execute_hash_join(
     filter: Option<&geoqp_expr::ScalarExpr>,
     source: &dyn DataSource,
     ship: &mut dyn ShipHandler,
+    exchange: &dyn ExchangeSource,
 ) -> Result<Rows> {
     let (left, right) = (&plan.inputs[0], &plan.inputs[1]);
-    let left_rows = execute(left, source, ship)?;
-    let right_rows = execute(right, source, ship)?;
+    let left_rows = execute_fragment(left, source, ship, exchange)?;
+    let right_rows = execute_fragment(right, source, ship, exchange)?;
 
     let lidx: Vec<usize> = left_keys
         .iter()
@@ -200,9 +240,10 @@ fn execute_hash_aggregate(
     aggs: &[geoqp_expr::AggCall],
     source: &dyn DataSource,
     ship: &mut dyn ShipHandler,
+    exchange: &dyn ExchangeSource,
 ) -> Result<Rows> {
     let input = &plan.inputs[0];
-    let rows = execute(input, source, ship)?;
+    let rows = execute_fragment(input, source, ship, exchange)?;
     let gidx: Vec<usize> = group_by
         .iter()
         .map(|g| input.schema.require_index(g))
@@ -276,9 +317,7 @@ impl DataSource for MapSource {
         self.tables
             .get(&(table.clone(), location.clone()))
             .cloned()
-            .ok_or_else(|| {
-                GeoError::Execution(format!("no data for {table} at {location}"))
-            })
+            .ok_or_else(|| GeoError::Execution(format!("no data for {table} at {location}")))
     }
 }
 
@@ -293,11 +332,7 @@ mod tests {
         Location::new(n)
     }
 
-    fn scan_node(
-        table: &str,
-        location: &str,
-        fields: Vec<Field>,
-    ) -> Arc<PhysicalPlan> {
+    fn scan_node(table: &str, location: &str, fields: Vec<Field>) -> Arc<PhysicalPlan> {
         Arc::new(
             PhysicalPlan::new(
                 PhysOp::Scan {
@@ -456,7 +491,7 @@ mod tests {
         .unwrap();
         let rows = execute(&agg, &source(), &mut LocalShip).unwrap();
         assert_eq!(rows.len(), 3); // keys: NULL, 1, 2 (NULL groups together)
-        // Deterministic order: Null first.
+                                   // Deterministic order: Null first.
         assert_eq!(rows.rows()[0][0], Value::Null);
         assert_eq!(rows.rows()[1][1], Value::Float64(30.0));
         assert_eq!(rows.rows()[1][2], Value::Int64(2));
@@ -517,13 +552,8 @@ mod tests {
             )
             .unwrap(),
         );
-        let limit = PhysicalPlan::new(
-            PhysOp::Limit { fetch: 2 },
-            schema,
-            loc("N"),
-            vec![sort],
-        )
-        .unwrap();
+        let limit =
+            PhysicalPlan::new(PhysOp::Limit { fetch: 2 }, schema, loc("N"), vec![sort]).unwrap();
         let rows = execute(&limit, &source(), &mut LocalShip).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows.rows()[0][1], Value::str("carol"));

@@ -23,5 +23,8 @@ pub mod aggregate;
 pub mod executor;
 pub mod retry;
 
-pub use executor::{execute, DataSource, LocalShip, MapSource, ShipHandler};
+pub use executor::{
+    execute, execute_fragment, DataSource, ExchangeSource, LocalShip, MapSource, NoExchange,
+    ShipHandler,
+};
 pub use retry::{Retried, RetryPolicy, RetryingShip, RetryingSource};

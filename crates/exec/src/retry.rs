@@ -12,9 +12,9 @@
 //! milliseconds are returned so the network simulator can charge them to
 //! the transfer's cost, keeping test runs instant and deterministic.
 
-use geoqp_common::{Location, Result, Rows, Schema, TableRef};
 #[cfg(test)]
 use geoqp_common::GeoError;
+use geoqp_common::{Location, Result, Rows, Schema, TableRef};
 
 use crate::executor::{DataSource, ShipHandler};
 
@@ -71,7 +71,10 @@ impl RetryPolicy {
     /// final transient one — is returned as-is, typed link/site details
     /// intact.
     pub fn run<T>(&self, mut op: impl FnMut(u32) -> Result<T>) -> Result<Retried<T>> {
-        assert!(self.max_attempts >= 1, "retry policy needs at least one attempt");
+        assert!(
+            self.max_attempts >= 1,
+            "retry policy needs at least one attempt"
+        );
         let mut backoff_ms = 0.0;
         let mut attempt = 1;
         loop {
@@ -85,8 +88,8 @@ impl RetryPolicy {
                 }
                 Err(e) => {
                     let next_backoff = self.backoff_before_ms(attempt + 1);
-                    let budget_left = attempt < self.max_attempts
-                        && backoff_ms + next_backoff <= self.timeout_ms;
+                    let budget_left =
+                        attempt < self.max_attempts && backoff_ms + next_backoff <= self.timeout_ms;
                     if !e.is_transient() || !budget_left {
                         return Err(e);
                     }
@@ -299,7 +302,12 @@ mod tests {
 
         let mut ok = RetryingShip::new(Flaky { failures_left: 2 }, RetryPolicy::default());
         let shipped = ok
-            .ship(&Location::new("A"), &Location::new("B"), rows.clone(), &schema)
+            .ship(
+                &Location::new("A"),
+                &Location::new("B"),
+                rows.clone(),
+                &schema,
+            )
             .unwrap();
         assert_eq!(shipped, rows);
 

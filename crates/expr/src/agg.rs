@@ -42,14 +42,18 @@ impl AggFunc {
                 if input.is_numeric() {
                     Ok(input)
                 } else {
-                    Err(GeoError::Plan(format!("SUM requires numeric input, got {input}")))
+                    Err(GeoError::Plan(format!(
+                        "SUM requires numeric input, got {input}"
+                    )))
                 }
             }
             AggFunc::Avg => {
                 if input.is_numeric() {
                     Ok(DataType::Float64)
                 } else {
-                    Err(GeoError::Plan(format!("AVG requires numeric input, got {input}")))
+                    Err(GeoError::Plan(format!(
+                        "AVG requires numeric input, got {input}"
+                    )))
                 }
             }
             AggFunc::Min | AggFunc::Max => {

@@ -183,9 +183,7 @@ impl BoundExpr {
                 if v.is_null() {
                     return Ok(Value::Null);
                 }
-                let found = list
-                    .iter()
-                    .any(|c| v.sql_cmp(c) == Some(Ordering::Equal));
+                let found = list.iter().any(|c| v.sql_cmp(c) == Some(Ordering::Equal));
                 Ok(Value::Bool(found != *negated))
             }
             BoundExpr::Between {
@@ -348,7 +346,10 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(ev(ScalarExpr::col("a").add(ScalarExpr::lit(5i64))), Value::Int64(15));
+        assert_eq!(
+            ev(ScalarExpr::col("a").add(ScalarExpr::lit(5i64))),
+            Value::Int64(15)
+        );
         assert_eq!(
             ev(ScalarExpr::col("a").mul(ScalarExpr::col("b"))),
             Value::Float64(25.0)
@@ -375,7 +376,10 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert_eq!(ev(ScalarExpr::col("a").gt(ScalarExpr::lit(5i64))), Value::Bool(true));
+        assert_eq!(
+            ev(ScalarExpr::col("a").gt(ScalarExpr::lit(5i64))),
+            Value::Bool(true)
+        );
         assert_eq!(
             ev(ScalarExpr::col("a").lt_eq(ScalarExpr::lit(9i64))),
             Value::Bool(false)
@@ -419,7 +423,10 @@ mod tests {
     #[test]
     fn like_and_in_and_between() {
         assert_eq!(ev(ScalarExpr::col("s").like("BUILD%")), Value::Bool(true));
-        assert_eq!(ev(ScalarExpr::col("s").not_like("%ING")), Value::Bool(false));
+        assert_eq!(
+            ev(ScalarExpr::col("s").not_like("%ING")),
+            Value::Bool(false)
+        );
         assert_eq!(
             ev(ScalarExpr::col("a").in_list(vec![Value::Int64(1), Value::Int64(10)])),
             Value::Bool(true)

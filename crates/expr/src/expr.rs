@@ -513,11 +513,9 @@ impl fmt::Display for ScalarExpr {
                 "({expr} {}BETWEEN {low} AND {high})",
                 if *negated { "NOT " } else { "" }
             ),
-            ScalarExpr::IsNull { expr, negated } => write!(
-                f,
-                "({expr} IS {}NULL)",
-                if *negated { "NOT " } else { "" }
-            ),
+            ScalarExpr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
         }
     }
 }

@@ -249,10 +249,7 @@ impl Summary {
                 }
             }
             if let Some(eq) = &f.eq {
-                if f.neq
-                    .iter()
-                    .any(|v| v.sql_cmp(eq) == Some(Ordering::Equal))
-                {
+                if f.neq.iter().any(|v| v.sql_cmp(eq) == Some(Ordering::Equal)) {
                     self.unsat = true;
                     return;
                 }
@@ -398,8 +395,7 @@ impl Summary {
     }
 
     fn entails_in(&self, f: &ColumnFacts, list: &[Value], negated: bool) -> bool {
-        let in_list =
-            |v: &Value| list.iter().any(|c| c.sql_cmp(v) == Some(Ordering::Equal));
+        let in_list = |v: &Value| list.iter().any(|c| c.sql_cmp(v) == Some(Ordering::Equal));
         if let Some(eq) = &f.eq {
             return in_list(eq) != negated;
         }
@@ -413,9 +409,7 @@ impl Summary {
         if negated {
             // Every listed value must be excluded by a known fact.
             list.iter().all(|v| {
-                f.neq
-                    .iter()
-                    .any(|n| n.sql_cmp(v) == Some(Ordering::Equal))
+                f.neq.iter().any(|n| n.sql_cmp(v) == Some(Ordering::Equal))
                     || value_outside_interval(f, v)
             })
         } else {
@@ -563,7 +557,10 @@ mod tests {
         assert!(implies(&p, &col("a").gt(int(5))));
         assert!(implies(&p, &col("a").lt_eq(int(7))));
         assert!(implies(&p, &col("a").not_eq(int(9))));
-        assert!(implies(&p, &col("a").in_list(vec![Value::Int64(7), Value::Int64(8)])));
+        assert!(implies(
+            &p,
+            &col("a").in_list(vec![Value::Int64(7), Value::Int64(8)])
+        ));
         assert!(!implies(&p, &col("a").gt(int(7))));
     }
 
@@ -585,9 +582,7 @@ mod tests {
     #[test]
     fn disjunctive_consequent_any_branch() {
         // Table 3 e4: size > 40 OR type LIKE '%COPPER%'.
-        let q = col("size")
-            .gt(int(40))
-            .or(col("type").like("%COPPER%"));
+        let q = col("size").gt(int(40)).or(col("type").like("%COPPER%"));
         assert!(implies(&col("size").gt(int(50)), &q));
         assert!(implies(&col("type").like("%COPPER%"), &q));
         assert!(!implies(&col("size").gt(int(30)), &q));
@@ -596,10 +591,16 @@ mod tests {
     #[test]
     fn like_reasoning() {
         let p = col("mktseg").like("commercial");
-        assert!(implies(&p, &col("mktseg").eq(ScalarExpr::lit("commercial"))));
+        assert!(implies(
+            &p,
+            &col("mktseg").eq(ScalarExpr::lit("commercial"))
+        ));
         let p = col("name").like("ABCD%");
         assert!(implies(&p, &col("name").like("ABC%")));
-        assert!(!implies(&col("name").like("ABC%"), &col("name").like("ABCD%")));
+        assert!(!implies(
+            &col("name").like("ABC%"),
+            &col("name").like("ABCD%")
+        ));
         let p = col("s").eq(ScalarExpr::lit("PROMO BRASS"));
         assert!(implies(&p, &col("s").like("PROMO%")));
         assert!(implies(&p, &col("s").not_like("STANDARD%")));
@@ -615,10 +616,7 @@ mod tests {
         ]);
         assert!(implies(&p, &q));
         assert!(!implies(&q, &p));
-        assert!(implies(
-            &col("r").eq(ScalarExpr::lit("EUROPE")),
-            &q
-        ));
+        assert!(implies(&col("r").eq(ScalarExpr::lit("EUROPE")), &q));
         // Singleton IN behaves as equality.
         let p = col("r").in_list(vec![Value::str("EUROPE")]);
         assert!(implies(&p, &col("r").eq(ScalarExpr::lit("EUROPE"))));
@@ -735,7 +733,10 @@ mod tests {
     fn date_bounds() {
         let d1995 = ScalarExpr::lit(Value::date(1995, 1, 1));
         let d1996 = ScalarExpr::lit(Value::date(1996, 1, 1));
-        assert!(implies(&col("d").lt(d1995.clone()), &col("d").lt(d1996.clone())));
+        assert!(implies(
+            &col("d").lt(d1995.clone()),
+            &col("d").lt(d1996.clone())
+        ));
         assert!(!implies(&col("d").lt(d1996), &col("d").lt(d1995)));
     }
 }

@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn double_negation_cancels() {
         let p = ScalarExpr::col("a").gt(ScalarExpr::lit(5i64)).not().not();
-        assert_eq!(normalize(&p), ScalarExpr::col("a").gt(ScalarExpr::lit(5i64)));
+        assert_eq!(
+            normalize(&p),
+            ScalarExpr::col("a").gt(ScalarExpr::lit(5i64))
+        );
     }
 
     #[test]
@@ -190,15 +193,24 @@ mod tests {
     #[test]
     fn literal_comparisons_orient_column_left() {
         let p = ScalarExpr::lit(5i64).lt(ScalarExpr::col("a"));
-        assert_eq!(normalize(&p), ScalarExpr::col("a").gt(ScalarExpr::lit(5i64)));
+        assert_eq!(
+            normalize(&p),
+            ScalarExpr::col("a").gt(ScalarExpr::lit(5i64))
+        );
     }
 
     #[test]
     fn column_column_comparisons_orient_lexicographically() {
         let p = ScalarExpr::col("zz").eq(ScalarExpr::col("aa"));
-        assert_eq!(normalize(&p), ScalarExpr::col("aa").eq(ScalarExpr::col("zz")));
+        assert_eq!(
+            normalize(&p),
+            ScalarExpr::col("aa").eq(ScalarExpr::col("zz"))
+        );
         let p = ScalarExpr::col("zz").lt(ScalarExpr::col("aa"));
-        assert_eq!(normalize(&p), ScalarExpr::col("aa").gt(ScalarExpr::col("zz")));
+        assert_eq!(
+            normalize(&p),
+            ScalarExpr::col("aa").gt(ScalarExpr::col("zz"))
+        );
         // Already ordered: untouched.
         let p = ScalarExpr::col("aa").lt_eq(ScalarExpr::col("zz"));
         assert_eq!(normalize(&p), p);

@@ -96,13 +96,11 @@ mod tests {
 
     #[test]
     fn split_nested_conjunction() {
-        let p = ScalarExpr::col("a")
-            .gt(ScalarExpr::lit(1i64))
-            .and(
-                ScalarExpr::col("b")
-                    .eq(ScalarExpr::lit(2i64))
-                    .and(ScalarExpr::col("c").lt(ScalarExpr::lit(3i64))),
-            );
+        let p = ScalarExpr::col("a").gt(ScalarExpr::lit(1i64)).and(
+            ScalarExpr::col("b")
+                .eq(ScalarExpr::lit(2i64))
+                .and(ScalarExpr::col("c").lt(ScalarExpr::lit(3i64))),
+        );
         assert_eq!(split_conjunction(&p).len(), 3);
     }
 

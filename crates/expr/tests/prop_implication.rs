@@ -50,14 +50,13 @@ fn arb_atom() -> impl Strategy<Value = ScalarExpr> {
         pattern: p,
         negated: neg,
     });
-    let inlist = (
-        proptest::collection::vec(-3i64..=3, 1..4),
-        any::<bool>(),
-    )
-        .prop_map(|(vs, neg)| ScalarExpr::InList {
-            expr: Box::new(ScalarExpr::col("a")),
-            list: vs.into_iter().map(Value::Int64).collect(),
-            negated: neg,
+    let inlist =
+        (proptest::collection::vec(-3i64..=3, 1..4), any::<bool>()).prop_map(|(vs, neg)| {
+            ScalarExpr::InList {
+                expr: Box::new(ScalarExpr::col("a")),
+                list: vs.into_iter().map(Value::Int64).collect(),
+                negated: neg,
+            }
         });
     let between = (-5i64..=0, 0i64..=5).prop_map(|(lo, hi)| {
         ScalarExpr::col("b").between(ScalarExpr::lit(lo), ScalarExpr::lit(hi))
@@ -107,7 +106,7 @@ proptest! {
         if implies(&p, &q) {
             for row in &rows {
                 prop_assert!(
-                    !(satisfies(&p, row) && !satisfies(&q, row)),
+                    !satisfies(&p, row) || satisfies(&q, row),
                     "unsound: row {:?} satisfies P={p} but not Q={q}", row
                 );
             }

@@ -13,9 +13,9 @@
 //! before it.
 
 use geoqp_common::Location;
-use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A half-open window `[start, end)` of logical steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,13 +119,29 @@ pub enum FaultVerdict {
 }
 
 /// A deterministic schedule of network and site faults.
-#[derive(Debug, Clone, Default)]
+///
+/// The logical step clock is an [`AtomicU64`], so a plan can be shared by
+/// reference across the concurrent runtime's site worker threads: every
+/// `tick` hands out a unique step even under contention.
+#[derive(Debug, Default)]
 pub struct FaultPlan {
     seed: u64,
     site_crashes: BTreeMap<Location, Vec<StepWindow>>,
     link_faults: BTreeMap<(Location, Location), Vec<LinkFault>>,
     partitions: Vec<(BTreeSet<Location>, StepWindow)>,
-    clock: Cell<u64>,
+    clock: AtomicU64,
+}
+
+impl Clone for FaultPlan {
+    fn clone(&self) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            site_crashes: self.site_crashes.clone(),
+            link_faults: self.link_faults.clone(),
+            partitions: self.partitions.clone(),
+            clock: AtomicU64::new(self.clock.load(Ordering::SeqCst)),
+        }
+    }
 }
 
 impl FaultPlan {
@@ -150,7 +166,10 @@ impl FaultPlan {
     /// Crash `site` for `window`: scans at the site fail and every
     /// transfer touching it drops, non-transiently.
     pub fn with_crash(mut self, site: impl Into<Location>, window: StepWindow) -> FaultPlan {
-        self.site_crashes.entry(site.into()).or_default().push(window);
+        self.site_crashes
+            .entry(site.into())
+            .or_default()
+            .push(window);
         self
     }
 
@@ -176,7 +195,10 @@ impl FaultPlan {
         prob: f64,
         window: StepWindow,
     ) -> FaultPlan {
-        assert!((0.0..=1.0).contains(&prob), "flaky probability out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "flaky probability out of [0,1]"
+        );
         self.link_faults
             .entry((from.into(), to.into()))
             .or_default()
@@ -216,19 +238,17 @@ impl FaultPlan {
     /// being made. One tick per transfer/scan attempt keeps fault
     /// schedules replayable.
     pub fn tick(&self) -> u64 {
-        let step = self.clock.get();
-        self.clock.set(step + 1);
-        step
+        self.clock.fetch_add(1, Ordering::SeqCst)
     }
 
     /// The current clock value (the step the *next* attempt will get).
     pub fn step(&self) -> u64 {
-        self.clock.get()
+        self.clock.load(Ordering::SeqCst)
     }
 
     /// Rewind the clock to step 0 (for replaying the same schedule).
     pub fn reset_clock(&self) {
-        self.clock.set(0);
+        self.clock.store(0, Ordering::SeqCst);
     }
 
     /// Whether `site` is up at `step` (outside all its crash windows).
@@ -284,16 +304,14 @@ impl FaultPlan {
                             reason: format!("link {from}->{to} down at step {step}"),
                         };
                     }
-                    LinkFault::Flaky { prob, window } if window.contains(step) => {
-                        if self.flip(from, to, step) < *prob {
-                            return FaultVerdict::Drop {
-                                transient: true,
-                                culprit: None,
-                                reason: format!(
-                                    "link {from}->{to} dropped packet at step {step}"
-                                ),
-                            };
-                        }
+                    LinkFault::Flaky { prob, window }
+                        if window.contains(step) && self.flip(from, to, step) < *prob =>
+                    {
+                        return FaultVerdict::Drop {
+                            transient: true,
+                            culprit: None,
+                            reason: format!("link {from}->{to} dropped packet at step {step}"),
+                        };
                     }
                     LinkFault::Delay { extra_ms, window } if window.contains(step) => {
                         extra_delay_ms += extra_ms;
@@ -363,8 +381,10 @@ impl FaultPlan {
                     let (link, p) = body
                         .rsplit_once(':')
                         .ok_or_else(|| format!("flaky directive {directive:?} needs :prob"))?;
-                    let prob: f64 =
-                        p.trim().parse().map_err(|_| format!("bad probability {p:?}"))?;
+                    let prob: f64 = p
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad probability {p:?}"))?;
                     if !(0.0..=1.0).contains(&prob) {
                         return Err(format!("probability {prob} out of [0,1]"));
                     }
@@ -392,7 +412,9 @@ impl FaultPlan {
                 "partition" => {
                     let group: Vec<&str> = body.split(',').map(str::trim).collect();
                     if group.iter().any(|s| s.is_empty()) {
-                        return Err(format!("partition directive {directive:?} has an empty site"));
+                        return Err(format!(
+                            "partition directive {directive:?} has an empty site"
+                        ));
                     }
                     plan = plan.with_partition(group, window);
                 }
@@ -405,7 +427,11 @@ impl FaultPlan {
 
 /// Parse `A-B` (symmetric) or `A>B` (directed) into `(from, to, symmetric)`.
 fn parse_link(body: &str) -> Result<(Location, Location, bool), String> {
-    let (sep, both) = if body.contains('>') { ('>', false) } else { ('-', true) };
+    let (sep, both) = if body.contains('>') {
+        ('>', false)
+    } else {
+        ('-', true)
+    };
     let (a, b) = body
         .split_once(sep)
         .ok_or_else(|| format!("link {body:?} is not of the form A-B or A>B"))?;
@@ -449,7 +475,9 @@ mod tests {
         // Unrelated links are untouched.
         assert_eq!(
             plan.check_transfer(&loc("L1"), &loc("L3"), 5),
-            FaultVerdict::Deliver { extra_delay_ms: 0.0 }
+            FaultVerdict::Deliver {
+                extra_delay_ms: 0.0
+            }
         );
     }
 
@@ -494,7 +522,10 @@ mod tests {
         ));
         assert!(matches!(
             plan.check_transfer(&loc("L1"), &loc("L3"), 5),
-            FaultVerdict::Drop { transient: true, .. }
+            FaultVerdict::Drop {
+                transient: true,
+                ..
+            }
         ));
         assert!(matches!(
             plan.check_transfer(&loc("L4"), &loc("L2"), 5),
@@ -509,15 +540,21 @@ mod tests {
             .with_delay("L1", "L2", 50.0, StepWindow::new(5, 10));
         assert_eq!(
             plan.check_transfer(&loc("L1"), &loc("L2"), 2),
-            FaultVerdict::Deliver { extra_delay_ms: 100.0 }
+            FaultVerdict::Deliver {
+                extra_delay_ms: 100.0
+            }
         );
         assert_eq!(
             plan.check_transfer(&loc("L1"), &loc("L2"), 7),
-            FaultVerdict::Deliver { extra_delay_ms: 150.0 }
+            FaultVerdict::Deliver {
+                extra_delay_ms: 150.0
+            }
         );
         assert_eq!(
             plan.check_transfer(&loc("L1"), &loc("L2"), 10),
-            FaultVerdict::Deliver { extra_delay_ms: 0.0 }
+            FaultVerdict::Deliver {
+                extra_delay_ms: 0.0
+            }
         );
     }
 
@@ -579,7 +616,9 @@ mod tests {
         // non-partition-crossing link).
         assert_eq!(
             plan.check_transfer(&loc("L1"), &loc("L2"), 2),
-            FaultVerdict::Deliver { extra_delay_ms: 250.0 }
+            FaultVerdict::Deliver {
+                extra_delay_ms: 250.0
+            }
         );
     }
 

@@ -6,6 +6,10 @@ use geoqp_common::Location;
 /// One recorded cross-site transfer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransferRecord {
+    /// Logical step at which the batch was delivered (0 when no step
+    /// clock was active). Under the concurrent runtime this is the key
+    /// that makes log aggregation order-stable across thread schedules.
+    pub step: u64,
     /// Source site.
     pub from: Location,
     /// Destination site.
@@ -59,11 +63,13 @@ impl TransferLog {
         bytes: u64,
         rows: u64,
     ) -> f64 {
-        self.record_delivery(topology, from, to, bytes, rows, 1, 0.0)
+        self.record_delivery(topology, from, to, bytes, rows, 1, 0.0, 0)
     }
 
     /// Record a delivered transfer that took `attempts` tries, adding
     /// `extra_ms` of injected delay plus retry backoff to its cost.
+    /// `step` is the logical step of the delivering attempt (0 when no
+    /// step clock is active).
     #[allow(clippy::too_many_arguments)]
     pub fn record_delivery(
         &mut self,
@@ -74,9 +80,11 @@ impl TransferLog {
         rows: u64,
         attempts: u32,
         extra_ms: f64,
+        step: u64,
     ) -> f64 {
         let cost_ms = topology.ship_cost_ms(from, to, bytes as f64) + extra_ms;
         self.records.push(TransferRecord {
+            step,
             from: from.clone(),
             to: to.clone(),
             bytes,
@@ -85,6 +93,13 @@ impl TransferLog {
             attempts,
         });
         cost_ms
+    }
+
+    /// Append an already-costed record (the concurrent runtime charges
+    /// per-batch costs itself: the link's startup cost α is paid once per
+    /// exchange stream, not once per batch).
+    pub fn push(&mut self, record: TransferRecord) {
+        self.records.push(record);
     }
 
     /// Record a dropped transfer attempt.
@@ -119,7 +134,9 @@ impl TransferLog {
 
     /// Total simulated shipping cost in ms.
     pub fn total_cost_ms(&self) -> f64 {
-        self.records.iter().map(|r| r.cost_ms).sum()
+        // fold, not sum(): an empty f64 sum is -0.0, which would render
+        // as "-0.0 ms" for transfer-free queries.
+        self.records.iter().fold(0.0, |acc, r| acc + r.cost_ms)
     }
 
     /// All dropped attempts, in execution order.
@@ -143,6 +160,26 @@ impl TransferLog {
     pub fn reset(&mut self) {
         self.records.clear();
         self.faults.clear();
+    }
+
+    /// Sort records and fault events into the canonical reporting order:
+    /// `(step, from, to, bytes, rows)` for deliveries and
+    /// `(step, from, to, reason)` for drops.
+    ///
+    /// Logs produced by the concurrent runtime accumulate in whatever
+    /// order the site worker threads happened to finish; normalizing
+    /// before reporting keeps golden snapshots and failover matrices
+    /// byte-identical across runs. (The sort is stable, so sequential
+    /// logs — which are already in deterministic execution order and
+    /// often all at step 0 — are unchanged by construction.)
+    pub fn normalize(&mut self) {
+        self.records.sort_by(|a, b| {
+            (a.step, &a.from, &a.to, a.bytes, a.rows)
+                .cmp(&(b.step, &b.from, &b.to, b.bytes, b.rows))
+        });
+        self.faults.sort_by(|a, b| {
+            (a.step, &a.from, &a.to, &a.reason).cmp(&(b.step, &b.from, &b.to, &b.reason))
+        });
     }
 }
 
@@ -179,14 +216,42 @@ mod tests {
             10,
             3,
             40.0,
+            7,
         );
         assert_eq!(log.records()[0].attempts, 1);
         assert_eq!(log.records()[1].attempts, 3);
+        assert_eq!(log.records()[1].step, 7);
         assert!((retried - (base + 40.0)).abs() < 1e-9);
         assert_eq!(log.fault_count(), 1);
         assert_eq!(log.fault_events()[0].step, 5);
         log.reset();
         assert_eq!(log.fault_count(), 0);
+    }
+
+    #[test]
+    fn normalize_orders_by_step_then_endpoints() {
+        let topo = NetworkTopology::paper_wan();
+        // Two logs with the same deliveries in different thread-arrival
+        // orders must normalize to the same byte-identical sequence.
+        let mut a = TransferLog::new();
+        let mut b = TransferLog::new();
+        let l = |n: &str| Location::new(n);
+        a.record_delivery(&topo, &l("L4"), &l("L1"), 2000, 20, 1, 0.0, 3);
+        a.record_delivery(&topo, &l("L1"), &l("L3"), 1000, 10, 1, 0.0, 3);
+        a.record_delivery(&topo, &l("L2"), &l("L1"), 500, 5, 1, 0.0, 1);
+        a.record_fault(2, &l("L2"), &l("L1"), "drop".into());
+        a.record_fault(0, &l("L1"), &l("L3"), "drop".into());
+        b.record_delivery(&topo, &l("L2"), &l("L1"), 500, 5, 1, 0.0, 1);
+        b.record_delivery(&topo, &l("L1"), &l("L3"), 1000, 10, 1, 0.0, 3);
+        b.record_delivery(&topo, &l("L4"), &l("L1"), 2000, 20, 1, 0.0, 3);
+        b.record_fault(0, &l("L1"), &l("L3"), "drop".into());
+        b.record_fault(2, &l("L2"), &l("L1"), "drop".into());
+        a.normalize();
+        b.normalize();
+        assert_eq!(a, b);
+        assert_eq!(a.records()[0].step, 1);
+        assert_eq!(a.records()[1].from, l("L1"));
+        assert_eq!(a.fault_events()[0].step, 0);
     }
 
     #[test]

@@ -87,9 +87,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i += 1;
                 loop {
                     match chars.get(i) {
-                        None => {
-                            return Err(GeoError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(GeoError::Parse("unterminated string literal".into())),
                         Some('\'') => {
                             if chars.get(i + 1) == Some(&'\'') {
                                 s.push('\'');
@@ -111,8 +109,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 // `-` between identifier characters belongs to the
                 // identifier (`db-1`); otherwise it is the minus operator.
                 let prev_is_ident = matches!(out.last(), Some(Token::Ident(_)));
-                let next_is_ident_char =
-                    chars.get(i + 1).is_some_and(|c| c.is_alphanumeric() || *c == '_');
+                let next_is_ident_char = chars
+                    .get(i + 1)
+                    .is_some_and(|c| c.is_alphanumeric() || *c == '_');
                 let no_space_before = i > 0 && !chars[i - 1].is_whitespace();
                 if prev_is_ident && next_is_ident_char && no_space_before {
                     // Append to the previous identifier.
@@ -158,9 +157,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             a if a.is_alphabetic() || a == '_' => {
                 let start = i;
-                while i < chars.len()
-                    && (chars[i].is_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
                 out.push(Token::Ident(chars[start..i].iter().collect()));

@@ -97,8 +97,9 @@ pub fn lower_query(ast: &QueryAst, catalog: &Catalog) -> Result<Arc<LogicalPlan>
 
     while !remaining.is_empty() {
         // Find an item connected to the accumulated tree by an equi
-        // conjunct.
-        let mut chosen: Option<(usize, Vec<(String, String)>, Vec<usize>)> = None;
+        // conjunct: (item index, equi-join keys, conjunct indices used).
+        type Connection = (usize, Vec<(String, String)>, Vec<usize>);
+        let mut chosen: Option<Connection> = None;
         'items: for (idx, it) in remaining.iter().enumerate() {
             let item_cols: BTreeSet<String> = it.columns.iter().cloned().collect();
             let mut keys = Vec::new();
@@ -211,10 +212,12 @@ pub fn lower_query(ast: &QueryAst, catalog: &Catalog) -> Result<Arc<LogicalPlan>
                 }
                 SelectItem::Scalar { expr, alias } => {
                     let rewritten = resolver.rewrite(expr)?;
-                    let name = alias.clone().unwrap_or_else(|| match rewritten.as_column() {
-                        Some(c) => short_name(c),
-                        None => format!("col_{i}"),
-                    });
+                    let name = alias
+                        .clone()
+                        .unwrap_or_else(|| match rewritten.as_column() {
+                            Some(c) => short_name(c),
+                            None => format!("col_{i}"),
+                        });
                     exprs.push((rewritten, name));
                 }
                 SelectItem::Agg { .. } => unreachable!("handled by has_agg"),
@@ -322,10 +325,7 @@ impl Resolver {
                 .map(|it| {
                     let cols: BTreeSet<String> = if it.qualified {
                         // Store the *base* names for lookup.
-                        it.columns
-                            .iter()
-                            .map(|c| short_name(c))
-                            .collect()
+                        it.columns.iter().map(|c| short_name(c)).collect()
                     } else {
                         it.columns.iter().cloned().collect()
                     };
@@ -466,10 +466,8 @@ mod tests {
 
     #[test]
     fn residual_filters_survive() {
-        let ast = parse_query(
-            "SELECT name FROM customer WHERE acctbal > 100.0 AND name LIKE 'A%'",
-        )
-        .unwrap();
+        let ast = parse_query("SELECT name FROM customer WHERE acctbal > 100.0 AND name LIKE 'A%'")
+            .unwrap();
         let plan = lower_query(&ast, &catalog()).unwrap();
         // Plan: Project(Filter(Scan)).
         assert_eq!(plan.schema().names(), vec!["name"]);
@@ -491,19 +489,16 @@ mod tests {
 
     #[test]
     fn order_by_and_limit() {
-        let ast =
-            parse_query("SELECT name, acctbal FROM customer ORDER BY acctbal DESC LIMIT 5")
-                .unwrap();
+        let ast = parse_query("SELECT name, acctbal FROM customer ORDER BY acctbal DESC LIMIT 5")
+            .unwrap();
         let plan = lower_query(&ast, &catalog()).unwrap();
         assert!(matches!(plan.as_ref(), LogicalPlan::Limit { fetch: 5, .. }));
     }
 
     #[test]
     fn non_grouped_select_item_rejected() {
-        let ast = parse_query(
-            "SELECT name, acctbal, SUM(custkey) FROM customer GROUP BY name",
-        )
-        .unwrap();
+        let ast =
+            parse_query("SELECT name, acctbal, SUM(custkey) FROM customer GROUP BY name").unwrap();
         let err = lower_query(&ast, &catalog()).unwrap_err();
         assert!(err.message().contains("GROUP BY"));
     }

@@ -160,9 +160,9 @@ impl Parser {
         }
 
         self.expect_kw("from")?;
-        let mut from = vec![self.from_item()?];
+        let mut from = vec![self.parse_from_item()?];
         while self.eat(&Token::Comma) {
-            from.push(self.from_item()?);
+            from.push(self.parse_from_item()?);
         }
 
         let where_clause = if self.eat_kw("where") {
@@ -254,7 +254,7 @@ impl Parser {
         }
     }
 
-    fn from_item(&mut self) -> Result<FromItem> {
+    fn parse_from_item(&mut self) -> Result<FromItem> {
         let name = self.qualified_name()?;
         let table = TableRef::parse(&name);
         // Optional alias: `AS c` or bare `c` (but not a clause keyword).
@@ -314,9 +314,11 @@ impl Parser {
 
         // Negated postfix forms: `x NOT LIKE / NOT IN / NOT BETWEEN`.
         let negated = if self.peek().is_some_and(|t| t.is_kw("not"))
-            && self.tokens.get(self.pos + 1).is_some_and(|t| {
-                t.is_kw("like") || t.is_kw("in") || t.is_kw("between")
-            }) {
+            && self
+                .tokens
+                .get(self.pos + 1)
+                .is_some_and(|t| t.is_kw("like") || t.is_kw("in") || t.is_kw("between"))
+        {
             self.pos += 1;
             true
         } else {
@@ -578,10 +580,10 @@ impl Parser {
             Ok(PolicyExpression::basic(table, attrs, to, predicate)
                 .with_joined_tables(joined_tables))
         } else {
-            Ok(PolicyExpression::aggregate(
-                table, attrs, functions, group_by, to, predicate,
+            Ok(
+                PolicyExpression::aggregate(table, attrs, functions, group_by, to, predicate)
+                    .with_joined_tables(joined_tables),
             )
-            .with_joined_tables(joined_tables))
         }
     }
 }
@@ -624,7 +626,13 @@ mod tests {
         assert_eq!(q.select.len(), 3);
         assert_eq!(q.from.len(), 3);
         assert_eq!(q.group_by, vec!["c.name"]);
-        assert!(matches!(q.select[1], SelectItem::Agg { func: AggFunc::Sum, .. }));
+        assert!(matches!(
+            q.select[1],
+            SelectItem::Agg {
+                func: AggFunc::Sum,
+                ..
+            }
+        ));
         let w = q.where_clause.unwrap();
         assert_eq!(
             w.to_string(),
@@ -654,15 +662,15 @@ mod tests {
              FROM lineitem ORDER BY revenue DESC, l_orderkey LIMIT 10",
         )
         .unwrap();
-        assert_eq!(q.order_by, vec![("revenue".into(), true), ("l_orderkey".into(), false)]);
+        assert_eq!(
+            q.order_by,
+            vec![("revenue".into(), true), ("l_orderkey".into(), false)]
+        );
         assert_eq!(q.limit, Some(10));
         match &q.select[0] {
             SelectItem::Scalar { expr, alias } => {
                 assert_eq!(alias.as_deref(), Some("revenue"));
-                assert_eq!(
-                    expr.to_string(),
-                    "(l_extendedprice * (1 - l_discount))"
-                );
+                assert_eq!(expr.to_string(), "(l_extendedprice * (1 - l_discount))");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -700,10 +708,8 @@ mod tests {
         assert!(matches!(e.kind, PolicyKind::Basic));
 
         // e3 of Table 3.
-        let e = parse_policy(
-            "ship partkey, suppkey, supplycost from db-2.partsupp to L3, L4",
-        )
-        .unwrap();
+        let e =
+            parse_policy("ship partkey, suppkey, supplycost from db-2.partsupp to L3, L4").unwrap();
         assert_eq!(e.to.to_string(), "L3, L4");
 
         // e4 of Table 3 (with predicate).
@@ -737,10 +743,9 @@ mod tests {
 
     #[test]
     fn policy_with_table_alias_from_example1() {
-        let e = parse_policy(
-            "ship mktseg, region from Customer C to Europe where mktseg='commercial'",
-        )
-        .unwrap();
+        let e =
+            parse_policy("ship mktseg, region from Customer C to Europe where mktseg='commercial'")
+                .unwrap();
         assert_eq!(e.table, TableRef::bare("customer"));
         assert!(e.predicate.is_some());
     }
@@ -772,20 +777,16 @@ mod denial_tests {
         assert_eq!(d.attrs, ShipAttrs::list(["salary"]));
         assert!(d.predicate.is_none());
 
-        let d = parse_denial(
-            "deny ship * from emp to * where dept = 'engineering'",
-        )
-        .unwrap();
+        let d = parse_denial("deny ship * from emp to * where dept = 'engineering'").unwrap();
         assert_eq!(d.attrs, ShipAttrs::Star);
         assert!(d.predicate.is_some());
     }
 
     #[test]
     fn denials_reject_aggregate_clauses() {
-        assert!(parse_denial(
-            "deny ship salary as aggregates sum from emp to * group by dept"
-        )
-        .is_err());
+        assert!(
+            parse_denial("deny ship salary as aggregates sum from emp to * group by dept").is_err()
+        );
         assert!(parse_denial("ship salary from emp to *").is_err());
     }
 
@@ -803,10 +804,7 @@ mod multi_table_policy_tests {
 
     #[test]
     fn parses_multi_table_from_clause() {
-        let e = parse_policy(
-            "ship c_name, o_price from cust, ord to E where c_k = o_k",
-        )
-        .unwrap();
+        let e = parse_policy("ship c_name, o_price from cust, ord to E where c_k = o_k").unwrap();
         assert_eq!(e.table, TableRef::bare("cust"));
         assert_eq!(e.joined_tables, vec![TableRef::bare("ord")]);
         assert!(e.predicate.is_some());

@@ -33,8 +33,7 @@ fn arb_predicate() -> impl Strategy<Value = ScalarExpr> {
 fn arb_policy() -> impl Strategy<Value = PolicyExpression> {
     let attrs = prop_oneof![
         Just(ShipAttrs::Star),
-        proptest::sample::subsequence(ATTRS.to_vec(), 1..=ATTRS.len())
-            .prop_map(ShipAttrs::list),
+        proptest::sample::subsequence(ATTRS.to_vec(), 1..=ATTRS.len()).prop_map(ShipAttrs::list),
     ];
     let to = prop_oneof![
         Just(LocationPattern::Star),
@@ -44,7 +43,13 @@ fn arb_policy() -> impl Strategy<Value = PolicyExpression> {
     let pred = proptest::option::of(arb_predicate());
     let agg = proptest::option::of((
         proptest::sample::subsequence(
-            vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max, AggFunc::Count],
+            vec![
+                AggFunc::Sum,
+                AggFunc::Avg,
+                AggFunc::Min,
+                AggFunc::Max,
+                AggFunc::Count,
+            ],
             1..=3,
         ),
         proptest::sample::subsequence(ATTRS.to_vec(), 0..=2),

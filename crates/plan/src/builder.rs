@@ -191,7 +191,10 @@ mod tests {
             )
             .unwrap()
             .build();
-        assert_eq!(plan.schema().names(), vec!["c_name", "sum_price", "sum_qty"]);
+        assert_eq!(
+            plan.schema().names(),
+            vec!["c_name", "sum_price", "sum_qty"]
+        );
         assert_eq!(plan.join_count(), 2);
         assert_eq!(plan.source_locations().len(), 3);
     }
@@ -201,9 +204,7 @@ mod tests {
         let c = scan("t", "X", &[("a", DataType::Int64)]);
         assert!(c.clone().filter(ScalarExpr::col("a")).is_err());
         assert!(c.clone().project_columns(&["zz"]).is_err());
-        assert!(c
-            .aggregate(&["a"], vec![])
-            .is_err());
+        assert!(c.aggregate(&["a"], vec![]).is_err());
     }
 
     #[test]

@@ -355,10 +355,7 @@ fn base_of(cols: &BTreeMap<String, Origin>, name: &str) -> Option<String> {
 
 /// Rewrite a predicate so that every column reference names a base
 /// attribute; fails when any referenced column is derived or aggregated.
-fn rewrite_to_base(
-    pred: &ScalarExpr,
-    cols: &BTreeMap<String, Origin>,
-) -> Option<ScalarExpr> {
+fn rewrite_to_base(pred: &ScalarExpr, cols: &BTreeMap<String, Origin>) -> Option<ScalarExpr> {
     for c in pred.referenced_columns() {
         match cols.get(&c)? {
             Origin::Base(_) => {}
@@ -439,10 +436,7 @@ mod tests {
             vec!["name".to_string()]
         );
         // Predicate is rewritten over the base attribute.
-        assert_eq!(
-            d.predicate.unwrap().to_string(),
-            "(name LIKE 'A%')"
-        );
+        assert_eq!(d.predicate.unwrap().to_string(), "(name LIKE 'A%')");
     }
 
     #[test]
@@ -492,8 +486,7 @@ mod tests {
                 &["c"],
                 vec![AggCall::new(
                     AggFunc::Sum,
-                    ScalarExpr::col("f")
-                        .mul(ScalarExpr::lit(1i64).sub(ScalarExpr::col("g"))),
+                    ScalarExpr::col("f").mul(ScalarExpr::lit(1i64).sub(ScalarExpr::col("g"))),
                     "revenue",
                 )],
             )
@@ -529,7 +522,11 @@ mod tests {
         let d = describe_local(&plan).unwrap();
         assert_eq!(d.tables.len(), 2);
         // Join key equality lands in the predicate.
-        assert!(d.predicate.unwrap().to_string().contains("custkey = o_custkey"));
+        assert!(d
+            .predicate
+            .unwrap()
+            .to_string()
+            .contains("custkey = o_custkey"));
     }
 
     #[test]

@@ -44,9 +44,7 @@ fn fmt_logical(plan: &LogicalPlan, depth: usize, out: &mut String) {
                 .unwrap_or_default();
             let _ = writeln!(out, "{pad}Join: {}{extra}", keys.join(", "));
         }
-        LogicalPlan::Aggregate {
-            group_by, aggs, ..
-        } => {
+        LogicalPlan::Aggregate { group_by, aggs, .. } => {
             let aggs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
             let _ = writeln!(
                 out,
@@ -61,9 +59,7 @@ fn fmt_logical(plan: &LogicalPlan, depth: usize, out: &mut String) {
         LogicalPlan::Sort { keys, .. } => {
             let keys: Vec<String> = keys
                 .iter()
-                .map(|k| {
-                    format!("{}{}", k.column, if k.descending { " DESC" } else { "" })
-                })
+                .map(|k| format!("{}{}", k.column, if k.descending { " DESC" } else { "" }))
                 .collect();
             let _ = writeln!(out, "{pad}Sort: {}", keys.join(", "));
         }
@@ -135,9 +131,7 @@ fn fmt_physical(plan: &PhysicalPlan, depth: usize, out: &mut String) {
         PhysOp::Sort { keys } => {
             let keys: Vec<String> = keys
                 .iter()
-                .map(|k| {
-                    format!("{}{}", k.column, if k.descending { " DESC" } else { "" })
-                })
+                .map(|k| format!("{}{}", k.column, if k.descending { " DESC" } else { "" }))
                 .collect();
             let _ = writeln!(out, "{pad}Sort: {} @ {loc}", keys.join(", "));
         }

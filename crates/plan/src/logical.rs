@@ -1,8 +1,6 @@
 //! Logical plan operators.
 
-use geoqp_common::{
-    DataType, Field, GeoError, Location, LocationSet, Result, Schema, TableRef,
-};
+use geoqp_common::{DataType, Field, GeoError, Location, LocationSet, Result, Schema, TableRef};
 use geoqp_expr::{AggCall, ScalarExpr};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -412,9 +410,7 @@ impl LogicalPlan {
             LogicalPlan::Sort { keys, .. } => {
                 LogicalPlan::sort(children.pop().unwrap(), keys.clone())?
             }
-            LogicalPlan::Limit { fetch, .. } => {
-                LogicalPlan::limit(children.pop().unwrap(), *fetch)
-            }
+            LogicalPlan::Limit { fetch, .. } => LogicalPlan::limit(children.pop().unwrap(), *fetch),
         })
     }
 }
@@ -476,10 +472,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.schema().names(), vec!["name", "double_bal"]);
-        assert_eq!(
-            p.schema().field(1).data_type,
-            DataType::Float64
-        );
+        assert_eq!(p.schema().field(1).data_type, DataType::Float64);
     }
 
     #[test]
@@ -521,7 +514,11 @@ mod tests {
         let a = LogicalPlan::aggregate(
             customer(),
             vec!["name".into()],
-            vec![AggCall::new(AggFunc::Sum, ScalarExpr::col("acctbal"), "total")],
+            vec![AggCall::new(
+                AggFunc::Sum,
+                ScalarExpr::col("acctbal"),
+                "total",
+            )],
         )
         .unwrap();
         assert_eq!(a.schema().names(), vec!["name", "total"]);

@@ -31,10 +31,7 @@ impl RegisteredExpression {
     /// every governed table must be among the query's tables (a
     /// multi-table expression only speaks for the *joined* data; paper
     /// footnote 4).
-    pub fn applies_to<'a>(
-        &self,
-        mut tables: impl Iterator<Item = &'a TableRef> + Clone,
-    ) -> bool {
+    pub fn applies_to<'a>(&self, mut tables: impl Iterator<Item = &'a TableRef> + Clone) -> bool {
         self.expr
             .tables()
             .all(|et| tables.clone().any(|qt| et.matches(qt)))
@@ -158,10 +155,7 @@ mod tests {
         .unwrap();
         assert_eq!(cat.len(), 2);
         assert_eq!(cat.kind_counts(), (1, 1));
-        assert_eq!(
-            cat.for_table(&TableRef::qualified("db-1", "t")).count(),
-            1
-        );
+        assert_eq!(cat.for_table(&TableRef::qualified("db-1", "t")).count(), 1);
         // A bare reference matches any database's table of that name.
         assert_eq!(cat.for_table(&TableRef::bare("u")).count(), 1);
         assert_eq!(cat.for_table(&TableRef::bare("nope")).count(), 0);

@@ -142,9 +142,7 @@ impl<'a> PolicyEvaluator<'a> {
                     for a in &accessed {
                         let in_ge = group_by.contains(a);
                         let aggregated_ok = e.attrs.contains(a)
-                            && agg_attrs
-                                .get(a)
-                                .is_some_and(|f| functions.contains(f));
+                            && agg_attrs.get(a).is_some_and(|f| functions.contains(f));
                         if in_ge || aggregated_ok {
                             l_a.get_mut(a.as_str()).unwrap().union_with(&grant);
                         }
@@ -207,10 +205,10 @@ mod tests {
     use super::*;
     use crate::expression::{PolicyExpression, ShipAttrs};
     use geoqp_common::{DataType, Field, LocationPattern, Schema, TableRef};
+    use geoqp_expr::AggCall;
     use geoqp_expr::{AggFunc, ScalarExpr};
     use geoqp_plan::builder::PlanBuilder;
     use geoqp_plan::descriptor::describe_local;
-    use geoqp_expr::AggCall;
 
     fn t_schema() -> Schema {
         Schema::new(
@@ -248,7 +246,12 @@ mod tests {
         let mut cat = PolicyCatalog::new();
         // e1 ≡ ship A, B, C from T to l2, l3
         cat.register(
-            PolicyExpression::basic(t.clone(), ShipAttrs::list(["a", "b", "c"]), locs(&["l2", "l3"]), None),
+            PolicyExpression::basic(
+                t.clone(),
+                ShipAttrs::list(["a", "b", "c"]),
+                locs(&["l2", "l3"]),
+                None,
+            ),
             &schema,
         )
         .unwrap();
@@ -295,7 +298,11 @@ mod tests {
     }
 
     fn t_scan() -> PlanBuilder {
-        PlanBuilder::scan(TableRef::bare("t"), geoqp_common::Location::new("l0"), t_schema())
+        PlanBuilder::scan(
+            TableRef::bare("t"),
+            geoqp_common::Location::new("l0"),
+            t_schema(),
+        )
     }
 
     #[test]
@@ -326,8 +333,7 @@ mod tests {
                 &["c"],
                 vec![AggCall::new(
                     AggFunc::Sum,
-                    ScalarExpr::col("f")
-                        .mul(ScalarExpr::lit(1i64).sub(ScalarExpr::col("g"))),
+                    ScalarExpr::col("f").mul(ScalarExpr::lit(1i64).sub(ScalarExpr::col("g"))),
                     "s",
                 )],
             )
@@ -391,7 +397,10 @@ mod tests {
     fn global_aggregate_empty_group_subset_allowed() {
         // Γ_{sum(f)}(T): G_q = ∅ ⊆ G_e — allowed, footnote 6.
         let plan = t_scan()
-            .aggregate(&[], vec![AggCall::new(AggFunc::Sum, ScalarExpr::col("f"), "s")])
+            .aggregate(
+                &[],
+                vec![AggCall::new(AggFunc::Sum, ScalarExpr::col("f"), "s")],
+            )
             .unwrap()
             .build();
         let q = describe_local(&plan).unwrap();
@@ -416,10 +425,7 @@ mod tests {
         let uni = universe();
         let ev = PolicyEvaluator::new(&cat, &uni);
         assert!(ev.evaluate(&q).is_empty());
-        assert_eq!(
-            ev.evaluate_with_home(&q),
-            LocationSet::from_iter(["l0"])
-        );
+        assert_eq!(ev.evaluate_with_home(&q), LocationSet::from_iter(["l0"]));
     }
 
     #[test]
@@ -490,7 +496,10 @@ mod tests {
     fn grouping_attr_of_aggregate_expression_is_shippable() {
         // Γ_{c; sum(f)}(T): c ∈ G_e(e4) → allowed via e4 (and e1).
         let plan = t_scan()
-            .aggregate(&["c"], vec![AggCall::new(AggFunc::Sum, ScalarExpr::col("f"), "s")])
+            .aggregate(
+                &["c"],
+                vec![AggCall::new(AggFunc::Sum, ScalarExpr::col("f"), "s")],
+            )
             .unwrap()
             .build();
         let q = describe_local(&plan).unwrap();
@@ -504,8 +513,8 @@ mod tests {
 #[cfg(test)]
 mod multi_table_tests {
     use super::*;
-    use crate::expression::{PolicyExpression, ShipAttrs};
     use crate::catalog::PolicyCatalog;
+    use crate::expression::{PolicyExpression, ShipAttrs};
     use geoqp_common::{DataType, Field, Location, LocationPattern, Schema, TableRef};
     use geoqp_expr::ScalarExpr;
     use geoqp_plan::builder::PlanBuilder;
@@ -560,7 +569,10 @@ mod multi_table_tests {
         let ev = PolicyEvaluator::new(&cat, &uni);
         // The join predicate in P_q implies the expression's predicate
         // (canonically oriented equality atoms match syntactically).
-        assert_eq!(ev.evaluate(&joined_query(None)), LocationSet::from_iter(["E"]));
+        assert_eq!(
+            ev.evaluate(&joined_query(None)),
+            LocationSet::from_iter(["E"])
+        );
     }
 
     #[test]
@@ -582,9 +594,7 @@ mod multi_table_tests {
         let cat = catalog();
         let uni = LocationSet::from_iter(["N", "E"]);
         let ev = PolicyEvaluator::new(&cat, &uni);
-        let q = joined_query(Some(
-            ScalarExpr::col("o_price").gt(ScalarExpr::lit(10.0)),
-        ));
+        let q = joined_query(Some(ScalarExpr::col("o_price").gt(ScalarExpr::lit(10.0))));
         assert_eq!(ev.evaluate(&q), LocationSet::from_iter(["E"]));
     }
 }

@@ -194,11 +194,7 @@ impl fmt::Display for PolicyExpression {
         match &self.attrs {
             ShipAttrs::Star => write!(f, "*")?,
             ShipAttrs::List(list) => {
-                write!(
-                    f,
-                    "{}",
-                    list.iter().cloned().collect::<Vec<_>>().join(", ")
-                )?;
+                write!(f, "{}", list.iter().cloned().collect::<Vec<_>>().join(", "))?;
             }
         }
         if let PolicyKind::Aggregate { functions, .. } = &self.kind {

@@ -21,9 +21,7 @@
 //! complement* for the grant to apply — exactly the sound direction).
 
 use crate::expression::{PolicyExpression, ShipAttrs};
-use geoqp_common::{
-    GeoError, Location, LocationPattern, LocationSet, Result, Schema, TableRef,
-};
+use geoqp_common::{GeoError, Location, LocationPattern, LocationSet, Result, Schema, TableRef};
 use geoqp_expr::ScalarExpr;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -97,11 +95,9 @@ impl std::fmt::Display for DenyExpression {
         write!(f, "deny ship ")?;
         match &self.attrs {
             ShipAttrs::Star => write!(f, "*")?,
-            ShipAttrs::List(list) => write!(
-                f,
-                "{}",
-                list.iter().cloned().collect::<Vec<_>>().join(", ")
-            )?,
+            ShipAttrs::List(list) => {
+                write!(f, "{}", list.iter().cloned().collect::<Vec<_>>().join(", "))?
+            }
         }
         write!(f, " from {} to {}", self.table, self.to)?;
         if let Some(p) = &self.predicate {
@@ -335,13 +331,15 @@ mod tests {
 
     #[test]
     fn no_denials_means_everything_ships_everywhere() {
-        let grants =
-            expand_denials(&TableRef::bare("emp"), &schema(), &[], &universe()).unwrap();
+        let grants = expand_denials(&TableRef::bare("emp"), &schema(), &[], &universe()).unwrap();
         // One merged expression covering all attrs and all destinations.
         assert_eq!(grants.len(), 1);
         let cat = register_all(grants);
         let uni = universe();
-        assert_eq!(legal_for(&cat, &uni, &["id", "name", "salary", "dept"], None), uni);
+        assert_eq!(
+            legal_for(&cat, &uni, &["id", "name", "salary", "dept"], None),
+            uni
+        );
     }
 
     #[test]
@@ -356,9 +354,7 @@ mod tests {
             expand_denials(&TableRef::bare("emp"), &schema(), &denials, &universe()).unwrap();
         // Two groups: {A} (everything) and {B, C} (everything but salary).
         assert_eq!(grants.len(), 2);
-        assert!(grants
-            .iter()
-            .any(|g| g.to.to_string() == "B, C"));
+        assert!(grants.iter().any(|g| g.to.to_string() == "B, C"));
     }
 
     #[test]
@@ -399,9 +395,7 @@ mod tests {
             None,
         );
         assert!(d.validate(&schema()).is_err());
-        assert!(
-            expand_denials(&TableRef::bare("emp"), &schema(), &[d], &universe()).is_err()
-        );
+        assert!(expand_denials(&TableRef::bare("emp"), &schema(), &[d], &universe()).is_err());
         let wrong_table = DenyExpression::new(
             TableRef::bare("other"),
             ShipAttrs::Star,

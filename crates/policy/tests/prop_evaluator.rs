@@ -10,9 +10,7 @@
 //! * **Masking monotonicity**: dropping output attributes can only grow
 //!   the legal set (the paper's masking-via-projection rationale).
 
-use geoqp_common::{
-    DataType, Field, Location, LocationPattern, LocationSet, Schema, TableRef,
-};
+use geoqp_common::{DataType, Field, Location, LocationPattern, LocationSet, Schema, TableRef};
 use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
 use geoqp_plan::descriptor::describe_local;
 use geoqp_plan::PlanBuilder;
@@ -28,7 +26,11 @@ fn schema() -> Schema {
             .map(|c| {
                 Field::new(
                     *c,
-                    if *c == "e" { DataType::Str } else { DataType::Int64 },
+                    if *c == "e" {
+                        DataType::Str
+                    } else {
+                        DataType::Int64
+                    },
                 )
             })
             .collect(),
@@ -44,16 +46,14 @@ fn universe() -> LocationSet {
 fn arb_expr() -> impl Strategy<Value = PolicyExpression> {
     let attrs = proptest::sample::subsequence(COLS.to_vec(), 1..=COLS.len());
     let locs = proptest::sample::subsequence(LOCS.to_vec(), 1..=LOCS.len());
-    let pred = proptest::option::of((0usize..4, -5i64..5, any::<bool>()).prop_map(
-        |(c, v, gt)| {
-            let col = ScalarExpr::col(COLS[c]);
-            if gt {
-                col.gt(ScalarExpr::lit(v))
-            } else {
-                col.lt_eq(ScalarExpr::lit(v))
-            }
-        },
-    ));
+    let pred = proptest::option::of((0usize..4, -5i64..5, any::<bool>()).prop_map(|(c, v, gt)| {
+        let col = ScalarExpr::col(COLS[c]);
+        if gt {
+            col.gt(ScalarExpr::lit(v))
+        } else {
+            col.lt_eq(ScalarExpr::lit(v))
+        }
+    }));
     let aggregate = any::<bool>();
     (attrs, locs, pred, aggregate).prop_map(|(attrs, locs, pred, aggregate)| {
         let to = LocationPattern::Set(LocationSet::from_iter(locs));
@@ -85,9 +85,9 @@ fn catalog_of(exprs: &[PolicyExpression]) -> PolicyCatalog {
 /// aggregation.
 fn arb_query() -> impl Strategy<Value = std::sync::Arc<geoqp_plan::LogicalPlan>> {
     let out = proptest::sample::subsequence(vec!["a", "b", "c", "d", "e"], 1..=4);
-    let pred = proptest::option::of((0usize..4, -5i64..5).prop_map(|(c, v)| {
-        ScalarExpr::col(COLS[c]).gt(ScalarExpr::lit(v))
-    }));
+    let pred = proptest::option::of(
+        (0usize..4, -5i64..5).prop_map(|(c, v)| ScalarExpr::col(COLS[c]).gt(ScalarExpr::lit(v))),
+    );
     let aggregate = any::<bool>();
     (out, pred, aggregate).prop_map(|(out, pred, aggregate)| {
         let mut b = PlanBuilder::scan(TableRef::bare("t"), Location::new("home"), schema());

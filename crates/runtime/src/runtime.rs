@@ -1,0 +1,488 @@
+//! The concurrent runtime: one worker thread per plan fragment, streaming
+//! exchanges at SHIP edges, deterministic fault charging, and a per-batch
+//! Definition-1 compliance audit.
+//!
+//! # Determinism
+//!
+//! The sequential interpreter drives the fault plan with a shared clock
+//! that ticks once per attempt. Under concurrency that order would depend
+//! on thread scheduling, so the runtime instead assigns every fault-clock
+//! consultation a **pre-computed step**: slot `s` (the edge's or scan's
+//! pre-order index) at attempt `a` consults step `(a-1)·n_slots + s`.
+//! [`FaultPlan::check_transfer`] is a pure function of the step, so
+//! verdicts — and therefore results, errors, transfer logs, and shipped
+//! bytes — are identical on every run regardless of interleaving.
+//!
+//! # Cost model
+//!
+//! Each exchange stream pays its link's startup cost `α` once (on the
+//! first batch) and `β` per serialized byte; the 8-byte batch header is
+//! charged once per stream. Summed over batches this equals the
+//! sequential interpreter's single-monolithic-SHIP cost exactly, which is
+//! what makes the differential byte/cost tests possible. Completion time
+//! is the root fragment's critical path over exchange arrivals — the
+//! quantity pipelining improves.
+
+use crate::exchange::{Exchange, Received};
+use crate::fragment::{cut, node_key, Cut, Edge};
+use crate::metrics::{EdgeMetrics, RuntimeMetrics, SiteMetrics};
+use geoqp_common::{GeoError, Location, LocationSet, Result, Rows, TableRef, Unavailable};
+use geoqp_exec::{execute_fragment, DataSource, ExchangeSource, LocalShip, RetryPolicy};
+use geoqp_net::{FaultPlan, FaultVerdict, NetworkTopology, TransferLog, TransferRecord};
+use geoqp_plan::{PhysOp, PhysicalPlan};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Error message used to propagate a cancellation through a fragment's
+/// interpreter. Never surfaced to callers: the originating failure wins.
+const CANCELLED: &str = "parallel runtime cancelled: another fragment failed";
+
+/// Knobs for the streaming exchange.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Rows per exchange batch.
+    pub batch_rows: usize,
+    /// Batches a channel buffers before the producer blocks.
+    pub channel_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            batch_rows: 256,
+            channel_capacity: 4,
+        }
+    }
+}
+
+/// The output of one parallel execution.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Result rows at the plan's root location.
+    pub rows: Rows,
+    /// Every batch delivery and dropped attempt, normalized to the
+    /// canonical `(step, from, to)` order.
+    pub transfers: TransferLog,
+    /// Per-site and per-edge observability.
+    pub metrics: RuntimeMetrics,
+}
+
+/// The concurrent pipelined executor.
+pub struct Runtime<'a> {
+    topology: &'a NetworkTopology,
+    faults: Option<&'a FaultPlan>,
+    retry: RetryPolicy,
+    config: RuntimeConfig,
+}
+
+impl<'a> Runtime<'a> {
+    /// A runtime charging transfers against `topology`, without faults.
+    pub fn new(topology: &'a NetworkTopology) -> Runtime<'a> {
+        Runtime {
+            topology,
+            faults: None,
+            retry: RetryPolicy::none(),
+            config: RuntimeConfig::default(),
+        }
+    }
+
+    /// Attach a fault plan and retry policy.
+    pub fn with_faults(mut self, faults: &'a FaultPlan, retry: RetryPolicy) -> Runtime<'a> {
+        self.faults = Some(faults);
+        self.retry = retry;
+        self
+    }
+
+    /// Override the exchange configuration.
+    pub fn with_config(mut self, config: RuntimeConfig) -> Runtime<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Execute `plan` with one worker thread per fragment.
+    ///
+    /// `audits`, when given, holds the shipping trait `𝒮` of each SHIP's
+    /// input in pre-order; every batch is checked against its edge's set
+    /// before leaving the producer site, and a violation aborts the run
+    /// with [`GeoError::NonCompliant`] — the Definition-1 runtime audit.
+    pub fn run(
+        &self,
+        plan: &PhysicalPlan,
+        source: &(dyn DataSource + Sync),
+        audits: Option<&[LocationSet]>,
+    ) -> Result<RunOutput> {
+        let (result, transfers) = self.try_run(plan, source, audits);
+        let (rows, metrics) = result?;
+        Ok(RunOutput {
+            rows,
+            transfers,
+            metrics,
+        })
+    }
+
+    /// [`Runtime::run`], but the normalized transfer log — including the
+    /// dropped attempts of a failed run — is returned either way, so a
+    /// failover path can fold it into its evidence.
+    pub fn try_run(
+        &self,
+        plan: &PhysicalPlan,
+        source: &(dyn DataSource + Sync),
+        audits: Option<&[LocationSet]>,
+    ) -> (Result<(Rows, RuntimeMetrics)>, TransferLog) {
+        let cut = match cut(plan) {
+            Ok(c) => c,
+            Err(e) => return (Err(e), TransferLog::new()),
+        };
+        if let Some(a) = audits {
+            if a.len() != cut.edges.len() {
+                return (
+                    Err(GeoError::Execution(format!(
+                        "runtime audit covers {} SHIP edges but the plan has {}",
+                        a.len(),
+                        cut.edges.len()
+                    ))),
+                    TransferLog::new(),
+                );
+            }
+        }
+        let shared = Shared {
+            cut: &cut,
+            exchanges: (0..cut.edges.len())
+                .map(|_| Exchange::new(self.config.channel_capacity))
+                .collect(),
+            log: Mutex::new(TransferLog::new()),
+            errors: Mutex::new(Vec::new()),
+            sites: Mutex::new(BTreeMap::new()),
+        };
+        let root_slot = cut.edges.len();
+        let root_out: Mutex<Option<(Rows, f64)>> = Mutex::new(None);
+
+        std::thread::scope(|s| {
+            for edge in &cut.edges {
+                let shared = &shared;
+                s.spawn(move || self.run_producer(edge, shared, source, audits));
+            }
+            let shared = &shared;
+            let root_out = &root_out;
+            s.spawn(move || {
+                let view = FragmentView::new(self, shared, source);
+                match execute_fragment(plan, source, &mut LocalShip, &view) {
+                    Ok(rows) => {
+                        let done_ms = view.ready_ms();
+                        shared.note_site(&plan.location, view.attempts.get(), done_ms);
+                        *root_out.lock().unwrap() = Some((rows, done_ms));
+                    }
+                    Err(e) => shared.fail(root_slot, e),
+                }
+            });
+        });
+
+        let mut errors = shared.errors.into_inner().unwrap();
+        let mut log = shared.log.into_inner().unwrap();
+        log.normalize();
+        if !errors.is_empty() {
+            // Deterministic winner: the failure at the lowest pre-order
+            // slot, independent of which thread recorded its error first.
+            errors.sort_by_key(|(slot, _)| *slot);
+            return (Err(errors.remove(0).1), log);
+        }
+        let (rows, completion_ms) = root_out
+            .into_inner()
+            .unwrap()
+            .expect("root fragment finished without a result or an error");
+
+        let edges = cut
+            .edges
+            .iter()
+            .zip(&shared.exchanges)
+            .map(|(e, ex)| EdgeMetrics {
+                edge: e.id,
+                from: e.from.clone(),
+                to: e.to.clone(),
+                stats: ex.stats(),
+                arrival_ms: ex.arrival_ms(),
+            })
+            .collect::<Vec<_>>();
+        let metrics = RuntimeMetrics {
+            completion_ms,
+            network_ms: log.total_cost_ms(),
+            batches: edges.iter().map(|e| e.stats.batches).sum(),
+            bytes: log.total_bytes(),
+            stalls: edges
+                .iter()
+                .map(|e| e.stats.send_stalls + e.stats.recv_stalls)
+                .sum(),
+            sites: shared.sites.into_inner().unwrap(),
+            edges,
+        };
+        (Ok((rows, metrics)), log)
+    }
+
+    /// One producer worker: evaluate the edge's subtree, then stream it.
+    fn run_producer(
+        &self,
+        edge: &Edge<'_>,
+        shared: &Shared<'_, '_>,
+        source: &(dyn DataSource + Sync),
+        audits: Option<&[LocationSet]>,
+    ) {
+        let view = FragmentView::new(self, shared, source);
+        let result = execute_fragment(edge.subtree(), source, &mut LocalShip, &view);
+        let ready_ms = view.ready_ms();
+        let outcome = result.and_then(|rows| {
+            self.stream(edge, rows, ready_ms, view.attempts.get(), shared, audits)
+        });
+        if let Err(e) = outcome {
+            shared.fail(edge.id, e);
+        }
+    }
+
+    /// Chunk `rows` into batches and push them through the edge's channel,
+    /// auditing, fault-checking, and cost-charging each batch.
+    fn stream(
+        &self,
+        edge: &Edge<'_>,
+        rows: Rows,
+        ready_ms: f64,
+        fragment_attempts: u64,
+        shared: &Shared<'_, '_>,
+        audits: Option<&[LocationSet]>,
+    ) -> Result<()> {
+        let link = self.topology.link(&edge.from, &edge.to);
+        let arity = edge.ship.schema.len();
+        let all = rows.into_rows();
+        let batch_rows = self.config.batch_rows.max(1);
+        // An empty result still ships one (empty) batch, so transfer
+        // counts and header bytes match the sequential interpreter.
+        let n_batches = all.len().div_ceil(batch_rows).max(1);
+        let mut chunks = all.chunks(batch_rows);
+        let mut arrival_ms = ready_ms;
+        let mut attempts_total = fragment_attempts;
+
+        for i in 0..n_batches {
+            let batch = Rows::from_rows(chunks.next().map(<[_]>::to_vec).unwrap_or_default());
+            if let Some(audits) = audits {
+                if !audits[edge.id].contains(&edge.to) {
+                    return Err(GeoError::NonCompliant(format!(
+                        "runtime audit: batch {i} on SHIP {} -> {} leaves the operator's \
+                         shipping trait (legal: {})",
+                        edge.from, edge.to, audits[edge.id]
+                    )));
+                }
+            }
+            // Wire roundtrip, as the sequential SimShip does: the consumer
+            // sees decoded bytes, and the stream pays the 8-byte batch
+            // header only once.
+            let encoded = batch.encode();
+            let bytes = if i == 0 {
+                encoded.len() as u64
+            } else {
+                encoded.len() as u64 - 8
+            };
+            let batch = Rows::decode(&encoded, arity).ok_or_else(|| {
+                GeoError::Execution("wire corruption: batch failed to decode".into())
+            })?;
+
+            let (attempts, extra_ms, step) = match self.faults {
+                None => (1, 0.0, 0),
+                Some(faults) => {
+                    let n_slots = shared.cut.n_slots();
+                    let slot = edge.id as u64;
+                    let delivered = self.retry.run(|attempt| {
+                        let step = (attempt as u64 - 1) * n_slots + slot;
+                        match faults.check_transfer(&edge.from, &edge.to, step) {
+                            FaultVerdict::Deliver { extra_delay_ms } => Ok((extra_delay_ms, step)),
+                            FaultVerdict::Drop {
+                                transient,
+                                culprit,
+                                reason,
+                            } => {
+                                shared.log.lock().unwrap().record_fault(
+                                    step,
+                                    &edge.from,
+                                    &edge.to,
+                                    reason.clone(),
+                                );
+                                Err(GeoError::SiteUnavailable(Unavailable {
+                                    site: culprit.or_else(|| Some(edge.to.clone())),
+                                    link: Some((edge.from.clone(), edge.to.clone())),
+                                    transient,
+                                    message: reason,
+                                }))
+                            }
+                        }
+                    })?;
+                    let (extra_delay_ms, step) = delivered.value;
+                    (
+                        delivered.attempts,
+                        extra_delay_ms + delivered.backoff_ms,
+                        step,
+                    )
+                }
+            };
+            attempts_total += attempts as u64;
+
+            let alpha = if i == 0 { link.alpha_ms } else { 0.0 };
+            let cost_ms = alpha + link.beta_ms_per_byte * bytes as f64 + extra_ms;
+            arrival_ms += cost_ms;
+            shared.log.lock().unwrap().push(TransferRecord {
+                step,
+                from: edge.from.clone(),
+                to: edge.to.clone(),
+                bytes,
+                rows: batch.len() as u64,
+                cost_ms,
+                attempts,
+            });
+            if !shared.exchanges[edge.id].send(batch, bytes) {
+                // Cancelled elsewhere; unwind without recording an error.
+                return Ok(());
+            }
+        }
+        shared.exchanges[edge.id].close(arrival_ms);
+        shared.note_site(&edge.from, attempts_total, arrival_ms);
+        Ok(())
+    }
+}
+
+/// State shared by every worker of one run.
+struct Shared<'c, 'p> {
+    cut: &'c Cut<'p>,
+    exchanges: Vec<Exchange>,
+    log: Mutex<TransferLog>,
+    /// `(pre-order slot, error)` per failed fragment; the root fragment
+    /// uses slot `edges.len()`.
+    errors: Mutex<Vec<(usize, GeoError)>>,
+    sites: Mutex<BTreeMap<Location, SiteMetrics>>,
+}
+
+impl Shared<'_, '_> {
+    /// Record a fragment failure (unless it is cancellation fallout) and
+    /// tear down every channel so no worker stays blocked.
+    fn fail(&self, slot: usize, e: GeoError) {
+        let is_propagated = matches!(&e, GeoError::Execution(m) if m == CANCELLED);
+        if !is_propagated {
+            self.errors.lock().unwrap().push((slot, e));
+        }
+        for ex in &self.exchanges {
+            ex.cancel();
+        }
+    }
+
+    fn note_site(&self, site: &Location, busy_steps: u64, busy_ms: f64) {
+        let mut sites = self.sites.lock().unwrap();
+        let m = sites.entry(site.clone()).or_default();
+        m.fragments += 1;
+        m.busy_steps += busy_steps;
+        m.busy_ms = m.busy_ms.max(busy_ms);
+    }
+}
+
+/// One fragment's view of the exchange plane: intercepts boundary Ship
+/// nodes (draining their streams) and scan nodes (counting attempts and,
+/// under faults, consulting the crash schedule at deterministic steps).
+struct FragmentView<'r, 's> {
+    runtime: &'r Runtime<'r>,
+    shared: &'s Shared<'s, 's>,
+    source: &'s (dyn DataSource + Sync),
+    /// Max arrival time over the streams this fragment consumed.
+    max_arrival_ms: Cell<f64>,
+    /// Simulated local delay (scan retry backoff) accumulated here.
+    local_extra_ms: Cell<f64>,
+    /// Logical steps consumed by this fragment's scans.
+    attempts: Cell<u64>,
+}
+
+impl<'r, 's> FragmentView<'r, 's> {
+    fn new(
+        runtime: &'r Runtime<'r>,
+        shared: &'s Shared<'s, 's>,
+        source: &'s (dyn DataSource + Sync),
+    ) -> FragmentView<'r, 's> {
+        FragmentView {
+            runtime,
+            shared,
+            source,
+            max_arrival_ms: Cell::new(0.0),
+            local_extra_ms: Cell::new(0.0),
+            attempts: Cell::new(0),
+        }
+    }
+
+    /// When this fragment's output is fully produced, in simulated ms.
+    fn ready_ms(&self) -> f64 {
+        self.max_arrival_ms.get() + self.local_extra_ms.get()
+    }
+
+    /// Drain one boundary edge into a materialized batch.
+    fn collect_edge(&self, id: usize) -> Result<Rows> {
+        let ex = &self.shared.exchanges[id];
+        let mut out = Rows::new();
+        loop {
+            match ex.recv() {
+                Received::Batch(batch) => {
+                    for row in batch.into_rows() {
+                        out.push(row);
+                    }
+                }
+                Received::Done => {
+                    let arrival = ex.arrival_ms();
+                    self.max_arrival_ms
+                        .set(self.max_arrival_ms.get().max(arrival));
+                    return Ok(out);
+                }
+                Received::Cancelled => {
+                    return Err(GeoError::Execution(CANCELLED.into()));
+                }
+            }
+        }
+    }
+
+    /// A scan, retried under the fault plan's crash windows at this scan
+    /// slot's deterministic steps.
+    fn scan(&self, node: &PhysicalPlan, table: &TableRef) -> Result<Rows> {
+        match self.runtime.faults {
+            None => {
+                self.attempts.set(self.attempts.get() + 1);
+            }
+            Some(faults) => {
+                let n_slots = self.shared.cut.n_slots();
+                let slot = (self.shared.cut.edges.len()
+                    + self.shared.cut.scan_slot[&node_key(node)]) as u64;
+                let delivered = self.runtime.retry.run(|attempt| {
+                    let step = (attempt as u64 - 1) * n_slots + slot;
+                    match faults.site_down_until(&node.location, step) {
+                        None => Ok(()),
+                        Some(end) => Err(GeoError::SiteUnavailable(Unavailable {
+                            site: Some(node.location.clone()),
+                            link: None,
+                            transient: end != u64::MAX,
+                            message: format!(
+                                "scan of {table} failed: site {} is down at step {step}",
+                                node.location
+                            ),
+                        })),
+                    }
+                })?;
+                self.attempts
+                    .set(self.attempts.get() + delivered.attempts as u64);
+                self.local_extra_ms
+                    .set(self.local_extra_ms.get() + delivered.backoff_ms);
+            }
+        }
+        self.source.scan(table, &node.location)
+    }
+}
+
+impl ExchangeSource for FragmentView<'_, '_> {
+    fn fetch(&self, node: &PhysicalPlan) -> Option<Result<Rows>> {
+        if let Some(&id) = self.shared.cut.edge_of.get(&node_key(node)) {
+            return Some(self.collect_edge(id));
+        }
+        if let PhysOp::Scan { table } = &node.op {
+            return Some(self.scan(node, table));
+        }
+        None
+    }
+}

@@ -2,9 +2,7 @@
 
 use crate::stats::TableStats;
 use crate::table::Table;
-use geoqp_common::{
-    GeoError, Location, LocationSet, Result, Schema, TableRef,
-};
+use geoqp_common::{GeoError, Location, LocationSet, Result, Schema, TableRef};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -91,20 +89,14 @@ impl Catalog {
 
     /// Register a database at a location. The paper assumes one database
     /// per location; this is enforced here.
-    pub fn add_database(
-        &mut self,
-        name: impl Into<String>,
-        location: Location,
-    ) -> Result<()> {
+    pub fn add_database(&mut self, name: impl Into<String>, location: Location) -> Result<()> {
         let name = name.into().to_ascii_lowercase();
         if self.databases.contains_key(&name) {
-            return Err(GeoError::Storage(format!("database `{name}` already exists")));
+            return Err(GeoError::Storage(format!(
+                "database `{name}` already exists"
+            )));
         }
-        if self
-            .databases
-            .values()
-            .any(|d| d.location == location)
-        {
+        if self.databases.values().any(|d| d.location == location) {
             return Err(GeoError::Storage(format!(
                 "location `{location}` already houses a database"
             )));

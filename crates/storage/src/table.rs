@@ -94,11 +94,7 @@ mod tests {
 
     #[test]
     fn to_rows_copies_data() {
-        let t = Table::new(
-            schema(),
-            vec![vec![Value::Int64(7), Value::str("seven")]],
-        )
-        .unwrap();
+        let t = Table::new(schema(), vec![vec![Value::Int64(7), Value::str("seven")]]).unwrap();
         let rows = t.to_rows();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows.rows()[0][1], Value::str("seven"));

@@ -117,7 +117,6 @@ fn try_generate(
     id: usize,
     n_tables: usize,
 ) -> Result<Option<AdhocQuery>> {
-
     // Random connected subgraph over the FK edges.
     const ALL: [&str; 8] = [
         "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
@@ -161,9 +160,9 @@ fn try_generate(
     let mut joined: Vec<&str> = vec![tables[0]];
     let mut pending = edges.clone();
     while !pending.is_empty() {
-        let pos = pending.iter().position(|(lt, _, rt, _)| {
-            joined.contains(lt) != joined.contains(rt)
-        });
+        let pos = pending
+            .iter()
+            .position(|(lt, _, rt, _)| joined.contains(lt) != joined.contains(rt));
         let Some(pos) = pos else { break };
         let (lt, lk, rt, rk) = pending.remove(pos);
         let (new_table, on) = if joined.contains(&lt) {

@@ -22,10 +22,16 @@ pub const DISTRIBUTION: [(&str, &str, &[&str]); 5] = [
 pub fn paper_catalog(sf: f64) -> Catalog {
     let mut c = Catalog::new();
     for (loc, db, tables) in DISTRIBUTION {
-        c.add_database(db, Location::new(loc)).expect("fresh catalog");
+        c.add_database(db, Location::new(loc))
+            .expect("fresh catalog");
         for t in tables {
-            c.add_table(db, *t, schema_of(t), stats_of(t, sf))
-                .expect("fresh catalog");
+            c.add_table(
+                db,
+                *t,
+                schema_of(t).expect("built-in TPC-H table"),
+                stats_of(t, sf).expect("built-in TPC-H table"),
+            )
+            .expect("fresh catalog");
         }
     }
     c
@@ -48,23 +54,20 @@ pub fn paper_catalog_partitioned(sf: f64, n_locations: usize) -> Result<Catalog>
             if *t == "customer" || *t == "orders" {
                 continue; // handled below
             }
-            c.add_table(db, *t, schema_of(t), stats_of(t, sf))?;
+            c.add_table(db, *t, schema_of(t)?, stats_of(t, sf)?)?;
         }
     }
     // Spread customer and orders over db-1..db-n with split statistics.
     for t in ["customer", "orders"] {
-        let full = stats_of(t, sf);
+        let full = stats_of(t, sf)?;
         for (loc_idx, (_, db, _)) in DISTRIBUTION.iter().enumerate().take(n_locations) {
             let _ = loc_idx;
             let mut part_stats =
                 TableStats::new(full.row_count / n_locations as u64, full.avg_row_bytes);
             for (col, ndv) in &full.ndv {
-                part_stats = part_stats.with_ndv(
-                    col.clone(),
-                    (*ndv / n_locations as u64).max(1),
-                );
+                part_stats = part_stats.with_ndv(col.clone(), (*ndv / n_locations as u64).max(1));
             }
-            c.add_table(db, t, schema_of(t), part_stats)?;
+            c.add_table(db, t, schema_of(t)?, part_stats)?;
         }
     }
     Ok(c)
@@ -79,7 +82,7 @@ pub fn populate(catalog: &Catalog, sf: f64, seed: u64) -> Result<()> {
         if entries.is_empty() {
             continue;
         }
-        let rows = generate(t, sf, seed);
+        let rows = generate(t, sf, seed)?;
         if entries.len() == 1 {
             let entry = &entries[0];
             entry.set_data(Table::new(Arc::clone(&entry.schema), rows)?)?;
@@ -134,7 +137,7 @@ mod tests {
             assert!(e.data().is_some(), "{t} not populated");
             assert_eq!(
                 e.data().unwrap().row_count() as u64,
-                crate::schema::rows_at(t, 0.001)
+                crate::schema::rows_at(t, 0.001).unwrap()
             );
         }
     }
@@ -144,11 +147,11 @@ mod tests {
         let c = paper_catalog_partitioned(0.001, 2).unwrap();
         populate(&c, 0.001, 42).unwrap();
         let parts = c.resolve(&TableRef::bare("customer"));
-        let total: usize = parts
-            .iter()
-            .map(|e| e.data().unwrap().row_count())
-            .sum();
-        assert_eq!(total as u64, crate::schema::rows_at("customer", 0.001));
+        let total: usize = parts.iter().map(|e| e.data().unwrap().row_count()).sum();
+        assert_eq!(
+            total as u64,
+            crate::schema::rows_at("customer", 0.001).unwrap()
+        );
         assert!(parts.iter().all(|e| e.data().unwrap().row_count() > 0));
     }
 }

@@ -6,11 +6,17 @@
 //! two-key join has matches), date ranges, and the categorical
 //! distributions behind every predicate used in Section 7's workloads.
 
-use crate::schema::rows_at;
+use crate::schema::{rows_at, unknown_table};
 use crate::text;
-use geoqp_common::{value::days_from_civil, Row, Value};
+use geoqp_common::{value::days_from_civil, Result, Row, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Row count for one of the built-in tables; the names below are all
+/// literals from [`crate::schema::TABLES`], so the lookup cannot fail.
+fn n_rows(table: &str, sf: f64) -> u64 {
+    rows_at(table, sf).expect("built-in TPC-H table name")
+}
 
 /// First order date (1992-01-01) and the day span of o_orderdate.
 fn order_date_range() -> (i32, i32) {
@@ -28,7 +34,7 @@ pub fn ps_suppkey_for(partkey: i64, i: i64, n_supp: i64) -> i64 {
 /// that `lineitem` can correlate ship dates without replaying the orders
 /// generator's RNG consumption.
 fn order_dates(sf: f64, seed: u64) -> Vec<i32> {
-    let n = rows_at("orders", sf);
+    let n = n_rows("orders", sf);
     let (start, span) = order_date_range();
     let mut rng = rng_for("orderdates", seed);
     (0..n).map(|_| start + rng.gen_range(0..span)).collect()
@@ -44,8 +50,8 @@ fn rng_for(table: &str, seed: u64) -> StdRng {
 
 /// Generate a TPC-H table's rows at a scale factor, deterministically from
 /// `seed`.
-pub fn generate(table: &str, sf: f64, seed: u64) -> Vec<Row> {
-    match table {
+pub fn generate(table: &str, sf: f64, seed: u64) -> Result<Vec<Row>> {
+    Ok(match table {
         "region" => region(),
         "nation" => nation(),
         "supplier" => supplier(sf, seed),
@@ -54,8 +60,8 @@ pub fn generate(table: &str, sf: f64, seed: u64) -> Vec<Row> {
         "customer" => customer(sf, seed),
         "orders" => orders(sf, seed),
         "lineitem" => lineitem(sf, seed),
-        _ => panic!("unknown TPC-H table `{table}`"),
-    }
+        _ => return Err(unknown_table(table)),
+    })
 }
 
 fn region() -> Vec<Row> {
@@ -88,7 +94,7 @@ fn nation() -> Vec<Row> {
 }
 
 fn supplier(sf: f64, seed: u64) -> Vec<Row> {
-    let n = rows_at("supplier", sf);
+    let n = n_rows("supplier", sf);
     let mut rng = rng_for("supplier", seed);
     (1..=n as i64)
         .map(|k| {
@@ -106,7 +112,7 @@ fn supplier(sf: f64, seed: u64) -> Vec<Row> {
 }
 
 fn part(sf: f64, seed: u64) -> Vec<Row> {
-    let n = rows_at("part", sf);
+    let n = n_rows("part", sf);
     let mut rng = rng_for("part", seed);
     (1..=n as i64)
         .map(|k| {
@@ -142,8 +148,8 @@ fn part(sf: f64, seed: u64) -> Vec<Row> {
 }
 
 fn partsupp(sf: f64, seed: u64) -> Vec<Row> {
-    let n_part = rows_at("part", sf) as i64;
-    let n_supp = rows_at("supplier", sf) as i64;
+    let n_part = n_rows("part", sf) as i64;
+    let n_supp = n_rows("supplier", sf) as i64;
     let mut rng = rng_for("partsupp", seed);
     let mut rows = Vec::with_capacity((n_part * 4) as usize);
     for partkey in 1..=n_part {
@@ -161,7 +167,7 @@ fn partsupp(sf: f64, seed: u64) -> Vec<Row> {
 }
 
 fn customer(sf: f64, seed: u64) -> Vec<Row> {
-    let n = rows_at("customer", sf);
+    let n = n_rows("customer", sf);
     let mut rng = rng_for("customer", seed);
     (1..=n as i64)
         .map(|k| {
@@ -180,8 +186,8 @@ fn customer(sf: f64, seed: u64) -> Vec<Row> {
 }
 
 fn orders(sf: f64, seed: u64) -> Vec<Row> {
-    let n = rows_at("orders", sf);
-    let n_cust = rows_at("customer", sf) as i64;
+    let n = n_rows("orders", sf);
+    let n_cust = n_rows("customer", sf) as i64;
     let dates = order_dates(sf, seed);
     let mut rng = rng_for("orders", seed);
     (1..=n as i64)
@@ -203,10 +209,10 @@ fn orders(sf: f64, seed: u64) -> Vec<Row> {
 }
 
 fn lineitem(sf: f64, seed: u64) -> Vec<Row> {
-    let n_orders = rows_at("orders", sf) as i64;
-    let n_part = rows_at("part", sf) as i64;
-    let n_supp = rows_at("supplier", sf) as i64;
-    let target = rows_at("lineitem", sf) as usize;
+    let n_orders = n_rows("orders", sf) as i64;
+    let n_part = n_rows("part", sf) as i64;
+    let n_supp = n_rows("supplier", sf) as i64;
+    let target = n_rows("lineitem", sf) as usize;
     // The shared date stream keeps l_shipdate > o_orderdate.
     let order_dates = order_dates(sf, seed);
 
@@ -274,18 +280,17 @@ mod tests {
     #[test]
     fn all_tables_generate_with_correct_arity_and_counts() {
         for t in TABLES {
-            let rows = generate(t, SF, 7);
-            let schema = crate::schema::schema_of(t);
-            assert_eq!(rows.len() as u64, rows_at(t, SF), "{t} cardinality");
+            let rows = generate(t, SF, 7).unwrap();
+            let schema = crate::schema::schema_of(t).unwrap();
+            assert_eq!(
+                rows.len() as u64,
+                rows_at(t, SF).unwrap(),
+                "{t} cardinality"
+            );
             for r in rows.iter().take(20) {
                 assert_eq!(r.len(), schema.len(), "{t} arity");
                 for (v, f) in r.iter().zip(schema.fields()) {
-                    assert_eq!(
-                        v.data_type(),
-                        Some(f.data_type),
-                        "{t}.{}: {v}",
-                        f.name
-                    );
+                    assert_eq!(v.data_type(), Some(f.data_type), "{t}.{}: {v}", f.name);
                 }
             }
         }
@@ -294,23 +299,24 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         for t in ["customer", "lineitem"] {
-            assert_eq!(generate(t, SF, 7), generate(t, SF, 7));
-            assert_ne!(generate(t, SF, 7), generate(t, SF, 8));
+            assert_eq!(generate(t, SF, 7).unwrap(), generate(t, SF, 7).unwrap());
+            assert_ne!(generate(t, SF, 7).unwrap(), generate(t, SF, 8).unwrap());
         }
     }
 
     #[test]
     fn pk_fk_integrity() {
-        let n_cust = rows_at("customer", SF) as i64;
-        for o in generate("orders", SF, 7) {
+        let n_cust = rows_at("customer", SF).unwrap() as i64;
+        for o in generate("orders", SF, 7).unwrap() {
             let cust = o[1].as_i64().unwrap();
             assert!(cust >= 1 && cust <= n_cust);
         }
         let ps: BTreeSet<(i64, i64)> = generate("partsupp", SF, 7)
+            .unwrap()
             .iter()
             .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
             .collect();
-        for l in generate("lineitem", SF, 7).iter().take(500) {
+        for l in generate("lineitem", SF, 7).unwrap().iter().take(500) {
             let key = (l[1].as_i64().unwrap(), l[2].as_i64().unwrap());
             assert!(ps.contains(&key), "lineitem {key:?} has no partsupp row");
         }
@@ -318,8 +324,8 @@ mod tests {
 
     #[test]
     fn ship_date_follows_order_date() {
-        let orders = generate("orders", SF, 7);
-        let line = generate("lineitem", SF, 7);
+        let orders = generate("orders", SF, 7).unwrap();
+        let line = generate("lineitem", SF, 7).unwrap();
         for l in line.iter().take(200) {
             let ok = l[0].as_i64().unwrap();
             let odate = match &orders[(ok - 1) as usize][4] {
@@ -336,17 +342,21 @@ mod tests {
 
     #[test]
     fn categorical_distributions_present() {
-        let cust = generate("customer", 0.01, 7);
-        let segs: BTreeSet<&str> = cust
-            .iter()
-            .map(|r| r[6].as_str().unwrap())
-            .collect();
+        let cust = generate("customer", 0.01, 7).unwrap();
+        let segs: BTreeSet<&str> = cust.iter().map(|r| r[6].as_str().unwrap()).collect();
         assert_eq!(segs.len(), 5, "all market segments appear");
-        let parts = generate("part", 0.01, 7);
+        let parts = generate("part", 0.01, 7).unwrap();
         assert!(parts
             .iter()
             .any(|r| r[4].as_str().unwrap().contains("BRASS")));
-        let line = generate("lineitem", 0.002, 7);
+        let line = generate("lineitem", 0.002, 7).unwrap();
         assert!(line.iter().any(|r| r[8].as_str() == Some("R")));
+    }
+
+    #[test]
+    fn unknown_table_is_a_typed_storage_error() {
+        let e = generate("widgets", SF, 7).unwrap_err();
+        assert_eq!(e.kind(), "storage");
+        assert!(e.message().contains("unknown TPC-H table `widgets`"));
     }
 }

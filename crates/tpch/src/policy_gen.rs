@@ -55,16 +55,32 @@ impl PolicyTemplate {
 pub(crate) fn needed_columns(table: &str) -> &'static [&'static str] {
     match table {
         "customer" => &[
-            "c_custkey", "c_nationkey", "c_mktsegment", "c_name", "c_acctbal", "c_phone",
+            "c_custkey",
+            "c_nationkey",
+            "c_mktsegment",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
             "c_address",
         ],
         "orders" => &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
         "lineitem" => &[
-            "l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount",
-            "l_quantity", "l_shipdate", "l_returnflag",
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_extendedprice",
+            "l_discount",
+            "l_quantity",
+            "l_shipdate",
+            "l_returnflag",
         ],
         "supplier" => &[
-            "s_suppkey", "s_nationkey", "s_acctbal", "s_name", "s_address", "s_phone",
+            "s_suppkey",
+            "s_nationkey",
+            "s_acctbal",
+            "s_name",
+            "s_address",
+            "s_phone",
         ],
         "part" => &["p_partkey", "p_size", "p_type", "p_name", "p_mfgr"],
         "partsupp" => &["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"],
@@ -173,11 +189,7 @@ pub fn generate_policies(
     Ok(cat)
 }
 
-fn base_set(
-    cat: &mut PolicyCatalog,
-    catalog: &Catalog,
-    template: PolicyTemplate,
-) -> Result<()> {
+fn base_set(cat: &mut PolicyCatalog, catalog: &Catalog, template: PolicyTemplate) -> Result<()> {
     for table in crate::schema::TABLES {
         let attrs = match template {
             PolicyTemplate::T => ShipAttrs::Star,
@@ -290,7 +302,7 @@ fn base_set(
 fn filler_expression(rng: &mut StdRng, template: PolicyTemplate) -> PolicyExpression {
     let tables = crate::schema::TABLES;
     let table = tables[rng.gen_range(0..tables.len())];
-    let schema = schema_of(table);
+    let schema = schema_of(table).expect("built-in TPC-H table");
     let all: Vec<&str> = schema.names();
     let n_attrs = rng.gen_range(1..=3.min(all.len()));
     let mut attrs: Vec<&str> = Vec::new();
@@ -306,13 +318,12 @@ fn filler_expression(rng: &mut StdRng, template: PolicyTemplate) -> PolicyExpres
         .collect();
     let to = LocationPattern::Set(LocationSet::from_iter(locs));
 
-    let predicate = if matches!(template, PolicyTemplate::CR | PolicyTemplate::CRA)
-        && rng.gen_bool(0.5)
-    {
-        random_predicate(rng, table)
-    } else {
-        None
-    };
+    let predicate =
+        if matches!(template, PolicyTemplate::CR | PolicyTemplate::CRA) && rng.gen_bool(0.5) {
+            random_predicate(rng, table)
+        } else {
+            None
+        };
 
     if template == PolicyTemplate::CRA && rng.gen_bool(0.3) {
         if let Some((agg_col, group_col)) = aggregatable(table) {
@@ -347,27 +358,33 @@ fn aggregatable(table: &str) -> Option<(&'static str, &'static str)> {
 /// property file).
 fn random_predicate(rng: &mut StdRng, table: &str) -> Option<ScalarExpr> {
     let e = match table {
-        "customer" => ScalarExpr::col("c_acctbal").gt(ScalarExpr::lit(
-            rng.gen_range(-500..5000) as f64,
-        )),
-        "supplier" => ScalarExpr::col("s_acctbal").gt(ScalarExpr::lit(
-            rng.gen_range(-500..5000) as f64,
-        )),
+        "customer" => {
+            ScalarExpr::col("c_acctbal").gt(ScalarExpr::lit(rng.gen_range(-500..5000) as f64))
+        }
+        "supplier" => {
+            ScalarExpr::col("s_acctbal").gt(ScalarExpr::lit(rng.gen_range(-500..5000) as f64))
+        }
         "orders" => ScalarExpr::col("o_orderdate").gt(ScalarExpr::lit(Value::date(
             rng.gen_range(1992..1998),
             rng.gen_range(1..=12),
             rng.gen_range(1..=28),
         ))),
-        "lineitem" => ScalarExpr::col("l_quantity").lt(ScalarExpr::lit(
-            rng.gen_range(10..50) as i64,
-        )),
+        "lineitem" => {
+            ScalarExpr::col("l_quantity").lt(ScalarExpr::lit(rng.gen_range(10..50) as i64))
+        }
         "part" => ScalarExpr::col("p_size").gt(ScalarExpr::lit(rng.gen_range(1..45) as i64)),
-        "partsupp" => ScalarExpr::col("ps_availqty").gt(ScalarExpr::lit(
-            rng.gen_range(100..5000) as i64,
-        )),
+        "partsupp" => {
+            ScalarExpr::col("ps_availqty").gt(ScalarExpr::lit(rng.gen_range(100..5000) as i64))
+        }
         _ => return None,
     };
     Some(e)
+}
+
+/// Public view of the per-table covered-column pool (used by the ad-hoc
+/// query generator so that generated queries stay within granted columns).
+pub fn needed_columns_public(table: &str) -> &'static [&'static str] {
+    needed_columns(table)
 }
 
 #[cfg(test)]
@@ -454,11 +471,4 @@ mod tests {
             assert_eq!(e.expr.attrs, ShipAttrs::Star);
         }
     }
-}
-
-
-/// Public view of the per-table covered-column pool (used by the ad-hoc
-/// query generator so that generated queries stay within granted columns).
-pub fn needed_columns_public(table: &str) -> &'static [&'static str] {
-    needed_columns(table)
 }

@@ -82,7 +82,10 @@ pub fn q1(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
                 AggCall::count_star("count_order"),
             ],
         )?
-        .sort(vec![SortKey::asc("l_returnflag"), SortKey::asc("l_linestatus")])?;
+        .sort(vec![
+            SortKey::asc("l_returnflag"),
+            SortKey::asc("l_linestatus"),
+        ])?;
     Ok(plan.build())
 }
 
@@ -112,9 +115,18 @@ pub fn q6(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
 pub fn q2(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
     // Inner: min supply cost per part among European suppliers.
     let inner = scan(catalog, "partsupp")?
-        .join(scan(catalog, "supplier")?, vec![("ps_suppkey", "s_suppkey")])?
-        .join(scan(catalog, "nation")?, vec![("s_nationkey", "n_nationkey")])?
-        .join(scan(catalog, "region")?, vec![("n_regionkey", "r_regionkey")])?
+        .join(
+            scan(catalog, "supplier")?,
+            vec![("ps_suppkey", "s_suppkey")],
+        )?
+        .join(
+            scan(catalog, "nation")?,
+            vec![("s_nationkey", "n_nationkey")],
+        )?
+        .join(
+            scan(catalog, "region")?,
+            vec![("n_regionkey", "r_regionkey")],
+        )?
         .filter(col("r_name").eq(lit("EUROPE")))?
         .aggregate(
             &["ps_partkey"],
@@ -132,17 +144,35 @@ pub fn q2(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
                 .eq(lit(15i64))
                 .and(col("p_type").like("%BRASS")),
         )?
-        .join(scan(catalog, "partsupp")?, vec![("p_partkey", "ps_partkey")])?
-        .join(scan(catalog, "supplier")?, vec![("ps_suppkey", "s_suppkey")])?
-        .join(scan(catalog, "nation")?, vec![("s_nationkey", "n_nationkey")])?
-        .join(scan(catalog, "region")?, vec![("n_regionkey", "r_regionkey")])?
+        .join(
+            scan(catalog, "partsupp")?,
+            vec![("p_partkey", "ps_partkey")],
+        )?
+        .join(
+            scan(catalog, "supplier")?,
+            vec![("ps_suppkey", "s_suppkey")],
+        )?
+        .join(
+            scan(catalog, "nation")?,
+            vec![("s_nationkey", "n_nationkey")],
+        )?
+        .join(
+            scan(catalog, "region")?,
+            vec![("n_regionkey", "r_regionkey")],
+        )?
         .filter(col("r_name").eq(lit("EUROPE")))?
         .join(
             inner,
             vec![("p_partkey", "mc_partkey"), ("ps_supplycost", "mc_cost")],
         )?
         .project_columns(&[
-            "s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone",
+            "s_acctbal",
+            "s_name",
+            "n_name",
+            "p_partkey",
+            "p_mfgr",
+            "s_address",
+            "s_phone",
         ])?
         .sort(vec![
             SortKey::desc("s_acctbal"),
@@ -160,7 +190,10 @@ pub fn q3(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
         .filter(col("c_mktsegment").eq(lit("BUILDING")))?
         .join(scan(catalog, "orders")?, vec![("c_custkey", "o_custkey")])?
         .filter(col("o_orderdate").lt(date(1995, 3, 15)))?
-        .join(scan(catalog, "lineitem")?, vec![("o_orderkey", "l_orderkey")])?
+        .join(
+            scan(catalog, "lineitem")?,
+            vec![("o_orderkey", "l_orderkey")],
+        )?
         .filter(col("l_shipdate").gt(date(1995, 3, 15)))?
         .aggregate(
             &["l_orderkey", "o_orderdate", "o_shippriority"],
@@ -180,13 +213,22 @@ pub fn q5(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
                 .gt_eq(date(1994, 1, 1))
                 .and(col("o_orderdate").lt(date(1995, 1, 1))),
         )?
-        .join(scan(catalog, "lineitem")?, vec![("o_orderkey", "l_orderkey")])?
+        .join(
+            scan(catalog, "lineitem")?,
+            vec![("o_orderkey", "l_orderkey")],
+        )?
         .join(
             scan(catalog, "supplier")?,
             vec![("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")],
         )?
-        .join(scan(catalog, "nation")?, vec![("s_nationkey", "n_nationkey")])?
-        .join(scan(catalog, "region")?, vec![("n_regionkey", "r_regionkey")])?
+        .join(
+            scan(catalog, "nation")?,
+            vec![("s_nationkey", "n_nationkey")],
+        )?
+        .join(
+            scan(catalog, "region")?,
+            vec![("n_regionkey", "r_regionkey")],
+        )?
         .filter(col("r_name").eq(lit("ASIA")))?
         .aggregate(
             &["n_name"],
@@ -211,8 +253,14 @@ pub fn q8(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
         .join(scan(catalog, "orders")?, vec![("l_orderkey", "o_orderkey")])?
         .filter(col("o_orderdate").between(date(1995, 1, 1), date(1996, 12, 31)))?
         .join(scan(catalog, "customer")?, vec![("o_custkey", "c_custkey")])?
-        .join(scan(catalog, "nation")?, vec![("c_nationkey", "n_nationkey")])?
-        .join(scan(catalog, "region")?, vec![("n_regionkey", "r_regionkey")])?
+        .join(
+            scan(catalog, "nation")?,
+            vec![("c_nationkey", "n_nationkey")],
+        )?
+        .join(
+            scan(catalog, "region")?,
+            vec![("n_regionkey", "r_regionkey")],
+        )?
         .filter(col("r_name").eq(lit("AMERICA")))?
         .join(supp_nation, vec![("s_nationkey", "n2_nationkey")])?
         .aggregate(
@@ -228,14 +276,20 @@ pub fn q9(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
     let profit = revenue_expr().sub(col("ps_supplycost").mul(col("l_quantity")));
     let plan = scan(catalog, "part")?
         .filter(col("p_name").like("%green%"))?
-        .join(scan(catalog, "partsupp")?, vec![("p_partkey", "ps_partkey")])?
+        .join(
+            scan(catalog, "partsupp")?,
+            vec![("p_partkey", "ps_partkey")],
+        )?
         .join(
             scan(catalog, "lineitem")?,
             vec![("ps_partkey", "l_partkey"), ("ps_suppkey", "l_suppkey")],
         )?
         .join(scan(catalog, "supplier")?, vec![("l_suppkey", "s_suppkey")])?
         .join(scan(catalog, "orders")?, vec![("l_orderkey", "o_orderkey")])?
-        .join(scan(catalog, "nation")?, vec![("s_nationkey", "n_nationkey")])?
+        .join(
+            scan(catalog, "nation")?,
+            vec![("s_nationkey", "n_nationkey")],
+        )?
         .aggregate(
             &["n_name"],
             vec![AggCall::new(AggFunc::Sum, profit, "sum_profit")],
@@ -253,11 +307,24 @@ pub fn q10(catalog: &Catalog) -> Result<Arc<LogicalPlan>> {
                 .gt_eq(date(1993, 10, 1))
                 .and(col("o_orderdate").lt(date(1994, 1, 1))),
         )?
-        .join(scan(catalog, "lineitem")?, vec![("o_orderkey", "l_orderkey")])?
+        .join(
+            scan(catalog, "lineitem")?,
+            vec![("o_orderkey", "l_orderkey")],
+        )?
         .filter(col("l_returnflag").eq(lit("R")))?
-        .join(scan(catalog, "nation")?, vec![("c_nationkey", "n_nationkey")])?
+        .join(
+            scan(catalog, "nation")?,
+            vec![("c_nationkey", "n_nationkey")],
+        )?
         .aggregate(
-            &["c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address"],
+            &[
+                "c_custkey",
+                "c_name",
+                "c_acctbal",
+                "c_phone",
+                "n_name",
+                "c_address",
+            ],
             vec![AggCall::new(AggFunc::Sum, revenue_expr(), "revenue")],
         )?
         .sort(vec![SortKey::desc("revenue")])?

@@ -1,6 +1,6 @@
 //! TPC-H table schemas and statistics.
 
-use geoqp_common::{DataType, Field, Schema};
+use geoqp_common::{DataType, Field, GeoError, Result, Schema};
 use geoqp_storage::TableStats;
 
 /// The eight TPC-H tables.
@@ -8,9 +8,19 @@ pub const TABLES: [&str; 8] = [
     "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
 ];
 
+/// The typed error every lookup in this crate returns for a table name
+/// outside [`TABLES`] — a bad name from the CLI surfaces as an error
+/// result instead of aborting the process.
+pub(crate) fn unknown_table(table: &str) -> GeoError {
+    GeoError::Storage(format!(
+        "unknown TPC-H table `{table}` (expected one of: {})",
+        TABLES.join(", ")
+    ))
+}
+
 /// Base cardinality of a table at scale factor 1 (TPC-H specification).
-pub fn base_rows(table: &str) -> u64 {
-    match table {
+pub fn base_rows(table: &str) -> Result<u64> {
+    Ok(match table {
         "region" => 5,
         "nation" => 25,
         "supplier" => 10_000,
@@ -19,20 +29,20 @@ pub fn base_rows(table: &str) -> u64 {
         "customer" => 150_000,
         "orders" => 1_500_000,
         "lineitem" => 6_000_000,
-        _ => panic!("unknown TPC-H table `{table}`"),
-    }
+        _ => return Err(unknown_table(table)),
+    })
 }
 
 /// Row count at a scale factor (region/nation are fixed).
-pub fn rows_at(table: &str, sf: f64) -> u64 {
+pub fn rows_at(table: &str, sf: f64) -> Result<u64> {
     match table {
         "region" | "nation" => base_rows(table),
-        t => ((base_rows(t) as f64) * sf).round().max(1.0) as u64,
+        t => Ok(((base_rows(t)? as f64) * sf).round().max(1.0) as u64),
     }
 }
 
 /// Schema of a TPC-H table.
-pub fn schema_of(table: &str) -> Schema {
+pub fn schema_of(table: &str) -> Result<Schema> {
     use DataType::*;
     let fields: Vec<Field> = match table {
         "region" => vec![
@@ -112,17 +122,17 @@ pub fn schema_of(table: &str) -> Schema {
             Field::new("l_shipmode", Str),
             Field::new("l_comment", Str),
         ],
-        _ => panic!("unknown TPC-H table `{table}`"),
+        _ => return Err(unknown_table(table)),
     };
-    Schema::new(fields).expect("static schemas are valid")
+    Ok(Schema::new(fields).expect("static schemas are valid"))
 }
 
 /// Statistics for a table at a scale factor, with NDVs for the columns the
 /// optimizer's estimator cares about (keys, predicate columns, grouping
 /// columns).
-pub fn stats_of(table: &str, sf: f64) -> TableStats {
-    let rows = rows_at(table, sf);
-    let width = schema_of(table).estimated_row_width() as f64;
+pub fn stats_of(table: &str, sf: f64) -> Result<TableStats> {
+    let rows = rows_at(table, sf)?;
+    let width = schema_of(table)?.estimated_row_width() as f64;
     let mut s = TableStats::new(rows, width);
     let r = |frac: f64| ((rows as f64 * frac).round() as u64).max(1);
     match table {
@@ -153,7 +163,7 @@ pub fn stats_of(table: &str, sf: f64) -> TableStats {
         "partsupp" => {
             s = s
                 .with_ndv("ps_partkey", rows / 4)
-                .with_ndv("ps_suppkey", rows_at("supplier", sf))
+                .with_ndv("ps_suppkey", rows_at("supplier", sf)?)
                 .with_ndv("ps_supplycost", r(0.5));
         }
         "customer" => {
@@ -166,7 +176,7 @@ pub fn stats_of(table: &str, sf: f64) -> TableStats {
         "orders" => {
             s = s
                 .with_ndv("o_orderkey", rows)
-                .with_ndv("o_custkey", rows_at("customer", sf))
+                .with_ndv("o_custkey", rows_at("customer", sf)?)
                 .with_ndv("o_orderstatus", 3)
                 .with_ndv("o_orderdate", 2406)
                 .with_ndv("o_orderpriority", 5)
@@ -174,9 +184,9 @@ pub fn stats_of(table: &str, sf: f64) -> TableStats {
         }
         "lineitem" => {
             s = s
-                .with_ndv("l_orderkey", rows_at("orders", sf))
-                .with_ndv("l_partkey", rows_at("part", sf))
-                .with_ndv("l_suppkey", rows_at("supplier", sf))
+                .with_ndv("l_orderkey", rows_at("orders", sf)?)
+                .with_ndv("l_partkey", rows_at("part", sf)?)
+                .with_ndv("l_suppkey", rows_at("supplier", sf)?)
                 .with_ndv("l_linenumber", 7)
                 .with_ndv("l_quantity", 50)
                 .with_ndv("l_discount", 11)
@@ -186,9 +196,9 @@ pub fn stats_of(table: &str, sf: f64) -> TableStats {
                 .with_ndv("l_shipdate", 2526)
                 .with_ndv("l_shipmode", 7);
         }
-        _ => panic!("unknown TPC-H table `{table}`"),
+        _ => return Err(unknown_table(table)),
     }
-    s
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -198,7 +208,7 @@ mod tests {
     #[test]
     fn all_schemas_valid_and_unique_columns() {
         for t in TABLES {
-            let s = schema_of(t);
+            let s = schema_of(t).unwrap();
             assert!(!s.is_empty(), "{t} schema empty");
             // TPC-H prefixed names keep cross-table uniqueness.
             for f in s.fields() {
@@ -220,18 +230,32 @@ mod tests {
 
     #[test]
     fn cardinality_scaling() {
-        assert_eq!(rows_at("lineitem", 1.0), 6_000_000);
-        assert_eq!(rows_at("lineitem", 0.01), 60_000);
-        assert_eq!(rows_at("region", 10.0), 5);
-        assert_eq!(rows_at("nation", 0.001), 25);
-        assert_eq!(rows_at("customer", 10.0), 1_500_000);
+        assert_eq!(rows_at("lineitem", 1.0).unwrap(), 6_000_000);
+        assert_eq!(rows_at("lineitem", 0.01).unwrap(), 60_000);
+        assert_eq!(rows_at("region", 10.0).unwrap(), 5);
+        assert_eq!(rows_at("nation", 0.001).unwrap(), 25);
+        assert_eq!(rows_at("customer", 10.0).unwrap(), 1_500_000);
     }
 
     #[test]
     fn stats_have_key_ndvs() {
-        let s = stats_of("orders", 0.1);
+        let s = stats_of("orders", 0.1).unwrap();
         assert_eq!(s.row_count, 150_000);
         assert_eq!(s.ndv_of("o_orderkey"), 150_000);
         assert_eq!(s.ndv_of("o_orderstatus"), 3);
+    }
+
+    #[test]
+    fn unknown_table_is_a_typed_storage_error() {
+        for r in [
+            base_rows("widgets").map(|_| ()),
+            rows_at("widgets", 1.0).map(|_| ()),
+            schema_of("widgets").map(|_| ()),
+            stats_of("widgets", 1.0).map(|_| ()),
+        ] {
+            let e = r.unwrap_err();
+            assert_eq!(e.kind(), "storage");
+            assert!(e.message().contains("unknown TPC-H table `widgets`"));
+        }
     }
 }

@@ -82,8 +82,8 @@ mod tests {
     fn sql_texts_parse_and_lower() {
         let catalog = paper_catalog(1.0);
         for (name, sql) in sql_queries() {
-            let ast = geoqp_parser::parse_query(sql)
-                .unwrap_or_else(|e| panic!("{name} parse: {e}"));
+            let ast =
+                geoqp_parser::parse_query(sql).unwrap_or_else(|e| panic!("{name} parse: {e}"));
             let plan = geoqp_parser::lower_query(&ast, &catalog)
                 .unwrap_or_else(|e| panic!("{name} lower: {e}"));
             // The SQL forms reference the same tables as the builders.

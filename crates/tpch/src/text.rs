@@ -33,7 +33,13 @@ pub const NATIONS: [(&str, usize); 25] = [
 ];
 
 /// Market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Order priorities.
 pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
@@ -42,18 +48,20 @@ pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPEC
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Ship instructions.
-pub const SHIP_INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIP_INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// Containers (two-word combinations).
 pub const CONTAINER_SIZES: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 /// Container kinds.
-pub const CONTAINER_KINDS: [&str; 8] =
-    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+pub const CONTAINER_KINDS: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// Type syllables (p_type = one of each: 6 × 5 × 5 = 150 types).
-pub const TYPE_SYLLABLE_1: [&str; 6] =
-    ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_SYLLABLE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 /// Second syllable.
 pub const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 /// Third syllable.
@@ -61,16 +69,43 @@ pub const TYPE_SYLLABLE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPP
 
 /// Part-name color words (p_name = 5 of these).
 pub const COLORS: [&str; 20] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cream", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "green",
 ];
 
 /// A deterministic pseudo-comment of bounded length.
 pub fn comment(seed: u64, max_words: usize) -> String {
     const WORDS: [&str; 12] = [
-        "carefully", "final", "deposits", "sleep", "quickly", "ironic", "requests", "haggle",
-        "furiously", "pending", "accounts", "bold",
+        "carefully",
+        "final",
+        "deposits",
+        "sleep",
+        "quickly",
+        "ironic",
+        "requests",
+        "haggle",
+        "furiously",
+        "pending",
+        "accounts",
+        "bold",
     ];
     let n = (seed as usize % max_words.max(1)) + 1;
     let mut out = String::new();
@@ -79,7 +114,9 @@ pub fn comment(seed: u64, max_words: usize) -> String {
         if i > 0 {
             out.push(' ');
         }
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         out.push_str(WORDS[(s >> 33) as usize % WORDS.len()]);
     }
     out

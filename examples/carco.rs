@@ -58,9 +58,24 @@ fn main() -> Result<()> {
     customer.set_data(Table::new(
         Arc::clone(&customer.schema),
         vec![
-            vec![Value::Int64(1), Value::str("alice"), Value::Float64(120.0), Value::str("auto")],
-            vec![Value::Int64(2), Value::str("bob"), Value::Float64(80.5), Value::str("machinery")],
-            vec![Value::Int64(3), Value::str("carol"), Value::Float64(310.0), Value::str("auto")],
+            vec![
+                Value::Int64(1),
+                Value::str("alice"),
+                Value::Float64(120.0),
+                Value::str("auto"),
+            ],
+            vec![
+                Value::Int64(2),
+                Value::str("bob"),
+                Value::Float64(80.5),
+                Value::str("machinery"),
+            ],
+            vec![
+                Value::Int64(3),
+                Value::str("carol"),
+                Value::Float64(310.0),
+                Value::str("auto"),
+            ],
         ],
     )?)?;
     orders.set_data(Table::new(
@@ -127,8 +142,7 @@ fn main() -> Result<()> {
     }
 
     // The compliance-based optimizer (Figure 1(b)).
-    let (comp, result) =
-        engine.run_sql(sql, OptimizerMode::Compliant, Some(Location::new("E")))?;
+    let (comp, result) = engine.run_sql(sql, OptimizerMode::Compliant, Some(Location::new("E")))?;
     println!("compliant plan:");
     print!("{}", geoqp::plan::display::display_physical(&comp.physical));
     engine.audit(&comp.physical)?;
@@ -136,7 +150,10 @@ fn main() -> Result<()> {
 
     if explain {
         println!("\nannotated plan (execution trait ℰ, shipping trait 𝒮 — Figure 4):");
-        print!("{}", geoqp::core::explain::display_annotated(&comp.annotated));
+        print!(
+            "{}",
+            geoqp::core::explain::display_annotated(&comp.annotated)
+        );
     }
 
     println!("\nresult (in Europe):");
@@ -150,7 +167,10 @@ fn main() -> Result<()> {
         result.transfers.total_cost_ms()
     );
     for t in result.transfers.records() {
-        println!("  {} → {}: {} rows, {} bytes", t.from, t.to, t.rows, t.bytes);
+        println!(
+            "  {} → {}: {} rows, {} bytes",
+            t.from, t.to, t.rows, t.bytes
+        );
     }
     Ok(())
 }

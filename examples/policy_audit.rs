@@ -64,7 +64,11 @@ fn main() -> Result<()> {
     let avg_age = scan()
         .aggregate(
             &["p_region"],
-            vec![AggCall::new(AggFunc::Avg, ScalarExpr::col("p_age"), "avg_age")],
+            vec![AggCall::new(
+                AggFunc::Avg,
+                ScalarExpr::col("p_age"),
+                "avg_age",
+            )],
         )?
         .build();
     let raw_diagnosis = scan().project_columns(&["p_diagnosis"])?.build();
@@ -136,13 +140,13 @@ fn main() -> Result<()> {
     // ---- negative policies (closed-world expansion) --------------------
     // The officer can also write what must NOT happen; `expand_denials`
     // turns denials into ordinary grants under the closed world assumption.
-    println!("
-negative policies:");
+    println!(
+        "
+negative policies:"
+    );
     let denials = vec![
         geoqp::parser::parse_denial("deny ship p_diagnosis from patients to *")?,
-        geoqp::parser::parse_denial(
-            "deny ship * from patients to JP where p_age < 18",
-        )?,
+        geoqp::parser::parse_denial("deny ship * from patients to JP where p_age < 18")?,
     ];
     for d in &denials {
         println!("  {d}");

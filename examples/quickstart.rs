@@ -41,10 +41,26 @@ fn main() -> Result<()> {
     users.set_data(Table::new(
         Arc::clone(&users.schema),
         vec![
-            vec![Value::Int64(1), Value::str("ada"), Value::str("ada@example.eu")],
-            vec![Value::Int64(2), Value::str("grace"), Value::str("grace@example.eu")],
-            vec![Value::Int64(3), Value::str("edsger"), Value::str("edsger@example.eu")],
-            vec![Value::Int64(4), Value::str("barbara"), Value::str("barbara@example.eu")],
+            vec![
+                Value::Int64(1),
+                Value::str("ada"),
+                Value::str("ada@example.eu"),
+            ],
+            vec![
+                Value::Int64(2),
+                Value::str("grace"),
+                Value::str("grace@example.eu"),
+            ],
+            vec![
+                Value::Int64(3),
+                Value::str("edsger"),
+                Value::str("edsger@example.eu"),
+            ],
+            vec![
+                Value::Int64(4),
+                Value::str("barbara"),
+                Value::str("barbara@example.eu"),
+            ],
         ],
     )?)?;
     events.set_data(Table::new(
@@ -83,8 +99,14 @@ fn main() -> Result<()> {
                ORDER BY u_name, e_kind";
     println!("\nquery: {sql}");
     let (optimized, result) = engine.run_sql(sql, OptimizerMode::Compliant, None)?;
-    println!("\ncompliant plan (result at {}):", optimized.result_location);
-    print!("{}", geoqp::plan::display::display_physical(&optimized.physical));
+    println!(
+        "\ncompliant plan (result at {}):",
+        optimized.result_location
+    );
+    print!(
+        "{}",
+        geoqp::plan::display::display_physical(&optimized.physical)
+    );
     println!("result rows:");
     for row in result.rows.iter() {
         println!("  {} did {}", row[0], row[1]);

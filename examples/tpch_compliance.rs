@@ -73,7 +73,10 @@ fn main() -> Result<()> {
                     exec.transfers.total_cost_ms()
                 );
                 for t in exec.transfers.records() {
-                    println!("    {} → {}: {} rows, {} bytes", t.from, t.to, t.rows, t.bytes);
+                    println!(
+                        "    {} → {}: {} rows, {} bytes",
+                        t.from, t.to, t.rows, t.bytes
+                    );
                 }
             }
         }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The full local CI gate: formatting, lints, release build, and every test.
+# Run from anywhere; exits non-zero on the first failure.
+#
+# Formatting and lint gates cover the repo's own crates only — the vendored
+# dependencies under vendor/ are third-party snapshots and keep their
+# upstream style.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GEOQP_PACKAGES=(
+    geoqp geoqp-bench geoqp-cli geoqp-common geoqp-core geoqp-exec
+    geoqp-expr geoqp-net geoqp-parser geoqp-plan geoqp-policy
+    geoqp-runtime geoqp-storage geoqp-tpch
+)
+pkg_flags=()
+for p in "${GEOQP_PACKAGES[@]}"; do pkg_flags+=(-p "$p"); done
+
+echo "==> cargo fmt --check (geoqp crates)"
+cargo fmt --check "${pkg_flags[@]}"
+
+echo "==> cargo clippy --all-targets -- -D warnings (geoqp crates)"
+cargo clippy "${pkg_flags[@]}" --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -90,6 +90,7 @@ pub use geoqp_net as net;
 pub use geoqp_parser as parser;
 pub use geoqp_plan as plan;
 pub use geoqp_policy as policy;
+pub use geoqp_runtime as runtime;
 pub use geoqp_storage as storage;
 pub use geoqp_tpch as tpch;
 
@@ -100,12 +101,13 @@ pub mod prelude {
         Schema, TableRef, Value,
     };
     pub use geoqp_core::{
-        Engine, ExecutionResult, OptimizedQuery, OptimizerMode, ResilientResult,
+        Engine, ExecutionResult, OptimizedQuery, OptimizerMode, ParallelResult, ResilientResult,
+        RuntimeConfig, RuntimeMetrics, RuntimeMode,
     };
     pub use geoqp_exec::RetryPolicy;
     pub use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
     pub use geoqp_net::{FaultPlan, NetworkTopology, StepWindow, TransferLog};
     pub use geoqp_plan::{LogicalPlan, PlanBuilder};
-    pub use geoqp_policy::{PolicyCatalog, PolicyExpression, PolicyEvaluator, ShipAttrs};
+    pub use geoqp_policy::{PolicyCatalog, PolicyEvaluator, PolicyExpression, ShipAttrs};
     pub use geoqp_storage::{Catalog, Table, TableStats};
 }

@@ -12,8 +12,8 @@ const SF: f64 = 0.002;
 fn engine(template: PolicyTemplate) -> Engine {
     let catalog = Arc::new(tpch::paper_catalog(SF));
     tpch::populate(&catalog, SF, 7).unwrap();
-    let policies = tpch::generate_policies(&catalog, template, template.base_count(), 2021)
-        .unwrap();
+    let policies =
+        tpch::generate_policies(&catalog, template, template.base_count(), 2021).unwrap();
     Engine::new(catalog, Arc::new(policies), NetworkTopology::paper_wan())
 }
 
@@ -72,8 +72,7 @@ fn requested_result_location_is_honored_or_rejected() {
 fn partitioned_tables_execute_through_unions() {
     let catalog = Arc::new(tpch::paper_catalog_partitioned(SF, 3).unwrap());
     tpch::populate(&catalog, SF, 7).unwrap();
-    let policies =
-        tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
     let eng = Engine::new(
         Arc::clone(&catalog),
         Arc::new(policies),

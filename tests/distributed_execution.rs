@@ -11,8 +11,7 @@ const SF: f64 = 0.002;
 fn engine() -> Engine {
     let catalog = Arc::new(tpch::paper_catalog(SF));
     tpch::populate(&catalog, SF, 7).unwrap();
-    let policies =
-        tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
     Engine::new(catalog, Arc::new(policies), NetworkTopology::paper_wan())
 }
 

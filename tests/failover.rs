@@ -104,7 +104,10 @@ fn same_fault_seed_replays_identically() {
     let a = run(7);
     let b = run(7);
     assert_eq!(a.rows, b.rows, "same seed, different answers");
-    assert_eq!(a.transfers, b.transfers, "same seed, different transfer logs");
+    assert_eq!(
+        a.transfers, b.transfers,
+        "same seed, different transfer logs"
+    );
     assert_eq!(a.replans, b.replans);
 
     // A different seed flips different flaky-link coins: the schedule is
@@ -139,9 +142,7 @@ fn transient_crash_window_is_ridden_out_by_retries() {
 fn permanent_crash_of_result_site_is_a_typed_rejection() {
     let eng = engine();
     let plan = tpch::query_by_name(eng.catalog(), "Q3").unwrap();
-    let opt = eng
-        .optimize(&plan, OptimizerMode::Compliant, None)
-        .unwrap();
+    let opt = eng.optimize(&plan, OptimizerMode::Compliant, None).unwrap();
     let result_site = opt.result_location.clone();
     let faults = FaultPlan::new(1).with_crash(result_site.clone(), StepWindow::ALWAYS);
     let err = eng
@@ -260,7 +261,8 @@ fn failover_replans_to_an_alternate_compliant_site() {
     assert_eq!(res.replans, 1, "exactly one re-plan should be needed");
     assert!(res.excluded.contains(&Location::new("C")));
     assert_eq!(canonical(&res.rows), canonical(&baseline.rows));
-    eng.audit(&res.physical).expect("failover placement audits clean");
+    eng.audit(&res.physical)
+        .expect("failover placement audits clean");
     for t in res.transfers.records() {
         assert!(
             t.from != Location::new("C") && t.to != Location::new("C"),
@@ -282,11 +284,7 @@ fn exhausted_retries_surface_the_failing_link() {
     let Some(t0) = baseline.transfers.records().first().cloned() else {
         panic!("Q3's compliant plan should ship at least once");
     };
-    let faults = FaultPlan::new(5).with_drop(
-        t0.from.clone(),
-        t0.to.clone(),
-        StepWindow::ALWAYS,
-    );
+    let faults = FaultPlan::new(5).with_drop(t0.from.clone(), t0.to.clone(), StepWindow::ALWAYS);
     let err = eng
         .execute_resilient(&opt, &faults, &RetryPolicy::default(), 0)
         .unwrap_err();

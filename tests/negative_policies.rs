@@ -6,7 +6,11 @@ use geoqp::policy::expand_denials;
 use geoqp::prelude::*;
 use std::sync::Arc;
 
-fn deployment() -> (Catalog, Arc<geoqp::storage::TableEntry>, Arc<geoqp::storage::TableEntry>) {
+fn deployment() -> (
+    Catalog,
+    Arc<geoqp::storage::TableEntry>,
+    Arc<geoqp::storage::TableEntry>,
+) {
     let mut catalog = Catalog::new();
     catalog.add_database("db-de", Location::new("DE")).unwrap();
     catalog.add_database("db-us", Location::new("US")).unwrap();
@@ -80,13 +84,17 @@ fn denial_expanded_engine_plans_around_the_denied_column() {
     // world assumption.
     let denials = vec![parse_denial("deny ship p_ssn from people to *").unwrap()];
     let mut policies = PolicyCatalog::new();
-    for g in expand_denials(&TableRef::bare("people"), &people.schema, &denials, &universe)
-        .unwrap()
+    for g in expand_denials(
+        &TableRef::bare("people"),
+        &people.schema,
+        &denials,
+        &universe,
+    )
+    .unwrap()
     {
         policies.register(g, &people.schema).unwrap();
     }
-    for g in expand_denials(&TableRef::bare("visits"), &visits.schema, &[], &universe).unwrap()
-    {
+    for g in expand_denials(&TableRef::bare("visits"), &visits.schema, &[], &universe).unwrap() {
         policies.register(g, &visits.schema).unwrap();
     }
 
@@ -110,10 +118,7 @@ fn denial_expanded_engine_plans_around_the_denied_column() {
     assert_eq!(result.rows.len(), 6);
     opt.physical.visit(&mut |p| {
         if matches!(p.op, geoqp::plan::PhysOp::Ship) {
-            assert!(
-                p.schema.index_of("p_ssn").is_none(),
-                "SSN crossed a border"
-            );
+            assert!(p.schema.index_of("p_ssn").is_none(), "SSN crossed a border");
         }
     });
 
@@ -143,16 +148,19 @@ fn conditional_denial_interacts_with_query_predicates() {
     let universe = catalog.locations().clone();
 
     // People with id < 3 are confidential abroad.
-    let denials =
-        vec![parse_denial("deny ship * from people to US where p_id < 3").unwrap()];
+    let denials = vec![parse_denial("deny ship * from people to US where p_id < 3").unwrap()];
     let mut policies = PolicyCatalog::new();
-    for g in expand_denials(&TableRef::bare("people"), &people.schema, &denials, &universe)
-        .unwrap()
+    for g in expand_denials(
+        &TableRef::bare("people"),
+        &people.schema,
+        &denials,
+        &universe,
+    )
+    .unwrap()
     {
         policies.register(g, &people.schema).unwrap();
     }
-    for g in expand_denials(&TableRef::bare("visits"), &visits.schema, &[], &universe).unwrap()
-    {
+    for g in expand_denials(&TableRef::bare("visits"), &visits.schema, &[], &universe).unwrap() {
         policies.register(g, &visits.schema).unwrap();
     }
     let engine = Engine::new(

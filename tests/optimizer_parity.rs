@@ -42,9 +42,7 @@ fn same_plans_under_no_restrictions() {
         let trad = eng
             .optimize(&plan, OptimizerMode::Traditional, None)
             .unwrap();
-        let comp = eng
-            .optimize(&plan, OptimizerMode::Compliant, None)
-            .unwrap();
+        let comp = eng.optimize(&plan, OptimizerMode::Compliant, None).unwrap();
         assert_eq!(
             trad.physical, comp.physical,
             "{name}: plans differ under no restrictions"
@@ -57,8 +55,7 @@ fn same_plans_under_no_restrictions() {
 fn both_optimizers_compute_identical_results() {
     let catalog = Arc::new(tpch::paper_catalog(SF));
     tpch::populate(&catalog, SF, 7).unwrap();
-    let policies =
-        tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
     let eng = Engine::new(
         Arc::clone(&catalog),
         Arc::new(policies),
@@ -68,9 +65,7 @@ fn both_optimizers_compute_identical_results() {
         let trad = eng
             .optimize(&plan, OptimizerMode::Traditional, None)
             .unwrap();
-        let comp = eng
-            .optimize(&plan, OptimizerMode::Compliant, None)
-            .unwrap();
+        let comp = eng.optimize(&plan, OptimizerMode::Compliant, None).unwrap();
         let tr = eng.execute(&trad.physical).unwrap();
         let cr = eng.execute(&comp.physical).unwrap();
         // Q2/Q3/Q10 carry LIMIT under ties, so compare full sorted sets
@@ -98,8 +93,7 @@ fn compliant_never_cheaper_than_traditional_in_phase1_cost_space() {
     // 6(g,h)).
     let catalog = Arc::new(tpch::paper_catalog(SF));
     tpch::populate(&catalog, SF, 7).unwrap();
-    let policies =
-        tpch::generate_policies(&catalog, PolicyTemplate::CR, 10, 2021).unwrap();
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CR, 10, 2021).unwrap();
     let eng = Engine::new(
         Arc::clone(&catalog),
         Arc::new(policies),
@@ -109,11 +103,17 @@ fn compliant_never_cheaper_than_traditional_in_phase1_cost_space() {
         let trad = eng
             .optimize(&plan, OptimizerMode::Traditional, None)
             .unwrap();
-        let comp = eng
-            .optimize(&plan, OptimizerMode::Compliant, None)
-            .unwrap();
-        let t_cost = eng.execute(&trad.physical).unwrap().transfers.total_cost_ms();
-        let c_cost = eng.execute(&comp.physical).unwrap().transfers.total_cost_ms();
+        let comp = eng.optimize(&plan, OptimizerMode::Compliant, None).unwrap();
+        let t_cost = eng
+            .execute(&trad.physical)
+            .unwrap()
+            .transfers
+            .total_cost_ms();
+        let c_cost = eng
+            .execute(&comp.physical)
+            .unwrap()
+            .transfers
+            .total_cost_ms();
         assert!(
             c_cost >= t_cost * 0.999,
             "{name}: compliant plan unexpectedly cheaper ({c_cost} < {t_cost})"

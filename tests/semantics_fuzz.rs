@@ -67,9 +67,7 @@ fn naive_eval(plan: &LogicalPlan, catalog: &Catalog) -> Rows {
                 .iter()
                 .map(|(_, r)| right.schema().require_index(r).unwrap())
                 .collect();
-            let bound_filter = filter
-                .as_ref()
-                .map(|f| bind(f, schema).unwrap());
+            let bound_filter = filter.as_ref().map(|f| bind(f, schema).unwrap());
             let mut out = Rows::new();
             for lr in lrows.iter() {
                 'probe: for rr in rrows.iter() {
@@ -169,8 +167,7 @@ fn naive_agg(call: &AggCall, members: &[Row], schema: &Schema) -> Value {
                 Value::Null
             } else {
                 Value::Float64(
-                    values.iter().map(|v| v.as_f64().unwrap()).sum::<f64>()
-                        / values.len() as f64,
+                    values.iter().map(|v| v.as_f64().unwrap()).sum::<f64>() / values.len() as f64,
                 )
             }
         }
@@ -195,12 +192,10 @@ fn approx_eq(a: &Value, b: &Value) -> bool {
             let scale = x.abs().max(y.abs()).max(1.0);
             (x - y).abs() <= 1e-6 * scale
         }
-        (Value::Int64(_), Value::Float64(_)) | (Value::Float64(_), Value::Int64(_)) => {
-            approx_eq(
-                &Value::Float64(a.as_f64().unwrap()),
-                &Value::Float64(b.as_f64().unwrap()),
-            )
-        }
+        (Value::Int64(_), Value::Float64(_)) | (Value::Float64(_), Value::Int64(_)) => approx_eq(
+            &Value::Float64(a.as_f64().unwrap()),
+            &Value::Float64(b.as_f64().unwrap()),
+        ),
         _ => a == b,
     }
 }
@@ -224,9 +219,9 @@ fn rows_match(a: &Rows, b: &Rows) -> bool {
         return false;
     }
     let (ca, cb) = (canonical(a), canonical(b));
-    ca.iter().zip(&cb).all(|(ra, rb)| {
-        ra.len() == rb.len() && ra.iter().zip(rb).all(|(x, y)| approx_eq(x, y))
-    })
+    ca.iter()
+        .zip(&cb)
+        .all(|(ra, rb)| ra.len() == rb.len() && ra.iter().zip(rb).all(|(x, y)| approx_eq(x, y)))
 }
 
 // -------------------------------------------------------------- the fuzz

@@ -55,8 +55,7 @@ fn crafted_sets_guarantee_compliant_plans_for_generated_workloads() {
         PolicyTemplate::CR,
         PolicyTemplate::CRA,
     ] {
-        let policies =
-            generate_policies(&catalog, template, template.base_count(), 2021).unwrap();
+        let policies = generate_policies(&catalog, template, template.base_count(), 2021).unwrap();
         let eng = Engine::new(
             Arc::clone(&catalog),
             Arc::new(policies),
@@ -108,5 +107,8 @@ fn audits_of_traditional_plans_never_panic() {
     }
     // The experiment premise: the baseline violates sometimes, not always.
     assert!(compliant > 0, "baseline never compliant?");
-    assert!(violating > 0, "baseline never violates — policies toothless?");
+    assert!(
+        violating > 0,
+        "baseline never violates — policies toothless?"
+    );
 }

@@ -127,6 +127,30 @@ fn failover_matrix() {
             cell.faults
         );
     }
+
+    header("Extension E6: late-crash recovery — checkpoint/resume vs scratch (C)");
+    println!(
+        "  {:6} {:>8} {:>6} {:>12} {:>12} {:>7} {:>5} {:>6} {:>6}",
+        "query", "crashed", "step", "scratch B", "resume B", "ratio", "hits", "rows=", "audit"
+    );
+    for cell in failover::resume_matrix(SEED) {
+        println!(
+            "  {:6} {:>8} {:>6} {:>12} {:>12} {:>6.1}% {:>5} {:>6} {:>6}",
+            cell.query,
+            cell.crashed.to_string(),
+            cell.crash_step,
+            cell.scratch_recovery_bytes,
+            cell.resume_recovery_bytes,
+            cell.recovery_ratio() * 100.0,
+            cell.checkpoint_hits,
+            if cell.rows_match && cell.replans_match {
+                "yes"
+            } else {
+                "NO"
+            },
+            if cell.audit_ok { "pass" } else { "FAIL" }
+        );
+    }
 }
 
 fn ablations(_quick: bool) {

@@ -2,8 +2,10 @@
 //! processing engine. All state and command handling lives here so that
 //! the shell is fully testable without a terminal.
 
-use geoqp_common::{GeoError, Location, Result, Rows, TableRef};
-use geoqp_core::{Engine, OptimizerMode, RuntimeMetrics, RuntimeMode};
+use geoqp_common::{CancelToken, GeoError, Location, QueryDeadline, Result, Rows, TableRef};
+use geoqp_core::{
+    Engine, FailoverOpts, OptimizerMode, ResilientResult, RuntimeMetrics, RuntimeMode,
+};
 use geoqp_exec::RetryPolicy;
 use geoqp_net::{FaultPlan, NetworkTopology};
 use geoqp_policy::{expand_denials, PolicyCatalog};
@@ -19,6 +21,9 @@ pub struct Shell {
     result_location: Option<Location>,
     faults: Option<FaultPlan>,
     last_metrics: Option<RuntimeMetrics>,
+    deadline: Option<QueryDeadline>,
+    cancel: CancelToken,
+    last_failover: Option<String>,
 }
 
 impl Default for Shell {
@@ -37,6 +42,9 @@ impl Shell {
             result_location: None,
             faults: None,
             last_metrics: None,
+            deadline: None,
+            cancel: CancelToken::new(),
+            last_failover: None,
         }
     }
 
@@ -122,14 +130,29 @@ impl Shell {
                 };
                 Ok(format!("runtime: {arg}\n"))
             }
-            "metrics" => match &self.last_metrics {
-                Some(m) => Ok(format!("{m}")),
-                None => {
-                    Ok("no runtime metrics yet; run a query with \\runtime parallel\n".to_string())
+            "metrics" => {
+                let mut out = match &self.last_metrics {
+                    Some(m) => format!("{m}"),
+                    None => {
+                        "no runtime metrics yet; run a query with \\runtime parallel\n".to_string()
+                    }
+                };
+                if let Some(f) = &self.last_failover {
+                    out.push_str(f);
                 }
-            },
+                Ok(out)
+            }
             "explain" => self.explain(arg),
             "faults" => self.set_faults(arg),
+            "deadline" => self.set_deadline(arg),
+            "cancel" => {
+                self.cancel.cancel();
+                Ok(
+                    "cancellation armed: the next statement unwinds with a typed \
+                    `cancelled` error\n"
+                        .to_string(),
+                )
+            }
             other => Err(GeoError::Execution(format!(
                 "unknown command `\\{other}`; try \\help"
             ))),
@@ -280,6 +303,74 @@ impl Shell {
         Ok(format!("faults: active (seed {seed})\n"))
     }
 
+    /// `\deadline` shows the active budget, `\deadline off` clears it,
+    /// `\deadline <ms>` sets a simulated-clock completion budget enforced
+    /// at batch granularity on every subsequent query.
+    fn set_deadline(&mut self, arg: &str) -> Result<String> {
+        if arg.is_empty() {
+            return Ok(match self.deadline {
+                None => "deadline: off\n".to_string(),
+                Some(d) => format!("deadline: {:.1} ms simulated\n", d.budget_ms),
+            });
+        }
+        if arg == "off" {
+            self.deadline = None;
+            return Ok("deadline: off\n".to_string());
+        }
+        let ms: f64 = arg
+            .parse()
+            .map_err(|_| GeoError::Execution(format!("bad deadline `{arg}` (milliseconds|off)")))?;
+        if !ms.is_finite() || ms < 0.0 {
+            return Err(GeoError::Execution(format!(
+                "bad deadline `{arg}` (milliseconds|off)"
+            )));
+        }
+        self.deadline = Some(QueryDeadline::new(ms));
+        Ok(format!("deadline: {ms:.1} ms simulated\n"))
+    }
+
+    /// The failover knobs every controlled execution uses: resume from
+    /// checkpoints, honor the session deadline, poll the session token.
+    fn failover_opts(&self) -> FailoverOpts {
+        FailoverOpts {
+            max_replans: 4,
+            resume: true,
+            deadline: self.deadline,
+            cancel: Some(self.cancel.clone()),
+        }
+    }
+
+    /// Whether queries must run through the resilient path even without a
+    /// fault plan (a deadline or an armed cancellation needs the control
+    /// surface threaded through execution).
+    fn needs_control(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_cancelled()
+    }
+
+    /// Record the failover counters for `\metrics` and render the summary
+    /// fragment appended to the result line.
+    fn note_failover(&mut self, result: &ResilientResult) -> String {
+        let summary = format!(
+            "failover: {} replans, excluded {}; checkpoints: {} hits, {} misses; \
+             {} bytes resumed, {} bytes recomputed\n",
+            result.replans,
+            if result.excluded.is_empty() {
+                "∅".to_string()
+            } else {
+                result.excluded.to_string()
+            },
+            result.checkpoint_hits,
+            result.checkpoint_misses,
+            result.resumed_bytes,
+            result.recomputed_bytes,
+        );
+        self.last_failover = Some(summary);
+        format!(
+            "{} ckpt hits/{} misses, {} B resumed",
+            result.checkpoint_hits, result.checkpoint_misses, result.resumed_bytes
+        )
+    }
+
     fn explain(&mut self, sql: &str) -> Result<String> {
         let eng = self.engine()?;
         let optimized = eng.optimize_sql(sql, self.mode, self.result_location.clone())?;
@@ -318,27 +409,37 @@ impl Shell {
 
     fn sql_sequential(&mut self, sql: &str) -> Result<String> {
         let eng = self.engine()?;
-        if let Some(faults) = &self.faults {
+        if self.faults.is_some() || self.needs_control() {
             // Each query replays the fault schedule from step 0, so a
-            // given seed + spec is deterministic per statement.
+            // given seed + spec is deterministic per statement. Without a
+            // fault plan, an empty one threads the deadline/cancel
+            // controls through the same resilient path.
+            let no_faults = FaultPlan::new(0);
+            let faults = self.faults.as_ref().unwrap_or(&no_faults);
             faults.reset_clock();
-            let (optimized, result) = eng.run_sql_resilient(
+            let opts = self.failover_opts();
+            let attempt = eng.run_sql_resilient_opts(
                 sql,
                 self.mode,
                 self.result_location.clone(),
                 faults,
                 &RetryPolicy::default(),
-                4,
-            )?;
+                &opts,
+            );
+            // An armed cancellation consumes itself on the statement it
+            // unwound, so the session keeps working afterwards.
+            self.cancel.reset();
+            let (optimized, result) = attempt?;
             let mut out = render_rows(&result.rows, &result.physical.schema.names());
             let audit = match eng.audit(&result.physical) {
                 Ok(()) => "compliant",
                 Err(_) => "NON-COMPLIANT",
             };
+            let ckpt = self.note_failover(&result);
             let _ = writeln!(
                 out,
                 "({} rows at {}; {} transfers, {} bytes, {:.1} ms simulated WAN; \
-                 {} faults, {} replans, excluded {}; plan {audit})",
+                 {} faults, {} replans, excluded {}; {ckpt}; plan {audit})",
                 result.rows.len(),
                 optimized.result_location,
                 result.transfers.transfer_count(),
@@ -374,26 +475,32 @@ impl Shell {
 
     fn sql_parallel(&mut self, sql: &str) -> Result<String> {
         let eng = self.engine()?;
-        if let Some(faults) = &self.faults {
+        if self.faults.is_some() || self.needs_control() {
+            let no_faults = FaultPlan::new(0);
+            let faults = self.faults.as_ref().unwrap_or(&no_faults);
             faults.reset_clock();
-            let (optimized, result, metrics) = eng.run_sql_resilient_parallel(
+            let opts = self.failover_opts();
+            let attempt = eng.run_sql_resilient_parallel_opts(
                 sql,
                 self.mode,
                 self.result_location.clone(),
                 faults,
                 &RetryPolicy::default(),
-                4,
-            )?;
+                &opts,
+            );
+            self.cancel.reset();
+            let (optimized, result, metrics) = attempt?;
             let mut out = render_rows(&result.rows, &result.physical.schema.names());
             let audit = match eng.audit(&result.physical) {
                 Ok(()) => "compliant",
                 Err(_) => "NON-COMPLIANT",
             };
+            let ckpt = self.note_failover(&result);
             let _ = writeln!(
                 out,
                 "({} rows at {}; {} transfers, {} bytes; pipelined completion \
                  {:.1} ms of {:.1} ms network; {} faults, {} replans, excluded {}; \
-                 plan {audit}; \\metrics for detail)",
+                 {ckpt}; plan {audit}; \\metrics for detail)",
                 result.rows.len(),
                 optimized.result_location,
                 result.transfers.transfer_count(),
@@ -486,6 +593,10 @@ commands:
   \\faults <spec>|off        inject faults: crash:L2; drop:L1-L3@2..5;
                             flaky:L1-L2:0.3; delay:L1-L4:50ms;
                             partition:L1,L2@..9; seed=N
+  \\deadline <ms>|off        simulated-clock completion budget per query
+                            (typed `deadline` error past the budget)
+  \\cancel                   cancel the next statement cooperatively
+                            (typed `cancelled` error, all workers join)
   \\quit                     exit
 anything else is executed as SQL\n";
 
@@ -769,6 +880,56 @@ mod tests {
 
         sh.run_command("\\runtime sequential").unwrap();
         assert!(sh.run_command("\\runtime sideways").is_err());
+    }
+
+    #[test]
+    fn deadline_and_cancel_in_session() {
+        let mut sh = Shell::new();
+        sh.run_command("\\demo carco").unwrap();
+        assert_eq!(sh.run_command("\\deadline").unwrap(), "deadline: off\n");
+
+        // An impossible budget: the first shipped batch trips it.
+        sh.run_command("\\deadline 0.001").unwrap();
+        let err = sh
+            .run_command(
+                "SELECT c_name, SUM(o_totprice) AS total FROM customer, orders \
+                 WHERE c_custkey = o_custkey GROUP BY c_name",
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline", "{err}");
+
+        // A generous budget completes and reports checkpoint counters.
+        sh.run_command("\\deadline 1e9").unwrap();
+        let out = sh
+            .run_command("SELECT c_name FROM customer ORDER BY c_name")
+            .unwrap();
+        assert!(out.contains("alice"), "{out}");
+        assert!(out.contains("ckpt hits"), "{out}");
+        let metrics = sh.run_command("\\metrics").unwrap();
+        assert!(metrics.contains("failover:"), "{metrics}");
+
+        // Cancellation unwinds exactly one statement, then the session
+        // keeps working.
+        sh.run_command("\\deadline off").unwrap();
+        sh.run_command("\\cancel").unwrap();
+        let err = sh.run_command("SELECT c_name FROM customer").unwrap_err();
+        assert_eq!(err.kind(), "cancelled", "{err}");
+        assert!(sh.run_command("SELECT c_name FROM customer").is_ok());
+
+        // Both knobs work on the parallel runtime too.
+        sh.run_command("\\runtime parallel").unwrap();
+        sh.run_command("\\cancel").unwrap();
+        let err = sh.run_command("SELECT c_name FROM customer").unwrap_err();
+        assert_eq!(err.kind(), "cancelled", "{err}");
+        sh.run_command("\\deadline 0.001").unwrap();
+        let err = sh
+            .run_command(
+                "SELECT c_name, SUM(o_totprice) AS total FROM customer, orders \
+                 WHERE c_custkey = o_custkey GROUP BY c_name",
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline", "{err}");
+        assert!(sh.run_command("\\deadline bogus").is_err());
     }
 
     #[test]

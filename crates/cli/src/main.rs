@@ -8,6 +8,8 @@
 //! ... -- --demo tpch --faults 'seed=7; crash:L2@0..6; flaky:L1-L3:0.2'
 //! # run queries on the concurrent pipelined runtime:
 //! ... -- --demo tpch --runtime parallel
+//! # give every query a simulated-clock completion budget:
+//! ... -- --demo tpch --deadline-ms 500
 //! ```
 
 use geoqp_cli::Shell;
@@ -43,6 +45,16 @@ fn main() {
         .and_then(|i| args.get(i + 1))
     {
         match shell.run_command(&format!("\\runtime {mode}")) {
+            Ok(out) => print!("{out}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    if let Some(ms) = args
+        .iter()
+        .position(|a| a == "--deadline-ms")
+        .and_then(|i| args.get(i + 1))
+    {
+        match shell.run_command(&format!("\\deadline {ms}")) {
             Ok(out) => print!("{out}"),
             Err(e) => eprintln!("error: {e}"),
         }

@@ -91,6 +91,14 @@ pub enum GeoError {
     /// whether the failure is transient, so the engine's failover path
     /// can decide between retrying and compliant re-planning.
     SiteUnavailable(Unavailable),
+    /// The query ran past its [`QueryDeadline`](crate::QueryDeadline)
+    /// budget (simulated clock) and was unwound cooperatively. Not
+    /// transient and carries no failed site: the failover re-planner
+    /// must not treat an over-budget query as a crashed site.
+    DeadlineExceeded(String),
+    /// The query was aborted through a [`CancelToken`](crate::CancelToken)
+    /// and every worker unwound cooperatively.
+    Cancelled(String),
 }
 
 impl GeoError {
@@ -108,6 +116,8 @@ impl GeoError {
             GeoError::NonCompliant(_) => "non-compliant",
             GeoError::Unsupported(_) => "unsupported",
             GeoError::SiteUnavailable(_) => "unavailable",
+            GeoError::DeadlineExceeded(_) => "deadline",
+            GeoError::Cancelled(_) => "cancelled",
         }
     }
 
@@ -158,7 +168,9 @@ impl GeoError {
             | GeoError::Storage(m)
             | GeoError::Execution(m)
             | GeoError::NonCompliant(m)
-            | GeoError::Unsupported(m) => m,
+            | GeoError::Unsupported(m)
+            | GeoError::DeadlineExceeded(m)
+            | GeoError::Cancelled(m) => m,
             GeoError::SiteUnavailable(u) => &u.message,
         }
     }
@@ -203,6 +215,8 @@ mod tests {
             GeoError::NonCompliant(String::new()),
             GeoError::Unsupported(String::new()),
             GeoError::SiteUnavailable(Unavailable::site_down(Location::new("L1"), String::new())),
+            GeoError::DeadlineExceeded(String::new()),
+            GeoError::Cancelled(String::new()),
         ];
         let mut kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
         kinds.sort_unstable();
@@ -240,5 +254,20 @@ mod tests {
         assert!(!e.is_transient());
         assert_eq!(e.failed_site(), None);
         assert_eq!(e.failed_link(), None);
+    }
+
+    /// Deadline and cancellation must never look like a crashed site:
+    /// the failover re-planner keys on `failed_site`, and re-planning an
+    /// over-budget query would just burn more budget.
+    #[test]
+    fn deadline_and_cancellation_do_not_trigger_failover() {
+        for e in [
+            GeoError::DeadlineExceeded("over budget".into()),
+            GeoError::Cancelled("aborted".into()),
+        ] {
+            assert!(!e.is_transient());
+            assert_eq!(e.failed_site(), None);
+            assert_eq!(e.failed_link(), None);
+        }
     }
 }

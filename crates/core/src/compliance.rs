@@ -50,6 +50,33 @@ pub fn ship_traits(
     evaluator: &PolicyEvaluator<'_>,
     catalog: &Catalog,
 ) -> Result<Vec<LocationSet>> {
+    Ok(ship_audit_info(plan, evaluator, catalog)?
+        .into_iter()
+        .map(|a| a.legal)
+        .collect())
+}
+
+/// What the checker derived for one SHIP edge's input subtree: the
+/// shipping trait `𝒮` (the sites where the subtree's output may legally
+/// travel — and therefore persist) and its logical content. The failover
+/// checkpoint layer stores both alongside the retained rows, so a
+/// stitched `ResumeScan` can be re-audited by [`check_compliance`]
+/// without trusting the stitcher.
+#[derive(Debug, Clone)]
+pub struct ShipAudit {
+    /// The edge input's derived shipping trait `𝒮`.
+    pub legal: LocationSet,
+    /// The edge input's logical content.
+    pub logical: Arc<LogicalPlan>,
+}
+
+/// [`ship_traits`] with the logical content attached — same lenient
+/// derivation, same pre-order SHIP order.
+pub fn ship_audit_info(
+    plan: &PhysicalPlan,
+    evaluator: &PolicyEvaluator<'_>,
+    catalog: &Catalog,
+) -> Result<Vec<ShipAudit>> {
     let mut by_node = HashMap::new();
     walk(plan, evaluator, catalog, false, &mut by_node)?;
     let mut out = Vec::new();
@@ -59,8 +86,8 @@ pub fn ship_traits(
 
 fn collect_preorder(
     plan: &PhysicalPlan,
-    by_node: &HashMap<usize, LocationSet>,
-    out: &mut Vec<LocationSet>,
+    by_node: &HashMap<usize, ShipAudit>,
+    out: &mut Vec<ShipAudit>,
 ) {
     if matches!(plan.op, PhysOp::Ship) {
         if let Some(s) = by_node.get(&node_key(plan)) {
@@ -87,7 +114,7 @@ fn walk(
     evaluator: &PolicyEvaluator<'_>,
     catalog: &Catalog,
     strict: bool,
-    ships: &mut HashMap<usize, LocationSet>,
+    ships: &mut HashMap<usize, ShipAudit>,
 ) -> Result<Derived> {
     match &plan.op {
         PhysOp::Scan { table } => {
@@ -110,9 +137,41 @@ fn walk(
             augment_with_policy(&mut ship, &logical, evaluator);
             Ok(Derived { ship, logical })
         }
+        PhysOp::ResumeScan {
+            fingerprint,
+            legal,
+            logical,
+        } => {
+            // A resume leaf reads a checkpointed subtree's output. Its
+            // shipping trait is the trait the subtree had when the
+            // checkpoint was taken (recorded on the node, derived by this
+            // same walk over the original plan), so ancestors — including
+            // the resume edge's SHIP — audit exactly as if the subtree
+            // were still there. The leaf's own location is the
+            // checkpoint's home and must be inside that trait: a
+            // checkpoint homed at an illegal site is a Definition-1
+            // violation, not a recovery optimization.
+            if strict && !legal.contains(&plan.location) {
+                return Err(GeoError::NonCompliant(format!(
+                    "resume of checkpoint {fingerprint:016x} at {} which is outside \
+                     its shipping trait {legal}",
+                    plan.location
+                )));
+            }
+            Ok(Derived {
+                ship: legal.clone(),
+                logical: Arc::clone(logical),
+            })
+        }
         PhysOp::Ship => {
             let input = walk(&plan.inputs[0], evaluator, catalog, strict, ships)?;
-            ships.insert(node_key(plan), input.ship.clone());
+            ships.insert(
+                node_key(plan),
+                ShipAudit {
+                    legal: input.ship.clone(),
+                    logical: Arc::clone(&input.logical),
+                },
+            );
             if strict && !input.ship.contains(&plan.location) {
                 return Err(GeoError::NonCompliant(format!(
                     "SHIP {} → {} violates dataflow policies (legal: {})",
@@ -169,7 +228,7 @@ fn augment_with_policy(
 /// removed by the caller).
 fn rebuild_logical(op: &PhysOp, mut children: Vec<Arc<LogicalPlan>>) -> Result<Arc<LogicalPlan>> {
     let plan = match op {
-        PhysOp::Scan { .. } | PhysOp::Ship => {
+        PhysOp::Scan { .. } | PhysOp::Ship | PhysOp::ResumeScan { .. } => {
             unreachable!("handled by walk")
         }
         PhysOp::Filter { predicate } => {

@@ -3,19 +3,24 @@
 //! [`FaultPlan`] so availability faults surface as typed
 //! [`GeoError::SiteUnavailable`] errors during execution.
 
-use geoqp_common::{GeoError, Location, Result, Rows, Schema, TableRef, Unavailable};
+use geoqp_common::{GeoError, Location, Result, Rows, RunControl, Schema, TableRef, Unavailable};
 use geoqp_exec::{DataSource, RetryPolicy, ShipHandler};
 use geoqp_net::{FaultPlan, FaultVerdict, NetworkTopology, TransferLog};
+use geoqp_runtime::{CheckpointSpec, CheckpointStore};
 use geoqp_storage::Catalog;
 use std::sync::Arc;
 
 /// Scans base tables from the per-site databases of a [`Catalog`]. With
 /// faults attached, every scan attempt consults the fault plan's crash
-/// windows under the retry policy before touching the data.
+/// windows under the retry policy before touching the data. With a
+/// checkpoint store attached, [`PhysOp::ResumeScan`] leaves read retained
+/// intermediate results instead of recomputing them.
 pub struct CatalogSource<'a> {
     catalog: &'a Catalog,
     faults: Option<&'a FaultPlan>,
     retry: RetryPolicy,
+    control: RunControl,
+    resume_from: Option<&'a CheckpointStore>,
 }
 
 impl<'a> CatalogSource<'a> {
@@ -25,6 +30,8 @@ impl<'a> CatalogSource<'a> {
             catalog,
             faults: None,
             retry: RetryPolicy::none(),
+            control: RunControl::unlimited(),
+            resume_from: None,
         }
     }
 
@@ -34,10 +41,22 @@ impl<'a> CatalogSource<'a> {
         self.retry = retry;
         self
     }
-}
 
-impl DataSource for CatalogSource<'_> {
-    fn scan(&self, table: &TableRef, location: &Location) -> Result<Rows> {
+    /// Attach cancellation/deadline controls; scans poll the cancel token.
+    pub fn with_control(mut self, control: RunControl) -> CatalogSource<'a> {
+        self.control = control;
+        self
+    }
+
+    /// Attach a checkpoint store for resolving `ResumeScan` leaves.
+    pub fn with_resume(mut self, store: &'a CheckpointStore) -> CatalogSource<'a> {
+        self.resume_from = Some(store);
+        self
+    }
+
+    /// Gate a leaf read on its site's crash windows, one fault-clock step
+    /// per attempt under the retry policy.
+    fn site_gate(&self, location: &Location, what: &str) -> Result<()> {
         if let Some(faults) = self.faults {
             // Each attempt consumes one logical step; a bounded crash
             // window counts as transient, so a retry can outlast it.
@@ -49,13 +68,20 @@ impl DataSource for CatalogSource<'_> {
                         site: Some(location.clone()),
                         link: None,
                         transient: end != u64::MAX,
-                        message: format!(
-                            "scan of {table} failed: site {location} is down at step {step}"
-                        ),
+                        message: format!("{what} failed: site {location} is down at step {step}"),
                     })),
                 }
             })?;
         }
+        Ok(())
+    }
+}
+
+impl DataSource for CatalogSource<'_> {
+    fn scan(&self, table: &TableRef, location: &Location) -> Result<Rows> {
+        self.control
+            .check_cancel(&format!("scan of {table} at {location}"))?;
+        self.site_gate(location, &format!("scan of {table}"))?;
         let entries = self.catalog.resolve(table);
         let entry = entries
             .iter()
@@ -68,6 +94,33 @@ impl DataSource for CatalogSource<'_> {
             ))
         })?;
         Ok(data.to_rows())
+    }
+
+    fn resume(&self, fingerprint: u64, location: &Location, arity: usize) -> Result<Rows> {
+        self.control.check_cancel(&format!(
+            "resume of checkpoint {fingerprint:016x} at {location}"
+        ))?;
+        // The checkpoint's home site must be up to serve its rows — a
+        // resume leaf is gated by availability exactly like a tablescan.
+        self.site_gate(
+            location,
+            &format!("resume of checkpoint {fingerprint:016x}"),
+        )?;
+        let store = self.resume_from.ok_or_else(|| {
+            GeoError::Execution(format!(
+                "no checkpoint store attached: cannot resume fragment \
+                 {fingerprint:016x} at {location}"
+            ))
+        })?;
+        let cp = store.get(fingerprint, location).ok_or_else(|| {
+            GeoError::Execution(format!(
+                "checkpoint {fingerprint:016x} is not homed at {location}"
+            ))
+        })?;
+        let _ = arity;
+        Rows::decode(&cp.encoded, cp.arity).ok_or_else(|| {
+            GeoError::Execution("checkpoint corruption: batch failed to decode".into())
+        })
     }
 }
 
@@ -85,6 +138,9 @@ pub struct SimShip<'a> {
     log: TransferLog,
     faults: Option<&'a FaultPlan>,
     retry: RetryPolicy,
+    control: RunControl,
+    capture: Option<(&'a CheckpointStore, Vec<CheckpointSpec>)>,
+    next_spec: usize,
 }
 
 impl<'a> SimShip<'a> {
@@ -95,6 +151,9 @@ impl<'a> SimShip<'a> {
             log: TransferLog::new(),
             faults: None,
             retry: RetryPolicy::none(),
+            control: RunControl::unlimited(),
+            capture: None,
+            next_spec: 0,
         }
     }
 
@@ -102,6 +161,27 @@ impl<'a> SimShip<'a> {
     pub fn with_faults(mut self, faults: &'a FaultPlan, retry: RetryPolicy) -> SimShip<'a> {
         self.faults = Some(faults);
         self.retry = retry;
+        self
+    }
+
+    /// Attach cancellation/deadline controls. The deadline is checked
+    /// against accumulated simulated transfer cost before each delivery
+    /// is committed to the log.
+    pub fn with_control(mut self, control: RunControl) -> SimShip<'a> {
+        self.control = control;
+        self
+    }
+
+    /// Attach a checkpoint store plus per-edge specs in **execution
+    /// order** (the order SHIPs complete in the sequential interpreter:
+    /// left-to-right post-order). Every fully delivered edge is retained
+    /// at both endpoints for failover resume.
+    pub fn with_capture(
+        mut self,
+        store: &'a CheckpointStore,
+        specs: Vec<CheckpointSpec>,
+    ) -> SimShip<'a> {
+        self.capture = Some((store, specs));
         self
     }
 
@@ -124,6 +204,7 @@ impl ShipHandler for SimShip<'_> {
         rows: Rows,
         schema: &Schema,
     ) -> Result<Rows> {
+        self.control.check_cancel(&format!("SHIP {from} -> {to}"))?;
         let encoded = rows.encode();
         let (attempts, extra_ms, step) = match self.faults {
             None => (1, 0.0, 0),
@@ -159,6 +240,14 @@ impl ShipHandler for SimShip<'_> {
                 )
             }
         };
+        // The simulated clock is the transfer log: the deadline trips as
+        // soon as accumulated cost plus this delivery would exceed the
+        // budget, before the delivery is committed.
+        let cost_ms = self.topology.ship_cost_ms(from, to, encoded.len() as f64) + extra_ms;
+        self.control.check_deadline(
+            self.log.total_cost_ms() + cost_ms,
+            &format!("SHIP {from} -> {to}"),
+        )?;
         self.log.record_delivery(
             self.topology,
             from,
@@ -169,6 +258,30 @@ impl ShipHandler for SimShip<'_> {
             extra_ms,
             step,
         );
+        // The edge fully delivered: retain its output for failover
+        // resume, at both endpoints — the producer computed it there (its
+        // site is in ℰ ⊆ 𝒮) and the consumer legally received it. An
+        // illegal home is a typed refusal from the store, not a silent
+        // choice.
+        if let Some((store, specs)) = &self.capture {
+            let spec = specs.get(self.next_spec).ok_or_else(|| {
+                GeoError::Execution(
+                    "checkpoint spec underflow: more SHIPs executed than edges audited".into(),
+                )
+            })?;
+            self.next_spec += 1;
+            for home in [to, from] {
+                store.put(
+                    spec.fingerprint,
+                    home.clone(),
+                    &spec.legal,
+                    &spec.logical,
+                    encoded.clone(),
+                    rows.len() as u64,
+                    schema.len(),
+                )?;
+            }
+        }
         Rows::decode(&encoded, schema.len())
             .ok_or_else(|| GeoError::Execution("wire corruption: batch failed to decode".into()))
     }

@@ -3,18 +3,22 @@
 //! simulated geo-distributed sites.
 
 use crate::annotate::{fill_stats, AnnotateMode, AnnotatedNode, Annotator};
-use crate::compliance::{check_compliance, ship_traits};
+use crate::compliance::{check_compliance, ship_audit_info, ship_traits};
 use crate::distributed::{CatalogSource, SimShip};
 use crate::memo::Memo;
 use crate::rules::{default_rules, explore};
 use crate::site_selector::{select_sites_with, Objective};
-use geoqp_common::{GeoError, Location, LocationSet, Result, Rows};
+use geoqp_common::{
+    CancelToken, GeoError, Location, LocationSet, QueryDeadline, Result, Rows, RunControl,
+};
 use geoqp_exec::RetryPolicy;
 use geoqp_net::{FaultPlan, NetworkTopology, TransferLog};
 use geoqp_plan::logical::LogicalPlan;
-use geoqp_plan::PhysicalPlan;
+use geoqp_plan::{PhysOp, PhysicalPlan};
 use geoqp_policy::{PolicyCatalog, PolicyEvaluator};
-use geoqp_runtime::{Runtime, RuntimeConfig, RuntimeMetrics};
+use geoqp_runtime::{
+    fingerprint, stitch, CheckpointSpec, CheckpointStore, Runtime, RuntimeConfig, RuntimeMetrics,
+};
 use geoqp_storage::Catalog;
 use std::sync::Arc;
 use std::time::Instant;
@@ -129,8 +133,63 @@ pub struct ResilientResult {
     /// Sites excluded from execution traits during failover.
     pub excluded: LocationSet,
     /// The plan that finally completed (the original one when
-    /// `replans == 0`).
+    /// `replans == 0`; a stitched resume plan when checkpoints matched).
     pub physical: Arc<PhysicalPlan>,
+    /// SHIP edges a failover re-plan served from a retained checkpoint.
+    pub checkpoint_hits: u64,
+    /// SHIP edges a failover re-plan had to recompute (checkpoint lost
+    /// with its home site, or never taken).
+    pub checkpoint_misses: u64,
+    /// Encoded bytes served from checkpoints instead of recomputation.
+    pub resumed_bytes: u64,
+    /// Bytes shipped after the first attempt failed — the recovery
+    /// traffic that checkpoint/resume exists to shrink.
+    pub recomputed_bytes: u64,
+}
+
+/// Knobs for [`Engine::execute_resilient_opts`]: the failover budget plus
+/// the robustness controls this layer adds.
+#[derive(Debug, Clone)]
+pub struct FailoverOpts {
+    /// How many times the engine may re-run site selection around a
+    /// failure before giving up.
+    pub max_replans: usize,
+    /// Retain completed SHIP edges in a checkpoint store and stitch
+    /// failover re-plans against it, so only lost work re-executes.
+    pub resume: bool,
+    /// Simulated-clock completion budget for the whole resilient run.
+    pub deadline: Option<QueryDeadline>,
+    /// Cooperative abort flag, polled at batch granularity.
+    pub cancel: Option<CancelToken>,
+}
+
+impl FailoverOpts {
+    /// Resume-enabled failover with `max_replans` re-plans, no deadline,
+    /// no cancel token.
+    pub fn new(max_replans: usize) -> FailoverOpts {
+        FailoverOpts {
+            max_replans,
+            resume: true,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// The control surface for one attempt, `base_ms` of simulated time
+    /// already spent by earlier attempts.
+    fn control(&self, base_ms: f64) -> RunControl {
+        RunControl {
+            cancel: self.cancel.clone(),
+            deadline: self.deadline,
+            base_ms,
+        }
+    }
+}
+
+impl Default for FailoverOpts {
+    fn default() -> FailoverOpts {
+        FailoverOpts::new(0)
+    }
 }
 
 /// The engine: catalog, policies, and network.
@@ -316,6 +375,29 @@ impl Engine {
         ship_traits(plan, &evaluator, &self.catalog)
     }
 
+    /// Per-SHIP-edge audit traits *and* checkpoint specs (fingerprint of
+    /// the producer subtree + its shipping trait + logical content), both
+    /// in pre-order SHIP order.
+    fn ship_specs(&self, plan: &PhysicalPlan) -> Result<(Vec<LocationSet>, Vec<CheckpointSpec>)> {
+        let universe = self.catalog.locations();
+        let evaluator = PolicyEvaluator::new(&self.policies, universe);
+        let audits = ship_audit_info(plan, &evaluator, &self.catalog)?;
+        let epoch = self.policies.epoch();
+        let mut fps = Vec::new();
+        collect_ship_fingerprints(plan, epoch, &mut fps);
+        debug_assert_eq!(fps.len(), audits.len());
+        let specs = audits
+            .iter()
+            .zip(fps)
+            .map(|(a, fingerprint)| CheckpointSpec {
+                fingerprint,
+                legal: a.legal.clone(),
+                logical: Arc::clone(&a.logical),
+            })
+            .collect();
+        Ok((audits.into_iter().map(|a| a.legal).collect(), specs))
+    }
+
     /// Execute a located plan on the concurrent pipelined runtime: one
     /// worker thread per plan fragment, streaming bounded-batch exchanges
     /// at SHIP edges, and the Definition-1 audit enforced on every batch.
@@ -369,8 +451,60 @@ impl Engine {
         retry: &RetryPolicy,
         max_replans: usize,
     ) -> Result<ResilientResult> {
-        self.resilient_loop(optimized, max_replans, |physical| {
-            self.try_execute_with_faults(physical, faults, retry)
+        self.execute_resilient_opts(optimized, faults, retry, &FailoverOpts::new(max_replans))
+    }
+
+    /// [`Engine::execute_resilient`] with explicit [`FailoverOpts`]:
+    /// checkpoint/resume, a simulated-clock deadline, and cooperative
+    /// cancellation.
+    pub fn execute_resilient_opts(
+        &self,
+        optimized: &OptimizedQuery,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+        opts: &FailoverOpts,
+    ) -> Result<ResilientResult> {
+        let store = CheckpointStore::new();
+        self.execute_resilient_store(optimized, faults, retry, opts, &store)
+    }
+
+    /// [`Engine::execute_resilient_opts`] over a caller-provided
+    /// [`CheckpointStore`], so tests and tools can inspect what was
+    /// retained where.
+    pub fn execute_resilient_store(
+        &self,
+        optimized: &OptimizedQuery,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+        opts: &FailoverOpts,
+        store: &CheckpointStore,
+    ) -> Result<ResilientResult> {
+        self.resilient_loop(optimized, opts, store, |physical, base_ms| {
+            let specs = if opts.resume {
+                match self.ship_specs(physical) {
+                    // The sequential interpreter completes SHIPs in
+                    // left-to-right post-order, not pre-order.
+                    Ok((_, specs)) => Some(exec_order_specs(physical, specs)),
+                    Err(e) => return (Err(e), TransferLog::new()),
+                }
+            } else {
+                None
+            };
+            let control = opts.control(base_ms);
+            let mut source = CatalogSource::new(&self.catalog)
+                .with_faults(faults, retry.clone())
+                .with_control(control.clone());
+            if opts.resume {
+                source = source.with_resume(store);
+            }
+            let mut ship = SimShip::new(&self.topology)
+                .with_faults(faults, retry.clone())
+                .with_control(control);
+            if let Some(specs) = specs {
+                ship = ship.with_capture(store, specs);
+            }
+            let outcome = geoqp_exec::execute(physical, &source, &mut ship);
+            (outcome, ship.into_log())
         })
     }
 
@@ -385,16 +519,55 @@ impl Engine {
         max_replans: usize,
         config: &RuntimeConfig,
     ) -> Result<(ResilientResult, RuntimeMetrics)> {
+        self.execute_resilient_parallel_opts(
+            optimized,
+            faults,
+            retry,
+            &FailoverOpts::new(max_replans),
+            config,
+        )
+    }
+
+    /// [`Engine::execute_resilient_parallel`] with explicit
+    /// [`FailoverOpts`].
+    pub fn execute_resilient_parallel_opts(
+        &self,
+        optimized: &OptimizedQuery,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+        opts: &FailoverOpts,
+        config: &RuntimeConfig,
+    ) -> Result<(ResilientResult, RuntimeMetrics)> {
+        let store = CheckpointStore::new();
+        self.execute_resilient_parallel_store(optimized, faults, retry, opts, config, &store)
+    }
+
+    /// [`Engine::execute_resilient_parallel_opts`] over a caller-provided
+    /// [`CheckpointStore`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_resilient_parallel_store(
+        &self,
+        optimized: &OptimizedQuery,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+        opts: &FailoverOpts,
+        config: &RuntimeConfig,
+        store: &CheckpointStore,
+    ) -> Result<(ResilientResult, RuntimeMetrics)> {
         let mut metrics = None;
-        let result = self.resilient_loop(optimized, max_replans, |physical| {
-            let audits = match self.ship_audits(physical) {
-                Ok(a) => a,
+        let result = self.resilient_loop(optimized, opts, store, |physical, base_ms| {
+            let (audits, specs) = match self.ship_specs(physical) {
+                Ok(x) => x,
                 Err(e) => return (Err(e), TransferLog::new()),
             };
             let source = CatalogSource::new(&self.catalog);
-            let runtime = Runtime::new(&self.topology)
+            let mut runtime = Runtime::new(&self.topology)
                 .with_faults(faults, retry.clone())
-                .with_config(config.clone());
+                .with_config(config.clone())
+                .with_control(opts.control(base_ms));
+            if opts.resume {
+                runtime = runtime.with_checkpoints(store, specs);
+            }
             let (outcome, log) = runtime.try_run(physical, &source, Some(&audits));
             (
                 outcome.map(|(rows, m)| {
@@ -408,13 +581,15 @@ impl Engine {
         Ok((result, metrics))
     }
 
-    /// The shared failover skeleton: try, exclude the failed site, re-run
-    /// Algorithm 2, re-audit, repeat.
+    /// The shared failover skeleton: try, exclude the failed site, drop
+    /// its checkpoints, re-run Algorithm 2, stitch against surviving
+    /// checkpoints, re-audit, repeat.
     fn resilient_loop(
         &self,
         optimized: &OptimizedQuery,
-        max_replans: usize,
-        mut try_once: impl FnMut(&PhysicalPlan) -> (Result<Rows>, TransferLog),
+        opts: &FailoverOpts,
+        store: &CheckpointStore,
+        mut try_once: impl FnMut(&Arc<PhysicalPlan>, f64) -> (Result<Rows>, TransferLog),
     ) -> Result<ResilientResult> {
         let universe = self.catalog.locations();
         let evaluator = PolicyEvaluator::new(&self.policies, universe);
@@ -422,26 +597,34 @@ impl Engine {
         let mut excluded = LocationSet::new();
         let mut replans = 0usize;
         let mut transfers = TransferLog::new();
+        let mut first_attempt_bytes = None;
         loop {
-            let (attempt, log) = try_once(&physical);
+            let (attempt, log) = try_once(&physical, transfers.total_cost_ms());
             transfers.absorb(log);
             match attempt {
                 Ok(rows) => {
+                    let recovered_from =
+                        first_attempt_bytes.unwrap_or_else(|| transfers.total_bytes());
                     return Ok(ResilientResult {
                         rows,
-                        transfers,
                         replans,
                         excluded,
                         physical,
+                        checkpoint_hits: store.hits(),
+                        checkpoint_misses: store.misses(),
+                        resumed_bytes: store.resumed_bytes(),
+                        recomputed_bytes: transfers.total_bytes() - recovered_from,
+                        transfers,
                     });
                 }
                 Err(e) => {
+                    first_attempt_bytes.get_or_insert(transfers.total_bytes());
                     let Some(site) = e.failed_site().cloned() else {
-                        // Not an availability failure; nothing to re-plan
-                        // around.
+                        // Not an availability failure (e.g. a deadline or
+                        // cancellation); nothing to re-plan around.
                         return Err(e);
                     };
-                    if replans >= max_replans {
+                    if replans >= opts.max_replans {
                         return Err(e);
                     }
                     if site == optimized.result_location {
@@ -452,30 +635,67 @@ impl Engine {
                     }
                     excluded.insert(site.clone());
                     replans += 1;
+                    // The crashed site's retained state died with it.
+                    store.drop_site(&site);
 
                     // Re-run Algorithm 2 with the failed sites excluded
                     // from every execution trait.
-                    let annotated =
-                        optimized
-                            .annotated
-                            .excluding_sites(&excluded)
-                            .ok_or_else(|| {
-                                GeoError::QueryRejected(format!(
-                                    "no compliant placement survives the failure of {excluded}: \
+                    let replanned = optimized
+                        .annotated
+                        .excluding_sites(&excluded)
+                        .ok_or_else(|| {
+                            GeoError::QueryRejected(format!(
+                                "no compliant placement survives the failure of {excluded}: \
                                  an operator's execution trait became empty"
-                                ))
-                            })?;
-                    let sited = select_sites_with(
-                        &annotated,
-                        &self.topology,
-                        Some(&optimized.result_location),
-                        Objective::TotalCost,
-                    )?;
-                    // Definition-1 audit of the failover placement; a
-                    // violation here would be a Theorem-1 bug, and must
-                    // surface as an error, never execute silently.
-                    check_compliance(&sited.physical, &evaluator, &self.catalog)?;
-                    physical = sited.physical;
+                            ))
+                        })
+                        .and_then(|annotated| {
+                            select_sites_with(
+                                &annotated,
+                                &self.topology,
+                                Some(&optimized.result_location),
+                                Objective::TotalCost,
+                            )
+                        });
+                    // Stitch the failover placement against surviving
+                    // checkpoints: subtrees whose fingerprint still has a
+                    // live, trait-legal checkpoint become ResumeScan
+                    // leaves, so only lost work re-executes.
+                    let next = match replanned {
+                        Ok(sited) if opts.resume => {
+                            stitch(&sited.physical, store, self.policies.epoch())?.plan
+                        }
+                        Ok(sited) => sited.physical,
+                        Err(e) if opts.resume => {
+                            // Algorithm 2 has no placement without the dead
+                            // site — it hosts a base table, say, so some
+                            // operator's execution trait emptied (c1 pins
+                            // its scans there). Surviving checkpoints are
+                            // the last line of recovery: stitch the plan
+                            // that just failed, replacing every subtree
+                            // whose output already reached a live home with
+                            // a ResumeScan leaf, and retry. Completed work
+                            // never re-executes, and if the outage was
+                            // transient the remainder now succeeds; a
+                            // permanently dead site fails the retry again,
+                            // and once stitching stops making progress the
+                            // typed error surfaces. Bounded by
+                            // `max_replans` like any other re-plan.
+                            let outcome = stitch(&physical, store, self.policies.epoch())?;
+                            if outcome.hits == 0 || Arc::ptr_eq(&outcome.plan, &physical) {
+                                return Err(e);
+                            }
+                            outcome.plan
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    // Definition-1 audit of the failover placement —
+                    // including every resume edge; a violation here would
+                    // be a Theorem-1 bug (or an illegal checkpoint home),
+                    // and must surface as an error, never execute
+                    // silently.
+                    check_compliance(&next, &evaluator, &self.catalog)?;
+                    physical = next;
                 }
             }
         }
@@ -553,4 +773,78 @@ impl Engine {
         let result = self.execute_resilient(&optimized, faults, retry, max_replans)?;
         Ok((optimized, result))
     }
+
+    /// [`Engine::run_sql_resilient`] with explicit [`FailoverOpts`].
+    pub fn run_sql_resilient_opts(
+        &self,
+        sql: &str,
+        mode: OptimizerMode,
+        result_location: Option<Location>,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+        opts: &FailoverOpts,
+    ) -> Result<(OptimizedQuery, ResilientResult)> {
+        let optimized = self.optimize_sql(sql, mode, result_location)?;
+        let result = self.execute_resilient_opts(&optimized, faults, retry, opts)?;
+        Ok((optimized, result))
+    }
+
+    /// [`Engine::run_sql_resilient_parallel`] with explicit
+    /// [`FailoverOpts`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sql_resilient_parallel_opts(
+        &self,
+        sql: &str,
+        mode: OptimizerMode,
+        result_location: Option<Location>,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+        opts: &FailoverOpts,
+    ) -> Result<(OptimizedQuery, ResilientResult, RuntimeMetrics)> {
+        let optimized = self.optimize_sql(sql, mode, result_location)?;
+        let (result, metrics) = self.execute_resilient_parallel_opts(
+            &optimized,
+            faults,
+            retry,
+            opts,
+            &RuntimeConfig::default(),
+        )?;
+        Ok((optimized, result, metrics))
+    }
+}
+
+/// Fingerprint every SHIP edge's producer subtree, in pre-order SHIP
+/// order (matching [`ship_audit_info`]).
+fn collect_ship_fingerprints(plan: &PhysicalPlan, epoch: u64, out: &mut Vec<u64>) {
+    if matches!(plan.op, PhysOp::Ship) {
+        out.push(fingerprint(&plan.inputs[0], epoch));
+    }
+    for c in &plan.inputs {
+        collect_ship_fingerprints(c, epoch, out);
+    }
+}
+
+/// Permute pre-order SHIP specs into the order the sequential interpreter
+/// completes SHIPs: left-to-right post-order (a SHIP finishes only after
+/// every SHIP inside its producer subtree has).
+fn exec_order_specs(plan: &PhysicalPlan, specs: Vec<CheckpointSpec>) -> Vec<CheckpointSpec> {
+    fn walk(plan: &PhysicalPlan, next_pre: &mut usize, out: &mut Vec<usize>) {
+        let my_pre = if matches!(plan.op, PhysOp::Ship) {
+            let id = *next_pre;
+            *next_pre += 1;
+            Some(id)
+        } else {
+            None
+        };
+        for c in &plan.inputs {
+            walk(c, next_pre, out);
+        }
+        if let Some(id) = my_pre {
+            out.push(id);
+        }
+    }
+    let mut order = Vec::with_capacity(specs.len());
+    walk(plan, &mut 0, &mut order);
+    debug_assert_eq!(order.len(), specs.len());
+    order.into_iter().map(|i| specs[i].clone()).collect()
 }

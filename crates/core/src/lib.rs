@@ -45,14 +45,15 @@ pub mod rules;
 pub mod site_selector;
 
 pub use annotate::{AnnotatedNode, Annotator};
-pub use compliance::{check_compliance, ship_traits};
+pub use compliance::{check_compliance, ship_audit_info, ship_traits, ShipAudit};
 pub use engine::{
-    Engine, ExecutionResult, OptimizeStats, OptimizedQuery, OptimizerMode, OptimizerOptions,
-    ParallelResult, ResilientResult, RuntimeMode,
+    Engine, ExecutionResult, FailoverOpts, OptimizeStats, OptimizedQuery, OptimizerMode,
+    OptimizerOptions, ParallelResult, ResilientResult, RuntimeMode,
 };
 pub use site_selector::{select_sites, select_sites_with, Objective};
 
 // The parallel runtime's knobs and metrics, re-exported so front ends can
 // configure [`Engine::execute_parallel_opts`] and render `\metrics` without
-// depending on `geoqp-runtime` directly.
-pub use geoqp_runtime::{RuntimeConfig, RuntimeMetrics};
+// depending on `geoqp-runtime` directly — plus the failover checkpoint
+// store, so tests and tools can inspect what was retained where.
+pub use geoqp_runtime::{Checkpoint, CheckpointStore, RuntimeConfig, RuntimeMetrics};

@@ -11,6 +11,19 @@ use std::collections::HashMap;
 pub trait DataSource {
     /// Materialize the rows of `table` stored at `location`.
     fn scan(&self, table: &TableRef, location: &Location) -> Result<Rows>;
+
+    /// Materialize a checkpointed intermediate result for a
+    /// [`PhysOp::ResumeScan`] leaf: the retained output of fingerprint
+    /// `fingerprint`, homed at `location`, decoded to `arity` columns.
+    /// Sources without a checkpoint store refuse — the failover stitcher
+    /// only emits resume leaves when the engine attached one.
+    fn resume(&self, fingerprint: u64, location: &Location, arity: usize) -> Result<Rows> {
+        let _ = arity;
+        Err(GeoError::Execution(format!(
+            "no checkpoint store attached: cannot resume fragment \
+             {fingerprint:016x} at {location}"
+        )))
+    }
 }
 
 /// Observes every SHIP operator. The distributed engine uses this hook to
@@ -170,6 +183,9 @@ pub fn execute_fragment(
             let input = &plan.inputs[0];
             let rows = execute_fragment(input, source, ship, exchange)?;
             ship.ship(&input.location, &plan.location, rows, &input.schema)
+        }
+        PhysOp::ResumeScan { fingerprint, .. } => {
+            source.resume(*fingerprint, &plan.location, plan.schema.len())
         }
     }
 }

@@ -145,6 +145,14 @@ fn fmt_physical(plan: &PhysicalPlan, depth: usize, out: &mut String) {
             let from = &plan.inputs[0].location;
             let _ = writeln!(out, "{pad}Ship: {from} → {loc}");
         }
+        PhysOp::ResumeScan {
+            fingerprint, legal, ..
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}ResumeScan: #{fingerprint:016x} legal={legal} @ {loc}"
+            );
+        }
     }
     for c in &plan.inputs {
         fmt_physical(c, depth + 1, out);

@@ -5,8 +5,8 @@
 //! nodes (the paper's SHIP operator). The executor interprets this tree
 //! directly, charging every Ship to the network simulator.
 
-use crate::logical::SortKey;
-use geoqp_common::{GeoError, Location, Result, Schema, TableRef};
+use crate::logical::{LogicalPlan, SortKey};
+use geoqp_common::{GeoError, Location, LocationSet, Result, Schema, TableRef};
 use geoqp_expr::{AggCall, ScalarExpr};
 use std::sync::Arc;
 
@@ -60,6 +60,23 @@ pub enum PhysOp {
     /// Transfer the input's rows from its location to this node's location.
     /// The only operator whose input location differs from its own.
     Ship,
+    /// Resume from a checkpointed intermediate result (leaf): read the
+    /// retained output of an already-completed subtree instead of
+    /// recomputing it after a failover re-plan. The node carries what the
+    /// Definition-1 checker needs to re-audit the resume edge without
+    /// consulting the checkpoint store: the replaced subtree's logical
+    /// content (for AR4 policy augmentation above it) and its derived
+    /// shipping trait `𝒮` — the sites where the checkpoint may legally
+    /// live. The node's own location (the checkpoint's home) must be
+    /// inside that trait.
+    ResumeScan {
+        /// Canonical fingerprint of the checkpointed subtree.
+        fingerprint: u64,
+        /// The subtree's shipping trait `𝒮` at checkpoint time.
+        legal: LocationSet,
+        /// The subtree's logical content.
+        logical: Arc<LogicalPlan>,
+    },
 }
 
 impl PhysOp {
@@ -75,6 +92,7 @@ impl PhysOp {
             PhysOp::Limit { .. } => "Limit",
             PhysOp::Union => "Union",
             PhysOp::Ship => "Ship",
+            PhysOp::ResumeScan { .. } => "ResumeScan",
         }
     }
 }
@@ -101,7 +119,7 @@ impl PhysicalPlan {
         inputs: Vec<Arc<PhysicalPlan>>,
     ) -> Result<PhysicalPlan> {
         let arity_ok = match &op {
-            PhysOp::Scan { .. } => inputs.is_empty(),
+            PhysOp::Scan { .. } | PhysOp::ResumeScan { .. } => inputs.is_empty(),
             PhysOp::HashJoin { .. } => inputs.len() == 2,
             PhysOp::Union => !inputs.is_empty(),
             _ => inputs.len() == 1,

@@ -102,6 +102,25 @@ impl PolicyCatalog {
         self.expressions.is_empty()
     }
 
+    /// A stable content hash of the registered expressions — the
+    /// *policy-catalog epoch*. Checkpoint fingerprints mix this in so
+    /// that intermediate results retained under one policy set can never
+    /// be resumed under a different one: a changed catalog changes every
+    /// fingerprint, and every lookup misses.
+    pub fn epoch(&self) -> u64 {
+        // FNV-1a over each expression's canonical display form.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for e in &self.expressions {
+            for b in e.to_string().bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
     /// Count of basic / aggregate expressions (experiment reporting).
     pub fn kind_counts(&self) -> (usize, usize) {
         let basic = self
@@ -172,6 +191,25 @@ mod tests {
         );
         assert!(cat.register(bad, &schema()).is_err());
         assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn epoch_tracks_catalog_content() {
+        let mut a = PolicyCatalog::new();
+        let mut b = PolicyCatalog::new();
+        assert_eq!(a.epoch(), b.epoch(), "empty catalogs share an epoch");
+        let expr = || {
+            PolicyExpression::basic(
+                TableRef::bare("t"),
+                ShipAttrs::list(["a"]),
+                LocationPattern::Star,
+                None,
+            )
+        };
+        a.register(expr(), &schema()).unwrap();
+        assert_ne!(a.epoch(), b.epoch(), "registering must change the epoch");
+        b.register(expr(), &schema()).unwrap();
+        assert_eq!(a.epoch(), b.epoch(), "same content, same epoch");
     }
 
     #[test]

@@ -99,7 +99,9 @@ fn walk<'p>(p: &'p PhysicalPlan, out: &mut Cut<'p>, shared_ship: &mut bool) {
                 to: p.location.clone(),
             });
         }
-        PhysOp::Scan { .. } => {
+        // ResumeScan is a leaf read gated by its home site's availability,
+        // so it draws fault-clock steps from the same scan-slot grid.
+        PhysOp::Scan { .. } | PhysOp::ResumeScan { .. } => {
             let slot = out.scan_count;
             out.scan_slot.entry(node_key(p)).or_insert(slot);
             out.scan_count += 1;

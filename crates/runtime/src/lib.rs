@@ -29,11 +29,15 @@
 //! time* is the critical path instead of the sum, which is the speedup
 //! the `scaleup` benchmark figure reports.
 
+pub mod checkpoint;
 pub mod exchange;
 pub mod fragment;
 pub mod metrics;
 pub mod runtime;
 
+pub use checkpoint::{
+    fingerprint, stitch, Checkpoint, CheckpointSpec, CheckpointStore, StitchOutcome,
+};
 pub use exchange::{Exchange, ExchangeStats, Received};
 pub use fragment::{cut, Cut, Edge};
 pub use metrics::{EdgeMetrics, RuntimeMetrics, SiteMetrics};

@@ -23,10 +23,13 @@
 //! is the root fragment's critical path over exchange arrivals — the
 //! quantity pipelining improves.
 
+use crate::checkpoint::{CheckpointSpec, CheckpointStore};
 use crate::exchange::{Exchange, Received};
 use crate::fragment::{cut, node_key, Cut, Edge};
 use crate::metrics::{EdgeMetrics, RuntimeMetrics, SiteMetrics};
-use geoqp_common::{GeoError, Location, LocationSet, Result, Rows, TableRef, Unavailable};
+use geoqp_common::{
+    GeoError, Location, LocationSet, Result, Rows, RunControl, TableRef, Unavailable,
+};
 use geoqp_exec::{execute_fragment, DataSource, ExchangeSource, LocalShip, RetryPolicy};
 use geoqp_net::{FaultPlan, FaultVerdict, NetworkTopology, TransferLog, TransferRecord};
 use geoqp_plan::{PhysOp, PhysicalPlan};
@@ -74,6 +77,8 @@ pub struct Runtime<'a> {
     faults: Option<&'a FaultPlan>,
     retry: RetryPolicy,
     config: RuntimeConfig,
+    control: RunControl,
+    checkpoints: Option<(&'a CheckpointStore, Vec<CheckpointSpec>)>,
 }
 
 impl<'a> Runtime<'a> {
@@ -84,6 +89,8 @@ impl<'a> Runtime<'a> {
             faults: None,
             retry: RetryPolicy::none(),
             config: RuntimeConfig::default(),
+            control: RunControl::unlimited(),
+            checkpoints: None,
         }
     }
 
@@ -97,6 +104,27 @@ impl<'a> Runtime<'a> {
     /// Override the exchange configuration.
     pub fn with_config(mut self, config: RuntimeConfig) -> Runtime<'a> {
         self.config = config;
+        self
+    }
+
+    /// Attach a cancel token and/or deadline. Every fragment worker polls
+    /// them at batch granularity; a trip unwinds the whole run through the
+    /// exchange cancellation path, so all workers join.
+    pub fn with_control(mut self, control: RunControl) -> Runtime<'a> {
+        self.control = control;
+        self
+    }
+
+    /// Attach a checkpoint store plus one [`CheckpointSpec`] per SHIP edge
+    /// (pre-order, same order as the audit traits). Each fully drained
+    /// edge's output is retained at both endpoints, and
+    /// [`PhysOp::ResumeScan`] leaves are served from the store.
+    pub fn with_checkpoints(
+        mut self,
+        store: &'a CheckpointStore,
+        specs: Vec<CheckpointSpec>,
+    ) -> Runtime<'a> {
+        self.checkpoints = Some((store, specs));
         self
     }
 
@@ -146,6 +174,18 @@ impl<'a> Runtime<'a> {
                 );
             }
         }
+        if let Some((_, specs)) = &self.checkpoints {
+            if specs.len() != cut.edges.len() {
+                return (
+                    Err(GeoError::Execution(format!(
+                        "checkpoint specs cover {} SHIP edges but the plan has {}",
+                        specs.len(),
+                        cut.edges.len()
+                    ))),
+                    TransferLog::new(),
+                );
+            }
+        }
         let shared = Shared {
             cut: &cut,
             exchanges: (0..cut.edges.len())
@@ -167,9 +207,12 @@ impl<'a> Runtime<'a> {
             let root_out = &root_out;
             s.spawn(move || {
                 let view = FragmentView::new(self, shared, source);
-                match execute_fragment(plan, source, &mut LocalShip, &view) {
-                    Ok(rows) => {
-                        let done_ms = view.ready_ms();
+                match execute_fragment(plan, source, &mut LocalShip, &view).and_then(|rows| {
+                    let done_ms = view.ready_ms();
+                    self.control.check(done_ms, "root fragment completion")?;
+                    Ok((rows, done_ms))
+                }) {
+                    Ok((rows, done_ms)) => {
                         shared.note_site(&plan.location, view.attempts.get(), done_ms);
                         *root_out.lock().unwrap() = Some((rows, done_ms));
                     }
@@ -184,7 +227,9 @@ impl<'a> Runtime<'a> {
         if !errors.is_empty() {
             // Deterministic winner: the failure at the lowest pre-order
             // slot, independent of which thread recorded its error first.
-            errors.sort_by_key(|(slot, _)| *slot);
+            // Token cancellations rank last — when a real failure raced
+            // the unwind, the originating failure is the answer.
+            errors.sort_by_key(|(slot, e)| (matches!(e, GeoError::Cancelled(_)), *slot));
             return (Err(errors.remove(0).1), log);
         }
         let (rows, completion_ms) = root_out
@@ -256,12 +301,17 @@ impl<'a> Runtime<'a> {
         // An empty result still ships one (empty) batch, so transfer
         // counts and header bytes match the sequential interpreter.
         let n_batches = all.len().div_ceil(batch_rows).max(1);
-        let mut chunks = all.chunks(batch_rows);
         let mut arrival_ms = ready_ms;
         let mut attempts_total = fragment_attempts;
 
         for i in 0..n_batches {
-            let batch = Rows::from_rows(chunks.next().map(<[_]>::to_vec).unwrap_or_default());
+            // Batch granularity for cooperative control: an aborted query
+            // stops between batches, never mid-wire.
+            self.control
+                .check_cancel(&format!("batch {i} on SHIP {} -> {}", edge.from, edge.to))?;
+            let lo = (i * batch_rows).min(all.len());
+            let hi = ((i + 1) * batch_rows).min(all.len());
+            let batch = Rows::from_rows(all[lo..hi].to_vec());
             if let Some(audits) = audits {
                 if !audits[edge.id].contains(&edge.to) {
                     return Err(GeoError::NonCompliant(format!(
@@ -289,7 +339,9 @@ impl<'a> Runtime<'a> {
                 Some(faults) => {
                     let n_slots = shared.cut.n_slots();
                     let slot = edge.id as u64;
-                    let delivered = self.retry.run(|attempt| {
+                    // Salting by slot desynchronizes concurrent jittered
+                    // backoffs while keeping every replay byte-identical.
+                    let delivered = self.retry.run_salted(slot, |attempt| {
                         let step = (attempt as u64 - 1) * n_slots + slot;
                         match faults.check_transfer(&edge.from, &edge.to, step) {
                             FaultVerdict::Deliver { extra_delay_ms } => Ok((extra_delay_ms, step)),
@@ -326,6 +378,14 @@ impl<'a> Runtime<'a> {
             let alpha = if i == 0 { link.alpha_ms } else { 0.0 };
             let cost_ms = alpha + link.beta_ms_per_byte * bytes as f64 + extra_ms;
             arrival_ms += cost_ms;
+            // Simulated-clock deadline, per batch: a batch that would land
+            // past the budget is never delivered. Each edge's arrival is a
+            // pure function of the plan and the fault schedule, so the
+            // verdict is deterministic.
+            self.control.check_deadline(
+                arrival_ms,
+                &format!("batch {i} on SHIP {} -> {}", edge.from, edge.to),
+            )?;
             shared.log.lock().unwrap().push(TransferRecord {
                 step,
                 from: edge.from.clone(),
@@ -342,6 +402,27 @@ impl<'a> Runtime<'a> {
         }
         shared.exchanges[edge.id].close(arrival_ms);
         shared.note_site(&edge.from, attempts_total, arrival_ms);
+        // The edge fully drained: retain its output for failover resume,
+        // at both endpoints — the producer computed it there (its site is
+        // in ℰ ⊆ 𝒮) and the consumer legally received it (the per-batch
+        // audit already held). An illegal home is a typed refusal from
+        // the store, surfaced like any other fragment failure.
+        if let Some((store, specs)) = &self.checkpoints {
+            let spec = &specs[edge.id];
+            let full = Rows::from_rows(all);
+            let encoded = full.encode();
+            for home in [&edge.to, &edge.from] {
+                store.put(
+                    spec.fingerprint,
+                    home.clone(),
+                    &spec.legal,
+                    &spec.logical,
+                    encoded.clone(),
+                    full.len() as u64,
+                    arity,
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -439,9 +520,11 @@ impl<'r, 's> FragmentView<'r, 's> {
         }
     }
 
-    /// A scan, retried under the fault plan's crash windows at this scan
-    /// slot's deterministic steps.
-    fn scan(&self, node: &PhysicalPlan, table: &TableRef) -> Result<Rows> {
+    /// Gate a leaf read on its site's availability: retried under the
+    /// fault plan's crash windows at the leaf's scan slot, at
+    /// deterministic steps, charging backoff to this fragment's local
+    /// simulated time.
+    fn site_gate(&self, node: &PhysicalPlan, what: &str) -> Result<()> {
         match self.runtime.faults {
             None => {
                 self.attempts.set(self.attempts.get() + 1);
@@ -450,7 +533,7 @@ impl<'r, 's> FragmentView<'r, 's> {
                 let n_slots = self.shared.cut.n_slots();
                 let slot = (self.shared.cut.edges.len()
                     + self.shared.cut.scan_slot[&node_key(node)]) as u64;
-                let delivered = self.runtime.retry.run(|attempt| {
+                let delivered = self.runtime.retry.run_salted(slot, |attempt| {
                     let step = (attempt as u64 - 1) * n_slots + slot;
                     match faults.site_down_until(&node.location, step) {
                         None => Ok(()),
@@ -459,7 +542,7 @@ impl<'r, 's> FragmentView<'r, 's> {
                             link: None,
                             transient: end != u64::MAX,
                             message: format!(
-                                "scan of {table} failed: site {} is down at step {step}",
+                                "{what} failed: site {} is down at step {step}",
                                 node.location
                             ),
                         })),
@@ -471,17 +554,57 @@ impl<'r, 's> FragmentView<'r, 's> {
                     .set(self.local_extra_ms.get() + delivered.backoff_ms);
             }
         }
+        Ok(())
+    }
+
+    /// A scan, gated on the site's crash windows.
+    fn scan(&self, node: &PhysicalPlan, table: &TableRef) -> Result<Rows> {
+        self.site_gate(node, &format!("scan of {table}"))?;
         self.source.scan(table, &node.location)
+    }
+
+    /// A resume leaf: read a retained checkpoint homed at this node's
+    /// site, gated on that site's crash windows like any other leaf.
+    fn resume(&self, node: &PhysicalPlan, fingerprint: u64) -> Result<Rows> {
+        self.site_gate(node, &format!("resume of checkpoint {fingerprint:016x}"))?;
+        let Some((store, _)) = &self.runtime.checkpoints else {
+            return Err(GeoError::Execution(format!(
+                "no checkpoint store attached: cannot resume fragment \
+                 {fingerprint:016x} at {}",
+                node.location
+            )));
+        };
+        let cp = store.get(fingerprint, &node.location).ok_or_else(|| {
+            GeoError::Execution(format!(
+                "checkpoint {fingerprint:016x} is not homed at {}",
+                node.location
+            ))
+        })?;
+        Rows::decode(&cp.encoded, cp.arity).ok_or_else(|| {
+            GeoError::Execution("checkpoint corruption: batch failed to decode".into())
+        })
     }
 }
 
 impl ExchangeSource for FragmentView<'_, '_> {
     fn fetch(&self, node: &PhysicalPlan) -> Option<Result<Rows>> {
+        // Cooperative cancellation, polled per plan node: even a fragment
+        // doing pure local compute notices an abort between operators.
+        if let Err(e) =
+            self.runtime
+                .control
+                .check_cancel(&format!("{} at {}", node.op.name(), node.location))
+        {
+            return Some(Err(e));
+        }
         if let Some(&id) = self.shared.cut.edge_of.get(&node_key(node)) {
             return Some(self.collect_edge(id));
         }
         if let PhysOp::Scan { table } = &node.op {
             return Some(self.scan(node, table));
+        }
+        if let PhysOp::ResumeScan { fingerprint, .. } = &node.op {
+            return Some(self.resume(node, *fingerprint));
         }
         None
     }

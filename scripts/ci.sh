@@ -28,4 +28,7 @@ cargo build --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> chaos soak (fixed seed, GEOQP_CHAOS_N=${GEOQP_CHAOS_N:-24} schedules)"
+GEOQP_CHAOS_N="${GEOQP_CHAOS_N:-24}" cargo test -q --test chaos_soak -- --nocapture
+
 echo "CI OK"

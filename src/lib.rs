@@ -97,12 +97,12 @@ pub use geoqp_tpch as tpch;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use geoqp_common::{
-        DataType, Field, GeoError, Location, LocationPattern, LocationSet, Result, Row, Rows,
-        Schema, TableRef, Value,
+        CancelToken, DataType, Field, GeoError, Location, LocationPattern, LocationSet,
+        QueryDeadline, Result, Row, Rows, RunControl, Schema, TableRef, Value,
     };
     pub use geoqp_core::{
-        Engine, ExecutionResult, OptimizedQuery, OptimizerMode, ParallelResult, ResilientResult,
-        RuntimeConfig, RuntimeMetrics, RuntimeMode,
+        CheckpointStore, Engine, ExecutionResult, FailoverOpts, OptimizedQuery, OptimizerMode,
+        ParallelResult, ResilientResult, RuntimeConfig, RuntimeMetrics, RuntimeMode,
     };
     pub use geoqp_exec::RetryPolicy;
     pub use geoqp_expr::{AggCall, AggFunc, ScalarExpr};

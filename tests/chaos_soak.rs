@@ -1,0 +1,155 @@
+//! Fixed-seed chaos soak: randomized crash/partition schedules with
+//! query deadlines, driven through the concurrent pipelined runtime.
+//!
+//! Every schedule is a pure function of the soak seed, so a failure
+//! replays exactly. For each schedule the invariants are: no panic, no
+//! leaked fragment worker, and — on every run that completes — the
+//! fault-free answer through a placement that passes the Definition-1
+//! audit. Runs that do not complete must fail with a *typed* error.
+//!
+//! `GEOQP_CHAOS_N` sets the number of schedules (default 8).
+
+use geoqp::prelude::*;
+use geoqp::tpch;
+use geoqp::tpch::policy_gen::PolicyTemplate;
+use std::sync::Arc;
+
+const SF: f64 = 0.001;
+const QUERIES: [&str; 6] = ["Q2", "Q3", "Q5", "Q8", "Q9", "Q10"];
+const SITES: [&str; 5] = ["L1", "L2", "L3", "L4", "L5"];
+
+/// splitmix64: the soak's only randomness, seeded and replayable.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Live threads in this process, from `/proc/self/status`.
+fn live_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(1)
+}
+
+/// One randomized schedule: a site blackout, a link partition, a flaky
+/// link, and (half the time) a simulated-clock deadline.
+fn schedule(rng: &mut u64) -> (FaultPlan, Option<QueryDeadline>, String) {
+    let seed = splitmix(rng);
+    let crash_site = SITES[(splitmix(rng) % 5) as usize];
+    let crash_at = splitmix(rng) % 12;
+    let crash_len = 1 + splitmix(rng) % 6;
+    let pair = |rng: &mut u64| {
+        let a = (splitmix(rng) % 5) as usize;
+        let b = (a + 1 + (splitmix(rng) % 4) as usize) % 5;
+        (SITES[a], SITES[b])
+    };
+    let (pa, pb) = pair(rng);
+    let part_at = splitmix(rng) % 12;
+    let part_len = 1 + splitmix(rng) % 4;
+    let (fa, fb) = pair(rng);
+    let flake = (splitmix(rng) % 40) as f64 / 100.0;
+    let deadline = match splitmix(rng) % 2 {
+        0 => None,
+        _ => Some(QueryDeadline::new(500.0 + (splitmix(rng) % 4000) as f64)),
+    };
+    let spec = format!(
+        "crash:{crash_site}@{crash_at}..{}; drop:{pa}-{pb}@{part_at}..{}; \
+         flaky:{fa}-{fb}:{flake}",
+        crash_at + crash_len,
+        part_at + part_len,
+    );
+    let faults = FaultPlan::parse(&spec, seed).expect("generated spec parses");
+    let label = format!(
+        "seed={seed} spec=[{spec}] deadline={:?}",
+        deadline.as_ref().map(|d| d.budget_ms)
+    );
+    (faults, deadline, label)
+}
+
+#[test]
+fn randomized_chaos_schedules_stay_compliant_and_leak_free() {
+    let n: usize = std::env::var("GEOQP_CHAOS_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let catalog = Arc::new(tpch::paper_catalog(SF));
+    tpch::populate(&catalog, SF, 7).unwrap();
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let eng = Engine::new(catalog, Arc::new(policies), NetworkTopology::paper_wan());
+    let retry = RetryPolicy::default().with_jitter(0.3, 2021);
+    let config = RuntimeConfig::default();
+
+    let mut rng = 0x6765_6f71_7063_686bu64; // fixed soak seed
+    let before = live_threads();
+    let (mut completed, mut refused) = (0usize, 0usize);
+    for round in 0..n {
+        for query in QUERIES {
+            let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+            let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) else {
+                continue;
+            };
+            let baseline = eng.execute_parallel(&opt.physical).unwrap();
+            let (faults, deadline, label) = schedule(&mut rng);
+            let opts = FailoverOpts {
+                deadline,
+                ..FailoverOpts::new(SITES.len())
+            };
+            match eng.execute_resilient_parallel_opts(&opt, &faults, &retry, &opts, &config) {
+                Ok((res, _metrics)) => {
+                    completed += 1;
+                    let mut got: Vec<String> = res.rows.iter().map(|r| format!("{r:?}")).collect();
+                    let mut want: Vec<String> =
+                        baseline.rows.iter().map(|r| format!("{r:?}")).collect();
+                    got.sort();
+                    want.sort();
+                    assert_eq!(
+                        got, want,
+                        "round {round} {query} [{label}]: chaos changed the answer"
+                    );
+                    eng.audit(&res.physical).unwrap_or_else(|e| {
+                        panic!(
+                            "round {round} {query} [{label}]: completed through a \
+                             non-compliant placement: {e}"
+                        )
+                    });
+                }
+                Err(e) => {
+                    refused += 1;
+                    assert!(
+                        matches!(
+                            e.kind(),
+                            "rejected" | "unavailable" | "deadline" | "cancelled"
+                        ),
+                        "round {round} {query} [{label}]: untyped failure {e}"
+                    );
+                }
+            }
+        }
+    }
+    // Workers join on every path; nothing may accumulate across the soak.
+    let mut after = live_threads();
+    for _ in 0..50 {
+        if after <= before {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        after = live_threads();
+    }
+    assert!(
+        after <= before + 4,
+        "{before} threads before the soak, {after} after — fragment workers leaked"
+    );
+    assert!(
+        completed >= 1,
+        "the soak never completed a single run ({refused} refusals) — schedules too harsh"
+    );
+}

@@ -40,6 +40,19 @@ fn legal_sites(node: &AnnotatedNode, into: &mut BTreeSet<Location>) {
     }
 }
 
+/// Live threads in this process, from `/proc/self/status`.
+fn live_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(1)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -93,6 +106,120 @@ proptest! {
                 );
             }
         }
+        }
+    }
+
+    /// Checkpoint legality: whatever crashes, however the failover goes,
+    /// no retained intermediate is ever homed at a site outside the
+    /// producing operator's shipping trait 𝒮ₙ — on either engine. The
+    /// store enforces this at `put` time with a typed error, so a single
+    /// illegal checkpoint would surface as a failed run, and the
+    /// post-hoc sweep below re-checks every survivor independently.
+    #[test]
+    fn checkpoints_are_only_homed_inside_shipping_traits(
+        qi in 0usize..6,
+        si in 0usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let eng = engine();
+        let query = QUERIES[qi];
+        let dead = Location::new(SITES[si]);
+        let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+        if let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) {
+        // Crash onset varies with the seed so checkpoints are taken at
+        // every stage of the run, not only before an early failure.
+        let onset = seed % 8;
+        let opts = FailoverOpts::new(5);
+        let retry = RetryPolicy::default();
+        for parallel in [false, true] {
+            let faults = FaultPlan::new(seed)
+                .with_crash(dead.clone(), StepWindow::new(onset, u64::MAX));
+            let store = CheckpointStore::new();
+            let outcome = if parallel {
+                eng.execute_resilient_parallel_store(
+                    &opt, &faults, &retry, &opts, &RuntimeConfig::default(), &store,
+                ).map(|_| ())
+            } else {
+                eng.execute_resilient_store(&opt, &faults, &retry, &opts, &store)
+                    .map(|_| ())
+            };
+            if let Err(e) = outcome {
+                prop_assert!(
+                    matches!(e.kind(), "rejected" | "unavailable"),
+                    "{query} (parallel={parallel}): untyped failure {e}"
+                );
+            }
+            for cp in store.snapshot() {
+                prop_assert!(
+                    cp.legal.contains(&cp.home),
+                    "{query} (parallel={parallel}): checkpoint {:016x} homed at {} \
+                     outside its shipping trait {}",
+                    cp.fingerprint, cp.home, cp.legal
+                );
+            }
+        }
+        }
+    }
+
+    /// Cooperative unwinding: a deadline or a pre-fired cancellation
+    /// must join every fragment worker (no thread leak) and leave no
+    /// exchange channel poisoned — the very next run of the same query
+    /// on the same engine succeeds with the fault-free answer.
+    #[test]
+    fn cancellation_joins_workers_and_poisons_nothing(
+        qi in 0usize..6,
+        budget in 0.0f64..80.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let eng = engine();
+        let query = QUERIES[qi];
+        let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+        if let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) {
+        let baseline = eng.execute_parallel(&opt.physical).unwrap();
+        let fire_cancel = seed & 1 == 1;
+        let cancel = CancelToken::new();
+        if fire_cancel {
+            cancel.cancel();
+        }
+        let opts = FailoverOpts {
+            deadline: Some(QueryDeadline::new(budget)),
+            cancel: Some(cancel),
+            ..FailoverOpts::new(5)
+        };
+        let before = live_threads();
+        let run = eng.execute_resilient_parallel_opts(
+            &opt,
+            &FaultPlan::new(seed),
+            &RetryPolicy::default(),
+            &opts,
+            &RuntimeConfig::default(),
+        );
+        match run {
+            Ok(_) => prop_assert!(!fire_cancel, "{query}: a fired token must cancel"),
+            Err(e) => prop_assert!(
+                matches!(e.kind(), "deadline" | "cancelled"),
+                "{query}: fault-free unwind must be a typed deadline/cancel, got {e}"
+            ),
+        }
+        // Fragment workers join on every path, success or unwind. Other
+        // tests in this binary run concurrently, so give stray *foreign*
+        // threads a moment; a worker leak here would never drain.
+        let mut after = live_threads();
+        for _ in 0..50 {
+            if after <= before {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            after = live_threads();
+        }
+        prop_assert!(
+            after <= before + 4,
+            "{query}: {} threads before, {after} after — fragment workers leaked",
+            before
+        );
+        // Nothing is poisoned: the same engine answers immediately.
+        let again = eng.execute_parallel(&opt.physical).unwrap();
+        prop_assert_eq!(&again.rows, &baseline.rows);
         }
     }
 

@@ -9,7 +9,7 @@
 
 use geoqp_bench::experiments::overhead::OverheadCase;
 use geoqp_bench::experiments::{
-    ablation, effectiveness, failover, overhead, quality, scalability, scaleup,
+    ablation, effectiveness, failover, grayfail, overhead, quality, scalability, scaleup,
 };
 use geoqp_common::LocationSet;
 use geoqp_plan::descriptor::describe_local;
@@ -81,8 +81,64 @@ fn main() {
     if want("failover") {
         failover_matrix();
     }
+    if want("grayfail") {
+        grayfail_figure();
+    }
     if want("scaleup") {
         scaleup_figure();
+    }
+}
+
+fn grayfail_figure() {
+    header("Extension E7: gray links — hedged transfers vs baseline (CR+A, busiest link degraded 6x + 8% loss)");
+    println!(
+        "  {:6} {:>8} {:>12} {:>11} {:>8} {:>8} {:>11} {:>6} {:>6} {:>6}",
+        "query",
+        "link",
+        "no-hedge ms",
+        "hedged ms",
+        "speedup",
+        "bytes+",
+        "hedges",
+        "relays",
+        "rows=",
+        "audit"
+    );
+    for c in grayfail::grayfail_matrix(SEED, 6.0, 0.08) {
+        println!(
+            "  {:6} {:>8} {:>12.1} {:>11.1} {:>7.2}x {:>7.1}% {:>5}/{:<5} {:>6} {:>6} {:>6}",
+            c.query,
+            format!("{}-{}", c.link.0, c.link.1),
+            c.nohedge_ms,
+            c.hedged_ms,
+            c.speedup(),
+            c.bytes_overhead() * 100.0,
+            c.hedges_won,
+            c.hedges_launched,
+            c.relays_used,
+            if c.rows_match { "yes" } else { "NO" },
+            if c.audit_ok { "pass" } else { "FAIL" }
+        );
+    }
+
+    header("Extension E8: breaker condemnation — re-plan around the gray link (6x degrade, 1-trip budget)");
+    println!(
+        "  {:6} {:>8} {:>8} {:>8} {:>7} {:>6} {:>10} {:>6} {:>6}",
+        "query", "link", "replans", "avoided", "waived", "trips", "sites-excl", "rows=", "audit"
+    );
+    for c in grayfail::condemnation_matrix(SEED, 6.0) {
+        println!(
+            "  {:6} {:>8} {:>8} {:>8} {:>7} {:>6} {:>10} {:>6} {:>6}",
+            c.query,
+            format!("{}-{}", c.link.0, c.link.1),
+            c.replans,
+            if c.avoided { "yes" } else { "no" },
+            if c.waived { "yes" } else { "no" },
+            c.breaker_trips,
+            c.sites_excluded,
+            if c.rows_match { "yes" } else { "NO" },
+            if c.audit_ok { "pass" } else { "FAIL" }
+        );
     }
 }
 

@@ -4,7 +4,8 @@
 
 use geoqp_common::{CancelToken, GeoError, Location, QueryDeadline, Result, Rows, TableRef};
 use geoqp_core::{
-    Engine, FailoverOpts, OptimizerMode, ResilientResult, RuntimeMetrics, RuntimeMode,
+    Engine, FailoverOpts, HedgeConfig, LinkReport, OptimizerMode, ResilientResult, RuntimeMetrics,
+    RuntimeMode,
 };
 use geoqp_exec::RetryPolicy;
 use geoqp_net::{FaultPlan, NetworkTopology};
@@ -24,6 +25,8 @@ pub struct Shell {
     deadline: Option<QueryDeadline>,
     cancel: CancelToken,
     last_failover: Option<String>,
+    hedge: Option<HedgeConfig>,
+    last_health: Option<Vec<LinkReport>>,
 }
 
 impl Default for Shell {
@@ -45,6 +48,8 @@ impl Shell {
             deadline: None,
             cancel: CancelToken::new(),
             last_failover: None,
+            hedge: None,
+            last_health: None,
         }
     }
 
@@ -144,6 +149,8 @@ impl Shell {
             }
             "explain" => self.explain(arg),
             "faults" => self.set_faults(arg),
+            "hedge" => self.set_hedge(arg),
+            "health" => self.health(),
             "deadline" => self.set_deadline(arg),
             "cancel" => {
                 self.cancel.cancel();
@@ -303,6 +310,74 @@ impl Shell {
         Ok(format!("faults: active (seed {seed})\n"))
     }
 
+    /// `\hedge` shows the current setting, `\hedge off` disables the
+    /// gray-failure defense, `\hedge on` enables it with defaults, and
+    /// `\hedge <ms>` enables it with an explicit backup-launch delay.
+    fn set_hedge(&mut self, arg: &str) -> Result<String> {
+        match arg {
+            "" => Ok(match &self.hedge {
+                None => "hedge: off\n".to_string(),
+                Some(h) => format!(
+                    "hedge: on (delay {:.1} ms, hedge ratio {:.2}, trip ratio {:.2})\n",
+                    h.delay_ms, h.health.hedge_ratio, h.health.trip_ratio
+                ),
+            }),
+            "off" => {
+                self.hedge = None;
+                Ok("hedge: off\n".to_string())
+            }
+            "on" => {
+                self.hedge = Some(HedgeConfig::default());
+                Ok("hedge: on (defaults)\n".to_string())
+            }
+            ms => {
+                let delay: f64 = ms.parse().map_err(|_| {
+                    GeoError::Execution(format!("bad hedge setting `{ms}` (on|off|<delay ms>)"))
+                })?;
+                if !delay.is_finite() || delay < 0.0 {
+                    return Err(GeoError::Execution(format!(
+                        "bad hedge setting `{ms}` (on|off|<delay ms>)"
+                    )));
+                }
+                self.hedge = Some(HedgeConfig {
+                    delay_ms: delay,
+                    ..HedgeConfig::default()
+                });
+                Ok(format!("hedge: on (delay {delay:.1} ms)\n"))
+            }
+        }
+    }
+
+    /// `\health` renders the per-link-lane breaker states the last hedged
+    /// query observed.
+    fn health(&self) -> Result<String> {
+        let Some(reports) = &self.last_health else {
+            return Ok(
+                "no link health yet; enable \\hedge and run a query under \\faults\n".to_string(),
+            );
+        };
+        if reports.is_empty() {
+            return Ok("link health: no cross-site transfers observed\n".to_string());
+        }
+        let mut out = String::new();
+        for r in reports {
+            let _ = writeln!(
+                out,
+                "{} -> {} (lane {}): breaker {}, ewma {:.2}x model, {} obs, \
+                 {} consecutive failure(s), {} trip(s)",
+                r.from,
+                r.to,
+                r.lane,
+                r.state.breaker,
+                r.state.ewma_ratio,
+                r.state.observations,
+                r.state.consecutive_failures,
+                r.state.trips,
+            );
+        }
+        Ok(out)
+    }
+
     /// `\deadline` shows the active budget, `\deadline off` clears it,
     /// `\deadline <ms>` sets a simulated-clock completion budget enforced
     /// at batch granularity on every subsequent query.
@@ -337,6 +412,7 @@ impl Shell {
             resume: true,
             deadline: self.deadline,
             cancel: Some(self.cancel.clone()),
+            hedge: self.hedge.clone(),
         }
     }
 
@@ -344,13 +420,13 @@ impl Shell {
     /// fault plan (a deadline or an armed cancellation needs the control
     /// surface threaded through execution).
     fn needs_control(&self) -> bool {
-        self.deadline.is_some() || self.cancel.is_cancelled()
+        self.deadline.is_some() || self.cancel.is_cancelled() || self.hedge.is_some()
     }
 
     /// Record the failover counters for `\metrics` and render the summary
     /// fragment appended to the result line.
     fn note_failover(&mut self, result: &ResilientResult) -> String {
-        let summary = format!(
+        let mut summary = format!(
             "failover: {} replans, excluded {}; checkpoints: {} hits, {} misses; \
              {} bytes resumed, {} bytes recomputed\n",
             result.replans,
@@ -364,6 +440,34 @@ impl Shell {
             result.resumed_bytes,
             result.recomputed_bytes,
         );
+        if result.hedges_launched > 0 || result.breaker_trips > 0 {
+            let _ = writeln!(
+                summary,
+                "hedging: {} launched / {} won, {} relay(s), {} breaker trip(s)",
+                result.hedges_launched, result.hedges_won, result.relays_used, result.breaker_trips,
+            );
+        }
+        if !result.avoided_links.is_empty() {
+            let links: Vec<String> = result
+                .avoided_links
+                .iter()
+                .map(|(a, b)| format!("{a}->{b}"))
+                .collect();
+            let _ = writeln!(summary, "avoided gray link(s): {}", links.join(", "));
+        }
+        if !result.waived_links.is_empty() {
+            let links: Vec<String> = result
+                .waived_links
+                .iter()
+                .map(|(a, b)| format!("{a}->{b}"))
+                .collect();
+            let _ = writeln!(
+                summary,
+                "waived condemnation(s) (no compliant detour, riding the gray link): {}",
+                links.join(", ")
+            );
+        }
+        self.last_health = self.hedge.as_ref().map(|_| result.link_health.clone());
         self.last_failover = Some(summary);
         format!(
             "{} ckpt hits/{} misses, {} B resumed",
@@ -592,7 +696,13 @@ commands:
   \\explain <sql>            show annotated + physical plan
   \\faults <spec>|off        inject faults: crash:L2; drop:L1-L3@2..5;
                             flaky:L1-L2:0.3; delay:L1-L4:50ms;
+                            degrade:L1-L4:3x@2..9; loss:L2-L3:0.4@..6;
                             partition:L1,L2@..9; seed=N
+  \\hedge on|off|<ms>        gray-failure defense: link health scoring,
+                            per-link circuit breakers, compliant hedged
+                            backups (<ms> = backup launch delay)
+  \\health                   per-link breaker/EWMA state of the last
+                            hedged query
   \\deadline <ms>|off        simulated-clock completion budget per query
                             (typed `deadline` error past the budget)
   \\cancel                   cancel the next statement cooperatively

@@ -10,6 +10,8 @@
 //! ... -- --demo tpch --runtime parallel
 //! # give every query a simulated-clock completion budget:
 //! ... -- --demo tpch --deadline-ms 500
+//! # defend against gray failures with hedged backup transfers:
+//! ... -- --demo tpch --faults 'degrade:L1-L4:4x' --hedge
 //! ```
 
 use geoqp_cli::Shell;
@@ -55,6 +57,19 @@ fn main() {
         .and_then(|i| args.get(i + 1))
     {
         match shell.run_command(&format!("\\deadline {ms}")) {
+            Ok(out) => print!("{out}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--hedge") {
+        // `--hedge` alone uses the defaults; `--hedge <ms>` sets the
+        // backup launch delay.
+        let setting = args
+            .get(i + 1)
+            .filter(|v| v.parse::<f64>().is_ok())
+            .map(|v| v.as_str())
+            .unwrap_or("on");
+        match shell.run_command(&format!("\\hedge {setting}")) {
             Ok(out) => print!("{out}"),
             Err(e) => eprintln!("error: {e}"),
         }

@@ -28,6 +28,11 @@ pub struct Unavailable {
     /// Whether the failure is transient (a retry with backoff may
     /// succeed) or permanent (the site is down; re-plan around it).
     pub transient: bool,
+    /// Whether this is a *soft* exclusion raised by a circuit breaker
+    /// that exhausted its open budget on a gray link: both endpoints are
+    /// alive, so the re-planner must avoid the **link** (price it at ∞),
+    /// not exclude a site.
+    pub breaker: bool,
     /// Human-readable description.
     pub message: String,
 }
@@ -39,6 +44,7 @@ impl Unavailable {
             site: Some(site),
             link: None,
             transient: false,
+            breaker: false,
             message: message.into(),
         }
     }
@@ -55,6 +61,20 @@ impl Unavailable {
             site: Some(to.clone()),
             link: Some((from, to)),
             transient,
+            breaker: false,
+            message: message.into(),
+        }
+    }
+
+    /// A circuit breaker condemned a gray link: both endpoints are up,
+    /// so no site is named — the re-planner routes around the link by
+    /// cost instead of excluding an execution site.
+    pub fn breaker_open(from: Location, to: Location, message: impl Into<String>) -> Unavailable {
+        Unavailable {
+            site: None,
+            link: Some((from, to)),
+            transient: false,
+            breaker: true,
             message: message.into(),
         }
     }
@@ -136,9 +156,24 @@ impl GeoError {
         GeoError::SiteUnavailable(Unavailable::link_down(from, to, transient, message))
     }
 
+    /// Convenience constructor for a breaker-condemned gray link.
+    pub fn breaker_open(from: Location, to: Location, message: impl Into<String>) -> GeoError {
+        GeoError::SiteUnavailable(Unavailable::breaker_open(from, to, message))
+    }
+
     /// Whether retrying (with backoff) may clear this error.
     pub fn is_transient(&self) -> bool {
         matches!(self, GeoError::SiteUnavailable(u) if u.transient)
+    }
+
+    /// The gray link a circuit breaker condemned, if this error is a
+    /// breaker-raised soft exclusion. `None` for every hard availability
+    /// failure, so replan-by-site and replan-by-link never mix.
+    pub fn breaker_link(&self) -> Option<(&Location, &Location)> {
+        match self {
+            GeoError::SiteUnavailable(u) if u.breaker => u.link.as_ref().map(|(a, b)| (a, b)),
+            _ => None,
+        }
     }
 
     /// The site an availability failure points at, if any.
@@ -254,6 +289,28 @@ mod tests {
         assert!(!e.is_transient());
         assert_eq!(e.failed_site(), None);
         assert_eq!(e.failed_link(), None);
+    }
+
+    /// A breaker condemnation names the gray link but no site — both
+    /// endpoints are alive, so the re-planner must route around the link
+    /// instead of excluding an execution site.
+    #[test]
+    fn breaker_open_names_the_link_but_no_site() {
+        let e = GeoError::breaker_open(
+            Location::new("L1"),
+            Location::new("L4"),
+            "breaker open past budget",
+        );
+        assert_eq!(e.kind(), "unavailable");
+        assert!(!e.is_transient());
+        assert_eq!(e.failed_site(), None);
+        assert_eq!(
+            e.breaker_link(),
+            Some((&Location::new("L1"), &Location::new("L4")))
+        );
+        // Hard link failures are never breaker links.
+        let hard = GeoError::link_down(Location::new("L1"), Location::new("L4"), true, "drop");
+        assert_eq!(hard.breaker_link(), None);
     }
 
     /// Deadline and cancellation must never look like a crashed site:

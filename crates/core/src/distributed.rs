@@ -3,9 +3,14 @@
 //! [`FaultPlan`] so availability faults surface as typed
 //! [`GeoError::SiteUnavailable`] errors during execution.
 
-use geoqp_common::{GeoError, Location, Result, Rows, RunControl, Schema, TableRef, Unavailable};
+use geoqp_common::{
+    GeoError, Location, LocationSet, Result, Rows, RunControl, Schema, TableRef, Unavailable,
+};
 use geoqp_exec::{DataSource, RetryPolicy, ShipHandler};
-use geoqp_net::{FaultPlan, FaultVerdict, NetworkTopology, TransferLog};
+use geoqp_net::{
+    backup_beats, plan_hedge, run_hedge, FaultPlan, FaultVerdict, HedgeConfig, LinkHealth,
+    NetworkTopology, RelayEvent, TransferLog, TransferRecord,
+};
 use geoqp_runtime::{CheckpointSpec, CheckpointStore};
 use geoqp_storage::Catalog;
 use std::sync::Arc;
@@ -68,6 +73,7 @@ impl<'a> CatalogSource<'a> {
                         site: Some(location.clone()),
                         link: None,
                         transient: end != u64::MAX,
+                        breaker: false,
                         message: format!("{what} failed: site {location} is down at step {step}"),
                     })),
                 }
@@ -141,6 +147,11 @@ pub struct SimShip<'a> {
     control: RunControl,
     capture: Option<(&'a CheckpointStore, Vec<CheckpointSpec>)>,
     next_spec: usize,
+    hedge: Option<(&'a LinkHealth, HedgeConfig)>,
+    // Per-SHIP-edge shipping traits 𝒮ₙ in execution order: the only
+    // sites a hedged relay may route through.
+    legal_sets: Vec<LocationSet>,
+    next_edge: usize,
 }
 
 impl<'a> SimShip<'a> {
@@ -154,6 +165,9 @@ impl<'a> SimShip<'a> {
             control: RunControl::unlimited(),
             capture: None,
             next_spec: 0,
+            hedge: None,
+            legal_sets: Vec::new(),
+            next_edge: 0,
         }
     }
 
@@ -185,6 +199,21 @@ impl<'a> SimShip<'a> {
         self
     }
 
+    /// Attach gray-failure defenses: a shared [`LinkHealth`] table (so
+    /// breaker state survives across failover attempts) plus hedge
+    /// tuning and the per-SHIP-edge shipping traits `𝒮ₙ` in execution
+    /// order — the only sites a hedged relay may legally route through.
+    pub fn with_hedge(
+        mut self,
+        health: &'a LinkHealth,
+        config: HedgeConfig,
+        legal_sets: Vec<LocationSet>,
+    ) -> SimShip<'a> {
+        self.hedge = Some((health, config));
+        self.legal_sets = legal_sets;
+        self
+    }
+
     /// Take the accumulated transfer log.
     pub fn into_log(self) -> TransferLog {
         self.log
@@ -206,58 +235,206 @@ impl ShipHandler for SimShip<'_> {
     ) -> Result<Rows> {
         self.control.check_cancel(&format!("SHIP {from} -> {to}"))?;
         let encoded = rows.encode();
-        let (attempts, extra_ms, step) = match self.faults {
-            None => (1, 0.0, 0),
+        let bytes = encoded.len() as u64;
+        let model_ms = self.topology.ship_cost_ms(from, to, bytes as f64);
+        let edge = self.next_edge;
+        self.next_edge += 1;
+        // Gray-failure gate, from pre-transfer health state: a breaker
+        // open past its budget condemns the link (soft exclusion for the
+        // re-planner); a link past the hedge threshold races a backup.
+        let mut backup_route: Option<Option<Location>> = None;
+        if let Some((health, _)) = &self.hedge {
+            if from != to {
+                if health.breaker_exhausted(from, to, 0) {
+                    let state = health.state(from, to, 0);
+                    return Err(GeoError::breaker_open(
+                        from.clone(),
+                        to.clone(),
+                        format!(
+                            "circuit breaker for link {from} -> {to} is open past its \
+                             budget ({} trips, EWMA cost ratio {:.2}): soft-excluding \
+                             the link",
+                            state.trips, state.ewma_ratio
+                        ),
+                    ));
+                }
+                if health.should_hedge(from, to, 0) {
+                    let ratio = health.state(from, to, 0).ewma_ratio;
+                    let via = self.legal_sets.get(edge).and_then(|legal| {
+                        plan_hedge(self.topology, from, to, bytes as f64, legal, ratio)
+                    });
+                    backup_route = Some(via);
+                }
+            }
+        }
+        let health = self.hedge.as_ref().map(|(h, _)| *h);
+        let mut last_step = 0u64;
+        let primary = match self.faults {
+            None => Ok((1, 0.0, 0)),
             Some(faults) => {
                 let log = &mut self.log;
-                let delivered = self.retry.run(|_| {
-                    let step = faults.tick();
-                    match faults.check_transfer(from, to, step) {
-                        FaultVerdict::Deliver { extra_delay_ms } => Ok((extra_delay_ms, step)),
-                        FaultVerdict::Drop {
-                            transient,
-                            culprit,
-                            reason,
-                        } => {
-                            log.record_fault(step, from, to, reason.clone());
-                            Err(GeoError::SiteUnavailable(Unavailable {
-                                // A crashed endpoint is what re-planning
-                                // must exclude; for pure link/partition
-                                // faults, route away from the destination.
-                                site: culprit.or_else(|| Some(to.clone())),
-                                link: Some((from.clone(), to.clone())),
+                self.retry
+                    .run(|_| {
+                        let step = faults.tick();
+                        last_step = step;
+                        match faults.check_transfer(from, to, step) {
+                            FaultVerdict::Deliver { extra_delay_ms } => {
+                                if let Some(h) = health.filter(|_| from != to) {
+                                    h.observe_delivery(
+                                        from,
+                                        to,
+                                        0,
+                                        step,
+                                        model_ms,
+                                        model_ms + extra_delay_ms,
+                                    );
+                                }
+                                Ok((extra_delay_ms, step))
+                            }
+                            // A gray link delivers at factor × the model;
+                            // the surcharge rides in extra_ms so the log
+                            // prices the transfer honestly.
+                            FaultVerdict::Degraded {
+                                factor,
+                                extra_delay_ms,
+                            } => {
+                                let surcharge = (factor - 1.0) * model_ms + extra_delay_ms;
+                                if let Some(h) = health.filter(|_| from != to) {
+                                    h.observe_delivery(
+                                        from,
+                                        to,
+                                        0,
+                                        step,
+                                        model_ms,
+                                        model_ms + surcharge,
+                                    );
+                                }
+                                Ok((surcharge, step))
+                            }
+                            FaultVerdict::Drop {
                                 transient,
-                                message: reason,
-                            }))
+                                culprit,
+                                reason,
+                            } => {
+                                log.record_fault(step, from, to, reason.clone());
+                                if let Some(h) = health.filter(|_| from != to) {
+                                    h.observe_failure(from, to, 0, step);
+                                }
+                                Err(GeoError::SiteUnavailable(Unavailable {
+                                    // A crashed endpoint is what re-planning
+                                    // must exclude; for pure link/partition
+                                    // faults, route away from the destination.
+                                    site: culprit.or_else(|| Some(to.clone())),
+                                    link: Some((from.clone(), to.clone())),
+                                    transient,
+                                    breaker: false,
+                                    message: reason,
+                                }))
+                            }
                         }
-                    }
-                })?;
-                let (extra_delay_ms, step) = delivered.value;
-                (
-                    delivered.attempts,
-                    extra_delay_ms + delivered.backoff_ms,
-                    step,
-                )
+                    })
+                    .map(|d| (d.attempts, d.value.0 + d.backoff_ms, d.value.1))
             }
+        };
+        // The hedge race: the backup launches after a short delay, on
+        // independent fault coins, and may route via a relay site — but
+        // only one inside the producing subtree's 𝒮ₙ. First delivery
+        // wins; a primary that failed outright is rescued by a delivered
+        // backup.
+        let mut rescued_by_backup = false;
+        if let Some(via) = backup_route {
+            let (health, config) = self.hedge.as_ref().expect("hedge config present");
+            let empty = LocationSet::new();
+            let legal = self.legal_sets.get(edge).unwrap_or(&empty);
+            let primary_arrival = primary.as_ref().ok().map(|(_, extra, _)| model_ms + extra);
+            // One monolithic transfer per edge: every leg pays its full
+            // α + β·b — there is no stream to amortize headers over.
+            let run = run_hedge(
+                |a, b| self.topology.ship_cost_ms(a, b, bytes as f64),
+                self.faults,
+                config,
+                from,
+                to,
+                via.as_ref(),
+                legal,
+                last_step,
+                // The sequential clock ticks per transfer, so the base
+                // step itself already varies: no batch coin needed.
+                0,
+                primary_arrival,
+            )?;
+            for leg in &run.legs {
+                if leg.delivered {
+                    // Every transmitted backup leg is cost-charged: the
+                    // shipped-bytes overhead of hedging is real.
+                    self.log.push(TransferRecord {
+                        step: leg.step,
+                        from: leg.from.clone(),
+                        to: leg.to.clone(),
+                        bytes,
+                        rows: rows.len() as u64,
+                        cost_ms: leg.cost_ms,
+                        attempts: 1,
+                    });
+                } else {
+                    self.log.record_fault(
+                        leg.step,
+                        &leg.from,
+                        &leg.to,
+                        "hedged backup leg dropped".into(),
+                    );
+                }
+            }
+            let backup_won = match (primary_arrival, run.backup_arrival_ms) {
+                (Some(p), Some(b)) => backup_beats(b, p),
+                (None, Some(_)) => true,
+                _ => false,
+            };
+            rescued_by_backup = primary_arrival.is_none() && run.backup_arrival_ms.is_some();
+            health.note_hedge(
+                backup_won,
+                run.relay.as_ref().map(|r| RelayEvent {
+                    lane: 0,
+                    from: from.clone(),
+                    to: to.clone(),
+                    via: r.clone(),
+                }),
+            );
+        }
+        let (attempts, extra_ms, step) = match primary {
+            Ok(delivered) => delivered,
+            Err(e) if rescued_by_backup => {
+                // The backup already delivered (and was charged above):
+                // the transfer succeeds without a primary record.
+                let _ = e;
+                (0, 0.0, last_step)
+            }
+            Err(e) => return Err(e),
         };
         // The simulated clock is the transfer log: the deadline trips as
         // soon as accumulated cost plus this delivery would exceed the
         // budget, before the delivery is committed.
-        let cost_ms = self.topology.ship_cost_ms(from, to, encoded.len() as f64) + extra_ms;
+        let cost_ms = if attempts > 0 {
+            model_ms + extra_ms
+        } else {
+            0.0
+        };
         self.control.check_deadline(
             self.log.total_cost_ms() + cost_ms,
             &format!("SHIP {from} -> {to}"),
         )?;
-        self.log.record_delivery(
-            self.topology,
-            from,
-            to,
-            encoded.len() as u64,
-            rows.len() as u64,
-            attempts,
-            extra_ms,
-            step,
-        );
+        if attempts > 0 {
+            self.log.record_delivery(
+                self.topology,
+                from,
+                to,
+                bytes,
+                rows.len() as u64,
+                attempts,
+                extra_ms,
+                step,
+            );
+        }
         // The edge fully delivered: retain its output for failover
         // resume, at both endpoints — the producer computed it there (its
         // site is in ℰ ⊆ 𝒮) and the consumer legally received it. An

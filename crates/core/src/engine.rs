@@ -12,7 +12,9 @@ use geoqp_common::{
     CancelToken, GeoError, Location, LocationSet, QueryDeadline, Result, Rows, RunControl,
 };
 use geoqp_exec::RetryPolicy;
-use geoqp_net::{FaultPlan, NetworkTopology, TransferLog};
+use geoqp_net::{
+    FaultPlan, HedgeConfig, LinkHealth, LinkReport, NetworkTopology, RelayEvent, TransferLog,
+};
 use geoqp_plan::logical::LogicalPlan;
 use geoqp_plan::{PhysOp, PhysicalPlan};
 use geoqp_policy::{PolicyCatalog, PolicyEvaluator};
@@ -20,6 +22,7 @@ use geoqp_runtime::{
     fingerprint, stitch, CheckpointSpec, CheckpointStore, Runtime, RuntimeConfig, RuntimeMetrics,
 };
 use geoqp_storage::Catalog;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -145,6 +148,29 @@ pub struct ResilientResult {
     /// Bytes shipped after the first attempt failed — the recovery
     /// traffic that checkpoint/resume exists to shrink.
     pub recomputed_bytes: u64,
+    /// Hedged backup transfers launched (0 when hedging is off).
+    pub hedges_launched: u64,
+    /// Hedged backups that delivered before their primary.
+    pub hedges_won: u64,
+    /// Hedged backups that routed via a compliant relay site.
+    pub relays_used: u64,
+    /// Circuit-breaker closed → open transitions across all link lanes.
+    pub breaker_trips: u64,
+    /// Gray links a breaker condemned: failover re-plans priced these at
+    /// ∞ in Algorithm 2's cost model instead of excluding a site (both
+    /// endpoints stayed in the execution traits).
+    pub avoided_links: Vec<(Location, Location)>,
+    /// Condemned gray links whose condemnation was waived because
+    /// Algorithm 2 found no compliant placement avoiding them: the query
+    /// rode the degraded link (still hedging) instead of rejecting.
+    pub waived_links: Vec<(Location, Location)>,
+    /// The final folded health state of every observed link lane (empty
+    /// when hedging is off), for `\health`-style reporting.
+    pub link_health: Vec<LinkReport>,
+    /// Every relay a hedged backup routed through, with the lane it
+    /// served — each one was audit-checked against the producing
+    /// subtree's shipping trait before a byte moved.
+    pub relay_events: Vec<RelayEvent>,
 }
 
 /// Knobs for [`Engine::execute_resilient_opts`]: the failover budget plus
@@ -161,18 +187,31 @@ pub struct FailoverOpts {
     pub deadline: Option<QueryDeadline>,
     /// Cooperative abort flag, polled at batch granularity.
     pub cancel: Option<CancelToken>,
+    /// Gray-failure defense: score link health per transfer, launch
+    /// compliant hedged backups on links whose EWMA crosses the hedge
+    /// threshold, and let an exhausted breaker trigger a soft-exclusion
+    /// re-plan. `None` disables hedging and breakers entirely.
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl FailoverOpts {
     /// Resume-enabled failover with `max_replans` re-plans, no deadline,
-    /// no cancel token.
+    /// no cancel token, hedging off.
     pub fn new(max_replans: usize) -> FailoverOpts {
         FailoverOpts {
             max_replans,
             resume: true,
             deadline: None,
             cancel: None,
+            hedge: None,
         }
+    }
+
+    /// Enable link-health scoring, circuit breakers, and compliant hedged
+    /// transfers for every attempt of the resilient run.
+    pub fn with_hedge(mut self, config: HedgeConfig) -> FailoverOpts {
+        self.hedge = Some(config);
+        self
     }
 
     /// The control surface for one attempt, `base_ms` of simulated time
@@ -479,33 +518,55 @@ impl Engine {
         opts: &FailoverOpts,
         store: &CheckpointStore,
     ) -> Result<ResilientResult> {
-        self.resilient_loop(optimized, opts, store, |physical, base_ms| {
-            let specs = if opts.resume {
-                match self.ship_specs(physical) {
-                    // The sequential interpreter completes SHIPs in
-                    // left-to-right post-order, not pre-order.
-                    Ok((_, specs)) => Some(exec_order_specs(physical, specs)),
-                    Err(e) => return (Err(e), TransferLog::new()),
+        let health = opts
+            .hedge
+            .as_ref()
+            .map(|h| LinkHealth::new(h.health.clone()));
+        self.resilient_loop(
+            optimized,
+            opts,
+            store,
+            health.as_ref(),
+            |physical, base_ms| {
+                // The sequential interpreter completes SHIPs in left-to-right
+                // post-order, not pre-order — both the checkpoint specs and
+                // the hedge legality sets must follow that order.
+                let wired = opts.resume || opts.hedge.is_some();
+                let (audits, specs) = if wired {
+                    match self.ship_specs(physical) {
+                        Ok(x) => x,
+                        Err(e) => return (Err(e), TransferLog::new()),
+                    }
+                } else {
+                    (Vec::new(), Vec::new())
+                };
+                let order = if wired {
+                    exec_ship_order(physical, audits.len())
+                } else {
+                    Vec::new()
+                };
+                let control = opts.control(base_ms);
+                let mut source = CatalogSource::new(&self.catalog)
+                    .with_faults(faults, retry.clone())
+                    .with_control(control.clone());
+                if opts.resume {
+                    source = source.with_resume(store);
                 }
-            } else {
-                None
-            };
-            let control = opts.control(base_ms);
-            let mut source = CatalogSource::new(&self.catalog)
-                .with_faults(faults, retry.clone())
-                .with_control(control.clone());
-            if opts.resume {
-                source = source.with_resume(store);
-            }
-            let mut ship = SimShip::new(&self.topology)
-                .with_faults(faults, retry.clone())
-                .with_control(control);
-            if let Some(specs) = specs {
-                ship = ship.with_capture(store, specs);
-            }
-            let outcome = geoqp_exec::execute(physical, &source, &mut ship);
-            (outcome, ship.into_log())
-        })
+                let mut ship = SimShip::new(&self.topology)
+                    .with_faults(faults, retry.clone())
+                    .with_control(control);
+                if opts.resume {
+                    let specs = order.iter().map(|&i| specs[i].clone()).collect();
+                    ship = ship.with_capture(store, specs);
+                }
+                if let (Some(health), Some(config)) = (health.as_ref(), opts.hedge.as_ref()) {
+                    let legal = order.iter().map(|&i| audits[i].clone()).collect();
+                    ship = ship.with_hedge(health, config.clone(), legal);
+                }
+                let outcome = geoqp_exec::execute(physical, &source, &mut ship);
+                (outcome, ship.into_log())
+            },
+        )
     }
 
     /// [`Engine::execute_resilient`] on the parallel runtime: each failover
@@ -555,46 +616,62 @@ impl Engine {
         store: &CheckpointStore,
     ) -> Result<(ResilientResult, RuntimeMetrics)> {
         let mut metrics = None;
-        let result = self.resilient_loop(optimized, opts, store, |physical, base_ms| {
-            let (audits, specs) = match self.ship_specs(physical) {
-                Ok(x) => x,
-                Err(e) => return (Err(e), TransferLog::new()),
-            };
-            let source = CatalogSource::new(&self.catalog);
-            let mut runtime = Runtime::new(&self.topology)
-                .with_faults(faults, retry.clone())
-                .with_config(config.clone())
-                .with_control(opts.control(base_ms));
-            if opts.resume {
-                runtime = runtime.with_checkpoints(store, specs);
-            }
-            let (outcome, log) = runtime.try_run(physical, &source, Some(&audits));
-            (
-                outcome.map(|(rows, m)| {
-                    metrics = Some(m);
-                    rows
-                }),
-                log,
-            )
-        })?;
+        let health = opts
+            .hedge
+            .as_ref()
+            .map(|h| LinkHealth::new(h.health.clone()));
+        let result = self.resilient_loop(
+            optimized,
+            opts,
+            store,
+            health.as_ref(),
+            |physical, base_ms| {
+                let (audits, specs) = match self.ship_specs(physical) {
+                    Ok(x) => x,
+                    Err(e) => return (Err(e), TransferLog::new()),
+                };
+                let source = CatalogSource::new(&self.catalog);
+                let mut runtime = Runtime::new(&self.topology)
+                    .with_faults(faults, retry.clone())
+                    .with_config(config.clone())
+                    .with_control(opts.control(base_ms));
+                if opts.resume {
+                    runtime = runtime.with_checkpoints(store, specs);
+                }
+                if let (Some(health), Some(hedge)) = (health.as_ref(), opts.hedge.as_ref()) {
+                    runtime = runtime.with_hedge(health, hedge.clone());
+                }
+                let (outcome, log) = runtime.try_run(physical, &source, Some(&audits));
+                (
+                    outcome.map(|(rows, m)| {
+                        metrics = Some(m);
+                        rows
+                    }),
+                    log,
+                )
+            },
+        )?;
         let metrics = metrics.expect("a successful parallel attempt recorded its metrics");
         Ok((result, metrics))
     }
 
-    /// The shared failover skeleton: try, exclude the failed site, drop
-    /// its checkpoints, re-run Algorithm 2, stitch against surviving
-    /// checkpoints, re-audit, repeat.
+    /// The shared failover skeleton: try, exclude the failed site (or —
+    /// for a breaker-condemned gray link — price the link at ∞ without
+    /// excluding anything), drop dead checkpoints, re-run Algorithm 2,
+    /// stitch against surviving checkpoints, re-audit, repeat.
     fn resilient_loop(
         &self,
         optimized: &OptimizedQuery,
         opts: &FailoverOpts,
         store: &CheckpointStore,
+        health: Option<&LinkHealth>,
         mut try_once: impl FnMut(&Arc<PhysicalPlan>, f64) -> (Result<Rows>, TransferLog),
     ) -> Result<ResilientResult> {
         let universe = self.catalog.locations();
         let evaluator = PolicyEvaluator::new(&self.policies, universe);
         let mut physical = Arc::clone(&optimized.physical);
         let mut excluded = LocationSet::new();
+        let mut avoided: BTreeSet<(Location, Location)> = BTreeSet::new();
         let mut replans = 0usize;
         let mut transfers = TransferLog::new();
         let mut first_attempt_bytes = None;
@@ -614,32 +691,63 @@ impl Engine {
                         checkpoint_misses: store.misses(),
                         resumed_bytes: store.resumed_bytes(),
                         recomputed_bytes: transfers.total_bytes() - recovered_from,
+                        hedges_launched: health.map_or(0, |h| h.hedges_launched()),
+                        hedges_won: health.map_or(0, |h| h.hedges_won()),
+                        relays_used: health.map_or(0, |h| h.relays_used()),
+                        breaker_trips: health.map_or(0, |h| h.breaker_trips()),
+                        avoided_links: avoided.into_iter().collect(),
+                        waived_links: health.map_or_else(Vec::new, |h| h.waived_links()),
+                        link_health: health.map_or_else(Vec::new, |h| h.snapshot()),
+                        relay_events: health.map_or_else(Vec::new, |h| h.relay_events()),
                         transfers,
                     });
                 }
                 Err(e) => {
                     first_attempt_bytes.get_or_insert(transfers.total_bytes());
-                    let Some(site) = e.failed_site().cloned() else {
+                    let breaker = e
+                        .breaker_link()
+                        .map(|(from, to)| (from.clone(), to.clone()));
+                    if breaker.is_none() && e.failed_site().is_none() {
                         // Not an availability failure (e.g. a deadline or
                         // cancellation); nothing to re-plan around.
                         return Err(e);
-                    };
+                    }
                     if replans >= opts.max_replans {
                         return Err(e);
                     }
-                    if site == optimized.result_location {
-                        return Err(GeoError::QueryRejected(format!(
-                            "result site {site} is unavailable; no compliant \
-                             failover can deliver the result there"
-                        )));
+                    let just_condemned = breaker.clone();
+                    if let Some(link) = breaker {
+                        // Soft exclusion: both endpoints of the gray link
+                        // are alive, so no site leaves the execution
+                        // traits and no checkpoints are dropped — the
+                        // re-planner just stops routing over the link.
+                        avoided.insert(link);
+                    } else {
+                        let site = e
+                            .failed_site()
+                            .cloned()
+                            .expect("availability checked above");
+                        if site == optimized.result_location {
+                            return Err(GeoError::QueryRejected(format!(
+                                "result site {site} is unavailable; no compliant \
+                                 failover can deliver the result there"
+                            )));
+                        }
+                        excluded.insert(site.clone());
+                        // The crashed site's retained state died with it.
+                        store.drop_site(&site);
                     }
-                    excluded.insert(site.clone());
                     replans += 1;
-                    // The crashed site's retained state died with it.
-                    store.drop_site(&site);
 
                     // Re-run Algorithm 2 with the failed sites excluded
-                    // from every execution trait.
+                    // from every execution trait and every condemned gray
+                    // link priced at ∞. Execution still runs on the real
+                    // topology — only planning costs change.
+                    let plan_topology = if avoided.is_empty() {
+                        None
+                    } else {
+                        Some(self.topology.avoiding_links(&avoided))
+                    };
                     let replanned = optimized
                         .annotated
                         .excluding_sites(&excluded)
@@ -652,11 +760,28 @@ impl Engine {
                         .and_then(|annotated| {
                             select_sites_with(
                                 &annotated,
-                                &self.topology,
+                                plan_topology.as_ref().unwrap_or(&self.topology),
                                 Some(&optimized.result_location),
                                 Objective::TotalCost,
                             )
                         });
+                    // A condemned gray link may admit no compliant
+                    // detour: every placement Algorithm 2 can produce
+                    // crosses it (compliance pins the endpoints). Gray is
+                    // not dead — the link delivers, just slowly — so
+                    // rather than rejecting a query that was completing,
+                    // waive the condemnation: the breaker gate stops
+                    // firing for that link while health scoring and
+                    // hedging continue, and the current plan retries.
+                    let replanned = match (replanned, &just_condemned) {
+                        (Err(GeoError::QueryRejected(_)), Some((from, to))) => {
+                            avoided.remove(&(from.clone(), to.clone()));
+                            let table = health.expect("breaker errors require a health table");
+                            table.waive(from, to);
+                            continue;
+                        }
+                        (outcome, _) => outcome,
+                    };
                     // Stitch the failover placement against surviving
                     // checkpoints: subtrees whose fingerprint still has a
                     // live, trait-legal checkpoint become ResumeScan
@@ -824,10 +949,12 @@ fn collect_ship_fingerprints(plan: &PhysicalPlan, epoch: u64, out: &mut Vec<u64>
     }
 }
 
-/// Permute pre-order SHIP specs into the order the sequential interpreter
-/// completes SHIPs: left-to-right post-order (a SHIP finishes only after
-/// every SHIP inside its producer subtree has).
-fn exec_order_specs(plan: &PhysicalPlan, specs: Vec<CheckpointSpec>) -> Vec<CheckpointSpec> {
+/// The pre-order SHIP index of each SHIP in the order the sequential
+/// interpreter completes them: left-to-right post-order (a SHIP finishes
+/// only after every SHIP inside its producer subtree has). Checkpoint
+/// specs and hedge legality sets — both produced in pre-order — are
+/// permuted through this before they meet the interpreter.
+fn exec_ship_order(plan: &PhysicalPlan, ships: usize) -> Vec<usize> {
     fn walk(plan: &PhysicalPlan, next_pre: &mut usize, out: &mut Vec<usize>) {
         let my_pre = if matches!(plan.op, PhysOp::Ship) {
             let id = *next_pre;
@@ -843,8 +970,8 @@ fn exec_order_specs(plan: &PhysicalPlan, specs: Vec<CheckpointSpec>) -> Vec<Chec
             out.push(id);
         }
     }
-    let mut order = Vec::with_capacity(specs.len());
+    let mut order = Vec::with_capacity(ships);
     walk(plan, &mut 0, &mut order);
-    debug_assert_eq!(order.len(), specs.len());
-    order.into_iter().map(|i| specs[i].clone()).collect()
+    debug_assert_eq!(order.len(), ships);
+    order
 }

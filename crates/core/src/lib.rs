@@ -50,10 +50,15 @@ pub use engine::{
     Engine, ExecutionResult, FailoverOpts, OptimizeStats, OptimizedQuery, OptimizerMode,
     OptimizerOptions, ParallelResult, ResilientResult, RuntimeMode,
 };
-pub use site_selector::{select_sites, select_sites_with, Objective};
+pub use site_selector::{select_sites, select_sites_with, Objective, SitedPlan};
 
 // The parallel runtime's knobs and metrics, re-exported so front ends can
 // configure [`Engine::execute_parallel_opts`] and render `\metrics` without
 // depending on `geoqp-runtime` directly — plus the failover checkpoint
 // store, so tests and tools can inspect what was retained where.
 pub use geoqp_runtime::{Checkpoint, CheckpointStore, RuntimeConfig, RuntimeMetrics};
+
+// The gray-failure defense knobs and reports, re-exported so front ends
+// can enable hedged transfers ([`FailoverOpts::with_hedge`]) and render
+// `\health` without depending on `geoqp-net` directly.
+pub use geoqp_net::{BreakerState, HealthConfig, HedgeConfig, LinkReport, LinkState, RelayEvent};

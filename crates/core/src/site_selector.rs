@@ -89,6 +89,13 @@ pub fn select_sites_with(
     let (root_loc, total) = best.ok_or_else(|| {
         GeoError::QueryRejected("annotated plan has an empty root execution trait".into())
     })?;
+    if total.is_infinite() {
+        return Err(GeoError::QueryRejected(
+            "no placement has finite cost: an operator's execution trait is empty, \
+             or every compliant route crosses a condemned link"
+                .into(),
+        ));
+    }
 
     let mut physical = assign(root, &root_loc, topology, &ids, &mut memo, objective)?;
     let mut result_loc = root_loc;
@@ -141,12 +148,11 @@ fn cost_of(
                     best = c;
                 }
             }
-            if best.is_infinite() {
-                return Err(GeoError::QueryRejected(format!(
-                    "operator {} has an empty execution trait",
-                    child.op.name()
-                )));
-            }
+            // An infinite best is a placement with no usable route to
+            // `l` — an empty execution trait, or every path priced at ∞
+            // by a condemned link. It propagates as a cost, not an
+            // error: other locations of the ancestors may still admit a
+            // finite plan, and only the root decides rejection.
             match objective {
                 Objective::TotalCost => total += best,
                 // Inputs transfer in parallel: the slowest path governs.

@@ -16,11 +16,25 @@
 //! [`FaultPlan`] schedules per-link drops/delays/partitions and per-site
 //! crash windows over a logical step clock, and the [`TransferLog`] records
 //! both deliveries (with their attempt counts) and dropped attempts.
+//!
+//! Gray faults — sustained degradation and loss bursts rather than clean
+//! failures — get their own defense layer: a [`LinkHealth`] table scores
+//! observed transfer cost against the `α + β·b` prediction and drives
+//! per-link circuit breakers, while [`hedge`] implements compliant hedged
+//! backup transfers (duplicate or one-hop relay, restricted to the
+//! producing subtree's shipping trait).
 
 pub mod fault;
+pub mod health;
+pub mod hedge;
 pub mod sim;
 pub mod topology;
 
 pub use fault::{FaultPlan, FaultVerdict, StepWindow};
+pub use health::{BreakerState, HealthConfig, LinkHealth, LinkReport, LinkState, RelayEvent};
+pub use hedge::{
+    backup_beats, hedge_step, plan_hedge, plan_hedge_with, run_hedge, HedgeConfig, HedgeLeg,
+    HedgeRun,
+};
 pub use sim::{FaultEvent, TransferLog, TransferRecord};
 pub use topology::NetworkTopology;

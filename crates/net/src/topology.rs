@@ -120,6 +120,28 @@ impl NetworkTopology {
             .unwrap_or(self.default_link)
     }
 
+    /// A copy of the topology with the given directed links priced at ∞
+    /// — the soft exclusion the breaker-driven re-planner optimizes
+    /// against (Algorithm 2 then routes around the condemned edges on
+    /// cost alone, never leaving the compliant placement space). The
+    /// per-byte slope is zeroed so `∞ · 0` bytes can never produce NaN.
+    pub fn avoiding_links<'a, I>(&self, avoided: I) -> NetworkTopology
+    where
+        I: IntoIterator<Item = &'a (Location, Location)>,
+    {
+        let mut t = self.clone();
+        for (from, to) in avoided {
+            t.links.insert(
+                (from.clone(), to.clone()),
+                Link {
+                    alpha_ms: f64::INFINITY,
+                    beta_ms_per_byte: 0.0,
+                },
+            );
+        }
+        t
+    }
+
     /// The message cost model: `cost(i→j, b) = α_ij + β_ij · b`, in
     /// simulated milliseconds. Zero for intra-site movement.
     pub fn ship_cost_ms(&self, from: &Location, to: &Location, bytes: f64) -> f64 {
@@ -186,6 +208,27 @@ mod tests {
         // 125 Mbps = 15625 bytes/ms → β = 6.4e-5 ms/byte.
         let c = t.ship_cost_ms(&Location::new("A"), &Location::new("B"), 15625.0 * 125.0);
         assert!((c - 225.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn avoiding_links_prices_only_the_named_edges_at_infinity() {
+        let t = NetworkTopology::paper_wan();
+        let (l1, l4) = (Location::new("L1"), Location::new("L4"));
+        let avoided = [(l1.clone(), l4.clone())];
+        let a = t.avoiding_links(&avoided);
+        assert!(a.ship_cost_ms(&l1, &l4, 0.0).is_infinite());
+        assert!(!a.ship_cost_ms(&l1, &l4, 0.0).is_nan());
+        // The reverse direction and every other link keep their prices.
+        assert_eq!(
+            a.ship_cost_ms(&l4, &l1, 100.0),
+            t.ship_cost_ms(&l4, &l1, 100.0)
+        );
+        assert_eq!(
+            a.ship_cost_ms(&l1, &Location::new("L3"), 100.0),
+            t.ship_cost_ms(&l1, &Location::new("L3"), 100.0)
+        );
+        // The original is untouched.
+        assert!(t.ship_cost_ms(&l1, &l4, 0.0).is_finite());
     }
 
     #[test]

@@ -31,10 +31,13 @@ use geoqp_common::{
     GeoError, Location, LocationSet, Result, Rows, RunControl, TableRef, Unavailable,
 };
 use geoqp_exec::{execute_fragment, DataSource, ExchangeSource, LocalShip, RetryPolicy};
-use geoqp_net::{FaultPlan, FaultVerdict, NetworkTopology, TransferLog, TransferRecord};
+use geoqp_net::{
+    backup_beats, plan_hedge_with, run_hedge, FaultPlan, FaultVerdict, HedgeConfig, LinkHealth,
+    NetworkTopology, RelayEvent, TransferLog, TransferRecord,
+};
 use geoqp_plan::{PhysOp, PhysicalPlan};
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 
 /// Error message used to propagate a cancellation through a fragment's
@@ -79,6 +82,7 @@ pub struct Runtime<'a> {
     config: RuntimeConfig,
     control: RunControl,
     checkpoints: Option<(&'a CheckpointStore, Vec<CheckpointSpec>)>,
+    hedge: Option<(&'a LinkHealth, HedgeConfig)>,
 }
 
 impl<'a> Runtime<'a> {
@@ -91,6 +95,7 @@ impl<'a> Runtime<'a> {
             config: RuntimeConfig::default(),
             control: RunControl::unlimited(),
             checkpoints: None,
+            hedge: None,
         }
     }
 
@@ -125,6 +130,17 @@ impl<'a> Runtime<'a> {
         specs: Vec<CheckpointSpec>,
     ) -> Runtime<'a> {
         self.checkpoints = Some((store, specs));
+        self
+    }
+
+    /// Attach gray-failure defenses: a shared [`LinkHealth`] table (so
+    /// breaker state survives across failover attempts) plus hedge
+    /// tuning. Each edge's health lane is its pre-order slot, so the
+    /// observation stream — and therefore breaker state — is a pure
+    /// function of the seeded fault grid, independent of thread schedule.
+    /// Hedged relays are restricted to the edge's audit set `𝒮ₙ`.
+    pub fn with_hedge(mut self, health: &'a LinkHealth, config: HedgeConfig) -> Runtime<'a> {
+        self.hedge = Some((health, config));
         self
     }
 
@@ -249,6 +265,7 @@ impl<'a> Runtime<'a> {
                 arrival_ms: ex.arrival_ms(),
             })
             .collect::<Vec<_>>();
+        let health = self.hedge.as_ref().map(|(h, _)| *h);
         let metrics = RuntimeMetrics {
             completion_ms,
             network_ms: log.total_cost_ms(),
@@ -258,6 +275,10 @@ impl<'a> Runtime<'a> {
                 .iter()
                 .map(|e| e.stats.send_stalls + e.stats.recv_stalls)
                 .sum(),
+            hedges_launched: health.map_or(0, |h| h.hedges_launched()),
+            hedges_won: health.map_or(0, |h| h.hedges_won()),
+            relays_used: health.map_or(0, |h| h.relays_used()),
+            breaker_trips: health.map_or(0, |h| h.breaker_trips()),
             sites: shared.sites.into_inner().unwrap(),
             edges,
         };
@@ -303,6 +324,12 @@ impl<'a> Runtime<'a> {
         let n_batches = all.len().div_ceil(batch_rows).max(1);
         let mut arrival_ms = ready_ms;
         let mut attempts_total = fragment_attempts;
+        // Backup routes whose α header has been paid: a stream charges a
+        // link's header once (the primary pays its own on batch 0), so a
+        // hedged leg that delivered keeps its route open and later
+        // backups on it pay only β·bytes. A dropped or cancelled leg
+        // re-pays the header, like a reconnect after a broken circuit.
+        let mut opened_legs: BTreeSet<(Location, Location)> = BTreeSet::new();
 
         for i in 0..n_batches {
             // Batch granularity for cooperative control: an aborted query
@@ -334,50 +361,236 @@ impl<'a> Runtime<'a> {
                 GeoError::Execution("wire corruption: batch failed to decode".into())
             })?;
 
-            let (attempts, extra_ms, step) = match self.faults {
-                None => (1, 0.0, 0),
+            let lane = edge.id as u64;
+            let alpha = if i == 0 { link.alpha_ms } else { 0.0 };
+            let base_ms = alpha + link.beta_ms_per_byte * bytes as f64;
+            // Gray-failure gate, from pre-batch health state: a breaker
+            // open past its budget condemns the link (a soft exclusion
+            // the re-planner prices at ∞); a link past the hedge
+            // threshold races a backup for this batch.
+            let mut backup_route: Option<Option<Location>> = None;
+            if let Some((health, _)) = &self.hedge {
+                if edge.from != edge.to {
+                    if health.breaker_exhausted(&edge.from, &edge.to, lane) {
+                        let state = health.state(&edge.from, &edge.to, lane);
+                        return Err(GeoError::breaker_open(
+                            edge.from.clone(),
+                            edge.to.clone(),
+                            format!(
+                                "circuit breaker for link {} -> {} is open past its \
+                                 budget ({} trips, EWMA cost ratio {:.2}): \
+                                 soft-excluding the link",
+                                edge.from, edge.to, state.trips, state.ewma_ratio
+                            ),
+                        ));
+                    }
+                    if health.should_hedge(&edge.from, &edge.to, lane) {
+                        let ratio = health.state(&edge.from, &edge.to, lane).ewma_ratio;
+                        // Steady-state route choice: a stream pays each
+                        // link's α header once, so the relay decision
+                        // compares marginal (β-only) leg costs against
+                        // the degraded primary's marginal cost — the
+                        // headers are a one-time investment amortized
+                        // over the remaining batches. Arrival times
+                        // below still charge the full header on a
+                        // route's first use, so the race stays honest.
+                        let steady = |a: &Location, b: &Location| {
+                            self.topology.link(a, b).beta_ms_per_byte * bytes as f64
+                        };
+                        let via = audits.and_then(|a| {
+                            plan_hedge_with(
+                                steady,
+                                &edge.from,
+                                &edge.to,
+                                &a[edge.id],
+                                ratio.max(1.0) * base_ms,
+                            )
+                        });
+                        backup_route = Some(via);
+                    }
+                }
+            }
+            let health = self.hedge.as_ref().map(|(h, _)| *h);
+            let mut last_step = 0u64;
+            // The step grid is `(attempt, slot)` — every batch of a lane
+            // replays the same steps, so window-scheduled faults hit the
+            // whole stream uniformly. Probabilistic faults draw from a
+            // per-batch coin instead: a loss burst drops *individual*
+            // batches, not a lane's every batch or none. Batch 0 keeps
+            // coin 0, the classic single-transfer flip.
+            let coin = (i as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+            let primary = match self.faults {
+                None => Ok((1, 0.0, 0)),
                 Some(faults) => {
                     let n_slots = shared.cut.n_slots();
                     let slot = edge.id as u64;
                     // Salting by slot desynchronizes concurrent jittered
                     // backoffs while keeping every replay byte-identical.
-                    let delivered = self.retry.run_salted(slot, |attempt| {
-                        let step = (attempt as u64 - 1) * n_slots + slot;
-                        match faults.check_transfer(&edge.from, &edge.to, step) {
-                            FaultVerdict::Deliver { extra_delay_ms } => Ok((extra_delay_ms, step)),
-                            FaultVerdict::Drop {
-                                transient,
-                                culprit,
-                                reason,
-                            } => {
-                                shared.log.lock().unwrap().record_fault(
-                                    step,
-                                    &edge.from,
-                                    &edge.to,
-                                    reason.clone(),
-                                );
-                                Err(GeoError::SiteUnavailable(Unavailable {
-                                    site: culprit.or_else(|| Some(edge.to.clone())),
-                                    link: Some((edge.from.clone(), edge.to.clone())),
+                    self.retry
+                        .run_salted(slot, |attempt| {
+                            let step = (attempt as u64 - 1) * n_slots + slot;
+                            last_step = step;
+                            match faults.check_transfer_salted(&edge.from, &edge.to, step, coin) {
+                                FaultVerdict::Deliver { extra_delay_ms } => {
+                                    if let Some(h) = health.filter(|_| edge.from != edge.to) {
+                                        h.observe_delivery(
+                                            &edge.from,
+                                            &edge.to,
+                                            lane,
+                                            step,
+                                            base_ms,
+                                            base_ms + extra_delay_ms,
+                                        );
+                                    }
+                                    Ok((extra_delay_ms, step))
+                                }
+                                // A gray link delivers at factor × the
+                                // model; the surcharge rides in extra_ms
+                                // so the log prices the batch honestly.
+                                FaultVerdict::Degraded {
+                                    factor,
+                                    extra_delay_ms,
+                                } => {
+                                    let surcharge = (factor - 1.0) * base_ms + extra_delay_ms;
+                                    if let Some(h) = health.filter(|_| edge.from != edge.to) {
+                                        h.observe_delivery(
+                                            &edge.from,
+                                            &edge.to,
+                                            lane,
+                                            step,
+                                            base_ms,
+                                            base_ms + surcharge,
+                                        );
+                                    }
+                                    Ok((surcharge, step))
+                                }
+                                FaultVerdict::Drop {
                                     transient,
-                                    message: reason,
-                                }))
+                                    culprit,
+                                    reason,
+                                } => {
+                                    shared.log.lock().unwrap().record_fault(
+                                        step,
+                                        &edge.from,
+                                        &edge.to,
+                                        reason.clone(),
+                                    );
+                                    if let Some(h) = health.filter(|_| edge.from != edge.to) {
+                                        h.observe_failure(&edge.from, &edge.to, lane, step);
+                                    }
+                                    Err(GeoError::SiteUnavailable(Unavailable {
+                                        site: culprit.or_else(|| Some(edge.to.clone())),
+                                        link: Some((edge.from.clone(), edge.to.clone())),
+                                        transient,
+                                        breaker: false,
+                                        message: reason,
+                                    }))
+                                }
                             }
-                        }
-                    })?;
-                    let (extra_delay_ms, step) = delivered.value;
-                    (
-                        delivered.attempts,
-                        extra_delay_ms + delivered.backoff_ms,
-                        step,
-                    )
+                        })
+                        .map(|d| (d.attempts, d.value.0 + d.backoff_ms, d.value.1))
                 }
+            };
+            // The hedge race: the backup launches on independent fault
+            // coins (consuming no grid steps, so hedging never perturbs
+            // the primary fault sequence) and may relay via a site inside
+            // the edge's audit set 𝒮ₙ. First delivery wins; a delivered
+            // backup rescues a primary that failed outright.
+            let primary_cost = primary.as_ref().ok().map(|(_, extra, _)| base_ms + extra);
+            let mut winner_cost = primary_cost;
+            let mut rescued = false;
+            if let Some(via) = backup_route {
+                let (health_table, config) = self.hedge.as_ref().expect("hedge config present");
+                let empty = LocationSet::new();
+                let legal = audits.map(|a| &a[edge.id]).unwrap_or(&empty);
+                // Marginal pricing: a leg whose route is already open
+                // (the direct link after batch 0, or a relay leg that
+                // delivered before) pays only β·bytes; an unopened leg
+                // pays the full α + β·bytes header. Computed from the
+                // link parameters — the identical arithmetic the
+                // primary's `base_ms` uses — so an equal-cost duplicate
+                // ties the race exactly instead of "winning" by a
+                // floating-point cancellation artifact.
+                let pricing = |a: &Location, b: &Location| {
+                    let leg = self.topology.link(a, b);
+                    let wire = leg.beta_ms_per_byte * bytes as f64;
+                    if opened_legs.contains(&(a.clone(), b.clone())) {
+                        wire
+                    } else {
+                        leg.alpha_ms + wire
+                    }
+                };
+                let run = run_hedge(
+                    pricing,
+                    self.faults,
+                    config,
+                    &edge.from,
+                    &edge.to,
+                    via.as_ref(),
+                    legal,
+                    last_step,
+                    coin,
+                    primary_cost,
+                )?;
+                for leg in &run.legs {
+                    if leg.delivered {
+                        opened_legs.insert((leg.from.clone(), leg.to.clone()));
+                    }
+                }
+                {
+                    let mut log = shared.log.lock().unwrap();
+                    for leg in &run.legs {
+                        if leg.delivered {
+                            // Every transmitted backup leg is charged:
+                            // hedging's shipped-bytes overhead is real.
+                            log.push(TransferRecord {
+                                step: leg.step,
+                                from: leg.from.clone(),
+                                to: leg.to.clone(),
+                                bytes,
+                                rows: batch.len() as u64,
+                                cost_ms: leg.cost_ms,
+                                attempts: 1,
+                            });
+                        } else {
+                            log.record_fault(
+                                leg.step,
+                                &leg.from,
+                                &leg.to,
+                                "hedged backup leg dropped".into(),
+                            );
+                        }
+                    }
+                }
+                let backup_won = match (primary_cost, run.backup_arrival_ms) {
+                    (Some(p), Some(b)) => backup_beats(b, p),
+                    (None, Some(_)) => true,
+                    _ => false,
+                };
+                rescued = primary_cost.is_none() && run.backup_arrival_ms.is_some();
+                if backup_won {
+                    winner_cost = run.backup_arrival_ms;
+                }
+                health_table.note_hedge(
+                    backup_won,
+                    run.relay.as_ref().map(|r| RelayEvent {
+                        lane,
+                        from: edge.from.clone(),
+                        to: edge.to.clone(),
+                        via: r.clone(),
+                    }),
+                );
+            }
+            let (attempts, extra_ms, step) = match primary {
+                Ok(delivered) => delivered,
+                Err(_) if rescued => (0, 0.0, last_step),
+                Err(e) => return Err(e),
             };
             attempts_total += attempts as u64;
 
-            let alpha = if i == 0 { link.alpha_ms } else { 0.0 };
-            let cost_ms = alpha + link.beta_ms_per_byte * bytes as f64 + extra_ms;
-            arrival_ms += cost_ms;
+            // The batch's effective delivery time is the race winner's
+            // arrival; an unhedged batch is just the primary.
+            arrival_ms += winner_cost.expect("either primary or backup delivered");
             // Simulated-clock deadline, per batch: a batch that would land
             // past the budget is never delivered. Each edge's arrival is a
             // pure function of the plan and the fault schedule, so the
@@ -386,15 +599,20 @@ impl<'a> Runtime<'a> {
                 arrival_ms,
                 &format!("batch {i} on SHIP {} -> {}", edge.from, edge.to),
             )?;
-            shared.log.lock().unwrap().push(TransferRecord {
-                step,
-                from: edge.from.clone(),
-                to: edge.to.clone(),
-                bytes,
-                rows: batch.len() as u64,
-                cost_ms,
-                attempts,
-            });
+            if attempts > 0 {
+                shared.log.lock().unwrap().push(TransferRecord {
+                    step,
+                    from: edge.from.clone(),
+                    to: edge.to.clone(),
+                    bytes,
+                    rows: batch.len() as u64,
+                    cost_ms: base_ms + extra_ms,
+                    attempts,
+                });
+                // The primary paid the direct link's header (on batch 0):
+                // duplicate backups ride the open stream at β-only price.
+                opened_legs.insert((edge.from.clone(), edge.to.clone()));
+            }
             if !shared.exchanges[edge.id].send(batch, bytes) {
                 // Cancelled elsewhere; unwind without recording an error.
                 return Ok(());
@@ -541,6 +759,7 @@ impl<'r, 's> FragmentView<'r, 's> {
                             site: Some(node.location.clone()),
                             link: None,
                             transient: end != u64::MAX,
+                            breaker: false,
                             message: format!(
                                 "{what} failed: site {} is down at step {step}",
                                 node.location

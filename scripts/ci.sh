@@ -28,7 +28,8 @@ cargo build --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> chaos soak (fixed seed, GEOQP_CHAOS_N=${GEOQP_CHAOS_N:-24} schedules)"
+echo "==> chaos soak: crash/partition + gray degrade/loss variants" \
+     "(fixed seeds, GEOQP_CHAOS_N=${GEOQP_CHAOS_N:-24} schedules each)"
 GEOQP_CHAOS_N="${GEOQP_CHAOS_N:-24}" cargo test -q --test chaos_soak -- --nocapture
 
 echo "CI OK"

@@ -75,6 +75,118 @@ fn schedule(rng: &mut u64) -> (FaultPlan, Option<QueryDeadline>, String) {
     (faults, deadline, label)
 }
 
+/// One randomized *gray* schedule: a degraded link, a loss burst on the
+/// same wire, and (sometimes) a flaky second link — the slow-but-alive
+/// failures the hedging defense exists for, expressed in the `--faults`
+/// grammar so the soak also exercises the parser.
+fn gray_schedule(rng: &mut u64) -> (FaultPlan, String) {
+    let seed = splitmix(rng);
+    let pair = |rng: &mut u64| {
+        let a = (splitmix(rng) % 5) as usize;
+        let b = (a + 1 + (splitmix(rng) % 4) as usize) % 5;
+        (SITES[a], SITES[b])
+    };
+    let (ga, gb) = pair(rng);
+    let factor = 2 + splitmix(rng) % 7; // 2x..8x
+    let loss = (splitmix(rng) % 20) as f64 / 100.0; // 0..0.19
+    let mut spec = format!("degrade:{ga}-{gb}:{factor}x; loss:{ga}-{gb}:{loss}");
+    if splitmix(rng) % 2 == 1 {
+        let (fa, fb) = pair(rng);
+        let flake = (splitmix(rng) % 25) as f64 / 100.0;
+        spec.push_str(&format!("; flaky:{fa}-{fb}:{flake}"));
+    }
+    let faults = FaultPlan::parse(&spec, seed).expect("generated gray spec parses");
+    (faults, format!("seed={seed} spec=[{spec}]"))
+}
+
+/// Gray-failure soak: randomized degrade/loss schedules with the full
+/// hedging defense on (health scoring, backups, breakers, condemnation
+/// re-plans). Invariants per run: the fault-free answer through an
+/// audit-clean placement, or a typed refusal — hedging buys latency,
+/// never different rows and never a compliance hole.
+#[test]
+fn randomized_gray_schedules_stay_compliant_with_hedging_on() {
+    let n: usize = std::env::var("GEOQP_CHAOS_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let catalog = Arc::new(tpch::paper_catalog(SF));
+    tpch::populate(&catalog, SF, 7).unwrap();
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let eng = Engine::new(catalog, Arc::new(policies), NetworkTopology::paper_wan());
+    let retry = RetryPolicy::default().with_jitter(0.3, 2021);
+    let config = RuntimeConfig::default();
+
+    let mut rng = 0x6772_6179_736f_616bu64; // fixed gray-soak seed
+    let before = live_threads();
+    let (mut completed, mut refused, mut hedged_runs) = (0usize, 0usize, 0usize);
+    for round in 0..n {
+        for query in QUERIES {
+            let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+            let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) else {
+                continue;
+            };
+            let baseline = eng.execute_parallel(&opt.physical).unwrap();
+            let (faults, label) = gray_schedule(&mut rng);
+            let opts = FailoverOpts::new(SITES.len()).with_hedge(HedgeConfig::default());
+            match eng.execute_resilient_parallel_opts(&opt, &faults, &retry, &opts, &config) {
+                Ok((res, _metrics)) => {
+                    completed += 1;
+                    if res.hedges_launched > 0 {
+                        hedged_runs += 1;
+                    }
+                    let mut got: Vec<String> = res.rows.iter().map(|r| format!("{r:?}")).collect();
+                    let mut want: Vec<String> =
+                        baseline.rows.iter().map(|r| format!("{r:?}")).collect();
+                    got.sort();
+                    want.sort();
+                    assert_eq!(
+                        got, want,
+                        "round {round} {query} [{label}]: gray chaos changed the answer"
+                    );
+                    eng.audit(&res.physical).unwrap_or_else(|e| {
+                        panic!(
+                            "round {round} {query} [{label}]: completed through a \
+                             non-compliant placement: {e}"
+                        )
+                    });
+                }
+                Err(e) => {
+                    refused += 1;
+                    assert!(
+                        matches!(
+                            e.kind(),
+                            "rejected" | "unavailable" | "deadline" | "cancelled"
+                        ),
+                        "round {round} {query} [{label}]: untyped failure {e}"
+                    );
+                }
+            }
+        }
+    }
+    let mut after = live_threads();
+    for _ in 0..50 {
+        if after <= before {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        after = live_threads();
+    }
+    assert!(
+        after <= before + 4,
+        "{before} threads before the gray soak, {after} after — fragment workers leaked"
+    );
+    assert!(
+        completed >= 1,
+        "the gray soak never completed a single run ({refused} refusals) — schedules too harsh"
+    );
+    assert!(
+        hedged_runs >= 1,
+        "the gray soak never launched a hedge across {completed} completions — \
+         the defense was not exercised"
+    );
+}
+
 #[test]
 fn randomized_chaos_schedules_stay_compliant_and_leak_free() {
     let n: usize = std::env::var("GEOQP_CHAOS_N")

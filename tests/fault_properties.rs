@@ -19,6 +19,9 @@ use std::sync::{Arc, OnceLock};
 const SF: f64 = 0.001;
 const QUERIES: [&str; 6] = ["Q2", "Q3", "Q5", "Q8", "Q9", "Q10"];
 const SITES: [&str; 5] = ["L1", "L2", "L3", "L4", "L5"];
+/// Links the gray-failure properties degrade: the busiest wires of the
+/// paper WAN under the CR+A policy set.
+const GRAY_LINKS: [(&str, &str); 3] = [("L2", "L3"), ("L1", "L4"), ("L4", "L3")];
 
 fn engine() -> &'static Engine {
     static ENGINE: OnceLock<Engine> = OnceLock::new();
@@ -247,6 +250,171 @@ proptest! {
                 matches!(e.kind(), "rejected" | "unavailable"),
                 "untyped failure under transient chaos: {e}"
             ),
+        }
+        }
+    }
+
+    /// Hedged backups never leave the annotated plan's traits: every
+    /// relay a backup routed through ([`geoqp::core::RelayEvent`]) is a
+    /// site some operator's shipping trait admits, and every delivered
+    /// byte — primary, duplicate, or relay hop — stays inside the legal
+    /// site set. An illegal relay must surface as a typed refusal, never
+    /// as a transfer.
+    #[test]
+    fn hedged_relays_stay_inside_shipping_traits(
+        qi in 0usize..6,
+        li in 0usize..3,
+        seed in 0u64..1_000_000,
+        factor in 2.0f64..8.0,
+        loss in 0.0f64..0.2,
+    ) {
+        let eng = engine();
+        let query = QUERIES[qi];
+        let (from, to) = GRAY_LINKS[li];
+        let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+        if let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) {
+        let mut legal = BTreeSet::new();
+        legal_sites(&opt.annotated, &mut legal);
+        let faults = FaultPlan::new(seed)
+            .with_degrade(from, to, factor, StepWindow::ALWAYS)
+            .with_loss_burst(from, to, loss, StepWindow::ALWAYS);
+        let opts = FailoverOpts::new(5).with_hedge(HedgeConfig::default());
+        match eng.execute_resilient_parallel_opts(
+            &opt, &faults, &RetryPolicy::default(), &opts, &RuntimeConfig::default(),
+        ) {
+            Ok((res, _)) => {
+                eng.audit(&res.physical).expect("final placement must audit clean");
+                for relay in &res.relay_events {
+                    prop_assert!(
+                        legal.contains(&relay.via),
+                        "{query}: hedged backup for {}→{} relayed via {}, a site \
+                         outside every shipping trait of the plan",
+                        relay.from, relay.to, relay.via
+                    );
+                }
+                for t in res.transfers.records() {
+                    prop_assert!(
+                        legal.contains(&t.from) && legal.contains(&t.to),
+                        "{query}: delivery {}→{} outside the legal site set",
+                        t.from, t.to
+                    );
+                }
+            }
+            Err(e) => prop_assert!(
+                matches!(e.kind(), "rejected" | "unavailable"),
+                "{query} under gray {from}-{to}: untyped failure {e}"
+            ),
+        }
+        }
+    }
+
+    /// The whole gray-failure defense is a pure function of (plan, fault
+    /// seed): re-running the same hedged execution reproduces the health
+    /// table fold, the breaker trips, every hedge outcome, and the
+    /// simulated completion time bit-for-bit.
+    #[test]
+    fn breaker_and_hedge_state_replay_identically(
+        qi in 0usize..6,
+        li in 0usize..3,
+        seed in 0u64..1_000_000,
+        factor in 1.0f64..8.0,
+        loss in 0.0f64..0.2,
+    ) {
+        let eng = engine();
+        let query = QUERIES[qi];
+        let (from, to) = GRAY_LINKS[li];
+        let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+        if let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) {
+        let run = || {
+            let faults = FaultPlan::new(seed)
+                .with_degrade(from, to, factor, StepWindow::ALWAYS)
+                .with_loss_burst(from, to, loss, StepWindow::ALWAYS);
+            let opts = FailoverOpts::new(5).with_hedge(HedgeConfig::default());
+            eng.execute_resilient_parallel_opts(
+                &opt, &faults, &RetryPolicy::default(), &opts, &RuntimeConfig::default(),
+            )
+        };
+        match (run(), run()) {
+            (Ok((a, am)), Ok((b, bm))) => {
+                prop_assert_eq!(a.link_health, b.link_health,
+                    "{} health table fold diverged across identical replays", query);
+                prop_assert_eq!(a.relay_events, b.relay_events);
+                prop_assert_eq!(
+                    (a.hedges_launched, a.hedges_won, a.breaker_trips, &a.avoided_links),
+                    (b.hedges_launched, b.hedges_won, b.breaker_trips, &b.avoided_links)
+                );
+                prop_assert_eq!(am.completion_ms, bm.completion_ms);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(
+                false,
+                "{query}: one replay completed and the other failed \
+                 ({} vs {})",
+                a.map(|_| "ok").unwrap_or_else(|e| e.kind()),
+                b.map(|_| "ok").unwrap_or_else(|e| e.kind())
+            ),
+        }
+        }
+    }
+
+    /// Hedging is semantically invisible: under the same gray link, the
+    /// hedged and unhedged runs return the same row multiset — backups
+    /// buy latency, never different answers.
+    #[test]
+    fn hedging_never_changes_the_answer(
+        qi in 0usize..6,
+        li in 0usize..3,
+        seed in 0u64..1_000_000,
+        factor in 1.0f64..8.0,
+        loss in 0.0f64..0.15,
+    ) {
+        let eng = engine();
+        let query = QUERIES[qi];
+        let (from, to) = GRAY_LINKS[li];
+        let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+        if let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) {
+        let run = |hedge: bool| {
+            let faults = FaultPlan::new(seed)
+                .with_degrade(from, to, factor, StepWindow::ALWAYS)
+                .with_loss_burst(from, to, loss, StepWindow::ALWAYS);
+            let opts = if hedge {
+                FailoverOpts::new(5).with_hedge(HedgeConfig::default())
+            } else {
+                FailoverOpts::new(5)
+            };
+            eng.execute_resilient_parallel_opts(
+                &opt, &faults, &RetryPolicy::default(), &opts, &RuntimeConfig::default(),
+            )
+        };
+        match (run(false), run(true)) {
+            (Ok((plain, _)), Ok((hedged, _))) => {
+                let sort = |rows: &Rows| {
+                    let mut v: Vec<Vec<Value>> = rows.rows().to_vec();
+                    v.sort_by(|a, b| {
+                        a.iter()
+                            .zip(b.iter())
+                            .map(|(x, y)| x.total_cmp(y))
+                            .find(|o| *o != std::cmp::Ordering::Equal)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    v
+                };
+                prop_assert_eq!(
+                    sort(&plain.rows), sort(&hedged.rows),
+                    "{} hedging changed the answer", query
+                );
+            }
+            // Either arm may exhaust retries under heavy loss — a typed
+            // availability failure, already covered above. Only matching
+            // success is comparable.
+            (a, b) => {
+                for outcome in [a.err(), b.err()].into_iter().flatten() {
+                    prop_assert!(
+                        matches!(outcome.kind(), "rejected" | "unavailable"),
+                        "{query}: untyped failure {outcome}"
+                    );
+                }
+            }
         }
         }
     }

@@ -9,7 +9,7 @@
 
 use geoqp_bench::experiments::overhead::OverheadCase;
 use geoqp_bench::experiments::{
-    ablation, effectiveness, failover, grayfail, overhead, quality, scalability, scaleup,
+    ablation, effectiveness, failover, grayfail, kernels, overhead, quality, scalability, scaleup,
 };
 use geoqp_common::LocationSet;
 use geoqp_plan::descriptor::describe_local;
@@ -85,7 +85,7 @@ fn main() {
         grayfail_figure();
     }
     if want("scaleup") {
-        scaleup_figure();
+        scaleup_figure(if quick { 2 } else { 5 });
     }
 }
 
@@ -142,13 +142,14 @@ fn grayfail_figure() {
     }
 }
 
-fn scaleup_figure() {
+fn scaleup_figure(kernel_runs: usize) {
     header("Extension E5: sequential vs pipelined runtime (CR+A, simulated WAN ms)");
     println!(
         "  {:6} {:>6} {:>6} {:>12} {:>14} {:>13} {:>8} {:>6}",
         "query", "ships", "rows", "bytes", "sequential ms", "pipelined ms", "speedup", "rows="
     );
-    for r in scaleup::measure(SEED) {
+    let rows = scaleup::measure(SEED);
+    for r in &rows {
         assert_eq!(
             r.bytes_sequential, r.bytes_parallel,
             "{}: runtimes shipped different bytes",
@@ -165,6 +166,59 @@ fn scaleup_figure() {
             r.speedup,
             if r.rows_match { "yes" } else { "NO" }
         );
+    }
+
+    header("Extension E9: columnar vs row engine, same plans (real CPU ms, best of 3)");
+    println!(
+        "  {:6} {:>6} {:>10} {:>13} {:>8} {:>10}",
+        "query", "rows", "row ms", "columnar ms", "speedup", "identical"
+    );
+    for r in &rows {
+        println!(
+            "  {:6} {:>6} {:>10.2} {:>13.2} {:>7.2}x {:>10}",
+            r.query,
+            r.rows,
+            r.row_cpu_ms,
+            r.columnar_cpu_ms,
+            r.cpu_speedup(),
+            if r.columnar_identical { "yes" } else { "NO" }
+        );
+    }
+
+    header(&format!(
+        "Extension E9: kernel microbenchmarks (best of {kernel_runs}, SF 0.01)"
+    ));
+    println!(
+        "  {:14} {:>9} {:>8} {:>10} {:>13} {:>12} {:>12} {:>8} {:>6}",
+        "kernel",
+        "in rows",
+        "out",
+        "row ms",
+        "columnar ms",
+        "row rows/s",
+        "col rows/s",
+        "speedup",
+        "rows="
+    );
+    let kernel_rows = kernels::measure(SEED, kernel_runs);
+    for k in &kernel_rows {
+        println!(
+            "  {:14} {:>9} {:>8} {:>10.2} {:>13.2} {:>12.0} {:>12.0} {:>7.2}x {:>6}",
+            k.kernel,
+            k.input_rows,
+            k.output_rows,
+            k.row_ms,
+            k.columnar_ms,
+            k.row_rows_per_sec(),
+            k.columnar_rows_per_sec(),
+            k.speedup(),
+            if k.rows_match { "yes" } else { "NO" }
+        );
+    }
+    let json = kernels::to_json(&kernel_rows, SEED);
+    match std::fs::write("BENCH_kernels.json", &json) {
+        Ok(()) => println!("  wrote BENCH_kernels.json"),
+        Err(e) => println!("  could not write BENCH_kernels.json: {e}"),
     }
 }
 

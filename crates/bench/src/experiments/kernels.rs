@@ -1,0 +1,277 @@
+//! Kernel microbenchmarks: row-at-a-time vs vectorized columnar
+//! throughput for the three workhorse operators (filter, hash join,
+//! hash aggregate).
+//!
+//! Each kernel is a hand-built physical plan over the Table 2
+//! deployment, executed end to end through [`Engine::execute`] (the
+//! row interpreter) and [`Engine::execute_columnar`] (the vectorized
+//! engine). Both paths ship exactly the same bytes and return exactly
+//! the same rows — asserted per kernel via `rows_match` — so the only
+//! thing the throughput numbers compare is CPU work per row.
+
+use crate::experiments::setup::{engine_with_policies, EXEC_SF};
+use geoqp_common::{DataType, Field, Location, Schema, TableRef};
+use geoqp_core::{Engine, ExecutionResult};
+use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
+use geoqp_plan::{PhysOp, PhysicalPlan};
+use geoqp_policy::PolicyCatalog;
+use geoqp_tpch::schema::schema_of;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One kernel's row-vs-columnar comparison.
+#[derive(Debug)]
+pub struct KernelBench {
+    /// Kernel name: `filter`, `hash_join`, or `hash_aggregate`.
+    pub kernel: &'static str,
+    /// Rows fed into the kernel (base-table cardinalities).
+    pub input_rows: usize,
+    /// Rows the kernel produced (identical across engines).
+    pub output_rows: usize,
+    /// Best-of-N wall clock for the row interpreter, milliseconds.
+    pub row_ms: f64,
+    /// Best-of-N wall clock for the columnar engine, milliseconds.
+    pub columnar_ms: f64,
+    /// Whether the two engines returned identical rows and shipped
+    /// identical bytes.
+    pub rows_match: bool,
+}
+
+impl KernelBench {
+    /// Row-engine throughput in input rows per second.
+    pub fn row_rows_per_sec(&self) -> f64 {
+        if self.row_ms > 0.0 {
+            self.input_rows as f64 / (self.row_ms / 1e3)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Columnar-engine throughput in input rows per second.
+    pub fn columnar_rows_per_sec(&self) -> f64 {
+        if self.columnar_ms > 0.0 {
+            self.input_rows as f64 / (self.columnar_ms / 1e3)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `row_ms / columnar_ms` (>1 means the vectorized kernel wins).
+    pub fn speedup(&self) -> f64 {
+        if self.columnar_ms > 0.0 {
+            self.row_ms / self.columnar_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+fn loc(n: &str) -> Location {
+    Location::new(n)
+}
+
+/// Scan of a TPC-H base table at its Table 2 home site.
+fn scan(table: &str, location: &str) -> Arc<PhysicalPlan> {
+    Arc::new(
+        PhysicalPlan::new(
+            PhysOp::Scan {
+                table: TableRef::bare(table),
+            },
+            Arc::new(schema_of(table).expect("built-in TPC-H table")),
+            loc(location),
+            vec![],
+        )
+        .expect("valid scan"),
+    )
+}
+
+/// `σ(l_quantity < 25 ∧ l_returnflag = 'R')` over lineitem@L4 — one
+/// numeric comparison plus one dictionary-encoded string comparison,
+/// exercising both vectorized mask paths.
+fn filter_plan() -> Arc<PhysicalPlan> {
+    let li = scan("lineitem", "L4");
+    let schema = Arc::clone(&li.schema);
+    let predicate = ScalarExpr::col("l_quantity")
+        .lt(ScalarExpr::lit(25i64))
+        .and(ScalarExpr::col("l_returnflag").eq(ScalarExpr::lit("R")));
+    Arc::new(
+        PhysicalPlan::new(PhysOp::Filter { predicate }, schema, loc("L4"), vec![li])
+            .expect("valid filter"),
+    )
+}
+
+/// `orders@L1 ⋈ lineitem@L4 on orderkey` — orders ships to L4 (same
+/// bytes either engine), then the join probes per-batch key
+/// fingerprints on the columnar path.
+fn join_plan() -> Arc<PhysicalPlan> {
+    let orders = scan("orders", "L1");
+    let li = scan("lineitem", "L4");
+    let schema = Arc::new(orders.schema.join(&li.schema).expect("disjoint columns"));
+    let shipped = PhysicalPlan::ship(orders, loc("L4"));
+    Arc::new(
+        PhysicalPlan::new(
+            PhysOp::HashJoin {
+                left_keys: vec!["o_orderkey".into()],
+                right_keys: vec!["l_orderkey".into()],
+                filter: None,
+            },
+            schema,
+            loc("L4"),
+            vec![shipped, li],
+        )
+        .expect("valid join"),
+    )
+}
+
+/// Q1-shaped aggregate: group lineitem by `(l_returnflag, l_linestatus)`
+/// with three aggregates — the kernel that moved from per-row BTreeMap
+/// probes to per-batch fingerprint hashing with one final sort.
+fn aggregate_plan() -> Arc<PhysicalPlan> {
+    let li = scan("lineitem", "L4");
+    let schema = Arc::new(
+        Schema::new(vec![
+            Field::new("l_returnflag", DataType::Str),
+            Field::new("l_linestatus", DataType::Str),
+            Field::new("sum_qty", DataType::Int64),
+            Field::new("sum_base_price", DataType::Float64),
+            Field::new("count_order", DataType::Int64),
+        ])
+        .expect("valid schema"),
+    );
+    Arc::new(
+        PhysicalPlan::new(
+            PhysOp::HashAggregate {
+                group_by: vec!["l_returnflag".into(), "l_linestatus".into()],
+                aggs: vec![
+                    AggCall::new(AggFunc::Sum, ScalarExpr::col("l_quantity"), "sum_qty"),
+                    AggCall::new(
+                        AggFunc::Sum,
+                        ScalarExpr::col("l_extendedprice"),
+                        "sum_base_price",
+                    ),
+                    AggCall::count_star("count_order"),
+                ],
+            },
+            schema,
+            loc("L4"),
+            vec![li],
+        )
+        .expect("valid aggregate"),
+    )
+}
+
+/// Best-of-`runs` wall clock in milliseconds, plus the last result.
+fn best_of(runs: usize, mut f: impl FnMut() -> ExecutionResult) -> (ExecutionResult, f64) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (last.expect("at least one run"), best)
+}
+
+fn bench_kernel(
+    engine: &Engine,
+    kernel: &'static str,
+    plan: &Arc<PhysicalPlan>,
+    input_rows: usize,
+    runs: usize,
+) -> KernelBench {
+    let (row, row_ms) = best_of(runs, || engine.execute(plan).expect("row execute"));
+    let (col, columnar_ms) = best_of(runs, || {
+        engine.execute_columnar(plan).expect("columnar execute")
+    });
+    let rows_match =
+        row.rows == col.rows && row.transfers.total_bytes() == col.transfers.total_bytes();
+    KernelBench {
+        kernel,
+        input_rows,
+        output_rows: row.rows.len(),
+        row_ms,
+        columnar_ms,
+        rows_match,
+    }
+}
+
+/// Run the three kernel microbenchmarks over a populated Table 2
+/// deployment (no policies — the kernels measure execution, not
+/// optimization).
+pub fn measure(seed: u64, runs: usize) -> Vec<KernelBench> {
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(EXEC_SF));
+    geoqp_tpch::populate(&catalog, EXEC_SF, seed).expect("populate");
+    let engine = engine_with_policies(Arc::clone(&catalog), PolicyCatalog::new());
+
+    let rows_of = |t: &str| -> usize {
+        catalog
+            .resolve_one(&TableRef::bare(t))
+            .expect("table")
+            .data()
+            .expect("populated")
+            .row_count()
+    };
+    let lineitem = rows_of("lineitem");
+    let orders = rows_of("orders");
+
+    vec![
+        bench_kernel(&engine, "filter", &filter_plan(), lineitem, runs),
+        bench_kernel(&engine, "hash_join", &join_plan(), lineitem + orders, runs),
+        bench_kernel(&engine, "hash_aggregate", &aggregate_plan(), lineitem, runs),
+    ]
+}
+
+/// Hand-rolled JSON for `BENCH_kernels.json` (the workspace has no
+/// serde; the schema is flat enough that formatting by hand is safer
+/// than adding a dependency).
+pub fn to_json(rows: &[KernelBench], seed: u64) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"scale_factor\": {EXEC_SF},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"kernel\": \"{}\", ", r.kernel));
+        s.push_str(&format!("\"input_rows\": {}, ", r.input_rows));
+        s.push_str(&format!("\"output_rows\": {}, ", r.output_rows));
+        s.push_str(&format!("\"row_ms\": {:.3}, ", r.row_ms));
+        s.push_str(&format!("\"columnar_ms\": {:.3}, ", r.columnar_ms));
+        s.push_str(&format!(
+            "\"row_rows_per_sec\": {:.0}, ",
+            r.row_rows_per_sec()
+        ));
+        s.push_str(&format!(
+            "\"columnar_rows_per_sec\": {:.0}, ",
+            r.columnar_rows_per_sec()
+        ));
+        s.push_str(&format!("\"speedup\": {:.2}, ", r.speedup()));
+        s.push_str(&format!("\"rows_match\": {}", r.rows_match));
+        s.push('}');
+        if i + 1 < rows.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_agree_across_engines() {
+        let rows = measure(2021, 1);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.rows_match, "{}: engines diverged", r.kernel);
+            assert!(r.output_rows > 0, "{}: produced no rows", r.kernel);
+            assert!(r.row_ms.is_finite() && r.columnar_ms.is_finite());
+        }
+        let json = to_json(&rows, 2021);
+        assert!(json.contains("\"kernel\": \"hash_join\""));
+        assert!(json.contains("\"rows_match\": true"));
+    }
+}

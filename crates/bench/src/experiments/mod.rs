@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod effectiveness;
 pub mod failover;
 pub mod grayfail;
+pub mod kernels;
 pub mod overhead;
 pub mod quality;
 pub mod scalability;

@@ -39,6 +39,24 @@ pub struct ScaleupRow {
     pub speedup: f64,
     /// Whether the two runtimes returned identical row multisets.
     pub rows_match: bool,
+    /// Best-of-N CPU wall clock for the row-at-a-time engine, ms.
+    pub row_cpu_ms: f64,
+    /// Best-of-N CPU wall clock for the vectorized columnar engine, ms.
+    pub columnar_cpu_ms: f64,
+    /// Whether the columnar engine returned exactly the sequential
+    /// engine's rows and shipped exactly its bytes.
+    pub columnar_identical: bool,
+}
+
+impl ScaleupRow {
+    /// `row_cpu_ms / columnar_cpu_ms` (>1 = vectorization wins).
+    pub fn cpu_speedup(&self) -> f64 {
+        if self.columnar_cpu_ms > 0.0 {
+            self.row_cpu_ms / self.columnar_cpu_ms
+        } else {
+            1.0
+        }
+    }
 }
 
 /// Order-insensitive row-multiset equality.
@@ -81,6 +99,29 @@ pub fn measure(seed: u64) -> Vec<ScaleupRow> {
             .expect("parallel");
         let sequential_ms = sequential.transfers.total_cost_ms();
         let parallel_ms = parallel.metrics.completion_ms;
+
+        // Row vs columnar CPU: best-of-3 real wall clock for the same
+        // plan through each engine, with an exact identity check (rows
+        // in order, shipped bytes) rather than a multiset comparison.
+        let best_of = |f: &dyn Fn() -> geoqp_core::ExecutionResult| {
+            let mut best = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..3 {
+                let t = std::time::Instant::now();
+                let r = f();
+                best = best.min(t.elapsed().as_secs_f64() * 1e3);
+                last = Some(r);
+            }
+            (last.expect("three runs"), best)
+        };
+        let (row_run, row_cpu_ms) = best_of(&|| engine.execute(&optimized.physical).expect("row"));
+        let (col_run, columnar_cpu_ms) = best_of(&|| {
+            engine
+                .execute_columnar(&optimized.physical)
+                .expect("columnar")
+        });
+        let columnar_identical = row_run.rows == col_run.rows
+            && row_run.transfers.total_bytes() == col_run.transfers.total_bytes();
         out.push(ScaleupRow {
             query,
             ship_edges: optimized.physical.ship_count(),
@@ -95,6 +136,9 @@ pub fn measure(seed: u64) -> Vec<ScaleupRow> {
                 1.0
             },
             rows_match: same_multiset(&sequential.rows, &parallel.rows),
+            row_cpu_ms,
+            columnar_cpu_ms,
+            columnar_identical,
         });
     }
     out
@@ -110,6 +154,11 @@ mod tests {
         assert!(!rows.is_empty());
         for r in &rows {
             assert!(r.rows_match, "{}: row multisets diverged", r.query);
+            assert!(
+                r.columnar_identical,
+                "{}: columnar engine diverged from the row engine",
+                r.query
+            );
             assert_eq!(
                 r.bytes_sequential, r.bytes_parallel,
                 "{}: shipped bytes diverged",

@@ -4,8 +4,8 @@
 
 use geoqp_common::{CancelToken, GeoError, Location, QueryDeadline, Result, Rows, TableRef};
 use geoqp_core::{
-    Engine, FailoverOpts, HedgeConfig, LinkReport, OptimizerMode, ResilientResult, RuntimeMetrics,
-    RuntimeMode,
+    Engine, FailoverOpts, HedgeConfig, LinkReport, OptimizerMode, ResilientResult, RuntimeConfig,
+    RuntimeMetrics, RuntimeMode,
 };
 use geoqp_exec::RetryPolicy;
 use geoqp_net::{FaultPlan, NetworkTopology};
@@ -19,6 +19,7 @@ pub struct Shell {
     engine: Option<Engine>,
     mode: OptimizerMode,
     runtime: RuntimeMode,
+    columnar: bool,
     result_location: Option<Location>,
     faults: Option<FaultPlan>,
     last_metrics: Option<RuntimeMetrics>,
@@ -42,6 +43,7 @@ impl Shell {
             engine: None,
             mode: OptimizerMode::Compliant,
             runtime: RuntimeMode::Sequential,
+            columnar: false,
             result_location: None,
             faults: None,
             last_metrics: None,
@@ -135,6 +137,22 @@ impl Shell {
                 };
                 Ok(format!("runtime: {arg}\n"))
             }
+            "columnar" => {
+                self.columnar = match arg {
+                    "" => {
+                        let current = if self.columnar { "on" } else { "off" };
+                        return Ok(format!("columnar: {current}\n"));
+                    }
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(GeoError::Execution(format!(
+                            "unknown columnar setting `{other}` (on|off)"
+                        )))
+                    }
+                };
+                Ok(format!("columnar: {arg}\n"))
+            }
             "metrics" => {
                 let mut out = match &self.last_metrics {
                     Some(m) => format!("{m}"),
@@ -144,6 +162,16 @@ impl Shell {
                 };
                 if let Some(f) = &self.last_failover {
                     out.push_str(f);
+                }
+                if let Ok(eng) = self.engine() {
+                    let memo = eng.implication_memo();
+                    let _ = writeln!(
+                        out,
+                        "policy memo: {} hits, {} misses, {} cached verdicts",
+                        memo.hits(),
+                        memo.misses(),
+                        memo.len(),
+                    );
                 }
                 Ok(out)
             }
@@ -413,6 +441,7 @@ impl Shell {
             deadline: self.deadline,
             cancel: Some(self.cancel.clone()),
             hedge: self.hedge.clone(),
+            columnar: self.columnar,
         }
     }
 
@@ -559,7 +588,11 @@ impl Shell {
             );
             return Ok(out);
         }
-        let (optimized, result) = eng.run_sql(sql, self.mode, self.result_location.clone())?;
+        let (optimized, result) = if self.columnar {
+            eng.run_sql_columnar(sql, self.mode, self.result_location.clone())?
+        } else {
+            eng.run_sql(sql, self.mode, self.result_location.clone())?
+        };
         let mut out = render_rows(&result.rows, &optimized.physical.schema.names());
         let audit = match eng.audit(&optimized.physical) {
             Ok(()) => "compliant",
@@ -622,8 +655,13 @@ impl Shell {
             self.last_metrics = Some(metrics);
             return Ok(out);
         }
-        let (optimized, result) =
-            eng.run_sql_parallel(sql, self.mode, self.result_location.clone())?;
+        let optimized = eng.optimize_sql(sql, self.mode, self.result_location.clone())?;
+        let config = RuntimeConfig {
+            columnar: self.columnar,
+            ..RuntimeConfig::default()
+        };
+        let result =
+            eng.execute_parallel_opts(&optimized.physical, None, &RetryPolicy::none(), &config)?;
         let mut out = render_rows(&result.rows, &optimized.physical.schema.names());
         let audit = match eng.audit(&optimized.physical) {
             Ok(()) => "compliant",
@@ -691,7 +729,10 @@ commands:
   \\mode compliant|traditional
   \\runtime parallel|sequential
                             choose the execution runtime (default sequential)
-  \\metrics                  per-site/per-edge metrics of the last parallel query
+  \\columnar on|off          run queries on the vectorized columnar engine
+                            (same rows, bytes, and audits; faster CPU path)
+  \\metrics                  per-site/per-edge metrics of the last parallel
+                            query, plus policy-memo hit/miss counters
   \\at <location>|anywhere   pin the result location
   \\explain <sql>            show annotated + physical plan
   \\faults <spec>|off        inject faults: crash:L2; drop:L1-L3@2..5;
@@ -990,6 +1031,61 @@ mod tests {
 
         sh.run_command("\\runtime sequential").unwrap();
         assert!(sh.run_command("\\runtime sideways").is_err());
+    }
+
+    #[test]
+    fn columnar_session_matches_row_session() {
+        let sql = "SELECT c_name, SUM(o_totprice) AS total FROM customer, orders \
+                   WHERE c_custkey = o_custkey GROUP BY c_name ORDER BY c_name";
+        let run = |commands: &[&str]| {
+            let mut sh = Shell::new();
+            sh.run_command("\\demo carco").unwrap();
+            for c in commands {
+                sh.run_command(c).unwrap();
+            }
+            sh.run_command(sql).unwrap()
+        };
+        // Sequential: byte-for-byte identical output (rows, order, bytes,
+        // audit verdict) between the row and columnar engines.
+        let row = run(&[]);
+        let col = run(&["\\columnar on"]);
+        assert!(col.contains("plan compliant"), "{col}");
+        assert_eq!(col, row);
+        // Parallel runtime too.
+        let row_par = run(&["\\runtime parallel"]);
+        let col_par = run(&["\\runtime parallel", "\\columnar on"]);
+        assert_eq!(col_par, row_par);
+        // Under faults (the resilient path) as well.
+        let row_flt = run(&["\\faults seed=7; crash:A@0..2"]);
+        let col_flt = run(&["\\faults seed=7; crash:A@0..2", "\\columnar on"]);
+        assert_eq!(col_flt, row_flt);
+
+        // The toggle round-trips and rejects junk.
+        let mut sh = Shell::new();
+        sh.run_command("\\demo carco").unwrap();
+        assert_eq!(sh.run_command("\\columnar").unwrap(), "columnar: off\n");
+        sh.run_command("\\columnar on").unwrap();
+        assert_eq!(sh.run_command("\\columnar").unwrap(), "columnar: on\n");
+        sh.run_command("\\columnar off").unwrap();
+        assert!(sh.run_command("\\columnar sideways").is_err());
+    }
+
+    #[test]
+    fn metrics_reports_policy_memo_counters() {
+        let mut sh = Shell::new();
+        sh.run_command("\\demo carco").unwrap();
+        let sql = "SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey";
+        sh.run_command(sql).unwrap();
+        let first = sh.run_command("\\metrics").unwrap();
+        assert!(first.contains("policy memo:"), "{first}");
+        // Re-optimizing the same query must be served from the memo.
+        sh.run_command(sql).unwrap();
+        let second = sh.run_command("\\metrics").unwrap();
+        let hits = |out: &str| -> u64 {
+            let line = out.lines().find(|l| l.starts_with("policy memo:")).unwrap();
+            line.split_whitespace().nth(2).unwrap().parse().unwrap()
+        };
+        assert!(hits(&second) > hits(&first), "{second}");
     }
 
     #[test]

@@ -1,0 +1,968 @@
+//! Columnar batches: the vectorized execution engine's data layout.
+//!
+//! A [`ColumnarBatch`] stores a row batch column-major in typed vectors —
+//! `Int64`/`Float64`/`Date`/`Bool` as fixed-width buffers with a validity
+//! vector, strings dictionary-encoded (`u32` codes into a shared
+//! [`Arc`]'d dictionary of [`Arc<str>`] entries) — plus an [`Any`]
+//! fallback column for mixed-typed outputs (e.g. unions of differently
+//! typed branches). Batches are immutable once built and flow through the
+//! engine as `Arc<ColumnarBatch>`, so fragment hand-off and scan caching
+//! are zero-copy.
+//!
+//! Two invariants tie the columnar engine to the row engine:
+//!
+//! * **Round-trip exactness** — [`ColumnarBatch::to_rows`] reproduces the
+//!   source rows value-for-value (float bit patterns included), so row
+//!   multisets are preserved by construction.
+//! * **Byte accounting** — [`ColumnarBatch::encoded_size`] equals
+//!   [`Rows::encoded_size`] (and therefore `Rows::encode().len()`) for
+//!   the same rows, computed from column metadata without materializing
+//!   the wire encoding. The network simulator charges identical bytes
+//!   whether a SHIP carries rows or a columnar batch.
+//!
+//! [`Any`]: Column::Any
+
+use crate::row::{Row, Rows};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A selection vector: physical row indices (in order) that survive a
+/// filter. Kernels compose selections instead of materializing filtered
+/// batches; [`ColumnarBatch::gather`] materializes when required (e.g.
+/// before a SHIP, whose byte accounting must see exactly the surviving
+/// rows).
+pub type SelectionVector = Vec<u32>;
+
+/// FNV-1a offset basis / prime, used for string and key fingerprints.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Mix one value fingerprint into a running key fingerprint. The rotate
+/// keeps column order significant; the multiply diffuses.
+pub fn mix_fingerprint(h: u64, v: u64) -> u64 {
+    (h.rotate_left(23) ^ v).wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// One typed column vector. Fixed-width variants carry a parallel
+/// validity vector (`valid[i] == false` means NULL; the slot in `values`
+/// is then a zero placeholder). Strings are dictionary-encoded with
+/// per-entry fingerprints precomputed so join/group keys never rehash
+/// string bytes per row.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64 {
+        /// Fixed-width buffer (0 on NULL slots).
+        values: Vec<i64>,
+        /// Validity: false = NULL.
+        valid: Vec<bool>,
+    },
+    /// 64-bit floats.
+    Float64 {
+        /// Fixed-width buffer (0.0 on NULL slots).
+        values: Vec<f64>,
+        /// Validity: false = NULL.
+        valid: Vec<bool>,
+    },
+    /// Days since the Unix epoch.
+    Date {
+        /// Fixed-width buffer (0 on NULL slots).
+        values: Vec<i32>,
+        /// Validity: false = NULL.
+        valid: Vec<bool>,
+    },
+    /// Booleans.
+    Bool {
+        /// Fixed-width buffer (false on NULL slots).
+        values: Vec<bool>,
+        /// Validity: false = NULL.
+        valid: Vec<bool>,
+    },
+    /// Dictionary-encoded strings.
+    Str {
+        /// Distinct entries, shared across slices/gathers.
+        dict: Arc<Vec<Arc<str>>>,
+        /// Precomputed per-entry byte fingerprints (parallel to `dict`).
+        hashes: Arc<Vec<u64>>,
+        /// Per-row dictionary codes (0 on NULL slots).
+        codes: Vec<u32>,
+        /// Validity: false = NULL.
+        valid: Vec<bool>,
+    },
+    /// Mixed-typed fallback: one [`Value`] per row.
+    Any {
+        /// The row values.
+        values: Vec<Value>,
+    },
+}
+
+/// Value-level fingerprint tags. Int64 and Float64 share a tag (and a
+/// payload: the value as `f64` bits) because [`Value`]'s equality merges
+/// the numeric domain; dates keep their own tag because `Date(3) !=
+/// Int64(3)`.
+const FP_NULL: u64 = 0x9ae1_6a3b_2f90_404f;
+const FP_BOOL: u64 = 0x3c79_ac49_2ba7_b653;
+const FP_NUM: u64 = 0x1b87_3593_21e4_9d09;
+const FP_DATE: u64 = 0x60be_e2be_e120_fc15;
+const FP_STR: u64 = 0xa0b4_28db_8a4b_cc69;
+
+/// Fingerprint of one scalar [`Value`], consistent with [`Value`]'s
+/// `Eq`/`Hash` classes: equal values always produce equal fingerprints.
+pub fn value_fingerprint(v: &Value) -> u64 {
+    match v {
+        Value::Null => FP_NULL,
+        Value::Bool(b) => FP_BOOL ^ (*b as u64),
+        Value::Int64(i) => FP_NUM ^ (*i as f64).to_bits(),
+        Value::Float64(f) => FP_NUM ^ f.to_bits(),
+        Value::Date(d) => FP_DATE ^ (*d as i64 as u64),
+        Value::Str(s) => FP_STR ^ fnv1a(s.as_bytes()),
+    }
+}
+
+impl Column {
+    /// Build a column from row values, sniffing the narrowest typed
+    /// representation: a column whose non-null values are all one
+    /// variant becomes that typed vector, anything mixed falls back to
+    /// [`Column::Any`].
+    pub fn from_values(values: Vec<Value>) -> Column {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Kind {
+            Int,
+            Float,
+            Date,
+            Bool,
+            Str,
+        }
+        let mut kind: Option<Kind> = None;
+        for v in &values {
+            let k = match v {
+                Value::Null => continue,
+                Value::Int64(_) => Kind::Int,
+                Value::Float64(_) => Kind::Float,
+                Value::Date(_) => Kind::Date,
+                Value::Bool(_) => Kind::Bool,
+                Value::Str(_) => Kind::Str,
+            };
+            match kind {
+                None => kind = Some(k),
+                Some(prev) if prev == k => {}
+                Some(_) => return Column::Any { values },
+            }
+        }
+        let n = values.len();
+        match kind {
+            // All-NULL columns take the cheapest fixed-width layout.
+            None | Some(Kind::Int) => {
+                let mut vals = Vec::with_capacity(n);
+                let mut valid = Vec::with_capacity(n);
+                for v in &values {
+                    match v {
+                        Value::Int64(i) => {
+                            vals.push(*i);
+                            valid.push(true);
+                        }
+                        _ => {
+                            vals.push(0);
+                            valid.push(false);
+                        }
+                    }
+                }
+                Column::Int64 {
+                    values: vals,
+                    valid,
+                }
+            }
+            Some(Kind::Float) => {
+                let mut vals = Vec::with_capacity(n);
+                let mut valid = Vec::with_capacity(n);
+                for v in &values {
+                    match v {
+                        Value::Float64(f) => {
+                            vals.push(*f);
+                            valid.push(true);
+                        }
+                        _ => {
+                            vals.push(0.0);
+                            valid.push(false);
+                        }
+                    }
+                }
+                Column::Float64 {
+                    values: vals,
+                    valid,
+                }
+            }
+            Some(Kind::Date) => {
+                let mut vals = Vec::with_capacity(n);
+                let mut valid = Vec::with_capacity(n);
+                for v in &values {
+                    match v {
+                        Value::Date(d) => {
+                            vals.push(*d);
+                            valid.push(true);
+                        }
+                        _ => {
+                            vals.push(0);
+                            valid.push(false);
+                        }
+                    }
+                }
+                Column::Date {
+                    values: vals,
+                    valid,
+                }
+            }
+            Some(Kind::Bool) => {
+                let mut vals = Vec::with_capacity(n);
+                let mut valid = Vec::with_capacity(n);
+                for v in &values {
+                    match v {
+                        Value::Bool(b) => {
+                            vals.push(*b);
+                            valid.push(true);
+                        }
+                        _ => {
+                            vals.push(false);
+                            valid.push(false);
+                        }
+                    }
+                }
+                Column::Bool {
+                    values: vals,
+                    valid,
+                }
+            }
+            Some(Kind::Str) => {
+                let mut dict: Vec<Arc<str>> = Vec::new();
+                let mut hashes: Vec<u64> = Vec::new();
+                let mut intern: HashMap<Arc<str>, u32> = HashMap::new();
+                let mut codes = Vec::with_capacity(n);
+                let mut valid = Vec::with_capacity(n);
+                for v in &values {
+                    match v {
+                        Value::Str(s) => {
+                            let code = *intern.entry(Arc::clone(s)).or_insert_with(|| {
+                                dict.push(Arc::clone(s));
+                                hashes.push(fnv1a(s.as_bytes()));
+                                (dict.len() - 1) as u32
+                            });
+                            codes.push(code);
+                            valid.push(true);
+                        }
+                        _ => {
+                            codes.push(0);
+                            valid.push(false);
+                        }
+                    }
+                }
+                Column::Str {
+                    dict: Arc::new(dict),
+                    hashes: Arc::new(hashes),
+                    codes,
+                    valid,
+                }
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { values, .. } => values.len(),
+            Column::Float64 { values, .. } => values.len(),
+            Column::Date { values, .. } => values.len(),
+            Column::Bool { values, .. } => values.len(),
+            Column::Str { codes, .. } => codes.len(),
+            Column::Any { values } => values.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at row `i` (clones are cheap: strings share their
+    /// dictionary entry's `Arc`).
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::Int64 { values, valid } => {
+                if valid[i] {
+                    Value::Int64(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Float64 { values, valid } => {
+                if valid[i] {
+                    Value::Float64(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Date { values, valid } => {
+                if valid[i] {
+                    Value::Date(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Bool { values, valid } => {
+                if valid[i] {
+                    Value::Bool(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Str {
+                dict, codes, valid, ..
+            } => {
+                if valid[i] {
+                    Value::Str(Arc::clone(&dict[codes[i] as usize]))
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Any { values } => values[i].clone(),
+        }
+    }
+
+    /// True when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Int64 { valid, .. }
+            | Column::Float64 { valid, .. }
+            | Column::Date { valid, .. }
+            | Column::Bool { valid, .. }
+            | Column::Str { valid, .. } => !valid[i],
+            Column::Any { values } => values[i].is_null(),
+        }
+    }
+
+    /// Fingerprint of row `i`, consistent with [`value_fingerprint`] on
+    /// [`Column::get`]'s result (string hashes come precomputed from the
+    /// dictionary).
+    pub fn fingerprint_at(&self, i: usize) -> u64 {
+        match self {
+            Column::Int64 { values, valid } => {
+                if valid[i] {
+                    FP_NUM ^ (values[i] as f64).to_bits()
+                } else {
+                    FP_NULL
+                }
+            }
+            Column::Float64 { values, valid } => {
+                if valid[i] {
+                    FP_NUM ^ values[i].to_bits()
+                } else {
+                    FP_NULL
+                }
+            }
+            Column::Date { values, valid } => {
+                if valid[i] {
+                    FP_DATE ^ (values[i] as i64 as u64)
+                } else {
+                    FP_NULL
+                }
+            }
+            Column::Bool { values, valid } => {
+                if valid[i] {
+                    FP_BOOL ^ (values[i] as u64)
+                } else {
+                    FP_NULL
+                }
+            }
+            Column::Str {
+                hashes,
+                codes,
+                valid,
+                ..
+            } => {
+                if valid[i] {
+                    FP_STR ^ hashes[codes[i] as usize]
+                } else {
+                    FP_NULL
+                }
+            }
+            Column::Any { values } => value_fingerprint(&values[i]),
+        }
+    }
+
+    /// Exact wire width of row `i` under [`Value::estimated_exact_width`].
+    pub fn encoded_width(&self, i: usize) -> usize {
+        match self {
+            Column::Int64 { valid, .. } | Column::Float64 { valid, .. } => {
+                if valid[i] {
+                    9
+                } else {
+                    1
+                }
+            }
+            Column::Date { valid, .. } => {
+                if valid[i] {
+                    5
+                } else {
+                    1
+                }
+            }
+            Column::Bool { valid, .. } => {
+                if valid[i] {
+                    2
+                } else {
+                    1
+                }
+            }
+            Column::Str {
+                dict, codes, valid, ..
+            } => {
+                if valid[i] {
+                    5 + dict[codes[i] as usize].len()
+                } else {
+                    1
+                }
+            }
+            Column::Any { values } => values[i].estimated_exact_width(),
+        }
+    }
+
+    /// Sum of [`Column::encoded_width`] over all rows, computed from
+    /// column metadata (validity counts and dictionary lengths) without
+    /// visiting a wire encoding.
+    pub fn encoded_size(&self) -> usize {
+        fn fixed(valid: &[bool], width: usize) -> usize {
+            let non_null = valid.iter().filter(|v| **v).count();
+            non_null * width + (valid.len() - non_null)
+        }
+        match self {
+            Column::Int64 { valid, .. } | Column::Float64 { valid, .. } => fixed(valid, 9),
+            Column::Date { valid, .. } => fixed(valid, 5),
+            Column::Bool { valid, .. } => fixed(valid, 2),
+            Column::Str {
+                dict, codes, valid, ..
+            } => codes
+                .iter()
+                .zip(valid)
+                .map(|(c, ok)| if *ok { 5 + dict[*c as usize].len() } else { 1 })
+                .sum(),
+            Column::Any { values } => values.iter().map(Value::estimated_exact_width).sum(),
+        }
+    }
+
+    /// Copy rows `offset..offset + len` into a new column. String slices
+    /// share the source dictionary (`Arc` clone).
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        match self {
+            Column::Int64 { values, valid } => Column::Int64 {
+                values: values[offset..offset + len].to_vec(),
+                valid: valid[offset..offset + len].to_vec(),
+            },
+            Column::Float64 { values, valid } => Column::Float64 {
+                values: values[offset..offset + len].to_vec(),
+                valid: valid[offset..offset + len].to_vec(),
+            },
+            Column::Date { values, valid } => Column::Date {
+                values: values[offset..offset + len].to_vec(),
+                valid: valid[offset..offset + len].to_vec(),
+            },
+            Column::Bool { values, valid } => Column::Bool {
+                values: values[offset..offset + len].to_vec(),
+                valid: valid[offset..offset + len].to_vec(),
+            },
+            Column::Str {
+                dict,
+                hashes,
+                codes,
+                valid,
+            } => Column::Str {
+                dict: Arc::clone(dict),
+                hashes: Arc::clone(hashes),
+                codes: codes[offset..offset + len].to_vec(),
+                valid: valid[offset..offset + len].to_vec(),
+            },
+            Column::Any { values } => Column::Any {
+                values: values[offset..offset + len].to_vec(),
+            },
+        }
+    }
+
+    /// Gather the rows at `indices` (in order) into a new column.
+    pub fn gather(&self, indices: &[u32]) -> Column {
+        match self {
+            Column::Int64 { values, valid } => Column::Int64 {
+                values: indices.iter().map(|&i| values[i as usize]).collect(),
+                valid: indices.iter().map(|&i| valid[i as usize]).collect(),
+            },
+            Column::Float64 { values, valid } => Column::Float64 {
+                values: indices.iter().map(|&i| values[i as usize]).collect(),
+                valid: indices.iter().map(|&i| valid[i as usize]).collect(),
+            },
+            Column::Date { values, valid } => Column::Date {
+                values: indices.iter().map(|&i| values[i as usize]).collect(),
+                valid: indices.iter().map(|&i| valid[i as usize]).collect(),
+            },
+            Column::Bool { values, valid } => Column::Bool {
+                values: indices.iter().map(|&i| values[i as usize]).collect(),
+                valid: indices.iter().map(|&i| valid[i as usize]).collect(),
+            },
+            Column::Str {
+                dict,
+                hashes,
+                codes,
+                valid,
+            } => Column::Str {
+                dict: Arc::clone(dict),
+                hashes: Arc::clone(hashes),
+                codes: indices.iter().map(|&i| codes[i as usize]).collect(),
+                valid: indices.iter().map(|&i| valid[i as usize]).collect(),
+            },
+            Column::Any { values } => Column::Any {
+                values: indices
+                    .iter()
+                    .map(|&i| values[i as usize].clone())
+                    .collect(),
+            },
+        }
+    }
+
+    /// Concatenate columns end to end. Homogeneous typed inputs stay
+    /// typed (string dictionaries are merged with code remapping); mixed
+    /// inputs fall back to [`Column::Any`].
+    pub fn concat(parts: &[&Column]) -> Column {
+        use std::mem::discriminant;
+        if parts.is_empty() {
+            return Column::Any { values: Vec::new() };
+        }
+        let homogeneous = parts
+            .iter()
+            .all(|c| discriminant(*c) == discriminant(parts[0]));
+        if !homogeneous {
+            let values = parts
+                .iter()
+                .flat_map(|c| (0..c.len()).map(|i| c.get(i)))
+                .collect();
+            return Column::Any { values };
+        }
+        match parts[0] {
+            Column::Int64 { .. } => {
+                let (mut values, mut valid) = (Vec::new(), Vec::new());
+                for p in parts {
+                    if let Column::Int64 {
+                        values: v,
+                        valid: k,
+                    } = p
+                    {
+                        values.extend_from_slice(v);
+                        valid.extend_from_slice(k);
+                    }
+                }
+                Column::Int64 { values, valid }
+            }
+            Column::Float64 { .. } => {
+                let (mut values, mut valid) = (Vec::new(), Vec::new());
+                for p in parts {
+                    if let Column::Float64 {
+                        values: v,
+                        valid: k,
+                    } = p
+                    {
+                        values.extend_from_slice(v);
+                        valid.extend_from_slice(k);
+                    }
+                }
+                Column::Float64 { values, valid }
+            }
+            Column::Date { .. } => {
+                let (mut values, mut valid) = (Vec::new(), Vec::new());
+                for p in parts {
+                    if let Column::Date {
+                        values: v,
+                        valid: k,
+                    } = p
+                    {
+                        values.extend_from_slice(v);
+                        valid.extend_from_slice(k);
+                    }
+                }
+                Column::Date { values, valid }
+            }
+            Column::Bool { .. } => {
+                let (mut values, mut valid) = (Vec::new(), Vec::new());
+                for p in parts {
+                    if let Column::Bool {
+                        values: v,
+                        valid: k,
+                    } = p
+                    {
+                        values.extend_from_slice(v);
+                        valid.extend_from_slice(k);
+                    }
+                }
+                Column::Bool { values, valid }
+            }
+            Column::Str { .. } => {
+                let mut dict: Vec<Arc<str>> = Vec::new();
+                let mut hashes: Vec<u64> = Vec::new();
+                let mut intern: HashMap<Arc<str>, u32> = HashMap::new();
+                let (mut codes, mut valid) = (Vec::new(), Vec::new());
+                for p in parts {
+                    if let Column::Str {
+                        dict: d,
+                        hashes: h,
+                        codes: c,
+                        valid: k,
+                    } = p
+                    {
+                        // Remap this part's codes into the merged dictionary.
+                        let remap: Vec<u32> = d
+                            .iter()
+                            .zip(h.iter())
+                            .map(|(s, hash)| {
+                                *intern.entry(Arc::clone(s)).or_insert_with(|| {
+                                    dict.push(Arc::clone(s));
+                                    hashes.push(*hash);
+                                    (dict.len() - 1) as u32
+                                })
+                            })
+                            .collect();
+                        codes.extend(c.iter().map(|&code| remap[code as usize]));
+                        valid.extend_from_slice(k);
+                    }
+                }
+                Column::Str {
+                    dict: Arc::new(dict),
+                    hashes: Arc::new(hashes),
+                    codes,
+                    valid,
+                }
+            }
+            Column::Any { .. } => {
+                let mut values = Vec::new();
+                for p in parts {
+                    if let Column::Any { values: v } = p {
+                        values.extend(v.iter().cloned());
+                    }
+                }
+                Column::Any { values }
+            }
+        }
+    }
+}
+
+/// An immutable column-major row batch.
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    len: usize,
+    columns: Vec<Column>,
+}
+
+impl ColumnarBatch {
+    /// Build from row-major data. `arity` fixes the column count (needed
+    /// for empty inputs, whose rows cannot be inspected).
+    pub fn from_rows(rows: &[Row], arity: usize) -> ColumnarBatch {
+        let columns = (0..arity)
+            .map(|j| Column::from_values(rows.iter().map(|r| r[j].clone()).collect()))
+            .collect();
+        ColumnarBatch {
+            len: rows.len(),
+            columns,
+        }
+    }
+
+    /// Build from pre-constructed columns (all the same length).
+    pub fn from_columns(columns: Vec<Column>) -> ColumnarBatch {
+        let len = columns.first().map_or(0, Column::len);
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        ColumnarBatch { len, columns }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// One column.
+    pub fn column(&self, j: usize) -> &Column {
+        &self.columns[j]
+    }
+
+    /// The value at (`row`, `col`).
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Materialize row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Round-trip back to row-major form.
+    pub fn to_rows(&self) -> Rows {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+
+    /// Exact wire size of this batch under the row encoding: equals
+    /// `self.to_rows().encode().len()` (8-byte header plus every value's
+    /// exact width) but is computed from column metadata alone.
+    pub fn encoded_size(&self) -> usize {
+        8 + self.columns.iter().map(Column::encoded_size).sum::<usize>()
+    }
+
+    /// Copy rows `offset..offset + len` into a new batch.
+    pub fn slice(&self, offset: usize, len: usize) -> ColumnarBatch {
+        ColumnarBatch {
+            len,
+            columns: self.columns.iter().map(|c| c.slice(offset, len)).collect(),
+        }
+    }
+
+    /// Gather the rows at `indices` (in order) into a new batch.
+    pub fn gather(&self, indices: &[u32]) -> ColumnarBatch {
+        ColumnarBatch {
+            len: indices.len(),
+            columns: self.columns.iter().map(|c| c.gather(indices)).collect(),
+        }
+    }
+
+    /// Concatenate batches end to end. `arity` fixes the column count
+    /// when `parts` is empty.
+    pub fn concat(parts: &[Arc<ColumnarBatch>], arity: usize) -> ColumnarBatch {
+        if parts.is_empty() {
+            return ColumnarBatch::from_rows(&[], arity);
+        }
+        let len = parts.iter().map(|p| p.len).sum();
+        let columns = (0..parts[0].arity())
+            .map(|j| {
+                let cols: Vec<&Column> = parts.iter().map(|p| p.column(j)).collect();
+                Column::concat(&cols)
+            })
+            .collect();
+        ColumnarBatch { len, columns }
+    }
+
+    /// Combined fingerprint of the key columns `key_cols` at row `i`.
+    /// Equal key tuples (under [`Value`] equality) always produce equal
+    /// fingerprints; kernels verify candidate matches with real value
+    /// comparisons, so collisions cost time, never correctness.
+    pub fn key_fingerprint(&self, key_cols: &[usize], i: usize) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &c in key_cols {
+            h = mix_fingerprint(h, self.columns[c].fingerprint_at(i));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_rows() -> Vec<Row> {
+        vec![
+            vec![
+                Value::Int64(1),
+                Value::str("alpha"),
+                Value::Float64(1.5),
+                Value::Date(9000),
+                Value::Bool(true),
+            ],
+            vec![
+                Value::Int64(2),
+                Value::Null,
+                Value::Float64(f64::NAN),
+                Value::Null,
+                Value::Bool(false),
+            ],
+            vec![
+                Value::Null,
+                Value::str("alpha"),
+                Value::Float64(-0.0),
+                Value::Date(-12),
+                Value::Null,
+            ],
+            vec![
+                Value::Int64(-7),
+                Value::str("émoji ✓"),
+                Value::Float64(2.0),
+                Value::Date(0),
+                Value::Bool(true),
+            ],
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_values_exactly() {
+        let rows = mixed_rows();
+        let batch = ColumnarBatch::from_rows(&rows, 5);
+        let back = batch.to_rows();
+        assert_eq!(back.len(), rows.len());
+        for (a, b) in back.iter().zip(&rows) {
+            for (x, y) in a.iter().zip(b) {
+                // Bit-exact floats: compare via encoding, not PartialEq
+                // (NaN != NaN under SQL equality but must round-trip).
+                let mut ex = Vec::new();
+                let mut ey = Vec::new();
+                x.encode_into(&mut ex);
+                y.encode_into(&mut ey);
+                assert_eq!(ex, ey, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_size_matches_row_encoding_exactly() {
+        let rows = Rows::from_rows(mixed_rows());
+        let batch = ColumnarBatch::from_rows(rows.rows(), 5);
+        assert_eq!(batch.encoded_size(), rows.encode().len());
+        assert_eq!(batch.encoded_size(), rows.encoded_size());
+        // Empty batches are header-only, like `Rows`.
+        let empty = ColumnarBatch::from_rows(&[], 3);
+        assert_eq!(empty.encoded_size(), 8);
+        assert_eq!(empty.arity(), 3);
+    }
+
+    #[test]
+    fn slice_and_gather_match_row_slicing() {
+        let rows = mixed_rows();
+        let batch = ColumnarBatch::from_rows(&rows, 5);
+        let s = batch.slice(1, 2);
+        assert_eq!(s.to_rows().rows(), &rows[1..3]);
+        let g = batch.gather(&[3, 0, 3]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.row(0), rows[3]);
+        assert_eq!(g.row(1), rows[0]);
+        assert_eq!(g.row(2), rows[3]);
+        // Sliced/gathered batches keep exact byte accounting.
+        let expect: usize = 8 + rows[1..3]
+            .iter()
+            .flatten()
+            .map(Value::estimated_exact_width)
+            .sum::<usize>();
+        assert_eq!(s.encoded_size(), expect);
+    }
+
+    #[test]
+    fn concat_merges_dictionaries_and_preserves_bytes() {
+        let rows = mixed_rows();
+        let a = Arc::new(ColumnarBatch::from_rows(&rows[..2], 5));
+        let b = Arc::new(ColumnarBatch::from_rows(&rows[2..], 5));
+        let joined = ColumnarBatch::concat(&[a, b], 5);
+        assert_eq!(joined.to_rows().rows(), &rows[..]);
+        let all = ColumnarBatch::from_rows(&rows, 5);
+        assert_eq!(joined.encoded_size(), all.encoded_size());
+    }
+
+    #[test]
+    fn concat_of_mismatched_column_types_falls_back_to_any() {
+        let a = Arc::new(ColumnarBatch::from_rows(&[vec![Value::Int64(1)]], 1));
+        let b = Arc::new(ColumnarBatch::from_rows(&[vec![Value::str("x")]], 1));
+        let j = ColumnarBatch::concat(&[a, b], 1);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.get(0, 0), Value::Int64(1));
+        assert_eq!(j.get(1, 0), Value::str("x"));
+    }
+
+    #[test]
+    fn mixed_typed_column_falls_back_to_any() {
+        let col = Column::from_values(vec![Value::Int64(1), Value::str("x")]);
+        assert!(matches!(col, Column::Any { .. }));
+        assert_eq!(col.get(0), Value::Int64(1));
+        assert_eq!(col.encoded_size(), 9 + 6);
+    }
+
+    #[test]
+    fn fingerprints_respect_value_equality_classes() {
+        // Int64 and Float64 merge numerically.
+        assert_eq!(
+            value_fingerprint(&Value::Int64(3)),
+            value_fingerprint(&Value::Float64(3.0))
+        );
+        // Dates are NOT numbers.
+        assert_ne!(
+            value_fingerprint(&Value::Date(3)),
+            value_fingerprint(&Value::Int64(3))
+        );
+        assert_eq!(
+            value_fingerprint(&Value::str("abc")),
+            value_fingerprint(&Value::str("abc"))
+        );
+        assert_ne!(
+            value_fingerprint(&Value::str("abc")),
+            value_fingerprint(&Value::str("abd"))
+        );
+
+        // Column fingerprints agree with the scalar scheme, across both
+        // typed and Any layouts.
+        let vals = vec![
+            Value::Null,
+            Value::Int64(42),
+            Value::str("k"),
+            Value::Float64(42.0),
+            Value::Bool(true),
+            Value::Date(42),
+        ];
+        let any = Column::Any {
+            values: vals.clone(),
+        };
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(any.fingerprint_at(i), value_fingerprint(v));
+        }
+        let ints = Column::from_values(vec![Value::Int64(42), Value::Null]);
+        assert_eq!(ints.fingerprint_at(0), value_fingerprint(&Value::Int64(42)));
+        assert_eq!(ints.fingerprint_at(1), value_fingerprint(&Value::Null));
+        let strs = Column::from_values(vec![Value::str("k"), Value::str("k")]);
+        assert_eq!(strs.fingerprint_at(0), value_fingerprint(&Value::str("k")));
+        assert_eq!(strs.fingerprint_at(0), strs.fingerprint_at(1));
+    }
+
+    #[test]
+    fn key_fingerprint_is_order_sensitive() {
+        let rows = vec![
+            vec![Value::Int64(1), Value::Int64(2)],
+            vec![Value::Int64(2), Value::Int64(1)],
+            vec![Value::Int64(1), Value::Int64(2)],
+        ];
+        let b = ColumnarBatch::from_rows(&rows, 2);
+        assert_eq!(b.key_fingerprint(&[0, 1], 0), b.key_fingerprint(&[0, 1], 2));
+        assert_ne!(b.key_fingerprint(&[0, 1], 0), b.key_fingerprint(&[0, 1], 1));
+    }
+
+    #[test]
+    fn dictionary_interning_dedupes_repeated_strings() {
+        let col = Column::from_values(vec![
+            Value::str("dup"),
+            Value::str("dup"),
+            Value::str("other"),
+        ]);
+        if let Column::Str { dict, .. } = &col {
+            assert_eq!(dict.len(), 2);
+        } else {
+            panic!("expected dictionary column");
+        }
+    }
+}

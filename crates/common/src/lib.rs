@@ -17,6 +17,7 @@
 //! Everything here is deliberately dependency-light so that every other crate
 //! in the workspace can build on it.
 
+pub mod columnar;
 pub mod control;
 pub mod error;
 pub mod location;
@@ -26,6 +27,7 @@ pub mod table_ref;
 pub mod types;
 pub mod value;
 
+pub use columnar::{Column, ColumnarBatch, SelectionVector};
 pub use control::{CancelToken, QueryDeadline, RunControl};
 pub use error::{GeoError, Result, Unavailable};
 pub use location::{Location, LocationPattern, LocationSet};

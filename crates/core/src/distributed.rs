@@ -4,7 +4,8 @@
 //! [`GeoError::SiteUnavailable`] errors during execution.
 
 use geoqp_common::{
-    GeoError, Location, LocationSet, Result, Rows, RunControl, Schema, TableRef, Unavailable,
+    ColumnarBatch, GeoError, Location, LocationSet, Result, Rows, RunControl, Schema, TableRef,
+    Unavailable,
 };
 use geoqp_exec::{DataSource, RetryPolicy, ShipHandler};
 use geoqp_net::{
@@ -83,8 +84,15 @@ impl<'a> CatalogSource<'a> {
     }
 }
 
-impl DataSource for CatalogSource<'_> {
-    fn scan(&self, table: &TableRef, location: &Location) -> Result<Rows> {
+impl<'a> CatalogSource<'a> {
+    /// Resolve and fetch the materialized table behind a scan, after
+    /// cancellation and availability gates. Shared by the row and
+    /// columnar scan paths so both consume fault-clock ticks identically.
+    fn gated_data(
+        &self,
+        table: &TableRef,
+        location: &Location,
+    ) -> Result<Arc<geoqp_storage::Table>> {
         self.control
             .check_cancel(&format!("scan of {table} at {location}"))?;
         self.site_gate(location, &format!("scan of {table}"))?;
@@ -93,13 +101,30 @@ impl DataSource for CatalogSource<'_> {
             .iter()
             .find(|e| e.location == *location)
             .ok_or_else(|| GeoError::Execution(format!("no table {table} at {location}")))?;
-        let data = entry.data().ok_or_else(|| {
+        entry.data().ok_or_else(|| {
             GeoError::Execution(format!(
                 "table {table} at {location} has no materialized data; \
                  attach rows with TableEntry::set_data"
             ))
-        })?;
-        Ok(data.to_rows())
+        })
+    }
+}
+
+impl DataSource for CatalogSource<'_> {
+    fn scan(&self, table: &TableRef, location: &Location) -> Result<Rows> {
+        Ok(self.gated_data(table, location)?.to_rows())
+    }
+
+    fn scan_columnar(
+        &self,
+        table: &TableRef,
+        location: &Location,
+        arity: usize,
+    ) -> Result<Arc<ColumnarBatch>> {
+        let _ = arity;
+        // Zero-copy: the table's cached columnar mirror, shared by `Arc`.
+        // No per-scan row cloning, unlike the row path's `to_rows`.
+        Ok(self.gated_data(table, location)?.to_columnar())
     }
 
     fn resume(&self, fingerprint: u64, location: &Location, arity: usize) -> Result<Rows> {
@@ -225,17 +250,23 @@ impl<'a> SimShip<'a> {
     }
 }
 
-impl ShipHandler for SimShip<'_> {
-    fn ship(
+impl SimShip<'_> {
+    /// The transfer core shared by the row and columnar SHIP paths:
+    /// fault gating with retries, gray-failure hedging, deadline
+    /// enforcement, log accounting, and checkpoint capture for one edge
+    /// carrying `bytes` over `n_rows` rows. `encode` materializes the
+    /// wire bytes and is invoked only when a checkpoint store is
+    /// attached — the columnar path otherwise never encodes.
+    fn transfer(
         &mut self,
         from: &Location,
         to: &Location,
-        rows: Rows,
-        schema: &Schema,
-    ) -> Result<Rows> {
+        bytes: u64,
+        n_rows: u64,
+        schema_len: usize,
+        encode: impl FnOnce() -> Vec<u8>,
+    ) -> Result<()> {
         self.control.check_cancel(&format!("SHIP {from} -> {to}"))?;
-        let encoded = rows.encode();
-        let bytes = encoded.len() as u64;
         let model_ms = self.topology.ship_cost_ms(from, to, bytes as f64);
         let edge = self.next_edge;
         self.next_edge += 1;
@@ -372,7 +403,7 @@ impl ShipHandler for SimShip<'_> {
                         from: leg.from.clone(),
                         to: leg.to.clone(),
                         bytes,
-                        rows: rows.len() as u64,
+                        rows: n_rows,
                         cost_ms: leg.cost_ms,
                         attempts: 1,
                     });
@@ -429,7 +460,7 @@ impl ShipHandler for SimShip<'_> {
                 from,
                 to,
                 bytes,
-                rows.len() as u64,
+                n_rows,
                 attempts,
                 extra_ms,
                 step,
@@ -447,6 +478,7 @@ impl ShipHandler for SimShip<'_> {
                 )
             })?;
             self.next_spec += 1;
+            let encoded = encode();
             for home in [to, from] {
                 store.put(
                     spec.fingerprint,
@@ -454,13 +486,49 @@ impl ShipHandler for SimShip<'_> {
                     &spec.legal,
                     &spec.logical,
                     encoded.clone(),
-                    rows.len() as u64,
-                    schema.len(),
+                    n_rows,
+                    schema_len,
                 )?;
             }
         }
+        Ok(())
+    }
+}
+
+impl ShipHandler for SimShip<'_> {
+    fn ship(
+        &mut self,
+        from: &Location,
+        to: &Location,
+        rows: Rows,
+        schema: &Schema,
+    ) -> Result<Rows> {
+        let encoded = rows.encode();
+        let bytes = encoded.len() as u64;
+        self.transfer(from, to, bytes, rows.len() as u64, schema.len(), || {
+            encoded.clone()
+        })?;
         Rows::decode(&encoded, schema.len())
             .ok_or_else(|| GeoError::Execution("wire corruption: batch failed to decode".into()))
+    }
+
+    fn ship_columnar(
+        &mut self,
+        from: &Location,
+        to: &Location,
+        batch: Arc<ColumnarBatch>,
+        schema: &Schema,
+    ) -> Result<Arc<ColumnarBatch>> {
+        // Byte accounting comes from column metadata
+        // ([`ColumnarBatch::encoded_size`] equals the wire encoding's
+        // length exactly), so the simulator charges identical bytes to
+        // the row path without ever materializing the encoding. The
+        // delivered batch is the same `Arc` — zero-copy hand-off.
+        let bytes = batch.encoded_size() as u64;
+        self.transfer(from, to, bytes, batch.len() as u64, schema.len(), || {
+            batch.to_rows().encode()
+        })?;
+        Ok(batch)
     }
 }
 
@@ -479,5 +547,14 @@ impl ArcCatalogSource {
 impl DataSource for ArcCatalogSource {
     fn scan(&self, table: &TableRef, location: &Location) -> Result<Rows> {
         CatalogSource::new(&self.catalog).scan(table, location)
+    }
+
+    fn scan_columnar(
+        &self,
+        table: &TableRef,
+        location: &Location,
+        arity: usize,
+    ) -> Result<Arc<ColumnarBatch>> {
+        CatalogSource::new(&self.catalog).scan_columnar(table, location, arity)
     }
 }

@@ -17,7 +17,7 @@ use geoqp_net::{
 };
 use geoqp_plan::logical::LogicalPlan;
 use geoqp_plan::{PhysOp, PhysicalPlan};
-use geoqp_policy::{PolicyCatalog, PolicyEvaluator};
+use geoqp_policy::{ImplicationMemo, PolicyCatalog, PolicyEvaluator};
 use geoqp_runtime::{
     fingerprint, stitch, CheckpointSpec, CheckpointStore, Runtime, RuntimeConfig, RuntimeMetrics,
 };
@@ -87,6 +87,11 @@ pub struct OptimizeStats {
     pub policy_invocations: u64,
     /// Phase-2 estimated shipping cost, ms.
     pub est_ship_cost_ms: f64,
+    /// Implication-memo hits during this optimization (verdicts served
+    /// without re-running the prover).
+    pub memo_hits: u64,
+    /// Implication-memo misses (proofs actually run).
+    pub memo_misses: u64,
 }
 
 /// A fully optimized query.
@@ -192,6 +197,10 @@ pub struct FailoverOpts {
     /// threshold, and let an exhausted breaker trigger a soft-exclusion
     /// re-plan. `None` disables hedging and breakers entirely.
     pub hedge: Option<HedgeConfig>,
+    /// Run every sequential attempt on the vectorized columnar engine.
+    /// Rows, shipped bytes, audits, and fault replay are identical to
+    /// the row engine; only CPU time changes.
+    pub columnar: bool,
 }
 
 impl FailoverOpts {
@@ -204,6 +213,7 @@ impl FailoverOpts {
             deadline: None,
             cancel: None,
             hedge: None,
+            columnar: false,
         }
     }
 
@@ -211,6 +221,12 @@ impl FailoverOpts {
     /// transfers for every attempt of the resilient run.
     pub fn with_hedge(mut self, config: HedgeConfig) -> FailoverOpts {
         self.hedge = Some(config);
+        self
+    }
+
+    /// Run sequential attempts on the vectorized columnar engine.
+    pub fn with_columnar(mut self, columnar: bool) -> FailoverOpts {
+        self.columnar = columnar;
         self
     }
 
@@ -236,6 +252,10 @@ pub struct Engine {
     catalog: Arc<Catalog>,
     policies: Arc<PolicyCatalog>,
     topology: NetworkTopology,
+    /// Implication-verdict cache shared by every evaluator the engine
+    /// creates — across AR1–AR4 annotation, plan enumeration, audits,
+    /// and failover re-plans. Epoch-scoped to the policy catalog.
+    implication_memo: ImplicationMemo,
 }
 
 impl Engine {
@@ -249,7 +269,23 @@ impl Engine {
             catalog,
             policies,
             topology,
+            implication_memo: ImplicationMemo::new(),
         }
+    }
+
+    /// The engine-wide implication memo (hit/miss counters feed
+    /// optimizer metrics reporting).
+    pub fn implication_memo(&self) -> &ImplicationMemo {
+        &self.implication_memo
+    }
+
+    /// A policy evaluator wired to the engine's shared implication memo.
+    fn evaluator(&self) -> PolicyEvaluator<'_> {
+        PolicyEvaluator::with_memo(
+            &self.policies,
+            self.catalog.locations(),
+            &self.implication_memo,
+        )
     }
 
     /// The catalog.
@@ -301,8 +337,8 @@ impl Engine {
         }
         explore(&mut memo, &rules)?;
 
-        let universe = self.catalog.locations();
-        let evaluator = PolicyEvaluator::new(&self.policies, universe);
+        let evaluator = self.evaluator();
+        let memo_base = (self.implication_memo.hits(), self.implication_memo.misses());
         let annotate_mode = match mode {
             OptimizerMode::Compliant => AnnotateMode::Compliant,
             OptimizerMode::Traditional => AnnotateMode::Traditional,
@@ -357,15 +393,15 @@ impl Engine {
                 eta: evaluator.eta(),
                 policy_invocations: evaluator.invocations(),
                 est_ship_cost_ms: sited.est_ship_cost_ms,
+                memo_hits: self.implication_memo.hits() - memo_base.0,
+                memo_misses: self.implication_memo.misses() - memo_base.1,
             },
         })
     }
 
     /// Audit a physical plan against the policies (Definition 1).
     pub fn audit(&self, plan: &PhysicalPlan) -> Result<()> {
-        let universe = self.catalog.locations();
-        let evaluator = PolicyEvaluator::new(&self.policies, universe);
-        check_compliance(plan, &evaluator, &self.catalog)
+        check_compliance(plan, &self.evaluator(), &self.catalog)
     }
 
     /// Execute a located physical plan over the per-site databases,
@@ -380,6 +416,22 @@ impl Engine {
         })
     }
 
+    /// [`Engine::execute`] on the vectorized columnar engine: scans are
+    /// zero-copy reads of each table's cached columnar mirror, operators
+    /// run the typed kernels, and SHIP edges hand `Arc`'d batches to the
+    /// simulator with bytes computed from column metadata. Result rows,
+    /// row order, shipped bytes, and audit outcomes are identical to the
+    /// row engine's.
+    pub fn execute_columnar(&self, plan: &PhysicalPlan) -> Result<ExecutionResult> {
+        let source = CatalogSource::new(&self.catalog);
+        let mut ship = SimShip::new(&self.topology);
+        let rows = geoqp_exec::execute_columnar(plan, &source, &mut ship)?;
+        Ok(ExecutionResult {
+            rows,
+            transfers: ship.into_log(),
+        })
+    }
+
     /// Execute a plan with fault injection active but no failover: a
     /// single try under `faults`, transient errors retried per `retry`.
     pub fn execute_with_faults(
@@ -388,7 +440,21 @@ impl Engine {
         faults: &FaultPlan,
         retry: &RetryPolicy,
     ) -> Result<ExecutionResult> {
-        let (outcome, transfers) = self.try_execute_with_faults(plan, faults, retry);
+        let (outcome, transfers) = self.try_execute_with_faults(plan, faults, retry, false);
+        outcome.map(|rows| ExecutionResult { rows, transfers })
+    }
+
+    /// [`Engine::execute_with_faults`] on the columnar engine. The
+    /// columnar interpreter recurses in the row engine's exact order, so
+    /// fault-clock ticks — and therefore the whole failure replay — are
+    /// bit-identical between the two.
+    pub fn execute_with_faults_columnar(
+        &self,
+        plan: &PhysicalPlan,
+        faults: &FaultPlan,
+        retry: &RetryPolicy,
+    ) -> Result<ExecutionResult> {
+        let (outcome, transfers) = self.try_execute_with_faults(plan, faults, retry, true);
         outcome.map(|rows| ExecutionResult { rows, transfers })
     }
 
@@ -399,28 +465,29 @@ impl Engine {
         plan: &PhysicalPlan,
         faults: &FaultPlan,
         retry: &RetryPolicy,
+        columnar: bool,
     ) -> (Result<Rows>, TransferLog) {
         let source = CatalogSource::new(&self.catalog).with_faults(faults, retry.clone());
         let mut ship = SimShip::new(&self.topology).with_faults(faults, retry.clone());
-        let outcome = geoqp_exec::execute(plan, &source, &mut ship);
+        let outcome = if columnar {
+            geoqp_exec::execute_columnar(plan, &source, &mut ship)
+        } else {
+            geoqp_exec::execute(plan, &source, &mut ship)
+        };
         (outcome, ship.into_log())
     }
 
     /// The per-SHIP-edge shipping traits the parallel runtime audits each
     /// batch against (pre-order).
     fn ship_audits(&self, plan: &PhysicalPlan) -> Result<Vec<LocationSet>> {
-        let universe = self.catalog.locations();
-        let evaluator = PolicyEvaluator::new(&self.policies, universe);
-        ship_traits(plan, &evaluator, &self.catalog)
+        ship_traits(plan, &self.evaluator(), &self.catalog)
     }
 
     /// Per-SHIP-edge audit traits *and* checkpoint specs (fingerprint of
     /// the producer subtree + its shipping trait + logical content), both
     /// in pre-order SHIP order.
     fn ship_specs(&self, plan: &PhysicalPlan) -> Result<(Vec<LocationSet>, Vec<CheckpointSpec>)> {
-        let universe = self.catalog.locations();
-        let evaluator = PolicyEvaluator::new(&self.policies, universe);
-        let audits = ship_audit_info(plan, &evaluator, &self.catalog)?;
+        let audits = ship_audit_info(plan, &self.evaluator(), &self.catalog)?;
         let epoch = self.policies.epoch();
         let mut fps = Vec::new();
         collect_ship_fingerprints(plan, epoch, &mut fps);
@@ -563,7 +630,11 @@ impl Engine {
                     let legal = order.iter().map(|&i| audits[i].clone()).collect();
                     ship = ship.with_hedge(health, config.clone(), legal);
                 }
-                let outcome = geoqp_exec::execute(physical, &source, &mut ship);
+                let outcome = if opts.columnar {
+                    geoqp_exec::execute_columnar(physical, &source, &mut ship)
+                } else {
+                    geoqp_exec::execute(physical, &source, &mut ship)
+                };
                 (outcome, ship.into_log())
             },
         )
@@ -667,8 +738,7 @@ impl Engine {
         health: Option<&LinkHealth>,
         mut try_once: impl FnMut(&Arc<PhysicalPlan>, f64) -> (Result<Rows>, TransferLog),
     ) -> Result<ResilientResult> {
-        let universe = self.catalog.locations();
-        let evaluator = PolicyEvaluator::new(&self.policies, universe);
+        let evaluator = self.evaluator();
         let mut physical = Arc::clone(&optimized.physical);
         let mut excluded = LocationSet::new();
         let mut avoided: BTreeSet<(Location, Location)> = BTreeSet::new();
@@ -850,6 +920,19 @@ impl Engine {
         Ok((optimized, result))
     }
 
+    /// [`Engine::run_sql`] with execution on the vectorized columnar
+    /// engine.
+    pub fn run_sql_columnar(
+        &self,
+        sql: &str,
+        mode: OptimizerMode,
+        result_location: Option<Location>,
+    ) -> Result<(OptimizedQuery, ExecutionResult)> {
+        let optimized = self.optimize_sql(sql, mode, result_location)?;
+        let result = self.execute_columnar(&optimized.physical)?;
+        Ok((optimized, result))
+    }
+
     /// Parse, lower, optimize, and execute on the chosen runtime.
     pub fn run_sql_parallel(
         &self,
@@ -927,13 +1010,12 @@ impl Engine {
         opts: &FailoverOpts,
     ) -> Result<(OptimizedQuery, ResilientResult, RuntimeMetrics)> {
         let optimized = self.optimize_sql(sql, mode, result_location)?;
-        let (result, metrics) = self.execute_resilient_parallel_opts(
-            &optimized,
-            faults,
-            retry,
-            opts,
-            &RuntimeConfig::default(),
-        )?;
+        let config = RuntimeConfig {
+            columnar: opts.columnar,
+            ..RuntimeConfig::default()
+        };
+        let (result, metrics) =
+            self.execute_resilient_parallel_opts(&optimized, faults, retry, opts, &config)?;
         Ok((optimized, result, metrics))
     }
 }

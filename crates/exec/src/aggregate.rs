@@ -79,6 +79,14 @@ impl BoundAgg {
             None => None, // COUNT(*)
             Some(e) => Some(e.eval(row)?),
         };
+        self.apply(acc, value)
+    }
+
+    /// Feed one already-evaluated argument value into an accumulator
+    /// (`None` = COUNT(*)'s argument-less case). The columnar engine
+    /// evaluates arguments column-at-a-time and feeds them through here,
+    /// so both engines share one set of null/overflow semantics.
+    pub fn apply(&self, acc: &mut Accumulator, value: Option<Value>) -> Result<()> {
         match acc {
             Accumulator::Count { n, star } => {
                 if *star || value.as_ref().is_some_and(|v| !v.is_null()) {

@@ -1,0 +1,1339 @@
+//! The vectorized columnar interpreter.
+//!
+//! A drop-in twin of [`crate::executor::execute_fragment`] that runs the
+//! same located physical plans over [`ColumnarBatch`]es instead of
+//! row-major [`Rows`]. Three rules keep it observably identical to the
+//! row engine:
+//!
+//! * **Same recursion, same order** — operators recurse into their
+//!   inputs left to right exactly like the row interpreter, so the
+//!   sequence of scan/ship side effects (fault-clock ticks, byte
+//!   accounting, audits) is bit-identical.
+//! * **Same semantics, vectorized where safe** — filters compile to
+//!   selection vectors via typed column kernels for predicate shapes
+//!   that provably cannot raise errors (comparisons of compatible typed
+//!   columns/literals, `IN`, `BETWEEN`, `LIKE` on string columns,
+//!   Kleene `AND`/`OR` over such masks); anything that may error falls
+//!   back to a per-row scalar mirror of `BoundExpr::eval`, evaluated in
+//!   row order so the first error matches the row engine's.
+//! * **Same rows, same order** — joins probe in input order and emit
+//!   matches in build-insertion order; aggregation feeds accumulators in
+//!   row order (float sums are order-sensitive) and sorts its output
+//!   with the row engine's one explicit final sort. Every operator is
+//!   order-preserving, so SHIP payloads batch identically and shipped
+//!   bytes match to the byte.
+//!
+//! Filters do not materialize: they return the input batch plus a
+//! selection vector, which downstream kernels (project, join, aggregate)
+//! consume positionally. Materialization happens only where physical
+//! row identity matters — SHIP boundaries and the plan root.
+
+use crate::aggregate::{Accumulator, BoundAgg};
+use crate::executor::{sort_group_keys, DataSource, ExchangeSource, NoExchange, ShipHandler};
+use geoqp_common::{
+    columnar::mix_fingerprint, Column, ColumnarBatch, DataType, GeoError, Result, Rows, Value,
+};
+use geoqp_expr::{apply_cmp, as_tv, bind, eval_arith, like_match, BinaryOp, BoundExpr, UnaryOp};
+use geoqp_plan::{PhysOp, PhysicalPlan, SortKey};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A batch with an optional selection vector: the unit flowing between
+/// columnar operators. `sel` lists the surviving physical row indices in
+/// order; `None` means all rows.
+#[derive(Debug, Clone)]
+pub struct ColBatch {
+    /// The (shared, immutable) data.
+    pub batch: Arc<ColumnarBatch>,
+    /// Selected physical rows, in order; `None` = every row.
+    pub sel: Option<Arc<Vec<u32>>>,
+}
+
+impl ColBatch {
+    /// Wrap a batch with no selection.
+    pub fn all(batch: Arc<ColumnarBatch>) -> ColBatch {
+        ColBatch { batch, sel: None }
+    }
+
+    /// Number of logical (selected) rows.
+    pub fn n_rows(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.batch.len(),
+        }
+    }
+
+    /// Physical index of logical row `i`.
+    #[inline]
+    pub fn phys(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    }
+
+    /// The logical row indices as an explicit vector (identity when no
+    /// selection is attached).
+    fn indices(&self) -> Vec<u32> {
+        match &self.sel {
+            Some(s) => s.as_ref().clone(),
+            None => (0..self.batch.len() as u32).collect(),
+        }
+    }
+
+    /// Materialize the selection into a standalone batch (a cheap `Arc`
+    /// clone when nothing is filtered out).
+    pub fn materialize(&self) -> Arc<ColumnarBatch> {
+        match &self.sel {
+            None => Arc::clone(&self.batch),
+            Some(s) => Arc::new(self.batch.gather(s)),
+        }
+    }
+
+    /// Convert to row-major form.
+    pub fn to_rows(&self) -> Rows {
+        match &self.sel {
+            None => self.batch.to_rows(),
+            Some(s) => Rows::from_rows(s.iter().map(|&i| self.batch.row(i as usize)).collect()),
+        }
+    }
+}
+
+/// Execute a located physical plan on the columnar engine, returning the
+/// result rows at the root operator's location. The row-major conversion
+/// happens once, at the root.
+pub fn execute_columnar(
+    plan: &PhysicalPlan,
+    source: &dyn DataSource,
+    ship: &mut dyn ShipHandler,
+) -> Result<Rows> {
+    Ok(execute_fragment_columnar(plan, source, ship, &NoExchange)?.to_rows())
+}
+
+/// [`execute_columnar`] with fragment boundaries, mirroring
+/// [`crate::executor::execute_fragment`]'s contract: nodes claimed by
+/// `exchange` are not interpreted here.
+pub fn execute_fragment_columnar(
+    plan: &PhysicalPlan,
+    source: &dyn DataSource,
+    ship: &mut dyn ShipHandler,
+    exchange: &dyn ExchangeSource,
+) -> Result<ColBatch> {
+    if let Some(batch) = exchange.fetch_columnar(plan) {
+        return Ok(ColBatch::all(batch?));
+    }
+    match &plan.op {
+        PhysOp::Scan { table } => Ok(ColBatch::all(source.scan_columnar(
+            table,
+            &plan.location,
+            plan.schema.len(),
+        )?)),
+        PhysOp::Filter { predicate } => {
+            let input = &plan.inputs[0];
+            let in_batch = execute_fragment_columnar(input, source, ship, exchange)?;
+            let bound = bind(predicate, &input.schema)?;
+            let idx = in_batch.indices();
+            let kept = filter_indices(&bound, &in_batch.batch, &idx)?;
+            Ok(ColBatch {
+                batch: in_batch.batch,
+                sel: Some(Arc::new(kept)),
+            })
+        }
+        PhysOp::Project { exprs } => {
+            let input = &plan.inputs[0];
+            let in_batch = execute_fragment_columnar(input, source, ship, exchange)?;
+            let bound: Vec<BoundExpr> = exprs
+                .iter()
+                .map(|(e, _)| bind(e, &input.schema))
+                .collect::<Result<_>>()?;
+            let idx = in_batch.indices();
+            let columns: Vec<Column> = bound
+                .iter()
+                .map(|b| eval_column(b, &in_batch.batch, &idx))
+                .collect::<Result<_>>()?;
+            let out = if columns.is_empty() {
+                ColumnarBatch::from_rows(&vec![Vec::new(); idx.len()], 0)
+            } else {
+                ColumnarBatch::from_columns(columns)
+            };
+            Ok(ColBatch::all(Arc::new(out)))
+        }
+        PhysOp::HashJoin {
+            left_keys,
+            right_keys,
+            filter,
+        } => execute_hash_join_columnar(
+            plan,
+            left_keys,
+            right_keys,
+            filter.as_ref(),
+            source,
+            ship,
+            exchange,
+        ),
+        PhysOp::HashAggregate { group_by, aggs } => {
+            execute_hash_aggregate_columnar(plan, group_by, aggs, source, ship, exchange)
+        }
+        PhysOp::Sort { keys } => {
+            let input = &plan.inputs[0];
+            let in_batch = execute_fragment_columnar(input, source, ship, exchange)?;
+            let cols: Vec<(usize, bool)> = keys
+                .iter()
+                .map(|k: &SortKey| Ok((input.schema.require_index(&k.column)?, k.descending)))
+                .collect::<Result<_>>()?;
+            let mut idx = in_batch.indices();
+            // Stable, like the row engine's `sort_by`: ties keep input order.
+            idx.sort_by(|&a, &b| {
+                for (c, desc) in &cols {
+                    let col = in_batch.batch.column(*c);
+                    let ord = col.get(a as usize).total_cmp(&col.get(b as usize));
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+            Ok(ColBatch {
+                batch: in_batch.batch,
+                sel: Some(Arc::new(idx)),
+            })
+        }
+        PhysOp::Limit { fetch } => {
+            let in_batch = execute_fragment_columnar(&plan.inputs[0], source, ship, exchange)?;
+            let mut idx = in_batch.indices();
+            idx.truncate(*fetch);
+            Ok(ColBatch {
+                batch: in_batch.batch,
+                sel: Some(Arc::new(idx)),
+            })
+        }
+        PhysOp::Union => {
+            let mut parts = Vec::with_capacity(plan.inputs.len());
+            for input in &plan.inputs {
+                parts.push(execute_fragment_columnar(input, source, ship, exchange)?.materialize());
+            }
+            Ok(ColBatch::all(Arc::new(ColumnarBatch::concat(
+                &parts,
+                plan.schema.len(),
+            ))))
+        }
+        PhysOp::Ship => {
+            let input = &plan.inputs[0];
+            let in_batch = execute_fragment_columnar(input, source, ship, exchange)?;
+            let payload = in_batch.materialize();
+            Ok(ColBatch::all(ship.ship_columnar(
+                &input.location,
+                &plan.location,
+                payload,
+                &input.schema,
+            )?))
+        }
+        PhysOp::ResumeScan { fingerprint, .. } => {
+            let rows = source.resume(*fingerprint, &plan.location, plan.schema.len())?;
+            Ok(ColBatch::all(Arc::new(ColumnarBatch::from_rows(
+                rows.rows(),
+                plan.schema.len(),
+            ))))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar mirror of `BoundExpr::eval`, reading from columns.
+// ---------------------------------------------------------------------
+
+/// Evaluate `e` at physical row `i` of `b`, with semantics (including
+/// short-circuiting, null propagation, and error cases) identical to
+/// [`BoundExpr::eval`] over the materialized row.
+fn eval_scalar(e: &BoundExpr, b: &ColumnarBatch, i: usize) -> Result<Value> {
+    match e {
+        BoundExpr::Column(c) => {
+            if *c < b.arity() {
+                Ok(b.get(i, *c))
+            } else {
+                Err(GeoError::Execution(format!("row too short for column {c}")))
+            }
+        }
+        BoundExpr::Literal(v) => Ok(v.clone()),
+        BoundExpr::Binary { op, lhs, rhs } => {
+            if *op == BinaryOp::And || *op == BinaryOp::Or {
+                return eval_logical_scalar(*op, lhs, rhs, b, i);
+            }
+            let l = eval_scalar(lhs, b, i)?;
+            let r = eval_scalar(rhs, b, i)?;
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            if op.is_comparison() {
+                let ord = l.sql_cmp(&r).ok_or_else(|| {
+                    GeoError::Execution(format!("incomparable values {l} and {r}"))
+                })?;
+                Ok(Value::Bool(apply_cmp(*op, ord)))
+            } else {
+                eval_arith(*op, &l, &r)
+            }
+        }
+        BoundExpr::Unary { op, expr } => {
+            let v = eval_scalar(expr, b, i)?;
+            match (op, v) {
+                (_, Value::Null) => Ok(Value::Null),
+                (UnaryOp::Not, Value::Bool(x)) => Ok(Value::Bool(!x)),
+                (UnaryOp::Neg, Value::Int64(x)) => Ok(Value::Int64(-x)),
+                (UnaryOp::Neg, Value::Float64(x)) => Ok(Value::Float64(-x)),
+                (op, v) => Err(GeoError::Execution(format!("cannot apply {op:?} to {v}"))),
+            }
+        }
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_scalar(expr, b, i)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Bool(like_match(pattern, &s) != *negated)),
+                other => Err(GeoError::Execution(format!("LIKE on non-string {other}"))),
+            }
+        }
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_scalar(expr, b, i)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let found = list.iter().any(|c| v.sql_cmp(c) == Some(Ordering::Equal));
+            Ok(Value::Bool(found != *negated))
+        }
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_scalar(expr, b, i)?;
+            let lo = eval_scalar(low, b, i)?;
+            let hi = eval_scalar(high, b, i)?;
+            if v.is_null() || lo.is_null() || hi.is_null() {
+                return Ok(Value::Null);
+            }
+            let ge_lo = matches!(
+                v.sql_cmp(&lo),
+                Some(Ordering::Greater) | Some(Ordering::Equal)
+            );
+            let le_hi = matches!(v.sql_cmp(&hi), Some(Ordering::Less) | Some(Ordering::Equal));
+            Ok(Value::Bool((ge_lo && le_hi) != *negated))
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let v = eval_scalar(expr, b, i)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+    }
+}
+
+fn eval_logical_scalar(
+    op: BinaryOp,
+    lhs: &BoundExpr,
+    rhs: &BoundExpr,
+    b: &ColumnarBatch,
+    i: usize,
+) -> Result<Value> {
+    let l = eval_scalar(lhs, b, i)?;
+    match (op, &l) {
+        (BinaryOp::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
+        (BinaryOp::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
+        _ => {}
+    }
+    let r = eval_scalar(rhs, b, i)?;
+    let lb = as_tv(&l)?;
+    let rb = as_tv(&r)?;
+    Ok(match op {
+        BinaryOp::And => match (lb, rb) {
+            (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+            (Some(true), Some(true)) => Value::Bool(true),
+            _ => Value::Null,
+        },
+        BinaryOp::Or => match (lb, rb) {
+            (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+            (Some(false), Some(false)) => Value::Bool(false),
+            _ => Value::Null,
+        },
+        _ => unreachable!("eval_logical_scalar only handles AND/OR"),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Vectorized predicate masks.
+// ---------------------------------------------------------------------
+
+/// Three-valued mask over a row-index window: `Some(bool)` or `None`
+/// (NULL), one entry per index.
+type Mask = Vec<Option<bool>>;
+
+/// Broad type class used to prove a comparison cannot error: `sql_cmp`
+/// only returns `None` (→ "incomparable" error) across classes.
+#[derive(PartialEq, Clone, Copy)]
+enum Class {
+    Num,
+    Date,
+    Str,
+    Bool,
+}
+
+fn column_class(c: &Column) -> Option<Class> {
+    match c {
+        Column::Int64 { .. } | Column::Float64 { .. } => Some(Class::Num),
+        Column::Date { .. } => Some(Class::Date),
+        Column::Str { .. } => Some(Class::Str),
+        Column::Bool { .. } => Some(Class::Bool),
+        Column::Any { .. } => None,
+    }
+}
+
+fn value_class(v: &Value) -> Option<Class> {
+    match v {
+        Value::Int64(_) | Value::Float64(_) => Some(Class::Num),
+        Value::Date(_) => Some(Class::Date),
+        Value::Str(_) => Some(Class::Str),
+        Value::Bool(_) => Some(Class::Bool),
+        Value::Null => None,
+    }
+}
+
+/// One comparison operand: a typed column or a literal.
+enum Operand<'a> {
+    Col(&'a Column),
+    Lit(&'a Value),
+}
+
+fn operand<'a>(e: &'a BoundExpr, b: &'a ColumnarBatch) -> Option<Operand<'a>> {
+    match e {
+        BoundExpr::Column(c) if *c < b.arity() => Some(Operand::Col(b.column(*c))),
+        BoundExpr::Literal(v) => Some(Operand::Lit(v)),
+        _ => None,
+    }
+}
+
+/// Try to evaluate `e` as an error-free vectorized mask over the rows
+/// `idx` of `b`. Returns `None` when `e` is not a shape this kernel can
+/// prove error-free; the caller then falls back to the scalar mirror.
+fn fast_mask(e: &BoundExpr, b: &ColumnarBatch, idx: &[u32]) -> Option<Mask> {
+    match e {
+        BoundExpr::Literal(Value::Bool(x)) => Some(vec![Some(*x); idx.len()]),
+        BoundExpr::Literal(Value::Null) => Some(vec![None; idx.len()]),
+        BoundExpr::Binary { op, lhs, rhs } if *op == BinaryOp::And || *op == BinaryOp::Or => {
+            // Both sides error-free ⇒ full evaluation matches Kleene
+            // logic with or without short-circuiting.
+            let l = fast_mask(lhs, b, idx)?;
+            let r = fast_mask(rhs, b, idx)?;
+            Some(merge_kleene(*op, &l, &r))
+        }
+        BoundExpr::Binary { op, lhs, rhs } if op.is_comparison() => {
+            cmp_mask(*op, operand(lhs, b)?, operand(rhs, b)?, idx)
+        }
+        BoundExpr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => {
+            let m = fast_mask(expr, b, idx)?;
+            Some(m.into_iter().map(|t| t.map(|x| !x)).collect())
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            if let BoundExpr::Column(c) = expr.as_ref() {
+                if *c < b.arity() {
+                    let col = b.column(*c);
+                    return Some(
+                        idx.iter()
+                            .map(|&i| Some(col.is_null(i as usize) != *negated))
+                            .collect(),
+                    );
+                }
+            }
+            None
+        }
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            // `IN` over constants never errors (incomparable candidates
+            // simply don't match), so any column shape is fair game.
+            if let BoundExpr::Column(c) = expr.as_ref() {
+                if *c < b.arity() {
+                    let col = b.column(*c);
+                    return Some(in_list_mask(col, list, *negated, idx));
+                }
+            }
+            None
+        }
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            // BETWEEN never errors either: bounds that don't compare
+            // yield `false` legs, not errors.
+            match (expr.as_ref(), low.as_ref(), high.as_ref()) {
+                (BoundExpr::Column(c), BoundExpr::Literal(lo), BoundExpr::Literal(hi))
+                    if *c < b.arity() =>
+                {
+                    let col = b.column(*c);
+                    Some(
+                        idx.iter()
+                            .map(|&i| {
+                                let v = col.get(i as usize);
+                                if v.is_null() || lo.is_null() || hi.is_null() {
+                                    return None;
+                                }
+                                let ge_lo = matches!(
+                                    v.sql_cmp(lo),
+                                    Some(Ordering::Greater) | Some(Ordering::Equal)
+                                );
+                                let le_hi = matches!(
+                                    v.sql_cmp(hi),
+                                    Some(Ordering::Less) | Some(Ordering::Equal)
+                                );
+                                Some((ge_lo && le_hi) != *negated)
+                            })
+                            .collect(),
+                    )
+                }
+                _ => None,
+            }
+        }
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            // Only string-typed columns are provably error-free (LIKE on
+            // a non-string value is a runtime error in the row engine).
+            if let BoundExpr::Column(c) = expr.as_ref() {
+                if *c < b.arity() {
+                    if let Column::Str {
+                        dict, codes, valid, ..
+                    } = b.column(*c)
+                    {
+                        // Match each distinct dictionary entry once.
+                        let hits: Vec<bool> = dict
+                            .iter()
+                            .map(|s| like_match(pattern, s) != *negated)
+                            .collect();
+                        return Some(
+                            idx.iter()
+                                .map(|&i| {
+                                    let i = i as usize;
+                                    if valid[i] {
+                                        Some(hits[codes[i] as usize])
+                                    } else {
+                                        None
+                                    }
+                                })
+                                .collect(),
+                        );
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn merge_kleene(op: BinaryOp, l: &Mask, r: &Mask) -> Mask {
+    l.iter()
+        .zip(r)
+        .map(|(a, c)| match op {
+            BinaryOp::And => match (a, c) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BinaryOp::Or => match (a, c) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+fn in_list_mask(col: &Column, list: &[Value], negated: bool, idx: &[u32]) -> Mask {
+    if let Column::Str {
+        dict, codes, valid, ..
+    } = col
+    {
+        // Evaluate membership once per distinct dictionary entry.
+        let hits: Vec<bool> = dict
+            .iter()
+            .map(|s| {
+                let v = Value::Str(Arc::clone(s));
+                let found = list.iter().any(|c| v.sql_cmp(c) == Some(Ordering::Equal));
+                found != negated
+            })
+            .collect();
+        return idx
+            .iter()
+            .map(|&i| {
+                let i = i as usize;
+                if valid[i] {
+                    Some(hits[codes[i] as usize])
+                } else {
+                    None
+                }
+            })
+            .collect();
+    }
+    idx.iter()
+        .map(|&i| {
+            let v = col.get(i as usize);
+            if v.is_null() {
+                return None;
+            }
+            let found = list.iter().any(|c| v.sql_cmp(c) == Some(Ordering::Equal));
+            Some(found != negated)
+        })
+        .collect()
+}
+
+/// Vectorized comparison of two operands, or `None` when the pair cannot
+/// be proven error-free (mismatched classes, `Any` columns).
+fn cmp_mask(op: BinaryOp, lhs: Operand<'_>, rhs: Operand<'_>, idx: &[u32]) -> Option<Mask> {
+    // A NULL literal anywhere makes the whole comparison NULL — the row
+    // engine checks nullness before comparability.
+    if matches!(lhs, Operand::Lit(Value::Null)) || matches!(rhs, Operand::Lit(Value::Null)) {
+        return Some(vec![None; idx.len()]);
+    }
+    match (&lhs, &rhs) {
+        (Operand::Lit(a), Operand::Lit(b)) => {
+            let class_a = value_class(a)?;
+            if class_a != value_class(b)? {
+                return None;
+            }
+            let ord = a.sql_cmp(b)?;
+            Some(vec![Some(apply_cmp(op, ord)); idx.len()])
+        }
+        (Operand::Col(c), Operand::Lit(v)) => {
+            if column_class(c)? != value_class(v)? {
+                return None;
+            }
+            Some(col_lit_mask(op, c, v, idx, false))
+        }
+        (Operand::Lit(v), Operand::Col(c)) => {
+            if column_class(c)? != value_class(v)? {
+                return None;
+            }
+            Some(col_lit_mask(op, c, v, idx, true))
+        }
+        (Operand::Col(a), Operand::Col(b)) => {
+            if column_class(a)? != column_class(b)? {
+                return None;
+            }
+            Some(
+                idx.iter()
+                    .map(|&i| {
+                        let i = i as usize;
+                        if a.is_null(i) || b.is_null(i) {
+                            return None;
+                        }
+                        let ord = a.get(i).sql_cmp(&b.get(i)).expect("same class compares");
+                        Some(apply_cmp(op, ord))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Column-vs-literal comparison with typed fast paths. `flipped` means
+/// the literal is on the left (`lit OP col`), so the ordering reverses.
+fn col_lit_mask(op: BinaryOp, col: &Column, lit: &Value, idx: &[u32], flipped: bool) -> Mask {
+    let orient = |ord: Ordering| if flipped { ord.reverse() } else { ord };
+    match (col, lit) {
+        // Numeric columns vs numeric literal: sql_cmp merges the numeric
+        // domain through f64 total_cmp — mirror that exactly.
+        (Column::Int64 { values, valid }, _) => {
+            let litf = lit.as_f64().expect("numeric class");
+            idx.iter()
+                .map(|&i| {
+                    let i = i as usize;
+                    if !valid[i] {
+                        return None;
+                    }
+                    Some(apply_cmp(op, orient((values[i] as f64).total_cmp(&litf))))
+                })
+                .collect()
+        }
+        (Column::Float64 { values, valid }, _) => {
+            let litf = lit.as_f64().expect("numeric class");
+            idx.iter()
+                .map(|&i| {
+                    let i = i as usize;
+                    if !valid[i] {
+                        return None;
+                    }
+                    Some(apply_cmp(op, orient(values[i].total_cmp(&litf))))
+                })
+                .collect()
+        }
+        (Column::Date { values, valid }, Value::Date(d)) => idx
+            .iter()
+            .map(|&i| {
+                let i = i as usize;
+                if !valid[i] {
+                    return None;
+                }
+                Some(apply_cmp(op, orient(values[i].cmp(d))))
+            })
+            .collect(),
+        (
+            Column::Str {
+                dict, codes, valid, ..
+            },
+            Value::Str(s),
+        ) => {
+            // One comparison per distinct dictionary entry.
+            let hits: Vec<bool> = dict
+                .iter()
+                .map(|e| apply_cmp(op, orient(e.as_ref().cmp(s.as_ref()))))
+                .collect();
+            idx.iter()
+                .map(|&i| {
+                    let i = i as usize;
+                    if valid[i] {
+                        Some(hits[codes[i] as usize])
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        }
+        (Column::Bool { values, valid }, Value::Bool(x)) => idx
+            .iter()
+            .map(|&i| {
+                let i = i as usize;
+                if !valid[i] {
+                    return None;
+                }
+                Some(apply_cmp(op, orient(values[i].cmp(x))))
+            })
+            .collect(),
+        // Class check upstream makes this unreachable, but fall back to
+        // the generic scalar comparison rather than panic.
+        _ => idx
+            .iter()
+            .map(|&i| {
+                let v = col.get(i as usize);
+                if v.is_null() {
+                    return None;
+                }
+                let ord = v.sql_cmp(lit).expect("same class compares");
+                Some(apply_cmp(op, orient(ord)))
+            })
+            .collect(),
+    }
+}
+
+/// Compute the surviving physical row indices for `predicate` over the
+/// window `idx`, with error behavior matching the row engine's
+/// row-by-row evaluation order.
+pub(crate) fn filter_indices(
+    predicate: &BoundExpr,
+    b: &ColumnarBatch,
+    idx: &[u32],
+) -> Result<Vec<u32>> {
+    if let Some(mask) = fast_mask(predicate, b, idx) {
+        return Ok(idx
+            .iter()
+            .zip(&mask)
+            .filter(|(_, m)| **m == Some(true))
+            .map(|(&i, _)| i)
+            .collect());
+    }
+    // Hybrid AND/OR: vectorize the error-free side, run the other side's
+    // scalar mirror only on the rows where the row engine would have
+    // evaluated it (Kleene short-circuit), preserving error order.
+    if let BoundExpr::Binary { op, lhs, rhs } = predicate {
+        if *op == BinaryOp::And || *op == BinaryOp::Or {
+            if let Some(lmask) = fast_mask(lhs, b, idx) {
+                return hybrid_filter(*op, &lmask, rhs, b, idx, true);
+            }
+            if let Some(rmask) = fast_mask(rhs, b, idx) {
+                return hybrid_filter(*op, &rmask, lhs, b, idx, false);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for &i in idx {
+        if eval_scalar(predicate, b, i as usize)?.is_true() {
+            out.push(i);
+        }
+    }
+    Ok(out)
+}
+
+/// One side of an AND/OR is a precomputed error-free mask, the other is
+/// evaluated row-at-a-time. `mask_is_lhs` tells which operand the mask
+/// came from, which determines the short-circuit direction.
+#[allow(clippy::needless_range_loop)]
+fn hybrid_filter(
+    op: BinaryOp,
+    mask: &Mask,
+    slow: &BoundExpr,
+    b: &ColumnarBatch,
+    idx: &[u32],
+    mask_is_lhs: bool,
+) -> Result<Vec<u32>> {
+    let mut out = Vec::new();
+    for k in 0..idx.len() {
+        let i = idx[k] as usize;
+        let m = mask[k];
+        match (op, mask_is_lhs) {
+            (BinaryOp::And, true) => {
+                // Row engine: lhs false short-circuits; otherwise rhs is
+                // evaluated (even under a NULL lhs) and may error.
+                if m == Some(false) {
+                    continue;
+                }
+                let r = eval_scalar(slow, b, i)?;
+                let rb = as_tv(&r)?;
+                if m == Some(true) && rb == Some(true) {
+                    out.push(idx[k]);
+                }
+            }
+            (BinaryOp::And, false) => {
+                // Row engine evaluates lhs first; false short-circuits
+                // before the (error-free) rhs would run.
+                let l = eval_scalar(slow, b, i)?;
+                if l == Value::Bool(false) {
+                    continue;
+                }
+                let lb = as_tv(&l)?;
+                if lb == Some(true) && m == Some(true) {
+                    out.push(idx[k]);
+                }
+            }
+            (BinaryOp::Or, true) => {
+                // lhs true short-circuits; otherwise rhs decides.
+                if m == Some(true) {
+                    out.push(idx[k]);
+                    continue;
+                }
+                let r = eval_scalar(slow, b, i)?;
+                if as_tv(&r)? == Some(true) {
+                    out.push(idx[k]);
+                }
+            }
+            (BinaryOp::Or, false) => {
+                let l = eval_scalar(slow, b, i)?;
+                if l == Value::Bool(true) {
+                    out.push(idx[k]);
+                    continue;
+                }
+                let lb = as_tv(&l)?;
+                if lb == Some(true) || m == Some(true) {
+                    out.push(idx[k]);
+                }
+            }
+            _ => unreachable!("hybrid_filter only handles AND/OR"),
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate a projection expression into a column over the rows `idx`.
+/// Plain column references gather (or share) the input column; anything
+/// else goes through the scalar mirror and re-sniffs a typed layout.
+fn eval_column(e: &BoundExpr, b: &ColumnarBatch, idx: &[u32]) -> Result<Column> {
+    match e {
+        BoundExpr::Column(c) if *c < b.arity() => {
+            if idx.len() == b.len() && idx.iter().enumerate().all(|(k, &i)| k == i as usize) {
+                Ok(b.column(*c).clone())
+            } else {
+                Ok(b.column(*c).gather(idx))
+            }
+        }
+        BoundExpr::Literal(v) => Ok(Column::from_values(vec![v.clone(); idx.len()])),
+        _ => {
+            let mut values = Vec::with_capacity(idx.len());
+            for &i in idx {
+                values.push(eval_scalar(e, b, i as usize)?);
+            }
+            Ok(Column::from_values(values))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Join and aggregate kernels.
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn execute_hash_join_columnar(
+    plan: &PhysicalPlan,
+    left_keys: &[String],
+    right_keys: &[String],
+    filter: Option<&geoqp_expr::ScalarExpr>,
+    source: &dyn DataSource,
+    ship: &mut dyn ShipHandler,
+    exchange: &dyn ExchangeSource,
+) -> Result<ColBatch> {
+    let (left, right) = (&plan.inputs[0], &plan.inputs[1]);
+    let lbatch = execute_fragment_columnar(left, source, ship, exchange)?;
+    let rbatch = execute_fragment_columnar(right, source, ship, exchange)?;
+
+    let lidx: Vec<usize> = left_keys
+        .iter()
+        .map(|k| left.schema.require_index(k))
+        .collect::<Result<_>>()?;
+    let ridx: Vec<usize> = right_keys
+        .iter()
+        .map(|k| right.schema.require_index(k))
+        .collect::<Result<_>>()?;
+    let bound_filter = filter.map(|f| bind(f, &plan.schema)).transpose()?;
+
+    // Build on the left input: fingerprint → physical left rows, in
+    // input order. NULL keys never join (SQL semantics).
+    let lb = &lbatch.batch;
+    let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+    for k in 0..lbatch.n_rows() {
+        let i = lbatch.phys(k);
+        if lidx.iter().any(|&c| lb.column(c).is_null(i)) {
+            continue;
+        }
+        let fp = lb.key_fingerprint(&lidx, i);
+        table.entry(fp).or_default().push(i as u32);
+    }
+
+    // Probe with the right input in order; fingerprint candidates are
+    // verified with real value comparisons, so hash collisions cannot
+    // produce wrong matches.
+    let rb = &rbatch.batch;
+    let mut out_left: Vec<u32> = Vec::new();
+    let mut out_right: Vec<u32> = Vec::new();
+    for k in 0..rbatch.n_rows() {
+        let i = rbatch.phys(k);
+        if ridx.iter().any(|&c| rb.column(c).is_null(i)) {
+            continue;
+        }
+        let fp = rb.key_fingerprint(&ridx, i);
+        if let Some(candidates) = table.get(&fp) {
+            for &li in candidates {
+                let matches = lidx
+                    .iter()
+                    .zip(&ridx)
+                    .all(|(&lc, &rc)| lb.column(lc).get(li as usize) == rb.column(rc).get(i));
+                if matches {
+                    out_left.push(li);
+                    out_right.push(i as u32);
+                }
+            }
+        }
+    }
+
+    // Materialize the joined batch: left columns then right columns.
+    let mut columns: Vec<Column> = Vec::with_capacity(lb.arity() + rb.arity());
+    for c in lb.columns() {
+        columns.push(c.gather(&out_left));
+    }
+    for c in rb.columns() {
+        columns.push(c.gather(&out_right));
+    }
+    let joined = if columns.is_empty() {
+        ColumnarBatch::from_rows(&vec![Vec::new(); out_left.len()], 0)
+    } else {
+        ColumnarBatch::from_columns(columns)
+    };
+
+    // Residual filter runs over the joined schema, like the row engine.
+    let sel = match &bound_filter {
+        None => None,
+        Some(f) => {
+            let idx: Vec<u32> = (0..joined.len() as u32).collect();
+            Some(Arc::new(filter_indices(f, &joined, &idx)?))
+        }
+    };
+    Ok(ColBatch {
+        batch: Arc::new(joined),
+        sel,
+    })
+}
+
+fn execute_hash_aggregate_columnar(
+    plan: &PhysicalPlan,
+    group_by: &[String],
+    aggs: &[geoqp_expr::AggCall],
+    source: &dyn DataSource,
+    ship: &mut dyn ShipHandler,
+    exchange: &dyn ExchangeSource,
+) -> Result<ColBatch> {
+    let input = &plan.inputs[0];
+    let in_batch = execute_fragment_columnar(input, source, ship, exchange)?;
+    let gidx: Vec<usize> = group_by
+        .iter()
+        .map(|g| input.schema.require_index(g))
+        .collect::<Result<_>>()?;
+
+    let bound: Vec<BoundAgg> = aggs
+        .iter()
+        .map(|a| {
+            let arg = a.arg.as_ref().map(|e| bind(e, &input.schema)).transpose()?;
+            let int_sum = match &a.arg {
+                Some(e) => e.data_type(&input.schema)? == DataType::Int64,
+                None => false,
+            };
+            Ok(BoundAgg {
+                func: a.func,
+                arg,
+                int_sum,
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    // Evaluate every aggregate argument column-at-a-time up front.
+    let idx = in_batch.indices();
+    let b = &in_batch.batch;
+    let args: Vec<Option<Column>> = bound
+        .iter()
+        .map(|agg| {
+            agg.arg
+                .as_ref()
+                .map(|e| eval_column(e, b, &idx))
+                .transpose()
+        })
+        .collect::<Result<_>>()?;
+
+    // Group by key fingerprint; candidate slots are verified against the
+    // stored key values. Accumulators see rows in input order, so
+    // order-sensitive float sums match the row engine exactly.
+    let mut slots: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+    for (k, &i) in idx.iter().enumerate() {
+        let i = i as usize;
+        let fp = {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &c in &gidx {
+                h = mix_fingerprint(h, b.column(c).fingerprint_at(i));
+            }
+            h
+        };
+        let candidates = slots.entry(fp).or_default();
+        let slot = candidates
+            .iter()
+            .copied()
+            .find(|&s| {
+                gidx.iter()
+                    .enumerate()
+                    .all(|(j, &c)| groups[s].0[j] == b.column(c).get(i))
+            })
+            .unwrap_or_else(|| {
+                let key: Vec<Value> = gidx.iter().map(|&c| b.column(c).get(i)).collect();
+                groups.push((key, bound.iter().map(BoundAgg::new_acc).collect()));
+                candidates.push(groups.len() - 1);
+                groups.len() - 1
+            });
+        let accs = &mut groups[slot].1;
+        for (a, agg) in bound.iter().enumerate() {
+            let value = args[a].as_ref().map(|col| col.get(k));
+            agg.apply(&mut accs[a], value)?;
+        }
+    }
+
+    // SQL: a global aggregate over empty input yields one row.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.push((vec![], bound.iter().map(BoundAgg::new_acc).collect()));
+    }
+
+    // The same single explicit final sort as the row engine.
+    sort_group_keys(&mut groups);
+
+    let rows: Vec<Vec<Value>> = groups
+        .into_iter()
+        .map(|(mut key, accs)| {
+            key.extend(accs.iter().map(Accumulator::finish));
+            key
+        })
+        .collect();
+    Ok(ColBatch::all(Arc::new(ColumnarBatch::from_rows(
+        &rows,
+        plan.schema.len(),
+    ))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{execute, LocalShip, MapSource};
+    use geoqp_common::{Field, Location, Schema, TableRef};
+    use geoqp_expr::ScalarExpr;
+
+    fn loc(n: &str) -> Location {
+        Location::new(n)
+    }
+
+    fn scan_node(table: &str, location: &str, fields: Vec<Field>) -> Arc<PhysicalPlan> {
+        Arc::new(
+            PhysicalPlan::new(
+                PhysOp::Scan {
+                    table: TableRef::bare(table),
+                },
+                Arc::new(Schema::new(fields).unwrap()),
+                loc(location),
+                vec![],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn source() -> MapSource {
+        let mut s = MapSource::new();
+        s.insert(
+            TableRef::bare("customer"),
+            loc("N"),
+            Rows::from_rows(vec![
+                vec![Value::Int64(1), Value::str("alice"), Value::Float64(100.0)],
+                vec![Value::Int64(2), Value::str("bob"), Value::Float64(200.0)],
+                vec![Value::Int64(3), Value::str("carol"), Value::Float64(300.0)],
+                vec![Value::Null, Value::str("nobody"), Value::Null],
+            ]),
+        );
+        s.insert(
+            TableRef::bare("orders"),
+            loc("N"),
+            Rows::from_rows(vec![
+                vec![Value::Int64(1), Value::Float64(10.0)],
+                vec![Value::Int64(1), Value::Float64(20.0)],
+                vec![Value::Int64(2), Value::Float64(5.0)],
+                vec![Value::Null, Value::Float64(99.0)],
+            ]),
+        );
+        s
+    }
+
+    fn customer_scan() -> Arc<PhysicalPlan> {
+        scan_node(
+            "customer",
+            "N",
+            vec![
+                Field::new("custkey", DataType::Int64),
+                Field::new("name", DataType::Str),
+                Field::new("acctbal", DataType::Float64),
+            ],
+        )
+    }
+
+    fn orders_scan() -> Arc<PhysicalPlan> {
+        scan_node(
+            "orders",
+            "N",
+            vec![
+                Field::new("o_custkey", DataType::Int64),
+                Field::new("o_price", DataType::Float64),
+            ],
+        )
+    }
+
+    /// Row engine and columnar engine must agree row-for-row (order
+    /// included) on every plan in these tests.
+    fn assert_engines_agree(plan: &PhysicalPlan) {
+        let row = execute(plan, &source(), &mut LocalShip).unwrap();
+        let col = execute_columnar(plan, &source(), &mut LocalShip).unwrap();
+        assert_eq!(row, col);
+    }
+
+    #[test]
+    fn filter_produces_selection_not_materialization() {
+        let scan = customer_scan();
+        let schema = Arc::clone(&scan.schema);
+        let plan = PhysicalPlan::new(
+            PhysOp::Filter {
+                predicate: ScalarExpr::col("acctbal").gt(ScalarExpr::lit(150.0)),
+            },
+            schema,
+            loc("N"),
+            vec![scan],
+        )
+        .unwrap();
+        let out = execute_fragment_columnar(&plan, &source(), &mut LocalShip, &NoExchange).unwrap();
+        assert!(out.sel.is_some(), "filter must return a selection vector");
+        assert_eq!(out.n_rows(), 2);
+        assert_engines_agree(&plan);
+    }
+
+    #[test]
+    fn join_and_residual_filter_agree_with_row_engine() {
+        let c = customer_scan();
+        let o = orders_scan();
+        let schema = Arc::new(c.schema.join(&o.schema).unwrap());
+        let join = PhysicalPlan::new(
+            PhysOp::HashJoin {
+                left_keys: vec!["custkey".into()],
+                right_keys: vec!["o_custkey".into()],
+                filter: Some(ScalarExpr::col("o_price").gt(ScalarExpr::lit(9.0))),
+            },
+            schema,
+            loc("N"),
+            vec![c, o],
+        )
+        .unwrap();
+        assert_engines_agree(&join);
+    }
+
+    #[test]
+    fn aggregate_ordering_matches_row_engine_sort() {
+        let o = orders_scan();
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("o_custkey", DataType::Int64),
+                Field::new("total", DataType::Float64),
+                Field::new("n", DataType::Int64),
+            ])
+            .unwrap(),
+        );
+        let agg = PhysicalPlan::new(
+            PhysOp::HashAggregate {
+                group_by: vec!["o_custkey".into()],
+                aggs: vec![
+                    geoqp_expr::AggCall::new(
+                        geoqp_expr::AggFunc::Sum,
+                        ScalarExpr::col("o_price"),
+                        "total",
+                    ),
+                    geoqp_expr::AggCall::count_star("n"),
+                ],
+            },
+            schema,
+            loc("N"),
+            vec![o],
+        )
+        .unwrap();
+        assert_engines_agree(&agg);
+    }
+
+    #[test]
+    fn sort_limit_union_project_agree() {
+        let c = customer_scan();
+        let schema = Arc::clone(&c.schema);
+        let sort = Arc::new(
+            PhysicalPlan::new(
+                PhysOp::Sort {
+                    keys: vec![SortKey::desc("acctbal")],
+                },
+                Arc::clone(&schema),
+                loc("N"),
+                vec![c],
+            )
+            .unwrap(),
+        );
+        let limit = Arc::new(
+            PhysicalPlan::new(
+                PhysOp::Limit { fetch: 2 },
+                Arc::clone(&schema),
+                loc("N"),
+                vec![sort],
+            )
+            .unwrap(),
+        );
+        let union = Arc::new(
+            PhysicalPlan::new(
+                PhysOp::Union,
+                Arc::clone(&schema),
+                loc("N"),
+                vec![Arc::clone(&limit), customer_scan()],
+            )
+            .unwrap(),
+        );
+        let project = PhysicalPlan::new(
+            PhysOp::Project {
+                exprs: vec![
+                    (ScalarExpr::col("name"), "name".into()),
+                    (
+                        ScalarExpr::col("acctbal").mul(ScalarExpr::lit(2.0)),
+                        "dbl".into(),
+                    ),
+                ],
+            },
+            Arc::new(
+                Schema::new(vec![
+                    Field::new("name", DataType::Str),
+                    Field::new("dbl", DataType::Float64),
+                ])
+                .unwrap(),
+            ),
+            loc("N"),
+            vec![union],
+        )
+        .unwrap();
+        assert_engines_agree(&project);
+    }
+
+    #[test]
+    fn complex_predicates_agree_including_nulls() {
+        // Exercises fast masks (cmp, IN, BETWEEN, LIKE, IS NULL, AND/OR)
+        // and the hybrid fallback, over a table with NULL keys.
+        let preds = vec![
+            ScalarExpr::col("acctbal")
+                .gt(ScalarExpr::lit(50.0))
+                .and(ScalarExpr::col("custkey").lt(ScalarExpr::lit(3i64))),
+            ScalarExpr::col("name").like("%o%"),
+            ScalarExpr::col("custkey").in_list(vec![Value::Int64(1), Value::Int64(3)]),
+            ScalarExpr::col("acctbal").between(ScalarExpr::lit(150.0), ScalarExpr::lit(350.0)),
+            ScalarExpr::col("acctbal").is_null(),
+            ScalarExpr::col("acctbal")
+                .is_null()
+                .or(ScalarExpr::col("name").eq(ScalarExpr::lit(Value::str("bob")))),
+            // Arithmetic forces the scalar fallback path.
+            ScalarExpr::col("acctbal")
+                .add(ScalarExpr::lit(1.0))
+                .gt(ScalarExpr::lit(200.0)),
+            // Hybrid: fast lhs, slow rhs.
+            ScalarExpr::col("custkey").gt(ScalarExpr::lit(0i64)).and(
+                ScalarExpr::col("acctbal")
+                    .mul(ScalarExpr::lit(2.0))
+                    .lt(ScalarExpr::lit(500.0)),
+            ),
+        ];
+        for p in preds {
+            let scan = customer_scan();
+            let schema = Arc::clone(&scan.schema);
+            let plan = PhysicalPlan::new(
+                PhysOp::Filter {
+                    predicate: p.clone(),
+                },
+                schema,
+                loc("N"),
+                vec![scan],
+            )
+            .unwrap();
+            let row = execute(&plan, &source(), &mut LocalShip).unwrap();
+            let col = execute_columnar(&plan, &source(), &mut LocalShip).unwrap();
+            assert_eq!(row, col, "predicate {p:?} diverged");
+        }
+    }
+
+    #[test]
+    fn division_by_zero_errors_in_both_engines() {
+        let scan = customer_scan();
+        let schema = Arc::clone(&scan.schema);
+        let plan = PhysicalPlan::new(
+            PhysOp::Filter {
+                predicate: ScalarExpr::col("custkey")
+                    .div(ScalarExpr::lit(0i64))
+                    .gt(ScalarExpr::lit(0i64)),
+            },
+            schema,
+            loc("N"),
+            vec![scan],
+        )
+        .unwrap();
+        let row = execute(&plan, &source(), &mut LocalShip).unwrap_err();
+        let col = execute_columnar(&plan, &source(), &mut LocalShip).unwrap_err();
+        assert_eq!(row.to_string(), col.to_string());
+    }
+}

@@ -1,10 +1,13 @@
 //! The recursive physical-plan interpreter.
 
 use crate::aggregate::BoundAgg;
-use geoqp_common::{DataType, GeoError, Location, Result, Row, Rows, Schema, TableRef, Value};
+use geoqp_common::{
+    ColumnarBatch, DataType, GeoError, Location, Result, Row, Rows, Schema, TableRef, Value,
+};
 use geoqp_expr::{bind, BoundExpr};
 use geoqp_plan::{PhysOp, PhysicalPlan, SortKey};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Supplies base-table rows for scans. Implemented by the distributed
 /// engine over its per-site databases.
@@ -24,6 +27,20 @@ pub trait DataSource {
              {fingerprint:016x} at {location}"
         )))
     }
+
+    /// Columnar twin of [`DataSource::scan`]. Sources that cache their
+    /// tables in columnar form override this to hand out a shared
+    /// `Arc<ColumnarBatch>` without copying a row; the default converts
+    /// the row scan.
+    fn scan_columnar(
+        &self,
+        table: &TableRef,
+        location: &Location,
+        arity: usize,
+    ) -> Result<Arc<ColumnarBatch>> {
+        let rows = self.scan(table, location)?;
+        Ok(Arc::new(ColumnarBatch::from_rows(rows.rows(), arity)))
+    }
 }
 
 /// Observes every SHIP operator. The distributed engine uses this hook to
@@ -34,6 +51,23 @@ pub trait ShipHandler {
     /// rows as they arrive at the destination.
     fn ship(&mut self, from: &Location, to: &Location, rows: Rows, schema: &Schema)
         -> Result<Rows>;
+
+    /// Columnar twin of [`ShipHandler::ship`]: transfer a batch, charging
+    /// exactly the bytes the row encoding of the same rows would cost.
+    /// Handlers that account bytes from column metadata override this to
+    /// skip the encode/decode round trip; the default converts through
+    /// rows so every existing handler stays correct.
+    fn ship_columnar(
+        &mut self,
+        from: &Location,
+        to: &Location,
+        batch: Arc<ColumnarBatch>,
+        schema: &Schema,
+    ) -> Result<Arc<ColumnarBatch>> {
+        let arity = batch.arity();
+        let shipped = self.ship(from, to, batch.to_rows(), schema)?;
+        Ok(Arc::new(ColumnarBatch::from_rows(shipped.rows(), arity)))
+    }
 }
 
 /// A ship handler that moves rows without cost accounting — useful for
@@ -63,6 +97,15 @@ pub trait ExchangeSource {
     /// The externally produced rows for `node`, or `None` when the node is
     /// local to this interpreter.
     fn fetch(&self, node: &PhysicalPlan) -> Option<Result<Rows>>;
+
+    /// Columnar twin of [`ExchangeSource::fetch`]: exchanges that carry
+    /// `Arc<ColumnarBatch>` payloads override this to hand the batch
+    /// through untouched; the default converts the row fetch.
+    fn fetch_columnar(&self, node: &PhysicalPlan) -> Option<Result<Arc<ColumnarBatch>>> {
+        let arity = node.schema.len();
+        self.fetch(node)
+            .map(|r| r.map(|rows| Arc::new(ColumnarBatch::from_rows(rows.rows(), arity))))
+    }
 }
 
 /// The trivial exchange: every node is local.
@@ -281,9 +324,7 @@ fn execute_hash_aggregate(
         })
         .collect::<Result<_>>()?;
 
-    // BTreeMap keeps group output deterministic across runs.
-    let mut groups: std::collections::BTreeMap<Vec<Value>, Vec<crate::aggregate::Accumulator>> =
-        std::collections::BTreeMap::new();
+    let mut groups: HashMap<Vec<Value>, Vec<crate::aggregate::Accumulator>> = HashMap::new();
     for row in rows.rows() {
         let key: Vec<Value> = gidx.iter().map(|i| row[*i].clone()).collect();
         let accs = groups
@@ -299,8 +340,15 @@ fn execute_hash_aggregate(
         groups.insert(vec![], bound.iter().map(BoundAgg::new_acc).collect());
     }
 
+    // Output ordering comes from one explicit final sort over the group
+    // keys (Value's total order, NULL first) — never from map iteration
+    // order, which a hashmap does not define.
+    let mut entries: Vec<(Vec<Value>, Vec<crate::aggregate::Accumulator>)> =
+        groups.into_iter().collect();
+    sort_group_keys(&mut entries);
+
     let mut out = Rows::new();
-    for (key, accs) in groups {
+    for (key, accs) in entries {
         let mut row: Row = key;
         for acc in &accs {
             row.push(acc.finish());
@@ -308,6 +356,19 @@ fn execute_hash_aggregate(
         out.push(row);
     }
     Ok(out)
+}
+
+/// The single deterministic sort that fixes aggregate output order:
+/// lexicographic over the group key under [`Value::total_cmp`]. Group
+/// keys are distinct, so the order is total.
+pub fn sort_group_keys<T>(entries: &mut [(Vec<Value>, T)]) {
+    entries.sort_unstable_by(|(a, _), (b, _)| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 }
 
 /// A [`DataSource`] backed by an in-memory map — the workhorse for tests.
@@ -511,6 +572,60 @@ mod tests {
         assert_eq!(rows.rows()[0][0], Value::Null);
         assert_eq!(rows.rows()[1][1], Value::Float64(30.0));
         assert_eq!(rows.rows()[1][2], Value::Int64(2));
+    }
+
+    /// The aggregate's output order must come from the one explicit final
+    /// sort, not from any hash/insertion accident: every permutation of
+    /// the input produces byte-identical output, already sorted by the
+    /// group keys under `Value::total_cmp` (Null first).
+    #[test]
+    fn aggregate_order_is_explicit_sort_not_insertion_order() {
+        let base: Vec<Row> = vec![
+            vec![Value::Int64(2), Value::Float64(5.0)],
+            vec![Value::Null, Value::Float64(99.0)],
+            vec![Value::Int64(1), Value::Float64(10.0)],
+            vec![Value::Int64(3), Value::Float64(7.0)],
+            vec![Value::Int64(1), Value::Float64(20.0)],
+        ];
+        // A few distinct insertion orders (rotations) — group discovery
+        // order differs, output order must not.
+        let mut outputs = Vec::new();
+        for rot in 0..base.len() {
+            let mut rows = base.clone();
+            rows.rotate_left(rot);
+            let mut s = MapSource::new();
+            s.insert(TableRef::bare("orders"), loc("E"), Rows::from_rows(rows));
+            let agg = PhysicalPlan::new(
+                PhysOp::HashAggregate {
+                    group_by: vec!["o_custkey".into()],
+                    aggs: vec![AggCall::count_star("n")],
+                },
+                Arc::new(
+                    Schema::new(vec![
+                        Field::new("o_custkey", DataType::Int64),
+                        Field::new("n", DataType::Int64),
+                    ])
+                    .unwrap(),
+                ),
+                loc("E"),
+                vec![orders_scan()],
+            )
+            .unwrap();
+            outputs.push(execute(&agg, &s, &mut LocalShip).unwrap());
+        }
+        let first = &outputs[0];
+        for out in &outputs[1..] {
+            assert_eq!(first, out, "output order depends on insertion order");
+        }
+        // And that order is exactly the explicit sort's order.
+        let mut entries: Vec<(Vec<Value>, ())> = first
+            .rows()
+            .iter()
+            .map(|r| (vec![r[0].clone()], ()))
+            .collect();
+        let as_emitted = entries.clone();
+        sort_group_keys(&mut entries);
+        assert_eq!(entries, as_emitted, "output not sorted by group keys");
     }
 
     #[test]

@@ -20,9 +20,11 @@
 //! [`GeoError::SiteUnavailable`](geoqp_common::GeoError) errors.
 
 pub mod aggregate;
+pub mod columnar;
 pub mod executor;
 pub mod retry;
 
+pub use columnar::{execute_columnar, execute_fragment_columnar, ColBatch};
 pub use executor::{
     execute, execute_fragment, DataSource, ExchangeSource, LocalShip, MapSource, NoExchange,
     ShipHandler,

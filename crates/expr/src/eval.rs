@@ -238,8 +238,10 @@ fn eval_logical(op: BinaryOp, lhs: &BoundExpr, rhs: &BoundExpr, row: &Row) -> Re
     })
 }
 
-/// Three-valued truth view: Some(bool) or None for NULL.
-fn as_tv(v: &Value) -> Result<Option<bool>> {
+/// Three-valued truth view: Some(bool) or None for NULL. Public so the
+/// vectorized executor (`geoqp-exec`) can reproduce these semantics
+/// exactly when it evaluates predicates column-at-a-time.
+pub fn as_tv(v: &Value) -> Result<Option<bool>> {
     match v {
         Value::Null => Ok(None),
         Value::Bool(b) => Ok(Some(*b)),
@@ -249,7 +251,9 @@ fn as_tv(v: &Value) -> Result<Option<bool>> {
     }
 }
 
-fn apply_cmp(op: BinaryOp, ord: Ordering) -> bool {
+/// Apply a comparison operator to an [`Ordering`]. Public for the
+/// vectorized executor, which compares typed columns directly.
+pub fn apply_cmp(op: BinaryOp, ord: Ordering) -> bool {
     match op {
         BinaryOp::Eq => ord == Ordering::Equal,
         BinaryOp::NotEq => ord != Ordering::Equal,
@@ -261,7 +265,10 @@ fn apply_cmp(op: BinaryOp, ord: Ordering) -> bool {
     }
 }
 
-fn eval_arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+/// Arithmetic with SQL typing rules (dates ± integer days, wrapping
+/// integer arithmetic, float fallback). Public for the vectorized
+/// executor's scalar mirror.
+pub fn eval_arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     // Date ± integer days.
     if let (Value::Date(d), Some(n)) = (l, r.as_i64()) {
         if !matches!(r, Value::Date(_)) {

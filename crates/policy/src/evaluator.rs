@@ -29,6 +29,7 @@
 
 use crate::catalog::PolicyCatalog;
 use crate::expression::PolicyKind;
+use crate::memo::{predicate_fingerprint, ImplicationMemo};
 use geoqp_common::{Location, LocationSet};
 use geoqp_expr::implication::implies_opt;
 use geoqp_plan::descriptor::{LocalQuery, OutputShape};
@@ -40,6 +41,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct PolicyEvaluator<'a> {
     catalog: &'a PolicyCatalog,
     universe: &'a LocationSet,
+    /// Shared implication-verdict cache; `None` proves every test fresh.
+    memo: Option<&'a ImplicationMemo>,
     eta: AtomicU64,
     invocations: AtomicU64,
 }
@@ -51,6 +54,27 @@ impl<'a> PolicyEvaluator<'a> {
         PolicyEvaluator {
             catalog,
             universe,
+            memo: None,
+            eta: AtomicU64::new(0),
+            invocations: AtomicU64::new(0),
+        }
+    }
+
+    /// [`PolicyEvaluator::new`] with a shared [`ImplicationMemo`]: line-3
+    /// implication verdicts are served from (and recorded into) the memo,
+    /// keyed by predicate fingerprint × expression id under the catalog's
+    /// current epoch. Evaluators across AR1–AR4, plan enumeration, and
+    /// failover re-plans may share one memo; verdicts transfer because
+    /// the prover is pure.
+    pub fn with_memo(
+        catalog: &'a PolicyCatalog,
+        universe: &'a LocationSet,
+        memo: &'a ImplicationMemo,
+    ) -> PolicyEvaluator<'a> {
+        PolicyEvaluator {
+            catalog,
+            universe,
+            memo: Some(memo),
             eta: AtomicU64::new(0),
             invocations: AtomicU64::new(0),
         }
@@ -90,6 +114,15 @@ impl<'a> PolicyEvaluator<'a> {
             .map(|a| (a.as_str(), LocationSet::new()))
             .collect();
 
+        // Memo key parts, computed once per evaluation.
+        let memo_key = self.memo.map(|m| {
+            (
+                m,
+                self.catalog.epoch(),
+                predicate_fingerprint(q.predicate.as_ref()),
+            )
+        });
+
         for e in self.catalog.expressions() {
             // The expression must govern the query's tables — all of its
             // tables for multi-table expressions (footnote 4)...
@@ -102,8 +135,15 @@ impl<'a> PolicyEvaluator<'a> {
             if !accessed.iter().any(|a| e.attrs.contains(a)) {
                 continue;
             }
-            // Line 3: the implication test.
-            if !implies_opt(q.predicate.as_ref(), e.expr.predicate.as_ref()) {
+            // Line 3: the implication test, memoized when a memo is
+            // attached (the prover is pure, so cached verdicts are exact).
+            let implied = match &memo_key {
+                Some((m, epoch, fp)) => m.check(*epoch, *fp, e.id, || {
+                    implies_opt(q.predicate.as_ref(), e.expr.predicate.as_ref())
+                }),
+                None => implies_opt(q.predicate.as_ref(), e.expr.predicate.as_ref()),
+            };
+            if !implied {
                 continue;
             }
             // Reached line 4: count toward η.
@@ -490,6 +530,36 @@ mod tests {
         let q = describe_local(&plan).unwrap();
         assert!(ev.evaluate(&q).is_empty());
         assert_eq!(ev.eta(), 0);
+    }
+
+    #[test]
+    fn memoized_evaluation_matches_fresh_and_records_hits() {
+        let cat = table1_catalog();
+        let uni = universe();
+        let memo = crate::memo::ImplicationMemo::new();
+        let plan = t_scan()
+            .filter(ScalarExpr::col("b").gt(ScalarExpr::lit(15i64)))
+            .unwrap()
+            .project_columns(&["a", "c", "d"])
+            .unwrap()
+            .build();
+        let q = describe_local(&plan).unwrap();
+
+        let fresh = PolicyEvaluator::new(&cat, &uni).evaluate(&q);
+        let ev = PolicyEvaluator::with_memo(&cat, &uni, &memo);
+        let first = ev.evaluate(&q);
+        assert_eq!(first, fresh);
+        assert_eq!(memo.hits(), 0, "first pass proves everything");
+        let proofs = memo.misses();
+        assert!(proofs > 0);
+
+        // Second evaluation of the same query: all verdicts served.
+        let second = ev.evaluate(&q);
+        assert_eq!(second, fresh);
+        assert_eq!(memo.misses(), proofs, "no new proofs on a repeat");
+        assert_eq!(memo.hits(), proofs);
+        // η counts memo-served passes identically.
+        assert_eq!(ev.eta(), 6);
     }
 
     #[test]

@@ -14,9 +14,11 @@
 pub mod catalog;
 pub mod evaluator;
 pub mod expression;
+pub mod memo;
 pub mod negative;
 
 pub use catalog::{PolicyCatalog, RegisteredExpression};
 pub use evaluator::PolicyEvaluator;
 pub use expression::{PolicyExpression, PolicyKind, ShipAttrs};
+pub use memo::{predicate_fingerprint, ImplicationMemo};
 pub use negative::{expand_denials, DenyExpression};

@@ -1,0 +1,166 @@
+//! The implication memo: optimizer-side caching of `P_q ⟹ P_e` verdicts.
+//!
+//! Algorithm 1's line-3 implication test dominates policy-evaluation
+//! cost, and the optimizer asks it for the *same* (query predicate,
+//! policy expression) pairs over and over: annotation rules AR1–AR4
+//! evaluate overlapping subtrees of one query, the dynamic-programming
+//! enumeration revisits the same local queries under different join
+//! orders, and the resilient loop re-plans the same query after every
+//! fault. The prover is pure — its verdict depends only on the two
+//! predicates — so the verdicts memoize perfectly.
+//!
+//! Keys are `(predicate fingerprint, expression id)`, scoped to one
+//! policy-catalog **epoch** ([`crate::PolicyCatalog::epoch`]): the first
+//! probe under a new epoch clears the table, so a changed catalog can
+//! never serve stale verdicts (expression ids are reused across
+//! registrations, fingerprints are not content-bound to the catalog).
+//! Hit/miss counters feed the engine's optimizer metrics.
+
+use geoqp_expr::ScalarExpr;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fingerprint of an optional query predicate, as used in memo keys.
+/// Structural: two structurally equal predicates collide intentionally.
+pub fn predicate_fingerprint(p: Option<&ScalarExpr>) -> u64 {
+    let mut h = DefaultHasher::new();
+    match p {
+        None => 0u8.hash(&mut h),
+        Some(e) => {
+            1u8.hash(&mut h);
+            e.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Verdicts keyed by `(predicate fingerprint, expression id)`.
+type Verdicts = HashMap<(u64, usize), bool>;
+
+/// A shared, epoch-scoped cache of implication verdicts.
+#[derive(Debug, Default)]
+pub struct ImplicationMemo {
+    /// `(current epoch, verdicts)`; one lock so an epoch check and the
+    /// probe it guards are atomic.
+    state: Mutex<(u64, Verdicts)>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ImplicationMemo {
+    /// An empty memo.
+    pub fn new() -> ImplicationMemo {
+        ImplicationMemo::default()
+    }
+
+    /// Return the memoized verdict for `(pred_fp, expr_id)` under
+    /// `epoch`, computing and storing it via `prove` on a miss. An epoch
+    /// change (policy catalog edited) drops every cached verdict first.
+    pub fn check(
+        &self,
+        epoch: u64,
+        pred_fp: u64,
+        expr_id: usize,
+        prove: impl FnOnce() -> bool,
+    ) -> bool {
+        let mut state = self.state.lock().expect("memo lock poisoned");
+        if state.0 != epoch {
+            state.0 = epoch;
+            state.1.clear();
+        }
+        if let Some(&v) = state.1.get(&(pred_fp, expr_id)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        // The prover is pure and lock-cheap at this scale; holding the
+        // lock keeps concurrent re-plans from proving the same pair twice.
+        let v = prove();
+        state.1.insert((pred_fp, expr_id), v);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        v
+    }
+
+    /// Memo hits since creation (or the last [`reset_counters`]).
+    ///
+    /// [`reset_counters`]: ImplicationMemo::reset_counters
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Memo misses (= implication proofs actually run through the memo).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached verdicts currently held.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("memo lock poisoned").1.len()
+    }
+
+    /// True when no verdicts are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Zero the hit/miss counters (cached verdicts are kept).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoizes_per_key_and_counts() {
+        let m = ImplicationMemo::new();
+        let mut proofs = 0;
+        for _ in 0..3 {
+            let v = m.check(1, 42, 7, || {
+                proofs += 1;
+                true
+            });
+            assert!(v);
+        }
+        assert_eq!(proofs, 1, "verdict must be proven once");
+        assert_eq!(m.hits(), 2);
+        assert_eq!(m.misses(), 1);
+        // A different key proves again.
+        assert!(!m.check(1, 42, 8, || false));
+        assert_eq!(m.misses(), 2);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let m = ImplicationMemo::new();
+        assert!(m.check(1, 5, 0, || true));
+        assert_eq!(m.len(), 1);
+        // Same key, new epoch: the old verdict must not be served.
+        assert!(!m.check(2, 5, 0, || false));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.hits(), 0);
+        assert_eq!(m.misses(), 2);
+    }
+
+    #[test]
+    fn predicate_fingerprint_is_structural() {
+        use geoqp_expr::ScalarExpr as E;
+        let a = E::col("x").gt(E::lit(5i64));
+        let b = E::col("x").gt(E::lit(5i64));
+        let c = E::col("x").gt(E::lit(6i64));
+        assert_eq!(
+            predicate_fingerprint(Some(&a)),
+            predicate_fingerprint(Some(&b))
+        );
+        assert_ne!(
+            predicate_fingerprint(Some(&a)),
+            predicate_fingerprint(Some(&c))
+        );
+        assert_ne!(predicate_fingerprint(None), predicate_fingerprint(Some(&a)));
+    }
+}

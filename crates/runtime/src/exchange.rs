@@ -12,9 +12,55 @@
 //! torn down with [`Exchange::cancel`], which unblocks both sides so no
 //! worker deadlocks on a channel whose peer has died.
 
-use geoqp_common::Rows;
+use geoqp_common::{ColumnarBatch, Rows};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One batch in flight on an exchange edge. Row-engine producers queue
+/// materialized [`Rows`]; columnar producers queue a shared
+/// `Arc<ColumnarBatch>` slice — the consumer clones the `Arc`, so a batch
+/// crosses the fragment boundary without copying a single value. Byte
+/// accounting is attached by the producer either way (for a columnar
+/// batch, computed from column metadata), so the transfer log cannot tell
+/// the two apart.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A materialized row batch (row engine).
+    Rows(Rows),
+    /// A shared columnar batch (columnar engine, zero-copy).
+    Columnar(Arc<ColumnarBatch>),
+}
+
+impl Payload {
+    /// Rows in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Rows(r) => r.len(),
+            Payload::Columnar(b) => b.len(),
+        }
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The batch as materialized rows (copies only for columnar payloads).
+    pub fn into_rows(self) -> Rows {
+        match self {
+            Payload::Rows(r) => r,
+            Payload::Columnar(b) => b.to_rows(),
+        }
+    }
+
+    /// The batch in columnar form (converts only for row payloads).
+    pub fn into_columnar(self, arity: usize) -> Arc<ColumnarBatch> {
+        match self {
+            Payload::Rows(r) => Arc::new(ColumnarBatch::from_rows(r.rows(), arity)),
+            Payload::Columnar(b) => b,
+        }
+    }
+}
 
 /// A bounded single-producer single-consumer batch channel.
 pub struct Exchange {
@@ -26,7 +72,7 @@ pub struct Exchange {
 
 #[derive(Default)]
 struct State {
-    queue: VecDeque<(Rows, u64)>,
+    queue: VecDeque<(Payload, u64)>,
     bytes_in_flight: u64,
     closed: bool,
     cancelled: bool,
@@ -36,8 +82,8 @@ struct State {
 
 /// What the consumer got from one [`Exchange::recv`].
 pub enum Received {
-    /// The next batch of rows.
-    Batch(Rows),
+    /// The next batch.
+    Batch(Payload),
     /// Producer finished; the stream is fully consumed.
     Done,
     /// The run was aborted by a failure elsewhere.
@@ -72,10 +118,16 @@ impl Exchange {
         }
     }
 
-    /// Queue one batch, blocking while the channel is full. Returns
+    /// Queue one row batch, blocking while the channel is full. Returns
     /// `false` when the run was cancelled (the batch is discarded and the
     /// producer should unwind quietly).
     pub fn send(&self, rows: Rows, bytes: u64) -> bool {
+        self.send_payload(Payload::Rows(rows), bytes)
+    }
+
+    /// [`Exchange::send`] for an already-wrapped payload — the columnar
+    /// producer's entry point.
+    pub fn send_payload(&self, payload: Payload, bytes: u64) -> bool {
         let mut st = self.state.lock().unwrap();
         while st.queue.len() >= self.capacity && !st.cancelled {
             st.stats.send_stalls += 1;
@@ -84,7 +136,7 @@ impl Exchange {
         if st.cancelled {
             return false;
         }
-        st.queue.push_back((rows, bytes));
+        st.queue.push_back((payload, bytes));
         st.bytes_in_flight += bytes;
         st.stats.batches += 1;
         st.stats.bytes += bytes;
@@ -158,11 +210,11 @@ mod tests {
         assert!(ex.send(batch(2), 20));
         ex.close(42.0);
         match ex.recv() {
-            Received::Batch(b) => assert_eq!(b.rows()[0][0], Value::Int64(1)),
+            Received::Batch(b) => assert_eq!(b.into_rows().rows()[0][0], Value::Int64(1)),
             _ => panic!("expected batch"),
         }
         match ex.recv() {
-            Received::Batch(b) => assert_eq!(b.rows()[0][0], Value::Int64(2)),
+            Received::Batch(b) => assert_eq!(b.into_rows().rows()[0][0], Value::Int64(2)),
             _ => panic!("expected batch"),
         }
         assert!(matches!(ex.recv(), Received::Done));
@@ -214,5 +266,21 @@ mod tests {
         // The queued batch is still drained; then the cancellation shows.
         assert!(matches!(ex.recv(), Received::Batch(_)));
         assert!(matches!(ex.recv(), Received::Cancelled));
+    }
+
+    #[test]
+    fn columnar_payload_crosses_zero_copy() {
+        let ex = Exchange::new(1);
+        let b = Arc::new(ColumnarBatch::from_rows(&[vec![Value::Int64(7)]], 1));
+        assert!(ex.send_payload(Payload::Columnar(Arc::clone(&b)), 9));
+        ex.close(0.0);
+        match ex.recv() {
+            Received::Batch(Payload::Columnar(got)) => {
+                // The consumer holds the producer's allocation, not a copy.
+                assert!(Arc::ptr_eq(&got, &b));
+            }
+            _ => panic!("expected columnar batch"),
+        }
+        assert!(matches!(ex.recv(), Received::Done));
     }
 }

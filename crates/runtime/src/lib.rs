@@ -38,7 +38,7 @@ pub mod runtime;
 pub use checkpoint::{
     fingerprint, stitch, Checkpoint, CheckpointSpec, CheckpointStore, StitchOutcome,
 };
-pub use exchange::{Exchange, ExchangeStats, Received};
+pub use exchange::{Exchange, ExchangeStats, Payload, Received};
 pub use fragment::{cut, Cut, Edge};
 pub use metrics::{EdgeMetrics, RuntimeMetrics, SiteMetrics};
 pub use runtime::{RunOutput, Runtime, RuntimeConfig};
@@ -164,6 +164,7 @@ mod tests {
             .with_config(RuntimeConfig {
                 batch_rows: 7,
                 channel_capacity: 2,
+                columnar: false,
             })
             .run(&plan, &source, None)
             .unwrap();
@@ -185,6 +186,58 @@ mod tests {
     }
 
     #[test]
+    fn columnar_exchange_matches_row_exchange_exactly() {
+        let (plan, source) = two_edge_plan();
+        let topology = NetworkTopology::paper_wan();
+        let run = |columnar: bool| {
+            Runtime::new(&topology)
+                .with_config(RuntimeConfig {
+                    batch_rows: 7,
+                    channel_capacity: 2,
+                    columnar,
+                })
+                .run(&plan, &source, None)
+                .unwrap()
+        };
+        let row = run(false);
+        let col = run(true);
+        // Not just equal multisets: identical row order, identical
+        // normalized transfer logs (bytes, rows, costs, steps), identical
+        // batch counts and completion time.
+        assert_eq!(col.rows, row.rows);
+        assert_eq!(col.transfers, row.transfers);
+        assert_eq!(col.metrics.batches, row.metrics.batches);
+        assert_eq!(col.metrics.bytes, row.metrics.bytes);
+        assert_eq!(col.metrics.completion_ms, row.metrics.completion_ms);
+    }
+
+    #[test]
+    fn columnar_exchange_replays_faults_identically() {
+        let (plan, source) = two_edge_plan();
+        let topology = NetworkTopology::paper_wan();
+        let faults = FaultPlan::parse("drop:L1-L4@0..1", 1).unwrap();
+        let run = |columnar: bool| {
+            Runtime::new(&topology)
+                .with_faults(&faults, RetryPolicy::default())
+                .with_config(RuntimeConfig {
+                    batch_rows: 7,
+                    channel_capacity: 2,
+                    columnar,
+                })
+                .run(&plan, &source, None)
+                .unwrap()
+        };
+        let row = run(false);
+        let col = run(true);
+        assert_eq!(col.rows, row.rows);
+        assert_eq!(
+            col.transfers, row.transfers,
+            "fault replay must be bit-identical"
+        );
+        assert!(col.transfers.fault_count() >= 1);
+    }
+
+    #[test]
     fn deterministic_across_runs() {
         let (plan, source) = two_edge_plan();
         let topology = NetworkTopology::paper_wan();
@@ -194,6 +247,7 @@ mod tests {
                     .with_config(RuntimeConfig {
                         batch_rows: 3,
                         channel_capacity: 1,
+                        columnar: false,
                     })
                     .run(&plan, &source, None)
                     .unwrap()

@@ -24,13 +24,16 @@
 //! quantity pipelining improves.
 
 use crate::checkpoint::{CheckpointSpec, CheckpointStore};
-use crate::exchange::{Exchange, Received};
+use crate::exchange::{Exchange, Payload, Received};
 use crate::fragment::{cut, node_key, Cut, Edge};
 use crate::metrics::{EdgeMetrics, RuntimeMetrics, SiteMetrics};
 use geoqp_common::{
-    GeoError, Location, LocationSet, Result, Rows, RunControl, TableRef, Unavailable,
+    ColumnarBatch, GeoError, Location, LocationSet, Result, Row, Rows, RunControl, TableRef,
+    Unavailable,
 };
-use geoqp_exec::{execute_fragment, DataSource, ExchangeSource, LocalShip, RetryPolicy};
+use geoqp_exec::{
+    execute_fragment, execute_fragment_columnar, DataSource, ExchangeSource, LocalShip, RetryPolicy,
+};
 use geoqp_net::{
     backup_beats, plan_hedge_with, run_hedge, FaultPlan, FaultVerdict, HedgeConfig, LinkHealth,
     NetworkTopology, RelayEvent, TransferLog, TransferRecord,
@@ -38,7 +41,7 @@ use geoqp_net::{
 use geoqp_plan::{PhysOp, PhysicalPlan};
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Error message used to propagate a cancellation through a fragment's
 /// interpreter. Never surfaced to callers: the originating failure wins.
@@ -51,6 +54,12 @@ pub struct RuntimeConfig {
     pub batch_rows: usize,
     /// Batches a channel buffers before the producer blocks.
     pub channel_capacity: usize,
+    /// Run every fragment on the vectorized columnar engine and ship
+    /// `Arc`'d batch slices through the exchanges instead of serialized
+    /// rows. Bytes are charged from column metadata — provably equal to
+    /// the row encoding's size — so transfer logs, audits, and fault
+    /// replay are identical to the row configuration.
+    pub columnar: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -58,6 +67,23 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             batch_rows: 256,
             channel_capacity: 4,
+            columnar: false,
+        }
+    }
+}
+
+/// One producer fragment's fully evaluated output, in whichever layout
+/// the configured engine produced it.
+enum Produced {
+    Rows(Vec<Row>),
+    Columnar(Arc<ColumnarBatch>),
+}
+
+impl Produced {
+    fn len(&self) -> usize {
+        match self {
+            Produced::Rows(all) => all.len(),
+            Produced::Columnar(b) => b.len(),
         }
     }
 }
@@ -223,7 +249,13 @@ impl<'a> Runtime<'a> {
             let root_out = &root_out;
             s.spawn(move || {
                 let view = FragmentView::new(self, shared, source);
-                match execute_fragment(plan, source, &mut LocalShip, &view).and_then(|rows| {
+                let result = if self.config.columnar {
+                    execute_fragment_columnar(plan, source, &mut LocalShip, &view)
+                        .map(|b| b.to_rows())
+                } else {
+                    execute_fragment(plan, source, &mut LocalShip, &view)
+                };
+                match result.and_then(|rows| {
                     let done_ms = view.ready_ms();
                     self.control.check(done_ms, "root fragment completion")?;
                     Ok((rows, done_ms))
@@ -294,10 +326,23 @@ impl<'a> Runtime<'a> {
         audits: Option<&[LocationSet]>,
     ) {
         let view = FragmentView::new(self, shared, source);
-        let result = execute_fragment(edge.subtree(), source, &mut LocalShip, &view);
+        let result = if self.config.columnar {
+            execute_fragment_columnar(edge.subtree(), source, &mut LocalShip, &view)
+                .map(|b| Produced::Columnar(b.materialize()))
+        } else {
+            execute_fragment(edge.subtree(), source, &mut LocalShip, &view)
+                .map(|rows| Produced::Rows(rows.into_rows()))
+        };
         let ready_ms = view.ready_ms();
-        let outcome = result.and_then(|rows| {
-            self.stream(edge, rows, ready_ms, view.attempts.get(), shared, audits)
+        let outcome = result.and_then(|produced| {
+            self.stream(
+                edge,
+                produced,
+                ready_ms,
+                view.attempts.get(),
+                shared,
+                audits,
+            )
         });
         if let Err(e) = outcome {
             shared.fail(edge.id, e);
@@ -309,7 +354,7 @@ impl<'a> Runtime<'a> {
     fn stream(
         &self,
         edge: &Edge<'_>,
-        rows: Rows,
+        produced: Produced,
         ready_ms: f64,
         fragment_attempts: u64,
         shared: &Shared<'_, '_>,
@@ -317,11 +362,11 @@ impl<'a> Runtime<'a> {
     ) -> Result<()> {
         let link = self.topology.link(&edge.from, &edge.to);
         let arity = edge.ship.schema.len();
-        let all = rows.into_rows();
+        let total = produced.len();
         let batch_rows = self.config.batch_rows.max(1);
         // An empty result still ships one (empty) batch, so transfer
         // counts and header bytes match the sequential interpreter.
-        let n_batches = all.len().div_ceil(batch_rows).max(1);
+        let n_batches = total.div_ceil(batch_rows).max(1);
         let mut arrival_ms = ready_ms;
         let mut attempts_total = fragment_attempts;
         // Backup routes whose α header has been paid: a stream charges a
@@ -336,9 +381,8 @@ impl<'a> Runtime<'a> {
             // stops between batches, never mid-wire.
             self.control
                 .check_cancel(&format!("batch {i} on SHIP {} -> {}", edge.from, edge.to))?;
-            let lo = (i * batch_rows).min(all.len());
-            let hi = ((i + 1) * batch_rows).min(all.len());
-            let batch = Rows::from_rows(all[lo..hi].to_vec());
+            let lo = (i * batch_rows).min(total);
+            let hi = ((i + 1) * batch_rows).min(total);
             if let Some(audits) = audits {
                 if !audits[edge.id].contains(&edge.to) {
                     return Err(GeoError::NonCompliant(format!(
@@ -348,18 +392,36 @@ impl<'a> Runtime<'a> {
                     )));
                 }
             }
-            // Wire roundtrip, as the sequential SimShip does: the consumer
-            // sees decoded bytes, and the stream pays the 8-byte batch
-            // header only once.
-            let encoded = batch.encode();
-            let bytes = if i == 0 {
-                encoded.len() as u64
-            } else {
-                encoded.len() as u64 - 8
+            let (payload, bytes) = match &produced {
+                Produced::Rows(all) => {
+                    let batch = Rows::from_rows(all[lo..hi].to_vec());
+                    // Wire roundtrip, as the sequential SimShip does: the
+                    // consumer sees decoded bytes, and the stream pays the
+                    // 8-byte batch header only once.
+                    let encoded = batch.encode();
+                    let bytes = if i == 0 {
+                        encoded.len() as u64
+                    } else {
+                        encoded.len() as u64 - 8
+                    };
+                    let batch = Rows::decode(&encoded, arity).ok_or_else(|| {
+                        GeoError::Execution("wire corruption: batch failed to decode".into())
+                    })?;
+                    (Payload::Rows(batch), bytes)
+                }
+                Produced::Columnar(cb) => {
+                    // Zero-copy: the slice shares the parent's column
+                    // allocations and crosses the exchange as an `Arc`.
+                    // Bytes come from column metadata; `encoded_size` is
+                    // exactly what the row encoding of these rows costs,
+                    // so the header arithmetic matches the row path.
+                    let slice = Arc::new(cb.slice(lo, hi - lo));
+                    let sz = slice.encoded_size() as u64;
+                    let bytes = if i == 0 { sz } else { sz - 8 };
+                    (Payload::Columnar(slice), bytes)
+                }
             };
-            let batch = Rows::decode(&encoded, arity).ok_or_else(|| {
-                GeoError::Execution("wire corruption: batch failed to decode".into())
-            })?;
+            let n_rows = payload.len() as u64;
 
             let lane = edge.id as u64;
             let alpha = if i == 0 { link.alpha_ms } else { 0.0 };
@@ -548,7 +610,7 @@ impl<'a> Runtime<'a> {
                                 from: leg.from.clone(),
                                 to: leg.to.clone(),
                                 bytes,
-                                rows: batch.len() as u64,
+                                rows: n_rows,
                                 cost_ms: leg.cost_ms,
                                 attempts: 1,
                             });
@@ -605,7 +667,7 @@ impl<'a> Runtime<'a> {
                     from: edge.from.clone(),
                     to: edge.to.clone(),
                     bytes,
-                    rows: batch.len() as u64,
+                    rows: n_rows,
                     cost_ms: base_ms + extra_ms,
                     attempts,
                 });
@@ -613,7 +675,7 @@ impl<'a> Runtime<'a> {
                 // duplicate backups ride the open stream at β-only price.
                 opened_legs.insert((edge.from.clone(), edge.to.clone()));
             }
-            if !shared.exchanges[edge.id].send(batch, bytes) {
+            if !shared.exchanges[edge.id].send_payload(payload, bytes) {
                 // Cancelled elsewhere; unwind without recording an error.
                 return Ok(());
             }
@@ -627,8 +689,12 @@ impl<'a> Runtime<'a> {
         // the store, surfaced like any other fragment failure.
         if let Some((store, specs)) = &self.checkpoints {
             let spec = &specs[edge.id];
-            let full = Rows::from_rows(all);
-            let encoded = full.encode();
+            // Checkpoints persist the row encoding either way, so a resumed
+            // plan replays bit-identically no matter which engine captured.
+            let encoded = match produced {
+                Produced::Rows(all) => Rows::from_rows(all).encode(),
+                Produced::Columnar(cb) => cb.to_rows().encode(),
+            };
             for home in [&edge.to, &edge.from] {
                 store.put(
                     spec.fingerprint,
@@ -636,7 +702,7 @@ impl<'a> Runtime<'a> {
                     &spec.legal,
                     &spec.logical,
                     encoded.clone(),
-                    full.len() as u64,
+                    total as u64,
                     arity,
                 )?;
             }
@@ -720,8 +786,8 @@ impl<'r, 's> FragmentView<'r, 's> {
         let mut out = Rows::new();
         loop {
             match ex.recv() {
-                Received::Batch(batch) => {
-                    for row in batch.into_rows() {
+                Received::Batch(payload) => {
+                    for row in payload.into_rows().into_rows() {
                         out.push(row);
                     }
                 }
@@ -730,6 +796,32 @@ impl<'r, 's> FragmentView<'r, 's> {
                     self.max_arrival_ms
                         .set(self.max_arrival_ms.get().max(arrival));
                     return Ok(out);
+                }
+                Received::Cancelled => {
+                    return Err(GeoError::Execution(CANCELLED.into()));
+                }
+            }
+        }
+    }
+
+    /// [`FragmentView::collect_edge`] for a columnar consumer: batches
+    /// cross as `Arc` clones and are stitched back with one concat, so a
+    /// single-batch stream (the common case) is handed through untouched.
+    fn collect_edge_columnar(&self, id: usize, arity: usize) -> Result<Arc<ColumnarBatch>> {
+        let ex = &self.shared.exchanges[id];
+        let mut parts = Vec::new();
+        loop {
+            match ex.recv() {
+                Received::Batch(payload) => parts.push(payload.into_columnar(arity)),
+                Received::Done => {
+                    let arrival = ex.arrival_ms();
+                    self.max_arrival_ms
+                        .set(self.max_arrival_ms.get().max(arrival));
+                    return Ok(if parts.len() == 1 {
+                        parts.pop().expect("one part")
+                    } else {
+                        Arc::new(ColumnarBatch::concat(&parts, arity))
+                    });
                 }
                 Received::Cancelled => {
                     return Err(GeoError::Execution(CANCELLED.into()));
@@ -824,6 +916,38 @@ impl ExchangeSource for FragmentView<'_, '_> {
         }
         if let PhysOp::ResumeScan { fingerprint, .. } = &node.op {
             return Some(self.resume(node, *fingerprint));
+        }
+        None
+    }
+
+    fn fetch_columnar(&self, node: &PhysicalPlan) -> Option<Result<Arc<ColumnarBatch>>> {
+        if let Err(e) =
+            self.runtime
+                .control
+                .check_cancel(&format!("{} at {}", node.op.name(), node.location))
+        {
+            return Some(Err(e));
+        }
+        if let Some(&id) = self.shared.cut.edge_of.get(&node_key(node)) {
+            return Some(self.collect_edge_columnar(id, node.schema.len()));
+        }
+        if let PhysOp::Scan { table } = &node.op {
+            // Same site gate as the row scan — the fault clock ticks in
+            // the identical order — but the table is handed out as its
+            // shared columnar mirror, without materializing rows.
+            let gated = self
+                .site_gate(node, &format!("scan of {table}"))
+                .and_then(|()| {
+                    self.source
+                        .scan_columnar(table, &node.location, node.schema.len())
+                });
+            return Some(gated);
+        }
+        if let PhysOp::ResumeScan { fingerprint, .. } = &node.op {
+            return Some(
+                self.resume(node, *fingerprint)
+                    .map(|rows| Arc::new(ColumnarBatch::from_rows(rows.rows(), node.schema.len()))),
+            );
         }
         None
     }

@@ -1,13 +1,16 @@
-//! Row-oriented in-memory tables.
+//! Row-oriented in-memory tables with a lazily-built columnar mirror.
 
-use geoqp_common::{GeoError, Result, Row, Rows, Schema};
-use std::sync::Arc;
+use geoqp_common::{ColumnarBatch, GeoError, Result, Row, Rows, Schema};
+use std::sync::{Arc, OnceLock};
 
-/// A materialized table: a schema and its rows.
+/// A materialized table: a schema and its rows, plus a lazily-built,
+/// shared columnar form so repeated columnar scans are zero-copy `Arc`
+/// clones instead of per-scan row copies.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Arc<Schema>,
     rows: Vec<Row>,
+    columnar: OnceLock<Arc<ColumnarBatch>>,
 }
 
 impl Table {
@@ -16,6 +19,7 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
+            columnar: OnceLock::new(),
         }
     }
 
@@ -30,7 +34,11 @@ impl Table {
                 )));
             }
         }
-        Ok(Table { schema, rows })
+        Ok(Table {
+            schema,
+            rows,
+            columnar: OnceLock::new(),
+        })
     }
 
     /// The table's schema.
@@ -58,12 +66,23 @@ impl Table {
             )));
         }
         self.rows.push(row);
+        // The cached columnar mirror (if built) no longer matches.
+        self.columnar = OnceLock::new();
         Ok(())
     }
 
     /// Copy all rows into a batch.
     pub fn to_rows(&self) -> Rows {
         Rows::from_rows(self.rows.clone())
+    }
+
+    /// The columnar mirror of this table, built once on first use and
+    /// shared thereafter: every subsequent call is an `Arc` clone.
+    pub fn to_columnar(&self) -> Arc<ColumnarBatch> {
+        Arc::clone(
+            self.columnar
+                .get_or_init(|| Arc::new(ColumnarBatch::from_rows(&self.rows, self.schema.len()))),
+        )
     }
 }
 
@@ -98,5 +117,18 @@ mod tests {
         let rows = t.to_rows();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows.rows()[0][1], Value::str("seven"));
+    }
+
+    #[test]
+    fn columnar_mirror_is_cached_and_invalidated_on_push() {
+        let mut t = Table::new(schema(), vec![vec![Value::Int64(7), Value::str("seven")]]).unwrap();
+        let a = t.to_columnar();
+        let b = t.to_columnar();
+        assert!(Arc::ptr_eq(&a, &b), "second call must reuse the cache");
+        assert_eq!(a.to_rows(), t.to_rows());
+        t.push(vec![Value::Int64(8), Value::str("eight")]).unwrap();
+        let c = t.to_columnar();
+        assert!(!Arc::ptr_eq(&a, &c), "push must invalidate the cache");
+        assert_eq!(c.to_rows(), t.to_rows());
     }
 }

@@ -75,7 +75,9 @@ pub fn paper_catalog_partitioned(sf: f64, n_locations: usize) -> Result<Catalog>
 
 /// Generate data at `sf` and attach it to every registered table. For
 /// partitioned tables the generated rows are distributed round-robin over
-/// the partitions.
+/// the partitions. Each attached table's columnar mirror is built here,
+/// at load time — the first columnar scan is already a zero-copy `Arc`
+/// clone instead of paying a row-to-column conversion mid-query.
 pub fn populate(catalog: &Catalog, sf: f64, seed: u64) -> Result<()> {
     for t in TABLES {
         let entries = catalog.resolve(&TableRef::bare(t));
@@ -85,7 +87,9 @@ pub fn populate(catalog: &Catalog, sf: f64, seed: u64) -> Result<()> {
         let rows = generate(t, sf, seed)?;
         if entries.len() == 1 {
             let entry = &entries[0];
-            entry.set_data(Table::new(Arc::clone(&entry.schema), rows)?)?;
+            let table = Table::new(Arc::clone(&entry.schema), rows)?;
+            table.to_columnar();
+            entry.set_data(table)?;
         } else {
             let n = entries.len();
             for (i, entry) in entries.iter().enumerate() {
@@ -95,7 +99,9 @@ pub fn populate(catalog: &Catalog, sf: f64, seed: u64) -> Result<()> {
                     .filter(|(j, _)| j % n == i)
                     .map(|(_, r)| r.clone())
                     .collect();
-                entry.set_data(Table::new(Arc::clone(&entry.schema), part)?)?;
+                let table = Table::new(Arc::clone(&entry.schema), part)?;
+                table.to_columnar();
+                entry.set_data(table)?;
             }
         }
     }

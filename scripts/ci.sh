@@ -25,11 +25,19 @@ cargo clippy "${pkg_flags[@]}" --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release --benches (criterion + kernel microbenchmarks)"
+cargo build --release "${pkg_flags[@]}" --benches
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> columnar differential suite: row vs vectorized engines," \
+     "both runtimes, all fault schedules (release)"
+cargo test -q -p geoqp-bench --release --test columnar_differential
+
 echo "==> chaos soak: crash/partition + gray degrade/loss variants" \
-     "(fixed seeds, GEOQP_CHAOS_N=${GEOQP_CHAOS_N:-24} schedules each)"
+     "(fixed seeds, GEOQP_CHAOS_N=${GEOQP_CHAOS_N:-24} schedules each," \
+     "odd rounds on the columnar engine)"
 GEOQP_CHAOS_N="${GEOQP_CHAOS_N:-24}" cargo test -q --test chaos_soak -- --nocapture
 
 echo "CI OK"

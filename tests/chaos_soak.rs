@@ -115,12 +115,17 @@ fn randomized_gray_schedules_stay_compliant_with_hedging_on() {
     let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
     let eng = Engine::new(catalog, Arc::new(policies), NetworkTopology::paper_wan());
     let retry = RetryPolicy::default().with_jitter(0.3, 2021);
-    let config = RuntimeConfig::default();
 
     let mut rng = 0x6772_6179_736f_616bu64; // fixed gray-soak seed
     let before = live_threads();
     let (mut completed, mut refused, mut hedged_runs) = (0usize, 0usize, 0usize);
     for round in 0..n {
+        // Odd rounds soak the vectorized columnar path — same schedules,
+        // same invariants, different inner loops.
+        let config = RuntimeConfig {
+            columnar: round % 2 == 1,
+            ..RuntimeConfig::default()
+        };
         for query in QUERIES {
             let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
             let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) else {
@@ -198,12 +203,17 @@ fn randomized_chaos_schedules_stay_compliant_and_leak_free() {
     let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
     let eng = Engine::new(catalog, Arc::new(policies), NetworkTopology::paper_wan());
     let retry = RetryPolicy::default().with_jitter(0.3, 2021);
-    let config = RuntimeConfig::default();
 
     let mut rng = 0x6765_6f71_7063_686bu64; // fixed soak seed
     let before = live_threads();
     let (mut completed, mut refused) = (0usize, 0usize);
     for round in 0..n {
+        // Odd rounds soak the vectorized columnar path — same schedules,
+        // same invariants, different inner loops.
+        let config = RuntimeConfig {
+            columnar: round % 2 == 1,
+            ..RuntimeConfig::default()
+        };
         for query in QUERIES {
             let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
             let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) else {

@@ -156,6 +156,7 @@ fn parallel_fault_runs_are_deterministic() {
     let config = RuntimeConfig {
         batch_rows: 16,
         channel_capacity: 2,
+        columnar: false,
     };
     let (_, plan) = all_queries(&catalog)
         .unwrap()

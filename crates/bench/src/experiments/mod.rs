@@ -5,6 +5,7 @@ pub mod effectiveness;
 pub mod failover;
 pub mod grayfail;
 pub mod kernels;
+pub mod optimizer;
 pub mod overhead;
 pub mod quality;
 pub mod scalability;

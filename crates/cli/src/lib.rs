@@ -176,6 +176,7 @@ impl Shell {
                 Ok(out)
             }
             "explain" => self.explain(arg),
+            "adhoc" => self.adhoc(arg),
             "faults" => self.set_faults(arg),
             "hedge" => self.set_hedge(arg),
             "health" => self.health(),
@@ -533,6 +534,43 @@ impl Shell {
         Ok(out)
     }
 
+    /// `\adhoc [n [seed]]` — generate seeded ad-hoc queries over the
+    /// loaded TPC-H deployment, show their SQL, and check that each one
+    /// plans under the session's optimizer mode.
+    fn adhoc(&mut self, arg: &str) -> Result<String> {
+        let mut parts = arg.split_whitespace();
+        let n: usize = match parts.next() {
+            None => 5,
+            Some(s) => s
+                .parse()
+                .map_err(|_| GeoError::Execution(format!("bad query count `{s}`")))?,
+        };
+        let seed: u64 = match parts.next() {
+            None => 2021,
+            Some(s) => s
+                .parse()
+                .map_err(|_| GeoError::Execution(format!("bad seed `{s}`")))?,
+        };
+        let eng = self.engine()?;
+        let queries = geoqp_tpch::adhoc::generate_adhoc(eng.catalog(), n, seed)?;
+        let mut out = format!("{n} ad-hoc queries (seed {seed}):\n");
+        for q in &queries {
+            let verdict = match eng.optimize(&q.plan, self.mode, self.result_location.clone()) {
+                Ok(opt) => format!("plans, est ship {:.1} ms", opt.stats.est_ship_cost_ms),
+                Err(e) => format!("REJECTED: {}", e.kind()),
+            };
+            let _ = writeln!(
+                out,
+                "  #{:<4} {}{} — {verdict}\n        {}",
+                q.id,
+                q.tables.join(" ⋈ "),
+                if q.aggregated { " [agg]" } else { "" },
+                q.sql
+            );
+        }
+        Ok(out)
+    }
+
     fn sql(&mut self, sql: &str) -> Result<String> {
         match self.runtime {
             RuntimeMode::Sequential => self.sql_sequential(sql),
@@ -735,6 +773,8 @@ commands:
                             query, plus policy-memo hit/miss counters
   \\at <location>|anywhere   pin the result location
   \\explain <sql>            show annotated + physical plan
+  \\adhoc [n [seed]]         generate seeded ad-hoc queries over the loaded
+                            TPC-H deployment and show their SQL
   \\faults <spec>|off        inject faults: crash:L2; drop:L1-L3@2..5;
                             flaky:L1-L2:0.3; delay:L1-L4:50ms;
                             degrade:L1-L4:3x@2..9; loss:L2-L3:0.4@..6;
@@ -903,6 +943,23 @@ mod tests {
             )
             .unwrap();
         assert!(out.contains("physical plan"));
+    }
+
+    #[test]
+    fn adhoc_command_generates_and_plans() {
+        let mut sh = Shell::new();
+        assert!(sh.run_command("\\adhoc").is_err(), "no deployment yet");
+        sh.run_command("\\demo tpch 0.001").unwrap();
+        let out = sh.run_command("\\adhoc 3 7").unwrap();
+        assert_eq!(out.matches("SELECT ").count(), 3, "{out}");
+        assert!(out.contains("plans, est ship"), "{out}");
+        assert_eq!(
+            out,
+            sh.run_command("\\adhoc 3 7").unwrap(),
+            "same seed must print the same workload"
+        );
+        assert!(sh.run_command("\\adhoc nope").is_err());
+        assert!(sh.run_command("\\help").unwrap().contains("\\adhoc"));
     }
 
     #[test]

@@ -92,6 +92,9 @@ pub struct OptimizeStats {
     pub memo_hits: u64,
     /// Implication-memo misses (proofs actually run).
     pub memo_misses: u64,
+    /// `(operator, location)` DP states Algorithm 2 explored for the
+    /// chosen placement (site-selector memo size).
+    pub dp_states: usize,
 }
 
 /// A fully optimized query.
@@ -395,6 +398,7 @@ impl Engine {
                 est_ship_cost_ms: sited.est_ship_cost_ms,
                 memo_hits: self.implication_memo.hits() - memo_base.0,
                 memo_misses: self.implication_memo.misses() - memo_base.1,
+                dp_states: sited.dp_states,
             },
         })
     }

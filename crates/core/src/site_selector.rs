@@ -49,6 +49,9 @@ pub struct SitedPlan {
     pub est_ship_cost_ms: f64,
     /// The location holding the final result.
     pub result_location: Location,
+    /// Distinct `(operator, location)` states Algorithm 2 memoized while
+    /// costing and reconstructing this placement — the DP search volume.
+    pub dp_states: usize,
 }
 
 /// Run Algorithm 2 over an annotated plan. When `result_location` is
@@ -109,6 +112,7 @@ pub fn select_sites_with(
         physical,
         est_ship_cost_ms: total,
         result_location: result_loc,
+        dp_states: memo.len(),
     })
 }
 

@@ -105,6 +105,17 @@ impl ImplicationMemo {
         self.len() == 0
     }
 
+    /// Fraction of lookups served from the cache since creation (or the
+    /// last counter reset); 0 when nothing has been looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
     /// Zero the hit/miss counters (cached verdicts are kept).
     pub fn reset_counters(&self) {
         self.hits.store(0, Ordering::Relaxed);

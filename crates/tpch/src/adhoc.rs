@@ -1,17 +1,24 @@
-//! The ad-hoc query generator of Section 7.1.
+//! The ad-hoc query generator of Section 7.1, scaled out.
 //!
 //! "Our query generator creates an ad-hoc query by randomly selecting a
 //! table and joining in additional tables using the PK–FK relationship. It
 //! chooses joining tables in a way that they span over two or more
 //! locations. It then randomly selects output columns and generates query
 //! predicates. For aggregation queries, it randomly chooses grouping as
-//! well as aggregation attributes." — 55% of queries reference two
-//! tables, 35% three, 10% four; about 30% aggregate; ~4 output columns and
-//! 3–4 predicates on average.
+//! well as aggregation attributes." — roughly half the queries reference
+//! two tables with a long tail up to five, about 30% aggregate, and a
+//! query carries ~4 output columns and 1–4 predicates.
+//!
+//! Every generated query carries both its [`LogicalPlan`] and the SQL
+//! text that lowers to the same plan shape, so the generator doubles as a
+//! differential-fuzz corpus for the parser and both execution engines.
+//! Generation is a pure function of the seed, and failure modes (catalog
+//! without TPC-H tables, FK-disconnected table subsets) surface as typed
+//! [`GeoError`]s rather than panics or unbounded retries.
 
 use crate::policy_gen;
 use crate::queries::scan;
-use geoqp_common::{Result, TableRef, Value};
+use geoqp_common::{GeoError, Result, TableRef, Value};
 use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
 use geoqp_plan::logical::LogicalPlan;
 use geoqp_storage::Catalog;
@@ -33,6 +40,17 @@ const FK_EDGES: [(&str, &str, &str, &str); 9] = [
     ("nation", "n_nationkey", "supplier", "s_nationkey"),
     ("region", "r_regionkey", "nation", "n_regionkey"),
 ];
+
+/// The TPC-H table universe the generator draws from.
+const ALL_TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+];
+
+/// Attempts to build one query before giving up with a typed error — a
+/// catalog whose present tables are FK-disconnected or single-location
+/// can make a target shape unreachable, and the generator must refuse
+/// rather than spin.
+const MAX_ATTEMPTS: usize = 4096;
 
 /// Columns an ad-hoc query may output or filter on, per table — the
 /// "analytically relevant" pool the base policy sets also cover, so that
@@ -76,6 +94,9 @@ pub struct AdhocQuery {
     pub id: usize,
     /// The logical plan.
     pub plan: Arc<LogicalPlan>,
+    /// SQL text that parses and lowers to the same plan shape (same
+    /// tables, joins, and output schema).
+    pub sql: String,
     /// Tables referenced.
     pub tables: Vec<&'static str>,
     /// Whether the query aggregates.
@@ -84,24 +105,53 @@ pub struct AdhocQuery {
 
 /// Generate `n` ad-hoc queries against the catalog, deterministically from
 /// `seed`.
+///
+/// Fails with a typed [`GeoError::Plan`] when the catalog holds fewer
+/// than two TPC-H tables, or when the present tables cannot yield the
+/// target query shape (FK-disconnected, single-location) within a
+/// bounded number of attempts.
 pub fn generate_adhoc(catalog: &Catalog, n: usize, seed: u64) -> Result<Vec<AdhocQuery>> {
+    let present: Vec<&'static str> = ALL_TABLES
+        .iter()
+        .copied()
+        .filter(|t| !catalog.resolve(&TableRef::bare(t)).is_empty())
+        .collect();
+    if present.len() < 2 {
+        return Err(GeoError::Plan(format!(
+            "ad-hoc generation needs at least two TPC-H tables in the catalog, found {}",
+            present.len()
+        )));
+    }
     let mut rng = StdRng::seed_from_u64(seed ^ 0xAD0C);
     let mut out = Vec::with_capacity(n);
     let mut id = 0;
     while out.len() < n {
-        // 55% two tables, 35% three, 10% four — the target is fixed across
-        // retries so that rejected single-location combinations do not
-        // skew the distribution.
+        // 52% two tables, 33% three, 10% four, 5% five — the target is
+        // fixed across retries so that rejected single-location
+        // combinations do not skew the distribution.
         let roll: f64 = rng.gen();
-        let n_tables = if roll < 0.55 {
+        let n_tables = if roll < 0.52 {
             2
-        } else if roll < 0.90 {
+        } else if roll < 0.85 {
             3
-        } else {
+        } else if roll < 0.95 {
             4
+        } else {
+            5
         };
+        let n_tables = n_tables.min(present.len());
+        let mut attempts = 0;
         loop {
-            if let Some(q) = try_generate(catalog, &mut rng, id, n_tables)? {
+            attempts += 1;
+            if attempts > MAX_ATTEMPTS {
+                return Err(GeoError::Plan(format!(
+                    "ad-hoc generator gave up on a {n_tables}-table query after \
+                     {MAX_ATTEMPTS} attempts; the {} present tables span too few \
+                     locations or are not FK-connected",
+                    present.len()
+                )));
+            }
+            if let Some(q) = try_generate(catalog, &present, &mut rng, id, n_tables)? {
                 out.push(q);
                 id += 1;
                 break;
@@ -113,15 +163,14 @@ pub fn generate_adhoc(catalog: &Catalog, n: usize, seed: u64) -> Result<Vec<Adho
 
 fn try_generate(
     catalog: &Catalog,
+    present: &[&'static str],
     rng: &mut StdRng,
     id: usize,
     n_tables: usize,
 ) -> Result<Option<AdhocQuery>> {
-    // Random connected subgraph over the FK edges.
-    const ALL: [&str; 8] = [
-        "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
-    ];
-    let mut tables: Vec<&'static str> = vec![ALL[rng.gen_range(0..ALL.len())]];
+    // Random connected subgraph over the FK edges, restricted to tables
+    // the catalog actually holds.
+    let mut tables: Vec<&'static str> = vec![present[rng.gen_range(0..present.len())]];
     let mut edges: Vec<(&str, &str, &str, &str)> = Vec::new();
     for _ in 0..32 {
         if tables.len() == n_tables {
@@ -130,7 +179,9 @@ fn try_generate(
         let candidates: Vec<_> = FK_EDGES
             .iter()
             .filter(|(lt, _, rt, _)| {
-                tables.contains(lt) != tables.contains(rt) // exactly one end inside
+                // Exactly one end inside, and the newcomer must exist.
+                let newcomer = if tables.contains(lt) { rt } else { lt };
+                tables.contains(lt) != tables.contains(rt) && present.contains(newcomer)
             })
             .collect();
         if candidates.is_empty() {
@@ -156,8 +207,11 @@ fn try_generate(
     }
 
     // Build the join tree: start at the first table, attach via edges.
+    // The SQL FROM list mirrors the join order and each join contributes
+    // one equi-conjunct, so lowering the text reproduces this exact tree.
     let mut builder = scan(catalog, tables[0])?;
     let mut joined: Vec<&str> = vec![tables[0]];
+    let mut join_conds: Vec<String> = Vec::new();
     let mut pending = edges.clone();
     while !pending.is_empty() {
         let pos = pending
@@ -170,22 +224,25 @@ fn try_generate(
         } else {
             (lt, vec![(rk, lk)])
         };
+        join_conds.push(format!("{} = {}", on[0].0, on[0].1));
         builder = builder.join(scan(catalog, new_table)?, on)?;
         joined.push(new_table);
     }
 
     // Predicates: 1–4, drawn per referenced table.
+    let mut where_sql = join_conds;
     let n_preds = rng.gen_range(1..=4usize);
     for _ in 0..n_preds {
         let t = tables[rng.gen_range(0..tables.len())];
         if let Some(p) = query_predicate(rng, t) {
+            where_sql.push(sql_predicate(&p));
             builder = builder.filter(p)?;
         }
     }
 
     // ~30% aggregation queries.
     let aggregated = rng.gen_bool(0.3);
-    let builder = if aggregated {
+    let (builder, select_sql, group_sql) = if aggregated {
         let group_candidates: Vec<&str> = tables
             .iter()
             .flat_map(|t| group_pool(t).iter().copied())
@@ -205,13 +262,20 @@ fn try_generate(
             }
         }
         let mut calls = Vec::new();
+        let mut items: Vec<String> = groups.iter().map(|g| g.to_string()).collect();
         let funcs = [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
         for (i, _) in (0..rng.gen_range(1..=2usize)).enumerate() {
             let col = agg_candidates[rng.gen_range(0..agg_candidates.len())];
             let f = funcs[rng.gen_range(0..funcs.len())];
+            items.push(format!("{f}({col}) AS agg_{i}"));
             calls.push(AggCall::new(f, ScalarExpr::col(col), format!("agg_{i}")));
         }
-        builder.aggregate(&groups, calls)?
+        let group_sql = format!(" GROUP BY {}", groups.join(", "));
+        (
+            builder.aggregate(&groups, calls)?,
+            items.join(", "),
+            group_sql,
+        )
     } else {
         // Random output columns (~4).
         let pool: Vec<&str> = tables
@@ -225,15 +289,48 @@ fn try_generate(
                 cols.push(c);
             }
         }
-        builder.project_columns(&cols)?
+        let select_sql = cols.join(", ");
+        (builder.project_columns(&cols)?, select_sql, String::new())
     };
 
+    let sql = format!(
+        "SELECT {select_sql} FROM {} WHERE {}{group_sql}",
+        joined.join(", "),
+        where_sql.join(" AND "),
+    );
     Ok(Some(AdhocQuery {
         id,
         plan: builder.build(),
+        sql,
         tables,
         aggregated,
     }))
+}
+
+/// Render a literal as SQL text that re-lexes to the same [`Value`]:
+/// floats keep their fractional point and dates take the `DATE` keyword
+/// (bare `Display` would round-trip `4500.0` as an integer and a date as
+/// an identifier).
+fn sql_value(v: &Value) -> String {
+    match v {
+        Value::Float64(f) => format!("{f:?}"),
+        Value::Date(_) => format!("DATE '{v}'"),
+        _ => v.to_string(),
+    }
+}
+
+/// Render a generated predicate as SQL. Covers exactly the shapes
+/// [`query_predicate`] emits: column-vs-literal comparisons and LIKE
+/// (whose `Display` is already SQL).
+fn sql_predicate(e: &ScalarExpr) -> String {
+    match e {
+        ScalarExpr::Column(c) => c.clone(),
+        ScalarExpr::Literal(v) => sql_value(v),
+        ScalarExpr::Binary { op, lhs, rhs } => {
+            format!("({} {op} {})", sql_predicate(lhs), sql_predicate(rhs))
+        }
+        other => other.to_string(),
+    }
 }
 
 /// A random query predicate over a table, restricted to the covered
@@ -302,6 +399,7 @@ mod tests {
         let qs2 = generate_adhoc(&c, 50, 11).unwrap();
         for (a, b) in qs.iter().zip(&qs2) {
             assert_eq!(a.plan, b.plan);
+            assert_eq!(a.sql, b.sql, "SQL must be byte-identical per seed");
         }
     }
 
@@ -309,12 +407,12 @@ mod tests {
     fn table_count_distribution_roughly_matches() {
         let c = paper_catalog(1.0);
         let qs = generate_adhoc(&c, 300, 3).unwrap();
-        let two = qs.iter().filter(|q| q.tables.len() == 2).count() as f64 / 300.0;
-        let three = qs.iter().filter(|q| q.tables.len() == 3).count() as f64 / 300.0;
-        let four = qs.iter().filter(|q| q.tables.len() == 4).count() as f64 / 300.0;
+        let share = |k: usize| qs.iter().filter(|q| q.tables.len() == k).count() as f64 / 300.0;
+        let (two, three, four, five) = (share(2), share(3), share(4), share(5));
         assert!((0.40..0.70).contains(&two), "two-table share {two}");
         assert!((0.20..0.50).contains(&three), "three-table share {three}");
         assert!((0.02..0.20).contains(&four), "four-table share {four}");
+        assert!((0.01..0.12).contains(&five), "five-table share {five}");
         let agg = qs.iter().filter(|q| q.aggregated).count() as f64 / 300.0;
         assert!((0.18..0.45).contains(&agg), "aggregate share {agg}");
     }
@@ -326,5 +424,24 @@ mod tests {
             assert!(q.plan.source_locations().len() >= 2, "query {}", q.id);
             assert!(q.plan.join_count() >= 1);
         }
+    }
+
+    #[test]
+    fn empty_catalog_is_a_typed_error_not_a_hang() {
+        let err = generate_adhoc(&Catalog::new(), 5, 1).unwrap_err();
+        assert_eq!(err.kind(), "plan");
+        assert!(
+            err.to_string().contains("at least two TPC-H tables"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn sql_literals_round_trip_lexing() {
+        assert_eq!(sql_value(&Value::Float64(4500.0)), "4500.0");
+        assert_eq!(sql_value(&Value::Float64(-500.0)), "-500.0");
+        assert_eq!(sql_value(&Value::date(1995, 1, 15)), "DATE '1995-01-15'");
+        assert_eq!(sql_value(&Value::str("BRAZIL")), "'BRAZIL'");
+        assert_eq!(sql_value(&Value::Int64(7)), "7");
     }
 }

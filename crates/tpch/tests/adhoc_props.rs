@@ -1,0 +1,132 @@
+//! Property tests for the ad-hoc workload generator: every generated
+//! query's SQL text round-trips through the parser to the same plan
+//! shape, generation is byte-deterministic per seed, every query plans
+//! under every policy template, and `generate_policies` respects the
+//! per-template `base_count` invariants.
+
+use geoqp_storage::Catalog;
+use geoqp_tpch::adhoc::generate_adhoc;
+use geoqp_tpch::paper_catalog;
+use geoqp_tpch::policy_gen::{generate_policies, PolicyTemplate};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const TEMPLATES: [PolicyTemplate; 4] = [
+    PolicyTemplate::T,
+    PolicyTemplate::C,
+    PolicyTemplate::CR,
+    PolicyTemplate::CRA,
+];
+
+fn catalog() -> Catalog {
+    paper_catalog(1.0)
+}
+
+/// The generated plans interleave filters differently from lowered SQL
+/// (N single-predicate filters vs one conjoined filter), so shape
+/// equality is tables + joins + output schema + aggregation, not node
+/// identity.
+fn assert_same_shape(sql: &str, built: &geoqp_plan::LogicalPlan, cat: &Catalog, agg: bool) {
+    let ast = geoqp_parser::parse_query(sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
+    let lowered =
+        geoqp_parser::lower_query(&ast, cat).unwrap_or_else(|e| panic!("lower `{sql}`: {e}"));
+    assert_eq!(lowered.tables(), built.tables(), "tables of `{sql}`");
+    assert_eq!(lowered.join_count(), built.join_count(), "joins of `{sql}`");
+    assert_eq!(
+        lowered.schema().names(),
+        built.schema().names(),
+        "output schema of `{sql}`"
+    );
+    assert_eq!(
+        format!("{lowered:?}").contains("Aggregate"),
+        agg,
+        "aggregation of `{sql}`"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// SQL text → parse → lower reproduces each generated plan's shape.
+    #[test]
+    fn generated_sql_roundtrips_through_parser(seed in 0u64..10_000) {
+        let cat = catalog();
+        for q in generate_adhoc(&cat, 12, seed).unwrap() {
+            assert_same_shape(&q.sql, &q.plan, &cat, q.aggregated);
+        }
+    }
+
+    /// Same seed ⇒ byte-identical SQL list (and identical plans).
+    #[test]
+    fn same_seed_is_byte_identical(seed in 0u64..10_000) {
+        let cat = catalog();
+        let a = generate_adhoc(&cat, 10, seed).unwrap();
+        let b = generate_adhoc(&cat, 10, seed).unwrap();
+        let sql_a: Vec<&str> = a.iter().map(|q| q.sql.as_str()).collect();
+        let sql_b: Vec<&str> = b.iter().map(|q| q.sql.as_str()).collect();
+        prop_assert_eq!(sql_a, sql_b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.plan, &y.plan);
+        }
+    }
+
+    /// `generate_policies` always yields `max(count, base_count)`
+    /// expressions and never fewer than the template's base set.
+    #[test]
+    fn policy_counts_respect_base_invariants(count in 0usize..40, seed in 0u64..1_000) {
+        let cat = catalog();
+        for template in TEMPLATES {
+            let policies = generate_policies(&cat, template, count, seed).unwrap();
+            prop_assert_eq!(policies.len(), count.max(template.base_count()));
+            prop_assert!(policies.len() >= template.base_count());
+        }
+    }
+}
+
+/// Every generated query optimizes to a compliant plan under every
+/// template — the generator's "guaranteed to plan" contract.
+#[test]
+fn every_query_plans_under_every_template() {
+    let cat = Arc::new(catalog());
+    let queries = generate_adhoc(&cat, 40, 2021).unwrap();
+    for template in TEMPLATES {
+        let policies = generate_policies(&cat, template, 50, 2021).unwrap();
+        let engine = geoqp_core::Engine::new(
+            Arc::clone(&cat),
+            Arc::new(policies),
+            geoqp_net::NetworkTopology::paper_wan(),
+        );
+        for q in &queries {
+            let opt = engine
+                .optimize(&q.plan, geoqp_core::OptimizerMode::Compliant, None)
+                .unwrap_or_else(|e| {
+                    panic!("query #{} under {}: {e}\n{}", q.id, template.name(), q.sql)
+                });
+            engine.audit(&opt.physical).unwrap_or_else(|e| {
+                panic!(
+                    "query #{} under {} audits dirty: {e}",
+                    q.id,
+                    template.name()
+                )
+            });
+            assert!(
+                opt.stats.dp_states > 0,
+                "query #{}: site selection reported no DP states",
+                q.id
+            );
+        }
+    }
+}
+
+/// Distinct seeds almost surely disagree — a smoke check that the seed
+/// actually reaches the generator.
+#[test]
+fn different_seeds_differ() {
+    let cat = catalog();
+    let a = generate_adhoc(&cat, 20, 1).unwrap();
+    let b = generate_adhoc(&cat, 20, 2).unwrap();
+    assert!(
+        a.iter().zip(&b).any(|(x, y)| x.sql != y.sql),
+        "20 queries from seeds 1 and 2 are identical"
+    );
+}

@@ -35,6 +35,12 @@ echo "==> columnar differential suite: row vs vectorized engines," \
      "both runtimes, all fault schedules (release)"
 cargo test -q -p geoqp-bench --release --test columnar_differential
 
+echo "==> ad-hoc workload differential fuzz: generated queries," \
+     "row vs columnar x sequential vs parallel, plus a fault slice" \
+     "(GEOQP_ADHOC_N=${GEOQP_ADHOC_N:-200} queries, release)"
+GEOQP_ADHOC_N="${GEOQP_ADHOC_N:-200}" \
+    cargo test -q -p geoqp-bench --release --test adhoc_differential
+
 echo "==> chaos soak: crash/partition + gray degrade/loss variants" \
      "(fixed seeds, GEOQP_CHAOS_N=${GEOQP_CHAOS_N:-24} schedules each," \
      "odd rounds on the columnar engine)"

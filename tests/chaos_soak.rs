@@ -192,6 +192,96 @@ fn randomized_gray_schedules_stay_compliant_with_hedging_on() {
     );
 }
 
+/// Ad-hoc round: the soak's crash/partition schedules replayed over
+/// *generated* queries instead of the named TPC-H six, so the chaos
+/// surface tracks the workload generator's full shape space (2–5-way
+/// joins, mixed aggregates). Same invariants: fault-free answer through
+/// an audit-clean placement, or a typed refusal; no leaked workers.
+#[test]
+fn randomized_adhoc_round_stays_compliant_and_leak_free() {
+    let n: usize = std::env::var("GEOQP_CHAOS_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let catalog = Arc::new(tpch::paper_catalog(SF));
+    tpch::populate(&catalog, SF, 7).unwrap();
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let eng = Engine::new(catalog, Arc::new(policies), NetworkTopology::paper_wan());
+    let retry = RetryPolicy::default().with_jitter(0.3, 2021);
+    // Three generated queries per schedule round, one deterministic batch.
+    let queries = tpch::adhoc::generate_adhoc(eng.catalog(), 3 * n, 2021).unwrap();
+
+    let mut rng = 0x6164_686f_6373_6f61u64; // fixed adhoc-soak seed
+    let before = live_threads();
+    let (mut completed, mut refused) = (0usize, 0usize);
+    for (round, chunk) in queries.chunks(3).enumerate() {
+        let config = RuntimeConfig {
+            columnar: round % 2 == 1,
+            ..RuntimeConfig::default()
+        };
+        for q in chunk {
+            let Ok(opt) = eng.optimize(&q.plan, OptimizerMode::Compliant, None) else {
+                panic!("adhoc #{} failed to plan fault-free: {}", q.id, q.sql);
+            };
+            let baseline = eng.execute_parallel(&opt.physical).unwrap();
+            let (faults, deadline, label) = schedule(&mut rng);
+            let opts = FailoverOpts {
+                deadline,
+                ..FailoverOpts::new(SITES.len())
+            };
+            match eng.execute_resilient_parallel_opts(&opt, &faults, &retry, &opts, &config) {
+                Ok((res, _metrics)) => {
+                    completed += 1;
+                    let mut got: Vec<String> = res.rows.iter().map(|r| format!("{r:?}")).collect();
+                    let mut want: Vec<String> =
+                        baseline.rows.iter().map(|r| format!("{r:?}")).collect();
+                    got.sort();
+                    want.sort();
+                    assert_eq!(
+                        got, want,
+                        "round {round} adhoc #{} [{label}]: chaos changed the answer\n{}",
+                        q.id, q.sql
+                    );
+                    eng.audit(&res.physical).unwrap_or_else(|e| {
+                        panic!(
+                            "round {round} adhoc #{} [{label}]: completed through a \
+                             non-compliant placement: {e}",
+                            q.id
+                        )
+                    });
+                }
+                Err(e) => {
+                    refused += 1;
+                    assert!(
+                        matches!(
+                            e.kind(),
+                            "rejected" | "unavailable" | "deadline" | "cancelled"
+                        ),
+                        "round {round} adhoc #{} [{label}]: untyped failure {e}",
+                        q.id
+                    );
+                }
+            }
+        }
+    }
+    let mut after = live_threads();
+    for _ in 0..50 {
+        if after <= before {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        after = live_threads();
+    }
+    assert!(
+        after <= before + 4,
+        "{before} threads before the adhoc soak, {after} after — fragment workers leaked"
+    );
+    assert!(
+        completed >= 1,
+        "the adhoc soak never completed a single run ({refused} refusals) — schedules too harsh"
+    );
+}
+
 #[test]
 fn randomized_chaos_schedules_stay_compliant_and_leak_free() {
     let n: usize = std::env::var("GEOQP_CHAOS_N")

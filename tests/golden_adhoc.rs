@@ -1,0 +1,60 @@
+//! Golden snapshot of the ad-hoc workload generator.
+//!
+//! The first 20 queries of the fixed seed 2021 against the paper's
+//! Table 2 catalog are pinned as text (tables, aggregation flag, SQL),
+//! so any drift in the generator — a changed distribution, a reordered
+//! rng draw, a different SQL rendering — is a reviewed diff rather than
+//! a silent re-seeding of every downstream benchmark.
+//!
+//! Refresh after an intentional change with:
+//! `UPDATE_GOLDEN=1 cargo test --test golden_adhoc`
+
+use geoqp::tpch;
+use std::path::PathBuf;
+
+const SEED: u64 = 2021;
+const PINNED: usize = 20;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("adhoc_sample.txt")
+}
+
+fn render() -> String {
+    let catalog = tpch::paper_catalog(1.0);
+    let queries = tpch::adhoc::generate_adhoc(&catalog, PINNED, SEED).unwrap();
+    let mut out = format!("ad-hoc generator sample: seed {SEED}, first {PINNED} queries\n\n");
+    for q in &queries {
+        out.push_str(&format!(
+            "#{} tables={} agg={}\n  {}\n",
+            q.id,
+            q.tables.join("⋈"),
+            q.aggregated,
+            q.sql
+        ));
+    }
+    out
+}
+
+#[test]
+fn adhoc_sample_matches_its_snapshot() {
+    let got = render();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing snapshot {}; run UPDATE_GOLDEN=1 cargo test --test golden_adhoc",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "ad-hoc generator drifted (UPDATE_GOLDEN=1 refreshes intentional changes)"
+    );
+}

@@ -4,7 +4,7 @@
 //!   repro                # everything
 //!   repro --figure 6a    # one artifact: table1|table2|table3|5a|5bcde|
 //!                        # 6a|6b|6c|6d|6e|6f|6g|6h|7abc|7de|8ab|
-//!                        # ablation|failover|scaleup|adhoc
+//!                        # ablation|failover|scaleup|adhoc|service
 //!   repro --quick        # fewer runs / fewer ad-hoc queries
 //!
 //! `--figure adhoc` reproduces the paper's 400-query effectiveness and
@@ -13,11 +13,17 @@
 //! rate, Algorithm 2 DP states) and writes `BENCH_optimizer.json`. The
 //! scale-run size is `GEOQP_ADHOC_N` (default 100000, or 2000 with
 //! `--quick`).
+//!
+//! `--figure service` drives a closed loop of concurrent sessions across
+//! four template tenants through the multi-tenant `QueryService`
+//! (admission control, DRR fair scheduling, epoch-keyed plan cache) and
+//! writes `BENCH_service.json`. The session count is
+//! `GEOQP_SERVICE_SESSIONS` (default 1000, or 120 with `--quick`).
 
 use geoqp_bench::experiments::overhead::OverheadCase;
 use geoqp_bench::experiments::{
     ablation, effectiveness, failover, grayfail, kernels, optimizer, overhead, quality,
-    scalability, scaleup,
+    scalability, scaleup, service,
 };
 use geoqp_common::LocationSet;
 use geoqp_plan::descriptor::describe_local;
@@ -97,6 +103,64 @@ fn main() {
     }
     if want("adhoc") {
         adhoc_figure(adhoc_n, quick);
+    }
+    if want("service") {
+        service_figure(quick);
+    }
+}
+
+fn service_figure(quick: bool) {
+    let sessions: usize = std::env::var("GEOQP_SERVICE_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 120 } else { 1_000 });
+    header(&format!(
+        "Extension E11: multi-tenant service — {sessions} closed-loop sessions, 4 template tenants"
+    ));
+    let b = service::closed_loop(sessions, 0.01, SEED);
+    println!(
+        "  {:10} {:>9} {:>9} {:>10} {:>7} {:>7} {:>9} {:>9} {:>9} {:>8}",
+        "tenant",
+        "sessions",
+        "admitted",
+        "completed",
+        "failed",
+        "rej",
+        "cache-hit",
+        "p50 ms",
+        "p99 ms",
+        "replans"
+    );
+    for t in &b.tenants {
+        println!(
+            "  {:10} {:>9} {:>9} {:>10} {:>7} {:>7} {:>8.1}% {:>9.1} {:>9.1} {:>8}",
+            t.stats.name,
+            t.sessions,
+            t.stats.admitted,
+            t.stats.completed,
+            t.stats.failed,
+            t.stats.rejected,
+            t.stats.cache_hit_rate() * 100.0,
+            t.stats.p50_ms,
+            t.stats.p99_ms,
+            t.stats.replans
+        );
+    }
+    println!(
+        "  total: {} queries in {:.0} ms on {} workers — {:.0} queries/sec, \
+         {:.0} fresh plans/sec, plan-cache hit rate {:.1}% ({} evictions)",
+        b.completed,
+        b.wall_ms,
+        b.workers,
+        b.queries_per_sec,
+        b.fresh_plans_per_sec,
+        b.cache.hit_rate() * 100.0,
+        b.cache.evictions
+    );
+    let json = service::to_json(&b, SEED);
+    match std::fs::write("BENCH_service.json", &json) {
+        Ok(()) => println!("  wrote BENCH_service.json"),
+        Err(e) => println!("  could not write BENCH_service.json: {e}"),
     }
 }
 

@@ -10,6 +10,7 @@ pub mod overhead;
 pub mod quality;
 pub mod scalability;
 pub mod scaleup;
+pub mod service;
 pub mod setup;
 
 pub use setup::engine_with_policies;

@@ -1,0 +1,278 @@
+//! Extension E11: the closed-loop multi-tenant service benchmark.
+//!
+//! Thousands of concurrent sessions, split across four tenants with
+//! disjoint template policy sets (T / C / CR / CR+A, each generated from
+//! a different seed), drive seeded ad-hoc queries through the
+//! [`QueryService`]: every session submits a query, waits for the rows,
+//! and submits the next — a classic closed loop, so measured latency is
+//! end-to-end (admission queue + planning-or-cache + distributed
+//! execution). Reported: queries/sec, fresh plans/sec (plan-cache
+//! misses over the wall clock), the global plan-cache hit rate, and
+//! per-tenant p50/p99 latency — written as `BENCH_service.json`.
+
+use geoqp_net::NetworkTopology;
+use geoqp_server::{
+    CacheStats, QueryRequest, QueryService, ServiceConfig, TenantConfig, TenantStats,
+};
+use geoqp_tpch::adhoc::{generate_adhoc, AdhocQuery};
+use geoqp_tpch::policy_gen::{generate_policies, PolicyTemplate};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Worker threads for the service pool (the session count is independent:
+/// sessions block on their tickets, workers execute). Floored at 4 so the
+/// benchmark exercises a shared pool even on single-core containers.
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().clamp(4, 8))
+        .unwrap_or(4)
+}
+
+/// Distinct ad-hoc queries in each tenant's working set. Sessions draw
+/// from this pool, so steady-state cache hit rate ≈ 1 − pool/queries.
+const POOL_PER_TENANT: usize = 150;
+
+/// Queries each session runs back-to-back.
+pub const PER_SESSION: usize = 3;
+
+/// splitmix64 — the workspace's standard cheap deterministic stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One tenant's slice of the run.
+#[derive(Debug)]
+pub struct TenantRow {
+    /// Template set the tenant's policies were generated from.
+    pub template: PolicyTemplate,
+    /// Policy expressions in the tenant's catalog.
+    pub expressions: usize,
+    /// Sessions bound to this tenant.
+    pub sessions: usize,
+    /// Service-side counters (admitted/rejected/completed, p50/p99, …).
+    pub stats: TenantStats,
+}
+
+/// The whole closed-loop measurement.
+#[derive(Debug)]
+pub struct ServiceBench {
+    /// Concurrent sessions driven.
+    pub sessions: usize,
+    /// Queries per session.
+    pub per_session: usize,
+    /// Service worker threads.
+    pub workers: usize,
+    /// TPC-H scale factor the catalog was populated at.
+    pub scale_factor: f64,
+    /// Wall-clock time for the whole run, ms.
+    pub wall_ms: f64,
+    /// Completed queries across all tenants.
+    pub completed: u64,
+    /// Failed queries (the compliant optimizer plans every generated
+    /// query under every template, so this should stay 0).
+    pub failed: u64,
+    /// Admission rejections (0 in the closed loop: a session never has
+    /// more than one query outstanding).
+    pub rejected: u64,
+    /// Completed queries per second of wall-clock time.
+    pub queries_per_sec: f64,
+    /// Fresh optimizations (plan-cache misses) per second.
+    pub fresh_plans_per_sec: f64,
+    /// Global plan-cache counters.
+    pub cache: CacheStats,
+    /// Per-tenant breakdown, in tenant order.
+    pub tenants: Vec<TenantRow>,
+}
+
+/// Drive `sessions` concurrent closed-loop sessions (each running
+/// [`PER_SESSION`] queries) across four template tenants over the
+/// populated paper catalog at `sf`, and collect service-side metrics.
+pub fn closed_loop(sessions: usize, sf: f64, seed: u64) -> ServiceBench {
+    let templates = [
+        PolicyTemplate::T,
+        PolicyTemplate::C,
+        PolicyTemplate::CR,
+        PolicyTemplate::CRA,
+    ];
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(sf));
+    geoqp_tpch::populate(&catalog, sf, seed).expect("populate");
+
+    let workers = worker_count();
+    let svc = QueryService::new(ServiceConfig {
+        workers,
+        cache_capacity: 1024,
+        columnar: true,
+        max_replans: 4,
+    });
+
+    // Four tenants with disjoint policy sets: different templates AND
+    // different generation seeds.
+    let mut tenant_ids = Vec::new();
+    let mut pools: Vec<Vec<AdhocQuery>> = Vec::new();
+    let mut expressions = Vec::new();
+    for (i, template) in templates.iter().enumerate() {
+        let policies =
+            generate_policies(&catalog, *template, 10, seed ^ (i as u64 + 1)).expect("policies");
+        expressions.push(policies.len());
+        let id = svc.add_tenant(
+            template.name(),
+            catalog.clone(),
+            Arc::new(policies),
+            NetworkTopology::paper_wan(),
+            TenantConfig {
+                max_inflight: 8,
+                max_queue: sessions.max(16),
+                quantum: 1,
+            },
+        );
+        tenant_ids.push(id);
+        pools.push(
+            generate_adhoc(&catalog, POOL_PER_TENANT, seed ^ ((i as u64 + 1) << 8))
+                .expect("adhoc pool"),
+        );
+    }
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for s in 0..sessions {
+            let svc = &svc;
+            let pools = &pools;
+            let tenant_ids = &tenant_ids;
+            scope.spawn(move || {
+                let tenant = s % tenant_ids.len();
+                let pool = &pools[tenant];
+                let mut rng = seed ^ (s as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                for _ in 0..PER_SESSION {
+                    let q = &pool[(splitmix64(&mut rng) as usize) % pool.len()];
+                    let ticket = svc
+                        .submit(tenant_ids[tenant], QueryRequest::new(&q.sql))
+                        .expect("closed-loop sessions never overflow admission");
+                    ticket.wait().expect("generated queries plan and execute");
+                }
+            });
+        }
+    });
+    svc.wait_idle();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut tenants = Vec::new();
+    let (mut completed, mut failed, mut rejected) = (0, 0, 0);
+    for (i, (id, template)) in tenant_ids.iter().zip(&templates).enumerate() {
+        let stats = svc.tenant_stats(*id).expect("tenant registered");
+        completed += stats.completed;
+        failed += stats.failed;
+        rejected += stats.rejected;
+        tenants.push(TenantRow {
+            template: *template,
+            expressions: expressions[i],
+            sessions: sessions / templates.len() + usize::from(i < sessions % templates.len()),
+            stats,
+        });
+    }
+    let cache = svc.cache_stats();
+    ServiceBench {
+        sessions,
+        per_session: PER_SESSION,
+        workers,
+        scale_factor: sf,
+        wall_ms,
+        completed,
+        failed,
+        rejected,
+        queries_per_sec: completed as f64 / (wall_ms / 1e3).max(1e-9),
+        fresh_plans_per_sec: cache.misses as f64 / (wall_ms / 1e3).max(1e-9),
+        cache,
+        tenants,
+    }
+}
+
+/// Render the measurement as the `BENCH_service.json` document.
+pub fn to_json(b: &ServiceBench, seed: u64) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"scale_factor\": {},\n", b.scale_factor));
+    s.push_str(&format!("  \"sessions\": {},\n", b.sessions));
+    s.push_str(&format!("  \"per_session\": {},\n", b.per_session));
+    s.push_str(&format!("  \"workers\": {},\n", b.workers));
+    s.push_str(&format!("  \"wall_ms\": {:.1},\n", b.wall_ms));
+    s.push_str(&format!("  \"completed\": {},\n", b.completed));
+    s.push_str(&format!("  \"failed\": {},\n", b.failed));
+    s.push_str(&format!("  \"rejected\": {},\n", b.rejected));
+    s.push_str(&format!(
+        "  \"queries_per_sec\": {:.1},\n",
+        b.queries_per_sec
+    ));
+    s.push_str(&format!(
+        "  \"fresh_plans_per_sec\": {:.1},\n",
+        b.fresh_plans_per_sec
+    ));
+    s.push_str(&format!(
+        "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+         \"evictions\": {}, \"len\": {}, \"capacity\": {}}},\n",
+        b.cache.hits,
+        b.cache.misses,
+        b.cache.hit_rate(),
+        b.cache.evictions,
+        b.cache.len,
+        b.cache.capacity
+    ));
+    s.push_str("  \"tenants\": [\n");
+    for (i, t) in b.tenants.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"name\": \"{}\", ", t.stats.name));
+        s.push_str(&format!("\"template\": \"{}\", ", t.template.name()));
+        s.push_str(&format!("\"expressions\": {}, ", t.expressions));
+        s.push_str(&format!("\"sessions\": {}, ", t.sessions));
+        s.push_str(&format!("\"admitted\": {}, ", t.stats.admitted));
+        s.push_str(&format!("\"rejected\": {}, ", t.stats.rejected));
+        s.push_str(&format!("\"completed\": {}, ", t.stats.completed));
+        s.push_str(&format!("\"failed\": {}, ", t.stats.failed));
+        s.push_str(&format!("\"cache_hits\": {}, ", t.stats.cache_hits));
+        s.push_str(&format!("\"cache_misses\": {}, ", t.stats.cache_misses));
+        s.push_str(&format!(
+            "\"cache_hit_rate\": {:.4}, ",
+            t.stats.cache_hit_rate()
+        ));
+        s.push_str(&format!("\"replans\": {}, ", t.stats.replans));
+        s.push_str(&format!("\"p50_ms\": {:.2}, ", t.stats.p50_ms));
+        s.push_str(&format!("\"p99_ms\": {:.2}, ", t.stats.p99_ms));
+        s.push_str(&format!("\"mean_ms\": {:.2}", t.stats.mean_ms));
+        s.push('}');
+        if i + 1 < b.tenants.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature closed loop: every query completes, no admission
+    /// rejections, all four tenants served, and the cache sees reuse.
+    #[test]
+    fn small_closed_loop_completes_everything() {
+        let b = closed_loop(12, 0.001, 5);
+        assert_eq!(b.tenants.len(), 4);
+        assert_eq!(b.completed, 12 * PER_SESSION as u64);
+        assert_eq!(b.failed, 0);
+        assert_eq!(b.rejected, 0);
+        assert!(b.queries_per_sec > 0.0);
+        for t in &b.tenants {
+            assert_eq!(t.stats.completed, t.stats.admitted);
+            assert_eq!(t.stats.inflight, 0);
+            assert_eq!(t.stats.queued, 0);
+            assert!(t.stats.p99_ms >= t.stats.p50_ms);
+        }
+        let json = to_json(&b, 5);
+        assert!(json.contains("\"tenants\""));
+        assert!(json.contains("\"queries_per_sec\""));
+    }
+}

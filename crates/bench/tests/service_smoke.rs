@@ -1,0 +1,50 @@
+//! CI smoke for the multi-tenant service path: a small closed-loop run
+//! through the real `QueryService` (admission, DRR scheduling, plan
+//! cache, concurrent execution) over the seeded ad-hoc generator.
+//! `GEOQP_SERVICE_SESSIONS` scales the session count (default 40).
+
+use geoqp_bench::experiments::service::{closed_loop, to_json, PER_SESSION};
+
+#[test]
+fn closed_loop_service_smoke() {
+    let sessions: usize = std::env::var("GEOQP_SERVICE_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let b = closed_loop(sessions, 0.001, 2021);
+
+    assert_eq!(b.tenants.len(), 4, "four template tenants");
+    assert_eq!(
+        b.completed,
+        (sessions * PER_SESSION) as u64,
+        "every closed-loop query completes"
+    );
+    assert_eq!(b.failed, 0, "generated queries always plan compliantly");
+    assert_eq!(b.rejected, 0, "closed loops never overflow admission");
+    assert!(b.queries_per_sec > 0.0);
+    let cs = &b.cache;
+    assert_eq!(
+        cs.hits + cs.misses,
+        b.completed + b.cache.invalidations,
+        "every query went through the plan cache"
+    );
+    for t in &b.tenants {
+        assert_eq!(t.stats.inflight, 0);
+        assert_eq!(t.stats.queued, 0);
+        assert_eq!(t.stats.completed + t.stats.failed, t.stats.admitted);
+        assert!(t.stats.p99_ms >= t.stats.p50_ms);
+    }
+
+    // The JSON document parses-by-eye: key fields present and non-empty.
+    let json = to_json(&b, 2021);
+    for key in [
+        "\"sessions\"",
+        "\"queries_per_sec\"",
+        "\"fresh_plans_per_sec\"",
+        "\"plan_cache\"",
+        "\"tenants\"",
+        "\"p99_ms\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in BENCH_service.json");
+    }
+}

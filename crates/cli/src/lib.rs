@@ -10,9 +10,18 @@ use geoqp_core::{
 use geoqp_exec::RetryPolicy;
 use geoqp_net::{FaultPlan, NetworkTopology};
 use geoqp_policy::{expand_denials, PolicyCatalog};
+use geoqp_server::{QueryRequest, QueryService, ServiceConfig, TenantConfig, TenantId};
 use geoqp_storage::Catalog;
+use geoqp_tpch::PolicyTemplate;
 use std::fmt::Write as _;
 use std::sync::Arc;
+
+/// A multi-tenant [`QueryService`] attached to the session by `\server`,
+/// kept alive so `\tenants` shows counters accumulated across bursts.
+struct ServerSession {
+    svc: QueryService,
+    tenants: Vec<TenantId>,
+}
 
 /// Shell state: the loaded deployment plus session settings.
 pub struct Shell {
@@ -28,6 +37,7 @@ pub struct Shell {
     last_failover: Option<String>,
     hedge: Option<HedgeConfig>,
     last_health: Option<Vec<LinkReport>>,
+    service: Option<ServerSession>,
 }
 
 impl Default for Shell {
@@ -52,6 +62,7 @@ impl Shell {
             last_failover: None,
             hedge: None,
             last_health: None,
+            service: None,
         }
     }
 
@@ -177,6 +188,8 @@ impl Shell {
             }
             "explain" => self.explain(arg),
             "adhoc" => self.adhoc(arg),
+            "server" => self.server_burst(arg),
+            "tenants" => self.tenants_table(),
             "faults" => self.set_faults(arg),
             "hedge" => self.set_hedge(arg),
             "health" => self.health(),
@@ -200,6 +213,7 @@ impl Shell {
         let name = parts.next().unwrap_or("carco");
         match name {
             "carco" => {
+                self.service = None;
                 self.engine = Some(demo::carco()?);
                 Ok(
                     "loaded CarCo demo: customer@N, orders@E, supply@A with P_N/P_E/P_A\n"
@@ -211,6 +225,7 @@ impl Shell {
                     .next()
                     .map(|s| s.parse().unwrap_or(0.002))
                     .unwrap_or(0.002);
+                self.service = None;
                 self.engine = Some(demo::tpch(sf)?);
                 Ok(format!(
                     "loaded TPC-H demo at SF {sf}: Table 2 distribution over L1–L5, CR+A policies\n"
@@ -571,6 +586,140 @@ impl Shell {
         Ok(out)
     }
 
+    /// `\server [n [seed]]` — drive an `n`-query concurrent burst through
+    /// a four-tenant [`QueryService`] over the loaded deployment. The
+    /// service (one tenant per policy template, disjoint generation
+    /// seeds) is created on first use and kept for the session, so
+    /// repeated bursts accumulate counters and reuse the plan cache;
+    /// `\tenants` renders them.
+    fn server_burst(&mut self, arg: &str) -> Result<String> {
+        let mut parts = arg.split_whitespace();
+        let n: usize = match parts.next() {
+            None => 8,
+            Some(s) => s
+                .parse()
+                .map_err(|_| GeoError::Execution(format!("bad query count `{s}`")))?,
+        };
+        let seed: u64 = match parts.next() {
+            None => 2021,
+            Some(s) => s
+                .parse()
+                .map_err(|_| GeoError::Execution(format!("bad seed `{s}`")))?,
+        };
+        let eng = self.engine()?;
+        let catalog = Arc::clone(eng.catalog());
+        let queries = geoqp_tpch::adhoc::generate_adhoc(&catalog, n, seed)?;
+        if self.service.is_none() {
+            let topology = eng.topology().clone();
+            let svc = QueryService::new(ServiceConfig {
+                workers: 4,
+                cache_capacity: 256,
+                columnar: self.columnar,
+                max_replans: 4,
+            });
+            let mut tenants = Vec::new();
+            for (i, template) in [
+                PolicyTemplate::T,
+                PolicyTemplate::C,
+                PolicyTemplate::CR,
+                PolicyTemplate::CRA,
+            ]
+            .iter()
+            .enumerate()
+            {
+                let policies =
+                    geoqp_tpch::generate_policies(&catalog, *template, 10, 2021 ^ (i as u64 + 1))?;
+                tenants.push(svc.add_tenant(
+                    template.name(),
+                    Arc::clone(&catalog),
+                    Arc::new(policies),
+                    topology.clone(),
+                    TenantConfig {
+                        max_inflight: 4,
+                        max_queue: 4096,
+                        quantum: 1,
+                    },
+                ));
+            }
+            self.service = Some(ServerSession { svc, tenants });
+        }
+        let session = self.service.as_ref().expect("service just created");
+        // Submit the whole burst before waiting on any ticket: all n
+        // queries are in flight together, contending through admission,
+        // the DRR scheduler, and the shared plan cache.
+        let mut tickets = Vec::with_capacity(queries.len());
+        let (mut rejected, mut failed, mut cached) = (0u64, 0u64, 0u64);
+        for (i, q) in queries.iter().enumerate() {
+            let tenant = session.tenants[i % session.tenants.len()];
+            match session.svc.submit(tenant, QueryRequest::new(&q.sql)) {
+                Ok(t) => tickets.push(t),
+                Err(e) if e.kind() == "admission" => rejected += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut completed = 0u64;
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(reply) => {
+                    completed += 1;
+                    cached += u64::from(reply.cached);
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        let cs = session.svc.cache_stats();
+        Ok(format!(
+            "burst: {n} queries (seed {seed}) across {} tenants — {completed} completed, \
+             {failed} failed, {rejected} rejected; {cached} served from the plan cache \
+             (service hit rate {:.1}%); \\tenants for the per-tenant breakdown\n",
+            session.tenants.len(),
+            cs.hit_rate() * 100.0,
+        ))
+    }
+
+    /// `\tenants` — the per-tenant service counters accumulated over
+    /// every `\server` burst this session.
+    fn tenants_table(&self) -> Result<String> {
+        let Some(session) = &self.service else {
+            return Ok("no service yet; run \\server <n> [seed] first\n".to_string());
+        };
+        let mut out = format!(
+            "{:<8}{:>9}{:>9}{:>9}{:>8}{:>8}{:>11}{:>10}{:>10}\n",
+            "tenant",
+            "admitted",
+            "rejected",
+            "inflight",
+            "queued",
+            "done",
+            "cache-hit",
+            "p50 ms",
+            "p99 ms",
+        );
+        for id in &session.tenants {
+            let s = session.svc.tenant_stats(*id)?;
+            let _ = writeln!(
+                out,
+                "{:<8}{:>9}{:>9}{:>9}{:>8}{:>8}{:>10.1}%{:>10.1}{:>10.1}",
+                s.name,
+                s.admitted,
+                s.rejected,
+                s.inflight,
+                s.queued,
+                s.completed,
+                s.cache_hit_rate() * 100.0,
+                s.p50_ms,
+                s.p99_ms,
+            );
+        }
+        let cs = session.svc.cache_stats();
+        let _ = writeln!(
+            out,
+            "plan cache: {} hits, {} misses, {} evictions, {}/{} entries",
+            cs.hits, cs.misses, cs.evictions, cs.len, cs.capacity,
+        );
+        Ok(out)
+    }
+
     fn sql(&mut self, sql: &str) -> Result<String> {
         match self.runtime {
             RuntimeMode::Sequential => self.sql_sequential(sql),
@@ -775,6 +924,13 @@ commands:
   \\explain <sql>            show annotated + physical plan
   \\adhoc [n [seed]]         generate seeded ad-hoc queries over the loaded
                             TPC-H deployment and show their SQL
+  \\server [n [seed]]        drive an n-query concurrent burst through a
+                            four-tenant query service (admission control,
+                            fair scheduling, shared plan cache) over the
+                            loaded deployment
+  \\tenants                  per-tenant service counters (admitted,
+                            rejected, cache-hit rate, p50/p99) accumulated
+                            across \\server bursts
   \\faults <spec>|off        inject faults: crash:L2; drop:L1-L3@2..5;
                             flaky:L1-L2:0.3; delay:L1-L4:50ms;
                             degrade:L1-L4:3x@2..9; loss:L2-L3:0.4@..6;
@@ -1193,6 +1349,56 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.kind(), "deadline", "{err}");
         assert!(sh.run_command("\\deadline bogus").is_err());
+    }
+
+    #[test]
+    fn server_burst_and_tenants_table() {
+        let mut sh = Shell::new();
+        assert!(sh.run_command("\\server 4").is_err(), "no deployment yet");
+        sh.run_command("\\demo tpch 0.001").unwrap();
+        assert!(
+            sh.run_command("\\tenants")
+                .unwrap()
+                .contains("no service yet"),
+            "tenants before any burst"
+        );
+
+        let out = sh.run_command("\\server 8 7").unwrap();
+        assert!(out.contains("8 queries"), "{out}");
+        assert!(out.contains("4 tenants"), "{out}");
+        assert!(out.contains("8 completed, 0 failed, 0 rejected"), "{out}");
+
+        let table = sh.run_command("\\tenants").unwrap();
+        for tenant in ["T", "C", "CR", "CR+A"] {
+            assert!(table.lines().any(|l| l.starts_with(tenant)), "{table}");
+        }
+        assert!(table.contains("plan cache:"), "{table}");
+
+        // A second burst with the same seed reuses cached plans and
+        // accumulates the admitted counters.
+        let again = sh.run_command("\\server 8 7").unwrap();
+        assert!(again.contains("8 served from the plan cache"), "{again}");
+        let table = sh.run_command("\\tenants").unwrap();
+        let admitted: u64 = table
+            .lines()
+            .skip(1)
+            .take(4)
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(admitted, 16, "{table}");
+
+        // Reloading a demo drops the service (its catalog is stale).
+        sh.run_command("\\demo carco").unwrap();
+        assert!(sh
+            .run_command("\\tenants")
+            .unwrap()
+            .contains("no service yet"));
+
+        assert!(sh.run_command("\\server nope").is_err());
+        assert!(sh.run_command("\\server 4 nope").is_err());
+        let help = sh.run_command("\\help").unwrap();
+        assert!(help.contains("\\server"));
+        assert!(help.contains("\\tenants"));
     }
 
     #[test]

@@ -119,6 +119,11 @@ pub enum GeoError {
     /// The query was aborted through a [`CancelToken`](crate::CancelToken)
     /// and every worker unwound cooperatively.
     Cancelled(String),
+    /// The multi-tenant query service refused to enqueue the query: the
+    /// tenant's admission budget (max in-flight plus bounded queue) is
+    /// exhausted. Nothing about the query itself is wrong — resubmitting
+    /// once the tenant's backlog drains may succeed.
+    Admission(String),
 }
 
 impl GeoError {
@@ -138,6 +143,7 @@ impl GeoError {
             GeoError::SiteUnavailable(_) => "unavailable",
             GeoError::DeadlineExceeded(_) => "deadline",
             GeoError::Cancelled(_) => "cancelled",
+            GeoError::Admission(_) => "admission",
         }
     }
 
@@ -205,7 +211,8 @@ impl GeoError {
             | GeoError::NonCompliant(m)
             | GeoError::Unsupported(m)
             | GeoError::DeadlineExceeded(m)
-            | GeoError::Cancelled(m) => m,
+            | GeoError::Cancelled(m)
+            | GeoError::Admission(m) => m,
             GeoError::SiteUnavailable(u) => &u.message,
         }
     }
@@ -252,6 +259,7 @@ mod tests {
             GeoError::SiteUnavailable(Unavailable::site_down(Location::new("L1"), String::new())),
             GeoError::DeadlineExceeded(String::new()),
             GeoError::Cancelled(String::new()),
+            GeoError::Admission(String::new()),
         ];
         let mut kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
         kinds.sort_unstable();
@@ -321,6 +329,7 @@ mod tests {
         for e in [
             GeoError::DeadlineExceeded("over budget".into()),
             GeoError::Cancelled("aborted".into()),
+            GeoError::Admission("tenant backlog full".into()),
         ] {
             assert!(!e.is_transient());
             assert_eq!(e.failed_site(), None);

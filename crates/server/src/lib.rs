@@ -1,0 +1,42 @@
+//! `geoqp-server` — a multi-tenant query service on top of the compliant
+//! geo-distributed engine.
+//!
+//! The library crates below this one run exactly one query at a time: the
+//! shell and the bench harness call [`geoqp_core::Engine`] directly. This
+//! crate turns the engine into a *service*:
+//!
+//! * [`QueryService`] accepts many concurrent sessions. Each session binds
+//!   to a **tenant** — a named policy scope with its own
+//!   [`PolicyCatalog`](geoqp_policy::PolicyCatalog) and therefore its own
+//!   [`Engine`](geoqp_core::Engine) (and, by construction, its own
+//!   `ImplicationMemo`: two tenants with conflicting policy sets can never
+//!   observe each other's cached implication verdicts).
+//! * A shared scheduler runs admitted queries on a bounded worker pool.
+//!   **Admission control** is per tenant: at most `max_inflight` queries
+//!   executing plus `max_queue` waiting; overflow is refused with the typed
+//!   [`GeoError::Admission`](geoqp_common::GeoError::Admission) error.
+//!   **Deficit round-robin** fair queueing guarantees a flooding tenant
+//!   cannot starve a trickle tenant — every backlogged tenant earns service
+//!   credit at the same (quantum-weighted) rate.
+//! * A [`PlanCache`] memoizes whole optimized located plans, keyed by query
+//!   structural fingerprint × tenant × policy-catalog epoch. This extends
+//!   the PR-5 `ImplicationMemo` pattern from single implication verdicts to
+//!   entire `SitedPlan`s: an epoch bump (policy change) invalidates by
+//!   construction, LRU eviction bounds the footprint under ad-hoc query
+//!   diversity, and every cache hit is re-audited by the Definition-1
+//!   checker before reuse so a fingerprint collision can never leak a
+//!   non-compliant plan.
+//!
+//! Per-query deadlines, cancellation, and fault plans ride through
+//! unchanged ([`QueryRequest`]); the service aggregates their outcomes into
+//! per-tenant [`TenantStats`] (admitted/rejected/completed, p50/p99
+//! latency, cache hits, replans).
+
+pub mod plan_cache;
+pub mod service;
+
+pub use plan_cache::{query_fingerprint, CacheStats, PlanCache, PlanKey};
+pub use service::{
+    QueryReply, QueryRequest, QueryService, QueryTicket, ServiceConfig, TenantConfig, TenantId,
+    TenantStats,
+};

@@ -1,0 +1,718 @@
+//! The multi-tenant query service: sessions, admission control, deficit
+//! round-robin fair scheduling, and per-tenant statistics.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  submit(tenant, request) ──admission──▶ per-tenant bounded queue
+//!                                              │
+//!                      deficit-round-robin scheduler (shared Condvar)
+//!                                              │
+//!                          bounded worker pool (OS threads)
+//!                                              │
+//!            parse → lower → PlanCache lookup (re-audited) / optimize
+//!                                              │
+//!            execute (plain or resilient: faults/deadline/cancel)
+//!                                              │
+//!                      QueryTicket ◀── reply ──┘  + TenantStats update
+//! ```
+//!
+//! Each tenant owns a full [`Engine`] over its own policy catalog. Since
+//! PR 5 the `ImplicationMemo` lives inside the engine, so per-tenant
+//! engines give per-tenant memo isolation *by construction*: no shared
+//! table to key, no cross-tenant verdict reuse possible.
+//!
+//! # Admission and fairness
+//!
+//! A tenant may hold at most [`TenantConfig::max_inflight`] executing
+//! queries plus [`TenantConfig::max_queue`] waiting ones; a submit beyond
+//! that is refused immediately with the typed
+//! [`GeoError::Admission`] — the client sees backpressure instead of
+//! unbounded queueing. Among admitted queries the scheduler runs deficit
+//! round-robin: every backlogged, eligible tenant earns
+//! [`TenantConfig::quantum`] service credits per top-up round and spends
+//! one per query, so a tenant flooding its own queue can never starve a
+//! trickle tenant — the trickle tenant's next query is at most one DRR
+//! rotation away.
+
+use crate::plan_cache::{query_fingerprint, CacheStats, PlanCache, PlanKey};
+use geoqp_common::{CancelToken, GeoError, Location, QueryDeadline, Result, Rows};
+use geoqp_core::{Engine, FailoverOpts, OptimizerMode};
+use geoqp_exec::RetryPolicy;
+use geoqp_net::{FaultPlan, NetworkTopology, TransferLog};
+use geoqp_policy::PolicyCatalog;
+use geoqp_storage::Catalog;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Handle naming a tenant registered with [`QueryService::add_tenant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(pub usize);
+
+/// Per-tenant admission and fairness knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantConfig {
+    /// Maximum queries of this tenant executing at once.
+    pub max_inflight: usize,
+    /// Maximum queries waiting in this tenant's queue; a submit past
+    /// `max_inflight + max_queue` outstanding is refused with
+    /// [`GeoError::Admission`].
+    pub max_queue: usize,
+    /// DRR weight: service credits earned per top-up round. Tenants with
+    /// a larger quantum receive proportionally more throughput under
+    /// contention.
+    pub quantum: u32,
+}
+
+impl Default for TenantConfig {
+    fn default() -> TenantConfig {
+        TenantConfig {
+            max_inflight: 4,
+            max_queue: 64,
+            quantum: 1,
+        }
+    }
+}
+
+/// Service-wide knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads in the shared pool.
+    pub workers: usize,
+    /// Plan-cache capacity (entries across all tenants).
+    pub cache_capacity: usize,
+    /// Run fault-free sequential attempts on the columnar engine.
+    pub columnar: bool,
+    /// Failover re-plan budget for resilient executions.
+    pub max_replans: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 4,
+            cache_capacity: 256,
+            columnar: true,
+            max_replans: 4,
+        }
+    }
+}
+
+/// One query submission. Deadline, cancellation, and fault plans are the
+/// same per-query controls the engine already understands — the service
+/// threads them through unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct QueryRequest {
+    /// SQL text, parsed and lowered against the tenant's catalog.
+    pub sql: String,
+    /// Where the result must materialize; `None` lets the optimizer pick
+    /// the cheapest compliant site.
+    pub result_location: Option<Location>,
+    /// Simulated-ms completion budget.
+    pub deadline: Option<QueryDeadline>,
+    /// Cooperative abort flag, polled while queued and at batch
+    /// granularity while executing.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault schedule to execute under (cloned per job so
+    /// the step clock is private to this query).
+    pub faults: Option<FaultPlan>,
+}
+
+impl QueryRequest {
+    /// A plain request for `sql` with no location pin, deadline, cancel
+    /// token, or faults.
+    pub fn new(sql: impl Into<String>) -> QueryRequest {
+        QueryRequest {
+            sql: sql.into(),
+            ..QueryRequest::default()
+        }
+    }
+
+    /// Pin the result location.
+    pub fn at(mut self, location: Location) -> QueryRequest {
+        self.result_location = Some(location);
+        self
+    }
+
+    /// Attach a simulated-ms deadline.
+    pub fn with_deadline(mut self, deadline: QueryDeadline) -> QueryRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a cancel token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> QueryRequest {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attach a fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> QueryRequest {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+/// A completed query's payload.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// Result rows at `result_location`.
+    pub rows: Rows,
+    /// Every cross-site transfer the execution performed.
+    pub transfers: TransferLog,
+    /// Whether the located plan came from the [`PlanCache`] (and passed
+    /// its Definition-1 re-audit).
+    pub cached: bool,
+    /// Failover re-plans performed (0 for fault-free runs).
+    pub replans: usize,
+    /// Wall-clock submit-to-completion latency, ms (includes queueing).
+    pub latency_ms: f64,
+    /// Where the rows materialized.
+    pub result_location: Location,
+}
+
+/// Receipt for a submitted query; redeem with [`QueryTicket::wait`].
+#[derive(Debug)]
+pub struct QueryTicket {
+    rx: mpsc::Receiver<Result<QueryReply>>,
+}
+
+impl QueryTicket {
+    /// Block until the query completes. If the service shuts down before
+    /// the query runs, resolves to a typed cancellation instead of
+    /// hanging.
+    pub fn wait(self) -> Result<QueryReply> {
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(GeoError::Cancelled(
+                "service shut down before the query ran".into(),
+            )),
+        }
+    }
+}
+
+/// Per-tenant counters and latency percentiles, as rendered by `\tenants`
+/// and the service benchmark.
+#[derive(Debug, Clone, Default)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub name: String,
+    /// Queries accepted past admission control.
+    pub admitted: u64,
+    /// Queries refused with [`GeoError::Admission`].
+    pub rejected: u64,
+    /// Queries that completed with rows.
+    pub completed: u64,
+    /// Queries that resolved to an error (rejection by the optimizer,
+    /// deadline, cancellation, execution failure).
+    pub failed: u64,
+    /// Queries executing right now.
+    pub inflight: usize,
+    /// Queries waiting in the tenant queue right now.
+    pub queued: usize,
+    /// Completed queries whose plan came from the cache.
+    pub cache_hits: u64,
+    /// Completed queries that optimized fresh.
+    pub cache_misses: u64,
+    /// Failover re-plans summed over completed queries.
+    pub replans: u64,
+    /// Median submit-to-completion latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile submit-to-completion latency, ms.
+    pub p99_ms: f64,
+    /// Mean submit-to-completion latency, ms.
+    pub mean_ms: f64,
+}
+
+impl TenantStats {
+    /// Plan-cache hit rate over this tenant's completed queries.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One admitted query waiting for (or holding) a worker.
+struct Job {
+    request: QueryRequest,
+    submitted: Instant,
+    tx: mpsc::Sender<Result<QueryReply>>,
+}
+
+struct TenantState {
+    name: String,
+    engine: Arc<Engine>,
+    /// Cached `policies().epoch()` so the hot path never re-hashes the
+    /// catalog; refreshed by `update_tenant_policies`.
+    epoch: u64,
+    config: TenantConfig,
+    queue: VecDeque<Job>,
+    deficit: u64,
+    inflight: usize,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    replans: u64,
+    latencies_ms: Vec<f64>,
+}
+
+impl TenantState {
+    fn stats(&self) -> TenantStats {
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        TenantStats {
+            name: self.name.clone(),
+            admitted: self.admitted,
+            rejected: self.rejected,
+            completed: self.completed,
+            failed: self.failed,
+            inflight: self.inflight,
+            queued: self.queue.len(),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            replans: self.replans,
+            p50_ms: percentile(&sorted, 0.50),
+            p99_ms: percentile(&sorted, 0.99),
+            mean_ms: mean,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct SchedState {
+    tenants: Vec<TenantState>,
+    /// Round-robin cursor: the tenant index the next scan starts from.
+    next_rr: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    /// Signals workers that a job may be runnable.
+    work: Condvar,
+    /// Signals `wait_idle` that queues/in-flight counts changed.
+    idle: Condvar,
+    cache: PlanCache,
+    columnar: bool,
+    max_replans: usize,
+}
+
+/// DRR service cost of one query, in credits.
+const QUERY_COST: u64 = 1;
+
+/// Pick the next runnable job under deficit round-robin. Two passes: if
+/// no eligible tenant holds enough credit, every backlogged eligible
+/// tenant is topped up by its quantum and the scan repeats once.
+fn next_job(st: &mut SchedState) -> Option<(usize, Job)> {
+    let n = st.tenants.len();
+    if n == 0 {
+        return None;
+    }
+    for round in 0..2 {
+        for i in 0..n {
+            let t = (st.next_rr + i) % n;
+            let ten = &mut st.tenants[t];
+            if ten.queue.is_empty()
+                || ten.inflight >= ten.config.max_inflight
+                || ten.deficit < QUERY_COST
+            {
+                continue;
+            }
+            ten.deficit -= QUERY_COST;
+            let job = ten.queue.pop_front().expect("queue checked non-empty");
+            ten.inflight += 1;
+            if ten.queue.is_empty() {
+                // An idle tenant must not bank credit (classic DRR reset),
+                // or a long-idle tenant could later burst past its share.
+                ten.deficit = 0;
+            }
+            st.next_rr = (t + 1) % n;
+            return Some((t, job));
+        }
+        if round == 0 {
+            let mut topped_up = false;
+            for ten in st.tenants.iter_mut() {
+                if !ten.queue.is_empty() && ten.inflight < ten.config.max_inflight {
+                    ten.deficit += u64::from(ten.config.quantum) * QUERY_COST;
+                    topped_up = true;
+                }
+            }
+            if !topped_up {
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// The multi-tenant query service. Dropping it shuts the worker pool
+/// down; queued-but-unrun queries resolve their tickets with a typed
+/// cancellation.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Start a service with `config.workers` pool threads and an empty
+    /// tenant table.
+    pub fn new(config: ServiceConfig) -> QueryService {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                tenants: Vec::new(),
+                next_rr: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            cache: PlanCache::new(config.cache_capacity),
+            columnar: config.columnar,
+            max_replans: config.max_replans,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                thread::Builder::new()
+                    .name(format!("geoqp-svc-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        QueryService { shared, workers }
+    }
+
+    /// Register a tenant: its own policy catalog, hence its own engine
+    /// and implication memo. Returns the handle used by `submit`.
+    pub fn add_tenant(
+        &self,
+        name: impl Into<String>,
+        catalog: Arc<Catalog>,
+        policies: Arc<PolicyCatalog>,
+        topology: NetworkTopology,
+        config: TenantConfig,
+    ) -> TenantId {
+        let epoch = policies.epoch();
+        let engine = Arc::new(Engine::new(catalog, policies, topology));
+        let mut st = self.shared.state.lock().unwrap();
+        st.tenants.push(TenantState {
+            name: name.into(),
+            engine,
+            epoch,
+            config,
+            queue: VecDeque::new(),
+            deficit: 0,
+            inflight: 0,
+            admitted: 0,
+            rejected: 0,
+            completed: 0,
+            failed: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            replans: 0,
+            latencies_ms: Vec::new(),
+        });
+        TenantId(st.tenants.len() - 1)
+    }
+
+    /// Submit a query for `tenant`. Refuses immediately with
+    /// [`GeoError::Admission`] when the tenant's backlog budget
+    /// (`max_inflight + max_queue` outstanding) is exhausted; otherwise
+    /// returns a [`QueryTicket`] that resolves when the query completes.
+    pub fn submit(&self, tenant: TenantId, request: QueryRequest) -> Result<QueryTicket> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.shutdown {
+                return Err(GeoError::Cancelled("service is shutting down".into()));
+            }
+            let ten = st
+                .tenants
+                .get_mut(tenant.0)
+                .ok_or_else(|| GeoError::Execution(format!("unknown tenant #{}", tenant.0)))?;
+            let outstanding = ten.queue.len() + ten.inflight;
+            let budget = ten.config.max_inflight + ten.config.max_queue;
+            if outstanding >= budget {
+                ten.rejected += 1;
+                return Err(GeoError::Admission(format!(
+                    "tenant '{}' backlog full: {} in flight + {} queued \
+                     reaches the {} + {} admission budget",
+                    ten.name,
+                    ten.inflight,
+                    ten.queue.len(),
+                    ten.config.max_inflight,
+                    ten.config.max_queue,
+                )));
+            }
+            ten.admitted += 1;
+            ten.queue.push_back(Job {
+                request,
+                submitted: Instant::now(),
+                tx,
+            });
+        }
+        self.shared.work.notify_one();
+        Ok(QueryTicket { rx })
+    }
+
+    /// Block until every tenant's queue is empty and nothing is in
+    /// flight.
+    pub fn wait_idle(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        while st
+            .tenants
+            .iter()
+            .any(|t| !t.queue.is_empty() || t.inflight > 0)
+        {
+            st = self.shared.idle.wait(st).unwrap();
+        }
+    }
+
+    /// Swap a tenant's policy catalog: rebuilds its engine (fresh
+    /// implication memo under the new policies), refreshes the cached
+    /// epoch, and purges the tenant's plan-cache entries. In-flight
+    /// queries keep the old engine via their own `Arc` and finish under
+    /// the policies they were admitted with.
+    pub fn update_tenant_policies(
+        &self,
+        tenant: TenantId,
+        policies: Arc<PolicyCatalog>,
+    ) -> Result<()> {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            let ten = st
+                .tenants
+                .get_mut(tenant.0)
+                .ok_or_else(|| GeoError::Execution(format!("unknown tenant #{}", tenant.0)))?;
+            let catalog = ten.engine.catalog().clone();
+            let topology = ten.engine.topology().clone();
+            ten.epoch = policies.epoch();
+            ten.engine = Arc::new(Engine::new(catalog, policies, topology));
+        }
+        self.shared.cache.purge_tenant(tenant.0);
+        Ok(())
+    }
+
+    /// The tenant's engine (tests use this to probe memo isolation).
+    pub fn tenant_engine(&self, tenant: TenantId) -> Result<Arc<Engine>> {
+        let st = self.shared.state.lock().unwrap();
+        st.tenants
+            .get(tenant.0)
+            .map(|t| t.engine.clone())
+            .ok_or_else(|| GeoError::Execution(format!("unknown tenant #{}", tenant.0)))
+    }
+
+    /// The tenant's current policy-catalog epoch.
+    pub fn tenant_epoch(&self, tenant: TenantId) -> Result<u64> {
+        let st = self.shared.state.lock().unwrap();
+        st.tenants
+            .get(tenant.0)
+            .map(|t| t.epoch)
+            .ok_or_else(|| GeoError::Execution(format!("unknown tenant #{}", tenant.0)))
+    }
+
+    /// Snapshot one tenant's counters.
+    pub fn tenant_stats(&self, tenant: TenantId) -> Result<TenantStats> {
+        let st = self.shared.state.lock().unwrap();
+        st.tenants
+            .get(tenant.0)
+            .map(|t| t.stats())
+            .ok_or_else(|| GeoError::Execution(format!("unknown tenant #{}", tenant.0)))
+    }
+
+    /// Snapshot every tenant's counters, in registration order.
+    pub fn all_stats(&self) -> Vec<TenantStats> {
+        let st = self.shared.state.lock().unwrap();
+        st.tenants.iter().map(|t| t.stats()).collect()
+    }
+
+    /// Snapshot the shared plan cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The shared plan cache (tests use this to stage entries and probe
+    /// the collision-safety re-audit).
+    pub fn cache(&self) -> &PlanCache {
+        &self.shared.cache
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        // Claim a job under the lock; execute it outside.
+        let (tenant_idx, job, engine, epoch) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some((t, job)) = next_job(&mut st) {
+                    let engine = st.tenants[t].engine.clone();
+                    let epoch = st.tenants[t].epoch;
+                    break (t, job, engine, epoch);
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+
+        let outcome = run_job(shared, tenant_idx, &engine, epoch, &job.request);
+        let latency_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+
+        {
+            let mut st = shared.state.lock().unwrap();
+            let ten = &mut st.tenants[tenant_idx];
+            ten.inflight -= 1;
+            ten.latencies_ms.push(latency_ms);
+            match &outcome {
+                Ok(reply) => {
+                    ten.completed += 1;
+                    ten.replans += reply.replans as u64;
+                    if reply.cached {
+                        ten.cache_hits += 1;
+                    } else {
+                        ten.cache_misses += 1;
+                    }
+                }
+                Err(_) => ten.failed += 1,
+            }
+        }
+        // Finishing a query can unblock both the scheduler (inflight
+        // dropped below the tenant cap) and `wait_idle`.
+        shared.work.notify_all();
+        shared.idle.notify_all();
+
+        // The client may have dropped its ticket; that is not an error.
+        let _ = job.tx.send(outcome.map(|mut reply| {
+            reply.latency_ms = latency_ms;
+            reply
+        }));
+    }
+}
+
+/// Parse, plan (through the cache), and execute one query on the
+/// tenant's engine. Runs without the scheduler lock held.
+fn run_job(
+    shared: &Shared,
+    tenant: usize,
+    engine: &Engine,
+    epoch: u64,
+    request: &QueryRequest,
+) -> Result<QueryReply> {
+    // A cancellation that fired while the query sat in the queue unwinds
+    // here, before any planning work.
+    if let Some(cancel) = &request.cancel {
+        cancel.check("leaving the admission queue")?;
+    }
+
+    let ast = geoqp_parser::parse_query(&request.sql)?;
+    let plan = geoqp_parser::lower_query(&ast, engine.catalog())?;
+    let key = PlanKey {
+        tenant,
+        fingerprint: query_fingerprint(&plan, request.result_location.as_ref()),
+        epoch,
+    };
+
+    let (optimized, cached) = match shared.cache.lookup(&key) {
+        // Fingerprint-collision safety: a cached plan is only reused after
+        // the Definition-1 checker re-audits it under this tenant's
+        // policies. A refused plan is invalidated and re-optimized — a
+        // collision costs one optimization, never compliance.
+        Some(hit) if engine.audit(&hit.physical).is_ok() => (hit, true),
+        Some(_) => {
+            shared.cache.invalidate(&key);
+            let fresh = Arc::new(engine.optimize(
+                &plan,
+                OptimizerMode::Compliant,
+                request.result_location.clone(),
+            )?);
+            shared.cache.insert(key, fresh.clone());
+            (fresh, false)
+        }
+        None => {
+            let fresh = Arc::new(engine.optimize(
+                &plan,
+                OptimizerMode::Compliant,
+                request.result_location.clone(),
+            )?);
+            shared.cache.insert(key, fresh.clone());
+            (fresh, false)
+        }
+    };
+
+    let needs_resilient =
+        request.faults.is_some() || request.deadline.is_some() || request.cancel.is_some();
+    let (rows, transfers, replans) = if needs_resilient {
+        let faults = match &request.faults {
+            Some(plan) => {
+                // Job-local clone: the fault step clock must start at 0
+                // for every query, not wherever the previous run left it.
+                let plan = plan.clone();
+                plan.reset_clock();
+                plan
+            }
+            None => FaultPlan::new(0),
+        };
+        let opts = FailoverOpts {
+            max_replans: shared.max_replans,
+            resume: true,
+            deadline: request.deadline,
+            cancel: request.cancel.clone(),
+            hedge: None,
+            columnar: shared.columnar,
+        };
+        let result =
+            engine.execute_resilient_opts(&optimized, &faults, &RetryPolicy::default(), &opts)?;
+        (result.rows, result.transfers, result.replans)
+    } else if shared.columnar {
+        let result = engine.execute_columnar(&optimized.physical)?;
+        (result.rows, result.transfers, 0)
+    } else {
+        let result = engine.execute(&optimized.physical)?;
+        (result.rows, result.transfers, 0)
+    };
+
+    Ok(QueryReply {
+        rows,
+        transfers,
+        cached,
+        replans,
+        latency_ms: 0.0, // stamped by the worker after the clock stops
+        result_location: optimized.result_location.clone(),
+    })
+}

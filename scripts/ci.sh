@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 GEOQP_PACKAGES=(
     geoqp geoqp-bench geoqp-cli geoqp-common geoqp-core geoqp-exec
     geoqp-expr geoqp-net geoqp-parser geoqp-plan geoqp-policy
-    geoqp-runtime geoqp-storage geoqp-tpch
+    geoqp-runtime geoqp-server geoqp-storage geoqp-tpch
 )
 pkg_flags=()
 for p in "${GEOQP_PACKAGES[@]}"; do pkg_flags+=(-p "$p"); done
@@ -40,6 +40,12 @@ echo "==> ad-hoc workload differential fuzz: generated queries," \
      "(GEOQP_ADHOC_N=${GEOQP_ADHOC_N:-200} queries, release)"
 GEOQP_ADHOC_N="${GEOQP_ADHOC_N:-200}" \
     cargo test -q -p geoqp-bench --release --test adhoc_differential
+
+echo "==> multi-tenant service smoke: closed-loop sessions through" \
+     "admission, DRR scheduling, and the plan cache" \
+     "(GEOQP_SERVICE_SESSIONS=${GEOQP_SERVICE_SESSIONS:-40} sessions, release)"
+GEOQP_SERVICE_SESSIONS="${GEOQP_SERVICE_SESSIONS:-40}" \
+    cargo test -q -p geoqp-bench --release --test service_smoke
 
 echo "==> chaos soak: crash/partition + gray degrade/loss variants" \
      "(fixed seeds, GEOQP_CHAOS_N=${GEOQP_CHAOS_N:-24} schedules each," \

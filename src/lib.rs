@@ -19,7 +19,10 @@
 //!   relational substrate (algebra, expressions + implication prover,
 //!   executor, catalogs, simulated WAN),
 //! * [`tpch`] — the evaluation substrate (schemas, dbgen-style generator,
-//!   the six evaluated queries, workload and policy generators).
+//!   the six evaluated queries, workload and policy generators),
+//! * [`server`] — the multi-tenant query service: per-tenant admission
+//!   control, deficit-round-robin fair scheduling, and an epoch-keyed
+//!   cache of optimized located plans.
 //!
 //! ## Quickstart
 //!
@@ -91,6 +94,7 @@ pub use geoqp_parser as parser;
 pub use geoqp_plan as plan;
 pub use geoqp_policy as policy;
 pub use geoqp_runtime as runtime;
+pub use geoqp_server as server;
 pub use geoqp_storage as storage;
 pub use geoqp_tpch as tpch;
 
@@ -111,5 +115,9 @@ pub mod prelude {
     };
     pub use geoqp_plan::{LogicalPlan, PlanBuilder};
     pub use geoqp_policy::{PolicyCatalog, PolicyEvaluator, PolicyExpression, ShipAttrs};
+    pub use geoqp_server::{
+        PlanCache, QueryReply, QueryRequest, QueryService, QueryTicket, ServiceConfig,
+        TenantConfig, TenantId, TenantStats,
+    };
     pub use geoqp_storage::{Catalog, Table, TableStats};
 }

@@ -282,6 +282,134 @@ fn randomized_adhoc_round_stays_compliant_and_leak_free() {
     );
 }
 
+/// Service round: the soak's crash/partition/deadline schedules replayed
+/// through the multi-tenant `QueryService` — concurrent sessions,
+/// admission control, DRR scheduling, and the epoch-keyed plan cache all
+/// under chaos at once. Invariants: every ticket resolves (no deadlock,
+/// even with cancellations and deadlines mid-queue), completions return
+/// the fault-free answer, failures carry a typed kind, and the service
+/// joins every worker on drop.
+#[test]
+fn concurrent_service_round_under_chaos_resolves_every_ticket() {
+    let n: usize = std::env::var("GEOQP_CHAOS_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let catalog = Arc::new(tpch::paper_catalog(SF));
+    tpch::populate(&catalog, SF, 7).unwrap();
+    let svc = QueryService::new(ServiceConfig {
+        workers: 4,
+        cache_capacity: 64,
+        columnar: true,
+        max_replans: SITES.len(),
+    });
+    let mut tenants = Vec::new();
+    for (i, template) in [PolicyTemplate::CRA, PolicyTemplate::CR].iter().enumerate() {
+        let policies =
+            tpch::generate_policies(&catalog, *template, 10, 2021 ^ (i as u64 + 1)).unwrap();
+        tenants.push(svc.add_tenant(
+            template.name(),
+            Arc::clone(&catalog),
+            Arc::new(policies),
+            NetworkTopology::paper_wan(),
+            TenantConfig {
+                max_inflight: 2,
+                max_queue: 16,
+                quantum: 1,
+            },
+        ));
+    }
+    let queries = tpch::adhoc::generate_adhoc(&catalog, n, 2021).unwrap();
+
+    let before = live_threads();
+    let mut rng = 0x0073_6572_7669_6365_u64; // fixed service-soak seed
+    let (mut completed, mut refused, mut rejected) = (0usize, 0usize, 0usize);
+    for (round, q) in queries.iter().enumerate() {
+        // Each round floods both tenants concurrently: one chaos-scheduled
+        // submission plus one pre-cancelled submission per tenant, all in
+        // flight before any ticket is waited on.
+        let mut tickets = Vec::new();
+        for &tenant in &tenants {
+            let (faults, deadline, label) = schedule(&mut rng);
+            let mut req = QueryRequest::new(&q.sql).with_faults(faults);
+            if let Some(d) = deadline {
+                req = req.with_deadline(d);
+            }
+            match svc.submit(tenant, req) {
+                Ok(t) => tickets.push((tenant, label, t)),
+                Err(e) => {
+                    assert_eq!(e.kind(), "admission", "round {round}: untyped refusal {e}");
+                    rejected += 1;
+                }
+            }
+            let cancel = CancelToken::new();
+            cancel.cancel();
+            match svc.submit(tenant, QueryRequest::new(&q.sql).with_cancel(cancel)) {
+                Ok(t) => tickets.push((tenant, "pre-cancelled".to_string(), t)),
+                Err(e) => {
+                    assert_eq!(e.kind(), "admission", "round {round}: untyped refusal {e}");
+                    rejected += 1;
+                }
+            }
+        }
+        for (tenant, label, ticket) in tickets {
+            match ticket.wait() {
+                Ok(reply) => {
+                    completed += 1;
+                    // The fault-free answer through the same tenant's
+                    // engine (policies differ per tenant).
+                    let eng = svc.tenant_engine(tenant).unwrap();
+                    let opt = eng
+                        .optimize(&q.plan, OptimizerMode::Compliant, None)
+                        .unwrap();
+                    let baseline = eng.execute_columnar(&opt.physical).unwrap();
+                    let mut got: Vec<String> =
+                        reply.rows.iter().map(|r| format!("{r:?}")).collect();
+                    let mut want: Vec<String> =
+                        baseline.rows.iter().map(|r| format!("{r:?}")).collect();
+                    got.sort();
+                    want.sort();
+                    assert_eq!(
+                        got, want,
+                        "round {round} adhoc #{} [{label}]: service chaos changed the answer\n{}",
+                        q.id, q.sql
+                    );
+                }
+                Err(e) => {
+                    refused += 1;
+                    assert!(
+                        matches!(
+                            e.kind(),
+                            "rejected" | "unavailable" | "deadline" | "cancelled" | "admission"
+                        ),
+                        "round {round} adhoc #{} [{label}]: untyped failure {e}",
+                        q.id
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        completed >= 1,
+        "the service soak never completed a single run \
+         ({refused} refusals, {rejected} rejections) — schedules too harsh"
+    );
+    // Dropping the service must join all four workers.
+    drop(svc);
+    let mut after = live_threads();
+    for _ in 0..50 {
+        if after <= before {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        after = live_threads();
+    }
+    assert!(
+        after <= before + 4,
+        "{before} threads before the service soak, {after} after — service workers leaked"
+    );
+}
+
 #[test]
 fn randomized_chaos_schedules_stay_compliant_and_leak_free() {
     let n: usize = std::env::var("GEOQP_CHAOS_N")

@@ -4,7 +4,7 @@
 //!   repro                # everything
 //!   repro --figure 6a    # one artifact: table1|table2|table3|5a|5bcde|
 //!                        # 6a|6b|6c|6d|6e|6f|6g|6h|7abc|7de|8ab|
-//!                        # ablation|failover|scaleup|adhoc|service
+//!                        # ablation|failover|scaleup|adhoc|service|churn
 //!   repro --quick        # fewer runs / fewer ad-hoc queries
 //!
 //! `--figure adhoc` reproduces the paper's 400-query effectiveness and
@@ -22,7 +22,7 @@
 
 use geoqp_bench::experiments::overhead::OverheadCase;
 use geoqp_bench::experiments::{
-    ablation, effectiveness, failover, grayfail, kernels, optimizer, overhead, quality,
+    ablation, churn, effectiveness, failover, grayfail, kernels, optimizer, overhead, quality,
     scalability, scaleup, service,
 };
 use geoqp_common::LocationSet;
@@ -106,6 +106,69 @@ fn main() {
     }
     if want("service") {
         service_figure(quick);
+    }
+    if want("churn") {
+        churn_figure();
+    }
+}
+
+fn churn_figure() {
+    header(
+        "Extension E12: live policy churn — mid-flight revocations vs epoch-pinned queries (CR+A)",
+    );
+    println!(
+        "  {:6} {:>6} {:>5} {:>14} {:>8} {:>12} {:>12} {:>12} {:>6}",
+        "query", "step", "pid", "outcome", "replans", "total B", "recomp B", "resumed B", "rows="
+    );
+    let grid = churn::churn_grid(SEED);
+    for c in &grid {
+        println!(
+            "  {:6} {:>6} {:>5} {:>14} {:>8} {:>12} {:>12} {:>12} {:>6}",
+            c.query,
+            c.revoke_step,
+            c.revoked_pid,
+            c.outcome.label(),
+            c.replans,
+            c.total_bytes,
+            c.recomputed_bytes,
+            c.resumed_bytes,
+            if c.rows_match { "yes" } else { "NO" }
+        );
+    }
+
+    header("Extension E12: stale replicas — catalog partition during churn re-plan");
+    println!(
+        "  {:6} {:>12} {:>22} {:>6}",
+        "query", "partitioned", "outcome", "rows="
+    );
+    let stale = churn::stale_sweep(SEED);
+    for c in &stale {
+        println!(
+            "  {:6} {:>12} {:>22} {:>6}",
+            c.query,
+            c.partitioned.to_string(),
+            c.outcome.label(),
+            if c.rows_match { "yes" } else { "NO" }
+        );
+    }
+    let s = churn::summarize(&grid, &stale);
+    println!(
+        "  summary: {} finished, {} replanned, {} refused non-compliant, \
+         {} refused catalog-stale, {} other; re-plan byte overhead {:.1}% \
+         ({} B recomputed, {} B resumed from checkpoints)",
+        s.finished,
+        s.replanned,
+        s.refused_non_compliant,
+        s.refused_catalog_stale,
+        s.refused_other,
+        s.replan_byte_overhead() * 100.0,
+        s.recomputed_bytes,
+        s.resumed_bytes,
+    );
+    let json = churn::to_json(&grid, &stale, SEED);
+    match std::fs::write("BENCH_churn.json", &json) {
+        Ok(()) => println!("  wrote BENCH_churn.json"),
+        Err(e) => println!("  could not write BENCH_churn.json: {e}"),
     }
 }
 

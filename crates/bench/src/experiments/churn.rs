@@ -1,0 +1,526 @@
+//! Extension E12: live policy churn — mid-flight revocations against
+//! epoch-pinned queries.
+//!
+//! Each cell of the grid runs one TPC-H query under a scripted catalog
+//! log: the query is admitted pinned to log sequence 0 (the base
+//! catalog), a revocation is already appended at sequence 1, and the
+//! churn signal releases it at a chosen executor step. A revocation
+//! released before the query's last SHIP edge aborts the attempt and
+//! re-plans under the new epoch (checkpoints migrated, compliance
+//! re-verified); one released too late never bites. Cells where the
+//! shrunken policy set leaves no compliant placement refuse typed.
+//!
+//! The stale sweep layers a catalog-plane partition on top: after the
+//! churn re-plan re-pins the query to sequence 1, the partitioned
+//! site's replica cannot prove it has seen the new epoch, so a re-plan
+//! that ships from that site refuses typed (`catalog-stale`) instead
+//! of originating a transfer it cannot re-audit.
+//!
+//! Everything is simulated-clock and seed-driven: identically-seeded
+//! runs serialize byte-identically.
+
+use crate::experiments::setup::EXEC_SF;
+use geoqp_common::{ChurnEvent, Location, Rows, Value};
+use geoqp_core::{CatalogService, Engine, FailoverOpts, OptimizerMode};
+use geoqp_exec::RetryPolicy;
+use geoqp_net::{FaultPlan, NetworkTopology, StepWindow};
+use geoqp_policy::PolicyCatalog;
+use geoqp_tpch::policy_gen::{generate_policies, PolicyTemplate};
+use geoqp_tpch::queries::all_queries;
+use std::sync::Arc;
+
+/// Revocation-release steps of the grid: the executor's transfer clock
+/// at which the revocation becomes visible to the in-flight query. The
+/// last value is past any query's edge count — the control column where
+/// churn never bites.
+pub const REVOKE_STEPS: [u64; 5] = [0, 1, 2, 4, 1_000];
+
+/// What happened to one (query, revocation-step) cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnOutcome {
+    /// The revocation landed after the query's last transfer: finished
+    /// under the admission pin, untouched.
+    Finished,
+    /// Caught in flight: re-planned under the new epoch the given
+    /// number of times and completed.
+    Replanned(u64),
+    /// Degraded into a typed refusal of the given kind
+    /// (`non-compliant`, `catalog-stale`, …).
+    Refused(String),
+}
+
+impl ChurnOutcome {
+    /// Compact grid label.
+    pub fn label(&self) -> String {
+        match self {
+            ChurnOutcome::Finished => "finished".into(),
+            ChurnOutcome::Replanned(n) => format!("replanned×{n}"),
+            ChurnOutcome::Refused(kind) => format!("refused:{kind}"),
+        }
+    }
+}
+
+/// One cell of the churn grid.
+#[derive(Debug)]
+pub struct ChurnCell {
+    /// Query name.
+    pub query: &'static str,
+    /// Executor step the revocation was released at.
+    pub revoke_step: u64,
+    /// The stable policy id revoked.
+    pub revoked_pid: u64,
+    /// What happened.
+    pub outcome: ChurnOutcome,
+    /// Total re-plans (site failures + churn; here churn only).
+    pub replans: usize,
+    /// Bytes shipped across all attempts.
+    pub total_bytes: u64,
+    /// Bytes the fault-free, churn-free reference run shipped.
+    pub reference_bytes: u64,
+    /// Bytes re-shipped after the abort (checkpoint misses); the re-plan
+    /// overhead the checkpoint migration is there to bound.
+    pub recomputed_bytes: u64,
+    /// Bytes served from migrated checkpoints instead of re-shipping.
+    pub resumed_bytes: u64,
+    /// Completed cells only: the answer matched the reference multiset.
+    pub rows_match: bool,
+}
+
+/// One cell of the stale sweep: revocation at step 0 with one site's
+/// catalog replica partitioned away from the coordinator.
+#[derive(Debug)]
+pub struct StaleCell {
+    /// Query name.
+    pub query: &'static str,
+    /// The site whose replica cannot catch up.
+    pub partitioned: Location,
+    /// What happened (a re-plan shipping from the partitioned site
+    /// refuses `catalog-stale`; others finish or refuse compliance).
+    pub outcome: ChurnOutcome,
+    /// Completed cells only: the answer matched the reference multiset.
+    pub rows_match: bool,
+}
+
+fn multiset(rows: &Rows) -> Vec<Vec<Value>> {
+    let mut v: Vec<Vec<Value>> = rows.rows().to_vec();
+    v.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    v
+}
+
+struct Fixture {
+    catalog: Arc<geoqp_storage::Catalog>,
+    policies: PolicyCatalog,
+    engine: Engine,
+    coordinator: Location,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let catalog = Arc::new(geoqp_tpch::paper_catalog(EXEC_SF));
+    geoqp_tpch::populate(&catalog, EXEC_SF, seed).expect("populate");
+    let policies =
+        generate_policies(&catalog, PolicyTemplate::CRA, 10, seed).expect("policy generation");
+    let engine = Engine::new(
+        Arc::clone(&catalog),
+        Arc::new(policies.clone()),
+        NetworkTopology::paper_wan(),
+    );
+    let coordinator = catalog
+        .locations()
+        .iter()
+        .next()
+        .cloned()
+        .expect("the paper catalog has sites");
+    Fixture {
+        catalog,
+        policies,
+        engine,
+        coordinator,
+    }
+}
+
+/// A catalog service whose log already holds the revocation of `pid`
+/// at sequence 1, with the signal scripted to release it at `step`.
+/// All replicas are fully synced to the head before execution begins —
+/// staleness, where wanted, comes from the catalog-plane fault plan.
+fn scripted_service(
+    fx: &Fixture,
+    pid: u64,
+    step: u64,
+    faults: Option<FaultPlan>,
+) -> Arc<CatalogService> {
+    let svc = CatalogService::new(
+        Arc::clone(&fx.catalog),
+        fx.policies.clone(),
+        fx.coordinator.clone(),
+    );
+    let rev = svc.revoke(pid).expect("revoking a live template pid");
+    let planned = vec![ChurnEvent {
+        step,
+        seq: rev.seq,
+        epoch: rev.epoch,
+        revocation: true,
+    }];
+    let mut svc = svc.with_planned(planned);
+    if let Some(f) = faults {
+        svc = svc.with_faults(f);
+    } else {
+        svc.sync_full();
+    }
+    Arc::new(svc)
+}
+
+/// The E12 grid: every TPC-H query × every revocation-release step,
+/// revoking a different live policy per cell (cycling through the
+/// template set in pid order).
+pub fn churn_grid(seed: u64) -> Vec<ChurnCell> {
+    let fx = fixture(seed);
+    let sites = fx.catalog.locations().len();
+    let retry = RetryPolicy::default();
+    let probe = CatalogService::new(
+        Arc::clone(&fx.catalog),
+        fx.policies.clone(),
+        fx.coordinator.clone(),
+    );
+    let pids: Vec<u64> = probe.live_policies().iter().map(|(pid, _)| *pid).collect();
+    assert!(!pids.is_empty(), "the template set registered no policies");
+    let mut out = Vec::new();
+    for (qi, (query, plan)) in all_queries(&fx.catalog)
+        .expect("queries")
+        .iter()
+        .enumerate()
+    {
+        let Ok(optimized) = fx.engine.optimize(plan, OptimizerMode::Compliant, None) else {
+            continue;
+        };
+        let Ok(reference) =
+            fx.engine
+                .execute_resilient(&optimized, &FaultPlan::new(seed), &retry, 0)
+        else {
+            continue;
+        };
+        let reference_rows = multiset(&reference.rows);
+        let reference_bytes = reference.transfers.total_bytes();
+        for (si, &step) in REVOKE_STEPS.iter().enumerate() {
+            let pid = pids[(qi * REVOKE_STEPS.len() + si) % pids.len()];
+            let svc = scripted_service(&fx, pid, step, None);
+            let pin = geoqp_common::CatalogPin::new(0, fx.engine.policies().epoch());
+            let opts = FailoverOpts::new(sites).with_churn(Arc::clone(&svc), pin);
+            let cell = match fx.engine.execute_resilient_opts(
+                &optimized,
+                &FaultPlan::new(seed),
+                &retry,
+                &opts,
+            ) {
+                Ok(res) => ChurnCell {
+                    query,
+                    revoke_step: step,
+                    revoked_pid: pid,
+                    outcome: if res.churn_replans == 0 {
+                        ChurnOutcome::Finished
+                    } else {
+                        ChurnOutcome::Replanned(res.churn_replans)
+                    },
+                    replans: res.replans,
+                    total_bytes: res.transfers.total_bytes(),
+                    reference_bytes,
+                    recomputed_bytes: res.recomputed_bytes,
+                    resumed_bytes: res.resumed_bytes,
+                    rows_match: multiset(&res.rows) == reference_rows,
+                },
+                Err(e) => ChurnCell {
+                    query,
+                    revoke_step: step,
+                    revoked_pid: pid,
+                    outcome: ChurnOutcome::Refused(e.kind().to_string()),
+                    replans: 0,
+                    total_bytes: 0,
+                    reference_bytes,
+                    recomputed_bytes: 0,
+                    resumed_bytes: 0,
+                    rows_match: true,
+                },
+            };
+            out.push(cell);
+        }
+    }
+    out
+}
+
+/// The stale sweep: revocation released at step 0 while one site's
+/// catalog replica is partitioned away from the coordinator for the
+/// whole run, for every query × every non-coordinator site.
+pub fn stale_sweep(seed: u64) -> Vec<StaleCell> {
+    let fx = fixture(seed);
+    let sites_all: Vec<Location> = fx.catalog.locations().iter().cloned().collect();
+    let sites = sites_all.len();
+    let retry = RetryPolicy::default();
+    let probe = CatalogService::new(
+        Arc::clone(&fx.catalog),
+        fx.policies.clone(),
+        fx.coordinator.clone(),
+    );
+    let pids: Vec<u64> = probe.live_policies().iter().map(|(pid, _)| *pid).collect();
+    let mut out = Vec::new();
+    for (qi, (query, plan)) in all_queries(&fx.catalog)
+        .expect("queries")
+        .iter()
+        .enumerate()
+    {
+        let Ok(optimized) = fx.engine.optimize(plan, OptimizerMode::Compliant, None) else {
+            continue;
+        };
+        let Ok(reference) =
+            fx.engine
+                .execute_resilient(&optimized, &FaultPlan::new(seed), &retry, 0)
+        else {
+            continue;
+        };
+        let reference_rows = multiset(&reference.rows);
+        for (pi, site) in sites_all.iter().enumerate() {
+            if *site == fx.coordinator {
+                continue;
+            }
+            let pid = pids[(qi * sites_all.len() + pi) % pids.len()];
+            let catalog_faults =
+                FaultPlan::new(seed).with_partition([site.clone()], StepWindow::ALWAYS);
+            let svc = scripted_service(&fx, pid, 0, Some(catalog_faults));
+            let pin = geoqp_common::CatalogPin::new(0, fx.engine.policies().epoch());
+            let opts = FailoverOpts::new(sites).with_churn(Arc::clone(&svc), pin);
+            let cell = match fx.engine.execute_resilient_opts(
+                &optimized,
+                &FaultPlan::new(seed),
+                &retry,
+                &opts,
+            ) {
+                Ok(res) => StaleCell {
+                    query,
+                    partitioned: site.clone(),
+                    outcome: if res.churn_replans == 0 {
+                        ChurnOutcome::Finished
+                    } else {
+                        ChurnOutcome::Replanned(res.churn_replans)
+                    },
+                    rows_match: multiset(&res.rows) == reference_rows,
+                },
+                Err(e) => StaleCell {
+                    query,
+                    partitioned: site.clone(),
+                    outcome: ChurnOutcome::Refused(e.kind().to_string()),
+                    rows_match: true,
+                },
+            };
+            out.push(cell);
+        }
+    }
+    out
+}
+
+/// Per-outcome counts plus the re-plan byte overhead across a grid.
+#[derive(Debug, Default)]
+pub struct ChurnSummary {
+    /// Cells that finished under their admission pin.
+    pub finished: u64,
+    /// Cells that re-planned under a new epoch and completed.
+    pub replanned: u64,
+    /// Cells refused `non-compliant`.
+    pub refused_non_compliant: u64,
+    /// Cells refused `catalog-stale`.
+    pub refused_catalog_stale: u64,
+    /// Cells refused with any other typed kind.
+    pub refused_other: u64,
+    /// Re-shipped bytes across all re-planned cells.
+    pub recomputed_bytes: u64,
+    /// Checkpoint-resumed bytes across all re-planned cells.
+    pub resumed_bytes: u64,
+    /// Reference (churn-free) bytes of the re-planned cells.
+    pub replanned_reference_bytes: u64,
+}
+
+impl ChurnSummary {
+    /// Bytes re-shipped by churn re-plans as a fraction of what the
+    /// affected queries ship churn-free.
+    pub fn replan_byte_overhead(&self) -> f64 {
+        if self.replanned_reference_bytes == 0 {
+            0.0
+        } else {
+            self.recomputed_bytes as f64 / self.replanned_reference_bytes as f64
+        }
+    }
+
+    fn count(&mut self, outcome: &ChurnOutcome) {
+        match outcome {
+            ChurnOutcome::Finished => self.finished += 1,
+            ChurnOutcome::Replanned(_) => self.replanned += 1,
+            ChurnOutcome::Refused(kind) => match kind.as_str() {
+                "non-compliant" => self.refused_non_compliant += 1,
+                "catalog-stale" => self.refused_catalog_stale += 1,
+                _ => self.refused_other += 1,
+            },
+        }
+    }
+}
+
+/// Tally a grid and a stale sweep into one summary.
+pub fn summarize(grid: &[ChurnCell], stale: &[StaleCell]) -> ChurnSummary {
+    let mut s = ChurnSummary::default();
+    for c in grid {
+        s.count(&c.outcome);
+        if matches!(c.outcome, ChurnOutcome::Replanned(_)) {
+            s.recomputed_bytes += c.recomputed_bytes;
+            s.resumed_bytes += c.resumed_bytes;
+            s.replanned_reference_bytes += c.reference_bytes;
+        }
+    }
+    for c in stale {
+        s.count(&c.outcome);
+    }
+    s
+}
+
+/// Serialize the grid, sweep, and summary as deterministic JSON (no
+/// wall-clock anywhere: same seed, same bytes).
+pub fn to_json(grid: &[ChurnCell], stale: &[StaleCell], seed: u64) -> String {
+    let summary = summarize(grid, stale);
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"churn\",\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"scale_factor\": {EXEC_SF},\n"));
+    s.push_str("  \"grid\": [\n");
+    for (i, c) in grid.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"query\": \"{}\", ", c.query));
+        s.push_str(&format!("\"revoke_step\": {}, ", c.revoke_step));
+        s.push_str(&format!("\"revoked_pid\": {}, ", c.revoked_pid));
+        s.push_str(&format!("\"outcome\": \"{}\", ", c.outcome.label()));
+        s.push_str(&format!("\"replans\": {}, ", c.replans));
+        s.push_str(&format!("\"total_bytes\": {}, ", c.total_bytes));
+        s.push_str(&format!("\"reference_bytes\": {}, ", c.reference_bytes));
+        s.push_str(&format!("\"recomputed_bytes\": {}, ", c.recomputed_bytes));
+        s.push_str(&format!("\"resumed_bytes\": {}, ", c.resumed_bytes));
+        s.push_str(&format!("\"rows_match\": {}", c.rows_match));
+        s.push('}');
+        if i + 1 < grid.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"stale\": [\n");
+    for (i, c) in stale.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"query\": \"{}\", ", c.query));
+        s.push_str(&format!("\"partitioned\": \"{}\", ", c.partitioned));
+        s.push_str(&format!("\"outcome\": \"{}\", ", c.outcome.label()));
+        s.push_str(&format!("\"rows_match\": {}", c.rows_match));
+        s.push('}');
+        if i + 1 < stale.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"summary\": {\n");
+    s.push_str(&format!("    \"finished\": {},\n", summary.finished));
+    s.push_str(&format!("    \"replanned\": {},\n", summary.replanned));
+    s.push_str(&format!(
+        "    \"refused_non_compliant\": {},\n",
+        summary.refused_non_compliant
+    ));
+    s.push_str(&format!(
+        "    \"refused_catalog_stale\": {},\n",
+        summary.refused_catalog_stale
+    ));
+    s.push_str(&format!(
+        "    \"refused_other\": {},\n",
+        summary.refused_other
+    ));
+    s.push_str(&format!(
+        "    \"recomputed_bytes\": {},\n",
+        summary.recomputed_bytes
+    ));
+    s.push_str(&format!(
+        "    \"resumed_bytes\": {},\n",
+        summary.resumed_bytes
+    ));
+    s.push_str(&format!(
+        "    \"replan_byte_overhead\": {:.4}\n",
+        summary.replan_byte_overhead()
+    ));
+    s.push_str("  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_grid_resolves_every_cell_typed_and_deterministically() {
+        let grid = churn_grid(2021);
+        assert!(!grid.is_empty());
+        // Every cell is one of the three typed outcomes; completed cells
+        // answer exactly what the churn-free reference answered.
+        let mut replanned = 0;
+        let mut finished_control = 0;
+        for c in &grid {
+            assert!(
+                c.rows_match,
+                "{} @ step {}: answer changed",
+                c.query, c.revoke_step
+            );
+            match &c.outcome {
+                ChurnOutcome::Replanned(n) => {
+                    assert!(*n >= 1);
+                    replanned += 1;
+                }
+                ChurnOutcome::Finished if c.revoke_step == 1_000 => finished_control += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            replanned >= 1,
+            "no revocation ever caught a query in flight: {:?}",
+            grid.iter().map(|c| c.outcome.label()).collect::<Vec<_>>()
+        );
+        assert!(
+            finished_control >= 1,
+            "the past-the-end control step must leave some query untouched"
+        );
+        // Identically-seeded runs serialize byte-identically.
+        let stale = stale_sweep(2021);
+        assert_eq!(
+            to_json(&grid, &stale, 2021),
+            to_json(&churn_grid(2021), &stale_sweep(2021), 2021)
+        );
+    }
+
+    #[test]
+    fn stale_sweep_refuses_unprovable_origins_typed() {
+        let stale = stale_sweep(2021);
+        assert!(!stale.is_empty());
+        for c in &stale {
+            assert!(c.rows_match, "{}: answer changed", c.query);
+            if let ChurnOutcome::Refused(kind) = &c.outcome {
+                assert!(
+                    kind == "catalog-stale" || kind == "non-compliant",
+                    "{} partitioned {}: unexpected refusal kind {kind}",
+                    c.query,
+                    c.partitioned
+                );
+            }
+        }
+        assert!(
+            stale
+                .iter()
+                .any(|c| matches!(&c.outcome, ChurnOutcome::Refused(k) if k == "catalog-stale")),
+            "no partitioned replica was ever caught stale: {:?}",
+            stale.iter().map(|c| c.outcome.label()).collect::<Vec<_>>()
+        );
+    }
+}

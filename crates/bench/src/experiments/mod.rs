@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per paper artifact family.
 
 pub mod ablation;
+pub mod churn;
 pub mod effectiveness;
 pub mod failover;
 pub mod grayfail;

@@ -2,10 +2,12 @@
 //! processing engine. All state and command handling lives here so that
 //! the shell is fully testable without a terminal.
 
-use geoqp_common::{CancelToken, GeoError, Location, QueryDeadline, Result, Rows, TableRef};
+use geoqp_common::{
+    CancelToken, CatalogPin, GeoError, Location, QueryDeadline, Result, Rows, TableRef,
+};
 use geoqp_core::{
-    Engine, FailoverOpts, HedgeConfig, LinkReport, OptimizerMode, ResilientResult, RuntimeConfig,
-    RuntimeMetrics, RuntimeMode,
+    CatalogService, ChurnOpts, Engine, FailoverOpts, HedgeConfig, LinkReport, OptimizerMode,
+    ResilientResult, RuntimeConfig, RuntimeMetrics, RuntimeMode,
 };
 use geoqp_exec::RetryPolicy;
 use geoqp_net::{FaultPlan, NetworkTopology};
@@ -38,6 +40,10 @@ pub struct Shell {
     hedge: Option<HedgeConfig>,
     last_health: Option<Vec<LinkReport>>,
     service: Option<ServerSession>,
+    /// The deployment's replicated policy-catalog service: `\grant` and
+    /// `\revoke` append to its log, `\catalog` renders it, and every
+    /// resilient query pins its head epoch at admission.
+    churn: Option<Arc<CatalogService>>,
 }
 
 impl Default for Shell {
@@ -63,6 +69,7 @@ impl Shell {
             hedge: None,
             last_health: None,
             service: None,
+            churn: None,
         }
     }
 
@@ -108,6 +115,9 @@ impl Shell {
             }
             "policy" => self.add_policy(arg),
             "deny" => self.add_denial(arg),
+            "grant" => self.grant(arg),
+            "revoke" => self.revoke(arg),
+            "catalog" => self.catalog_status(),
             "mode" => {
                 self.mode = match arg {
                     "compliant" => OptimizerMode::Compliant,
@@ -215,6 +225,7 @@ impl Shell {
             "carco" => {
                 self.service = None;
                 self.engine = Some(demo::carco()?);
+                self.attach_catalog();
                 Ok(
                     "loaded CarCo demo: customer@N, orders@E, supply@A with P_N/P_E/P_A\n"
                         .to_string(),
@@ -227,6 +238,7 @@ impl Shell {
                     .unwrap_or(0.002);
                 self.service = None;
                 self.engine = Some(demo::tpch(sf)?);
+                self.attach_catalog();
                 Ok(format!(
                     "loaded TPC-H demo at SF {sf}: Table 2 distribution over L1–L5, CR+A policies\n"
                 ))
@@ -319,7 +331,134 @@ impl Shell {
         let catalog = Arc::clone(eng.catalog());
         let topology = eng.topology().clone();
         self.engine = Some(Engine::new(catalog, Arc::new(policies), topology));
+        // `\policy` / `\deny` rewrite the whole catalog, so the log of
+        // record restarts from the rewritten set as its new base.
+        self.attach_catalog();
         Ok(())
+    }
+
+    /// (Re)build the replicated catalog service over the loaded engine's
+    /// policies: the engine's policy set becomes log sequence 0 and
+    /// every site's replica starts fresh at the head.
+    fn attach_catalog(&mut self) {
+        self.churn = self.engine.as_ref().map(|eng| {
+            let coordinator = eng
+                .catalog()
+                .locations()
+                .iter()
+                .next()
+                .cloned()
+                .unwrap_or_else(|| Location::new("L0"));
+            Arc::new(CatalogService::new(
+                Arc::clone(eng.catalog()),
+                (**eng.policies()).clone(),
+                coordinator,
+            ))
+        });
+    }
+
+    fn catalog_service(&self) -> Result<Arc<CatalogService>> {
+        self.churn
+            .as_ref()
+            .map(Arc::clone)
+            .ok_or_else(|| GeoError::Execution("no deployment loaded; try \\demo carco".into()))
+    }
+
+    /// Re-admit the session under the catalog head `pin`: the engine is
+    /// forked over the epoch-pinned snapshot (cold implication memo, same
+    /// storage and topology), and every replica is brought fully up to
+    /// date so no site refuses transfers as catalog-stale.
+    fn refresh_engine(&mut self, svc: &CatalogService, pin: CatalogPin) -> Result<()> {
+        svc.sync_full();
+        let snapshot = svc.snapshot(pin.seq)?;
+        let forked = self.engine()?.fork_with_policies(snapshot);
+        self.engine = Some(forked);
+        Ok(())
+    }
+
+    /// `\grant ship <attrs> from <table> to <locs> …` — append a grant to
+    /// the catalog log. The new policy takes effect for queries admitted
+    /// from the new head onward; it never interrupts in-flight work.
+    fn grant(&mut self, text: &str) -> Result<String> {
+        let expr = geoqp_parser::parse_policy(text)?;
+        let display = expr.to_string();
+        let svc = self.catalog_service()?;
+        let pin = svc.grant(expr)?;
+        self.refresh_engine(&svc, pin)?;
+        let pid = svc
+            .find_live(&display)
+            .expect("the grant just appended is live at the head");
+        Ok(format!(
+            "granted p{pid}: {display}\ncatalog head: seq {}, epoch {:016x}\n",
+            pin.seq, pin.epoch
+        ))
+    }
+
+    /// `\revoke <pid>|<expression>` — append a revocation. Unlike grants,
+    /// revocations reach in-flight queries: one caught shipping on a
+    /// now-revoked edge re-plans under the new epoch or refuses typed.
+    fn revoke(&mut self, arg: &str) -> Result<String> {
+        if arg.is_empty() {
+            return Err(GeoError::Execution(
+                "usage: \\revoke <pid>|<policy expression>; \\catalog lists pids".into(),
+            ));
+        }
+        let svc = self.catalog_service()?;
+        let pid = match arg.parse::<u64>() {
+            Ok(pid) => pid,
+            Err(_) => {
+                let display = geoqp_parser::parse_policy(arg)?.to_string();
+                svc.find_live(&display).ok_or_else(|| {
+                    GeoError::Policy(format!(
+                        "no live policy matches `{display}`; \\catalog lists pids"
+                    ))
+                })?
+            }
+        };
+        let pin = svc.revoke(pid)?;
+        self.refresh_engine(&svc, pin)?;
+        Ok(format!(
+            "revoked p{pid}\ncatalog head: seq {}, epoch {:016x}; queries pinned to \
+             earlier epochs re-plan or refuse typed\n",
+            pin.seq, pin.epoch
+        ))
+    }
+
+    /// `\catalog` — the replicated catalog's state: head pin, live
+    /// policies with their stable pids, the append-only log, and each
+    /// site replica's applied sequence.
+    fn catalog_status(&self) -> Result<String> {
+        let svc = self.catalog_service()?;
+        let head = svc.head();
+        let mut out = format!(
+            "catalog head: seq {}, epoch {:016x} (coordinator {})\nlive policies:\n",
+            head.seq,
+            head.epoch,
+            svc.coordinator()
+        );
+        let live = svc.live_policies();
+        if live.is_empty() {
+            out.push_str("  (none — nothing may leave its site)\n");
+        }
+        for (pid, expr) in live {
+            let _ = writeln!(out, "  p{pid}: {expr}");
+        }
+        let history = svc.history();
+        if !history.is_empty() {
+            out.push_str("log:\n");
+            for line in history {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        out.push_str("replicas:\n");
+        for (site, seq) in svc.replica_seqs() {
+            let _ = writeln!(
+                out,
+                "  {site}: seq {seq}{}",
+                if seq < head.seq { " (STALE)" } else { "" }
+            );
+        }
+        Ok(out)
     }
 
     /// `\faults` shows the active plan, `\faults off` clears it, anything
@@ -458,6 +597,12 @@ impl Shell {
             cancel: Some(self.cancel.clone()),
             hedge: self.hedge.clone(),
             columnar: self.columnar,
+            // Every controlled query pins the catalog head at admission;
+            // a mid-flight revocation re-plans it under the new epoch.
+            churn: self.churn.as_ref().map(|svc| ChurnOpts {
+                service: Arc::clone(svc),
+                pin: svc.head(),
+            }),
         }
     }
 
@@ -913,6 +1058,13 @@ commands:
   \\policies                 list dataflow policies
   \\policy <expression>      register: ship <attrs> from <t> to <locs> …
   \\deny <expression>        register a denial (closed-world expansion)
+  \\grant <expression>       append a grant to the replicated catalog log
+                            (takes effect for queries admitted after it)
+  \\revoke <pid|expression>  append a revocation (pushed to in-flight
+                            queries: re-plan under the new epoch or a
+                            typed refusal)
+  \\catalog                  catalog head (seq + epoch), live policies
+                            with pids, the log, per-site replica seqs
   \\mode compliant|traditional
   \\runtime parallel|sequential
                             choose the execution runtime (default sequential)
@@ -1399,6 +1551,99 @@ mod tests {
         let help = sh.run_command("\\help").unwrap();
         assert!(help.contains("\\server"));
         assert!(help.contains("\\tenants"));
+    }
+
+    #[test]
+    fn grant_revoke_and_catalog_verbs() {
+        let mut sh = Shell::new();
+        assert!(sh.run_command("\\catalog").is_err(), "no deployment yet");
+        sh.run_command("\\demo carco").unwrap();
+
+        // The base catalog is log sequence 0; its four policies are live.
+        let out = sh.run_command("\\catalog").unwrap();
+        assert!(out.contains("seq 0"), "{out}");
+        assert_eq!(out.matches("\n  p").count(), 4, "{out}");
+        assert!(!out.contains("STALE"), "{out}");
+
+        // Balances cannot reach E until a grant appends the permission.
+        sh.run_command("\\at E").unwrap();
+        assert!(sh.run_command("SELECT c_acctbal FROM customer").is_err());
+        let out = sh
+            .run_command("\\grant ship c_acctbal from customer to E")
+            .unwrap();
+        assert!(out.contains("granted p4"), "{out}");
+        assert!(out.contains("seq 1"), "{out}");
+        assert!(sh.run_command("SELECT c_acctbal FROM customer").is_ok());
+        let epoch_of = |out: &str| {
+            let line = out.lines().find(|l| l.contains("epoch")).unwrap();
+            line.split("epoch ").nth(1).unwrap()[..16].to_string()
+        };
+        let granted_epoch = epoch_of(&out);
+
+        // The catalog shows the grant live, logged, and fully replicated.
+        let listed = sh.run_command("\\catalog").unwrap();
+        assert!(listed.contains("p4: ship c_acctbal"), "{listed}");
+        assert!(listed.contains("#1 grant p4"), "{listed}");
+        assert!(!listed.contains("STALE"), "{listed}");
+
+        // Revoking by expression resolves the pid; the permission is gone
+        // for later queries and the epoch never returns to an old value.
+        let out = sh
+            .run_command("\\revoke ship c_acctbal from customer to E")
+            .unwrap();
+        assert!(out.contains("revoked p4"), "{out}");
+        assert!(out.contains("seq 2"), "{out}");
+        assert_ne!(epoch_of(&out), granted_epoch);
+        assert!(sh.run_command("SELECT c_acctbal FROM customer").is_err());
+
+        // Revoking by pid works too, and dead pids are refused.
+        assert!(sh.run_command("\\revoke 0").is_ok());
+        assert!(sh.run_command("\\revoke 0").is_err(), "already revoked");
+        assert!(sh.run_command("\\revoke").is_err(), "usage error");
+        assert!(sh
+            .run_command("\\revoke ship c_name from customer to N")
+            .is_err());
+
+        // Identical grant sequences replay to identical heads.
+        let replay = |cmds: &[&str]| {
+            let mut s = Shell::new();
+            s.run_command("\\demo carco").unwrap();
+            for c in cmds {
+                s.run_command(c).unwrap();
+            }
+            s.run_command("\\catalog").unwrap()
+        };
+        let a = replay(&["\\grant ship c_acctbal from customer to E", "\\revoke 4"]);
+        let b = replay(&["\\grant ship c_acctbal from customer to E", "\\revoke 4"]);
+        assert_eq!(a, b, "identical histories hash to identical heads");
+
+        let help = sh.run_command("\\help").unwrap();
+        assert!(help.contains("\\grant"));
+        assert!(help.contains("\\revoke"));
+        assert!(help.contains("\\catalog"));
+    }
+
+    #[test]
+    fn revocation_mid_flight_replans_or_refuses_typed() {
+        // Arm a fault plan so queries run the resilient path (which pins
+        // the catalog head at admission), then revoke between queries:
+        // the session keeps answering under the new epoch.
+        let mut sh = Shell::new();
+        sh.run_command("\\demo carco").unwrap();
+        sh.run_command("\\faults seed=7; crash:A@0..2").unwrap();
+        let out = sh
+            .run_command("SELECT c_name FROM customer ORDER BY c_name")
+            .unwrap();
+        assert!(out.contains("alice"), "{out}");
+        sh.run_command("\\grant ship c_acctbal from customer to E")
+            .unwrap();
+        sh.run_command("\\at E").unwrap();
+        assert!(sh.run_command("SELECT c_acctbal FROM customer").is_ok());
+        sh.run_command("\\revoke 4").unwrap();
+        let err = sh
+            .run_command("SELECT c_acctbal FROM customer")
+            .unwrap_err();
+        assert_eq!(err.kind(), "rejected", "{err}");
     }
 
     #[test]

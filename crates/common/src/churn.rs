@@ -1,0 +1,259 @@
+//! Live policy-churn plumbing shared by the catalog service, the engine,
+//! and both executors.
+//!
+//! The versioned policy-catalog log lives in `geoqp-policy` and its
+//! replication transport in `geoqp-net`; what the *executors* need from
+//! them is deliberately tiny and dependency-free, so it lives here:
+//!
+//! * [`CatalogPin`] — the `(seq, epoch)` snapshot a query pins at
+//!   admission. Epochs are chain hashes (unordered), so freshness is
+//!   proven by the monotone log **sequence number**, and the epoch rides
+//!   along to key checkpoints, memos, and plan caches.
+//! * [`ChurnSignal`] — how revocations reach in-flight queries: a set of
+//!   pre-planned, step-triggered events (deterministic replay for the
+//!   bench and chaos harnesses) plus a live published head (the server's
+//!   `update_tenant_policies` path). Grants never appear here — they only
+//!   take effect for queries admitted later.
+//! * [`StaleGuard`] — the fail-safe for replication lag: the set of sites
+//!   whose catalog replica has *proven* it applied the pinned sequence.
+//!   A site outside the set refuses to originate a transfer with
+//!   [`GeoError::CatalogStale`] rather than audit against old policy.
+
+use crate::error::{GeoError, Result};
+use crate::location::{Location, LocationSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The catalog snapshot a query pins at admission: the log sequence
+/// number it was admitted under and the deterministic epoch that
+/// sequence hashes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CatalogPin {
+    /// Monotone catalog-log sequence number (0 = the base catalog).
+    pub seq: u64,
+    /// Deterministic chain epoch of the log prefix up to `seq`.
+    pub epoch: u64,
+}
+
+impl CatalogPin {
+    /// A pin at `(seq, epoch)`.
+    pub fn new(seq: u64, epoch: u64) -> CatalogPin {
+        CatalogPin { seq, epoch }
+    }
+}
+
+/// One pre-planned churn event: at executor step `step`, log entry
+/// `seq` (epoch `epoch`) becomes visible to in-flight queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Executor step (the runtime's deterministic per-batch clock) at
+    /// which the entry lands.
+    pub step: u64,
+    /// Log sequence number of the entry.
+    pub seq: u64,
+    /// Chain epoch at that sequence.
+    pub epoch: u64,
+    /// Whether the entry revokes a policy. Only revocations abort
+    /// in-flight queries; grants wait for the next admission.
+    pub revocation: bool,
+}
+
+/// The channel through which catalog changes reach in-flight queries.
+///
+/// Two sources feed it: *planned* events with deterministic trigger
+/// steps (seeded experiments replay identically), and a *live* head
+/// published by the service when an administrator revokes a policy
+/// mid-run. Executors poll [`ChurnSignal::revoked_since`] at batch
+/// granularity; a hit aborts the attempt with
+/// [`GeoError::PolicyChurn`] so the failover loop can re-pin.
+#[derive(Debug, Default)]
+pub struct ChurnSignal {
+    planned: Vec<ChurnEvent>,
+    live_seq: AtomicU64,
+    live_epoch: AtomicU64,
+    live_revocation: AtomicU64,
+}
+
+impl ChurnSignal {
+    /// A signal with no planned events and no published head.
+    pub fn new() -> ChurnSignal {
+        ChurnSignal::default()
+    }
+
+    /// A signal carrying pre-planned, step-triggered events (sorted by
+    /// trigger step internally; ties resolve by sequence).
+    pub fn with_planned(mut events: Vec<ChurnEvent>) -> ChurnSignal {
+        events.sort_by_key(|e| (e.step, e.seq));
+        ChurnSignal {
+            planned: events,
+            ..ChurnSignal::default()
+        }
+    }
+
+    /// Publish a new live head (the server path). `revocation` marks
+    /// whether the update contained at least one revoke; only those
+    /// interrupt in-flight queries.
+    pub fn publish(&self, seq: u64, epoch: u64, revocation: bool) {
+        // Seq is monotone per log, so a plain max-update suffices.
+        if seq > self.live_seq.load(Ordering::Acquire) {
+            self.live_epoch.store(epoch, Ordering::Release);
+            self.live_seq.store(seq, Ordering::Release);
+            if revocation {
+                self.live_revocation.store(seq, Ordering::Release);
+            }
+        }
+    }
+
+    /// The newest *revocation* visible at executor step `step` that the
+    /// pin at `pin_seq` has not seen, if any — the head the aborting
+    /// query should re-pin to. Returns the highest-sequence candidate
+    /// so one abort absorbs a burst of revocations.
+    pub fn revoked_since(&self, pin_seq: u64, step: u64) -> Option<CatalogPin> {
+        let mut head: Option<CatalogPin> = None;
+        for e in &self.planned {
+            if e.step <= step && e.revocation && e.seq > pin_seq {
+                let better = head.is_none_or(|h| e.seq > h.seq);
+                if better {
+                    head = Some(CatalogPin::new(e.seq, e.epoch));
+                }
+            }
+        }
+        let live_rev = self.live_revocation.load(Ordering::Acquire);
+        if live_rev > pin_seq && head.is_none_or(|h| live_rev > h.seq) {
+            // The epoch published alongside the head is at least as new
+            // as the revocation itself; re-pin to the full head.
+            head = Some(CatalogPin::new(
+                self.live_seq.load(Ordering::Acquire).max(live_rev),
+                self.live_epoch.load(Ordering::Acquire),
+            ));
+        }
+        head
+    }
+
+    /// Whether any planned event exists (used by executors to skip the
+    /// per-batch scan entirely on churn-free runs).
+    pub fn is_idle(&self) -> bool {
+        self.planned.is_empty() && self.live_revocation.load(Ordering::Acquire) == 0
+    }
+}
+
+/// Per-site catalog freshness proof for one pinned sequence: a site in
+/// `fresh` has applied (and chain-verified) every log entry up to the
+/// pin. Built by the catalog service from its replica states at
+/// execution start; consulted by executors before a transfer leaves a
+/// site.
+#[derive(Debug, Clone)]
+pub struct StaleGuard {
+    pin: CatalogPin,
+    fresh: LocationSet,
+}
+
+impl StaleGuard {
+    /// A guard for `pin` with the given proven-fresh sites.
+    pub fn new(pin: CatalogPin, fresh: LocationSet) -> StaleGuard {
+        StaleGuard { pin, fresh }
+    }
+
+    /// The pin this guard proves freshness against.
+    pub fn pin(&self) -> CatalogPin {
+        self.pin
+    }
+
+    /// Whether `site`'s replica has proven it applied the pinned
+    /// sequence.
+    pub fn sees(&self, site: &Location) -> bool {
+        self.fresh.contains(site)
+    }
+
+    /// Fail-safe check before `site` originates a transfer: stale
+    /// replicas refuse with [`GeoError::CatalogStale`] rather than
+    /// audit the transfer against an old catalog.
+    pub fn check_origin(&self, site: &Location) -> Result<()> {
+        if self.sees(site) {
+            Ok(())
+        } else {
+            Err(GeoError::CatalogStale(format!(
+                "site {site} cannot prove it has seen catalog seq {} \
+                 (epoch {:016x}); refusing to originate the transfer",
+                self.pin.seq, self.pin.epoch
+            )))
+        }
+    }
+}
+
+/// Everything an executor needs to enforce live churn on one attempt:
+/// the pin the query was admitted under, the signal revocations arrive
+/// on, and (optionally) the per-site replica-freshness guard. Built by
+/// the catalog service, re-built by the failover loop after each
+/// churn-driven re-pin.
+#[derive(Debug, Clone)]
+pub struct ChurnWatch {
+    /// The catalog snapshot this attempt executes under.
+    pub pin: CatalogPin,
+    /// Where revocations land (planned events and/or live publishes).
+    pub signal: std::sync::Arc<ChurnSignal>,
+    /// Per-site freshness proof for `pin`; `None` skips the stale-origin
+    /// check (single-site deployments, or the server path where every
+    /// worker reads the coordinator's log directly).
+    pub stale: Option<std::sync::Arc<StaleGuard>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planned_revocations_trigger_by_step_and_seq() {
+        let sig = ChurnSignal::with_planned(vec![
+            ChurnEvent {
+                step: 4,
+                seq: 2,
+                epoch: 0xa,
+                revocation: true,
+            },
+            ChurnEvent {
+                step: 9,
+                seq: 3,
+                epoch: 0xb,
+                revocation: true,
+            },
+            ChurnEvent {
+                step: 1,
+                seq: 1,
+                epoch: 0x9,
+                revocation: false, // a grant: never aborts anything
+            },
+        ]);
+        assert!(!sig.is_idle());
+        assert_eq!(sig.revoked_since(0, 3), None);
+        assert_eq!(sig.revoked_since(0, 4), Some(CatalogPin::new(2, 0xa)));
+        // A burst: the newest visible revocation wins.
+        assert_eq!(sig.revoked_since(0, 100), Some(CatalogPin::new(3, 0xb)));
+        // A pin that already saw seq 3 is undisturbed.
+        assert_eq!(sig.revoked_since(3, 100), None);
+    }
+
+    #[test]
+    fn live_publish_reaches_pinned_queries() {
+        let sig = ChurnSignal::new();
+        assert!(sig.is_idle());
+        sig.publish(5, 0xfeed, false); // grants don't interrupt
+        assert_eq!(sig.revoked_since(0, 0), None);
+        sig.publish(6, 0xbeef, true);
+        assert_eq!(sig.revoked_since(5, 0), Some(CatalogPin::new(6, 0xbeef)));
+        assert_eq!(sig.revoked_since(6, 0), None);
+        // Stale publishes (lower seq) are ignored.
+        sig.publish(2, 0x2, true);
+        assert_eq!(sig.revoked_since(5, 0), Some(CatalogPin::new(6, 0xbeef)));
+    }
+
+    #[test]
+    fn stale_guard_refuses_unproven_origins() {
+        let mut fresh = LocationSet::new();
+        fresh.insert(Location::new("L1"));
+        let guard = StaleGuard::new(CatalogPin::new(2, 0xc0ffee), fresh);
+        assert!(guard.check_origin(&Location::new("L1")).is_ok());
+        let err = guard.check_origin(&Location::new("L2")).unwrap_err();
+        assert_eq!(err.kind(), "catalog-stale");
+        assert!(err.message().contains("seq 2"));
+    }
+}

@@ -80,6 +80,21 @@ impl Unavailable {
     }
 }
 
+/// Details of a mid-flight policy-churn abort — the typed payload of
+/// [`GeoError::PolicyChurn`]. Raised by an executor whose per-batch epoch
+/// re-check saw a revocation newer than the query's pinned catalog
+/// sequence; carries the head the executor observed so the failover
+/// re-planner knows which snapshot to re-pin against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnAbort {
+    /// Catalog-log sequence number of the revocation that landed.
+    pub seq: u64,
+    /// The deterministic epoch that sequence hashes to.
+    pub epoch: u64,
+    /// Human-readable description.
+    pub message: String,
+}
+
 /// The error type shared by every `geoqp` crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GeoError {
@@ -124,6 +139,17 @@ pub enum GeoError {
     /// exhausted. Nothing about the query itself is wrong — resubmitting
     /// once the tenant's backlog drains may succeed.
     Admission(String),
+    /// A policy revocation landed while the query was in flight and a
+    /// runtime fragment's per-batch epoch re-check caught it before the
+    /// next transfer left. The resilient loop re-pins to the carried head
+    /// and re-plans; anything else must surface this typed, never ship
+    /// under the revoked catalog.
+    PolicyChurn(ChurnAbort),
+    /// A site's catalog replica could not prove it has applied the epoch
+    /// the coordinator pinned for this query (replication lag, catalog
+    /// partition, or a crashed replica). The site fails safe: it refuses
+    /// to originate the transfer rather than audit against old policy.
+    CatalogStale(String),
 }
 
 impl GeoError {
@@ -144,6 +170,26 @@ impl GeoError {
             GeoError::DeadlineExceeded(_) => "deadline",
             GeoError::Cancelled(_) => "cancelled",
             GeoError::Admission(_) => "admission",
+            GeoError::PolicyChurn(_) => "churn",
+            GeoError::CatalogStale(_) => "catalog-stale",
+        }
+    }
+
+    /// Convenience constructor for a mid-flight revocation abort.
+    pub fn policy_churn(seq: u64, epoch: u64, message: impl Into<String>) -> GeoError {
+        GeoError::PolicyChurn(ChurnAbort {
+            seq,
+            epoch,
+            message: message.into(),
+        })
+    }
+
+    /// The catalog head a mid-flight revocation abort observed, if this
+    /// error is one: `(seq, epoch)` of the newest revocation entry.
+    pub fn churn_head(&self) -> Option<(u64, u64)> {
+        match self {
+            GeoError::PolicyChurn(c) => Some((c.seq, c.epoch)),
+            _ => None,
         }
     }
 
@@ -212,8 +258,10 @@ impl GeoError {
             | GeoError::Unsupported(m)
             | GeoError::DeadlineExceeded(m)
             | GeoError::Cancelled(m)
-            | GeoError::Admission(m) => m,
+            | GeoError::Admission(m)
+            | GeoError::CatalogStale(m) => m,
             GeoError::SiteUnavailable(u) => &u.message,
+            GeoError::PolicyChurn(c) => &c.message,
         }
     }
 }
@@ -260,6 +308,8 @@ mod tests {
             GeoError::DeadlineExceeded(String::new()),
             GeoError::Cancelled(String::new()),
             GeoError::Admission(String::new()),
+            GeoError::policy_churn(0, 0, String::new()),
+            GeoError::CatalogStale(String::new()),
         ];
         let mut kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
         kinds.sort_unstable();
@@ -321,6 +371,20 @@ mod tests {
         assert_eq!(hard.breaker_link(), None);
     }
 
+    /// A churn abort carries the catalog head the executor observed and
+    /// names no failed site: the failover loop must re-pin and re-plan,
+    /// never exclude a healthy site.
+    #[test]
+    fn policy_churn_carries_the_observed_head() {
+        let e = GeoError::policy_churn(3, 0xdead_beef, "revocation landed at seq 3");
+        assert_eq!(e.kind(), "churn");
+        assert_eq!(e.churn_head(), Some((3, 0xdead_beef)));
+        assert_eq!(e.failed_site(), None);
+        assert!(!e.is_transient());
+        assert_eq!(e.message(), "revocation landed at seq 3");
+        assert_eq!(GeoError::CatalogStale(String::new()).churn_head(), None);
+    }
+
     /// Deadline and cancellation must never look like a crashed site:
     /// the failover re-planner keys on `failed_site`, and re-planning an
     /// over-budget query would just burn more budget.
@@ -330,6 +394,7 @@ mod tests {
             GeoError::DeadlineExceeded("over budget".into()),
             GeoError::Cancelled("aborted".into()),
             GeoError::Admission("tenant backlog full".into()),
+            GeoError::CatalogStale("replica behind pinned epoch".into()),
         ] {
             assert!(!e.is_transient());
             assert_eq!(e.failed_site(), None);

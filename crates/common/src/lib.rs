@@ -17,6 +17,7 @@
 //! Everything here is deliberately dependency-light so that every other crate
 //! in the workspace can build on it.
 
+pub mod churn;
 pub mod columnar;
 pub mod control;
 pub mod error;
@@ -27,9 +28,10 @@ pub mod table_ref;
 pub mod types;
 pub mod value;
 
+pub use churn::{CatalogPin, ChurnEvent, ChurnSignal, ChurnWatch, StaleGuard};
 pub use columnar::{Column, ColumnarBatch, SelectionVector};
 pub use control::{CancelToken, QueryDeadline, RunControl};
-pub use error::{GeoError, Result, Unavailable};
+pub use error::{ChurnAbort, GeoError, Result, Unavailable};
 pub use location::{Location, LocationPattern, LocationSet};
 pub use row::{Row, Rows};
 pub use schema::{Field, Schema};

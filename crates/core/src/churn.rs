@@ -1,0 +1,381 @@
+//! The live policy-catalog service: the coordinator's versioned log, one
+//! chain-verifying replica per site, the fault-gated replication
+//! transport between them, and the churn signal that pushes revocations
+//! into in-flight queries.
+//!
+//! This is the glue between three layers that deliberately do not know
+//! each other:
+//!
+//! * `geoqp-policy` owns the [`CatalogLog`] / [`CatalogReplica`] state
+//!   machines (append, chain-epoch, replay),
+//! * `geoqp-net` owns the [`CatalogGossip`] transport (which entry
+//!   sequences get through a fault-scheduled link on one pull round),
+//! * `geoqp-common` owns the tiny executor-facing surface
+//!   ([`CatalogPin`], [`ChurnSignal`], [`StaleGuard`], `ChurnWatch`).
+//!
+//! The service wires them to the storage catalog (grant validation needs
+//! the governed table's schema) and hands the engine everything churn-
+//! aware execution needs: epoch-pinned snapshots at admission, a
+//! [`StaleGuard`] built from what each replica can *prove* it has seen,
+//! and fresh watches after a mid-flight re-pin.
+
+use geoqp_common::{
+    CatalogPin, ChurnEvent, ChurnSignal, ChurnWatch, GeoError, Location, LocationSet, Result,
+    StaleGuard,
+};
+use geoqp_net::{CatalogGossip, FaultPlan};
+use geoqp_policy::{CatalogLog, CatalogReplica, PolicyCatalog, PolicyExpression};
+use geoqp_storage::Catalog;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Churn wiring for one resilient execution: where snapshots, stale
+/// guards, and re-pins come from, plus the catalog pin the query was
+/// admitted under.
+#[derive(Debug, Clone)]
+pub struct ChurnOpts {
+    /// The deployment's catalog service.
+    pub service: Arc<CatalogService>,
+    /// The `(seq, epoch)` snapshot pinned at admission.
+    pub pin: CatalogPin,
+}
+
+/// The replicated policy-catalog service for one deployment.
+///
+/// Owns the coordinator's append-only [`CatalogLog`] and a
+/// [`CatalogReplica`] per site, connected by pull-based [`CatalogGossip`]
+/// over the deployment's simulated network. An optional catalog-plane
+/// [`FaultPlan`] makes replica lag, catalog partitions, and crashed
+/// replicas replay deterministically from a seed.
+#[derive(Debug)]
+pub struct CatalogService {
+    storage: Arc<Catalog>,
+    gossip: CatalogGossip,
+    log: Mutex<CatalogLog>,
+    replicas: Mutex<BTreeMap<Location, CatalogReplica>>,
+    /// Materialized epoch-pinned snapshots, keyed by log sequence. A
+    /// snapshot is immutable once materialized (the log is append-only),
+    /// so the cache never invalidates.
+    snapshots: Mutex<BTreeMap<u64, Arc<PolicyCatalog>>>,
+    signal: Arc<ChurnSignal>,
+    faults: Option<FaultPlan>,
+    /// Catalog-plane step clock: each sync round consumes one step of
+    /// the fault schedule, independent of the data plane's clock.
+    clock: AtomicU64,
+}
+
+impl CatalogService {
+    /// A service over `base`, coordinated from `coordinator`, with one
+    /// replica per site of the storage catalog and a fault-free catalog
+    /// plane.
+    pub fn new(
+        storage: Arc<Catalog>,
+        base: PolicyCatalog,
+        coordinator: Location,
+    ) -> CatalogService {
+        let log = CatalogLog::new(base);
+        let replicas = storage
+            .locations()
+            .iter()
+            .map(|site| (site.clone(), log.replica()))
+            .collect();
+        CatalogService {
+            storage,
+            gossip: CatalogGossip::new(coordinator),
+            log: Mutex::new(log),
+            replicas: Mutex::new(replicas),
+            snapshots: Mutex::new(BTreeMap::new()),
+            signal: Arc::new(ChurnSignal::new()),
+            faults: None,
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// Drive catalog replication through a seeded fault schedule:
+    /// partitions and crashes involving the coordinator link stall a
+    /// replica's pulls, which is how a site ends up unable to prove
+    /// freshness ([`GeoError::CatalogStale`] at transfer time).
+    pub fn with_faults(mut self, faults: FaultPlan) -> CatalogService {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Replace the churn signal with pre-planned, step-triggered events
+    /// (the bench and chaos harnesses): any head published by earlier
+    /// [`CatalogService::grant`]/[`CatalogService::revoke`] calls is
+    /// discarded, so a log can be scripted up-front and its revocations
+    /// released at chosen executor steps instead of immediately.
+    pub fn with_planned(mut self, events: Vec<ChurnEvent>) -> CatalogService {
+        self.signal = Arc::new(ChurnSignal::with_planned(events));
+        self
+    }
+
+    fn log(&self) -> MutexGuard<'_, CatalogLog> {
+        self.log.lock().expect("catalog log lock poisoned")
+    }
+
+    /// The coordinator site holding the log of record.
+    pub fn coordinator(&self) -> &Location {
+        self.gossip.coordinator()
+    }
+
+    /// The storage catalog grants are validated against.
+    pub fn storage(&self) -> &Arc<Catalog> {
+        &self.storage
+    }
+
+    /// The channel revocations reach in-flight queries on.
+    pub fn signal(&self) -> Arc<ChurnSignal> {
+        Arc::clone(&self.signal)
+    }
+
+    /// The coordinator's current head `(seq, epoch)` — what a newly
+    /// admitted query pins.
+    pub fn head(&self) -> CatalogPin {
+        self.log().head()
+    }
+
+    /// Append a grant: the expression is validated against its governed
+    /// table's schema (resolved through the storage catalog), the epoch
+    /// bumps, and the new head is published. Grants never interrupt
+    /// in-flight queries — they take effect for queries admitted later.
+    pub fn grant(&self, expr: PolicyExpression) -> Result<CatalogPin> {
+        let schema = Arc::clone(&self.storage.resolve_one(&expr.table)?.schema);
+        let pin = self.log().grant(expr, &schema)?;
+        self.signal.publish(pin.seq, pin.epoch, false);
+        Ok(pin)
+    }
+
+    /// Append a revocation of live policy `pid`, bump the epoch, and
+    /// push the new head to in-flight queries: any query caught shipping
+    /// on a now-revoked edge aborts its attempt and re-plans under the
+    /// new epoch.
+    pub fn revoke(&self, pid: u64) -> Result<CatalogPin> {
+        let pin = self.log().revoke(pid)?;
+        self.signal.publish(pin.seq, pin.epoch, true);
+        Ok(pin)
+    }
+
+    /// The epoch-pinned catalog snapshot at log sequence `seq`, cached.
+    pub fn snapshot(&self, seq: u64) -> Result<Arc<PolicyCatalog>> {
+        let mut cache = self.snapshots.lock().expect("snapshot cache lock poisoned");
+        if let Some(snap) = cache.get(&seq) {
+            return Ok(Arc::clone(snap));
+        }
+        let snap = Arc::new(self.log().materialize(seq)?);
+        cache.insert(seq, Arc::clone(&snap));
+        Ok(snap)
+    }
+
+    /// One replication round at catalog-plane step `step`: every site
+    /// pulls the entries it is missing, in order, each fetch judged by
+    /// the fault plan; delivered entries are chain-verified and applied.
+    /// Returns the slowest replica's applied sequence (the deployment's
+    /// stable frontier).
+    pub fn sync_at(&self, step: u64) -> u64 {
+        let log = self.log();
+        let head = log.seq();
+        let mut replicas = self.replicas.lock().expect("replica table lock poisoned");
+        let mut frontier = head;
+        for (site, replica) in replicas.iter_mut() {
+            let target = self
+                .gossip
+                .pull(site, replica.seq(), head, self.faults.as_ref(), step);
+            for entry in log.entries_after(replica.seq()) {
+                if entry.seq > target {
+                    break;
+                }
+                replica
+                    .apply(entry)
+                    .expect("entries pulled from the coordinator's own log chain-verify");
+            }
+            frontier = frontier.min(replica.seq());
+        }
+        frontier
+    }
+
+    /// [`CatalogService::sync_at`] at the next catalog-plane step.
+    pub fn sync_round(&self) -> u64 {
+        let step = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.sync_at(step)
+    }
+
+    /// Replicate everything, ignoring the fault plan — deployment setup
+    /// and tests that want a fully fresh fleet.
+    pub fn sync_full(&self) {
+        let log = self.log();
+        let head = log.seq();
+        let mut replicas = self.replicas.lock().expect("replica table lock poisoned");
+        for replica in replicas.values_mut() {
+            for entry in log.entries_after(replica.seq()) {
+                replica
+                    .apply(entry)
+                    .expect("entries pulled from the coordinator's own log chain-verify");
+            }
+            debug_assert_eq!(replica.seq(), head);
+        }
+    }
+
+    /// Each site's applied log sequence, in site order (the `\catalog`
+    /// shell verb's replica listing).
+    pub fn replica_seqs(&self) -> Vec<(Location, u64)> {
+        self.replicas
+            .lock()
+            .expect("replica table lock poisoned")
+            .iter()
+            .map(|(site, r)| (site.clone(), r.seq()))
+            .collect()
+    }
+
+    /// The freshness proof for `pin`: the set of sites whose replica has
+    /// applied (and chain-verified) every entry up to the pinned
+    /// sequence. Sites outside the set fail safe at transfer time.
+    pub fn stale_guard(&self, pin: CatalogPin) -> StaleGuard {
+        let mut fresh = LocationSet::new();
+        for (site, replica) in self
+            .replicas
+            .lock()
+            .expect("replica table lock poisoned")
+            .iter()
+        {
+            if replica.has_seen(pin.seq) {
+                fresh.insert(site.clone());
+            }
+        }
+        StaleGuard::new(pin, fresh)
+    }
+
+    /// Everything one execution attempt needs to enforce churn under
+    /// `pin`: the pin, the revocation signal, and a freshness guard
+    /// built from the current replica states.
+    pub fn watch(&self, pin: CatalogPin) -> ChurnWatch {
+        ChurnWatch {
+            pin,
+            signal: self.signal(),
+            stale: Some(Arc::new(self.stale_guard(pin))),
+        }
+    }
+
+    /// The live policies at the head, `(pid, display form)` in pid order.
+    pub fn live_policies(&self) -> Vec<(u64, String)> {
+        let log = self.log();
+        log.live_policies(log.seq())
+    }
+
+    /// The pid of the newest live policy whose display form is `expr`,
+    /// if any — how the server maps a removed expression back to the
+    /// grant it revokes.
+    pub fn find_live(&self, expr: &str) -> Option<u64> {
+        self.live_policies()
+            .into_iter()
+            .rev()
+            .find(|(_, e)| e == expr)
+            .map(|(pid, _)| pid)
+    }
+
+    /// Display lines for every appended entry, in sequence order (the
+    /// `\catalog` shell verb's history listing).
+    pub fn history(&self) -> Vec<String> {
+        self.log().entries().iter().map(|e| e.to_string()).collect()
+    }
+
+    /// Validate that `seq` names a prefix the coordinator holds, then
+    /// return its chain epoch.
+    pub fn epoch_at(&self, seq: u64) -> Result<u64> {
+        self.log()
+            .epoch_at(seq)
+            .ok_or_else(|| GeoError::Policy(format!("catalog log has no sequence {seq}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_common::{LocationPattern, TableRef};
+    use geoqp_net::StepWindow;
+    use geoqp_policy::ShipAttrs;
+    use geoqp_storage::Catalog;
+
+    fn storage() -> Arc<Catalog> {
+        let mut cat = Catalog::new();
+        for (db, site) in [("db1", "L1"), ("db2", "L2"), ("db3", "L3")] {
+            cat.add_database(db, Location::new(site)).unwrap();
+        }
+        cat.add_table(
+            "db1",
+            "t",
+            geoqp_common::Schema::new(vec![
+                geoqp_common::Field::new("a", geoqp_common::DataType::Int64),
+                geoqp_common::Field::new("b", geoqp_common::DataType::Str),
+            ])
+            .unwrap(),
+            geoqp_storage::TableStats::default(),
+        )
+        .unwrap();
+        Arc::new(cat)
+    }
+
+    fn expr(attr: &str) -> PolicyExpression {
+        PolicyExpression::basic(
+            TableRef::bare("t"),
+            ShipAttrs::list([attr]),
+            LocationPattern::Star,
+            None,
+        )
+    }
+
+    #[test]
+    fn grants_and_revokes_move_the_head_and_publish() {
+        let svc = CatalogService::new(storage(), PolicyCatalog::new(), Location::new("L1"));
+        let base = svc.head();
+        let g = svc.grant(expr("a")).unwrap();
+        assert_eq!(g.seq, base.seq + 1);
+        assert_eq!(
+            svc.signal().revoked_since(0, 0),
+            None,
+            "grants don't interrupt"
+        );
+        let r = svc.revoke(0).unwrap();
+        assert_eq!(svc.signal().revoked_since(g.seq, 0), Some(r));
+        assert!(svc.live_policies().is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_epoch_pinned_and_cached() {
+        let svc = CatalogService::new(storage(), PolicyCatalog::new(), Location::new("L1"));
+        let g = svc.grant(expr("a")).unwrap();
+        let s0 = svc.snapshot(0).unwrap();
+        let s1 = svc.snapshot(g.seq).unwrap();
+        assert_ne!(s0.epoch(), s1.epoch());
+        assert_eq!(s1.epoch(), g.epoch);
+        assert!(Arc::ptr_eq(&s1, &svc.snapshot(g.seq).unwrap()));
+    }
+
+    #[test]
+    fn partitioned_replicas_go_stale_and_the_guard_refuses_them() {
+        let faults = FaultPlan::new(3).with_partition(["L3"], StepWindow::new(0, 100));
+        let svc = CatalogService::new(storage(), PolicyCatalog::new(), Location::new("L1"))
+            .with_faults(faults);
+        let pin = svc.grant(expr("a")).unwrap();
+        let frontier = svc.sync_round();
+        assert_eq!(frontier, 0, "the partitioned replica is the frontier");
+        let guard = svc.stale_guard(pin);
+        assert!(
+            guard.check_origin(&Location::new("L1")).is_ok(),
+            "coordinator"
+        );
+        assert!(
+            guard.check_origin(&Location::new("L2")).is_ok(),
+            "healthy replica"
+        );
+        let err = guard.check_origin(&Location::new("L3")).unwrap_err();
+        assert_eq!(err.kind(), "catalog-stale");
+        // The partition heals at step 100: the replica catches up.
+        svc.sync_at(100);
+        assert!(svc
+            .stale_guard(pin)
+            .check_origin(&Location::new("L3"))
+            .is_ok());
+    }
+}

@@ -4,8 +4,8 @@
 //! [`GeoError::SiteUnavailable`] errors during execution.
 
 use geoqp_common::{
-    ColumnarBatch, GeoError, Location, LocationSet, Result, Rows, RunControl, Schema, TableRef,
-    Unavailable,
+    ChurnWatch, ColumnarBatch, GeoError, Location, LocationSet, Result, Rows, RunControl, Schema,
+    TableRef, Unavailable,
 };
 use geoqp_exec::{DataSource, RetryPolicy, ShipHandler};
 use geoqp_net::{
@@ -177,6 +177,7 @@ pub struct SimShip<'a> {
     // sites a hedged relay may route through.
     legal_sets: Vec<LocationSet>,
     next_edge: usize,
+    churn: Option<ChurnWatch>,
 }
 
 impl<'a> SimShip<'a> {
@@ -193,7 +194,20 @@ impl<'a> SimShip<'a> {
             hedge: None,
             legal_sets: Vec::new(),
             next_edge: 0,
+            churn: None,
         }
+    }
+
+    /// Enforce live policy churn: before each SHIP edge moves, a site
+    /// whose catalog replica cannot prove the pinned sequence refuses to
+    /// originate ([`GeoError::CatalogStale`]), and a revocation newer
+    /// than the pin aborts the attempt ([`GeoError::PolicyChurn`]) so
+    /// the failover loop can re-plan under the new epoch. The churn
+    /// clock is the edge index — the sequential interpreter ships one
+    /// monolithic batch per edge.
+    pub fn with_churn(mut self, watch: ChurnWatch) -> SimShip<'a> {
+        self.churn = Some(watch);
+        self
     }
 
     /// Attach a fault plan and retry policy.
@@ -270,6 +284,24 @@ impl SimShip<'_> {
         let model_ms = self.topology.ship_cost_ms(from, to, bytes as f64);
         let edge = self.next_edge;
         self.next_edge += 1;
+        if let Some(watch) = &self.churn {
+            if from != to {
+                if let Some(guard) = &watch.stale {
+                    guard.check_origin(from)?;
+                }
+            }
+            if let Some(head) = watch.signal.revoked_since(watch.pin.seq, edge as u64) {
+                return Err(GeoError::policy_churn(
+                    head.seq,
+                    head.epoch,
+                    format!(
+                        "policy revocation at catalog seq {} landed while SHIP \
+                         {from} -> {to} was in flight under pinned seq {}",
+                        head.seq, watch.pin.seq
+                    ),
+                ));
+            }
+        }
         // Gray-failure gate, from pre-transfer health state: a breaker
         // open past its budget condemns the link (soft exclusion for the
         // re-planner); a link past the hedge threshold races a backup.

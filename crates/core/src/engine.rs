@@ -3,13 +3,15 @@
 //! simulated geo-distributed sites.
 
 use crate::annotate::{fill_stats, AnnotateMode, AnnotatedNode, Annotator};
+use crate::churn::{CatalogService, ChurnOpts};
 use crate::compliance::{check_compliance, ship_audit_info, ship_traits};
 use crate::distributed::{CatalogSource, SimShip};
 use crate::memo::Memo;
 use crate::rules::{default_rules, explore};
 use crate::site_selector::{select_sites_with, Objective};
 use geoqp_common::{
-    CancelToken, GeoError, Location, LocationSet, QueryDeadline, Result, Rows, RunControl,
+    CancelToken, CatalogPin, ChurnWatch, GeoError, Location, LocationSet, QueryDeadline, Result,
+    Rows, RunControl,
 };
 use geoqp_exec::RetryPolicy;
 use geoqp_net::{
@@ -104,6 +106,10 @@ pub struct OptimizedQuery {
     pub physical: Arc<PhysicalPlan>,
     /// The annotated plan phase 1 produced (Figure 4-style traits).
     pub annotated: AnnotatedNode,
+    /// The normalized logical plan phase 1 ran on — retained so a live
+    /// policy revocation can re-run the *whole* optimizer (both phases)
+    /// under the new catalog snapshot mid-execution.
+    pub logical: Arc<LogicalPlan>,
     /// Measurements.
     pub stats: OptimizeStats,
     /// Where the result materializes.
@@ -141,6 +147,9 @@ pub struct ResilientResult {
     pub transfers: TransferLog,
     /// How many times the engine re-ran site selection around a failure.
     pub replans: usize,
+    /// How many of those re-plans were forced by a mid-flight policy
+    /// revocation (the query re-pinned to a newer catalog epoch).
+    pub churn_replans: u64,
     /// Sites excluded from execution traits during failover.
     pub excluded: LocationSet,
     /// The plan that finally completed (the original one when
@@ -204,6 +213,13 @@ pub struct FailoverOpts {
     /// Rows, shipped bytes, audits, and fault replay are identical to
     /// the row engine; only CPU time changes.
     pub columnar: bool,
+    /// Live policy churn: the catalog service and the epoch pinned at
+    /// admission. Execution re-audits SHIP edges against revocations at
+    /// batch granularity, refuses transfers from replicas that cannot
+    /// prove freshness, and re-plans through the checkpoint-stitching
+    /// path when a revocation lands mid-flight. `None` runs against the
+    /// frozen catalog, exactly as before.
+    pub churn: Option<ChurnOpts>,
 }
 
 impl FailoverOpts {
@@ -217,7 +233,16 @@ impl FailoverOpts {
             cancel: None,
             hedge: None,
             columnar: false,
+            churn: None,
         }
+    }
+
+    /// Pin this execution to `pin` of `service`'s catalog and enforce
+    /// live churn: per-batch revocation checks, stale-origin fail-safe,
+    /// and compliant mid-flight re-planning.
+    pub fn with_churn(mut self, service: Arc<CatalogService>, pin: CatalogPin) -> FailoverOpts {
+        self.churn = Some(ChurnOpts { service, pin });
+        self
     }
 
     /// Enable link-health scoring, circuit breakers, and compliant hedged
@@ -280,6 +305,19 @@ impl Engine {
     /// optimizer metrics reporting).
     pub fn implication_memo(&self) -> &ImplicationMemo {
         &self.implication_memo
+    }
+
+    /// A sibling engine over the same deployment but a different policy
+    /// catalog snapshot — the epoch bump after a grant or revoke. The
+    /// implication memo starts **cold**: a verdict proven under the old
+    /// catalog must never be served under the new one.
+    pub fn fork_with_policies(&self, policies: Arc<PolicyCatalog>) -> Engine {
+        Engine {
+            catalog: Arc::clone(&self.catalog),
+            policies,
+            topology: self.topology.clone(),
+            implication_memo: ImplicationMemo::new(),
+        }
     }
 
     /// A policy evaluator wired to the engine's shared implication memo.
@@ -385,6 +423,7 @@ impl Engine {
         Ok(OptimizedQuery {
             physical: sited.physical,
             annotated,
+            logical: normalized,
             result_location: sited.result_location,
             stats: OptimizeStats {
                 phase1_ms,
@@ -598,13 +637,13 @@ impl Engine {
             opts,
             store,
             health.as_ref(),
-            |physical, base_ms| {
+            |engine, physical, base_ms, watch| {
                 // The sequential interpreter completes SHIPs in left-to-right
                 // post-order, not pre-order — both the checkpoint specs and
                 // the hedge legality sets must follow that order.
                 let wired = opts.resume || opts.hedge.is_some();
                 let (audits, specs) = if wired {
-                    match self.ship_specs(physical) {
+                    match engine.ship_specs(physical) {
                         Ok(x) => x,
                         Err(e) => return (Err(e), TransferLog::new()),
                     }
@@ -617,13 +656,13 @@ impl Engine {
                     Vec::new()
                 };
                 let control = opts.control(base_ms);
-                let mut source = CatalogSource::new(&self.catalog)
+                let mut source = CatalogSource::new(&engine.catalog)
                     .with_faults(faults, retry.clone())
                     .with_control(control.clone());
                 if opts.resume {
                     source = source.with_resume(store);
                 }
-                let mut ship = SimShip::new(&self.topology)
+                let mut ship = SimShip::new(&engine.topology)
                     .with_faults(faults, retry.clone())
                     .with_control(control);
                 if opts.resume {
@@ -633,6 +672,9 @@ impl Engine {
                 if let (Some(health), Some(config)) = (health.as_ref(), opts.hedge.as_ref()) {
                     let legal = order.iter().map(|&i| audits[i].clone()).collect();
                     ship = ship.with_hedge(health, config.clone(), legal);
+                }
+                if let Some(watch) = watch {
+                    ship = ship.with_churn(watch.clone());
                 }
                 let outcome = if opts.columnar {
                     geoqp_exec::execute_columnar(physical, &source, &mut ship)
@@ -700,13 +742,13 @@ impl Engine {
             opts,
             store,
             health.as_ref(),
-            |physical, base_ms| {
-                let (audits, specs) = match self.ship_specs(physical) {
+            |engine, physical, base_ms, watch| {
+                let (audits, specs) = match engine.ship_specs(physical) {
                     Ok(x) => x,
                     Err(e) => return (Err(e), TransferLog::new()),
                 };
-                let source = CatalogSource::new(&self.catalog);
-                let mut runtime = Runtime::new(&self.topology)
+                let source = CatalogSource::new(&engine.catalog);
+                let mut runtime = Runtime::new(&engine.topology)
                     .with_faults(faults, retry.clone())
                     .with_config(config.clone())
                     .with_control(opts.control(base_ms));
@@ -715,6 +757,9 @@ impl Engine {
                 }
                 if let (Some(health), Some(hedge)) = (health.as_ref(), opts.hedge.as_ref()) {
                     runtime = runtime.with_hedge(health, hedge.clone());
+                }
+                if let Some(watch) = watch {
+                    runtime = runtime.with_churn(watch.clone());
                 }
                 let (outcome, log) = runtime.try_run(physical, &source, Some(&audits));
                 (
@@ -740,17 +785,34 @@ impl Engine {
         opts: &FailoverOpts,
         store: &CheckpointStore,
         health: Option<&LinkHealth>,
-        mut try_once: impl FnMut(&Arc<PhysicalPlan>, f64) -> (Result<Rows>, TransferLog),
+        mut try_once: impl FnMut(
+            &Engine,
+            &Arc<PhysicalPlan>,
+            f64,
+            Option<&ChurnWatch>,
+        ) -> (Result<Rows>, TransferLog),
     ) -> Result<ResilientResult> {
-        let evaluator = self.evaluator();
         let mut physical = Arc::clone(&optimized.physical);
         let mut excluded = LocationSet::new();
         let mut avoided: BTreeSet<(Location, Location)> = BTreeSet::new();
         let mut replans = 0usize;
+        let mut churn_replans = 0u64;
         let mut transfers = TransferLog::new();
         let mut first_attempt_bytes = None;
+        // Live churn state: the engine and annotated plan of the *current*
+        // catalog pin. A mid-flight revocation forks a fresh engine over
+        // the new snapshot and re-optimizes from the logical plan; until
+        // then both stay `None` and the admission-time ones apply.
+        let mut watch: Option<ChurnWatch> = opts.churn.as_ref().map(|c| c.service.watch(c.pin));
+        let mut forked_engine: Option<Engine> = None;
+        let mut churned: Option<OptimizedQuery> = None;
         loop {
-            let (attempt, log) = try_once(&physical, transfers.total_cost_ms());
+            let engine: &Engine = forked_engine.as_ref().unwrap_or(self);
+            let annotated = churned
+                .as_ref()
+                .map_or(&optimized.annotated, |o| &o.annotated);
+            let (attempt, log) =
+                try_once(engine, &physical, transfers.total_cost_ms(), watch.as_ref());
             transfers.absorb(log);
             match attempt {
                 Ok(rows) => {
@@ -759,6 +821,7 @@ impl Engine {
                     return Ok(ResilientResult {
                         rows,
                         replans,
+                        churn_replans,
                         excluded,
                         physical,
                         checkpoint_hits: store.hits(),
@@ -778,6 +841,100 @@ impl Engine {
                 }
                 Err(e) => {
                     first_attempt_bytes.get_or_insert(transfers.total_bytes());
+                    // A mid-flight revocation: re-pin to the new catalog
+                    // head, re-run the whole optimizer under it, migrate
+                    // surviving checkpoints to the new epoch, and retry —
+                    // or refuse typed if no compliant placement remains.
+                    if let (Some((churn_seq, churn_epoch)), Some(churn)) =
+                        (e.churn_head(), opts.churn.as_ref())
+                    {
+                        if replans >= opts.max_replans {
+                            return Err(GeoError::NonCompliant(format!(
+                                "revocation at catalog seq {churn_seq} caught the query \
+                                 in flight and the re-plan budget ({}) is exhausted; \
+                                 refusing to finish under the revoked catalog",
+                                opts.max_replans
+                            )));
+                        }
+                        replans += 1;
+                        churn_replans += 1;
+                        let old_epoch = engine.policies.epoch();
+                        let new_pin = CatalogPin::new(churn_seq, churn_epoch);
+                        let policies = churn.service.snapshot(new_pin.seq)?;
+                        let forked = self.fork_with_policies(policies);
+                        // Give the catalog plane one replication round to
+                        // chase the new head; sites still behind stay in
+                        // the stale guard and fail safe at transfer time.
+                        churn.service.sync_round();
+                        let reoptimized = forked
+                            .optimize(
+                                &optimized.logical,
+                                OptimizerMode::Compliant,
+                                Some(optimized.result_location.clone()),
+                            )
+                            .map_err(|err| match err {
+                                GeoError::QueryRejected(m) => GeoError::NonCompliant(format!(
+                                    "no compliant placement survives the revocation at \
+                                     catalog seq {}: {m}",
+                                    new_pin.seq
+                                )),
+                                other => other,
+                            })?;
+                        // Re-apply failure state accumulated by earlier
+                        // attempts: dead sites leave the traits, condemned
+                        // gray links stay priced at ∞.
+                        let next_physical = if excluded.is_empty() && avoided.is_empty() {
+                            Arc::clone(&reoptimized.physical)
+                        } else {
+                            let plan_topology = if avoided.is_empty() {
+                                None
+                            } else {
+                                Some(self.topology.avoiding_links(&avoided))
+                            };
+                            let ann = reoptimized
+                                .annotated
+                                .excluding_sites(&excluded)
+                                .ok_or_else(|| {
+                                    GeoError::NonCompliant(format!(
+                                        "no compliant placement survives the revocation at \
+                                         catalog seq {} with {excluded} excluded",
+                                        new_pin.seq
+                                    ))
+                                })?;
+                            select_sites_with(
+                                &ann,
+                                plan_topology.as_ref().unwrap_or(&self.topology),
+                                Some(&optimized.result_location),
+                                Objective::TotalCost,
+                            )?
+                            .physical
+                        };
+                        let next = if opts.resume {
+                            // Migrate retained checkpoints across the epoch
+                            // bump: homes still inside the (possibly
+                            // shrunken) shipping trait are re-keyed to the
+                            // new epoch, homes the revocation outlawed are
+                            // dropped. Then stitch as usual.
+                            let mut old_fps = Vec::new();
+                            collect_ship_fingerprints(&next_physical, old_epoch, &mut old_fps);
+                            let (_, specs) = forked.ship_specs(&next_physical)?;
+                            debug_assert_eq!(old_fps.len(), specs.len());
+                            for (old_fp, spec) in old_fps.iter().zip(&specs) {
+                                store.migrate(*old_fp, spec.fingerprint, &spec.legal);
+                            }
+                            stitch(&next_physical, store, forked.policies.epoch())?.plan
+                        } else {
+                            next_physical
+                        };
+                        // Definition-1 audit under the *new* catalog —
+                        // resume edges included.
+                        check_compliance(&next, &forked.evaluator(), &forked.catalog)?;
+                        watch = Some(churn.service.watch(new_pin));
+                        physical = next;
+                        churned = Some(reoptimized);
+                        forked_engine = Some(forked);
+                        continue;
+                    }
                     let breaker = e
                         .breaker_link()
                         .map(|(from, to)| (from.clone(), to.clone()));
@@ -822,8 +979,7 @@ impl Engine {
                     } else {
                         Some(self.topology.avoiding_links(&avoided))
                     };
-                    let replanned = optimized
-                        .annotated
+                    let replanned = annotated
                         .excluding_sites(&excluded)
                         .ok_or_else(|| {
                             GeoError::QueryRejected(format!(
@@ -862,7 +1018,7 @@ impl Engine {
                     // leaves, so only lost work re-executes.
                     let next = match replanned {
                         Ok(sited) if opts.resume => {
-                            stitch(&sited.physical, store, self.policies.epoch())?.plan
+                            stitch(&sited.physical, store, engine.policies.epoch())?.plan
                         }
                         Ok(sited) => sited.physical,
                         Err(e) if opts.resume => {
@@ -880,7 +1036,7 @@ impl Engine {
                             // and once stitching stops making progress the
                             // typed error surfaces. Bounded by
                             // `max_replans` like any other re-plan.
-                            let outcome = stitch(&physical, store, self.policies.epoch())?;
+                            let outcome = stitch(&physical, store, engine.policies.epoch())?;
                             if outcome.hits == 0 || Arc::ptr_eq(&outcome.plan, &physical) {
                                 return Err(e);
                             }
@@ -893,7 +1049,7 @@ impl Engine {
                     // be a Theorem-1 bug (or an illegal checkpoint home),
                     // and must surface as an error, never execute
                     // silently.
-                    check_compliance(&next, &evaluator, &self.catalog)?;
+                    check_compliance(&next, &engine.evaluator(), &engine.catalog)?;
                     physical = next;
                 }
             }

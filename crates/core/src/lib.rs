@@ -34,6 +34,7 @@
 //! non-compliant dataflows.
 
 pub mod annotate;
+pub mod churn;
 pub mod compliance;
 pub mod cost;
 pub mod distributed;
@@ -45,6 +46,7 @@ pub mod rules;
 pub mod site_selector;
 
 pub use annotate::{AnnotatedNode, Annotator};
+pub use churn::{CatalogService, ChurnOpts};
 pub use compliance::{check_compliance, ship_audit_info, ship_traits, ShipAudit};
 pub use engine::{
     Engine, ExecutionResult, FailoverOpts, OptimizeStats, OptimizedQuery, OptimizerMode,

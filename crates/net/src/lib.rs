@@ -27,6 +27,7 @@
 pub mod fault;
 pub mod health;
 pub mod hedge;
+pub mod replication;
 pub mod sim;
 pub mod topology;
 
@@ -36,5 +37,6 @@ pub use hedge::{
     backup_beats, hedge_step, plan_hedge, plan_hedge_with, run_hedge, HedgeConfig, HedgeLeg,
     HedgeRun,
 };
+pub use replication::{CatalogGossip, CATALOG_SYNC_SALT};
 pub use sim::{FaultEvent, TransferLog, TransferRecord};
 pub use topology::NetworkTopology;

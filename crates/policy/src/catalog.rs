@@ -48,9 +48,14 @@ impl fmt::Display for RegisteredExpression {
 /// All dataflow policies known to the deployment. Populated offline by the
 /// data officers (Figure 2), read at optimization time by the policy
 /// evaluator.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PolicyCatalog {
     expressions: Vec<RegisteredExpression>,
+    /// When the catalog is a snapshot materialized from a versioned
+    /// catalog log, the log's deterministic chain epoch overrides the
+    /// content hash — so revoke-then-regrant can never silently return
+    /// to an old epoch and resurrect stale checkpoints or memo verdicts.
+    pinned_epoch: Option<u64>,
 }
 
 impl PolicyCatalog {
@@ -76,6 +81,18 @@ impl PolicyCatalog {
             table_attrs,
         });
         Ok(id)
+    }
+
+    /// Crate-internal: rebuild a catalog from already-validated
+    /// registered expressions — the versioned log's materialization
+    /// path, where validation happened once at append time. Callers are
+    /// responsible for id renumbering (registration order).
+    pub(crate) fn from_registered(expressions: Vec<RegisteredExpression>) -> PolicyCatalog {
+        debug_assert!(expressions.iter().enumerate().all(|(i, e)| e.id == i));
+        PolicyCatalog {
+            expressions,
+            pinned_epoch: None,
+        }
     }
 
     /// All expressions, in registration order.
@@ -108,6 +125,11 @@ impl PolicyCatalog {
     /// be resumed under a different one: a changed catalog changes every
     /// fingerprint, and every lookup misses.
     pub fn epoch(&self) -> u64 {
+        self.pinned_epoch.unwrap_or_else(|| self.content_epoch())
+    }
+
+    /// The content hash itself, ignoring any pinned log epoch.
+    pub fn content_epoch(&self) -> u64 {
         // FNV-1a over each expression's canonical display form.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for e in &self.expressions {
@@ -119,6 +141,28 @@ impl PolicyCatalog {
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
         h
+    }
+
+    /// Pin the catalog's epoch to a versioned-log chain epoch. Set by
+    /// [`CatalogLog::materialize`](crate::CatalogLog::materialize) on
+    /// every snapshot it produces; everything keyed by `epoch()` —
+    /// checkpoint fingerprints, the implication memo, the server's plan
+    /// cache — then follows the log's history instead of raw content.
+    pub fn pin_epoch(&mut self, epoch: u64) {
+        self.pinned_epoch = Some(epoch);
+    }
+
+    /// The canonical byte rendering of the catalog's registered
+    /// expressions, one display line per expression. Two catalogs are
+    /// the *same* exactly when these bytes match — the replication
+    /// property tests compare coordinator and replica snapshots with it.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for e in &self.expressions {
+            out.extend_from_slice(e.to_string().as_bytes());
+            out.push(b'\n');
+        }
+        out
     }
 
     /// Count of basic / aggregate expressions (experiment reporting).

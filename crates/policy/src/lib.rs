@@ -14,11 +14,13 @@
 pub mod catalog;
 pub mod evaluator;
 pub mod expression;
+pub mod log;
 pub mod memo;
 pub mod negative;
 
 pub use catalog::{PolicyCatalog, RegisteredExpression};
 pub use evaluator::PolicyEvaluator;
 pub use expression::{PolicyExpression, PolicyKind, ShipAttrs};
+pub use log::{CatalogAction, CatalogEntry, CatalogLog, CatalogReplica};
 pub use memo::{predicate_fingerprint, ImplicationMemo};
 pub use negative::{expand_denials, DenyExpression};

@@ -1,0 +1,576 @@
+//! The versioned policy-catalog log and its per-site replicas.
+//!
+//! Policies stop being a frozen set: every grant or revoke is an entry in
+//! an append-only [`CatalogLog`], and each entry deterministically bumps
+//! the *epoch* — a chain hash over the whole log prefix, seeded with the
+//! base catalog's content hash. Chaining (rather than re-hashing content)
+//! means revoke-then-regrant never returns to an old epoch, so nothing
+//! keyed by epoch (checkpoints, the implication memo, the server's plan
+//! cache) can ever be resurrected across a revocation.
+//!
+//! Epochs are hashes and therefore unordered; freshness is proven by the
+//! monotone **sequence number**. A query pins `(seq, epoch)` at admission
+//! ([`CatalogPin`]); a replica that has applied entries up to that
+//! sequence — verifying the chain as it goes — can prove it has seen the
+//! pinned catalog, and one that cannot must fail safe
+//! (`GeoError::CatalogStale`).
+//!
+//! Grant entries carry their expression pre-validated and pre-expanded
+//! (the attribute sets [`PolicyCatalog::register`] would compute), so
+//! replaying a log prefix needs no schema access: coordinator and replica
+//! materialize byte-identical snapshots from the same prefix.
+
+use crate::catalog::{PolicyCatalog, RegisteredExpression};
+use crate::expression::PolicyExpression;
+use geoqp_common::{CatalogPin, GeoError, Result, Schema};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What one log entry does to the catalog.
+///
+/// Grants dwarf revocations by size, but logs are short-lived vectors
+/// cloned whole during replica delivery — boxing the expression would
+/// add an allocation per grant for no measurable win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogAction {
+    /// Add a policy expression. `attrs` / `table_attrs` are the
+    /// validated expansions registration would compute, captured at
+    /// append time so replay is schema-free.
+    Grant {
+        /// The stable policy id the grant creates.
+        pid: u64,
+        /// The expression itself.
+        expr: PolicyExpression,
+        /// `A_e`, fully expanded against the governed table's schema.
+        attrs: BTreeSet<String>,
+        /// All attributes of the governed table.
+        table_attrs: BTreeSet<String>,
+    },
+    /// Remove the policy with the given stable id.
+    Revoke {
+        /// The policy id being revoked.
+        pid: u64,
+    },
+}
+
+/// One appended grant or revoke, with the chain epoch its prefix hashes
+/// to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// 1-based position in the log (0 is the base catalog).
+    pub seq: u64,
+    /// Chain epoch of the log prefix ending at this entry.
+    pub epoch: u64,
+    /// The change itself.
+    pub action: CatalogAction,
+}
+
+impl CatalogEntry {
+    /// The canonical line the chain hash folds in for this entry. Covers
+    /// everything that affects materialization, so a replica verifying
+    /// the chain has verified the content.
+    fn canonical(&self) -> String {
+        match &self.action {
+            CatalogAction::Grant {
+                pid,
+                expr,
+                attrs,
+                table_attrs,
+            } => {
+                let csv = |s: &BTreeSet<String>| s.iter().cloned().collect::<Vec<_>>().join(",");
+                format!(
+                    "{}:grant:{}:{}|{}|{}",
+                    self.seq,
+                    pid,
+                    expr,
+                    csv(attrs),
+                    csv(table_attrs)
+                )
+            }
+            CatalogAction::Revoke { pid } => format!("{}:revoke:{}", self.seq, pid),
+        }
+    }
+
+    /// Whether this entry revokes a policy.
+    pub fn is_revocation(&self) -> bool {
+        matches!(self.action, CatalogAction::Revoke { .. })
+    }
+}
+
+impl fmt::Display for CatalogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.action {
+            CatalogAction::Grant { pid, expr, .. } => {
+                write!(
+                    f,
+                    "#{} grant p{pid}: {expr} (epoch {:016x})",
+                    self.seq, self.epoch
+                )
+            }
+            CatalogAction::Revoke { pid } => {
+                write!(f, "#{} revoke p{pid} (epoch {:016x})", self.seq, self.epoch)
+            }
+        }
+    }
+}
+
+/// Fold one canonical entry line into the chain: FNV-1a seeded with the
+/// previous epoch (perturbed so an empty line still moves the hash).
+fn chain_epoch(prev: u64, line: &str) -> u64 {
+    let mut h = prev ^ 0x9e37_79b9_7f4a_7c15;
+    for b in line.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Replay `entries[..seq]` over the base catalog into a fresh snapshot
+/// pinned at `epoch`. Shared by coordinator and replica so the two can
+/// only ever disagree if the chain verification already failed.
+fn replay(
+    base: &PolicyCatalog,
+    base_len: u64,
+    entries: &[CatalogEntry],
+    seq: u64,
+    epoch: u64,
+) -> Result<PolicyCatalog> {
+    if seq > entries.len() as u64 {
+        return Err(GeoError::Policy(format!(
+            "catalog log has {} entries; cannot materialize seq {seq}",
+            entries.len()
+        )));
+    }
+    // Base expressions keep their registration ids as stable pids.
+    let mut live: Vec<(u64, RegisteredExpression)> = base
+        .expressions()
+        .iter()
+        .map(|e| (e.id as u64, e.clone()))
+        .collect();
+    debug_assert_eq!(live.len() as u64, base_len);
+    for entry in &entries[..seq as usize] {
+        match &entry.action {
+            CatalogAction::Grant {
+                pid,
+                expr,
+                attrs,
+                table_attrs,
+            } => live.push((
+                *pid,
+                RegisteredExpression {
+                    id: 0, // renumbered below
+                    expr: expr.clone(),
+                    attrs: attrs.clone(),
+                    table_attrs: table_attrs.clone(),
+                },
+            )),
+            CatalogAction::Revoke { pid } => live.retain(|(p, _)| p != pid),
+        }
+    }
+    let exprs = live
+        .into_iter()
+        .enumerate()
+        .map(|(id, (_, mut e))| {
+            e.id = id;
+            e
+        })
+        .collect();
+    let mut snapshot = PolicyCatalog::from_registered(exprs);
+    snapshot.pin_epoch(epoch);
+    Ok(snapshot)
+}
+
+/// The pids live (granted and not yet revoked) after `entries[..seq]`.
+fn live_pids(base_len: u64, entries: &[CatalogEntry], seq: u64) -> BTreeSet<u64> {
+    let mut live: BTreeSet<u64> = (0..base_len).collect();
+    for entry in &entries[..seq as usize] {
+        match &entry.action {
+            CatalogAction::Grant { pid, .. } => {
+                live.insert(*pid);
+            }
+            CatalogAction::Revoke { pid } => {
+                live.remove(pid);
+            }
+        }
+    }
+    live
+}
+
+/// The coordinator's append-only catalog log: the base catalog at
+/// sequence 0 plus every grant/revoke since, each bumping the chain
+/// epoch deterministically.
+#[derive(Debug, Clone)]
+pub struct CatalogLog {
+    base: PolicyCatalog,
+    base_epoch: u64,
+    entries: Vec<CatalogEntry>,
+    next_pid: u64,
+}
+
+impl CatalogLog {
+    /// Start a log from the deployment's base catalog. Sequence 0 *is*
+    /// the base: its epoch is the base content hash, so a log that has
+    /// seen no churn keys everything exactly as the frozen catalog did.
+    pub fn new(base: PolicyCatalog) -> CatalogLog {
+        let base_epoch = base.content_epoch();
+        let next_pid = base.len() as u64;
+        CatalogLog {
+            base,
+            base_epoch,
+            entries: Vec::new(),
+            next_pid,
+        }
+    }
+
+    /// The current head: `(seq, epoch)` of the newest entry (or the base
+    /// when the log is empty).
+    pub fn head(&self) -> CatalogPin {
+        CatalogPin::new(self.seq(), self.epoch())
+    }
+
+    /// Number of appended entries.
+    pub fn seq(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Chain epoch at the head.
+    pub fn epoch(&self) -> u64 {
+        self.entries.last().map_or(self.base_epoch, |e| e.epoch)
+    }
+
+    /// Chain epoch after `entries[..seq]`, if that prefix exists.
+    pub fn epoch_at(&self, seq: u64) -> Option<u64> {
+        if seq == 0 {
+            Some(self.base_epoch)
+        } else {
+            self.entries.get(seq as usize - 1).map(|e| e.epoch)
+        }
+    }
+
+    /// Every appended entry, in sequence order.
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+
+    /// The entries a replica at `seq` still needs, in order.
+    pub fn entries_after(&self, seq: u64) -> &[CatalogEntry] {
+        &self.entries[(seq as usize).min(self.entries.len())..]
+    }
+
+    /// Append a grant: validate the expression against the governed
+    /// table's schema (expanding `ship *` and capturing the table's
+    /// attribute set, exactly as [`PolicyCatalog::register`] would),
+    /// assign the next stable policy id, and bump the epoch. The new
+    /// policy only affects queries admitted at or after the returned
+    /// head — in-flight pins are undisturbed.
+    pub fn grant(&mut self, expr: PolicyExpression, table_schema: &Schema) -> Result<CatalogPin> {
+        let attrs = expr.validate(table_schema)?;
+        let table_attrs = table_schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.append(CatalogAction::Grant {
+            pid,
+            expr,
+            attrs,
+            table_attrs,
+        })
+    }
+
+    /// Append a revocation of the live policy `pid` and bump the epoch.
+    /// Unlike grants, revocations are pushed to in-flight queries via
+    /// the churn signal: a query shipping on a now-revoked edge aborts
+    /// and re-plans under the new epoch.
+    pub fn revoke(&mut self, pid: u64) -> Result<CatalogPin> {
+        if !live_pids(self.base.len() as u64, &self.entries, self.seq()).contains(&pid) {
+            return Err(GeoError::Policy(format!(
+                "cannot revoke p{pid}: no such live policy at catalog seq {}",
+                self.seq()
+            )));
+        }
+        self.append(CatalogAction::Revoke { pid })
+    }
+
+    fn append(&mut self, action: CatalogAction) -> Result<CatalogPin> {
+        let seq = self.seq() + 1;
+        let mut entry = CatalogEntry {
+            seq,
+            epoch: 0,
+            action,
+        };
+        entry.epoch = chain_epoch(self.epoch(), &entry.canonical());
+        let pin = CatalogPin::new(seq, entry.epoch);
+        self.entries.push(entry);
+        Ok(pin)
+    }
+
+    /// Materialize the catalog as of `entries[..seq]`, pinned to that
+    /// prefix's chain epoch. `seq == 0` reproduces the base catalog
+    /// (same expressions, same epoch).
+    pub fn materialize(&self, seq: u64) -> Result<PolicyCatalog> {
+        let epoch = self.epoch_at(seq).ok_or_else(|| {
+            GeoError::Policy(format!(
+                "catalog log head is seq {}; cannot materialize seq {seq}",
+                self.seq()
+            ))
+        })?;
+        replay(
+            &self.base,
+            self.base.len() as u64,
+            &self.entries,
+            seq,
+            epoch,
+        )
+    }
+
+    /// The live policies at `seq`: `(pid, display form)` pairs in pid
+    /// order — the `\catalog` shell verb's listing.
+    pub fn live_policies(&self, seq: u64) -> Vec<(u64, String)> {
+        let live = live_pids(self.base.len() as u64, &self.entries, seq.min(self.seq()));
+        let mut out = Vec::new();
+        for e in self.base.expressions() {
+            if live.contains(&(e.id as u64)) {
+                out.push((e.id as u64, e.expr.to_string()));
+            }
+        }
+        for entry in &self.entries[..seq.min(self.seq()) as usize] {
+            if let CatalogAction::Grant { pid, expr, .. } = &entry.action {
+                if live.contains(pid) {
+                    out.push((*pid, expr.to_string()));
+                }
+            }
+        }
+        out.sort_by_key(|(pid, _)| *pid);
+        out
+    }
+
+    /// A fresh replica of this log's base, at sequence 0, ready to apply
+    /// entries as the replication transport delivers them.
+    pub fn replica(&self) -> CatalogReplica {
+        CatalogReplica {
+            base: self.base.clone(),
+            base_epoch: self.base_epoch,
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// A site's copy of the catalog log: applies entries strictly in
+/// sequence order, re-deriving and verifying the chain epoch for each.
+/// Because an entry that fails verification is refused, a replica can
+/// never report an epoch it cannot reconstruct — `epoch()` always names
+/// a prefix the replica holds in full.
+#[derive(Debug, Clone)]
+pub struct CatalogReplica {
+    base: PolicyCatalog,
+    base_epoch: u64,
+    entries: Vec<CatalogEntry>,
+}
+
+impl CatalogReplica {
+    /// Number of entries applied.
+    pub fn seq(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Chain epoch of the applied prefix.
+    pub fn epoch(&self) -> u64 {
+        self.entries.last().map_or(self.base_epoch, |e| e.epoch)
+    }
+
+    /// Whether this replica can prove it has seen log sequence `seq`.
+    pub fn has_seen(&self, seq: u64) -> bool {
+        self.seq() >= seq
+    }
+
+    /// Apply the next entry. Refuses gaps (entries must arrive in
+    /// sequence) and chain mismatches (a tampered or corrupted entry
+    /// hashes to the wrong epoch), leaving the replica unchanged.
+    pub fn apply(&mut self, entry: &CatalogEntry) -> Result<()> {
+        if entry.seq != self.seq() + 1 {
+            return Err(GeoError::Policy(format!(
+                "replica at seq {} cannot apply entry seq {} (gap)",
+                self.seq(),
+                entry.seq
+            )));
+        }
+        let expected = chain_epoch(self.epoch(), &entry.canonical());
+        if entry.epoch != expected {
+            return Err(GeoError::Policy(format!(
+                "entry seq {} fails chain verification: claims epoch {:016x}, \
+                 chain derives {expected:016x}",
+                entry.seq, entry.epoch
+            )));
+        }
+        self.entries.push(entry.clone());
+        Ok(())
+    }
+
+    /// Materialize the replica's catalog as of `seq` — must be a prefix
+    /// the replica has applied. Byte-identical to the coordinator's
+    /// [`CatalogLog::materialize`] at the same sequence.
+    pub fn materialize(&self, seq: u64) -> Result<PolicyCatalog> {
+        let epoch = if seq == 0 {
+            self.base_epoch
+        } else {
+            self.entries
+                .get(seq as usize - 1)
+                .map(|e| e.epoch)
+                .ok_or_else(|| {
+                    GeoError::Policy(format!(
+                        "replica has applied {} entries; cannot materialize seq {seq}",
+                        self.seq()
+                    ))
+                })?
+        };
+        replay(
+            &self.base,
+            self.base.len() as u64,
+            &self.entries,
+            seq,
+            epoch,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::ShipAttrs;
+    use geoqp_common::{DataType, Field, LocationPattern, TableRef};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn expr(attr: &str) -> PolicyExpression {
+        PolicyExpression::basic(
+            TableRef::bare("t"),
+            ShipAttrs::list([attr]),
+            LocationPattern::Star,
+            None,
+        )
+    }
+
+    fn base() -> PolicyCatalog {
+        let mut cat = PolicyCatalog::new();
+        cat.register(expr("a"), &schema()).unwrap();
+        cat
+    }
+
+    #[test]
+    fn grants_and_revokes_bump_the_epoch_deterministically() {
+        let mut log1 = CatalogLog::new(base());
+        let mut log2 = CatalogLog::new(base());
+        assert_eq!(log1.head(), log2.head());
+        assert_eq!(log1.epoch(), base().epoch(), "seq 0 is the base catalog");
+
+        let p1 = log1.grant(expr("b"), &schema()).unwrap();
+        let p2 = log2.grant(expr("b"), &schema()).unwrap();
+        assert_eq!(p1, p2, "identical appends hash identically");
+        assert_ne!(p1.epoch, log1.epoch_at(0).unwrap());
+
+        log1.revoke(1).unwrap();
+        log2.revoke(1).unwrap();
+        assert_eq!(log1.head(), log2.head());
+    }
+
+    #[test]
+    fn revoke_then_regrant_never_returns_to_an_old_epoch() {
+        let mut log = CatalogLog::new(base());
+        let after_grant = log.grant(expr("b"), &schema()).unwrap();
+        log.revoke(1).unwrap();
+        let after_regrant = log.grant(expr("b"), &schema()).unwrap();
+        // Content at seq 3 equals content at seq 1 (modulo ids), but the
+        // chain epoch remembers the history.
+        assert_ne!(after_regrant.epoch, after_grant.epoch);
+        let snap1 = log.materialize(1).unwrap();
+        let snap3 = log.materialize(3).unwrap();
+        assert_eq!(snap1.canonical_bytes(), snap3.canonical_bytes());
+        assert_ne!(snap1.epoch(), snap3.epoch());
+    }
+
+    #[test]
+    fn materialize_replays_grants_and_revokes() {
+        let mut log = CatalogLog::new(base());
+        log.grant(expr("b"), &schema()).unwrap(); // pid 1
+        log.revoke(0).unwrap(); // drop the base policy
+        let snap = log.materialize(2).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.epoch(), log.epoch());
+        assert_eq!(log.live_policies(2), vec![(1, expr("b").to_string())]);
+        // seq 0 reproduces the base, epoch included.
+        let at0 = log.materialize(0).unwrap();
+        assert_eq!(at0.canonical_bytes(), base().canonical_bytes());
+        assert_eq!(at0.epoch(), base().epoch());
+    }
+
+    #[test]
+    fn revoking_a_dead_or_unknown_pid_is_refused() {
+        let mut log = CatalogLog::new(base());
+        assert!(log.revoke(7).is_err());
+        log.revoke(0).unwrap();
+        assert!(log.revoke(0).is_err(), "already revoked");
+    }
+
+    #[test]
+    fn replica_verifies_the_chain_and_matches_the_coordinator() {
+        let mut log = CatalogLog::new(base());
+        log.grant(expr("b"), &schema()).unwrap();
+        log.revoke(0).unwrap();
+
+        let mut replica = log.replica();
+        for entry in log.entries() {
+            replica.apply(entry).unwrap();
+        }
+        assert_eq!(replica.seq(), log.seq());
+        assert_eq!(replica.epoch(), log.epoch());
+        for seq in 0..=log.seq() {
+            assert_eq!(
+                replica.materialize(seq).unwrap().canonical_bytes(),
+                log.materialize(seq).unwrap().canonical_bytes(),
+            );
+        }
+    }
+
+    #[test]
+    fn replica_refuses_gaps_and_tampered_entries() {
+        let mut log = CatalogLog::new(base());
+        log.grant(expr("b"), &schema()).unwrap();
+        log.grant(expr("a"), &schema()).unwrap();
+
+        let mut replica = log.replica();
+        // Gap: entry 2 before entry 1.
+        assert!(replica.apply(&log.entries()[1]).is_err());
+        assert_eq!(replica.seq(), 0);
+
+        // Tampered epoch.
+        let mut forged = log.entries()[0].clone();
+        forged.epoch ^= 1;
+        assert!(replica.apply(&forged).is_err());
+        assert_eq!(
+            replica.seq(),
+            0,
+            "a refused entry leaves the replica unchanged"
+        );
+
+        // Tampered content under the original epoch.
+        let mut forged = log.entries()[0].clone();
+        if let CatalogAction::Grant { pid, .. } = &mut forged.action {
+            *pid += 10;
+        }
+        assert!(replica.apply(&forged).is_err());
+
+        replica.apply(&log.entries()[0]).unwrap();
+        replica.apply(&log.entries()[1]).unwrap();
+        assert!(replica.has_seen(2));
+    }
+}

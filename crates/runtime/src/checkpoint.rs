@@ -148,6 +148,39 @@ impl CheckpointStore {
         before - map.len()
     }
 
+    /// Re-key every checkpoint of one subtree across a policy-epoch bump
+    /// (a live revocation re-planned the query): entries under `old_fp`
+    /// whose home still lies inside the subtree's *new* shipping trait
+    /// move to `new_fp` with the shrunken trait recorded; homes that
+    /// fell outside 𝒮ₙ are dropped — retained data may not outlive the
+    /// policy that allowed it there. Returns `(kept, dropped)`.
+    pub fn migrate(&self, old_fp: u64, new_fp: u64, legal: &LocationSet) -> (usize, usize) {
+        if old_fp == new_fp {
+            return (0, 0);
+        }
+        let mut map = self.by_key.lock().unwrap();
+        let homes: Vec<Location> = map
+            .range((old_fp, Location::new(""))..)
+            .take_while(|((fp, _), _)| *fp == old_fp)
+            .map(|((_, home), _)| home.clone())
+            .collect();
+        let (mut kept, mut dropped) = (0, 0);
+        for home in homes {
+            let mut cp = map
+                .remove(&(old_fp, home.clone()))
+                .expect("home just listed");
+            if legal.contains(&home) {
+                cp.fingerprint = new_fp;
+                cp.legal = legal.clone();
+                map.insert((new_fp, home), cp);
+                kept += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        (kept, dropped)
+    }
+
     /// Number of retained checkpoints.
     pub fn len(&self) -> usize {
         self.by_key.lock().unwrap().len()
@@ -397,6 +430,31 @@ mod tests {
         // The surviving home still answers preferred-miss lookups.
         let cp = store.lookup(fp, &Location::new("L9")).unwrap();
         assert_eq!(cp.home, Location::new("L2"));
+    }
+
+    #[test]
+    fn migrate_rekeys_surviving_homes_and_drops_revoked_ones() {
+        let store = CheckpointStore::new();
+        let node = scan("t", "L1");
+        let old_fp = fingerprint(&node, 1);
+        let new_fp = fingerprint(&node, 2);
+        let legal = LocationSet::from_iter(["L1", "L2"]);
+        let logical = logical_of(&node);
+        for home in ["L1", "L2"] {
+            let (encoded, n) = encoded_rows();
+            store
+                .put(old_fp, Location::new(home), &legal, &logical, encoded, n, 1)
+                .unwrap();
+        }
+        // The revocation shrank 𝒮ₙ to {L1}: L2's copy must not survive.
+        let shrunken = LocationSet::from_iter(["L1"]);
+        assert_eq!(store.migrate(old_fp, new_fp, &shrunken), (1, 1));
+        assert_eq!(store.len(), 1);
+        assert!(store.get(old_fp, &Location::new("L1")).is_none());
+        let cp = store.get(new_fp, &Location::new("L1")).unwrap();
+        assert_eq!(cp.legal, shrunken);
+        // Same-epoch migration is a no-op.
+        assert_eq!(store.migrate(new_fp, new_fp, &shrunken), (0, 0));
     }
 
     #[test]

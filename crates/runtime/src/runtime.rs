@@ -28,8 +28,8 @@ use crate::exchange::{Exchange, Payload, Received};
 use crate::fragment::{cut, node_key, Cut, Edge};
 use crate::metrics::{EdgeMetrics, RuntimeMetrics, SiteMetrics};
 use geoqp_common::{
-    ColumnarBatch, GeoError, Location, LocationSet, Result, Row, Rows, RunControl, TableRef,
-    Unavailable,
+    ChurnWatch, ColumnarBatch, GeoError, Location, LocationSet, Result, Row, Rows, RunControl,
+    TableRef, Unavailable,
 };
 use geoqp_exec::{
     execute_fragment, execute_fragment_columnar, DataSource, ExchangeSource, LocalShip, RetryPolicy,
@@ -109,6 +109,7 @@ pub struct Runtime<'a> {
     control: RunControl,
     checkpoints: Option<(&'a CheckpointStore, Vec<CheckpointSpec>)>,
     hedge: Option<(&'a LinkHealth, HedgeConfig)>,
+    churn: Option<ChurnWatch>,
 }
 
 impl<'a> Runtime<'a> {
@@ -122,6 +123,7 @@ impl<'a> Runtime<'a> {
             control: RunControl::unlimited(),
             checkpoints: None,
             hedge: None,
+            churn: None,
         }
     }
 
@@ -167,6 +169,20 @@ impl<'a> Runtime<'a> {
     /// Hedged relays are restricted to the edge's audit set `𝒮ₙ`.
     pub fn with_hedge(mut self, health: &'a LinkHealth, config: HedgeConfig) -> Runtime<'a> {
         self.hedge = Some((health, config));
+        self
+    }
+
+    /// Attach live policy-churn enforcement: every fragment re-checks the
+    /// pinned catalog epoch at batch granularity (a revocation newer than
+    /// the pin aborts the attempt with [`GeoError::PolicyChurn`] before
+    /// the next batch leaves), and — when a [`StaleGuard`] rides along —
+    /// a site whose catalog replica cannot prove it has applied the
+    /// pinned sequence refuses to originate its transfer with
+    /// [`GeoError::CatalogStale`].
+    ///
+    /// [`StaleGuard`]: geoqp_common::StaleGuard
+    pub fn with_churn(mut self, watch: ChurnWatch) -> Runtime<'a> {
+        self.churn = Some(watch);
         self
     }
 
@@ -383,6 +399,34 @@ impl<'a> Runtime<'a> {
                 .check_cancel(&format!("batch {i} on SHIP {} -> {}", edge.from, edge.to))?;
             let lo = (i * batch_rows).min(total);
             let hi = ((i + 1) * batch_rows).min(total);
+            if let Some(watch) = &self.churn {
+                // Stale-replica fail-safe, once per edge before the first
+                // batch leaves: the origin site must prove its catalog
+                // replica has applied the pinned sequence, else it cannot
+                // trust the audit set it is about to enforce.
+                if i == 0 && edge.from != edge.to {
+                    if let Some(guard) = &watch.stale {
+                        guard.check_origin(&edge.from)?;
+                    }
+                }
+                // Per-batch epoch re-check: revocations push to in-flight
+                // queries at batch granularity, on the same deterministic
+                // slot clock the fault grid uses. A newer revocation
+                // aborts the attempt before this batch leaves; the
+                // failover loop re-pins, re-plans, and restitches.
+                let churn_step = i as u64 * shared.cut.n_slots() + edge.id as u64;
+                if let Some(head) = watch.signal.revoked_since(watch.pin.seq, churn_step) {
+                    return Err(GeoError::policy_churn(
+                        head.seq,
+                        head.epoch,
+                        format!(
+                            "policy revocation at catalog seq {} landed while batch {i} \
+                             on SHIP {} -> {} was in flight under pinned seq {}",
+                            head.seq, edge.from, edge.to, watch.pin.seq
+                        ),
+                    ));
+                }
+            }
             if let Some(audits) = audits {
                 if !audits[edge.id].contains(&edge.to) {
                     return Err(GeoError::NonCompliant(format!(

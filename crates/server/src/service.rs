@@ -36,13 +36,13 @@
 //! rotation away.
 
 use crate::plan_cache::{query_fingerprint, CacheStats, PlanCache, PlanKey};
-use geoqp_common::{CancelToken, GeoError, Location, QueryDeadline, Result, Rows};
-use geoqp_core::{Engine, FailoverOpts, OptimizerMode};
+use geoqp_common::{CancelToken, CatalogPin, GeoError, Location, QueryDeadline, Result, Rows};
+use geoqp_core::{CatalogService, ChurnOpts, Engine, FailoverOpts, OptimizerMode};
 use geoqp_exec::RetryPolicy;
 use geoqp_net::{FaultPlan, NetworkTopology, TransferLog};
-use geoqp_policy::PolicyCatalog;
+use geoqp_policy::{PolicyCatalog, PolicyExpression};
 use geoqp_storage::Catalog;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -168,6 +168,9 @@ pub struct QueryReply {
     pub cached: bool,
     /// Failover re-plans performed (0 for fault-free runs).
     pub replans: usize,
+    /// Re-plans forced by a mid-flight policy revocation (a subset of
+    /// `replans`; 0 for churn-free runs).
+    pub churn_replans: u64,
     /// Wall-clock submit-to-completion latency, ms (includes queueing).
     pub latency_ms: f64,
     /// Where the rows materialized.
@@ -219,6 +222,12 @@ pub struct TenantStats {
     pub cache_misses: u64,
     /// Failover re-plans summed over completed queries.
     pub replans: u64,
+    /// Re-plans forced by a mid-flight policy revocation, summed over
+    /// completed queries (a subset of `replans`).
+    pub churn_replans: u64,
+    /// Completed jobs re-run at completion time because a revocation
+    /// landed after they pinned their epoch (the admission-race repair).
+    pub churn_reruns: u64,
     /// Median submit-to-completion latency, ms.
     pub p50_ms: f64,
     /// 99th-percentile submit-to-completion latency, ms.
@@ -252,6 +261,16 @@ struct TenantState {
     /// Cached `policies().epoch()` so the hot path never re-hashes the
     /// catalog; refreshed by `update_tenant_policies`.
     epoch: u64,
+    /// The tenant's replicated catalog service: every policy change is a
+    /// log append here, and its churn signal reaches in-flight queries.
+    churn: Arc<CatalogService>,
+    /// The catalog head new queries pin at admission.
+    pin: CatalogPin,
+    /// Log sequence of the newest revocation (0 when none has ever
+    /// happened). A job that completes under an older pin is re-run —
+    /// the admission-race repair.
+    last_revoke_seq: u64,
+    churn_reruns: u64,
     config: TenantConfig,
     queue: VecDeque<Job>,
     deficit: u64,
@@ -263,6 +282,7 @@ struct TenantState {
     cache_hits: u64,
     cache_misses: u64,
     replans: u64,
+    churn_replans: u64,
     latencies_ms: Vec<f64>,
 }
 
@@ -286,6 +306,8 @@ impl TenantState {
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             replans: self.replans,
+            churn_replans: self.churn_replans,
+            churn_reruns: self.churn_reruns,
             p50_ms: percentile(&sorted, 0.50),
             p99_ms: percentile(&sorted, 0.99),
             mean_ms: mean,
@@ -415,12 +437,34 @@ impl QueryService {
         config: TenantConfig,
     ) -> TenantId {
         let epoch = policies.epoch();
+        // The tenant's catalog log starts at the registered policy set;
+        // the first site (in canonical order) coordinates replication.
+        let coordinator = catalog
+            .locations()
+            .iter()
+            .next()
+            .cloned()
+            .unwrap_or_else(|| Location::new("L0"));
+        let churn = Arc::new(CatalogService::new(
+            Arc::clone(&catalog),
+            (*policies).clone(),
+            coordinator,
+        ));
+        let pin = churn.head();
+        debug_assert_eq!(
+            pin.epoch, epoch,
+            "base log epoch must match the frozen catalog's"
+        );
         let engine = Arc::new(Engine::new(catalog, policies, topology));
         let mut st = self.shared.state.lock().unwrap();
         st.tenants.push(TenantState {
             name: name.into(),
             engine,
             epoch,
+            churn,
+            pin,
+            last_revoke_seq: 0,
+            churn_reruns: 0,
             config,
             queue: VecDeque::new(),
             deficit: 0,
@@ -432,6 +476,7 @@ impl QueryService {
             cache_hits: 0,
             cache_misses: 0,
             replans: 0,
+            churn_replans: 0,
             latencies_ms: Vec::new(),
         });
         TenantId(st.tenants.len() - 1)
@@ -490,29 +535,88 @@ impl QueryService {
         }
     }
 
-    /// Swap a tenant's policy catalog: rebuilds its engine (fresh
-    /// implication memo under the new policies), refreshes the cached
-    /// epoch, and purges the tenant's plan-cache entries. In-flight
-    /// queries keep the old engine via their own `Arc` and finish under
-    /// the policies they were admitted with.
+    /// Move a tenant to a new policy set by **appending to its catalog
+    /// log**: expressions missing from `policies` are revoked, new ones
+    /// granted, and every append bumps the chain epoch. The rebuilt
+    /// engine (fresh implication memo — no verdict crosses the epoch
+    /// bump) serves queries admitted from now on; the tenant's plan-cache
+    /// entries are purged.
+    ///
+    /// Grants only affect later queries. Revocations are **pushed**: the
+    /// churn signal aborts in-flight resilient executions at batch
+    /// granularity so they re-plan under the new epoch, and any job that
+    /// still completes under an older pin is re-run at completion time
+    /// (the admission-race repair). Returns the new catalog head.
     pub fn update_tenant_policies(
         &self,
         tenant: TenantId,
         policies: Arc<PolicyCatalog>,
-    ) -> Result<()> {
+    ) -> Result<CatalogPin> {
+        let (churn, engine) = {
+            let st = self.shared.state.lock().unwrap();
+            let ten = st
+                .tenants
+                .get(tenant.0)
+                .ok_or_else(|| GeoError::Execution(format!("unknown tenant #{}", tenant.0)))?;
+            (ten.churn.clone(), ten.engine.clone())
+        };
+        // Multiset diff of display forms: live policies absent from the
+        // target are revoked, target expressions not live are granted.
+        let mut wanted: BTreeMap<String, Vec<PolicyExpression>> = BTreeMap::new();
+        for e in policies.expressions() {
+            wanted
+                .entry(e.expr.to_string())
+                .or_default()
+                .push(e.expr.clone());
+        }
+        let mut revoke_seq = 0u64;
+        for (pid, display) in churn.live_policies() {
+            match wanted.get_mut(&display) {
+                Some(v) if !v.is_empty() => {
+                    v.pop();
+                }
+                _ => {
+                    let r = churn.revoke(pid)?;
+                    revoke_seq = revoke_seq.max(r.seq);
+                }
+            }
+        }
+        for exprs in wanted.into_values() {
+            for expr in exprs {
+                churn.grant(expr)?;
+            }
+        }
+        // A single-process deployment's replicas follow the coordinator
+        // synchronously; catalog-plane faults are a harness concern.
+        churn.sync_full();
+        let head = churn.head();
+        let snapshot = churn.snapshot(head.seq)?;
+        let new_engine = Arc::new(engine.fork_with_policies(snapshot));
         {
             let mut st = self.shared.state.lock().unwrap();
             let ten = st
                 .tenants
                 .get_mut(tenant.0)
                 .ok_or_else(|| GeoError::Execution(format!("unknown tenant #{}", tenant.0)))?;
-            let catalog = ten.engine.catalog().clone();
-            let topology = ten.engine.topology().clone();
-            ten.epoch = policies.epoch();
-            ten.engine = Arc::new(Engine::new(catalog, policies, topology));
+            ten.engine = new_engine;
+            ten.epoch = head.epoch;
+            ten.pin = head;
+            if revoke_seq > 0 {
+                ten.last_revoke_seq = ten.last_revoke_seq.max(revoke_seq);
+            }
         }
         self.shared.cache.purge_tenant(tenant.0);
-        Ok(())
+        Ok(head)
+    }
+
+    /// The tenant's catalog service (the `\grant`/`\revoke`/`\catalog`
+    /// verbs and churn tests drive it directly).
+    pub fn tenant_catalog(&self, tenant: TenantId) -> Result<Arc<CatalogService>> {
+        let st = self.shared.state.lock().unwrap();
+        st.tenants
+            .get(tenant.0)
+            .map(|t| t.churn.clone())
+            .ok_or_else(|| GeoError::Execution(format!("unknown tenant #{}", tenant.0)))
     }
 
     /// The tenant's engine (tests use this to probe memo isolation).
@@ -573,16 +677,26 @@ impl Drop for QueryService {
     }
 }
 
+/// How many times a completed job may be re-run because a revocation
+/// landed after it pinned its epoch, before the race resolves to a typed
+/// refusal instead of chasing a catalog that churns faster than the
+/// query runs.
+const MAX_CHURN_RERUNS: u64 = 3;
+
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        // Claim a job under the lock; execute it outside.
-        let (tenant_idx, job, engine, epoch) = {
+        // Claim a job under the lock; execute it outside. The claim
+        // captures the engine AND the catalog pin together, so the job's
+        // plan-cache key, churn watch, and completion re-check all agree
+        // on the epoch it was admitted under.
+        let (tenant_idx, job, mut engine, mut pin, mut churn) = {
             let mut st = shared.state.lock().unwrap();
             loop {
                 if let Some((t, job)) = next_job(&mut st) {
                     let engine = st.tenants[t].engine.clone();
-                    let epoch = st.tenants[t].epoch;
-                    break (t, job, engine, epoch);
+                    let pin = st.tenants[t].pin;
+                    let churn = st.tenants[t].churn.clone();
+                    break (t, job, engine, pin, churn);
                 }
                 if st.shutdown {
                     return;
@@ -591,7 +705,40 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
 
-        let outcome = run_job(shared, tenant_idx, &engine, epoch, &job.request);
+        let mut outcome = run_job(shared, tenant_idx, &engine, &churn, pin, &job.request);
+        // Admission-race repair: `update_tenant_policies` may have
+        // revoked a policy after this job pinned its epoch but before it
+        // finished. A completion whose pin predates the newest revocation
+        // cannot be trusted — re-run it under the current engine (which
+        // re-audits everything under the new epoch), bounded so a
+        // pathologically churny catalog resolves typed instead of looping.
+        let mut reruns = 0u64;
+        while outcome.is_ok() {
+            let current = {
+                let st = shared.state.lock().unwrap();
+                let ten = &st.tenants[tenant_idx];
+                if ten.last_revoke_seq > pin.seq {
+                    Some((ten.engine.clone(), ten.pin, ten.churn.clone()))
+                } else {
+                    None
+                }
+            };
+            let Some((cur_engine, cur_pin, cur_churn)) = current else {
+                break;
+            };
+            if reruns >= MAX_CHURN_RERUNS {
+                outcome = Err(GeoError::NonCompliant(format!(
+                    "policy churn outpaced the query: {reruns} completion-time \
+                     re-runs never caught a stable catalog epoch"
+                )));
+                break;
+            }
+            reruns += 1;
+            engine = cur_engine;
+            pin = cur_pin;
+            churn = cur_churn;
+            outcome = run_job(shared, tenant_idx, &engine, &churn, pin, &job.request);
+        }
         let latency_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
 
         {
@@ -599,10 +746,12 @@ fn worker_loop(shared: &Arc<Shared>) {
             let ten = &mut st.tenants[tenant_idx];
             ten.inflight -= 1;
             ten.latencies_ms.push(latency_ms);
+            ten.churn_reruns += reruns;
             match &outcome {
                 Ok(reply) => {
                     ten.completed += 1;
                     ten.replans += reply.replans as u64;
+                    ten.churn_replans += reply.churn_replans;
                     if reply.cached {
                         ten.cache_hits += 1;
                     } else {
@@ -631,7 +780,8 @@ fn run_job(
     shared: &Shared,
     tenant: usize,
     engine: &Engine,
-    epoch: u64,
+    churn: &Arc<CatalogService>,
+    pin: CatalogPin,
     request: &QueryRequest,
 ) -> Result<QueryReply> {
     // A cancellation that fired while the query sat in the queue unwinds
@@ -645,7 +795,7 @@ fn run_job(
     let key = PlanKey {
         tenant,
         fingerprint: query_fingerprint(&plan, request.result_location.as_ref()),
-        epoch,
+        epoch: pin.epoch,
     };
 
     let (optimized, cached) = match shared.cache.lookup(&key) {
@@ -677,7 +827,7 @@ fn run_job(
 
     let needs_resilient =
         request.faults.is_some() || request.deadline.is_some() || request.cancel.is_some();
-    let (rows, transfers, replans) = if needs_resilient {
+    let (rows, transfers, replans, churn_replans) = if needs_resilient {
         let faults = match &request.faults {
             Some(plan) => {
                 // Job-local clone: the fault step clock must start at 0
@@ -695,16 +845,25 @@ fn run_job(
             cancel: request.cancel.clone(),
             hedge: None,
             columnar: shared.columnar,
+            churn: Some(ChurnOpts {
+                service: Arc::clone(churn),
+                pin,
+            }),
         };
         let result =
             engine.execute_resilient_opts(&optimized, &faults, &RetryPolicy::default(), &opts)?;
-        (result.rows, result.transfers, result.replans)
+        (
+            result.rows,
+            result.transfers,
+            result.replans,
+            result.churn_replans,
+        )
     } else if shared.columnar {
         let result = engine.execute_columnar(&optimized.physical)?;
-        (result.rows, result.transfers, 0)
+        (result.rows, result.transfers, 0, 0)
     } else {
         let result = engine.execute(&optimized.physical)?;
-        (result.rows, result.transfers, 0)
+        (result.rows, result.transfers, 0, 0)
     };
 
     Ok(QueryReply {
@@ -712,6 +871,7 @@ fn run_job(
         transfers,
         cached,
         replans,
+        churn_replans,
         latency_ms: 0.0, // stamped by the worker after the clock stops
         result_location: optimized.result_location.clone(),
     })

@@ -438,6 +438,54 @@ fn epoch_bump_invalidates_cached_plans() {
     assert!(run(Q_NAMES).unwrap().cached);
 }
 
+/// Chain-epoch regression: removing a policy set and then restoring the
+/// *identical* content must not resurrect plans cached before the
+/// revocation. Under content hashing the restored set would reproduce
+/// the old epoch (and the old `PlanKey`s would hit again); the catalog
+/// log's chain epoch makes the restored world a fresh epoch instead.
+#[test]
+fn revoke_then_regrant_never_resurrects_cached_plans() {
+    let catalog = tiny_catalog();
+    let svc = service(1, 16);
+    let tenant = svc.add_tenant(
+        "t0",
+        catalog.clone(),
+        permissive_policies(&catalog),
+        tiny_topology(),
+        TenantConfig::default(),
+    );
+    let run = |sql: &str| svc.submit(tenant, QueryRequest::new(sql)).unwrap().wait();
+    assert!(!run(Q_NAMES).unwrap().cached);
+    assert!(run(Q_NAMES).unwrap().cached);
+    let original_epoch = svc.tenant_epoch(tenant).unwrap();
+
+    // Swap to the restrictive set, then back to an identical permissive
+    // set: same policy text as the original, different history.
+    let restricted = svc
+        .update_tenant_policies(tenant, restrictive_policies(&catalog))
+        .unwrap();
+    assert_ne!(restricted.epoch, original_epoch);
+    let restored = svc
+        .update_tenant_policies(tenant, permissive_policies(&catalog))
+        .unwrap();
+    assert_ne!(
+        restored.epoch, original_epoch,
+        "identical content after churn must chain to a fresh epoch"
+    );
+    assert!(restored.seq > restricted.seq, "the log only moves forward");
+
+    // The tenant's catalog log remembers the whole history, and the
+    // restored head re-optimizes fresh before hitting again.
+    let churn = svc.tenant_catalog(tenant).unwrap();
+    assert_eq!(churn.head(), restored);
+    assert!(churn.history().len() >= 4, "revokes + regrants are logged");
+    assert!(
+        !run(Q_NAMES).unwrap().cached,
+        "no resurrection across churn"
+    );
+    assert!(run(Q_NAMES).unwrap().cached, "fresh epoch caches normally");
+}
+
 /// Exact LRU behavior at capacity 2: a lookup refreshes recency, the
 /// least-recently-used entry is the eviction victim.
 #[test]

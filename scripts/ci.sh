@@ -47,9 +47,10 @@ echo "==> multi-tenant service smoke: closed-loop sessions through" \
 GEOQP_SERVICE_SESSIONS="${GEOQP_SERVICE_SESSIONS:-40}" \
     cargo test -q -p geoqp-bench --release --test service_smoke
 
-echo "==> chaos soak: crash/partition + gray degrade/loss variants" \
-     "(fixed seeds, GEOQP_CHAOS_N=${GEOQP_CHAOS_N:-24} schedules each," \
-     "odd rounds on the columnar engine)"
+echo "==> chaos soak: crash/partition + gray degrade/loss + catalog-churn" \
+     "variants (fixed seeds, GEOQP_CHAOS_N=${GEOQP_CHAOS_N:-24} schedules each," \
+     "odd rounds on the columnar engine; churn round layers mid-query" \
+     "revocations and catalog-plane partitions on the crash schedules)"
 GEOQP_CHAOS_N="${GEOQP_CHAOS_N:-24}" cargo test -q --test chaos_soak -- --nocapture
 
 echo "CI OK"

@@ -101,12 +101,13 @@ pub use geoqp_tpch as tpch;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use geoqp_common::{
-        CancelToken, DataType, Field, GeoError, Location, LocationPattern, LocationSet,
-        QueryDeadline, Result, Row, Rows, RunControl, Schema, TableRef, Value,
+        CancelToken, CatalogPin, ChurnEvent, DataType, Field, GeoError, Location, LocationPattern,
+        LocationSet, QueryDeadline, Result, Row, Rows, RunControl, Schema, TableRef, Value,
     };
     pub use geoqp_core::{
-        CheckpointStore, Engine, ExecutionResult, FailoverOpts, OptimizedQuery, OptimizerMode,
-        ParallelResult, ResilientResult, RuntimeConfig, RuntimeMetrics, RuntimeMode,
+        CatalogService, CheckpointStore, ChurnOpts, Engine, ExecutionResult, FailoverOpts,
+        OptimizedQuery, OptimizerMode, ParallelResult, ResilientResult, RuntimeConfig,
+        RuntimeMetrics, RuntimeMode,
     };
     pub use geoqp_exec::RetryPolicy;
     pub use geoqp_expr::{AggCall, AggFunc, ScalarExpr};

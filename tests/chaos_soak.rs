@@ -410,6 +410,179 @@ fn concurrent_service_round_under_chaos_resolves_every_ticket() {
     );
 }
 
+/// Catalog-churn round: mid-query revocations and catalog-plane
+/// partitions layered on the soak's crash/partition/flake schedules.
+/// Every run pins the pre-revocation epoch at admission and races a
+/// scripted revocation released at a seeded executor step; every third
+/// run additionally partitions the catalog plane at a non-coordinator
+/// site so churn re-plans there must prove freshness or refuse.
+/// Invariants per run: a completion returns the fault-free answer and
+/// audits clean — against the pinned catalog when it finished under its
+/// epoch, against the *shrunken* catalog when a revocation forced a
+/// re-plan (zero non-compliant transfers either way); a failure carries
+/// a typed kind; no leaked workers.
+#[test]
+fn catalog_churn_round_stays_compliant_and_resolves_typed() {
+    let n: usize = std::env::var("GEOQP_CHAOS_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let catalog = Arc::new(tpch::paper_catalog(SF));
+    tpch::populate(&catalog, SF, 7).unwrap();
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let eng = Engine::new(
+        Arc::clone(&catalog),
+        Arc::new(policies.clone()),
+        NetworkTopology::paper_wan(),
+    );
+    let retry = RetryPolicy::default().with_jitter(0.3, 2021);
+    let coordinator = eng
+        .catalog()
+        .locations()
+        .iter()
+        .next()
+        .cloned()
+        .expect("the paper catalog has sites");
+
+    let mut rng = 0x6361_7461_6c6f_6721u64; // fixed churn-soak seed
+    let before = live_threads();
+    let (mut completed, mut replanned, mut refused, mut stale_hits) =
+        (0usize, 0usize, 0usize, 0usize);
+    let mut run_idx = 0u64;
+    for round in 0..n {
+        // Odd rounds soak the vectorized columnar path, as elsewhere.
+        let config = RuntimeConfig {
+            columnar: round % 2 == 1,
+            ..RuntimeConfig::default()
+        };
+        for query in QUERIES {
+            let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+            let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) else {
+                continue;
+            };
+            let baseline = eng.execute_parallel(&opt.physical).unwrap();
+            let (faults, deadline, label) = schedule(&mut rng);
+
+            // Fresh catalog service per run: revoke one live policy,
+            // releasing it to in-flight execution at a deterministic
+            // step that cycles through the early executor clock.
+            let svc = CatalogService::new(
+                Arc::clone(eng.catalog()),
+                policies.clone(),
+                coordinator.clone(),
+            );
+            let live = svc.live_policies();
+            let (pid, _) = live[splitmix(&mut rng) as usize % live.len()];
+            let rev = svc.revoke(pid).unwrap();
+            let step = run_idx % 6;
+            let svc = svc.with_planned(vec![ChurnEvent {
+                step,
+                seq: rev.seq,
+                epoch: rev.epoch,
+                revocation: true,
+            }]);
+            let partitioned = run_idx % 3 == 2;
+            let svc = if partitioned {
+                let site = SITES[1 + splitmix(&mut rng) as usize % (SITES.len() - 1)];
+                Arc::new(
+                    svc.with_faults(
+                        FaultPlan::new(splitmix(&mut rng))
+                            .with_partition([Location::new(site)], StepWindow::ALWAYS),
+                    ),
+                )
+            } else {
+                svc.sync_full();
+                Arc::new(svc)
+            };
+            run_idx += 1;
+            let pin = CatalogPin::new(0, eng.policies().epoch());
+            let opts = FailoverOpts {
+                deadline,
+                ..FailoverOpts::new(SITES.len()).with_churn(Arc::clone(&svc), pin)
+            };
+            match eng.execute_resilient_parallel_opts(&opt, &faults, &retry, &opts, &config) {
+                Ok((res, _metrics)) => {
+                    completed += 1;
+                    let mut got: Vec<String> = res.rows.iter().map(|r| format!("{r:?}")).collect();
+                    let mut want: Vec<String> =
+                        baseline.rows.iter().map(|r| format!("{r:?}")).collect();
+                    got.sort();
+                    want.sort();
+                    assert_eq!(
+                        got, want,
+                        "round {round} {query} [{label}] revoke p{pid}@{step}: \
+                         churn changed the answer"
+                    );
+                    if res.churn_replans > 0 {
+                        replanned += 1;
+                        // A revocation forced a re-plan: the final
+                        // placement was chosen under the shrunken
+                        // catalog and must audit clean against it.
+                        let shrunk = eng.fork_with_policies(svc.snapshot(svc.head().seq).unwrap());
+                        shrunk.audit(&res.physical).unwrap_or_else(|e| {
+                            panic!(
+                                "round {round} {query} [{label}] revoke p{pid}@{step}: \
+                                 churn re-plan landed on a placement the shrunken \
+                                 catalog forbids: {e}"
+                            )
+                        });
+                    } else {
+                        // Finished under the pinned epoch: Definition-1
+                        // clean against the catalog it was admitted on.
+                        eng.audit(&res.physical).unwrap_or_else(|e| {
+                            panic!(
+                                "round {round} {query} [{label}]: completed through a \
+                                 non-compliant placement: {e}"
+                            )
+                        });
+                    }
+                }
+                Err(e) => {
+                    refused += 1;
+                    if e.kind() == "catalog-stale" {
+                        stale_hits += 1;
+                    }
+                    assert!(
+                        matches!(
+                            e.kind(),
+                            "rejected"
+                                | "unavailable"
+                                | "deadline"
+                                | "cancelled"
+                                | "non-compliant"
+                                | "catalog-stale"
+                                | "churn"
+                        ),
+                        "round {round} {query} [{label}] revoke p{pid}@{step}: \
+                         untyped failure {e}"
+                    );
+                }
+            }
+        }
+    }
+    let mut after = live_threads();
+    for _ in 0..50 {
+        if after <= before {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        after = live_threads();
+    }
+    assert!(
+        after <= before + 4,
+        "{before} threads before the churn soak, {after} after — fragment workers leaked"
+    );
+    assert!(
+        completed >= 1,
+        "the churn soak never completed a single run ({refused} refusals) — schedules too harsh"
+    );
+    assert!(
+        replanned >= 1,
+        "no revocation ever caught a query in flight across {completed} completions \
+         ({refused} refusals, {stale_hits} stale) — the recovery path was not exercised"
+    );
+}
+
 #[test]
 fn randomized_chaos_schedules_stay_compliant_and_leak_free() {
     let n: usize = std::env::var("GEOQP_CHAOS_N")

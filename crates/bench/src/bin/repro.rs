@@ -151,21 +151,56 @@ fn churn_figure() {
             if c.rows_match { "yes" } else { "NO" }
         );
     }
-    let s = churn::summarize(&grid, &stale);
+    header(
+        "Extension E12: quiesce-free grant retry — revoke@step 0, re-grant released at a \
+         swept step, catalog-plane crash + compacted log",
+    );
+    println!(
+        "  {:6} {:>6} {:>5} {:>14} {:>8} {:>8} {:>6}",
+        "query", "gstep", "pid", "outcome", "retries", "rescued", "rows="
+    );
+    let (grants, plane) = churn::grant_grid(SEED);
+    for c in &grants {
+        println!(
+            "  {:6} {:>6} {:>5} {:>14} {:>8} {:>8} {:>6}",
+            c.query,
+            c.grant_step,
+            c.revoked_pid,
+            c.outcome.label(),
+            c.grant_retries,
+            if c.rescued { "yes" } else { "-" },
+            if c.rows_match { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "  catalog plane: {} wipes, {} bootstraps, {} chain rejects, \
+         {} B snapshots, {} B entries, lag p50 {} max {}",
+        plane.wipes,
+        plane.bootstraps,
+        plane.chain_rejects,
+        plane.snapshot_bytes,
+        plane.entry_bytes,
+        plane.lag_p50,
+        plane.lag_max,
+    );
+    let s = churn::summarize(&grid, &stale, &grants);
     println!(
         "  summary: {} finished, {} replanned, {} refused non-compliant, \
-         {} refused catalog-stale, {} other; re-plan byte overhead {:.1}% \
+         {} refused catalog-stale, {} other; {} rescued by grant retry \
+         ({} retries); re-plan byte overhead {:.1}% \
          ({} B recomputed, {} B resumed from checkpoints)",
         s.finished,
         s.replanned,
         s.refused_non_compliant,
         s.refused_catalog_stale,
         s.refused_other,
+        s.grants_rescued,
+        s.grant_retries,
         s.replan_byte_overhead() * 100.0,
         s.recomputed_bytes,
         s.resumed_bytes,
     );
-    let json = churn::to_json(&grid, &stale, SEED);
+    let json = churn::to_json(&grid, &stale, &grants, &plane, SEED);
     match std::fs::write("BENCH_churn.json", &json) {
         Ok(()) => println!("  wrote BENCH_churn.json"),
         Err(e) => println!("  could not write BENCH_churn.json: {e}"),

@@ -16,12 +16,22 @@
 //! that ships from that site refuses typed (`catalog-stale`) instead
 //! of originating a transfer it cannot re-audit.
 //!
+//! The grant grid exercises the quiesce-free grant retry: the
+//! revocation releases at step 0, and the *same* expression is
+//! re-granted at sequence 2, released at a swept grant step. A query
+//! the revocation refuses outright is rescued — re-pinned forward onto
+//! the grant and completed — exactly when the grant had landed by the
+//! abort step; a grant releasing after the abort cannot rescue in
+//! hindsight. Each grant cell also runs under a catalog-plane crash
+//! with an aggressively compacted log, so the crashed replica's
+//! recovery path (wipe, then snapshot bootstrap) is part of the figure.
+//!
 //! Everything is simulated-clock and seed-driven: identically-seeded
 //! runs serialize byte-identically.
 
 use crate::experiments::setup::EXEC_SF;
 use geoqp_common::{ChurnEvent, Location, Rows, Value};
-use geoqp_core::{CatalogService, Engine, FailoverOpts, OptimizerMode};
+use geoqp_core::{CatalogHealth, CatalogService, Engine, FailoverOpts, OptimizerMode};
 use geoqp_exec::RetryPolicy;
 use geoqp_net::{FaultPlan, NetworkTopology, StepWindow};
 use geoqp_policy::PolicyCatalog;
@@ -34,6 +44,13 @@ use std::sync::Arc;
 /// last value is past any query's edge count — the control column where
 /// churn never bites.
 pub const REVOKE_STEPS: [u64; 5] = [0, 1, 2, 4, 1_000];
+
+/// Grant-release steps of the grant grid: the executor step at which
+/// the re-grant of the revoked expression becomes visible. The last
+/// value lands after any abort, so it can never rescue — the control
+/// column proving retries consult only grants the query could have
+/// seen.
+pub const GRANT_STEPS: [u64; 5] = [0, 1, 2, 4, 1_000];
 
 /// What happened to one (query, revocation-step) cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +101,66 @@ pub struct ChurnCell {
     pub resumed_bytes: u64,
     /// Completed cells only: the answer matched the reference multiset.
     pub rows_match: bool,
+}
+
+/// One cell of the grant grid: revocation at step 0, the same
+/// expression re-granted at sequence 2 and released at `grant_step`,
+/// under a catalog-plane crash and an auto-compacted log.
+#[derive(Debug)]
+pub struct GrantCell {
+    /// Query name.
+    pub query: &'static str,
+    /// Executor step the re-grant was released at.
+    pub grant_step: u64,
+    /// The stable policy id revoked (and whose expression was
+    /// re-granted).
+    pub revoked_pid: u64,
+    /// What happened.
+    pub outcome: ChurnOutcome,
+    /// Quiesce-free grant retries the execution performed.
+    pub grant_retries: u64,
+    /// The query was refused under the revocation's pin and completed
+    /// under the re-granted head — the rescue the retry exists for.
+    pub rescued: bool,
+    /// Completed cells only: the answer matched the reference multiset.
+    pub rows_match: bool,
+}
+
+/// Catalog-plane resilience counters aggregated across a sweep's
+/// scripted services: how often replicas lost state, how they
+/// recovered, and how far they trailed the head while faults bit.
+#[derive(Debug, Default, Clone)]
+pub struct PlaneStats {
+    /// Replica state losses from catalog-plane crashes.
+    pub wipes: u64,
+    /// Snapshot bootstraps that recovered a wiped (or floored-out)
+    /// replica.
+    pub bootstraps: u64,
+    /// Snapshots refused by chain verification (always 0 honestly).
+    pub chain_rejects: u64,
+    /// Bytes of floor snapshots shipped to bootstrapping replicas.
+    pub snapshot_bytes: u64,
+    /// Bytes of log entries shipped on replication pulls.
+    pub entry_bytes: u64,
+    /// Worst median replica lag observed while faults were active.
+    pub lag_p50: u64,
+    /// Worst single-replica lag observed while faults were active.
+    pub lag_max: u64,
+}
+
+impl PlaneStats {
+    /// Fold one service's lifetime counters into the aggregate.
+    /// `while_faulted` is the health captured before the healing sync —
+    /// its lag picture shows the fault actually biting.
+    pub fn absorb(&mut self, while_faulted: &CatalogHealth, final_health: &CatalogHealth) {
+        self.wipes += final_health.wipes;
+        self.bootstraps += final_health.bootstraps;
+        self.chain_rejects += final_health.chain_rejects;
+        self.snapshot_bytes += final_health.snapshot_bytes;
+        self.entry_bytes += final_health.entry_bytes;
+        self.lag_p50 = self.lag_p50.max(while_faulted.lag_p50);
+        self.lag_max = self.lag_max.max(while_faulted.lag_max);
+    }
 }
 
 /// One cell of the stale sweep: revocation at step 0 with one site's
@@ -252,6 +329,127 @@ pub fn churn_grid(seed: u64) -> Vec<ChurnCell> {
     out
 }
 
+/// The grant grid: every TPC-H query × every grant-release step. Each
+/// cell's scripted log holds the revocation of a live pid at sequence 1
+/// (released at executor step 0) and a re-grant of the *same*
+/// expression at sequence 2 (released at the swept grant step), with
+/// the log auto-compacted to one tail entry and the first
+/// non-coordinator site's catalog replica crashing across sync steps
+/// [0, 2) — so every churn re-plan's sync round exercises the wipe /
+/// snapshot-bootstrap recovery path while the grant retry decides the
+/// query's fate.
+pub fn grant_grid(seed: u64) -> (Vec<GrantCell>, PlaneStats) {
+    let fx = fixture(seed);
+    let sites = fx.catalog.locations().len();
+    let retry = RetryPolicy::default();
+    let probe = CatalogService::new(
+        Arc::clone(&fx.catalog),
+        fx.policies.clone(),
+        fx.coordinator.clone(),
+    );
+    let live = probe.live_policies();
+    assert!(!live.is_empty(), "the template set registered no policies");
+    let crash_site = fx
+        .catalog
+        .locations()
+        .iter()
+        .find(|s| **s != fx.coordinator)
+        .cloned()
+        .expect("the paper catalog has a non-coordinator site");
+    let mut out = Vec::new();
+    let mut plane = PlaneStats::default();
+    for (qi, (query, plan)) in all_queries(&fx.catalog)
+        .expect("queries")
+        .iter()
+        .enumerate()
+    {
+        let Ok(optimized) = fx.engine.optimize(plan, OptimizerMode::Compliant, None) else {
+            continue;
+        };
+        let Ok(reference) =
+            fx.engine
+                .execute_resilient(&optimized, &FaultPlan::new(seed), &retry, 0)
+        else {
+            continue;
+        };
+        let reference_rows = multiset(&reference.rows);
+        for (si, &grant_step) in GRANT_STEPS.iter().enumerate() {
+            let (pid, display) = &live[(qi * GRANT_STEPS.len() + si) % live.len()];
+            let svc = CatalogService::new(
+                Arc::clone(&fx.catalog),
+                fx.policies.clone(),
+                fx.coordinator.clone(),
+            )
+            .with_auto_compact(1);
+            let rev = svc.revoke(*pid).expect("revoking a live template pid");
+            let regrant = geoqp_parser::parse_policy(display).expect("live display forms re-parse");
+            let re = svc
+                .grant(regrant)
+                .expect("re-granting the revoked expression");
+            let svc = Arc::new(
+                svc.with_planned(vec![
+                    ChurnEvent {
+                        step: 0,
+                        seq: rev.seq,
+                        epoch: rev.epoch,
+                        revocation: true,
+                    },
+                    ChurnEvent {
+                        step: grant_step,
+                        seq: re.seq,
+                        epoch: re.epoch,
+                        revocation: false,
+                    },
+                ])
+                .with_faults(
+                    FaultPlan::new(seed ^ 0xB007)
+                        .with_crash(crash_site.clone(), StepWindow::new(0, 2)),
+                ),
+            );
+            svc.sync_full();
+            let pin = geoqp_common::CatalogPin::new(0, fx.engine.policies().epoch());
+            let opts = FailoverOpts::new(sites).with_churn(Arc::clone(&svc), pin);
+            let cell = match fx.engine.execute_resilient_opts(
+                &optimized,
+                &FaultPlan::new(seed),
+                &retry,
+                &opts,
+            ) {
+                Ok(res) => GrantCell {
+                    query,
+                    grant_step,
+                    revoked_pid: *pid,
+                    outcome: if res.churn_replans == 0 {
+                        ChurnOutcome::Finished
+                    } else {
+                        ChurnOutcome::Replanned(res.churn_replans)
+                    },
+                    grant_retries: res.grant_retries,
+                    rescued: res.grant_retries > 0,
+                    rows_match: multiset(&res.rows) == reference_rows,
+                },
+                Err(e) => GrantCell {
+                    query,
+                    grant_step,
+                    revoked_pid: *pid,
+                    outcome: ChurnOutcome::Refused(e.kind().to_string()),
+                    grant_retries: 0,
+                    rescued: false,
+                    rows_match: true,
+                },
+            };
+            // Capture the lag picture while the crash still bites, then
+            // close the window: the wiped replica bootstraps from the
+            // floor snapshot and tails the remaining entry.
+            let while_faulted = svc.health();
+            svc.sync_at(2);
+            plane.absorb(&while_faulted, &svc.health());
+            out.push(cell);
+        }
+    }
+    (out, plane)
+}
+
 /// The stale sweep: revocation released at step 0 while one site's
 /// catalog replica is partitioned away from the coordinator for the
 /// whole run, for every query × every non-coordinator site.
@@ -340,6 +538,11 @@ pub struct ChurnSummary {
     pub resumed_bytes: u64,
     /// Reference (churn-free) bytes of the re-planned cells.
     pub replanned_reference_bytes: u64,
+    /// Grant-grid cells refused under the revocation's pin and rescued
+    /// by a quiesce-free grant retry.
+    pub grants_rescued: u64,
+    /// Quiesce-free grant retries summed over the grant grid.
+    pub grant_retries: u64,
 }
 
 impl ChurnSummary {
@@ -366,8 +569,8 @@ impl ChurnSummary {
     }
 }
 
-/// Tally a grid and a stale sweep into one summary.
-pub fn summarize(grid: &[ChurnCell], stale: &[StaleCell]) -> ChurnSummary {
+/// Tally a grid, a stale sweep, and a grant grid into one summary.
+pub fn summarize(grid: &[ChurnCell], stale: &[StaleCell], grants: &[GrantCell]) -> ChurnSummary {
     let mut s = ChurnSummary::default();
     for c in grid {
         s.count(&c.outcome);
@@ -380,13 +583,26 @@ pub fn summarize(grid: &[ChurnCell], stale: &[StaleCell]) -> ChurnSummary {
     for c in stale {
         s.count(&c.outcome);
     }
+    for c in grants {
+        s.count(&c.outcome);
+        s.grant_retries += c.grant_retries;
+        if c.rescued {
+            s.grants_rescued += 1;
+        }
+    }
     s
 }
 
-/// Serialize the grid, sweep, and summary as deterministic JSON (no
-/// wall-clock anywhere: same seed, same bytes).
-pub fn to_json(grid: &[ChurnCell], stale: &[StaleCell], seed: u64) -> String {
-    let summary = summarize(grid, stale);
+/// Serialize the grids, sweeps, catalog-plane stats, and summary as
+/// deterministic JSON (no wall-clock anywhere: same seed, same bytes).
+pub fn to_json(
+    grid: &[ChurnCell],
+    stale: &[StaleCell],
+    grants: &[GrantCell],
+    plane: &PlaneStats,
+    seed: u64,
+) -> String {
+    let summary = summarize(grid, stale, grants);
     let mut s = String::from("{\n");
     s.push_str("  \"experiment\": \"churn\",\n");
     s.push_str(&format!("  \"seed\": {seed},\n"));
@@ -425,6 +641,38 @@ pub fn to_json(grid: &[ChurnCell], stale: &[StaleCell], seed: u64) -> String {
         s.push('\n');
     }
     s.push_str("  ],\n");
+    s.push_str("  \"grants\": [\n");
+    for (i, c) in grants.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"query\": \"{}\", ", c.query));
+        s.push_str(&format!("\"grant_step\": {}, ", c.grant_step));
+        s.push_str(&format!("\"revoked_pid\": {}, ", c.revoked_pid));
+        s.push_str(&format!("\"outcome\": \"{}\", ", c.outcome.label()));
+        s.push_str(&format!("\"grant_retries\": {}, ", c.grant_retries));
+        s.push_str(&format!("\"rescued\": {}, ", c.rescued));
+        s.push_str(&format!("\"rows_match\": {}", c.rows_match));
+        s.push('}');
+        if i + 1 < grants.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"catalog_plane\": {\n");
+    s.push_str(&format!("    \"wipes\": {},\n", plane.wipes));
+    s.push_str(&format!("    \"bootstraps\": {},\n", plane.bootstraps));
+    s.push_str(&format!(
+        "    \"chain_rejects\": {},\n",
+        plane.chain_rejects
+    ));
+    s.push_str(&format!(
+        "    \"snapshot_bytes\": {},\n",
+        plane.snapshot_bytes
+    ));
+    s.push_str(&format!("    \"entry_bytes\": {},\n", plane.entry_bytes));
+    s.push_str(&format!("    \"lag_p50\": {},\n", plane.lag_p50));
+    s.push_str(&format!("    \"lag_max\": {}\n", plane.lag_max));
+    s.push_str("  },\n");
     s.push_str("  \"summary\": {\n");
     s.push_str(&format!("    \"finished\": {},\n", summary.finished));
     s.push_str(&format!("    \"replanned\": {},\n", summary.replanned));
@@ -447,6 +695,14 @@ pub fn to_json(grid: &[ChurnCell], stale: &[StaleCell], seed: u64) -> String {
     s.push_str(&format!(
         "    \"resumed_bytes\": {},\n",
         summary.resumed_bytes
+    ));
+    s.push_str(&format!(
+        "    \"grants_rescued\": {},\n",
+        summary.grants_rescued
+    ));
+    s.push_str(&format!(
+        "    \"grant_retries\": {},\n",
+        summary.grant_retries
     ));
     s.push_str(&format!(
         "    \"replan_byte_overhead\": {:.4}\n",
@@ -494,10 +750,67 @@ mod tests {
         );
         // Identically-seeded runs serialize byte-identically.
         let stale = stale_sweep(2021);
+        let (grants, plane) = grant_grid(2021);
+        let (grants2, plane2) = grant_grid(2021);
         assert_eq!(
-            to_json(&grid, &stale, 2021),
-            to_json(&churn_grid(2021), &stale_sweep(2021), 2021)
+            to_json(&grid, &stale, &grants, &plane, 2021),
+            to_json(
+                &churn_grid(2021),
+                &stale_sweep(2021),
+                &grants2,
+                &plane2,
+                2021
+            )
         );
+    }
+
+    #[test]
+    fn grant_grid_rescues_refused_queries_and_recovers_crashed_replicas() {
+        let (grants, plane) = grant_grid(2021);
+        assert!(!grants.is_empty());
+        let mut rescued = 0;
+        let mut refused_control = 0;
+        for c in &grants {
+            assert!(
+                c.rows_match,
+                "{} @ grant step {}: answer changed",
+                c.query, c.grant_step
+            );
+            if c.rescued {
+                assert!(
+                    matches!(c.outcome, ChurnOutcome::Replanned(_)),
+                    "a rescued query completed by definition"
+                );
+                rescued += 1;
+            }
+            // The past-the-abort control column can never rescue: any
+            // refusal there stays a refusal.
+            if c.grant_step == 1_000 {
+                assert_eq!(c.grant_retries, 0, "{}: hindsight rescue", c.query);
+                if matches!(c.outcome, ChurnOutcome::Refused(_)) {
+                    refused_control += 1;
+                }
+            }
+        }
+        assert!(
+            rescued >= 1,
+            "no refused query was ever rescued by the in-flight grant: {:?}",
+            grants.iter().map(|c| c.outcome.label()).collect::<Vec<_>>()
+        );
+        assert!(
+            refused_control >= 1,
+            "the control column must show what rescue-less churn looks like"
+        );
+        // The catalog-plane crash actually bit, and recovery went
+        // through verified snapshot bootstraps — never a bypass.
+        assert!(plane.wipes >= 1, "the crash never wiped a replica");
+        assert!(
+            plane.bootstraps > plane.wipes,
+            "wiped replicas must re-bootstrap"
+        );
+        assert_eq!(plane.chain_rejects, 0, "honest snapshots always verify");
+        assert!(plane.snapshot_bytes > 0, "bootstraps are byte-charged");
+        assert!(plane.lag_max >= 1, "the crashed replica trailed the head");
     }
 
     #[test]

@@ -194,6 +194,22 @@ impl Shell {
                         memo.len(),
                     );
                 }
+                if let Some(svc) = &self.churn {
+                    let h = svc.health();
+                    let _ = writeln!(
+                        out,
+                        "catalog plane: head seq {}, floor {} ({} compactions), \
+                         lag p50 {} max {}, {} bootstraps, {} wipes, {} chain rejects",
+                        h.head.seq,
+                        h.floor_seq,
+                        h.compactions,
+                        h.lag_p50,
+                        h.lag_max,
+                        h.bootstraps,
+                        h.wipes,
+                        h.chain_rejects,
+                    );
+                }
                 Ok(out)
             }
             "explain" => self.explain(arg),
@@ -450,14 +466,37 @@ impl Shell {
                 let _ = writeln!(out, "  {line}");
             }
         }
+        let health = svc.health();
         out.push_str("replicas:\n");
-        for (site, seq) in svc.replica_seqs() {
+        for r in &health.replicas {
+            let lag = if r.unbounded {
+                "∞ (severed)".to_string()
+            } else {
+                r.lag.to_string()
+            };
             let _ = writeln!(
                 out,
-                "  {site}: seq {seq}{}",
-                if seq < head.seq { " (STALE)" } else { "" }
+                "  {}: seq {}, lag {lag}{}",
+                r.site,
+                r.seq,
+                if r.seq < head.seq { " (STALE)" } else { "" }
             );
         }
+        let _ = writeln!(
+            out,
+            "plane: floor seq {} ({} compactions), lag p50 {} max {}, \
+             {} bootstraps, {} wipes, {} chain rejects, \
+             {} snapshot bytes, {} entry bytes",
+            health.floor_seq,
+            health.compactions,
+            health.lag_p50,
+            health.lag_max,
+            health.bootstraps,
+            health.wipes,
+            health.chain_rejects,
+            health.snapshot_bytes,
+            health.entry_bytes,
+        );
         Ok(out)
     }
 
@@ -630,6 +669,19 @@ impl Shell {
             result.resumed_bytes,
             result.recomputed_bytes,
         );
+        if result.churn_replans > 0 || result.grant_retries > 0 {
+            let _ = writeln!(
+                summary,
+                "churn: {} revocation re-plan(s), {} grant retry(ies){}",
+                result.churn_replans,
+                result.grant_retries,
+                if result.grant_retries > 0 {
+                    " — refused under the revoked pin, rescued under the head"
+                } else {
+                    ""
+                },
+            );
+        }
         if result.hedges_launched > 0 || result.breaker_trips > 0 {
             let _ = writeln!(
                 summary,
@@ -1580,11 +1632,19 @@ mod tests {
         };
         let granted_epoch = epoch_of(&out);
 
-        // The catalog shows the grant live, logged, and fully replicated.
+        // The catalog shows the grant live, logged, and fully replicated,
+        // with per-replica lag and the plane-health summary line.
         let listed = sh.run_command("\\catalog").unwrap();
         assert!(listed.contains("p4: ship c_acctbal"), "{listed}");
         assert!(listed.contains("#1 grant p4"), "{listed}");
         assert!(!listed.contains("STALE"), "{listed}");
+        assert!(listed.contains("lag 0"), "{listed}");
+        assert!(!listed.contains("severed"), "{listed}");
+        assert!(
+            listed.contains("plane: floor seq 0 (0 compactions)"),
+            "{listed}"
+        );
+        assert!(listed.contains("0 chain rejects"), "{listed}");
 
         // Revoking by expression resolves the pid; the permission is gone
         // for later queries and the epoch never returns to an old value.

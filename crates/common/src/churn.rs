@@ -71,6 +71,10 @@ pub struct ChurnSignal {
     live_seq: AtomicU64,
     live_epoch: AtomicU64,
     live_revocation: AtomicU64,
+    /// Sequence of the newest live-published *grant*, feeding
+    /// [`ChurnSignal::granted_since`]: a refused in-flight query may
+    /// re-pin forward onto it, because grants only grow the legal set.
+    live_grant: AtomicU64,
 }
 
 impl ChurnSignal {
@@ -99,6 +103,8 @@ impl ChurnSignal {
             self.live_seq.store(seq, Ordering::Release);
             if revocation {
                 self.live_revocation.store(seq, Ordering::Release);
+            } else {
+                self.live_grant.store(seq, Ordering::Release);
             }
         }
     }
@@ -129,6 +135,40 @@ impl ChurnSignal {
         head
     }
 
+    /// The newest *grant* visible at executor step `step` that the pin at
+    /// `pin_seq` has not seen, if any — the head a query refused
+    /// `NonCompliant` under its pin may re-pin forward to. Sound because
+    /// grants are additive: the legal set at the returned head is a
+    /// superset of the one at `pin_seq` plus whatever revocations the
+    /// re-pin already absorbed, and the retry re-runs the full compliant
+    /// optimizer and Definition-1 audit under the new snapshot anyway.
+    ///
+    /// Planned grants are gated by their trigger step (deterministic
+    /// replay); live-published grants really happened, so they are always
+    /// visible.
+    pub fn granted_since(&self, pin_seq: u64, step: u64) -> Option<CatalogPin> {
+        let mut head: Option<CatalogPin> = None;
+        for e in &self.planned {
+            if e.step <= step && !e.revocation && e.seq > pin_seq {
+                let better = head.is_none_or(|h| e.seq > h.seq);
+                if better {
+                    head = Some(CatalogPin::new(e.seq, e.epoch));
+                }
+            }
+        }
+        let live_grant = self.live_grant.load(Ordering::Acquire);
+        if live_grant > pin_seq && head.is_none_or(|h| live_grant > h.seq) {
+            // Re-pin to the full live head: it is at least as new as the
+            // grant, and newer revocations in between must be absorbed,
+            // not skipped.
+            head = Some(CatalogPin::new(
+                self.live_seq.load(Ordering::Acquire).max(live_grant),
+                self.live_epoch.load(Ordering::Acquire),
+            ));
+        }
+        head
+    }
+
     /// Whether any planned event exists (used by executors to skip the
     /// per-batch scan entirely on churn-free runs).
     pub fn is_idle(&self) -> bool {
@@ -145,12 +185,31 @@ impl ChurnSignal {
 pub struct StaleGuard {
     pin: CatalogPin,
     fresh: LocationSet,
+    /// Sites whose catalog-plane link to the coordinator is severed for
+    /// good (open-ended crash or partition): their lag is unbounded, and
+    /// refusals name them as permanently stale instead of merely behind.
+    unbounded: LocationSet,
 }
 
 impl StaleGuard {
     /// A guard for `pin` with the given proven-fresh sites.
     pub fn new(pin: CatalogPin, fresh: LocationSet) -> StaleGuard {
-        StaleGuard { pin, fresh }
+        StaleGuard {
+            pin,
+            fresh,
+            unbounded: LocationSet::new(),
+        }
+    }
+
+    /// Mark the sites whose replication lag can never clear.
+    pub fn with_unbounded(mut self, unbounded: LocationSet) -> StaleGuard {
+        self.unbounded = unbounded;
+        self
+    }
+
+    /// Whether `site`'s lag is unbounded (severed from the coordinator).
+    pub fn is_unbounded(&self, site: &Location) -> bool {
+        self.unbounded.contains(site)
     }
 
     /// The pin this guard proves freshness against.
@@ -171,11 +230,25 @@ impl StaleGuard {
         if self.sees(site) {
             Ok(())
         } else {
-            Err(GeoError::CatalogStale(format!(
-                "site {site} cannot prove it has seen catalog seq {} \
-                 (epoch {:016x}); refusing to originate the transfer",
-                self.pin.seq, self.pin.epoch
-            )))
+            let unbounded = self.is_unbounded(site);
+            let cause = if unbounded {
+                "its catalog-plane link to the coordinator is severed \
+                 (unbounded lag)"
+            } else {
+                "its replica is behind"
+            };
+            Err(GeoError::catalog_stale(
+                site.clone(),
+                self.pin.seq,
+                self.pin.epoch,
+                unbounded,
+                format!(
+                    "site {site} cannot prove it has seen catalog seq {} \
+                     (epoch {:016x}): {cause}; refusing to originate the \
+                     transfer",
+                    self.pin.seq, self.pin.epoch
+                ),
+            ))
         }
     }
 }
@@ -250,10 +323,62 @@ mod tests {
     fn stale_guard_refuses_unproven_origins() {
         let mut fresh = LocationSet::new();
         fresh.insert(Location::new("L1"));
-        let guard = StaleGuard::new(CatalogPin::new(2, 0xc0ffee), fresh);
+        let mut severed = LocationSet::new();
+        severed.insert(Location::new("L3"));
+        let guard = StaleGuard::new(CatalogPin::new(2, 0xc0ffee), fresh).with_unbounded(severed);
         assert!(guard.check_origin(&Location::new("L1")).is_ok());
         let err = guard.check_origin(&Location::new("L2")).unwrap_err();
         assert_eq!(err.kind(), "catalog-stale");
         assert!(err.message().contains("seq 2"));
+        // The refusal names the lagging site in the typed payload.
+        assert_eq!(err.stale_site(), Some((&Location::new("L2"), false)));
+        // A severed replica is named as unbounded lag.
+        let err = guard.check_origin(&Location::new("L3")).unwrap_err();
+        assert_eq!(err.stale_site(), Some((&Location::new("L3"), true)));
+        assert!(err.message().contains("unbounded lag"));
+    }
+
+    #[test]
+    fn planned_grants_become_visible_by_step() {
+        let sig = ChurnSignal::with_planned(vec![
+            ChurnEvent {
+                step: 2,
+                seq: 1,
+                epoch: 0x1,
+                revocation: true,
+            },
+            ChurnEvent {
+                step: 4,
+                seq: 2,
+                epoch: 0x2,
+                revocation: false,
+            },
+            ChurnEvent {
+                step: 9,
+                seq: 3,
+                epoch: 0x3,
+                revocation: false,
+            },
+        ]);
+        assert_eq!(sig.granted_since(0, 3), None, "grant not yet released");
+        assert_eq!(sig.granted_since(0, 4), Some(CatalogPin::new(2, 0x2)));
+        // A burst: the newest visible grant wins.
+        assert_eq!(sig.granted_since(0, 100), Some(CatalogPin::new(3, 0x3)));
+        // A pin that already saw seq 3 gains nothing from retrying.
+        assert_eq!(sig.granted_since(3, 100), None);
+        // Revocations never count as grants.
+        assert_eq!(sig.granted_since(0, 2), None);
+    }
+
+    #[test]
+    fn live_grants_are_always_visible() {
+        let sig = ChurnSignal::new();
+        assert_eq!(sig.granted_since(0, 0), None);
+        sig.publish(4, 0xaaaa, false);
+        assert_eq!(sig.granted_since(0, 0), Some(CatalogPin::new(4, 0xaaaa)));
+        // A newer revocation moves the head; the grant re-pin absorbs it.
+        sig.publish(5, 0xbbbb, true);
+        assert_eq!(sig.granted_since(0, 0), Some(CatalogPin::new(5, 0xbbbb)));
+        assert_eq!(sig.granted_since(4, 0), None, "no grant after the pin");
     }
 }

@@ -91,6 +91,30 @@ pub struct ChurnAbort {
     pub seq: u64,
     /// The deterministic epoch that sequence hashes to.
     pub epoch: u64,
+    /// The executor step at which the abort fired. The grant-retry path
+    /// replays the churn signal at this step, so which planned grants are
+    /// visible to a refused query is as deterministic as the abort itself.
+    pub step: u64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Details of a stale-replica refusal — the typed payload of
+/// [`GeoError::CatalogStale`]. Names the site whose catalog replica could
+/// not prove freshness, so operators (and the `\catalog` health view) see
+/// *which* replica is lagging, and whether the lag can ever clear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleReplica {
+    /// The site whose replica failed the freshness proof.
+    pub site: Location,
+    /// The pinned catalog sequence the replica could not prove.
+    pub seq: u64,
+    /// The pinned epoch at that sequence.
+    pub epoch: u64,
+    /// Whether the replica's lag is unbounded: the site is permanently
+    /// partitioned or crashed on the catalog plane, so no amount of
+    /// waiting or retrying will make it fresh — re-plan around it.
+    pub unbounded: bool,
     /// Human-readable description.
     pub message: String,
 }
@@ -149,7 +173,14 @@ pub enum GeoError {
     /// the coordinator pinned for this query (replication lag, catalog
     /// partition, or a crashed replica). The site fails safe: it refuses
     /// to originate the transfer rather than audit against old policy.
-    CatalogStale(String),
+    /// The payload names the lagging site and whether its lag is
+    /// unbounded (permanent catalog-plane partition or crash).
+    CatalogStale(StaleReplica),
+    /// A catalog read named a log sequence older than the compaction
+    /// floor: the prefix was snapshotted and truncated, so the exact
+    /// state at that sequence is no longer reconstructible anywhere.
+    /// Callers holding such a pin must re-pin forward, never guess.
+    CatalogCompacted(String),
 }
 
 impl GeoError {
@@ -172,14 +203,34 @@ impl GeoError {
             GeoError::Admission(_) => "admission",
             GeoError::PolicyChurn(_) => "churn",
             GeoError::CatalogStale(_) => "catalog-stale",
+            GeoError::CatalogCompacted(_) => "catalog-compacted",
         }
     }
 
-    /// Convenience constructor for a mid-flight revocation abort.
-    pub fn policy_churn(seq: u64, epoch: u64, message: impl Into<String>) -> GeoError {
+    /// Convenience constructor for a mid-flight revocation abort at
+    /// executor step `step`.
+    pub fn policy_churn(seq: u64, epoch: u64, step: u64, message: impl Into<String>) -> GeoError {
         GeoError::PolicyChurn(ChurnAbort {
             seq,
             epoch,
+            step,
+            message: message.into(),
+        })
+    }
+
+    /// Convenience constructor for a stale-replica refusal.
+    pub fn catalog_stale(
+        site: Location,
+        seq: u64,
+        epoch: u64,
+        unbounded: bool,
+        message: impl Into<String>,
+    ) -> GeoError {
+        GeoError::CatalogStale(StaleReplica {
+            site,
+            seq,
+            epoch,
+            unbounded,
             message: message.into(),
         })
     }
@@ -189,6 +240,24 @@ impl GeoError {
     pub fn churn_head(&self) -> Option<(u64, u64)> {
         match self {
             GeoError::PolicyChurn(c) => Some((c.seq, c.epoch)),
+            _ => None,
+        }
+    }
+
+    /// The executor step a mid-flight revocation abort fired at, if this
+    /// error is one.
+    pub fn churn_step(&self) -> Option<u64> {
+        match self {
+            GeoError::PolicyChurn(c) => Some(c.step),
+            _ => None,
+        }
+    }
+
+    /// The lagging site a stale-replica refusal names, if this error is
+    /// one, along with whether its lag is unbounded.
+    pub fn stale_site(&self) -> Option<(&Location, bool)> {
+        match self {
+            GeoError::CatalogStale(s) => Some((&s.site, s.unbounded)),
             _ => None,
         }
     }
@@ -259,9 +328,10 @@ impl GeoError {
             | GeoError::DeadlineExceeded(m)
             | GeoError::Cancelled(m)
             | GeoError::Admission(m)
-            | GeoError::CatalogStale(m) => m,
+            | GeoError::CatalogCompacted(m) => m,
             GeoError::SiteUnavailable(u) => &u.message,
             GeoError::PolicyChurn(c) => &c.message,
+            GeoError::CatalogStale(s) => &s.message,
         }
     }
 }
@@ -308,8 +378,9 @@ mod tests {
             GeoError::DeadlineExceeded(String::new()),
             GeoError::Cancelled(String::new()),
             GeoError::Admission(String::new()),
-            GeoError::policy_churn(0, 0, String::new()),
-            GeoError::CatalogStale(String::new()),
+            GeoError::policy_churn(0, 0, 0, String::new()),
+            GeoError::catalog_stale(Location::new("L1"), 0, 0, false, String::new()),
+            GeoError::CatalogCompacted(String::new()),
         ];
         let mut kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
         kinds.sort_unstable();
@@ -375,14 +446,40 @@ mod tests {
     /// names no failed site: the failover loop must re-pin and re-plan,
     /// never exclude a healthy site.
     #[test]
-    fn policy_churn_carries_the_observed_head() {
-        let e = GeoError::policy_churn(3, 0xdead_beef, "revocation landed at seq 3");
+    fn policy_churn_carries_the_observed_head_and_step() {
+        let e = GeoError::policy_churn(3, 0xdead_beef, 7, "revocation landed at seq 3");
         assert_eq!(e.kind(), "churn");
         assert_eq!(e.churn_head(), Some((3, 0xdead_beef)));
+        assert_eq!(e.churn_step(), Some(7));
         assert_eq!(e.failed_site(), None);
         assert!(!e.is_transient());
         assert_eq!(e.message(), "revocation landed at seq 3");
-        assert_eq!(GeoError::CatalogStale(String::new()).churn_head(), None);
+        let stale = GeoError::catalog_stale(Location::new("L2"), 1, 0, false, String::new());
+        assert_eq!(stale.churn_head(), None);
+        assert_eq!(stale.churn_step(), None);
+    }
+
+    /// A stale-replica refusal names the lagging site and whether the lag
+    /// can ever clear, so the failover layer can distinguish "wait for
+    /// replication" from "route around a severed replica".
+    #[test]
+    fn catalog_stale_names_the_lagging_site() {
+        let e = GeoError::catalog_stale(Location::new("L3"), 4, 0xfeed, true, "L3 severed");
+        assert_eq!(e.kind(), "catalog-stale");
+        assert_eq!(e.stale_site(), Some((&Location::new("L3"), true)));
+        assert_eq!(e.failed_site(), None, "stale is not a crashed site");
+        assert_eq!(e.message(), "L3 severed");
+        assert_eq!(GeoError::Execution("boom".into()).stale_site(), None);
+    }
+
+    /// A compacted-prefix read is typed, never a panic or a silent head
+    /// answer — callers holding pre-floor pins must re-pin forward.
+    #[test]
+    fn compacted_reads_are_typed() {
+        let e = GeoError::CatalogCompacted("seq 2 is below the floor at seq 5".into());
+        assert_eq!(e.kind(), "catalog-compacted");
+        assert!(!e.is_transient());
+        assert_eq!(e.failed_site(), None);
     }
 
     /// Deadline and cancellation must never look like a crashed site:
@@ -394,7 +491,13 @@ mod tests {
             GeoError::DeadlineExceeded("over budget".into()),
             GeoError::Cancelled("aborted".into()),
             GeoError::Admission("tenant backlog full".into()),
-            GeoError::CatalogStale("replica behind pinned epoch".into()),
+            GeoError::catalog_stale(
+                Location::new("L2"),
+                3,
+                0,
+                false,
+                "replica behind pinned epoch",
+            ),
         ] {
             assert!(!e.is_transient());
             assert_eq!(e.failed_site(), None);

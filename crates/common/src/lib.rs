@@ -31,7 +31,7 @@ pub mod value;
 pub use churn::{CatalogPin, ChurnEvent, ChurnSignal, ChurnWatch, StaleGuard};
 pub use columnar::{Column, ColumnarBatch, SelectionVector};
 pub use control::{CancelToken, QueryDeadline, RunControl};
-pub use error::{ChurnAbort, GeoError, Result, Unavailable};
+pub use error::{ChurnAbort, GeoError, Result, StaleReplica, Unavailable};
 pub use location::{Location, LocationPattern, LocationSet};
 pub use row::{Row, Rows};
 pub use schema::{Field, Schema};

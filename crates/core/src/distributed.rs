@@ -294,6 +294,7 @@ impl SimShip<'_> {
                 return Err(GeoError::policy_churn(
                     head.seq,
                     head.epoch,
+                    edge as u64,
                     format!(
                         "policy revocation at catalog seq {} landed while SHIP \
                          {from} -> {to} was in flight under pinned seq {}",

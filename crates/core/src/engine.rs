@@ -150,6 +150,12 @@ pub struct ResilientResult {
     /// How many of those re-plans were forced by a mid-flight policy
     /// revocation (the query re-pinned to a newer catalog epoch).
     pub churn_replans: u64,
+    /// Quiesce-free grant retries: times a `NonCompliant` refusal under
+    /// the revocation's pin was answered by re-pinning forward onto a
+    /// newer grant and re-optimizing (bounded to once per epoch
+    /// advance). A completed query with `grant_retries > 0` was rescued
+    /// by a grant that landed while it was in flight.
+    pub grant_retries: u64,
     /// Sites excluded from execution traits during failover.
     pub excluded: LocationSet,
     /// The plan that finally completed (the original one when
@@ -797,6 +803,11 @@ impl Engine {
         let mut avoided: BTreeSet<(Location, Location)> = BTreeSet::new();
         let mut replans = 0usize;
         let mut churn_replans = 0u64;
+        let mut grant_retries = 0u64;
+        // The newest grant sequence a retry has already consumed: each
+        // retry must see a strictly newer grant, so a refusal retries at
+        // most once per epoch advance and can never spin.
+        let mut last_grant_retry_seq = opts.churn.as_ref().map_or(0, |c| c.pin.seq);
         let mut transfers = TransferLog::new();
         let mut first_attempt_bytes = None;
         // Live churn state: the engine and annotated plan of the *current*
@@ -822,6 +833,7 @@ impl Engine {
                         rows,
                         replans,
                         churn_replans,
+                        grant_retries,
                         excluded,
                         physical,
                         checkpoint_hits: store.hits(),
@@ -859,27 +871,54 @@ impl Engine {
                         replans += 1;
                         churn_replans += 1;
                         let old_epoch = engine.policies.epoch();
-                        let new_pin = CatalogPin::new(churn_seq, churn_epoch);
-                        let policies = churn.service.snapshot(new_pin.seq)?;
-                        let forked = self.fork_with_policies(policies);
-                        // Give the catalog plane one replication round to
-                        // chase the new head; sites still behind stay in
-                        // the stale guard and fail safe at transfer time.
-                        churn.service.sync_round();
-                        let reoptimized = forked
-                            .optimize(
+                        let abort_step = e.churn_step().unwrap_or(0);
+                        let mut new_pin = CatalogPin::new(churn_seq, churn_epoch);
+                        let (forked, reoptimized) = loop {
+                            let policies = churn.service.snapshot(new_pin.seq)?;
+                            let forked = self.fork_with_policies(policies);
+                            // Give the catalog plane one replication round
+                            // to chase the new head; sites still behind
+                            // stay in the stale guard and fail safe at
+                            // transfer time.
+                            churn.service.sync_round();
+                            match forked.optimize(
                                 &optimized.logical,
                                 OptimizerMode::Compliant,
                                 Some(optimized.result_location.clone()),
-                            )
-                            .map_err(|err| match err {
-                                GeoError::QueryRejected(m) => GeoError::NonCompliant(format!(
-                                    "no compliant placement survives the revocation at \
-                                     catalog seq {}: {m}",
-                                    new_pin.seq
-                                )),
-                                other => other,
-                            })?;
+                            ) {
+                                Ok(reopt) => break (forked, reopt),
+                                Err(GeoError::QueryRejected(m)) => {
+                                    // Quiesce-free grant retry: the query
+                                    // was refused under this pin, but a
+                                    // grant that had already landed by the
+                                    // abort step may have re-grown the
+                                    // legal set. Policies are additive
+                                    // (Definition 1 re-audits the whole
+                                    // plan below), so re-pinning forward
+                                    // is sound — and it is bounded: each
+                                    // retry must consume a strictly newer
+                                    // grant than the last.
+                                    if let Some(grant_head) = churn
+                                        .service
+                                        .signal()
+                                        .granted_since(new_pin.seq, abort_step)
+                                    {
+                                        if grant_head.seq > last_grant_retry_seq {
+                                            last_grant_retry_seq = grant_head.seq;
+                                            grant_retries += 1;
+                                            new_pin = grant_head;
+                                            continue;
+                                        }
+                                    }
+                                    return Err(GeoError::NonCompliant(format!(
+                                        "no compliant placement survives the revocation at \
+                                         catalog seq {}: {m}",
+                                        new_pin.seq
+                                    )));
+                                }
+                                Err(other) => return Err(other),
+                            }
+                        };
                         // Re-apply failure state accumulated by earlier
                         // attempts: dead sites leave the traits, condemned
                         // gray links stay priced at ∞.

@@ -46,7 +46,7 @@ pub mod rules;
 pub mod site_selector;
 
 pub use annotate::{AnnotatedNode, Annotator};
-pub use churn::{CatalogService, ChurnOpts};
+pub use churn::{CatalogHealth, CatalogService, ChurnOpts, ReplicaHealth};
 pub use compliance::{check_compliance, ship_audit_info, ship_traits, ShipAudit};
 pub use engine::{
     Engine, ExecutionResult, FailoverOpts, OptimizeStats, OptimizedQuery, OptimizerMode,

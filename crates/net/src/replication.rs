@@ -22,6 +22,11 @@ use geoqp_common::Location;
 /// weather, not its packets.
 pub const CATALOG_SYNC_SALT: u64 = 0xCA7A_7061_5F43_A106;
 
+/// Salt for snapshot-bootstrap transfers: one snapshot shipment is one
+/// coordinator→site transfer, on its own coin, distinct from both data
+/// transfers and per-entry catalog fetches at the same step.
+pub const CATALOG_SNAPSHOT_SALT: u64 = 0x5AA9_5407_B007_57A9;
+
 /// Pull-based catalog replication from one coordinator site.
 #[derive(Debug, Clone)]
 pub struct CatalogGossip {
@@ -84,6 +89,36 @@ impl CatalogGossip {
         }
         holds
     }
+
+    /// One snapshot-bootstrap attempt for `site`: the floor snapshot at
+    /// `snapshot_seq` ships as a single coordinator→site transfer judged
+    /// by the fault plan at `step`. Returns whether it got through.
+    /// Degraded links still deliver (slow, not absent), exactly like
+    /// entry pulls; crashes, partitions, and drops stall the bootstrap
+    /// until a later round.
+    pub fn pull_snapshot(
+        &self,
+        site: &Location,
+        snapshot_seq: u64,
+        faults: Option<&FaultPlan>,
+        step: u64,
+    ) -> bool {
+        if *site == self.coordinator {
+            return true;
+        }
+        match faults {
+            None => true,
+            Some(plan) => matches!(
+                plan.check_transfer_salted(
+                    &self.coordinator,
+                    site,
+                    step,
+                    CATALOG_SNAPSHOT_SALT ^ snapshot_seq,
+                ),
+                FaultVerdict::Deliver { .. } | FaultVerdict::Degraded { .. }
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +157,28 @@ mod tests {
         let plan = FaultPlan::new(7).with_crash("L2", StepWindow::new(0, u64::MAX));
         let gossip = CatalogGossip::new(loc("L1"));
         assert_eq!(gossip.pull(&loc("L2"), 1, 4, Some(&plan), 100), 1);
+    }
+
+    #[test]
+    fn snapshot_transfers_are_fault_judged_and_deterministic() {
+        let gossip = CatalogGossip::new(loc("L1"));
+        // Faultless and coordinator pulls always deliver.
+        assert!(gossip.pull_snapshot(&loc("L2"), 5, None, 0));
+        let plan = FaultPlan::new(7).with_crash("L2", StepWindow::new(0, 10));
+        assert!(gossip.pull_snapshot(&loc("L1"), 5, Some(&plan), 3));
+        // A crashed site cannot receive the snapshot until it recovers.
+        assert!(!gossip.pull_snapshot(&loc("L2"), 5, Some(&plan), 3));
+        assert!(gossip.pull_snapshot(&loc("L2"), 5, Some(&plan), 10));
+        // Flaky links judge the snapshot on its own deterministic coin.
+        let mk = || FaultPlan::parse("flaky:L1-L2:0.5", 11).unwrap();
+        let a: Vec<bool> = (0..20)
+            .map(|s| gossip.pull_snapshot(&loc("L2"), 3, Some(&mk()), s))
+            .collect();
+        let b: Vec<bool> = (0..20)
+            .map(|s| gossip.pull_snapshot(&loc("L2"), 3, Some(&mk()), s))
+            .collect();
+        assert_eq!(a, b, "seeded snapshot shipping must replay identically");
+        assert!(a.iter().any(|&d| d) && a.iter().any(|&d| !d));
     }
 
     #[test]

@@ -19,6 +19,17 @@
 //! (the attribute sets [`PolicyCatalog::register`] would compute), so
 //! replaying a log prefix needs no schema access: coordinator and replica
 //! materialize byte-identical snapshots from the same prefix.
+//!
+//! The log does not grow without bound: [`CatalogLog::compact`]
+//! materializes the live state at a sequence into a [`CatalogSnapshot`]
+//! (whose hash is *chain-anchored* — folded from the chain epoch at that
+//! sequence over the canonical live-policy lines) and truncates the
+//! prefix. Reads below the resulting **floor** return a typed
+//! `GeoError::CatalogCompacted`, never a panic and never head state. A
+//! replica that lost its state (catalog-plane crash) re-bootstraps by
+//! installing the latest snapshot — verifying the snapshot hash first —
+//! and then applying tail entries, which chain-verify from the snapshot
+//! epoch exactly as they would from the base.
 
 use crate::catalog::{PolicyCatalog, RegisteredExpression};
 use crate::expression::PolicyExpression;
@@ -96,6 +107,13 @@ impl CatalogEntry {
     pub fn is_revocation(&self) -> bool {
         matches!(self.action, CatalogAction::Revoke { .. })
     }
+
+    /// Encoded size of this entry on the replication wire: the canonical
+    /// line plus the `(seq, epoch)` header. Catalog-plane transfers are
+    /// byte-charged like any other transfer.
+    pub fn encoded_len(&self) -> u64 {
+        self.canonical().len() as u64 + 16
+    }
 }
 
 impl fmt::Display for CatalogEntry {
@@ -126,49 +144,140 @@ fn chain_epoch(prev: u64, line: &str) -> u64 {
     h
 }
 
-/// Replay `entries[..seq]` over the base catalog into a fresh snapshot
-/// pinned at `epoch`. Shared by coordinator and replica so the two can
-/// only ever disagree if the chain verification already failed.
+/// The materialized catalog at one log sequence, with a chain-anchored
+/// hash: the compaction unit and the replica-bootstrap transfer payload.
+///
+/// The hash folds the chain epoch at `seq` through the snapshot header
+/// and every canonical live-policy line, so it commits to the full log
+/// history (via the epoch) *and* the exact live state. A replica accepts
+/// a snapshot only after recomputing the hash from the received content;
+/// tail entries applied afterwards chain-verify from the snapshot epoch.
+#[derive(Debug, Clone)]
+pub struct CatalogSnapshot {
+    seq: u64,
+    epoch: u64,
+    hash: u64,
+    /// Live `(pid, expression)` state at `seq`, in grant order. Pids are
+    /// the stable log-assigned ids, *not* the dense registration ids a
+    /// materialized [`PolicyCatalog`] renumbers to.
+    live: Vec<(u64, RegisteredExpression)>,
+    next_pid: u64,
+}
+
+impl CatalogSnapshot {
+    fn build(seq: u64, epoch: u64, live: Vec<(u64, RegisteredExpression)>, next_pid: u64) -> Self {
+        let mut snap = CatalogSnapshot {
+            seq,
+            epoch,
+            hash: 0,
+            live,
+            next_pid,
+        };
+        snap.hash = snap.compute_hash();
+        snap
+    }
+
+    /// The canonical line for one live policy — same shape as a grant
+    /// entry's chain line, so the hash covers everything that affects
+    /// materialization.
+    fn line(pid: u64, e: &RegisteredExpression) -> String {
+        let csv = |s: &BTreeSet<String>| s.iter().cloned().collect::<Vec<_>>().join(",");
+        format!("{pid}:{}|{}|{}", e.expr, csv(&e.attrs), csv(&e.table_attrs))
+    }
+
+    fn compute_hash(&self) -> u64 {
+        let mut h = chain_epoch(
+            self.epoch,
+            &format!("snapshot:{}:{}", self.seq, self.next_pid),
+        );
+        for (pid, e) in &self.live {
+            h = chain_epoch(h, &Self::line(*pid, e));
+        }
+        h
+    }
+
+    /// The log sequence this snapshot materializes.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The chain epoch at that sequence.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The chain-anchored snapshot hash.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of live policies in the snapshot.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether the snapshot holds no live policies.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Recompute the hash from the carried content and compare against
+    /// the claimed one — what a bootstrapping replica does before
+    /// installing a snapshot it received over the wire.
+    pub fn verify(&self) -> bool {
+        self.hash == self.compute_hash()
+    }
+
+    /// Encoded size on the replication wire: header plus every canonical
+    /// live-policy line. Snapshot transfers are byte-charged like any
+    /// other transfer.
+    pub fn encoded_len(&self) -> u64 {
+        let lines: u64 = self
+            .live
+            .iter()
+            .map(|(pid, e)| Self::line(*pid, e).len() as u64 + 1)
+            .sum();
+        lines + 32 // seq + epoch + hash + next_pid
+    }
+
+    /// Materialize this snapshot into an epoch-pinned [`PolicyCatalog`]
+    /// (ids renumbered densely, exactly as a log replay would).
+    pub fn materialize(&self) -> PolicyCatalog {
+        let exprs = self
+            .live
+            .iter()
+            .enumerate()
+            .map(|(id, (_, e))| {
+                let mut e = e.clone();
+                e.id = id;
+                e
+            })
+            .collect();
+        let mut cat = PolicyCatalog::from_registered(exprs);
+        cat.pin_epoch(self.epoch);
+        cat
+    }
+}
+
+/// Replay `entries` up to absolute sequence `seq` over the floor
+/// snapshot into a fresh catalog pinned at `epoch`. Shared by
+/// coordinator and replica so the two can only ever disagree if the
+/// chain verification already failed. `entries[0]` must be the entry at
+/// `floor.seq() + 1`.
 fn replay(
-    base: &PolicyCatalog,
-    base_len: u64,
+    floor: &CatalogSnapshot,
     entries: &[CatalogEntry],
     seq: u64,
     epoch: u64,
 ) -> Result<PolicyCatalog> {
-    if seq > entries.len() as u64 {
+    if seq < floor.seq || seq - floor.seq > entries.len() as u64 {
         return Err(GeoError::Policy(format!(
-            "catalog log has {} entries; cannot materialize seq {seq}",
-            entries.len()
+            "catalog holds seqs {}..={}; cannot materialize seq {seq}",
+            floor.seq,
+            floor.seq + entries.len() as u64
         )));
     }
-    // Base expressions keep their registration ids as stable pids.
-    let mut live: Vec<(u64, RegisteredExpression)> = base
-        .expressions()
-        .iter()
-        .map(|e| (e.id as u64, e.clone()))
-        .collect();
-    debug_assert_eq!(live.len() as u64, base_len);
-    for entry in &entries[..seq as usize] {
-        match &entry.action {
-            CatalogAction::Grant {
-                pid,
-                expr,
-                attrs,
-                table_attrs,
-            } => live.push((
-                *pid,
-                RegisteredExpression {
-                    id: 0, // renumbered below
-                    expr: expr.clone(),
-                    attrs: attrs.clone(),
-                    table_attrs: table_attrs.clone(),
-                },
-            )),
-            CatalogAction::Revoke { pid } => live.retain(|(p, _)| p != pid),
-        }
-    }
-    let exprs = live
+    let exprs = live_state(floor, entries, seq)
         .into_iter()
         .enumerate()
         .map(|(id, (_, mut e))| {
@@ -181,31 +290,61 @@ fn replay(
     Ok(snapshot)
 }
 
-/// The pids live (granted and not yet revoked) after `entries[..seq]`.
-fn live_pids(base_len: u64, entries: &[CatalogEntry], seq: u64) -> BTreeSet<u64> {
-    let mut live: BTreeSet<u64> = (0..base_len).collect();
-    for entry in &entries[..seq as usize] {
+/// The live `(pid, expression)` state after replaying `entries` up to
+/// absolute sequence `seq` over the floor.
+fn live_state(
+    floor: &CatalogSnapshot,
+    entries: &[CatalogEntry],
+    seq: u64,
+) -> Vec<(u64, RegisteredExpression)> {
+    let mut live = floor.live.clone();
+    for entry in &entries[..(seq - floor.seq) as usize] {
         match &entry.action {
-            CatalogAction::Grant { pid, .. } => {
-                live.insert(*pid);
-            }
-            CatalogAction::Revoke { pid } => {
-                live.remove(pid);
-            }
+            CatalogAction::Grant {
+                pid,
+                expr,
+                attrs,
+                table_attrs,
+            } => live.push((
+                *pid,
+                RegisteredExpression {
+                    id: 0,
+                    expr: expr.clone(),
+                    attrs: attrs.clone(),
+                    table_attrs: table_attrs.clone(),
+                },
+            )),
+            CatalogAction::Revoke { pid } => live.retain(|(p, _)| p != pid),
         }
     }
     live
 }
 
+/// The pids live (granted and not yet revoked) at absolute sequence
+/// `seq`.
+fn live_pids(floor: &CatalogSnapshot, entries: &[CatalogEntry], seq: u64) -> BTreeSet<u64> {
+    live_state(floor, entries, seq)
+        .iter()
+        .map(|(pid, _)| *pid)
+        .collect()
+}
+
 /// The coordinator's append-only catalog log: the base catalog at
 /// sequence 0 plus every grant/revoke since, each bumping the chain
-/// epoch deterministically.
+/// epoch deterministically. Compaction replaces the oldest prefix with
+/// its materialized [`CatalogSnapshot`] (the **floor**); the entries the
+/// log retains always cover `floor.seq() + 1 ..= seq()`.
 #[derive(Debug, Clone)]
 pub struct CatalogLog {
-    base: PolicyCatalog,
-    base_epoch: u64,
+    /// The deployment's static seq-0 state — what a brand-new replica
+    /// starts from. Never moves, even after compaction.
+    base: CatalogSnapshot,
+    /// The newest compaction point (== `base` before any compaction).
+    floor: CatalogSnapshot,
+    /// Retained entries, seqs `floor.seq() + 1 ..=`.
     entries: Vec<CatalogEntry>,
     next_pid: u64,
+    compactions: u64,
 }
 
 impl CatalogLog {
@@ -215,11 +354,18 @@ impl CatalogLog {
     pub fn new(base: PolicyCatalog) -> CatalogLog {
         let base_epoch = base.content_epoch();
         let next_pid = base.len() as u64;
+        let live = base
+            .expressions()
+            .iter()
+            .map(|e| (e.id as u64, e.clone()))
+            .collect();
+        let base = CatalogSnapshot::build(0, base_epoch, live, next_pid);
         CatalogLog {
+            floor: base.clone(),
             base,
-            base_epoch,
             entries: Vec::new(),
             next_pid,
+            compactions: 0,
         }
     }
 
@@ -229,33 +375,100 @@ impl CatalogLog {
         CatalogPin::new(self.seq(), self.epoch())
     }
 
-    /// Number of appended entries.
+    /// The newest appended sequence (floor plus retained entries).
     pub fn seq(&self) -> u64 {
-        self.entries.len() as u64
+        self.floor.seq + self.entries.len() as u64
     }
 
     /// Chain epoch at the head.
     pub fn epoch(&self) -> u64 {
-        self.entries.last().map_or(self.base_epoch, |e| e.epoch)
+        self.entries.last().map_or(self.floor.epoch, |e| e.epoch)
     }
 
-    /// Chain epoch after `entries[..seq]`, if that prefix exists.
+    /// The compaction floor: the oldest sequence the log can still
+    /// reconstruct exactly. 0 until the first [`CatalogLog::compact`].
+    pub fn floor_seq(&self) -> u64 {
+        self.floor.seq
+    }
+
+    /// How many times the log has been compacted.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// The newest snapshot — the floor itself. What a bootstrapping
+    /// replica is shipped.
+    pub fn latest_snapshot(&self) -> &CatalogSnapshot {
+        &self.floor
+    }
+
+    /// Chain epoch at `seq`, if the log still holds that prefix (`None`
+    /// for sequences past the head *or* compacted below the floor).
     pub fn epoch_at(&self, seq: u64) -> Option<u64> {
-        if seq == 0 {
-            Some(self.base_epoch)
+        if seq < self.floor.seq {
+            None
+        } else if seq == self.floor.seq {
+            Some(self.floor.epoch)
         } else {
-            self.entries.get(seq as usize - 1).map(|e| e.epoch)
+            self.entries
+                .get((seq - self.floor.seq) as usize - 1)
+                .map(|e| e.epoch)
         }
     }
 
-    /// Every appended entry, in sequence order.
+    /// Every retained entry, in sequence order (compacted entries are
+    /// gone — they live on only inside the floor snapshot).
     pub fn entries(&self) -> &[CatalogEntry] {
         &self.entries
     }
 
-    /// The entries a replica at `seq` still needs, in order.
+    /// The retained entries a replica at `seq` still needs, in order. A
+    /// replica below the floor cannot catch up from entries at all: the
+    /// whole retained tail is returned, but applying it would gap — such
+    /// a replica must bootstrap from [`CatalogLog::latest_snapshot`]
+    /// first.
     pub fn entries_after(&self, seq: u64) -> &[CatalogEntry] {
-        &self.entries[(seq as usize).min(self.entries.len())..]
+        let idx = seq.saturating_sub(self.floor.seq) as usize;
+        &self.entries[idx.min(self.entries.len())..]
+    }
+
+    /// Compact the log at `seq`: materialize the live state there into a
+    /// chain-anchored snapshot, make it the new floor, and truncate every
+    /// retained entry at or below it. Reads below the new floor return
+    /// `GeoError::CatalogCompacted` from then on. Compacting at the
+    /// current floor is a no-op; compacting below it is the typed error.
+    pub fn compact(&mut self, seq: u64) -> Result<CatalogSnapshot> {
+        if seq < self.floor.seq {
+            return Err(GeoError::CatalogCompacted(format!(
+                "catalog seq {seq} is below the compaction floor at seq {}; \
+                 its exact state is no longer reconstructible",
+                self.floor.seq
+            )));
+        }
+        if seq > self.seq() {
+            return Err(GeoError::Policy(format!(
+                "catalog log head is seq {}; cannot compact at seq {seq}",
+                self.seq()
+            )));
+        }
+        if seq == self.floor.seq {
+            return Ok(self.floor.clone());
+        }
+        let epoch = self.epoch_at(seq).expect("seq bounds checked above");
+        let live = live_state(&self.floor, &self.entries, seq);
+        // The pid frontier *as of `seq`* — every grant at or below the
+        // compaction point has consumed its pid, whether still live or
+        // already revoked, so pids can never be reused across the floor.
+        let next_pid = self.floor.next_pid
+            + self.entries[..(seq - self.floor.seq) as usize]
+                .iter()
+                .filter(|e| !e.is_revocation())
+                .count() as u64;
+        let snapshot = CatalogSnapshot::build(seq, epoch, live, next_pid);
+        self.entries.drain(..(seq - self.floor.seq) as usize);
+        self.floor = snapshot.clone();
+        self.compactions += 1;
+        Ok(snapshot)
     }
 
     /// Append a grant: validate the expression against the governed
@@ -286,7 +499,7 @@ impl CatalogLog {
     /// the churn signal: a query shipping on a now-revoked edge aborts
     /// and re-plans under the new epoch.
     pub fn revoke(&mut self, pid: u64) -> Result<CatalogPin> {
-        if !live_pids(self.base.len() as u64, &self.entries, self.seq()).contains(&pid) {
+        if !live_pids(&self.floor, &self.entries, self.seq()).contains(&pid) {
             return Err(GeoError::Policy(format!(
                 "cannot revoke p{pid}: no such live policy at catalog seq {}",
                 self.seq()
@@ -308,52 +521,48 @@ impl CatalogLog {
         Ok(pin)
     }
 
-    /// Materialize the catalog as of `entries[..seq]`, pinned to that
+    /// Materialize the catalog as of sequence `seq`, pinned to that
     /// prefix's chain epoch. `seq == 0` reproduces the base catalog
-    /// (same expressions, same epoch).
+    /// (same expressions, same epoch). A sequence below the compaction
+    /// floor is gone for good and returns the typed
+    /// `GeoError::CatalogCompacted`.
     pub fn materialize(&self, seq: u64) -> Result<PolicyCatalog> {
+        if seq < self.floor.seq {
+            return Err(GeoError::CatalogCompacted(format!(
+                "catalog seq {seq} was compacted away; the oldest \
+                 reconstructible state is the floor snapshot at seq {}",
+                self.floor.seq
+            )));
+        }
         let epoch = self.epoch_at(seq).ok_or_else(|| {
             GeoError::Policy(format!(
                 "catalog log head is seq {}; cannot materialize seq {seq}",
                 self.seq()
             ))
         })?;
-        replay(
-            &self.base,
-            self.base.len() as u64,
-            &self.entries,
-            seq,
-            epoch,
-        )
+        replay(&self.floor, &self.entries, seq, epoch)
     }
 
     /// The live policies at `seq`: `(pid, display form)` pairs in pid
     /// order — the `\catalog` shell verb's listing.
     pub fn live_policies(&self, seq: u64) -> Vec<(u64, String)> {
-        let live = live_pids(self.base.len() as u64, &self.entries, seq.min(self.seq()));
-        let mut out = Vec::new();
-        for e in self.base.expressions() {
-            if live.contains(&(e.id as u64)) {
-                out.push((e.id as u64, e.expr.to_string()));
-            }
-        }
-        for entry in &self.entries[..seq.min(self.seq()) as usize] {
-            if let CatalogAction::Grant { pid, expr, .. } = &entry.action {
-                if live.contains(pid) {
-                    out.push((*pid, expr.to_string()));
-                }
-            }
-        }
+        let seq = seq.clamp(self.floor.seq, self.seq());
+        let mut out: Vec<(u64, String)> = live_state(&self.floor, &self.entries, seq)
+            .iter()
+            .map(|(pid, e)| (*pid, e.expr.to_string()))
+            .collect();
         out.sort_by_key(|(pid, _)| *pid);
         out
     }
 
-    /// A fresh replica of this log's base, at sequence 0, ready to apply
-    /// entries as the replication transport delivers them.
+    /// A fresh replica of this log's *base* (sequence 0), ready to apply
+    /// entries as the replication transport delivers them. If the log
+    /// has compacted past 0, the replica must bootstrap from
+    /// [`CatalogLog::latest_snapshot`] before entries can land.
     pub fn replica(&self) -> CatalogReplica {
         CatalogReplica {
             base: self.base.clone(),
-            base_epoch: self.base_epoch,
+            floor: self.base.clone(),
             entries: Vec::new(),
         }
     }
@@ -364,22 +573,37 @@ impl CatalogLog {
 /// Because an entry that fails verification is refused, a replica can
 /// never report an epoch it cannot reconstruct — `epoch()` always names
 /// a prefix the replica holds in full.
+///
+/// A replica's state above its static `base` is volatile: a
+/// catalog-plane crash [`CatalogReplica::wipe`]s it back to the base,
+/// after which it re-bootstraps by installing a coordinator snapshot
+/// ([`CatalogReplica::bootstrap`], which verifies the snapshot hash
+/// before accepting) and applying the retained tail entries on top.
 #[derive(Debug, Clone)]
 pub struct CatalogReplica {
-    base: PolicyCatalog,
-    base_epoch: u64,
+    /// The deployment's static seq-0 state — survives wipes.
+    base: CatalogSnapshot,
+    /// The snapshot this replica's entries replay over: the base, or an
+    /// installed (hash-verified) coordinator snapshot after a bootstrap.
+    floor: CatalogSnapshot,
     entries: Vec<CatalogEntry>,
 }
 
 impl CatalogReplica {
-    /// Number of entries applied.
+    /// The newest sequence this replica holds.
     pub fn seq(&self) -> u64 {
-        self.entries.len() as u64
+        self.floor.seq + self.entries.len() as u64
     }
 
     /// Chain epoch of the applied prefix.
     pub fn epoch(&self) -> u64 {
-        self.entries.last().map_or(self.base_epoch, |e| e.epoch)
+        self.entries.last().map_or(self.floor.epoch, |e| e.epoch)
+    }
+
+    /// The oldest sequence this replica can reconstruct: 0 until a
+    /// bootstrap installs a newer snapshot floor.
+    pub fn floor_seq(&self) -> u64 {
+        self.floor.seq
     }
 
     /// Whether this replica can prove it has seen log sequence `seq`.
@@ -410,30 +634,79 @@ impl CatalogReplica {
         Ok(())
     }
 
+    /// A catalog-plane crash: everything above the static base is lost.
+    /// The replica drops back to sequence 0 and must re-prove every
+    /// sequence from scratch — via entry replay, or a snapshot bootstrap
+    /// when the coordinator has compacted past what replay can reach.
+    pub fn wipe(&mut self) {
+        self.floor = self.base.clone();
+        self.entries.clear();
+    }
+
+    /// Install a coordinator snapshot as this replica's new floor — the
+    /// recovery path after a wipe (or for a fresh replica facing an
+    /// already-compacted log). The snapshot hash is recomputed from the
+    /// received content and verified before anything is accepted; a
+    /// snapshot older than what the replica already holds is refused
+    /// (bootstrap never rewinds). On success the replica holds exactly
+    /// `snapshot.seq()` and tail entries chain-verify from the snapshot
+    /// epoch.
+    pub fn bootstrap(&mut self, snapshot: &CatalogSnapshot) -> Result<()> {
+        if !snapshot.verify() {
+            return Err(GeoError::Policy(format!(
+                "snapshot at seq {} fails chain verification: claims hash \
+                 {:016x}, content derives {:016x}; refusing to install",
+                snapshot.seq,
+                snapshot.hash,
+                snapshot.compute_hash()
+            )));
+        }
+        if snapshot.seq < self.seq() {
+            return Err(GeoError::Policy(format!(
+                "replica at seq {} refuses to rewind onto a snapshot at \
+                 seq {}",
+                self.seq(),
+                snapshot.seq
+            )));
+        }
+        self.floor = snapshot.clone();
+        self.entries.clear();
+        Ok(())
+    }
+
     /// Materialize the replica's catalog as of `seq` — must be a prefix
-    /// the replica has applied. Byte-identical to the coordinator's
-    /// [`CatalogLog::materialize`] at the same sequence.
+    /// the replica holds. Byte-identical to the coordinator's
+    /// [`CatalogLog::materialize`] at the same sequence. A sequence
+    /// below the replica's floor was compacted away upstream and returns
+    /// the typed `GeoError::CatalogCompacted` — never a panic, and never
+    /// silently the head state.
     pub fn materialize(&self, seq: u64) -> Result<PolicyCatalog> {
-        let epoch = if seq == 0 {
-            self.base_epoch
-        } else {
+        if seq < self.floor.seq {
+            return Err(GeoError::CatalogCompacted(format!(
+                "replica's floor is the snapshot at seq {}; seq {seq} was \
+                 compacted away and cannot be materialized",
+                self.floor.seq
+            )));
+        }
+        let epoch = self.epoch_at_local(seq).ok_or_else(|| {
+            GeoError::Policy(format!(
+                "replica holds up to seq {}; cannot materialize seq {seq}",
+                self.seq()
+            ))
+        })?;
+        replay(&self.floor, &self.entries, seq, epoch)
+    }
+
+    fn epoch_at_local(&self, seq: u64) -> Option<u64> {
+        if seq == self.floor.seq {
+            Some(self.floor.epoch)
+        } else if seq > self.floor.seq {
             self.entries
-                .get(seq as usize - 1)
+                .get((seq - self.floor.seq) as usize - 1)
                 .map(|e| e.epoch)
-                .ok_or_else(|| {
-                    GeoError::Policy(format!(
-                        "replica has applied {} entries; cannot materialize seq {seq}",
-                        self.seq()
-                    ))
-                })?
-        };
-        replay(
-            &self.base,
-            self.base.len() as u64,
-            &self.entries,
-            seq,
-            epoch,
-        )
+        } else {
+            None
+        }
     }
 }
 
@@ -572,5 +845,127 @@ mod tests {
         replica.apply(&log.entries()[0]).unwrap();
         replica.apply(&log.entries()[1]).unwrap();
         assert!(replica.has_seen(2));
+    }
+
+    #[test]
+    fn compaction_truncates_the_prefix_and_keeps_the_head_reachable() {
+        let mut log = CatalogLog::new(base());
+        log.grant(expr("b"), &schema()).unwrap(); // seq 1
+        log.revoke(0).unwrap(); // seq 2
+        log.grant(expr("a"), &schema()).unwrap(); // seq 3
+        let head_bytes = log.materialize(3).unwrap().canonical_bytes();
+        let head_epoch = log.epoch();
+
+        let snap = log.compact(2).unwrap();
+        assert_eq!(snap.seq(), 2);
+        assert_eq!(snap.epoch(), log.epoch_at(2).unwrap());
+        assert!(snap.verify());
+        assert_eq!(log.floor_seq(), 2);
+        assert_eq!(log.compactions(), 1);
+        assert_eq!(log.entries().len(), 1, "only the tail survives");
+
+        // Everything at or above the floor still materializes
+        // byte-identically; the head is untouched.
+        assert_eq!(log.materialize(3).unwrap().canonical_bytes(), head_bytes);
+        assert_eq!(log.epoch(), head_epoch);
+        assert_eq!(
+            log.materialize(2).unwrap().canonical_bytes(),
+            snap.materialize().canonical_bytes()
+        );
+
+        // Reads below the floor are typed, never a panic or head state.
+        for seq in [0, 1] {
+            let err = log.materialize(seq).unwrap_err();
+            assert_eq!(err.kind(), "catalog-compacted", "seq {seq}");
+        }
+        assert_eq!(log.epoch_at(1), None);
+        assert_eq!(log.compact(1).unwrap_err().kind(), "catalog-compacted");
+
+        // Compacting at the floor is a no-op returning the same snapshot.
+        let again = log.compact(2).unwrap();
+        assert_eq!(again.hash(), snap.hash());
+        assert_eq!(log.compactions(), 1);
+
+        // Appends keep working across the floor, and pids never reuse
+        // compacted ones.
+        let pin = log.grant(expr("b"), &schema()).unwrap();
+        assert_eq!(pin.seq, 4);
+        let pids: Vec<u64> = log.live_policies(4).iter().map(|(p, _)| *p).collect();
+        assert_eq!(pids, vec![1, 2, 3], "pids 0..=2 were consumed before");
+    }
+
+    #[test]
+    fn wiped_replica_bootstraps_from_a_verified_snapshot_plus_tail() {
+        let mut log = CatalogLog::new(base());
+        log.grant(expr("b"), &schema()).unwrap();
+        log.revoke(0).unwrap();
+        log.grant(expr("a"), &schema()).unwrap();
+
+        // A replica that replayed everything from seq 0.
+        let mut from_zero = log.replica();
+        for entry in log.entries() {
+            from_zero.apply(entry).unwrap();
+        }
+
+        // Compact, then crash-wipe a second replica and bootstrap it.
+        let snap = log.compact(2).unwrap();
+        let mut wiped = log.replica();
+        wiped.wipe();
+        assert_eq!(wiped.seq(), 0, "a wipe drops back to the base");
+        wiped.bootstrap(&snap).unwrap();
+        assert_eq!(wiped.seq(), 2);
+        assert_eq!(wiped.epoch(), log.epoch_at(2).unwrap());
+        for entry in log.entries_after(wiped.seq()).to_vec() {
+            wiped.apply(&entry).unwrap();
+        }
+
+        // Byte-identical to the replay-from-zero replica at the head.
+        assert_eq!(wiped.seq(), from_zero.seq());
+        assert_eq!(wiped.epoch(), from_zero.epoch());
+        assert_eq!(
+            wiped.materialize(3).unwrap().canonical_bytes(),
+            from_zero.materialize(3).unwrap().canonical_bytes()
+        );
+
+        // The bootstrapped replica's floor is the snapshot: reads below
+        // it are typed (regression: no panic, no silent head state).
+        assert_eq!(wiped.floor_seq(), 2);
+        let err = wiped.materialize(1).unwrap_err();
+        assert_eq!(err.kind(), "catalog-compacted");
+        assert!(wiped.materialize(4).is_err(), "beyond the head refuses too");
+    }
+
+    #[test]
+    fn tampered_snapshots_are_refused_and_bootstrap_never_rewinds() {
+        let mut log = CatalogLog::new(base());
+        log.grant(expr("b"), &schema()).unwrap();
+        log.grant(expr("a"), &schema()).unwrap();
+        let snap = log.compact(2).unwrap();
+
+        let mut replica = log.replica();
+        // Tampered hash.
+        let mut forged = snap.clone();
+        forged.hash ^= 1;
+        assert!(!forged.verify());
+        assert!(replica.bootstrap(&forged).is_err());
+        assert_eq!(replica.seq(), 0, "a refused snapshot changes nothing");
+        // Tampered content under the claimed hash.
+        let mut forged = snap.clone();
+        forged.live.pop();
+        assert!(replica.bootstrap(&forged).is_err());
+        // Tampered epoch (the chain anchor).
+        let mut forged = snap.clone();
+        forged.epoch ^= 1;
+        assert!(replica.bootstrap(&forged).is_err());
+
+        // The genuine snapshot installs; an older one then refuses.
+        replica.bootstrap(&snap).unwrap();
+        assert_eq!(replica.seq(), 2);
+        let old = CatalogLog::new(base()).compact(0).unwrap();
+        assert!(
+            replica.bootstrap(&old).is_err(),
+            "bootstrap must never rewind a replica"
+        );
+        assert_eq!(replica.seq(), 2);
     }
 }

@@ -419,6 +419,7 @@ impl<'a> Runtime<'a> {
                     return Err(GeoError::policy_churn(
                         head.seq,
                         head.epoch,
+                        churn_step,
                         format!(
                             "policy revocation at catalog seq {} landed while batch {i} \
                              on SHIP {} -> {} was in flight under pinned seq {}",

@@ -171,6 +171,10 @@ pub struct QueryReply {
     /// Re-plans forced by a mid-flight policy revocation (a subset of
     /// `replans`; 0 for churn-free runs).
     pub churn_replans: u64,
+    /// Quiesce-free grant retries: refusals under the revocation's pin
+    /// answered by re-pinning forward onto a newer grant. A completed
+    /// reply with `grant_retries > 0` was rescued by an in-flight grant.
+    pub grant_retries: u64,
     /// Wall-clock submit-to-completion latency, ms (includes queueing).
     pub latency_ms: f64,
     /// Where the rows materialized.
@@ -228,6 +232,11 @@ pub struct TenantStats {
     /// Completed jobs re-run at completion time because a revocation
     /// landed after they pinned their epoch (the admission-race repair).
     pub churn_reruns: u64,
+    /// Quiesce-free grant retries summed over completed queries.
+    pub grant_retries: u64,
+    /// Completed queries that were refused under their revocation pin
+    /// and rescued by re-pinning onto an in-flight grant.
+    pub grants_rescued: u64,
     /// Median submit-to-completion latency, ms.
     pub p50_ms: f64,
     /// 99th-percentile submit-to-completion latency, ms.
@@ -283,6 +292,8 @@ struct TenantState {
     cache_misses: u64,
     replans: u64,
     churn_replans: u64,
+    grant_retries: u64,
+    grants_rescued: u64,
     latencies_ms: Vec<f64>,
 }
 
@@ -308,6 +319,8 @@ impl TenantState {
             replans: self.replans,
             churn_replans: self.churn_replans,
             churn_reruns: self.churn_reruns,
+            grant_retries: self.grant_retries,
+            grants_rescued: self.grants_rescued,
             p50_ms: percentile(&sorted, 0.50),
             p99_ms: percentile(&sorted, 0.99),
             mean_ms: mean,
@@ -477,6 +490,8 @@ impl QueryService {
             cache_misses: 0,
             replans: 0,
             churn_replans: 0,
+            grant_retries: 0,
+            grants_rescued: 0,
             latencies_ms: Vec::new(),
         });
         TenantId(st.tenants.len() - 1)
@@ -752,6 +767,10 @@ fn worker_loop(shared: &Arc<Shared>) {
                     ten.completed += 1;
                     ten.replans += reply.replans as u64;
                     ten.churn_replans += reply.churn_replans;
+                    ten.grant_retries += reply.grant_retries;
+                    if reply.grant_retries > 0 {
+                        ten.grants_rescued += 1;
+                    }
                     if reply.cached {
                         ten.cache_hits += 1;
                     } else {
@@ -827,7 +846,7 @@ fn run_job(
 
     let needs_resilient =
         request.faults.is_some() || request.deadline.is_some() || request.cancel.is_some();
-    let (rows, transfers, replans, churn_replans) = if needs_resilient {
+    let (rows, transfers, replans, churn_replans, grant_retries) = if needs_resilient {
         let faults = match &request.faults {
             Some(plan) => {
                 // Job-local clone: the fault step clock must start at 0
@@ -857,13 +876,14 @@ fn run_job(
             result.transfers,
             result.replans,
             result.churn_replans,
+            result.grant_retries,
         )
     } else if shared.columnar {
         let result = engine.execute_columnar(&optimized.physical)?;
-        (result.rows, result.transfers, 0, 0)
+        (result.rows, result.transfers, 0, 0, 0)
     } else {
         let result = engine.execute(&optimized.physical)?;
-        (result.rows, result.transfers, 0, 0)
+        (result.rows, result.transfers, 0, 0, 0)
     };
 
     Ok(QueryReply {
@@ -872,6 +892,7 @@ fn run_job(
         cached,
         replans,
         churn_replans,
+        grant_retries,
         latency_ms: 0.0, // stamped by the worker after the clock stops
         result_location: optimized.result_location.clone(),
     })

@@ -47,10 +47,17 @@ echo "==> multi-tenant service smoke: closed-loop sessions through" \
 GEOQP_SERVICE_SESSIONS="${GEOQP_SERVICE_SESSIONS:-40}" \
     cargo test -q -p geoqp-bench --release --test service_smoke
 
+echo "==> catalog replication + compaction property tests: 10k seeded" \
+     "schedules, byte-identical replicas, snapshot-bootstrap ≡ replay-from-0" \
+     "(release)"
+cargo test -q -p geoqp-policy --release --test catalog_replication
+
 echo "==> chaos soak: crash/partition + gray degrade/loss + catalog-churn" \
      "variants (fixed seeds, GEOQP_CHAOS_N=${GEOQP_CHAOS_N:-24} schedules each," \
      "odd rounds on the columnar engine; churn round layers mid-query" \
-     "revocations and catalog-plane partitions on the crash schedules)"
+     "revocations and catalog-plane partitions on the crash schedules;" \
+     "bootstrap round adds replica-crash + snapshot-bootstrap + grant-retry" \
+     "rescues with duplicate-execution determinism checks)"
 GEOQP_CHAOS_N="${GEOQP_CHAOS_N:-24}" cargo test -q --test chaos_soak -- --nocapture
 
 echo "CI OK"

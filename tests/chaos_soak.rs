@@ -41,8 +41,10 @@ fn live_threads() -> usize {
 }
 
 /// One randomized schedule: a site blackout, a link partition, a flaky
-/// link, and (half the time) a simulated-clock deadline.
-fn schedule(rng: &mut u64) -> (FaultPlan, Option<QueryDeadline>, String) {
+/// link, and (half the time) a simulated-clock deadline. Returned as the
+/// `--faults` spec plus its seed so a round can rebuild the *same*
+/// `FaultPlan` for a duplicate-execution determinism check.
+fn schedule_spec(rng: &mut u64) -> (String, u64, Option<QueryDeadline>, String) {
     let seed = splitmix(rng);
     let crash_site = SITES[(splitmix(rng) % 5) as usize];
     let crash_at = splitmix(rng) % 12;
@@ -67,11 +69,16 @@ fn schedule(rng: &mut u64) -> (FaultPlan, Option<QueryDeadline>, String) {
         crash_at + crash_len,
         part_at + part_len,
     );
-    let faults = FaultPlan::parse(&spec, seed).expect("generated spec parses");
     let label = format!(
         "seed={seed} spec=[{spec}] deadline={:?}",
         deadline.as_ref().map(|d| d.budget_ms)
     );
+    (spec, seed, deadline, label)
+}
+
+fn schedule(rng: &mut u64) -> (FaultPlan, Option<QueryDeadline>, String) {
+    let (spec, seed, deadline, label) = schedule_spec(rng);
+    let faults = FaultPlan::parse(&spec, seed).expect("generated spec parses");
     (faults, deadline, label)
 }
 
@@ -580,6 +587,265 @@ fn catalog_churn_round_stays_compliant_and_resolves_typed() {
         replanned >= 1,
         "no revocation ever caught a query in flight across {completed} completions \
          ({refused} refusals, {stale_hits} stale) — the recovery path was not exercised"
+    );
+}
+
+/// Replica-crash + bootstrap + grant round: every run revokes the *entire*
+/// live policy set (released to in-flight execution at a seeded step) and
+/// re-grants it (released at step 0), while a catalog-plane crash wipes a
+/// non-coordinator replica that must recover through the floor snapshot —
+/// auto-compaction keeps only the newest entries, so recovery cannot
+/// replay from seq 0. Invariants per run: a query the revocations refuse
+/// under its re-pinned epoch is rescued by the quiesce-free grant retry
+/// and still returns the fault-free answer through a placement the head
+/// catalog allows; the wiped replica bootstraps with zero chain-
+/// verification rejects; failures carry a typed kind; and every fourth
+/// run re-executes from identically-seeded state and must reproduce the
+/// outcome — rows, re-plan counts, and transfer bytes — exactly.
+#[test]
+fn replica_crash_bootstrap_and_grant_round_rescues_refused_queries() {
+    let n: usize = std::env::var("GEOQP_CHAOS_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let catalog = Arc::new(tpch::paper_catalog(SF));
+    tpch::populate(&catalog, SF, 7).unwrap();
+    let policies = tpch::generate_policies(&catalog, PolicyTemplate::CRA, 10, 2021).unwrap();
+    let eng = Engine::new(
+        Arc::clone(&catalog),
+        Arc::new(policies.clone()),
+        NetworkTopology::paper_wan(),
+    );
+    let coordinator = eng
+        .catalog()
+        .locations()
+        .iter()
+        .next()
+        .cloned()
+        .expect("the paper catalog has sites");
+    let crash_site = SITES
+        .iter()
+        .map(|s| Location::new(*s))
+        .find(|s| *s != coordinator)
+        .expect("a non-coordinator site exists");
+
+    let mut rng = 0x626f_6f74_7374_7261u64; // fixed bootstrap-soak seed
+    let before = live_threads();
+    let (mut completed, mut rescued, mut refused) = (0usize, 0usize, 0usize);
+    let (mut wipes, mut bootstraps, mut chain_rejects) = (0u64, 0u64, 0u64);
+    let mut determinism_checks = 0usize;
+    let mut run_idx = 0u64;
+    for round in 0..n {
+        let config = RuntimeConfig {
+            columnar: round % 2 == 1,
+            ..RuntimeConfig::default()
+        };
+        for query in QUERIES {
+            let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+            let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) else {
+                continue;
+            };
+            let baseline = eng.execute_parallel(&opt.physical).unwrap();
+            let (spec, fseed, deadline, label) = schedule_spec(&mut rng);
+            let revoke_step = run_idx % 6;
+            let crash_seed = splitmix(&mut rng);
+
+            // Build the catalog service from identical seeded state: revoke
+            // every live policy, re-grant it, keep only the newest entries
+            // (so the floor snapshot is the only recovery path), and crash
+            // the chosen replica's catalog plane over the first two steps.
+            let build_svc = || {
+                let svc = CatalogService::new(
+                    Arc::clone(eng.catalog()),
+                    policies.clone(),
+                    coordinator.clone(),
+                );
+                let live = svc.live_policies();
+                let svc = svc.with_auto_compact(live.len() as u64);
+                let mut events = Vec::new();
+                for (pid, _) in &live {
+                    let rev = svc.revoke(*pid).expect("live pid revokes");
+                    events.push(ChurnEvent {
+                        step: revoke_step,
+                        seq: rev.seq,
+                        epoch: rev.epoch,
+                        revocation: true,
+                    });
+                }
+                for (_, display) in &live {
+                    let expr =
+                        geoqp::parser::parse_policy(display).expect("live policies re-parse");
+                    let grant = svc.grant(expr).expect("re-grant lands");
+                    events.push(ChurnEvent {
+                        step: 0,
+                        seq: grant.seq,
+                        epoch: grant.epoch,
+                        revocation: false,
+                    });
+                }
+                let svc = svc.with_planned(events).with_faults(
+                    FaultPlan::new(crash_seed)
+                        .with_crash(crash_site.clone(), StepWindow::new(0, 2)),
+                );
+                svc.sync_full();
+                Arc::new(svc)
+            };
+            let run = |svc: &Arc<CatalogService>, faults: &FaultPlan| {
+                let retry = RetryPolicy::default().with_jitter(0.3, 2021);
+                let opts = FailoverOpts {
+                    deadline,
+                    ..FailoverOpts::new(SITES.len())
+                        .with_churn(Arc::clone(svc), CatalogPin::new(0, eng.policies().epoch()))
+                };
+                eng.execute_resilient_parallel_opts(&opt, faults, &retry, &opts, &config)
+            };
+            let outcome = |r: &Result<(ResilientResult, RuntimeMetrics)>| match r {
+                Ok((res, _)) => {
+                    let mut rows: Vec<String> = res.rows.iter().map(|r| format!("{r:?}")).collect();
+                    rows.sort();
+                    format!(
+                        "ok replans={} churn={} retries={} bytes={} rows={rows:?}",
+                        res.replans,
+                        res.churn_replans,
+                        res.grant_retries,
+                        res.transfers.total_bytes()
+                    )
+                }
+                Err(e) => format!("err kind={} msg={e}", e.kind()),
+            };
+
+            let svc = build_svc();
+            let synced = svc.health();
+            let faults = FaultPlan::parse(&spec, fseed).expect("spec re-parses");
+            let result = run(&svc, &faults);
+
+            // Every fourth run replays from identically-seeded state; the
+            // outcome — rows, re-plan counts, transfer bytes — must be
+            // byte-identical.
+            if run_idx.is_multiple_of(4) {
+                let twin_svc = build_svc();
+                let twin_faults = FaultPlan::parse(&spec, fseed).expect("spec re-parses");
+                let twin = run(&twin_svc, &twin_faults);
+                assert_eq!(
+                    outcome(&result),
+                    outcome(&twin),
+                    "round {round} {query} [{label}]: identically-seeded reruns diverged"
+                );
+                determinism_checks += 1;
+            }
+
+            // Heal the catalog plane: step 1 is inside the crash window
+            // (the replica wipes), step 2 is past it (the replica must
+            // re-bootstrap from the floor snapshot — replay from seq 0 is
+            // impossible, compaction truncated the prefix).
+            svc.sync_at(1);
+            svc.sync_at(2);
+            let health = svc.health();
+            assert!(
+                health.bootstraps > synced.bootstraps,
+                "round {round} {query} [{label}]: the crashed replica never \
+                 bootstrapped from the floor snapshot"
+            );
+            wipes += health.wipes;
+            bootstraps += health.bootstraps - synced.bootstraps;
+            chain_rejects += health.chain_rejects;
+
+            match &result {
+                Ok((res, _)) => {
+                    completed += 1;
+                    let mut got: Vec<String> = res.rows.iter().map(|r| format!("{r:?}")).collect();
+                    let mut want: Vec<String> =
+                        baseline.rows.iter().map(|r| format!("{r:?}")).collect();
+                    got.sort();
+                    want.sort();
+                    assert_eq!(
+                        got, want,
+                        "round {round} {query} [{label}] revoke-all@{revoke_step}: \
+                         the grant round changed the answer"
+                    );
+                    if res.churn_replans > 0 {
+                        // The revocations emptied the live set, so a churn
+                        // re-plan can only have completed through the grant
+                        // retry: refused under the revocation pin, rescued
+                        // under the head where the re-grants live.
+                        assert!(
+                            res.grant_retries > 0,
+                            "round {round} {query} [{label}]: a re-plan under the \
+                             empty revocation pin completed without a grant retry"
+                        );
+                        rescued += 1;
+                        let head = eng.fork_with_policies(svc.snapshot(svc.head().seq).unwrap());
+                        head.audit(&res.physical).unwrap_or_else(|e| {
+                            panic!(
+                                "round {round} {query} [{label}]: a rescued query \
+                                 landed on a placement the head catalog forbids: {e}"
+                            )
+                        });
+                    } else {
+                        eng.audit(&res.physical).unwrap_or_else(|e| {
+                            panic!(
+                                "round {round} {query} [{label}]: completed through a \
+                                 non-compliant placement: {e}"
+                            )
+                        });
+                    }
+                }
+                Err(e) => {
+                    refused += 1;
+                    assert!(
+                        matches!(
+                            e.kind(),
+                            "rejected"
+                                | "unavailable"
+                                | "deadline"
+                                | "cancelled"
+                                | "non-compliant"
+                                | "catalog-stale"
+                                | "churn"
+                        ),
+                        "round {round} {query} [{label}] revoke-all@{revoke_step}: \
+                         untyped failure {e}"
+                    );
+                }
+            }
+            run_idx += 1;
+        }
+    }
+    let mut after = live_threads();
+    for _ in 0..50 {
+        if after <= before {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        after = live_threads();
+    }
+    assert!(
+        after <= before + 4,
+        "{before} threads before the bootstrap soak, {after} after — fragment workers leaked"
+    );
+    assert!(
+        completed >= 1,
+        "the bootstrap soak never completed a single run ({refused} refusals) — \
+         schedules too harsh"
+    );
+    assert!(
+        rescued >= 1,
+        "no refused query was ever rescued by a grant retry across {completed} \
+         completions ({refused} refusals) — the recovery path was not exercised"
+    );
+    assert!(
+        wipes >= 1 && bootstraps >= 1,
+        "the catalog-plane crash never cost a replica its state \
+         ({wipes} wipes, {bootstraps} bootstraps)"
+    );
+    assert_eq!(
+        chain_rejects, 0,
+        "a replica accepted state only after failing chain verification {chain_rejects} \
+         time(s) — the bootstrap path has a verification bypass"
+    );
+    assert!(
+        determinism_checks >= 1,
+        "the duplicate-execution determinism check never ran"
     );
 }
 

@@ -424,6 +424,28 @@ fn scaleup_figure(kernel_runs: usize) {
     }
 
     header(&format!(
+        "Extension E13: morsel-driven intra-fragment parallelism \
+         ({} workers/site, {}-row morsels, modeled end-to-end ms)",
+        scaleup::SCALEUP_WORKERS,
+        scaleup::SCALEUP_MORSEL_ROWS
+    ));
+    println!(
+        "  {:6} {:>10} {:>12} {:>12} {:>9} {:>10}",
+        "query", "makespan", "w=1 ms", "w=4 ms", "speedup", "identical"
+    );
+    for r in &rows {
+        println!(
+            "  {:6} {:>9.1}% {:>12.2} {:>12.2} {:>8.2}x {:>10}",
+            r.query,
+            r.makespan_fraction_w * 100.0,
+            r.endtoend_w1_ms(),
+            r.endtoend_w_ms(),
+            r.intra_speedup(),
+            if r.workers_identical { "yes" } else { "NO" }
+        );
+    }
+
+    header(&format!(
         "Extension E9: kernel microbenchmarks (best of {kernel_runs}, SF 0.01)"
     ));
     println!(
@@ -452,6 +474,22 @@ fn scaleup_figure(kernel_runs: usize) {
             k.speedup(),
             if k.rows_match { "yes" } else { "NO" }
         );
+        for m in &k.morsel {
+            println!(
+                "  {:14} {:>9} workers: makespan {:>5.1}%, modeled {:>8.2} ms, \
+                 wall {:>8.2} ms, rows {}",
+                "",
+                m.workers,
+                m.makespan_fraction * 100.0,
+                m.modeled_ms,
+                m.wall_ms,
+                if m.rows_match {
+                    "identical"
+                } else {
+                    "DIVERGED"
+                }
+            );
+        }
     }
     let json = kernels::to_json(&kernel_rows, SEED);
     match std::fs::write("BENCH_kernels.json", &json) {

@@ -11,13 +11,42 @@
 
 use crate::experiments::setup::{engine_with_policies, EXEC_SF};
 use geoqp_common::{DataType, Field, Location, Schema, TableRef};
-use geoqp_core::{Engine, ExecutionResult};
+use geoqp_core::{Engine, ExecutionResult, ParallelResult, RuntimeConfig};
+use geoqp_exec::RetryPolicy;
 use geoqp_expr::{AggCall, AggFunc, ScalarExpr};
 use geoqp_plan::{PhysOp, PhysicalPlan};
 use geoqp_policy::PolicyCatalog;
 use geoqp_tpch::schema::schema_of;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Worker counts swept by the morsel benchmark.
+pub const MORSEL_WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Rows per morsel used by the sweep (small enough that the 60k-row
+/// kernels split into tens of morsels).
+pub const MORSEL_SWEEP_ROWS: usize = 1024;
+
+/// One worker count's measurement of a kernel under morsel dispatch.
+#[derive(Debug)]
+pub struct MorselPoint {
+    /// Workers per site (`1` = inline serial kernels).
+    pub workers: usize,
+    /// Best-of-N real wall clock through the parallel runtime, ms.
+    /// Meaningful only on a multi-core host; on a core-starved CI box
+    /// threads time-slice one core and this stays flat (or regresses
+    /// slightly from dispatch overhead).
+    pub wall_ms: f64,
+    /// `makespan_morsels / morsels` over the run's site pools: the
+    /// deterministic modeled fraction of serial kernel CPU on the
+    /// critical worker under perfect stealing. `1.0` at one worker.
+    pub makespan_fraction: f64,
+    /// `columnar_ms × makespan_fraction`: the modeled kernel CPU time
+    /// at this worker count.
+    pub modeled_ms: f64,
+    /// Rows and shipped bytes identical to the one-worker run.
+    pub rows_match: bool,
+}
 
 /// One kernel's row-vs-columnar comparison.
 #[derive(Debug)]
@@ -35,6 +64,8 @@ pub struct KernelBench {
     /// Whether the two engines returned identical rows and shipped
     /// identical bytes.
     pub rows_match: bool,
+    /// Morsel-parallel sweep over [`MORSEL_WORKER_SWEEP`].
+    pub morsel: Vec<MorselPoint>,
 }
 
 impl KernelBench {
@@ -173,6 +204,50 @@ fn best_of(runs: usize, mut f: impl FnMut() -> ExecutionResult) -> (ExecutionRes
     (last.expect("at least one run"), best)
 }
 
+/// Best-of-`runs` wall clock through the parallel runtime at `workers`
+/// morsel workers per site, plus the last result.
+fn best_of_parallel(
+    engine: &Engine,
+    plan: &Arc<PhysicalPlan>,
+    workers: usize,
+    runs: usize,
+) -> (ParallelResult, f64) {
+    let config = RuntimeConfig {
+        columnar: true,
+        workers_per_site: workers,
+        morsel_rows: MORSEL_SWEEP_ROWS,
+        ..RuntimeConfig::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs.max(1) {
+        let t = Instant::now();
+        let r = engine
+            .execute_parallel_opts(plan, None, &RetryPolicy::none(), &config)
+            .expect("parallel execute");
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (last.expect("at least one run"), best)
+}
+
+/// The run's pooled `makespan_morsels / morsels` over all sites, `1.0`
+/// when nothing was dispatched (one worker, or no kernels split).
+fn makespan_fraction(result: &ParallelResult) -> f64 {
+    let morsels: u64 = result.metrics.sites.values().map(|m| m.pool.morsels).sum();
+    let makespan: u64 = result
+        .metrics
+        .sites
+        .values()
+        .map(|m| m.pool.makespan_morsels)
+        .sum();
+    if morsels > 0 {
+        makespan as f64 / morsels as f64
+    } else {
+        1.0
+    }
+}
+
 fn bench_kernel(
     engine: &Engine,
     kernel: &'static str,
@@ -186,6 +261,38 @@ fn bench_kernel(
     });
     let rows_match =
         row.rows == col.rows && row.transfers.total_bytes() == col.transfers.total_bytes();
+
+    // Morsel sweep: same plan through the parallel runtime at 1/2/4/8
+    // workers per site. Rows and bytes must be identical at every
+    // point; the modeled time applies the deterministic makespan
+    // fraction to the measured serial columnar CPU.
+    let mut morsel = Vec::new();
+    let mut baseline: Option<ParallelResult> = None;
+    for workers in MORSEL_WORKER_SWEEP {
+        let (run, wall_ms) = best_of_parallel(engine, plan, workers, runs);
+        let fraction = makespan_fraction(&run);
+        // The one-worker run anchors the sweep: later worker counts
+        // must reproduce its rows and transfer log bit-for-bit. Against
+        // the row engine only cardinality and bytes are compared (the
+        // runtimes may interleave exchange streams differently).
+        let rows_match = match &baseline {
+            None => {
+                let identical = run.rows.len() == row.rows.len()
+                    && run.transfers.total_bytes() == row.transfers.total_bytes();
+                baseline = Some(run);
+                identical
+            }
+            Some(base) => run.rows == base.rows && run.transfers == base.transfers,
+        };
+        morsel.push(MorselPoint {
+            workers,
+            wall_ms,
+            makespan_fraction: fraction,
+            modeled_ms: columnar_ms * fraction,
+            rows_match,
+        });
+    }
+
     KernelBench {
         kernel,
         input_rows,
@@ -193,16 +300,32 @@ fn bench_kernel(
         row_ms,
         columnar_ms,
         rows_match,
+        morsel,
     }
 }
 
 /// Run the three kernel microbenchmarks over a populated Table 2
-/// deployment (no policies — the kernels measure execution, not
-/// optimization).
+/// deployment. The kernels measure execution, not optimization, so the
+/// only policy registered is the one grant the hand-built join plan
+/// needs: the parallel runtime's per-batch Definition-1 audit must see
+/// the `orders` SHIP into L4 as legal, or the sweep would be rejected
+/// before it runs a single morsel.
 pub fn measure(seed: u64, runs: usize) -> Vec<KernelBench> {
     let catalog = Arc::new(geoqp_tpch::paper_catalog(EXEC_SF));
     geoqp_tpch::populate(&catalog, EXEC_SF, seed).expect("populate");
-    let engine = engine_with_policies(Arc::clone(&catalog), PolicyCatalog::new());
+    let mut policies = PolicyCatalog::new();
+    let orders_schema = catalog
+        .resolve_one(&TableRef::bare("orders"))
+        .expect("orders")
+        .schema
+        .clone();
+    policies
+        .register(
+            geoqp_parser::parse_policy("ship * from orders to L4").expect("grant"),
+            &orders_schema,
+        )
+        .expect("register grant");
+    let engine = engine_with_policies(Arc::clone(&catalog), policies);
 
     let rows_of = |t: &str| -> usize {
         catalog
@@ -246,7 +369,20 @@ pub fn to_json(rows: &[KernelBench], seed: u64) -> String {
             r.columnar_rows_per_sec()
         ));
         s.push_str(&format!("\"speedup\": {:.2}, ", r.speedup()));
-        s.push_str(&format!("\"rows_match\": {}", r.rows_match));
+        s.push_str(&format!("\"rows_match\": {}, ", r.rows_match));
+        s.push_str("\"morsel\": [");
+        for (j, m) in r.morsel.iter().enumerate() {
+            s.push_str(&format!(
+                "{{\"workers\": {}, \"wall_ms\": {:.3}, \
+                 \"makespan_fraction\": {:.4}, \"modeled_ms\": {:.3}, \
+                 \"rows_match\": {}}}",
+                m.workers, m.wall_ms, m.makespan_fraction, m.modeled_ms, m.rows_match
+            ));
+            if j + 1 < r.morsel.len() {
+                s.push_str(", ");
+            }
+        }
+        s.push(']');
         s.push('}');
         if i + 1 < rows.len() {
             s.push(',');
@@ -269,9 +405,34 @@ mod tests {
             assert!(r.rows_match, "{}: engines diverged", r.kernel);
             assert!(r.output_rows > 0, "{}: produced no rows", r.kernel);
             assert!(r.row_ms.is_finite() && r.columnar_ms.is_finite());
+            assert_eq!(r.morsel.len(), MORSEL_WORKER_SWEEP.len());
+            for m in &r.morsel {
+                assert!(
+                    m.rows_match,
+                    "{} at {} workers diverged from one worker",
+                    r.kernel, m.workers
+                );
+                assert!(m.makespan_fraction > 0.0 && m.makespan_fraction <= 1.0);
+            }
+            // More workers never increase the modeled makespan, and the
+            // 60k-row kernels genuinely split (fraction < 1 beyond one
+            // worker).
+            for pair in r.morsel.windows(2) {
+                assert!(
+                    pair[1].makespan_fraction <= pair[0].makespan_fraction + 1e-12,
+                    "{}: fraction not monotone over workers",
+                    r.kernel
+                );
+            }
+            assert!(
+                r.morsel.last().unwrap().makespan_fraction < 1.0,
+                "{}: no intra-fragment parallelism surfaced",
+                r.kernel
+            );
         }
         let json = to_json(&rows, 2021);
         assert!(json.contains("\"kernel\": \"hash_join\""));
         assert!(json.contains("\"rows_match\": true"));
+        assert!(json.contains("\"makespan_fraction\""));
     }
 }

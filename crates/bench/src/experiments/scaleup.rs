@@ -12,10 +12,18 @@
 
 use crate::experiments::setup::{engine_with_policies, EXEC_SF};
 use geoqp_common::Rows;
-use geoqp_core::OptimizerMode;
+use geoqp_core::{OptimizerMode, RuntimeConfig};
+use geoqp_exec::RetryPolicy;
 use geoqp_tpch::policy_gen::{generate_policies, PolicyTemplate};
 use geoqp_tpch::queries::all_queries;
 use std::sync::Arc;
+
+/// Workers per site for the intra-fragment (morsel) column.
+pub const SCALEUP_WORKERS: usize = 4;
+
+/// Rows per morsel for the scale-up runs: small enough that the
+/// SF 0.01 fragments split into many morsels.
+pub const SCALEUP_MORSEL_ROWS: usize = 256;
 
 /// One query's sequential-vs-pipelined comparison.
 #[derive(Debug)]
@@ -46,6 +54,13 @@ pub struct ScaleupRow {
     /// Whether the columnar engine returned exactly the sequential
     /// engine's rows and shipped exactly its bytes.
     pub columnar_identical: bool,
+    /// Deterministic makespan fraction at [`SCALEUP_WORKERS`] morsel
+    /// workers per site: `Σ makespan_morsels / Σ morsels` over the
+    /// run's site pools (`1.0` when no kernel split).
+    pub makespan_fraction_w: f64,
+    /// Whether the [`SCALEUP_WORKERS`]-worker run reproduced the
+    /// one-worker run's rows and transfer log bit-for-bit.
+    pub workers_identical: bool,
 }
 
 impl ScaleupRow {
@@ -53,6 +68,30 @@ impl ScaleupRow {
     pub fn cpu_speedup(&self) -> f64 {
         if self.columnar_cpu_ms > 0.0 {
             self.row_cpu_ms / self.columnar_cpu_ms
+        } else {
+            1.0
+        }
+    }
+
+    /// Modeled end-to-end completion at one morsel worker: pipelined
+    /// network critical path plus serial columnar kernel CPU.
+    pub fn endtoend_w1_ms(&self) -> f64 {
+        self.parallel_ms + self.columnar_cpu_ms
+    }
+
+    /// Modeled end-to-end completion at [`SCALEUP_WORKERS`] workers:
+    /// the kernel CPU term shrinks by the deterministic makespan
+    /// fraction; the network critical path is worker-invariant.
+    pub fn endtoend_w_ms(&self) -> f64 {
+        self.parallel_ms + self.columnar_cpu_ms * self.makespan_fraction_w
+    }
+
+    /// `endtoend_w1_ms / endtoend_w_ms` (>1 = intra-fragment
+    /// parallelism shortens the modeled completion).
+    pub fn intra_speedup(&self) -> f64 {
+        let w = self.endtoend_w_ms();
+        if w > 0.0 {
+            self.endtoend_w1_ms() / w
         } else {
             1.0
         }
@@ -122,6 +161,39 @@ pub fn measure(seed: u64) -> Vec<ScaleupRow> {
         });
         let columnar_identical = row_run.rows == col_run.rows
             && row_run.transfers.total_bytes() == col_run.transfers.total_bytes();
+
+        // Intra-fragment morsel parallelism: the same plan through the
+        // columnar parallel runtime at 1 and SCALEUP_WORKERS workers
+        // per site. Results and transfer logs must be bit-identical;
+        // what changes is the deterministic makespan fraction the
+        // worker pools report.
+        let run_workers = |workers: usize| {
+            let config = RuntimeConfig {
+                columnar: true,
+                workers_per_site: workers,
+                morsel_rows: SCALEUP_MORSEL_ROWS,
+                ..RuntimeConfig::default()
+            };
+            engine
+                .execute_parallel_opts(&optimized.physical, None, &RetryPolicy::none(), &config)
+                .expect("parallel columnar")
+        };
+        let one = run_workers(1);
+        let many = run_workers(SCALEUP_WORKERS);
+        let workers_identical = one.rows == many.rows && one.transfers == many.transfers;
+        let pool_morsels: u64 = many.metrics.sites.values().map(|m| m.pool.morsels).sum();
+        let pool_makespan: u64 = many
+            .metrics
+            .sites
+            .values()
+            .map(|m| m.pool.makespan_morsels)
+            .sum();
+        let makespan_fraction_w = if pool_morsels > 0 {
+            pool_makespan as f64 / pool_morsels as f64
+        } else {
+            1.0
+        };
+
         out.push(ScaleupRow {
             query,
             ship_edges: optimized.physical.ship_count(),
@@ -139,6 +211,8 @@ pub fn measure(seed: u64) -> Vec<ScaleupRow> {
             row_cpu_ms,
             columnar_cpu_ms,
             columnar_identical,
+            makespan_fraction_w,
+            workers_identical,
         });
     }
     out
@@ -178,6 +252,22 @@ mod tests {
             rows.iter()
                 .any(|r| r.ship_edges >= 2 && r.speedup > 1.0 + 1e-9),
             "no multi-site query beat the sequential runtime: {rows:?}"
+        );
+        // Morsel workers never perturb results, and at least one query's
+        // kernels genuinely split (modeled end-to-end improves at
+        // SCALEUP_WORKERS workers).
+        for r in &rows {
+            assert!(
+                r.workers_identical,
+                "{}: {SCALEUP_WORKERS}-worker run diverged from one worker",
+                r.query
+            );
+            assert!(r.makespan_fraction_w > 0.0 && r.makespan_fraction_w <= 1.0);
+            assert!(r.endtoend_w_ms() <= r.endtoend_w1_ms() + 1e-9);
+        }
+        assert!(
+            rows.iter().any(|r| r.intra_speedup() > 1.0 + 1e-9),
+            "no query's modeled completion improved with morsel workers: {rows:?}"
         );
     }
 }

@@ -31,6 +31,8 @@ pub struct Shell {
     mode: OptimizerMode,
     runtime: RuntimeMode,
     columnar: bool,
+    /// Morsel workers per site for columnar parallel-runtime queries.
+    workers: usize,
     result_location: Option<Location>,
     faults: Option<FaultPlan>,
     last_metrics: Option<RuntimeMetrics>,
@@ -60,6 +62,7 @@ impl Shell {
             mode: OptimizerMode::Compliant,
             runtime: RuntimeMode::Sequential,
             columnar: false,
+            workers: 1,
             result_location: None,
             faults: None,
             last_metrics: None,
@@ -173,6 +176,21 @@ impl Shell {
                     }
                 };
                 Ok(format!("columnar: {arg}\n"))
+            }
+            "workers" => {
+                if arg.is_empty() {
+                    return Ok(format!("workers: {}\n", self.workers));
+                }
+                let n: usize = arg.parse().map_err(|_| {
+                    GeoError::Execution(format!("bad worker count `{arg}` (positive integer)"))
+                })?;
+                if n == 0 {
+                    return Err(GeoError::Execution(
+                        "bad worker count `0` (positive integer)".into(),
+                    ));
+                }
+                self.workers = n;
+                Ok(format!("workers: {n}\n"))
             }
             "metrics" => {
                 let mut out = match &self.last_metrics {
@@ -636,6 +654,7 @@ impl Shell {
             cancel: Some(self.cancel.clone()),
             hedge: self.hedge.clone(),
             columnar: self.columnar,
+            workers_per_site: self.workers,
             // Every controlled query pins the catalog head at admission;
             // a mid-flight revocation re-plans it under the new epoch.
             churn: self.churn.as_ref().map(|svc| ChurnOpts {
@@ -1042,6 +1061,7 @@ impl Shell {
         let optimized = eng.optimize_sql(sql, self.mode, self.result_location.clone())?;
         let config = RuntimeConfig {
             columnar: self.columnar,
+            workers_per_site: self.workers,
             ..RuntimeConfig::default()
         };
         let result =
@@ -1121,6 +1141,7 @@ commands:
   \\runtime parallel|sequential
                             choose the execution runtime (default sequential)
   \\columnar on|off          run queries on the vectorized columnar engine
+  \\workers [n]              morsel workers per site (columnar parallel runtime)
                             (same rows, bytes, and audits; faster CPU path)
   \\metrics                  per-site/per-edge metrics of the last parallel
                             query, plus policy-memo hit/miss counters
@@ -1485,6 +1506,43 @@ mod tests {
         assert_eq!(sh.run_command("\\columnar").unwrap(), "columnar: on\n");
         sh.run_command("\\columnar off").unwrap();
         assert!(sh.run_command("\\columnar sideways").is_err());
+    }
+
+    #[test]
+    fn worker_count_is_invisible_in_session_output() {
+        let sql = "SELECT c_name, SUM(o_totprice) AS total FROM customer, orders \
+                   WHERE c_custkey = o_custkey GROUP BY c_name ORDER BY c_name";
+        let run = |commands: &[&str]| {
+            let mut sh = Shell::new();
+            sh.run_command("\\demo carco").unwrap();
+            for c in commands {
+                sh.run_command(c).unwrap();
+            }
+            sh.run_command(sql).unwrap()
+        };
+        // Morsel workers change CPU scheduling only: the rendered rows,
+        // transfer counts, bytes, and audit verdict are identical.
+        let one = run(&["\\runtime parallel", "\\columnar on"]);
+        let four = run(&["\\runtime parallel", "\\columnar on", "\\workers 4"]);
+        assert!(four.contains("plan compliant"), "{four}");
+        assert_eq!(four, one);
+        // The resilient (faulted) path is worker-invariant too.
+        let flt_one = run(&["\\faults seed=7; crash:A@0..2", "\\columnar on"]);
+        let flt_four = run(&[
+            "\\faults seed=7; crash:A@0..2",
+            "\\columnar on",
+            "\\workers 4",
+        ]);
+        assert_eq!(flt_four, flt_one);
+
+        // The knob round-trips and rejects junk.
+        let mut sh = Shell::new();
+        sh.run_command("\\demo carco").unwrap();
+        assert_eq!(sh.run_command("\\workers").unwrap(), "workers: 1\n");
+        assert_eq!(sh.run_command("\\workers 4").unwrap(), "workers: 4\n");
+        assert_eq!(sh.run_command("\\workers").unwrap(), "workers: 4\n");
+        assert!(sh.run_command("\\workers 0").is_err());
+        assert!(sh.run_command("\\workers many").is_err());
     }
 
     #[test]

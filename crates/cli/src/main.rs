@@ -10,6 +10,8 @@
 //! ... -- --demo tpch --runtime parallel
 //! # run queries on the vectorized columnar engine:
 //! ... -- --demo tpch --columnar
+//! # morsel-parallel kernels: 4 workers per site (implies --columnar):
+//! ... -- --demo tpch --runtime parallel --columnar --workers 4
 //! # give every query a simulated-clock completion budget:
 //! ... -- --demo tpch --deadline-ms 500
 //! # defend against gray failures with hedged backup transfers:
@@ -55,6 +57,16 @@ fn main() {
     }
     if args.iter().any(|a| a == "--columnar") {
         match shell.run_command("\\columnar on") {
+            Ok(out) => print!("{out}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+    {
+        match shell.run_command(&format!("\\workers {n}")) {
             Ok(out) => print!("{out}"),
             Err(e) => eprintln!("error: {e}"),
         }

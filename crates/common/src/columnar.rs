@@ -399,6 +399,119 @@ impl Column {
         }
     }
 
+    /// Vectorized [`Column::fingerprint_at`] fold for join/group keys:
+    /// mixes this column's per-row fingerprints into the running key
+    /// fingerprints `h`, clearing `live[i]` where the row is NULL (NULL
+    /// keys never join, so their mixed value is irrelevant). One column
+    /// -type dispatch per column instead of one per cell.
+    pub fn fold_key_fingerprints(&self, h: &mut [u64], live: &mut [bool]) {
+        match self {
+            Column::Int64 { values, valid } => {
+                for i in 0..values.len() {
+                    if valid[i] {
+                        h[i] = mix_fingerprint(h[i], FP_NUM ^ (values[i] as f64).to_bits());
+                    } else {
+                        live[i] = false;
+                    }
+                }
+            }
+            Column::Float64 { values, valid } => {
+                for i in 0..values.len() {
+                    if valid[i] {
+                        h[i] = mix_fingerprint(h[i], FP_NUM ^ values[i].to_bits());
+                    } else {
+                        live[i] = false;
+                    }
+                }
+            }
+            Column::Date { values, valid } => {
+                for i in 0..values.len() {
+                    if valid[i] {
+                        h[i] = mix_fingerprint(h[i], FP_DATE ^ (values[i] as i64 as u64));
+                    } else {
+                        live[i] = false;
+                    }
+                }
+            }
+            Column::Bool { values, valid } => {
+                for i in 0..values.len() {
+                    if valid[i] {
+                        h[i] = mix_fingerprint(h[i], FP_BOOL ^ (values[i] as u64));
+                    } else {
+                        live[i] = false;
+                    }
+                }
+            }
+            Column::Str {
+                hashes,
+                codes,
+                valid,
+                ..
+            } => {
+                for i in 0..codes.len() {
+                    if valid[i] {
+                        h[i] = mix_fingerprint(h[i], FP_STR ^ hashes[codes[i] as usize]);
+                    } else {
+                        live[i] = false;
+                    }
+                }
+            }
+            Column::Any { values } => {
+                for (i, v) in values.iter().enumerate() {
+                    if v.is_null() {
+                        live[i] = false;
+                    } else {
+                        h[i] = mix_fingerprint(h[i], value_fingerprint(v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Push this column's values onto `rows` (one value per row, in row
+    /// order) — the column-wise leg of [`ColumnarBatch::to_rows`], with
+    /// the variant dispatch hoisted out of the per-cell loop.
+    pub fn append_rows(&self, rows: &mut [Row]) {
+        match self {
+            Column::Int64 { values, valid } => {
+                for ((row, &v), &ok) in rows.iter_mut().zip(values).zip(valid) {
+                    row.push(if ok { Value::Int64(v) } else { Value::Null });
+                }
+            }
+            Column::Float64 { values, valid } => {
+                for ((row, &v), &ok) in rows.iter_mut().zip(values).zip(valid) {
+                    row.push(if ok { Value::Float64(v) } else { Value::Null });
+                }
+            }
+            Column::Date { values, valid } => {
+                for ((row, &v), &ok) in rows.iter_mut().zip(values).zip(valid) {
+                    row.push(if ok { Value::Date(v) } else { Value::Null });
+                }
+            }
+            Column::Bool { values, valid } => {
+                for ((row, &v), &ok) in rows.iter_mut().zip(values).zip(valid) {
+                    row.push(if ok { Value::Bool(v) } else { Value::Null });
+                }
+            }
+            Column::Str {
+                dict, codes, valid, ..
+            } => {
+                for ((row, &c), &ok) in rows.iter_mut().zip(codes).zip(valid) {
+                    row.push(if ok {
+                        Value::Str(Arc::clone(&dict[c as usize]))
+                    } else {
+                        Value::Null
+                    });
+                }
+            }
+            Column::Any { values } => {
+                for (row, v) in rows.iter_mut().zip(values) {
+                    row.push(v.clone());
+                }
+            }
+        }
+    }
+
     /// Exact wire width of row `i` under [`Value::estimated_exact_width`].
     pub fn encoded_width(&self, i: usize) -> usize {
         match self {
@@ -456,6 +569,151 @@ impl Column {
                 .map(|(c, ok)| if *ok { 5 + dict[*c as usize].len() } else { 1 })
                 .sum(),
             Column::Any { values } => values.iter().map(Value::estimated_exact_width).sum(),
+        }
+    }
+
+    /// Typed equality between row `i` of this column and row `j` of
+    /// `other`, exactly matching `self.get(i) == other.get(j)` under
+    /// [`Value`]'s equality (`total_cmp == Equal`: NULL equals NULL, the
+    /// numeric domain is merged via `f64::total_cmp`, dates never equal
+    /// numbers) — but without materializing `Value`s, so join/group key
+    /// verification stays allocation-free on typed columns.
+    pub fn eq_at(&self, i: usize, other: &Column, j: usize) -> bool {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (
+                Column::Int64 {
+                    values: a,
+                    valid: va,
+                },
+                Column::Int64 {
+                    values: b,
+                    valid: vb,
+                },
+            ) => {
+                if va[i] && vb[j] {
+                    a[i] == b[j]
+                } else {
+                    va[i] == vb[j]
+                }
+            }
+            (
+                Column::Float64 {
+                    values: a,
+                    valid: va,
+                },
+                Column::Float64 {
+                    values: b,
+                    valid: vb,
+                },
+            ) => {
+                if va[i] && vb[j] {
+                    a[i].total_cmp(&b[j]) == Ordering::Equal
+                } else {
+                    va[i] == vb[j]
+                }
+            }
+            (
+                Column::Int64 {
+                    values: a,
+                    valid: va,
+                },
+                Column::Float64 {
+                    values: b,
+                    valid: vb,
+                },
+            ) => {
+                if va[i] && vb[j] {
+                    (a[i] as f64).total_cmp(&b[j]) == Ordering::Equal
+                } else {
+                    va[i] == vb[j]
+                }
+            }
+            (
+                Column::Float64 {
+                    values: a,
+                    valid: va,
+                },
+                Column::Int64 {
+                    values: b,
+                    valid: vb,
+                },
+            ) => {
+                if va[i] && vb[j] {
+                    a[i].total_cmp(&(b[j] as f64)) == Ordering::Equal
+                } else {
+                    va[i] == vb[j]
+                }
+            }
+            (
+                Column::Date {
+                    values: a,
+                    valid: va,
+                },
+                Column::Date {
+                    values: b,
+                    valid: vb,
+                },
+            ) => {
+                if va[i] && vb[j] {
+                    a[i] == b[j]
+                } else {
+                    va[i] == vb[j]
+                }
+            }
+            (
+                Column::Bool {
+                    values: a,
+                    valid: va,
+                },
+                Column::Bool {
+                    values: b,
+                    valid: vb,
+                },
+            ) => {
+                if va[i] && vb[j] {
+                    a[i] == b[j]
+                } else {
+                    va[i] == vb[j]
+                }
+            }
+            (
+                Column::Str {
+                    dict: da,
+                    hashes: ha,
+                    codes: ca,
+                    valid: va,
+                },
+                Column::Str {
+                    dict: db,
+                    hashes: hb,
+                    codes: cb,
+                    valid: vb,
+                },
+            ) => {
+                if va[i] && vb[j] {
+                    let (x, y) = (ca[i] as usize, cb[j] as usize);
+                    if Arc::ptr_eq(da, db) {
+                        // Interned dictionary: same code ⇔ same string.
+                        x == y
+                    } else {
+                        ha[x] == hb[y] && da[x] == db[y]
+                    }
+                } else {
+                    va[i] == vb[j]
+                }
+            }
+            // Mixed layouts (Any on either side, or typed kinds whose
+            // non-null values can never be equal): NULLs still compare
+            // equal to each other; otherwise defer to Value equality.
+            (a, b) => {
+                let (na, nb) = (a.is_null(i), b.is_null(j));
+                if na || nb {
+                    na && nb
+                } else {
+                    a.get(i) == b.get(j)
+                }
+            }
         }
     }
 
@@ -721,9 +979,23 @@ impl ColumnarBatch {
         self.columns.iter().map(|c| c.get(i)).collect()
     }
 
-    /// Round-trip back to row-major form.
+    /// Round-trip back to row-major form (materialized eagerly; the
+    /// engines defer this via [`Rows::from_batch`] instead).
     pub fn to_rows(&self) -> Rows {
-        (0..self.len).map(|i| self.row(i)).collect()
+        Rows::from_rows(self.to_row_vec())
+    }
+
+    /// The row-major transpose itself. Column-wise: each column appends
+    /// its values to every row in one typed pass, so the variant dispatch
+    /// runs once per column rather than once per cell. Output is
+    /// identical to materializing [`ColumnarBatch::row`] per row.
+    pub fn to_row_vec(&self) -> Vec<Row> {
+        let arity = self.columns.len();
+        let mut rows: Vec<Row> = (0..self.len).map(|_| Row::with_capacity(arity)).collect();
+        for c in &self.columns {
+            c.append_rows(&mut rows);
+        }
+        rows
     }
 
     /// Exact wire size of this batch under the row encoding: equals
@@ -775,6 +1047,19 @@ impl ColumnarBatch {
             h = mix_fingerprint(h, self.columns[c].fingerprint_at(i));
         }
         h
+    }
+
+    /// [`ColumnarBatch::key_fingerprint`] for every row at once, plus a
+    /// liveness mask: `live[i]` is false iff any key column is NULL at
+    /// row `i` (such rows never join, and their fingerprint slot is
+    /// unspecified). For live rows `fps[i] == self.key_fingerprint(key_cols, i)`.
+    pub fn key_fingerprints(&self, key_cols: &[usize]) -> (Vec<u64>, Vec<bool>) {
+        let mut fps = vec![FNV_OFFSET; self.len];
+        let mut live = vec![true; self.len];
+        for &c in key_cols {
+            self.columns[c].fold_key_fingerprints(&mut fps, &mut live);
+        }
+        (fps, live)
     }
 }
 
@@ -950,6 +1235,61 @@ mod tests {
         let b = ColumnarBatch::from_rows(&rows, 2);
         assert_eq!(b.key_fingerprint(&[0, 1], 0), b.key_fingerprint(&[0, 1], 2));
         assert_ne!(b.key_fingerprint(&[0, 1], 0), b.key_fingerprint(&[0, 1], 1));
+    }
+
+    #[test]
+    fn eq_at_agrees_with_value_equality_across_layouts() {
+        let vals = vec![
+            Value::Null,
+            Value::Int64(42),
+            Value::Float64(42.0),
+            Value::Float64(-0.0),
+            Value::Float64(0.0),
+            Value::Float64(f64::NAN),
+            Value::Int64(0),
+            Value::Date(42),
+            Value::Bool(true),
+            Value::str("k"),
+            Value::str("m"),
+        ];
+        // Layouts to cross-compare: the Any fallback, plus each
+        // homogeneous typed projection of the same values.
+        let any = Column::Any {
+            values: vals.clone(),
+        };
+        let typed: Vec<Column> = vec![
+            Column::from_values(vec![Value::Int64(42), Value::Int64(0), Value::Null]),
+            Column::from_values(vec![
+                Value::Float64(42.0),
+                Value::Float64(-0.0),
+                Value::Float64(0.0),
+                Value::Float64(f64::NAN),
+                Value::Null,
+            ]),
+            Column::from_values(vec![Value::Date(42), Value::Null]),
+            Column::from_values(vec![Value::Bool(true), Value::Bool(false), Value::Null]),
+            Column::from_values(vec![Value::str("k"), Value::str("m"), Value::Null]),
+        ];
+        let mut cols: Vec<&Column> = vec![&any];
+        cols.extend(typed.iter());
+        for a in &cols {
+            for b in &cols {
+                for i in 0..a.len() {
+                    for j in 0..b.len() {
+                        assert_eq!(
+                            a.eq_at(i, b, j),
+                            a.get(i) == b.get(j),
+                            "layouts {a:?}[{i}] vs {b:?}[{j}]"
+                        );
+                    }
+                }
+            }
+        }
+        // Distinct dictionaries with equal content still compare equal.
+        let s1 = Column::from_values(vec![Value::str("dup")]);
+        let s2 = Column::from_values(vec![Value::str("dup"), Value::str("no")]);
+        assert!(s1.eq_at(0, &s2, 0));
+        assert!(!s1.eq_at(0, &s2, 1));
     }
 
     #[test]

@@ -219,6 +219,11 @@ pub struct FailoverOpts {
     /// Rows, shipped bytes, audits, and fault replay are identical to
     /// the row engine; only CPU time changes.
     pub columnar: bool,
+    /// Morsel workers per site for parallel-runtime attempts (columnar
+    /// only; `1` keeps kernels inline). Like `columnar`, this changes
+    /// CPU time and nothing observable: rows, bytes, transfer logs, and
+    /// fault replay are worker-count-invariant.
+    pub workers_per_site: usize,
     /// Live policy churn: the catalog service and the epoch pinned at
     /// admission. Execution re-audits SHIP edges against revocations at
     /// batch granularity, refuses transfers from replicas that cannot
@@ -239,6 +244,7 @@ impl FailoverOpts {
             cancel: None,
             hedge: None,
             columnar: false,
+            workers_per_site: 1,
             churn: None,
         }
     }
@@ -261,6 +267,12 @@ impl FailoverOpts {
     /// Run sequential attempts on the vectorized columnar engine.
     pub fn with_columnar(mut self, columnar: bool) -> FailoverOpts {
         self.columnar = columnar;
+        self
+    }
+
+    /// Set the morsel workers per site for parallel-runtime attempts.
+    pub fn with_workers(mut self, workers_per_site: usize) -> FailoverOpts {
+        self.workers_per_site = workers_per_site.max(1);
         self
     }
 
@@ -1211,6 +1223,7 @@ impl Engine {
         let optimized = self.optimize_sql(sql, mode, result_location)?;
         let config = RuntimeConfig {
             columnar: opts.columnar,
+            workers_per_site: opts.workers_per_site,
             ..RuntimeConfig::default()
         };
         let (result, metrics) =

@@ -166,7 +166,83 @@ impl BoundAgg {
     }
 }
 
+impl BoundAgg {
+    /// True when this aggregate's result is independent of input order:
+    /// COUNT, MIN, MAX (ties keep the first-seen value, preserved by
+    /// merging partials in input order), and integer SUM (wrapping add is
+    /// associative and commutative). Float SUM and AVG accumulate in
+    /// non-associative `f64` adds, so their bit patterns depend on input
+    /// order and they must be fed sequentially.
+    pub fn order_insensitive(&self) -> bool {
+        match self.func {
+            AggFunc::Count | AggFunc::Min | AggFunc::Max => true,
+            AggFunc::Sum => self.int_sum,
+            AggFunc::Avg => false,
+        }
+    }
+}
+
 impl Accumulator {
+    /// Fold `later` (a partial accumulator over a later input range) into
+    /// `self`. For order-insensitive accumulators, merging partials in
+    /// input-range order is exactly equivalent to sequential
+    /// accumulation: MIN/MAX replace only on strict improvement, so ties
+    /// keep the earlier range's first-seen value.
+    pub fn merge(&mut self, later: Accumulator) {
+        match (self, later) {
+            (Accumulator::Count { n, .. }, Accumulator::Count { n: m, .. }) => *n += m,
+            (
+                Accumulator::SumInt { sum, seen },
+                Accumulator::SumInt {
+                    sum: s2,
+                    seen: seen2,
+                },
+            ) => {
+                *sum = sum.wrapping_add(s2);
+                *seen |= seen2;
+            }
+            (
+                Accumulator::SumFloat { sum, seen },
+                Accumulator::SumFloat {
+                    sum: s2,
+                    seen: seen2,
+                },
+            ) => {
+                *sum += s2;
+                *seen |= seen2;
+            }
+            (Accumulator::Avg { sum, n }, Accumulator::Avg { sum: s2, n: m }) => {
+                *sum += s2;
+                *n += m;
+            }
+            (Accumulator::Min(cur), Accumulator::Min(other)) => {
+                if let Some(v) = other {
+                    match cur {
+                        None => *cur = Some(v),
+                        Some(c) => {
+                            if v.total_cmp(c) == std::cmp::Ordering::Less {
+                                *cur = Some(v);
+                            }
+                        }
+                    }
+                }
+            }
+            (Accumulator::Max(cur), Accumulator::Max(other)) => {
+                if let Some(v) = other {
+                    match cur {
+                        None => *cur = Some(v),
+                        Some(c) => {
+                            if v.total_cmp(c) == std::cmp::Ordering::Greater {
+                                *cur = Some(v);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("merge of mismatched accumulator variants"),
+        }
+    }
+
     /// The final SQL value of this accumulator.
     pub fn finish(&self) -> Value {
         match self {
@@ -274,6 +350,64 @@ mod tests {
             star.update(&mut acc, &vec![Value::Null]).unwrap();
         }
         assert_eq!(acc.finish(), Value::Int64(3));
+    }
+
+    #[test]
+    fn merged_partials_match_sequential_accumulation() {
+        // Split an input in half, accumulate each half, merge in range
+        // order: every order-insensitive aggregate must match the
+        // sequential result exactly — including MIN's tie-keeps-first
+        // rule across the numeric domain (Int64(1) vs Float64(1.0)).
+        let inputs = [
+            Value::Int64(3),
+            Value::Int64(1),
+            Value::Null,
+            Value::Float64(1.0),
+            Value::Int64(2),
+        ];
+        for (func, int_sum) in [
+            (AggFunc::Count, false),
+            (AggFunc::Min, false),
+            (AggFunc::Max, false),
+            (AggFunc::Sum, true),
+        ] {
+            let agg = bound(func, int_sum);
+            let sequential = {
+                let mut acc = agg.new_acc();
+                for v in &inputs {
+                    if func != AggFunc::Sum || matches!(v, Value::Int64(_) | Value::Null) {
+                        agg.apply(&mut acc, Some(v.clone())).unwrap();
+                    }
+                }
+                acc
+            };
+            let merged = {
+                let (a, b) = inputs.split_at(2);
+                let mut left = agg.new_acc();
+                let mut right = agg.new_acc();
+                for v in a {
+                    if func != AggFunc::Sum || matches!(v, Value::Int64(_) | Value::Null) {
+                        agg.apply(&mut left, Some(v.clone())).unwrap();
+                    }
+                }
+                for v in b {
+                    if func != AggFunc::Sum || matches!(v, Value::Int64(_) | Value::Null) {
+                        agg.apply(&mut right, Some(v.clone())).unwrap();
+                    }
+                }
+                left.merge(right);
+                left
+            };
+            let (s, m) = (sequential.finish(), merged.finish());
+            assert_eq!(s, m, "{func:?}");
+            // MIN's first-seen tie: Int64(1) arrives before Float64(1.0).
+            if func == AggFunc::Min {
+                assert!(matches!(m, Value::Int64(1)));
+            }
+            assert!(agg.order_insensitive());
+        }
+        assert!(!bound(AggFunc::Sum, false).order_insensitive());
+        assert!(!bound(AggFunc::Avg, false).order_insensitive());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 use crate::aggregate::{Accumulator, BoundAgg};
 use crate::executor::{sort_group_keys, DataSource, ExchangeSource, NoExchange, ShipHandler};
+use crate::parallel::{first_error, morsel_bounds, parallel_map, MorselRunner};
 use geoqp_common::{
     columnar::mix_fingerprint, Column, ColumnarBatch, DataType, GeoError, Result, Rows, Value,
 };
@@ -37,7 +38,32 @@ use geoqp_expr::{apply_cmp, as_tv, bind, eval_arith, like_match, BinaryOp, Bound
 use geoqp_plan::{PhysOp, PhysicalPlan, SortKey};
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
+
+/// Identity hasher for key fingerprints: the FNV + multiply-mix
+/// fingerprints are already well diffused, so feeding them through
+/// SipHash again (the `HashMap` default) only burns cycles. Join and
+/// group-by tables key on `u64` fingerprints exclusively.
+#[derive(Default)]
+struct FpHasher(u64);
+
+impl Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) | b as u64;
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type FpBuild = BuildHasherDefault<FpHasher>;
+type FpMap<V> = HashMap<u64, V, FpBuild>;
 
 /// A batch with an optional selection vector: the unit flowing between
 /// columnar operators. `sel` lists the surviving physical row indices in
@@ -91,13 +117,85 @@ impl ColBatch {
         }
     }
 
-    /// Convert to row-major form.
+    /// Convert to row-major form. The transpose is deferred
+    /// ([`Rows::from_batch`]): a selection gathers into a standalone
+    /// columnar batch here, but per-row materialization happens only if
+    /// a consumer asks for rows.
     pub fn to_rows(&self) -> Rows {
+        Rows::from_batch(self.materialize())
+    }
+
+    /// [`ColBatch::materialize`] with the column gathers fanned out over
+    /// `runner` — column values are independent, so the result is the
+    /// same batch regardless of schedule.
+    fn materialize_par(&self, runner: &dyn MorselRunner) -> Arc<ColumnarBatch> {
         match &self.sel {
-            None => self.batch.to_rows(),
-            Some(s) => Rows::from_rows(s.iter().map(|&i| self.batch.row(i as usize)).collect()),
+            None => Arc::clone(&self.batch),
+            Some(s) => Arc::new(gather_parallel(runner, &self.batch, s)),
         }
     }
+}
+
+/// Gather `indices` out of every column of `b`, one morsel task per
+/// column. Identical output to [`ColumnarBatch::gather`].
+fn gather_parallel(runner: &dyn MorselRunner, b: &ColumnarBatch, indices: &[u32]) -> ColumnarBatch {
+    if runner.workers() <= 1 || b.arity() <= 1 {
+        return b.gather(indices);
+    }
+    let columns = parallel_map(runner, b.arity(), |j| b.column(j).gather(indices));
+    ColumnarBatch::from_columns(columns)
+}
+
+/// Morsel-parallel [`filter_indices`]: split the index window into
+/// morsels, filter each independently, and concatenate the survivors in
+/// morsel order — the same indices, in the same order, as one sequential
+/// pass. Errors report from the lowest morsel, which holds the earliest
+/// failing row.
+fn filter_indices_morsel(
+    runner: &dyn MorselRunner,
+    predicate: &BoundExpr,
+    b: &ColumnarBatch,
+    idx: &[u32],
+) -> Result<Vec<u32>> {
+    let bounds = morsel_bounds(idx.len(), runner.morsel_rows());
+    if runner.workers() <= 1 || bounds.len() <= 1 {
+        return filter_indices(predicate, b, idx);
+    }
+    let parts = parallel_map(runner, bounds.len(), |m| {
+        let (lo, hi) = bounds[m];
+        filter_indices(predicate, b, &idx[lo..hi])
+    });
+    Ok(first_error(parts)?.concat())
+}
+
+/// Morsel-parallel [`eval_column`] for computed expressions: each morsel
+/// evaluates its rows through the scalar mirror, and the chunks are
+/// joined in morsel order before the one type-sniffing
+/// [`Column::from_values`] pass — so the output column (layout included)
+/// is identical to the sequential evaluation. Plain column references
+/// and literals are already vectorized and skip the split.
+fn eval_column_morsel(
+    runner: &dyn MorselRunner,
+    e: &BoundExpr,
+    b: &ColumnarBatch,
+    idx: &[u32],
+) -> Result<Column> {
+    if matches!(e, BoundExpr::Column(_) | BoundExpr::Literal(_)) || runner.workers() <= 1 {
+        return eval_column(e, b, idx);
+    }
+    let bounds = morsel_bounds(idx.len(), runner.morsel_rows());
+    if bounds.len() <= 1 {
+        return eval_column(e, b, idx);
+    }
+    let parts = parallel_map(runner, bounds.len(), |m| {
+        let (lo, hi) = bounds[m];
+        let mut values = Vec::with_capacity(hi - lo);
+        for &i in &idx[lo..hi] {
+            values.push(eval_scalar(e, b, i as usize)?);
+        }
+        Ok(values)
+    });
+    Ok(Column::from_values(first_error(parts)?.concat()))
 }
 
 /// Execute a located physical plan on the columnar engine, returning the
@@ -134,7 +232,7 @@ pub fn execute_fragment_columnar(
             let in_batch = execute_fragment_columnar(input, source, ship, exchange)?;
             let bound = bind(predicate, &input.schema)?;
             let idx = in_batch.indices();
-            let kept = filter_indices(&bound, &in_batch.batch, &idx)?;
+            let kept = filter_indices_morsel(exchange.runner(), &bound, &in_batch.batch, &idx)?;
             Ok(ColBatch {
                 batch: in_batch.batch,
                 sel: Some(Arc::new(kept)),
@@ -150,7 +248,7 @@ pub fn execute_fragment_columnar(
             let idx = in_batch.indices();
             let columns: Vec<Column> = bound
                 .iter()
-                .map(|b| eval_column(b, &in_batch.batch, &idx))
+                .map(|b| eval_column_morsel(exchange.runner(), b, &in_batch.batch, &idx))
                 .collect::<Result<_>>()?;
             let out = if columns.is_empty() {
                 ColumnarBatch::from_rows(&vec![Vec::new(); idx.len()], 0)
@@ -222,7 +320,7 @@ pub fn execute_fragment_columnar(
         PhysOp::Ship => {
             let input = &plan.inputs[0];
             let in_batch = execute_fragment_columnar(input, source, ship, exchange)?;
-            let payload = in_batch.materialize();
+            let payload = in_batch.materialize_par(exchange.runner());
             Ok(ColBatch::all(ship.ship_columnar(
                 &input.location,
                 &plan.location,
@@ -874,6 +972,74 @@ fn eval_column(e: &BoundExpr, b: &ColumnarBatch, idx: &[u32]) -> Result<Column> 
 // Join and aggregate kernels.
 // ---------------------------------------------------------------------
 
+/// Radix partition count for the hash join. Partitioning keys off the
+/// *high* fingerprint bits so the low bits — which the per-partition
+/// hash maps use for bucket selection — stay fully diverse within a
+/// partition.
+const JOIN_PARTITIONS: usize = 16;
+const JOIN_PARTITION_SHIFT: u32 = 60;
+
+#[inline]
+fn join_partition(fp: u64) -> usize {
+    (fp >> JOIN_PARTITION_SHIFT) as usize
+}
+
+/// Pre-resolved join-key comparator: for the common single-column case
+/// where both sides carry the same fixed-width layout, candidate
+/// verification compares raw slices instead of dispatching through
+/// [`Column::eq_at`] per candidate. Only consulted for rows whose keys
+/// are non-NULL (the build and probe loops skip NULL keys first), where
+/// raw equality coincides with [`Column::eq_at`]'s typed arms.
+#[derive(Clone, Copy)]
+enum KeyEq<'a> {
+    Int64(&'a [i64], &'a [i64]),
+    Date(&'a [i32], &'a [i32]),
+    General,
+}
+
+impl<'a> KeyEq<'a> {
+    fn resolve(
+        lb: &'a ColumnarBatch,
+        lidx: &[usize],
+        rb: &'a ColumnarBatch,
+        ridx: &[usize],
+    ) -> Self {
+        if let (&[lc], &[rc]) = (lidx, ridx) {
+            match (lb.column(lc), rb.column(rc)) {
+                (Column::Int64 { values: a, .. }, Column::Int64 { values: b, .. }) => {
+                    return KeyEq::Int64(a, b);
+                }
+                (Column::Date { values: a, .. }, Column::Date { values: b, .. }) => {
+                    return KeyEq::Date(a, b);
+                }
+                _ => {}
+            }
+        }
+        KeyEq::General
+    }
+}
+
+/// Radix-partitioned hash join, morsel-parallel on both sides, with
+/// output bit-identical to the sequential build/probe it replaced:
+///
+/// * **Build** — key fingerprints and NULL masks are precomputed for
+///   both sides in one typed pass per key column
+///   ([`ColumnarBatch::key_fingerprints`]); build-side morsels then
+///   scatter `(fingerprint, row)` entries
+///   into [`JOIN_PARTITIONS`] partitions; then one
+///   task per partition folds the morsels' entries *in morsel order*
+///   into a pre-sized fingerprint-keyed table. A fingerprint lands in
+///   exactly one partition, so each candidate list sees its rows in
+///   build-input order — the row engine's match order.
+/// * **Probe** — probe-side morsels scan their rows in order against the
+///   partition tables (candidates verified with typed
+///   [`Column::eq_at`], so hash collisions cost time, never
+///   correctness), and the per-morsel match lists concatenate in morsel
+///   sequence order. The resulting `(left, right)` pair list is exactly
+///   the sequential probe's.
+/// * **Materialize** — output columns gather in parallel (one task per
+///   column), and the residual filter runs morsel-parallel with
+///   first-error-wins ordering.
 #[allow(clippy::too_many_arguments)]
 fn execute_hash_join_columnar(
     plan: &PhysicalPlan,
@@ -887,6 +1053,7 @@ fn execute_hash_join_columnar(
     let (left, right) = (&plan.inputs[0], &plan.inputs[1]);
     let lbatch = execute_fragment_columnar(left, source, ship, exchange)?;
     let rbatch = execute_fragment_columnar(right, source, ship, exchange)?;
+    let runner = exchange.runner();
 
     let lidx: Vec<usize> = left_keys
         .iter()
@@ -898,56 +1065,101 @@ fn execute_hash_join_columnar(
         .collect::<Result<_>>()?;
     let bound_filter = filter.map(|f| bind(f, &plan.schema)).transpose()?;
 
-    // Build on the left input: fingerprint → physical left rows, in
-    // input order. NULL keys never join (SQL semantics).
+    // Key fingerprints and NULL-key masks for both sides, computed in
+    // one typed pass per key column (NULL keys never join: SQL
+    // semantics). Morsel loops below only load from these arrays.
     let lb = &lbatch.batch;
-    let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
-    for k in 0..lbatch.n_rows() {
-        let i = lbatch.phys(k);
-        if lidx.iter().any(|&c| lb.column(c).is_null(i)) {
-            continue;
-        }
-        let fp = lb.key_fingerprint(&lidx, i);
-        table.entry(fp).or_default().push(i as u32);
-    }
-
-    // Probe with the right input in order; fingerprint candidates are
-    // verified with real value comparisons, so hash collisions cannot
-    // produce wrong matches.
     let rb = &rbatch.batch;
-    let mut out_left: Vec<u32> = Vec::new();
-    let mut out_right: Vec<u32> = Vec::new();
-    for k in 0..rbatch.n_rows() {
-        let i = rbatch.phys(k);
-        if ridx.iter().any(|&c| rb.column(c).is_null(i)) {
-            continue;
+    let (lfps, llive) = lb.key_fingerprints(&lidx);
+    let (rfps, rlive) = rb.key_fingerprints(&ridx);
+    let keq = KeyEq::resolve(lb, &lidx, rb, &ridx);
+
+    // Build on the left input: each morsel scatters its rows'
+    // fingerprints into radix partitions.
+    let bounds = morsel_bounds(lbatch.n_rows(), runner.morsel_rows());
+    let scattered: Vec<[Vec<(u64, u32)>; JOIN_PARTITIONS]> =
+        parallel_map(runner, bounds.len(), |m| {
+            let (lo, hi) = bounds[m];
+            let mut parts: [Vec<(u64, u32)>; JOIN_PARTITIONS] = std::array::from_fn(|_| Vec::new());
+            for k in lo..hi {
+                let i = lbatch.phys(k);
+                if !llive[i] {
+                    continue;
+                }
+                let fp = lfps[i];
+                parts[join_partition(fp)].push((fp, i as u32));
+            }
+            parts
+        });
+
+    // One table per partition, pre-sized from the scatter counts and
+    // filled in morsel order so candidate lists keep build-input order.
+    let tables: Vec<FpMap<Vec<u32>>> = parallel_map(runner, JOIN_PARTITIONS, |p| {
+        let total: usize = scattered.iter().map(|s| s[p].len()).sum();
+        let mut table: FpMap<Vec<u32>> =
+            HashMap::with_capacity_and_hasher(total, FpBuild::default());
+        for s in &scattered {
+            for &(fp, li) in &s[p] {
+                table.entry(fp).or_default().push(li);
+            }
         }
-        let fp = rb.key_fingerprint(&ridx, i);
-        if let Some(candidates) = table.get(&fp) {
-            for &li in candidates {
-                let matches = lidx
-                    .iter()
-                    .zip(&ridx)
-                    .all(|(&lc, &rc)| lb.column(lc).get(li as usize) == rb.column(rc).get(i));
-                if matches {
-                    out_left.push(li);
-                    out_right.push(i as u32);
+        table
+    });
+
+    // Probe with the right input in morsel order; fingerprint candidates
+    // are verified with typed value comparisons, so hash collisions
+    // cannot produce wrong matches.
+    let pbounds = morsel_bounds(rbatch.n_rows(), runner.morsel_rows());
+    let matches: Vec<(Vec<u32>, Vec<u32>)> = parallel_map(runner, pbounds.len(), |m| {
+        let (lo, hi) = pbounds[m];
+        let mut out_l: Vec<u32> = Vec::new();
+        let mut out_r: Vec<u32> = Vec::new();
+        for k in lo..hi {
+            let i = rbatch.phys(k);
+            if !rlive[i] {
+                continue;
+            }
+            let fp = rfps[i];
+            if let Some(candidates) = tables[join_partition(fp)].get(&fp) {
+                for &li in candidates {
+                    let ok = match keq {
+                        KeyEq::Int64(a, b) => a[li as usize] == b[i],
+                        KeyEq::Date(a, b) => a[li as usize] == b[i],
+                        KeyEq::General => lidx
+                            .iter()
+                            .zip(&ridx)
+                            .all(|(&lc, &rc)| lb.column(lc).eq_at(li as usize, rb.column(rc), i)),
+                    };
+                    if ok {
+                        out_l.push(li);
+                        out_r.push(i as u32);
+                    }
                 }
             }
         }
+        (out_l, out_r)
+    });
+    let n_matches: usize = matches.iter().map(|(l, _)| l.len()).sum();
+    let mut out_left: Vec<u32> = Vec::with_capacity(n_matches);
+    let mut out_right: Vec<u32> = Vec::with_capacity(n_matches);
+    for (l, r) in matches {
+        out_left.extend_from_slice(&l);
+        out_right.extend_from_slice(&r);
     }
 
-    // Materialize the joined batch: left columns then right columns.
-    let mut columns: Vec<Column> = Vec::with_capacity(lb.arity() + rb.arity());
-    for c in lb.columns() {
-        columns.push(c.gather(&out_left));
-    }
-    for c in rb.columns() {
-        columns.push(c.gather(&out_right));
-    }
-    let joined = if columns.is_empty() {
+    // Materialize the joined batch: left columns then right columns,
+    // gathered in parallel (one task per output column).
+    let arity = lb.arity() + rb.arity();
+    let joined = if arity == 0 {
         ColumnarBatch::from_rows(&vec![Vec::new(); out_left.len()], 0)
     } else {
+        let columns = parallel_map(runner, arity, |j| {
+            if j < lb.arity() {
+                lb.column(j).gather(&out_left)
+            } else {
+                rb.column(j - lb.arity()).gather(&out_right)
+            }
+        });
         ColumnarBatch::from_columns(columns)
     };
 
@@ -956,7 +1168,7 @@ fn execute_hash_join_columnar(
         None => None,
         Some(f) => {
             let idx: Vec<u32> = (0..joined.len() as u32).collect();
-            Some(Arc::new(filter_indices(f, &joined, &idx)?))
+            Some(Arc::new(filter_indices_morsel(runner, f, &joined, &idx)?))
         }
     };
     Ok(ColBatch {
@@ -996,7 +1208,10 @@ fn execute_hash_aggregate_columnar(
         })
         .collect::<Result<_>>()?;
 
-    // Evaluate every aggregate argument column-at-a-time up front.
+    // Evaluate every aggregate argument column-at-a-time up front
+    // (computed expressions split into morsels; the chunks rejoin before
+    // type sniffing, so the columns match sequential evaluation exactly).
+    let runner = exchange.runner();
     let idx = in_batch.indices();
     let b = &in_batch.batch;
     let args: Vec<Option<Column>> = bound
@@ -1004,46 +1219,122 @@ fn execute_hash_aggregate_columnar(
         .map(|agg| {
             agg.arg
                 .as_ref()
-                .map(|e| eval_column(e, b, &idx))
+                .map(|e| eval_column_morsel(runner, e, b, &idx))
                 .transpose()
         })
         .collect::<Result<_>>()?;
 
-    // Group by key fingerprint; candidate slots are verified against the
-    // stored key values. Accumulators see rows in input order, so
-    // order-sensitive float sums match the row engine exactly.
-    let mut slots: HashMap<u64, Vec<usize>> = HashMap::new();
-    let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
-    for (k, &i) in idx.iter().enumerate() {
-        let i = i as usize;
-        let fp = {
-            let mut h = 0xcbf2_9ce4_8422_2325u64;
-            for &c in &gidx {
-                h = mix_fingerprint(h, b.column(c).fingerprint_at(i));
-            }
-            h
-        };
-        let candidates = slots.entry(fp).or_default();
-        let slot = candidates
+    // Group-key fingerprints, morsel-parallel (pure computation).
+    let fbounds = morsel_bounds(idx.len(), runner.morsel_rows());
+    let fps: Vec<u64> = parallel_map(runner, fbounds.len(), |m| {
+        let (lo, hi) = fbounds[m];
+        idx[lo..hi]
             .iter()
-            .copied()
-            .find(|&s| {
-                gidx.iter()
-                    .enumerate()
-                    .all(|(j, &c)| groups[s].0[j] == b.column(c).get(i))
+            .map(|&i| {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for &c in &gidx {
+                    h = mix_fingerprint(h, b.column(c).fingerprint_at(i as usize));
+                }
+                h
             })
-            .unwrap_or_else(|| {
-                let key: Vec<Value> = gidx.iter().map(|&c| b.column(c).get(i)).collect();
-                groups.push((key, bound.iter().map(BoundAgg::new_acc).collect()));
-                candidates.push(groups.len() - 1);
-                groups.len() - 1
-            });
-        let accs = &mut groups[slot].1;
-        for (a, agg) in bound.iter().enumerate() {
-            let value = args[a].as_ref().map(|col| col.get(k));
-            agg.apply(&mut accs[a], value)?;
+            .collect::<Vec<u64>>()
+    })
+    .concat();
+
+    // Group by key fingerprint; candidate slots are verified against the
+    // stored key values. When any aggregate is order-sensitive (float
+    // SUM/AVG accumulate in non-associative f64 adds), rows feed the
+    // accumulators sequentially in input order, exactly like the row
+    // engine. When every aggregate is order-insensitive, morsels
+    // accumulate partial groups in parallel and merge in morsel order —
+    // provably the same result (see `Accumulator::merge`).
+    let parallel_groups = runner.workers() > 1
+        && fbounds.len() > 1
+        && bound.iter().all(BoundAgg::order_insensitive)
+        && !bound.is_empty();
+    let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = if parallel_groups {
+        type LocalGroups = Vec<(u64, Vec<Value>, Vec<Accumulator>)>;
+        let locals: Vec<Result<LocalGroups>> = parallel_map(runner, fbounds.len(), |m| {
+            let (lo, hi) = fbounds[m];
+            let mut slots: FpMap<Vec<usize>> = FpMap::default();
+            let mut local: LocalGroups = Vec::new();
+            for k in lo..hi {
+                let i = idx[k] as usize;
+                let fp = fps[k];
+                let candidates = slots.entry(fp).or_default();
+                let slot = candidates
+                    .iter()
+                    .copied()
+                    .find(|&s| {
+                        gidx.iter()
+                            .enumerate()
+                            .all(|(j, &c)| local[s].1[j] == b.column(c).get(i))
+                    })
+                    .unwrap_or_else(|| {
+                        let key: Vec<Value> = gidx.iter().map(|&c| b.column(c).get(i)).collect();
+                        local.push((fp, key, bound.iter().map(BoundAgg::new_acc).collect()));
+                        candidates.push(local.len() - 1);
+                        local.len() - 1
+                    });
+                let accs = &mut local[slot].2;
+                for (a, agg) in bound.iter().enumerate() {
+                    let value = args[a].as_ref().map(|col| col.get(k));
+                    agg.apply(&mut accs[a], value)?;
+                }
+            }
+            Ok(local)
+        });
+        // Merge morsel-local groups in morsel order: groups appear in
+        // global first-appearance order (as sequentially), and partial
+        // accumulators fold in input-range order.
+        let mut slots: FpMap<Vec<usize>> = FpMap::default();
+        let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+        for local in first_error(locals)? {
+            for (fp, key, accs) in local {
+                let candidates = slots.entry(fp).or_default();
+                match candidates.iter().copied().find(|&s| groups[s].0 == key) {
+                    Some(s) => {
+                        for (dst, src) in groups[s].1.iter_mut().zip(accs) {
+                            dst.merge(src);
+                        }
+                    }
+                    None => {
+                        groups.push((key, accs));
+                        candidates.push(groups.len() - 1);
+                    }
+                }
+            }
         }
-    }
+        groups
+    } else {
+        let mut slots: FpMap<Vec<usize>> = FpMap::default();
+        let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+        for (k, &i) in idx.iter().enumerate() {
+            let i = i as usize;
+            let fp = fps[k];
+            let candidates = slots.entry(fp).or_default();
+            let slot = candidates
+                .iter()
+                .copied()
+                .find(|&s| {
+                    gidx.iter()
+                        .enumerate()
+                        .all(|(j, &c)| groups[s].0[j] == b.column(c).get(i))
+                })
+                .unwrap_or_else(|| {
+                    let key: Vec<Value> = gidx.iter().map(|&c| b.column(c).get(i)).collect();
+                    groups.push((key, bound.iter().map(BoundAgg::new_acc).collect()));
+                    candidates.push(groups.len() - 1);
+                    groups.len() - 1
+                });
+            let accs = &mut groups[slot].1;
+            for (a, agg) in bound.iter().enumerate() {
+                let value = args[a].as_ref().map(|col| col.get(k));
+                agg.apply(&mut accs[a], value)?;
+            }
+        }
+        groups
+    };
 
     // SQL: a global aggregate over empty input yields one row.
     if groups.is_empty() && group_by.is_empty() {

@@ -106,6 +106,13 @@ pub trait ExchangeSource {
         self.fetch(node)
             .map(|r| r.map(|rows| Arc::new(ColumnarBatch::from_rows(rows.rows(), arity))))
     }
+
+    /// The morsel runner that CPU-bound columnar kernels dispatch on. The
+    /// default is the inline serial runner; the concurrent runtime
+    /// overrides this with its per-site work-stealing pool.
+    fn runner(&self) -> &dyn crate::parallel::MorselRunner {
+        &crate::parallel::SERIAL
+    }
 }
 
 /// The trivial exchange: every node is local.

@@ -22,6 +22,7 @@
 pub mod aggregate;
 pub mod columnar;
 pub mod executor;
+pub mod parallel;
 pub mod retry;
 
 pub use columnar::{execute_columnar, execute_fragment_columnar, ColBatch};
@@ -29,4 +30,5 @@ pub use executor::{
     execute, execute_fragment, DataSource, ExchangeSource, LocalShip, MapSource, NoExchange,
     ShipHandler,
 };
+pub use parallel::{morsel_bounds, MorselRunner, SerialRunner, MORSEL_ROWS_DEFAULT, SERIAL};
 pub use retry::{Retried, RetryPolicy, RetryingShip, RetryingSource};

@@ -45,11 +45,12 @@ impl Payload {
         self.len() == 0
     }
 
-    /// The batch as materialized rows (copies only for columnar payloads).
+    /// The batch as rows (columnar payloads defer the transpose until a
+    /// consumer asks for row-major data).
     pub fn into_rows(self) -> Rows {
         match self {
             Payload::Rows(r) => r,
-            Payload::Columnar(b) => b.to_rows(),
+            Payload::Columnar(b) => Rows::from_batch(b),
         }
     }
 

@@ -1,0 +1,437 @@
+//! The per-site morsel worker pool: work-stealing execution of the
+//! columnar kernels' morsel tasks.
+//!
+//! One [`MorselPool`] is created per site per run when
+//! [`RuntimeConfig::workers_per_site`](crate::RuntimeConfig) exceeds 1.
+//! Every fragment thread the runtime pins to that site dispatches its
+//! kernels' morsels into the pool, so a site's fragments share one set
+//! of CPU workers instead of each being capped at one thread.
+//!
+//! Scheduling is work-stealing: a dispatch seeds its tasks round-robin
+//! across per-worker deques; each worker pops from its own deque front
+//! and steals from other deques' backs when empty. The dispatching
+//! fragment thread is itself a worker for the duration of the dispatch
+//! (it grabs tasks until none remain queued, then blocks until its job
+//! completes), so `workers_per_site` counts the fragment thread plus
+//! `workers_per_site - 1` pool threads — and task execution can never
+//! deadlock on pool capacity.
+//!
+//! **Determinism**: which worker runs which morsel is scheduling noise,
+//! by design. The kernels in `geoqp-exec` merge morsel results by morsel
+//! sequence number, so rows, bytes, transfer logs, and fault-clock
+//! replay are bit-identical across worker counts and schedules. The only
+//! schedule-dependent observables are the pool's own counters
+//! ([`PoolStats`]: steals, peak concurrency), which are reported as
+//! metrics and excluded from determinism contracts.
+//!
+//! The pool also maintains a deterministic *model* of parallel CPU time:
+//! each dispatch of `n` tasks adds `ceil(n / workers)` to
+//! [`PoolStats::makespan_morsels`] and `n` to [`PoolStats::morsels`].
+//! The ratio is the ideal parallel fraction of kernel CPU under perfect
+//! stealing, and — unlike wall-clock on a core-starved host — is a pure
+//! function of the workload, which is what the scale-up experiments
+//! report.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use geoqp_exec::MorselRunner;
+
+/// One dispatched batch of morsel tasks sharing a job closure.
+struct Job {
+    /// The dispatcher's task closure with its lifetime erased. Valid
+    /// because `PoolCore::dispatch` does not return until `remaining`
+    /// hits zero, and no worker dereferences the pointer after its final
+    /// decrement.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Tasks not yet finished.
+    remaining: AtomicUsize,
+    /// A task panicked; the dispatcher re-raises.
+    panicked: AtomicBool,
+}
+
+// SAFETY: the raw closure pointer is only dereferenced while the
+// dispatching stack frame is alive (see `Job::task`), and the closure
+// itself is `Sync`.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// One queued morsel: a job and the task index to run.
+struct Task {
+    job: Arc<Job>,
+    idx: usize,
+}
+
+/// Wake/sleep state shared by the pool's workers.
+struct PoolState {
+    /// Tasks queued in deques and not yet grabbed.
+    queued: usize,
+    /// Pool is shutting down; workers exit.
+    shutdown: bool,
+}
+
+/// Schedule counters, folded into per-site runtime metrics. `steals` and
+/// `peak_workers` depend on thread timing and are **not** part of any
+/// determinism contract; `morsels` and `makespan_morsels` are exact
+/// functions of the workload and configuration.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total morsel tasks dispatched.
+    pub morsels: u64,
+    /// Tasks executed by a worker other than the deque they were seeded
+    /// to (work stealing in action).
+    pub steals: u64,
+    /// Peak number of workers observed running tasks at once.
+    pub peak_workers: u32,
+    /// Modeled parallel makespan: `Σ ceil(n / workers)` over dispatches.
+    /// `makespan_morsels / morsels` is the ideal parallel fraction of
+    /// kernel CPU time at this worker count.
+    pub makespan_morsels: u64,
+}
+
+impl PoolStats {
+    /// Fold another pool's counters into this one.
+    pub fn absorb(&mut self, other: &PoolStats) {
+        self.morsels += other.morsels;
+        self.steals += other.steals;
+        self.peak_workers = self.peak_workers.max(other.peak_workers);
+        self.makespan_morsels += other.makespan_morsels;
+    }
+}
+
+/// The shared interior of a pool. Worker threads and [`PoolRunner`]s
+/// hold `Arc`s of this — never of [`MorselPool`] itself, which owns the
+/// join handles (an `Arc` cycle there would keep workers alive forever).
+struct PoolCore {
+    /// Per-worker task deques; the last deque belongs to dispatchers.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    state: Mutex<PoolState>,
+    /// Signals workers that tasks were queued (or shutdown).
+    work_cv: Condvar,
+    /// Signals dispatchers that a job may have completed.
+    done: Mutex<()>,
+    done_cv: Condvar,
+    /// Round-robin seed origin, rotated per dispatch to spread jobs.
+    next_seed: AtomicUsize,
+    workers: usize,
+    morsels: AtomicU64,
+    steals: AtomicU64,
+    busy: AtomicU32,
+    peak_busy: AtomicU32,
+    makespan: AtomicU64,
+}
+
+/// A work-stealing morsel pool for one site. Dropping the pool shuts the
+/// workers down and joins them (no thread leaks across runs).
+pub struct MorselPool {
+    core: Arc<PoolCore>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl MorselPool {
+    /// Build a pool with `workers` total workers (the dispatching thread
+    /// plus `workers - 1` spawned pool threads). `workers` is clamped to
+    /// at least 1; a 1-worker pool spawns nothing and runs dispatches
+    /// inline.
+    pub fn new(workers: usize) -> MorselPool {
+        let workers = workers.max(1);
+        let core = Arc::new(PoolCore {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(PoolState {
+                queued: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            next_seed: AtomicUsize::new(0),
+            workers,
+            morsels: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            busy: AtomicU32::new(0),
+            peak_busy: AtomicU32::new(0),
+            makespan: AtomicU64::new(0),
+        });
+        let handles = (0..workers - 1)
+            .map(|me| {
+                let c = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("geoqp-morsel-{me}"))
+                    .spawn(move || c.worker_loop(me))
+                    .expect("spawn morsel worker")
+            })
+            .collect();
+        MorselPool { core, handles }
+    }
+
+    /// Total workers participating in dispatches (caller included).
+    pub fn workers(&self) -> usize {
+        self.core.workers
+    }
+
+    /// Run `task(t)` for every `t in 0..n_tasks`, blocking until all
+    /// have completed. Reentrant across fragment threads: concurrent
+    /// dispatches interleave in the same deques and help run each
+    /// other's tasks.
+    pub fn dispatch(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.core.dispatch(n_tasks, task);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.core.stats()
+    }
+
+    /// A [`MorselRunner`] over this pool with the run's morsel size. The
+    /// runner owns an `Arc` of the pool's interior, so it stays valid
+    /// for as long as a fragment holds it (the pool's `Drop` still joins
+    /// the worker threads regardless).
+    pub fn runner(&self, morsel_rows: usize) -> PoolRunner {
+        PoolRunner {
+            core: Arc::clone(&self.core),
+            morsel_rows,
+        }
+    }
+}
+
+impl Drop for MorselPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.core.state.lock().unwrap();
+            st.shutdown = true;
+            self.core.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl PoolCore {
+    fn dispatch(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        self.morsels.fetch_add(n_tasks as u64, Ordering::Relaxed);
+        self.makespan
+            .fetch_add(n_tasks.div_ceil(self.workers) as u64, Ordering::Relaxed);
+        if self.workers == 1 {
+            for t in 0..n_tasks {
+                task(t);
+            }
+            return;
+        }
+        // Erase the closure's lifetime; `Job::task` documents why this
+        // cannot dangle.
+        let raw: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                task,
+            )
+        };
+        let job = Arc::new(Job {
+            task: raw,
+            remaining: AtomicUsize::new(n_tasks),
+            panicked: AtomicBool::new(false),
+        });
+
+        // Seed tasks round-robin and publish the count in one wakeup,
+        // all under the state lock: a task must never be poppable
+        // before it is counted in `queued`, or a concurrent grabber
+        // could drive the counter below zero (`grab` takes the state
+        // lock only *after* releasing the deque lock, so holding
+        // state across the pushes cannot invert lock order).
+        let start = self.next_seed.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut st = self.state.lock().unwrap();
+            for t in 0..n_tasks {
+                let d = (start + t) % self.deques.len();
+                self.deques[d].lock().unwrap().push_back(Task {
+                    job: Arc::clone(&job),
+                    idx: t,
+                });
+            }
+            st.queued += n_tasks;
+            self.work_cv.notify_all();
+        }
+
+        // Help: the dispatcher grabs tasks (its own job's or another
+        // concurrent dispatch's) until the deques drain.
+        let me = self.deques.len() - 1;
+        while let Some(task) = self.grab(me) {
+            self.run_task(task);
+        }
+
+        // Wait for this job's stragglers running on other workers.
+        {
+            let mut guard = self.done.lock().unwrap();
+            while job.remaining.load(Ordering::Acquire) > 0 {
+                guard = self.done_cv.wait(guard).unwrap();
+            }
+        }
+        if job.panicked.load(Ordering::Relaxed) {
+            resume_unwind(Box::new("morsel task panicked"));
+        }
+    }
+
+    fn stats(&self) -> PoolStats {
+        PoolStats {
+            morsels: self.morsels.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            peak_workers: self.peak_busy.load(Ordering::Relaxed),
+            makespan_morsels: self.makespan.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Take one queued task: own deque's front first, then steal from
+    /// the backs of the others. Returns `None` when every deque is
+    /// empty.
+    ///
+    /// Deque guards must be confined to single `let` statements here:
+    /// under edition 2021, an `if let` scrutinee's temporary guard
+    /// lives through the *else* branch, and holding one deque's lock
+    /// while acquiring another's lets two concurrent stealers deadlock
+    /// ABBA-style (each owning its deque, each wanting the other's).
+    fn grab(&self, me: usize) -> Option<Task> {
+        let n = self.deques.len();
+        let mut found = self.deques[me].lock().unwrap().pop_front();
+        if found.is_none() {
+            for k in 1..n {
+                let victim = (me + k) % n;
+                found = self.deques[victim].lock().unwrap().pop_back();
+                if found.is_some() {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        if found.is_some() {
+            let mut st = self.state.lock().unwrap();
+            st.queued -= 1;
+        }
+        found
+    }
+
+    /// Run one task, tracking occupancy and completing its job.
+    fn run_task(&self, task: Task) {
+        let now = self.busy.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_busy.fetch_max(now, Ordering::Relaxed);
+        // SAFETY: the dispatcher's stack frame is alive until
+        // `remaining` reaches zero, which happens strictly after this
+        // call returns.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*task.job.task)(task.idx) }));
+        self.busy.fetch_sub(1, Ordering::Relaxed);
+        if result.is_err() {
+            task.job.panicked.store(true, Ordering::Relaxed);
+        }
+        if task.job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.done.lock().unwrap();
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn worker_loop(&self, me: usize) {
+        loop {
+            if let Some(task) = self.grab(me) {
+                self.run_task(task);
+                continue;
+            }
+            let mut st = self.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.queued > 0 {
+                    break;
+                }
+                st = self.work_cv.wait(st).unwrap();
+            }
+        }
+    }
+}
+
+/// A [`MorselRunner`] view over a shared site pool, carrying the run's
+/// configured morsel size. Fragment threads hand this to the columnar
+/// kernels via the exchange source.
+pub struct PoolRunner {
+    core: Arc<PoolCore>,
+    morsel_rows: usize,
+}
+
+impl MorselRunner for PoolRunner {
+    fn workers(&self) -> usize {
+        self.core.workers
+    }
+    fn morsel_rows(&self) -> usize {
+        self.morsel_rows.max(1)
+    }
+    fn dispatch(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.core.dispatch(n_tasks, task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoqp_exec::parallel::parallel_map;
+
+    #[test]
+    fn pool_runs_every_task_exactly_once_and_joins_on_drop() {
+        let before = count_threads();
+        {
+            let pool = MorselPool::new(4);
+            let runner = pool.runner(8);
+            for round in 0..20 {
+                let n = 1 + (round * 7) % 40;
+                let out = parallel_map(&runner, n, |t| t * 2);
+                assert_eq!(out, (0..n).map(|t| t * 2).collect::<Vec<_>>());
+            }
+            let stats = pool.stats();
+            assert!(stats.morsels > 0);
+            assert!(stats.makespan_morsels <= stats.morsels);
+        }
+        // All pool threads joined after drop. Other tests may be
+        // spawning concurrently, so poll for quiescence instead of
+        // asserting a single instantaneous snapshot.
+        for _ in 0..50 {
+            if count_threads() <= before + 1 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(count_threads() <= before + 1, "pool threads leaked");
+    }
+
+    #[test]
+    fn concurrent_dispatchers_share_the_pool() {
+        let pool = MorselPool::new(3);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let runner = pool.runner(4);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let sum: usize = parallel_map(&runner, 16, |t| t).iter().sum();
+                        assert_eq!(sum, (0..16).sum::<usize>());
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn makespan_model_is_exact() {
+        let pool = MorselPool::new(4);
+        pool.dispatch(10, &|_| {});
+        pool.dispatch(3, &|_| {});
+        let stats = pool.stats();
+        assert_eq!(stats.morsels, 13);
+        // ceil(10/4) + ceil(3/4) = 3 + 1.
+        assert_eq!(stats.makespan_morsels, 4);
+    }
+
+    fn count_threads() -> usize {
+        std::fs::read_dir("/proc/self/task").map_or(0, |d| d.count())
+    }
+}

@@ -27,12 +27,14 @@ use crate::checkpoint::{CheckpointSpec, CheckpointStore};
 use crate::exchange::{Exchange, Payload, Received};
 use crate::fragment::{cut, node_key, Cut, Edge};
 use crate::metrics::{EdgeMetrics, RuntimeMetrics, SiteMetrics};
+use crate::morsel::{MorselPool, PoolRunner};
 use geoqp_common::{
     ChurnWatch, ColumnarBatch, GeoError, Location, LocationSet, Result, Row, Rows, RunControl,
     TableRef, Unavailable,
 };
 use geoqp_exec::{
-    execute_fragment, execute_fragment_columnar, DataSource, ExchangeSource, LocalShip, RetryPolicy,
+    execute_fragment, execute_fragment_columnar, DataSource, ExchangeSource, LocalShip,
+    MorselRunner, RetryPolicy, SERIAL,
 };
 use geoqp_net::{
     backup_beats, plan_hedge_with, run_hedge, FaultPlan, FaultVerdict, HedgeConfig, LinkHealth,
@@ -60,6 +62,16 @@ pub struct RuntimeConfig {
     /// the row encoding's size — so transfer logs, audits, and fault
     /// replay are identical to the row configuration.
     pub columnar: bool,
+    /// Rows per morsel when columnar kernels split their work for the
+    /// per-site worker pool.
+    pub morsel_rows: usize,
+    /// CPU workers per site for intra-fragment morsel parallelism: the
+    /// fragment thread plus `workers_per_site - 1` pooled threads.
+    /// `1` (the default) disables pooling — kernels run their morsels
+    /// inline. Only the columnar engine dispatches morsels; results are
+    /// bit-identical at every worker count (deterministic merge order),
+    /// so this knob trades threads for latency, never answers.
+    pub workers_per_site: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -68,6 +80,8 @@ impl Default for RuntimeConfig {
             batch_rows: 256,
             channel_capacity: 4,
             columnar: false,
+            morsel_rows: 2048,
+            workers_per_site: 1,
         }
     }
 }
@@ -256,15 +270,38 @@ impl<'a> Runtime<'a> {
         let root_slot = cut.edges.len();
         let root_out: Mutex<Option<(Rows, f64)>> = Mutex::new(None);
 
+        // One shared morsel pool per fragment-hosting site, so every
+        // fragment a site runs draws CPU workers from the same pool.
+        // Pools live exactly as long as this run: dropping the map at
+        // return joins every worker thread, so runs never leak threads.
+        let pools: BTreeMap<Location, MorselPool> =
+            if self.config.columnar && self.config.workers_per_site > 1 {
+                let mut sites: BTreeSet<Location> = BTreeSet::new();
+                sites.insert(plan.location.clone());
+                for edge in &cut.edges {
+                    sites.insert(edge.from.clone());
+                }
+                sites
+                    .into_iter()
+                    .map(|s| (s, MorselPool::new(self.config.workers_per_site)))
+                    .collect()
+            } else {
+                BTreeMap::new()
+            };
+        let runner_for =
+            |site: &Location| pools.get(site).map(|p| p.runner(self.config.morsel_rows));
+
         std::thread::scope(|s| {
             for edge in &cut.edges {
                 let shared = &shared;
-                s.spawn(move || self.run_producer(edge, shared, source, audits));
+                let runner = runner_for(&edge.from);
+                s.spawn(move || self.run_producer(edge, shared, source, audits, runner));
             }
             let shared = &shared;
             let root_out = &root_out;
+            let root_runner = runner_for(&plan.location);
             s.spawn(move || {
-                let view = FragmentView::new(self, shared, source);
+                let view = FragmentView::new(self, shared, source, root_runner);
                 let result = if self.config.columnar {
                     execute_fragment_columnar(plan, source, &mut LocalShip, &view)
                         .map(|b| b.to_rows())
@@ -284,6 +321,18 @@ impl<'a> Runtime<'a> {
                 }
             });
         });
+
+        // Attribute pool activity to its site before the metrics freeze.
+        // Counters are deterministic except `steals`/`peak_workers`, which
+        // record real scheduling and are excluded from differential
+        // comparisons.
+        for (site, pool) in &pools {
+            let stats = pool.stats();
+            if stats.morsels > 0 {
+                let mut sites = shared.sites.lock().unwrap();
+                sites.entry(site.clone()).or_default().pool.absorb(&stats);
+            }
+        }
 
         let mut errors = shared.errors.into_inner().unwrap();
         let mut log = shared.log.into_inner().unwrap();
@@ -340,8 +389,9 @@ impl<'a> Runtime<'a> {
         shared: &Shared<'_, '_>,
         source: &(dyn DataSource + Sync),
         audits: Option<&[LocationSet]>,
+        runner: Option<PoolRunner>,
     ) {
-        let view = FragmentView::new(self, shared, source);
+        let view = FragmentView::new(self, shared, source, runner);
         let result = if self.config.columnar {
             execute_fragment_columnar(edge.subtree(), source, &mut LocalShip, &view)
                 .map(|b| Produced::Columnar(b.materialize()))
@@ -802,6 +852,9 @@ struct FragmentView<'r, 's> {
     local_extra_ms: Cell<f64>,
     /// Logical steps consumed by this fragment's scans.
     attempts: Cell<u64>,
+    /// The site's shared morsel pool, when intra-fragment parallelism is
+    /// on. `None` keeps the inline serial runner.
+    runner: Option<PoolRunner>,
 }
 
 impl<'r, 's> FragmentView<'r, 's> {
@@ -809,6 +862,7 @@ impl<'r, 's> FragmentView<'r, 's> {
         runtime: &'r Runtime<'r>,
         shared: &'s Shared<'s, 's>,
         source: &'s (dyn DataSource + Sync),
+        runner: Option<PoolRunner>,
     ) -> FragmentView<'r, 's> {
         FragmentView {
             runtime,
@@ -817,6 +871,7 @@ impl<'r, 's> FragmentView<'r, 's> {
             max_arrival_ms: Cell::new(0.0),
             local_extra_ms: Cell::new(0.0),
             attempts: Cell::new(0),
+            runner,
         }
     }
 
@@ -995,5 +1050,12 @@ impl ExchangeSource for FragmentView<'_, '_> {
             );
         }
         None
+    }
+
+    fn runner(&self) -> &dyn MorselRunner {
+        match &self.runner {
+            Some(r) => r,
+            None => &SERIAL,
+        }
     }
 }

@@ -864,6 +864,7 @@ fn run_job(
             cancel: request.cancel.clone(),
             hedge: None,
             columnar: shared.columnar,
+            workers_per_site: 1,
             churn: Some(ChurnOpts {
                 service: Arc::clone(churn),
                 pin,

@@ -35,6 +35,11 @@ echo "==> columnar differential suite: row vs vectorized engines," \
      "both runtimes, all fault schedules (release)"
 cargo test -q -p geoqp-bench --release --test columnar_differential
 
+echo "==> morsel differential suite: 1 vs 2 vs 4 workers per site," \
+     "all fault schedules, bit-identical rows/transfers + merge-order" \
+     "purity (release)"
+cargo test -q -p geoqp-bench --release --test morsel_differential
+
 echo "==> ad-hoc workload differential fuzz: generated queries," \
      "row vs columnar x sequential vs parallel, plus a fault slice" \
      "(GEOQP_ADHOC_N=${GEOQP_ADHOC_N:-200} queries, release)"
@@ -54,7 +59,8 @@ cargo test -q -p geoqp-policy --release --test catalog_replication
 
 echo "==> chaos soak: crash/partition + gray degrade/loss + catalog-churn" \
      "variants (fixed seeds, GEOQP_CHAOS_N=${GEOQP_CHAOS_N:-24} schedules each," \
-     "odd rounds on the columnar engine; churn round layers mid-query" \
+     "odd rounds on the columnar engine with alternating 2/4-worker" \
+     "morsel pools; churn round layers mid-query" \
      "revocations and catalog-plane partitions on the crash schedules;" \
      "bootstrap round adds replica-crash + snapshot-bootstrap + grant-retry" \
      "rescues with duplicate-execution determinism checks)"

@@ -131,6 +131,10 @@ fn randomized_gray_schedules_stay_compliant_with_hedging_on() {
         // same invariants, different inner loops.
         let config = RuntimeConfig {
             columnar: round % 2 == 1,
+            // Columnar rounds alternate the morsel worker count so the
+            // soak crosses every fault schedule with the work-stealing
+            // pool engaged (even rounds are row-engine, workers inert).
+            workers_per_site: if round % 4 == 1 { 2 } else { 4 },
             ..RuntimeConfig::default()
         };
         for query in QUERIES {
@@ -224,6 +228,10 @@ fn randomized_adhoc_round_stays_compliant_and_leak_free() {
     for (round, chunk) in queries.chunks(3).enumerate() {
         let config = RuntimeConfig {
             columnar: round % 2 == 1,
+            // Columnar rounds alternate the morsel worker count so the
+            // soak crosses every fault schedule with the work-stealing
+            // pool engaged (even rounds are row-engine, workers inert).
+            workers_per_site: if round % 4 == 1 { 2 } else { 4 },
             ..RuntimeConfig::default()
         };
         for q in chunk {
@@ -460,6 +468,10 @@ fn catalog_churn_round_stays_compliant_and_resolves_typed() {
         // Odd rounds soak the vectorized columnar path, as elsewhere.
         let config = RuntimeConfig {
             columnar: round % 2 == 1,
+            // Columnar rounds alternate the morsel worker count so the
+            // soak crosses every fault schedule with the work-stealing
+            // pool engaged (even rounds are row-engine, workers inert).
+            workers_per_site: if round % 4 == 1 { 2 } else { 4 },
             ..RuntimeConfig::default()
         };
         for query in QUERIES {
@@ -638,6 +650,10 @@ fn replica_crash_bootstrap_and_grant_round_rescues_refused_queries() {
     for round in 0..n {
         let config = RuntimeConfig {
             columnar: round % 2 == 1,
+            // Columnar rounds alternate the morsel worker count so the
+            // soak crosses every fault schedule with the work-stealing
+            // pool engaged (even rounds are row-engine, workers inert).
+            workers_per_site: if round % 4 == 1 { 2 } else { 4 },
             ..RuntimeConfig::default()
         };
         for query in QUERIES {
@@ -869,6 +885,10 @@ fn randomized_chaos_schedules_stay_compliant_and_leak_free() {
         // same invariants, different inner loops.
         let config = RuntimeConfig {
             columnar: round % 2 == 1,
+            // Columnar rounds alternate the morsel worker count so the
+            // soak crosses every fault schedule with the work-stealing
+            // pool engaged (even rounds are row-engine, workers inert).
+            workers_per_site: if round % 4 == 1 { 2 } else { 4 },
             ..RuntimeConfig::default()
         };
         for query in QUERIES {

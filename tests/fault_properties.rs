@@ -226,6 +226,82 @@ proptest! {
         }
     }
 
+    /// The same cooperative-unwinding contract with morsel workers: a
+    /// deadline or pre-fired cancellation landing *mid-morsel* — small
+    /// morsels, 4 workers per site — must join every fragment worker
+    /// and every pool thread, leave no exchange channel or deque
+    /// poisoned, and keep the engine answering the fault-free result.
+    #[test]
+    fn cancellation_mid_morsel_joins_pool_workers(
+        qi in 0usize..6,
+        budget in 0.0f64..80.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let eng = engine();
+        let query = QUERIES[qi];
+        let plan = tpch::query_by_name(eng.catalog(), query).unwrap();
+        if let Ok(opt) = eng.optimize(&plan, OptimizerMode::Compliant, None) {
+        let config = RuntimeConfig {
+            columnar: true,
+            workers_per_site: 4,
+            morsel_rows: 64,
+            ..RuntimeConfig::default()
+        };
+        let baseline = eng
+            .execute_parallel_opts(&opt.physical, None, &RetryPolicy::none(), &config)
+            .unwrap();
+        let fire_cancel = seed & 1 == 1;
+        let cancel = CancelToken::new();
+        if fire_cancel {
+            cancel.cancel();
+        }
+        let opts = FailoverOpts {
+            deadline: Some(QueryDeadline::new(budget)),
+            cancel: Some(cancel),
+            columnar: true,
+            workers_per_site: 4,
+            ..FailoverOpts::new(5)
+        };
+        let before = live_threads();
+        let run = eng.execute_resilient_parallel_opts(
+            &opt,
+            &FaultPlan::new(seed),
+            &RetryPolicy::default(),
+            &opts,
+            &config,
+        );
+        match run {
+            Ok(_) => prop_assert!(!fire_cancel, "{query}: a fired token must cancel"),
+            Err(e) => prop_assert!(
+                matches!(e.kind(), "deadline" | "cancelled"),
+                "{query}: mid-morsel unwind must be a typed deadline/cancel, got {e}"
+            ),
+        }
+        // Fragment workers *and* morsel pool threads join on every
+        // path; a leaked pool worker would never drain.
+        let mut after = live_threads();
+        for _ in 0..50 {
+            if after <= before {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            after = live_threads();
+        }
+        prop_assert!(
+            after <= before + 4,
+            "{query}: {} threads before, {after} after — morsel pool workers leaked",
+            before
+        );
+        // Nothing is poisoned, and worker invariance still holds: the
+        // same engine immediately reproduces the 4-worker baseline.
+        let again = eng
+            .execute_parallel_opts(&opt.physical, None, &RetryPolicy::none(), &config)
+            .unwrap();
+        prop_assert_eq!(&again.rows, &baseline.rows);
+        prop_assert_eq!(&again.transfers, &baseline.transfers);
+        }
+    }
+
     /// Flaky links and bounded outages (transient by construction) never
     /// change the answer: retries and failover are semantically
     /// invisible; only availability errors may escape.

@@ -157,6 +157,7 @@ fn parallel_fault_runs_are_deterministic() {
         batch_rows: 16,
         channel_capacity: 2,
         columnar: false,
+        ..RuntimeConfig::default()
     };
     let (_, plan) = all_queries(&catalog)
         .unwrap()
